@@ -1,0 +1,22 @@
+//! # gplu-baseline
+//!
+//! The baseline pipelines the paper compares against:
+//!
+//! * [`glu30`] — the "modified GLU 3.0" configuration of Figure 4:
+//!   symbolic factorization and levelization on the 28-thread host CPU,
+//!   numeric factorization on the GPU in the dense-column format (GLU's
+//!   own discipline),
+//! * [`um`] — the unified-memory configurations of Figures 5/6 and
+//!   Table 3: symbolic factorization through CUDA managed memory (with or
+//!   without prefetching), the rest of the pipeline as in the paper's
+//!   out-of-core version.
+//!
+//! All baselines produce bit-identical factors to `gplu-core`'s pipeline
+//! (asserted in the integration tests) — only *where* and *how fast* each
+//! phase runs differs, which is exactly what the paper's figures compare.
+
+pub mod glu30;
+pub mod um;
+
+pub use glu30::factorize_glu30;
+pub use um::factorize_um_pipeline;

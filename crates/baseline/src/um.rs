@@ -1,0 +1,64 @@
+//! Unified-memory baseline pipelines (Figures 5/6, Table 3).
+//!
+//! Identical to the end-to-end pipeline except the symbolic phase runs
+//! through CUDA managed memory instead of explicit out-of-core chunking.
+//! This is a thin wrapper over [`gplu_core`] with the UM symbolic engine
+//! selected, exposing the fault statistics the paper's Table 3 reports.
+
+use gplu_core::{GpluError, LuFactorization, LuOptions, SymbolicEngine};
+use gplu_sim::Gpu;
+use gplu_sparse::Csr;
+
+/// Runs the unified-memory pipeline. `prefetch` selects the tuned variant
+/// ("wp" in Table 3) versus pure on-demand paging ("wo p").
+pub fn factorize_um_pipeline(
+    gpu: &Gpu,
+    a: &Csr,
+    prefetch: bool,
+    base: &LuOptions,
+) -> Result<LuFactorization, GpluError> {
+    let opts = LuOptions {
+        symbolic: if prefetch { SymbolicEngine::UmPrefetch } else { SymbolicEngine::UmNoPrefetch },
+        ..base.clone()
+    };
+    LuFactorization::compute(gpu, a, &opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gplu_sim::{CostModel, GpuConfig};
+    use gplu_sparse::gen::random::random_dominant;
+
+    fn gpu_for(a: &Csr) -> Gpu {
+        let cfg = GpuConfig::v100_symbolic_profile(a.n_rows(), a.nnz());
+        let cost = CostModel::default().scaled_latencies(64).with_um_page_bytes(32 * 1024);
+        Gpu::with_cost(cfg, cost)
+    }
+
+    #[test]
+    fn prefetch_beats_on_demand_paging() {
+        let a = random_dominant(500, 4.0, 121);
+        let base = LuOptions::default();
+        let wo = factorize_um_pipeline(&gpu_for(&a), &a, false, &base).expect("ok");
+        let wp = factorize_um_pipeline(&gpu_for(&a), &a, true, &base).expect("ok");
+        assert!(wp.report.symbolic < wo.report.symbolic, "prefetching must help symbolic");
+        assert!(wp.report.fault_groups < wo.report.fault_groups);
+        assert_eq!(wp.lu.vals, wo.lu.vals);
+    }
+
+    #[test]
+    fn ooc_beats_both_um_variants() {
+        // The paper's headline Figure 5/6 shape.
+        let a = random_dominant(600, 4.0, 122);
+        let base = LuOptions::default();
+        let ooc = LuFactorization::compute(&gpu_for(&a), &a, &base).expect("ok");
+        let wp = factorize_um_pipeline(&gpu_for(&a), &a, true, &base).expect("ok");
+        assert!(
+            ooc.report.symbolic < wp.report.symbolic,
+            "out-of-core {} must beat prefetched UM {}",
+            ooc.report.symbolic,
+            wp.report.symbolic
+        );
+    }
+}

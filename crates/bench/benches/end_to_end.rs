@@ -1,0 +1,43 @@
+//! Wall-clock benches of the full pipelines (the Figure 4 pair): the
+//! end-to-end GPU pipeline vs the modified GLU 3.0 baseline, plus the
+//! solve path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gplu_baseline::factorize_glu30;
+use gplu_bench::Prepared;
+use gplu_core::{LuFactorization, LuOptions, PreprocessOptions};
+use gplu_sparse::gen::suite::paper_suite;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    for abbr in ["OT2", "GO"] {
+        let entry = paper_suite().into_iter().find(|e| e.abbr == abbr).expect("known abbr");
+        let prep = Prepared::new(entry, 256);
+        let (_, fill) = gplu_bench::fill_size_of(&prep);
+
+        group.bench_with_input(BenchmarkId::new("ours", abbr), &prep.matrix, |b, a| {
+            b.iter(|| {
+                LuFactorization::compute(&prep.gpu_symbolic(fill), a, &LuOptions::default())
+                    .expect("ok")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("glu30", abbr), &prep.matrix, |b, a| {
+            b.iter(|| {
+                factorize_glu30(&prep.gpu_symbolic(fill), a, &PreprocessOptions::default())
+                    .expect("ok")
+            })
+        });
+
+        let f = LuFactorization::compute(&prep.gpu_symbolic(fill), &prep.matrix, &LuOptions::default())
+            .expect("ok");
+        let rhs = vec![1.0; prep.matrix.n_rows()];
+        group.bench_with_input(BenchmarkId::new("solve", abbr), &f, |b, f| {
+            b.iter(|| f.solve(&rhs).expect("ok"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Wall-clock benches of levelization: the serial CPU recurrence vs the
+//! GPU Kahn sort with dynamic parallelism (Algorithm 5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gplu_bench::Prepared;
+use gplu_schedule::{levelize_cpu, levelize_gpu, DepGraph};
+use gplu_sim::{CostModel, Gpu, GpuConfig};
+use gplu_sparse::gen::suite::paper_suite;
+use gplu_symbolic::symbolic_cpu;
+
+fn bench_levelize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("levelize");
+    group.sample_size(10);
+    for abbr in ["OT2", "MI"] {
+        let entry = paper_suite().into_iter().find(|e| e.abbr == abbr).expect("known abbr");
+        let prep = Prepared::new(entry, 256);
+        let (pre, _) = gplu_bench::fill_size_of(&prep);
+        let sym = symbolic_cpu(&pre, &CostModel::default());
+        let dep = DepGraph::build(&sym.result.filled);
+
+        group.bench_with_input(BenchmarkId::new("cpu_serial", abbr), &dep, |b, g| {
+            b.iter(|| levelize_cpu(g, &CostModel::default()))
+        });
+        group.bench_with_input(BenchmarkId::new("gpu_kahn", abbr), &dep, |b, g| {
+            b.iter(|| levelize_gpu(&Gpu::new(GpuConfig::v100()), g).expect("ok"))
+        });
+        group.bench_with_input(BenchmarkId::new("build_graph", abbr), &sym.result.filled, |b, f| {
+            b.iter(|| DepGraph::build(f))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_levelize);
+criterion_main!(benches);

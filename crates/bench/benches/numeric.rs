@@ -1,0 +1,40 @@
+//! Wall-clock benches of the numeric engines: sequential reference, the
+//! dense-format GPU kernel and the binary-search CSC kernel (the Figure 8
+//! pair).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gplu_bench::Prepared;
+use gplu_numeric::{factorize_gpu_dense, factorize_gpu_sparse, factorize_seq};
+use gplu_schedule::{levelize_cpu, DepGraph};
+use gplu_sim::CostModel;
+use gplu_sparse::convert::csr_to_csc;
+use gplu_sparse::gen::suite::large_suite;
+use gplu_symbolic::symbolic_cpu;
+
+fn bench_numeric(c: &mut Criterion) {
+    let mut group = c.benchmark_group("numeric");
+    group.sample_size(10);
+    let entry = large_suite().into_iter().next().expect("suite non-empty"); // hugetrace
+    let prep = Prepared::new(entry, 4096);
+    let (pre, fill) = gplu_bench::fill_size_of(&prep);
+    let sym = symbolic_cpu(&pre, &CostModel::default());
+    let pattern = csr_to_csc(&sym.result.filled);
+    let levels = levelize_cpu(&DepGraph::build(&sym.result.filled), &CostModel::default()).levels;
+
+    group.bench_with_input(BenchmarkId::new("seq", "HT20"), &pattern, |b, p| {
+        b.iter(|| {
+            let mut lu = p.clone();
+            factorize_seq(&mut lu).expect("ok")
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("gpu_dense", "HT20"), &pattern, |b, p| {
+        b.iter(|| factorize_gpu_dense(&prep.gpu_numeric(fill), p, &levels).expect("ok"))
+    });
+    group.bench_with_input(BenchmarkId::new("gpu_sparse_bsearch", "HT20"), &pattern, |b, p| {
+        b.iter(|| factorize_gpu_sparse(&prep.gpu_numeric(fill), p, &levels).expect("ok"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_numeric);
+criterion_main!(benches);

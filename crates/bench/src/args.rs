@@ -1,0 +1,89 @@
+//! Minimal argument handling shared by the experiment binaries.
+
+/// Parsed command-line options.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Scale divisor for the matrix analogs (`--scale N`).
+    pub scale: Option<usize>,
+    /// Quick mode: fewer/smaller matrices (`--quick`).
+    pub quick: bool,
+    /// Restrict to matrices whose abbreviation is listed (`--only A,B`).
+    pub only: Vec<String>,
+}
+
+impl Args {
+    /// Parses `std::env::args`, ignoring unknown flags (each binary prints
+    /// its own usage note).
+    pub fn parse() -> Args {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit iterator (testable).
+    pub fn parse_from<I: IntoIterator<Item = String>>(iter: I) -> Args {
+        let mut args = Args { scale: None, quick: false, only: Vec::new() };
+        let mut it = iter.into_iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--scale" => {
+                    args.scale = it.next().and_then(|v| v.parse().ok());
+                }
+                "--quick" => args.quick = true,
+                "--only" => {
+                    if let Some(list) = it.next() {
+                        args.only = list.split(',').map(|s| s.trim().to_string()).collect();
+                    }
+                }
+                _ => {}
+            }
+        }
+        args
+    }
+
+    /// Effective scale, given the experiment's default.
+    pub fn scale_or(&self, default: usize) -> usize {
+        let s = self.scale.unwrap_or(default);
+        if self.quick {
+            s * 4
+        } else {
+            s
+        }
+    }
+
+    /// Whether a matrix abbreviation is selected.
+    pub fn selected(&self, abbr: &str) -> bool {
+        self.only.is_empty() || self.only.iter().any(|o| o.eq_ignore_ascii_case(abbr))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse_from(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_scale_and_quick() {
+        let a = parse("--scale 64 --quick");
+        assert_eq!(a.scale, Some(64));
+        assert!(a.quick);
+        assert_eq!(a.scale_or(128), 256, "quick multiplies the scale by 4");
+    }
+
+    #[test]
+    fn default_scale_used_when_absent() {
+        let a = parse("");
+        assert_eq!(a.scale_or(128), 128);
+    }
+
+    #[test]
+    fn only_filters() {
+        let a = parse("--only OT2,wi");
+        assert!(a.selected("OT2"));
+        assert!(a.selected("WI"));
+        assert!(!a.selected("PR"));
+        let all = parse("");
+        assert!(all.selected("anything"));
+    }
+}

@@ -1,0 +1,67 @@
+//! **Ablation: fill-reducing ordering.** The pre-processing box of the
+//! paper's Figure 2 ("row and column permutations ... to reduce
+//! fill-ins") — how much the ordering choice moves fill, the level
+//! schedule and every downstream phase.
+//!
+//! Usage: `ablation_ordering [--scale N] [--only ABBR,..]`
+
+use gplu_bench::{Args, Prepared, Table};
+use gplu_core::{LuFactorization, LuOptions};
+use gplu_sparse::gen::suite::{paper_suite, DEFAULT_SCALE};
+use gplu_sparse::ordering::OrderingKind;
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.scale_or(DEFAULT_SCALE);
+    println!("Ablation: ordering choice across the pipeline (scale 1/{scale})\n");
+
+    let mut t = Table::new([
+        "matrix", "ordering", "fill nnz", "fill ratio", "levels", "sym", "num", "total",
+    ]);
+    for abbr in ["OT2", "BB", "WI"] {
+        if !args.selected(abbr) {
+            continue;
+        }
+        let entry = paper_suite().into_iter().find(|e| e.abbr == abbr).expect("known abbr");
+        let prep = Prepared::new(entry.clone(), scale);
+        let (_, fill) = gplu_bench::fill_size_of(&prep);
+        for (name, kind) in [
+            ("natural", OrderingKind::Natural),
+            ("rcm", OrderingKind::Rcm),
+            ("amd", OrderingKind::MinDegree),
+        ] {
+            let gpu = prep.gpu_symbolic(fill * 8); // headroom: natural order fills far more
+            let opts = LuOptions::default().with_ordering(kind);
+            match LuFactorization::compute(&gpu, &prep.matrix, &opts) {
+                Ok(f) => {
+                    t.row([
+                        entry.abbr.to_string(),
+                        name.to_string(),
+                        f.report.fill_nnz.to_string(),
+                        format!("{:.1}x", f.report.fill_nnz as f64 / prep.matrix.nnz() as f64),
+                        f.report.n_levels.to_string(),
+                        format!("{}", f.report.symbolic),
+                        format!("{}", f.report.numeric),
+                        format!("{}", f.report.total()),
+                    ]);
+                }
+                Err(e) => {
+                    t.row([
+                        entry.abbr.to_string(),
+                        name.to_string(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                        format!("{e}"),
+                    ]);
+                }
+            }
+        }
+    }
+    t.print();
+    println!("\nAMD keeps fill (and thus symbolic reach and numeric flops) lowest on the");
+    println!("circuit-style matrices; RCM is competitive on meshes; natural order shows");
+    println!("why the paper's pipeline runs a fill-reducing permutation first.");
+}

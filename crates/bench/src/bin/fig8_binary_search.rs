@@ -1,0 +1,73 @@
+//! **Figure 8**: normalized numeric-factorization times — the binary-search
+//! sorted-CSC implementation (Algorithm 6) vs the original dense-format
+//! implementation, on the four Table 4 analogs.
+//!
+//! Paper band: the binary-search implementation is 2.88–3.33× faster,
+//! because the dense format caps parallel columns at `M ≈ 102–124 < 160`
+//! while CSC runs all `TB_max` blocks (the paper fixes the binary-search
+//! version at 160 blocks).
+//!
+//! Usage: `fig8_binary_search [--scale N]` (default scale 1/1024)
+
+use gplu_bench::{fill_size_of, geomean, Args, Prepared, Table};
+use gplu_numeric::{factorize_gpu_dense, factorize_gpu_sparse};
+use gplu_schedule::{levelize_cpu, DepGraph};
+use gplu_sim::CostModel;
+use gplu_sparse::convert::csr_to_csc;
+use gplu_sparse::gen::suite::{large_suite, DEFAULT_LARGE_SCALE};
+use gplu_symbolic::symbolic_cpu;
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.scale_or(DEFAULT_LARGE_SCALE);
+    println!("Figure 8: binary-search CSC vs dense-format numeric (scale 1/{scale})\n");
+
+    let mut t = Table::new([
+        "matrix", "abbr", "n", "fill nnz", "M(dense)", "batches", "dense", "sparse", "norm",
+        "speedup",
+    ]);
+    let mut speedups = Vec::new();
+    for entry in large_suite() {
+        if !args.selected(entry.abbr) {
+            continue;
+        }
+        let prep = Prepared::new(entry.clone(), scale);
+        let (pre, fill) = fill_size_of(&prep);
+
+        // Shared symbolic + schedule (not measured here).
+        let sym = symbolic_cpu(&pre, &CostModel::default());
+        let pattern = csr_to_csc(&sym.result.filled);
+        let dep = DepGraph::build(&sym.result.filled);
+        let levels = levelize_cpu(&dep, &CostModel::default()).levels;
+
+        let gpu = prep.gpu_numeric(fill);
+        let dense = factorize_gpu_dense(&gpu, &pattern, &levels).expect("dense ok");
+
+        let gpu = prep.gpu_numeric(fill);
+        let sparse = factorize_gpu_sparse(&gpu, &pattern, &levels).expect("sparse ok");
+        assert_eq!(dense.lu.vals, sparse.lu.vals, "{}: formats disagree", entry.abbr);
+
+        let s = dense.time.ratio(sparse.time);
+        speedups.push(s);
+        t.row([
+            entry.name.to_string(),
+            entry.abbr.to_string(),
+            pre.n_rows().to_string(),
+            fill.to_string(),
+            dense.m_limit.map(|m| m.to_string()).unwrap_or_default(),
+            dense.batches.to_string(),
+            format!("{}", dense.time),
+            format!("{}", sparse.time),
+            format!("{:.3}", sparse.time.ratio(dense.time)),
+            format!("{s:.2}x"),
+        ]);
+    }
+    t.print();
+    let min = speedups.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = speedups.iter().copied().fold(0.0f64, f64::max);
+    println!(
+        "\nbinary-search speedup over dense format: {min:.2}-{max:.2}x (geomean {:.2}x);",
+        geomean(&speedups)
+    );
+    println!("paper reports 2.88-3.33x.");
+}

@@ -1,0 +1,329 @@
+//! Implementation of the `gplu` command-line driver (library-shaped so the
+//! command logic is unit-testable without spawning processes).
+
+use gplu_core::{
+    GpluError, LuFactorization, LuOptions, NumericFormat, SymbolicEngine,
+};
+use gplu_sim::{Gpu, GpuConfig};
+use gplu_sparse::convert::coo_to_csr;
+use gplu_sparse::gen::{circuit, mesh, planar};
+use gplu_sparse::io::{read_matrix_market_file, write_matrix_market_file};
+use gplu_sparse::ordering::OrderingKind;
+use gplu_sparse::{Coo, Csr, SparseError};
+use std::fmt;
+use std::io::Write;
+
+/// Usage text shared by `--help` and usage errors.
+pub const USAGE: &str = "\
+gplu — end-to-end sparse LU factorization on a simulated GPU
+
+commands:
+  info <matrix.mtx>
+  factorize <matrix.mtx> [options]
+  solve <matrix.mtx> [options] [--gpu-solve]
+  gen <circuit|mesh|planar> <n> <nnz_per_row> <out.mtx> [seed]
+
+options:
+  --ordering amd|rcm|natural    fill-reducing ordering (default amd)
+  --engine ooc|dynamic|um|um-prefetch
+                                symbolic engine (default dynamic)
+  --format auto|dense|sparse    numeric format (default auto)
+  --mem <MiB>                   device memory (default: out-of-core profile)
+";
+
+/// CLI error type.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad arguments (exit code 2, usage printed).
+    Usage(String),
+    /// Matrix/IO failure.
+    Sparse(SparseError),
+    /// Pipeline failure.
+    Pipeline(GpluError),
+    /// Output failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "{m}"),
+            CliError::Sparse(e) => write!(f, "{e}"),
+            CliError::Pipeline(e) => write!(f, "{e}"),
+            CliError::Io(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<SparseError> for CliError {
+    fn from(e: SparseError) -> Self {
+        CliError::Sparse(e)
+    }
+}
+impl From<GpluError> for CliError {
+    fn from(e: GpluError) -> Self {
+        CliError::Pipeline(e)
+    }
+}
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+/// Parsed factorize/solve options.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Pipeline options assembled from the flags.
+    pub lu: LuOptions,
+    /// Device memory override (bytes).
+    pub mem: Option<u64>,
+    /// Solve on the simulated GPU.
+    pub gpu_solve: bool,
+}
+
+/// Parses the option flags shared by `factorize` and `solve`.
+pub fn parse_options(args: &[String]) -> Result<RunOptions, CliError> {
+    let mut opts = RunOptions {
+        lu: LuOptions { symbolic: SymbolicEngine::OocDynamic, ..Default::default() },
+        mem: None,
+        gpu_solve: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().cloned().ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))
+        };
+        match a.as_str() {
+            "--ordering" => {
+                opts.lu.preprocess.ordering = match value("--ordering")?.as_str() {
+                    "amd" => OrderingKind::MinDegree,
+                    "rcm" => OrderingKind::Rcm,
+                    "natural" => OrderingKind::Natural,
+                    other => return Err(CliError::Usage(format!("unknown ordering '{other}'"))),
+                };
+            }
+            "--engine" => {
+                opts.lu.symbolic = match value("--engine")?.as_str() {
+                    "ooc" => SymbolicEngine::Ooc,
+                    "dynamic" => SymbolicEngine::OocDynamic,
+                    "um" => SymbolicEngine::UmNoPrefetch,
+                    "um-prefetch" => SymbolicEngine::UmPrefetch,
+                    other => return Err(CliError::Usage(format!("unknown engine '{other}'"))),
+                };
+            }
+            "--format" => {
+                opts.lu.format = match value("--format")?.as_str() {
+                    "auto" => NumericFormat::Auto,
+                    "dense" => NumericFormat::Dense,
+                    "sparse" => NumericFormat::Sparse,
+                    other => return Err(CliError::Usage(format!("unknown format '{other}'"))),
+                };
+            }
+            "--mem" => {
+                let mib: u64 = value("--mem")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--mem takes MiB as an integer".into()))?;
+                opts.mem = Some(mib << 20);
+            }
+            "--gpu-solve" => opts.gpu_solve = true,
+            other => return Err(CliError::Usage(format!("unknown flag '{other}'"))),
+        }
+    }
+    Ok(opts)
+}
+
+fn load(path: &str) -> Result<Csr, CliError> {
+    Ok(coo_to_csr(&read_matrix_market_file(path)?))
+}
+
+fn gpu_for(a: &Csr, mem: Option<u64>) -> Gpu {
+    let cfg = match mem {
+        Some(bytes) => GpuConfig::v100().with_memory(bytes),
+        None => GpuConfig::v100_symbolic_profile(a.n_rows(), a.nnz()),
+    };
+    Gpu::new(cfg)
+}
+
+/// Runs one command against `out`.
+pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    match args.first().map(String::as_str) {
+        Some("info") => {
+            let path = args.get(1).ok_or_else(|| CliError::Usage("info needs a path".into()))?;
+            let a = load(path)?;
+            writeln!(out, "{path}: {} x {}, {} nonzeros ({:.2}/row)", a.n_rows(), a.n_cols(),
+                a.nnz(), a.density())?;
+            writeln!(out, "structural diagonal: {}",
+                if a.has_full_diagonal() { "full" } else { "DEFICIENT (will be repaired)" })?;
+            let state = 24 * a.n_rows() as u64 * a.n_rows() as u64;
+            writeln!(out, "symbolic intermediate state: {} MiB (out-of-core on devices below that)",
+                state >> 20)?;
+            Ok(())
+        }
+        Some("factorize") => {
+            let path =
+                args.get(1).ok_or_else(|| CliError::Usage("factorize needs a path".into()))?;
+            let opts = parse_options(&args[2..])?;
+            let a = load(path)?;
+            let gpu = gpu_for(&a, opts.mem);
+            let f = LuFactorization::compute(&gpu, &a, &opts.lu)?;
+            writeln!(out, "{}", f.report.summary())?;
+            writeln!(out, "levels: {} (widest {}), modes A/B/C: {:?}",
+                f.report.n_levels, f.report.max_level_width, f.report.mode_mix)?;
+            if let Some(m) = f.report.m_limit {
+                writeln!(out, "dense format, M = {m} parallel columns")?;
+            } else {
+                writeln!(out, "sorted-CSC format, {} binary-search probes", f.report.probes)?;
+            }
+            writeln!(out, "total simulated time: {}", f.report.total())?;
+            Ok(())
+        }
+        Some("solve") => {
+            let path = args.get(1).ok_or_else(|| CliError::Usage("solve needs a path".into()))?;
+            let opts = parse_options(&args[2..])?;
+            let a = load(path)?;
+            let gpu = gpu_for(&a, opts.mem);
+            let f = LuFactorization::compute(&gpu, &a, &opts.lu)?;
+            let x_true = vec![1.0; a.n_rows()];
+            let b = a.spmv(&x_true);
+            let x = if opts.gpu_solve {
+                let plan = f.solve_plan();
+                let (x, t) = f.solve_on_gpu(&gpu, &plan, &b)?;
+                writeln!(out, "gpu solve: {t}")?;
+                x
+            } else {
+                f.solve(&b)?
+            };
+            let err =
+                x.iter().zip(&x_true).map(|(p, q)| (p - q).abs()).fold(0.0f64, f64::max);
+            writeln!(out, "{}", f.report.summary())?;
+            writeln!(out, "solve max error vs x = 1: {err:.3e}")?;
+            if f.report.repaired_diagonals > 0 {
+                writeln!(out, "note: {} diagonals repaired; the solve targets the repaired system",
+                    f.report.repaired_diagonals)?;
+            }
+            Ok(())
+        }
+        Some("gen") => {
+            let [family, n, density, path] = [1, 2, 3, 4].map(|i| args.get(i).cloned());
+            let (Some(family), Some(n), Some(density), Some(path)) = (family, n, density, path)
+            else {
+                return Err(CliError::Usage("gen needs <family> <n> <density> <out.mtx>".into()));
+            };
+            let n: usize =
+                n.parse().map_err(|_| CliError::Usage("n must be an integer".into()))?;
+            let density: f64 =
+                density.parse().map_err(|_| CliError::Usage("density must be a number".into()))?;
+            let seed: u64 = args.get(5).map(|s| s.parse().unwrap_or(42)).unwrap_or(42);
+            let a = match family.as_str() {
+                "circuit" => circuit::circuit(&circuit::CircuitParams {
+                    n,
+                    nnz_per_row: density,
+                    seed,
+                    ..Default::default()
+                }),
+                "mesh" => mesh::mesh(&mesh::MeshParams::for_target(n, density, seed)),
+                "planar" => planar::planar(&planar::PlanarParams::for_target(n, density, seed)),
+                other => return Err(CliError::Usage(format!("unknown family '{other}'"))),
+            };
+            let mut coo = Coo::with_capacity(a.n_rows(), a.n_cols(), a.nnz());
+            for i in 0..a.n_rows() {
+                for (j, v) in a.row_iter(i) {
+                    coo.push(i, j, v);
+                }
+            }
+            write_matrix_market_file(&path, &coo)?;
+            writeln!(out, "wrote {path}: {} x {}, {} nonzeros", a.n_rows(), a.n_cols(), a.nnz())?;
+            Ok(())
+        }
+        Some("--help") | Some("-h") | None => {
+            writeln!(out, "{USAGE}")?;
+            Ok(())
+        }
+        Some(other) => Err(CliError::Usage(format!("unknown command '{other}'"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_str(args: &[&str]) -> Result<String, CliError> {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut buf = Vec::new();
+        run(&args, &mut buf)?;
+        Ok(String::from_utf8(buf).expect("utf8 output"))
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("gplu-cli-tests");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn gen_info_factorize_solve_round_trip() {
+        let path = tmp("roundtrip.mtx");
+        let out = run_str(&["gen", "circuit", "400", "6", &path]).expect("gen");
+        assert!(out.contains("wrote"));
+
+        let out = run_str(&["info", &path]).expect("info");
+        assert!(out.contains("400 x 400"));
+        assert!(out.contains("full"));
+
+        let out = run_str(&["factorize", &path, "--ordering", "amd"]).expect("factorize");
+        assert!(out.contains("total simulated time"));
+
+        let out = run_str(&["solve", &path, "--gpu-solve"]).expect("solve");
+        assert!(out.contains("gpu solve"));
+        let err: f64 = out
+            .lines()
+            .find(|l| l.contains("max error"))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse().ok())
+            .expect("error line");
+        assert!(err < 1e-8, "solve error {err}");
+    }
+
+    #[test]
+    fn planar_gen_is_deficient_and_solvable() {
+        let path = tmp("planar.mtx");
+        run_str(&["gen", "planar", "900", "5", &path]).expect("gen");
+        let out = run_str(&["info", &path]).expect("info");
+        assert!(out.contains("DEFICIENT"));
+        let out = run_str(&["solve", &path]).expect("solve despite repair");
+        assert!(out.contains("diagonals repaired"));
+    }
+
+    #[test]
+    fn engine_and_format_flags_parse() {
+        let o = parse_options(
+            &["--engine", "um-prefetch", "--format", "sparse", "--mem", "64", "--gpu-solve"]
+                .map(String::from),
+        )
+        .expect("parses");
+        assert_eq!(o.lu.symbolic, SymbolicEngine::UmPrefetch);
+        assert_eq!(o.lu.format, NumericFormat::Sparse);
+        assert_eq!(o.mem, Some(64 << 20));
+        assert!(o.gpu_solve);
+    }
+
+    #[test]
+    fn bad_flags_are_usage_errors() {
+        assert!(matches!(parse_options(&["--engine".into()]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse_options(&["--format".into(), "csc".into()]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(run(&["wat".into()], &mut Vec::new()), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run_str(&["--help"]).expect("help");
+        assert!(out.contains("factorize"));
+        assert!(out.contains("--ordering"));
+    }
+}

@@ -1,0 +1,32 @@
+//! `gplu` — command-line driver for the end-to-end GPU sparse LU pipeline.
+//!
+//! ```text
+//! gplu info <matrix.mtx>                         inspect a Matrix Market file
+//! gplu factorize <matrix.mtx> [options]          run the pipeline, print the phase report
+//! gplu solve <matrix.mtx> [options]              factorize + solve (rhs = A·1), verify
+//! gplu gen <circuit|mesh|planar> <n> <density> <out.mtx> [seed]
+//! ```
+//!
+//! Options (factorize/solve):
+//! `--ordering amd|rcm|natural`, `--engine ooc|dynamic|um|um-prefetch`,
+//! `--format auto|dense|sparse`, `--mem <MiB>` (device memory; default: the
+//! symbolic out-of-core profile for the input), `--gpu-solve` (solve on the
+//! simulated GPU instead of the host).
+
+use gplu_cli::{run, CliError};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args, &mut std::io::stdout()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(CliError::Usage(msg)) => {
+            eprintln!("usage error: {msg}\n\n{}", gplu_cli::USAGE);
+            ExitCode::from(2)
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Pipeline error type.
+
+use gplu_sim::SimError;
+use gplu_sparse::SparseError;
+use std::fmt;
+
+/// Errors from the end-to-end pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GpluError {
+    /// A matrix-side failure (singular, malformed, zero pivot, …).
+    Sparse(SparseError),
+    /// A device-side failure (out of memory, bad launch, …).
+    Sim(SimError),
+    /// The input violates a pipeline precondition.
+    Input(String),
+}
+
+impl fmt::Display for GpluError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpluError::Sparse(e) => write!(f, "sparse error: {e}"),
+            GpluError::Sim(e) => write!(f, "simulator error: {e}"),
+            GpluError::Input(msg) => write!(f, "invalid input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GpluError {}
+
+impl From<SparseError> for GpluError {
+    fn from(e: SparseError) -> Self {
+        GpluError::Sparse(e)
+    }
+}
+
+impl From<SimError> for GpluError {
+    fn from(e: SimError) -> Self {
+        GpluError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: GpluError = SparseError::ZeroPivot { col: 2 }.into();
+        assert!(e.to_string().contains("column 2"));
+        let e: GpluError = SimError::InvalidHandle(7).into();
+        assert!(e.to_string().contains("7"));
+        let e = GpluError::Input("empty matrix".into());
+        assert!(e.to_string().contains("empty matrix"));
+    }
+}

@@ -1,0 +1,44 @@
+//! # gplu-core
+//!
+//! The paper's primary contribution as a library: **end-to-end sparse LU
+//! factorization on a (simulated) GPU**, for matrices whose symbolic
+//! intermediates exceed device memory.
+//!
+//! The pipeline (the paper's Figure 2):
+//!
+//! 1. **Pre-processing** ([`preprocess()`]) — fill-reducing row/column
+//!    permutation and diagonal repair, on the host,
+//! 2. **Symbolic factorization** — out-of-core on the GPU (Algorithm 3),
+//!    optionally with dynamic parallelism assignment (Algorithm 4),
+//! 3. **Levelization** — Kahn's topological sort on the GPU with dynamic
+//!    parallelism (Algorithm 5),
+//! 4. **Numeric factorization** — one thread block per column over the
+//!    level schedule, switching from the dense-column format to sorted
+//!    CSC with binary search when
+//!    `n > L / (TB_max · sizeof(dtype))` (Algorithm 6),
+//! 5. **Solve** — the resulting triangular systems, host-side.
+//!
+//! ```
+//! use gplu_core::{LuFactorization, LuOptions};
+//! use gplu_sim::{Gpu, GpuConfig};
+//! use gplu_sparse::gen::random::random_dominant;
+//! use gplu_sparse::verify::check_solution;
+//!
+//! let a = random_dominant(500, 4.0, 7);
+//! let gpu = Gpu::new(GpuConfig::v100_symbolic_profile(a.n_rows(), a.nnz()));
+//! let f = LuFactorization::compute(&gpu, &a, &LuOptions::default()).unwrap();
+//! let b = a.spmv(&vec![1.0; 500]);
+//! let x = f.solve(&b).unwrap();
+//! assert!(check_solution(&a, &x, &b, 1e-8));
+//! println!("{}", f.report.summary());
+//! ```
+
+pub mod error;
+pub mod pipeline;
+pub mod preprocess;
+pub mod report;
+
+pub use error::GpluError;
+pub use pipeline::{LuFactorization, LuOptions, NumericFormat, SymbolicEngine};
+pub use preprocess::{preprocess, PreprocessOptions, PreprocessOutcome};
+pub use report::PhaseReport;

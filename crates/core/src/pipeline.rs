@@ -1,0 +1,375 @@
+//! The end-to-end pipeline.
+
+use crate::error::GpluError;
+use crate::preprocess::{preprocess, PreprocessOptions, PreprocessOutcome};
+use crate::report::PhaseReport;
+use gplu_numeric::{factorize_gpu_dense, factorize_gpu_sparse};
+use gplu_schedule::{levelize_gpu, DepGraph, Levels};
+use gplu_sim::Gpu;
+use gplu_sparse::convert::csr_to_csc;
+use gplu_sparse::ordering::OrderingKind;
+use gplu_sparse::triangular::solve_lu;
+use gplu_sparse::{Csc, Csr, Permutation, Val};
+use gplu_symbolic::{symbolic_ooc, symbolic_ooc_dynamic, symbolic_um, SymbolicResult, UmMode};
+
+/// Which symbolic engine the pipeline runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SymbolicEngine {
+    /// Out-of-core GPU, naive chunking (Algorithm 3).
+    Ooc,
+    /// Out-of-core GPU with dynamic parallelism assignment (Algorithm 4).
+    #[default]
+    OocDynamic,
+    /// Unified memory, on-demand paging.
+    UmNoPrefetch,
+    /// Unified memory with batched prefetching.
+    UmPrefetch,
+}
+
+/// Numeric-format selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NumericFormat {
+    /// The paper's criterion: sorted CSC iff
+    /// `n > L/(TB_max · sizeof(dtype))`.
+    #[default]
+    Auto,
+    /// Force the dense-column format (the GLU 3.0 discipline).
+    Dense,
+    /// Force the sorted-CSC binary-search format (Algorithm 6).
+    Sparse,
+}
+
+/// End-to-end pipeline options.
+#[derive(Debug, Clone, Default)]
+pub struct LuOptions {
+    /// Pre-processing configuration.
+    pub preprocess: PreprocessOptions,
+    /// Symbolic engine.
+    pub symbolic: SymbolicEngine,
+    /// Numeric format.
+    pub format: NumericFormat,
+}
+
+impl LuOptions {
+    /// Options with a specific ordering (convenience).
+    pub fn with_ordering(mut self, kind: OrderingKind) -> Self {
+        self.preprocess.ordering = kind;
+        self
+    }
+}
+
+/// A completed factorization: `P_row · A · P_colᵀ = L · U` on the repaired,
+/// permuted matrix.
+#[derive(Debug, Clone)]
+pub struct LuFactorization {
+    /// Combined factor (unit-diagonal `L` strictly below, `U` on/above).
+    pub lu: Csc,
+    /// The pre-processed matrix that was factorized (post permutation and
+    /// diagonal repair) — residuals are measured against this.
+    pub preprocessed: Csr,
+    /// Row permutation old → new.
+    pub p_row: Permutation,
+    /// Column permutation old → new.
+    pub p_col: Permutation,
+    /// Level schedule used by the numeric phase.
+    pub levels: Levels,
+    /// Per-phase timings and accounting.
+    pub report: PhaseReport,
+}
+
+impl LuFactorization {
+    /// Runs the full pipeline on `gpu`.
+    pub fn compute(gpu: &Gpu, a: &Csr, opts: &LuOptions) -> Result<Self, GpluError> {
+        let mut report = PhaseReport::default();
+
+        // 1. Pre-processing (host).
+        let PreprocessOutcome { matrix, p_row, p_col, repaired, time } =
+            preprocess(a, &opts.preprocess, gpu.cost())?;
+        gpu.advance(time);
+        report.preprocess = time;
+        report.repaired_diagonals = repaired;
+
+        // 2. Symbolic factorization (GPU).
+        let symbolic: SymbolicResult = match opts.symbolic {
+            SymbolicEngine::Ooc => {
+                let out = symbolic_ooc(gpu, &matrix)?;
+                report.symbolic = out.time;
+                report.chunk_size = out.chunk_size;
+                report.symbolic_iterations = out.num_iterations;
+                out.result
+            }
+            SymbolicEngine::OocDynamic => {
+                let out = symbolic_ooc_dynamic(gpu, &matrix)?;
+                report.symbolic = out.time;
+                report.chunk_size = out.split.chunk2;
+                report.symbolic_iterations = out.num_iterations;
+                out.result
+            }
+            SymbolicEngine::UmNoPrefetch | SymbolicEngine::UmPrefetch => {
+                let mode = if opts.symbolic == SymbolicEngine::UmPrefetch {
+                    UmMode::Prefetch
+                } else {
+                    UmMode::NoPrefetch
+                };
+                let out = symbolic_um(gpu, &matrix, mode)?;
+                report.symbolic = out.time;
+                report.fault_groups = out.fault_groups;
+                out.result
+            }
+        };
+        report.fill_nnz = symbolic.fill_nnz();
+        report.new_fill_ins = symbolic.new_fill_ins(&matrix);
+
+        // 3. Levelization (GPU, dynamic parallelism).
+        let dep = DepGraph::build(&symbolic.filled);
+        let lvl = levelize_gpu(gpu, &dep)?;
+        report.levelize = lvl.time;
+        report.n_levels = lvl.levels.n_levels();
+        report.max_level_width = lvl.levels.max_width();
+
+        // 4. Numeric factorization (GPU), format per the paper's
+        // criterion unless forced.
+        let pattern = csr_to_csc(&symbolic.filled);
+        let use_sparse = match opts.format {
+            NumericFormat::Auto => gpu.config().should_use_sparse_format(matrix.n_rows()),
+            NumericFormat::Dense => false,
+            NumericFormat::Sparse => true,
+        };
+        let numeric = if use_sparse {
+            factorize_gpu_sparse(gpu, &pattern, &lvl.levels)?
+        } else {
+            factorize_gpu_dense(gpu, &pattern, &lvl.levels)?
+        };
+        report.numeric = numeric.time;
+        report.mode_mix = (numeric.mode_mix.a, numeric.mode_mix.b, numeric.mode_mix.c);
+        report.m_limit = numeric.m_limit;
+        report.probes = numeric.probes;
+
+        Ok(LuFactorization {
+            lu: numeric.lu,
+            preprocessed: matrix,
+            p_row,
+            p_col,
+            levels: lvl.levels,
+            report,
+        })
+    }
+
+    /// Permutes a right-hand side into factor ordering (`P_row · b`).
+    pub fn permute_rhs(&self, b: &[Val]) -> Vec<Val> {
+        self.p_row.permute_vec(b)
+    }
+
+    /// Builds the level schedules for GPU triangular solves (reusable
+    /// across right-hand sides — the circuit-simulation pattern).
+    pub fn solve_plan(&self) -> gplu_numeric::TriSolvePlan {
+        gplu_numeric::TriSolvePlan::new(&self.lu)
+    }
+
+    /// Solves `A x = b` with the level-scheduled triangular solve on the
+    /// simulated GPU (the end-to-end completion of the paper's pipeline:
+    /// the factors never leave the device). Returns the solution and the
+    /// simulated solve time.
+    pub fn solve_on_gpu(
+        &self,
+        gpu: &Gpu,
+        plan: &gplu_numeric::TriSolvePlan,
+        b: &[Val],
+    ) -> Result<(Vec<Val>, gplu_sim::SimTime), GpluError> {
+        if b.len() != self.preprocessed.n_rows() {
+            return Err(GpluError::Input(format!(
+                "rhs length {} != n {}",
+                b.len(),
+                self.preprocessed.n_rows()
+            )));
+        }
+        let out = gplu_numeric::solve_gpu(gpu, &self.lu, plan, &self.p_row.permute_vec(b))?;
+        let x = (0..out.x.len()).map(|i| out.x[self.p_col.apply(i)]).collect();
+        Ok((x, out.time))
+    }
+
+    /// Solves `A x = b` with `steps` rounds of iterative refinement:
+    /// `x ← x + A⁻¹(b − A·x)` through the existing factors. Because the
+    /// pipeline factorizes without pivoting (stability handled by
+    /// pre-processing, the GLU-family convention), refinement recovers the
+    /// last digits on marginally conditioned systems at the cost of one
+    /// extra triangular-solve pair per round.
+    pub fn solve_refined(&self, b: &[Val], steps: usize) -> Result<Vec<Val>, GpluError> {
+        let mut x = self.solve(b)?;
+        // Refinement must target the matrix the factors represent; if
+        // diagonal repair changed values, that is the repaired system.
+        // Residuals are computed against `preprocessed` in factor ordering.
+        for _ in 0..steps {
+            let ax = {
+                // A x in original ordering.
+                let mut full = vec![0.0; x.len()];
+                let x_perm: Vec<Val> = (0..x.len()).map(|i| x[i]).collect();
+                let pre_x = self.p_col.permute_vec(&x_perm);
+                let ax_pre = self.preprocessed.spmv(&pre_x);
+                // back to original row ordering
+                let inv = self.p_row.inverse();
+                for (new, v) in ax_pre.into_iter().enumerate() {
+                    full[inv.apply(new)] = v;
+                }
+                full
+            };
+            let r: Vec<Val> = b.iter().zip(&ax).map(|(p, q)| p - q).collect();
+            let dx = self.solve(&r)?;
+            for (xi, di) in x.iter_mut().zip(&dx) {
+                *xi += di;
+            }
+        }
+        Ok(x)
+    }
+
+    /// Solves `A x = b` through the factors (for the repaired matrix when
+    /// diagonal repair was needed — see [`PhaseReport::repaired_diagonals`]).
+    pub fn solve(&self, b: &[Val]) -> Result<Vec<Val>, GpluError> {
+        if b.len() != self.preprocessed.n_rows() {
+            return Err(GpluError::Input(format!(
+                "rhs length {} != n {}",
+                b.len(),
+                self.preprocessed.n_rows()
+            )));
+        }
+        // P_row A P_colᵀ = LU  ⇒  A x = b  ⇔  (LU)(P_col x) = P_row b.
+        let y = solve_lu(&self.lu, &self.p_row.permute_vec(b))?;
+        // x = P_colᵀ y, i.e. x[i] = y[p_col(i)].
+        let x = (0..y.len()).map(|i| y[self.p_col.apply(i)]).collect();
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gplu_sim::GpuConfig;
+    use gplu_sparse::gen::random::{banded_dominant, random_dominant};
+    use gplu_sparse::verify::{check_solution, residual_probe};
+
+    fn gpu_for(a: &Csr) -> Gpu {
+        Gpu::new(GpuConfig::v100_symbolic_profile(a.n_rows(), a.nnz()))
+    }
+
+    #[test]
+    fn end_to_end_factors_and_solves() {
+        let a = random_dominant(300, 4.0, 101);
+        let gpu = gpu_for(&a);
+        let f = LuFactorization::compute(&gpu, &a, &LuOptions::default()).expect("pipeline ok");
+        assert!(residual_probe(&f.preprocessed, &f.lu, 4) < 1e-9, "factors must reconstruct");
+
+        let x_true = vec![1.0; 300];
+        let b = a.spmv(&x_true);
+        let x = f.solve(&b).expect("solve ok");
+        assert!(check_solution(&a, &x, &b, 1e-8), "A x = b must hold in original ordering");
+    }
+
+    #[test]
+    fn all_symbolic_engines_agree() {
+        let a = random_dominant(200, 4.0, 102);
+        let mut factors = Vec::new();
+        for engine in [
+            SymbolicEngine::Ooc,
+            SymbolicEngine::OocDynamic,
+            SymbolicEngine::UmNoPrefetch,
+            SymbolicEngine::UmPrefetch,
+        ] {
+            let gpu = gpu_for(&a);
+            let opts = LuOptions { symbolic: engine, ..Default::default() };
+            let f = LuFactorization::compute(&gpu, &a, &opts).expect("pipeline ok");
+            factors.push(f.lu);
+        }
+        for other in &factors[1..] {
+            assert_eq!(factors[0].vals, other.vals, "engines must agree bitwise");
+        }
+    }
+
+    #[test]
+    fn dense_and_sparse_formats_agree() {
+        let a = banded_dominant(250, 4, 103);
+        let mut results = Vec::new();
+        for format in [NumericFormat::Dense, NumericFormat::Sparse] {
+            let gpu = gpu_for(&a);
+            let opts = LuOptions { format, ..Default::default() };
+            let f = LuFactorization::compute(&gpu, &a, &opts).expect("pipeline ok");
+            results.push(f);
+        }
+        assert_eq!(results[0].lu.vals, results[1].lu.vals);
+        assert!(results[0].report.m_limit.is_some());
+        assert!(results[1].report.m_limit.is_none());
+        assert!(results[1].report.probes > 0);
+    }
+
+    #[test]
+    fn report_is_populated() {
+        let a = random_dominant(400, 4.0, 104);
+        let gpu = gpu_for(&a);
+        let f = LuFactorization::compute(&gpu, &a, &LuOptions::default()).expect("ok");
+        let r = &f.report;
+        assert!(r.symbolic.as_ns() > 0.0);
+        assert!(r.levelize.as_ns() > 0.0);
+        assert!(r.numeric.as_ns() > 0.0);
+        assert!(r.fill_nnz >= a.nnz());
+        assert!(r.n_levels >= 1);
+        assert!(r.symbolic_iterations >= 1);
+        assert!(r.total() >= r.gpu_total());
+    }
+
+    #[test]
+    fn refinement_tightens_the_residual() {
+        let a = random_dominant(300, 4.0, 107);
+        let gpu = gpu_for(&a);
+        let f = LuFactorization::compute(&gpu, &a, &LuOptions::default()).expect("ok");
+        let x_true: Vec<f64> = (0..300).map(|i| ((i * 7919) % 13) as f64 - 6.0).collect();
+        let b = a.spmv(&x_true);
+        let plain = f.solve(&b).expect("solve");
+        let refined = f.solve_refined(&b, 2).expect("refined");
+        let resid = |x: &[f64]| {
+            a.spmv(x).iter().zip(&b).map(|(p, q)| (p - q).abs()).fold(0.0f64, f64::max)
+        };
+        assert!(
+            resid(&refined) <= resid(&plain) * 1.0001,
+            "refinement must not worsen the residual"
+        );
+        assert!(check_solution(&a, &refined, &b, 1e-10));
+    }
+
+    #[test]
+    fn gpu_solve_matches_host_solve() {
+        let a = random_dominant(250, 4.0, 106);
+        let gpu = gpu_for(&a);
+        let f = LuFactorization::compute(&gpu, &a, &LuOptions::default()).expect("ok");
+        let b = a.spmv(&vec![2.0; 250]);
+        let host = f.solve(&b).expect("host solve");
+        let plan = f.solve_plan();
+        let (x, t) = f.solve_on_gpu(&gpu, &plan, &b).expect("gpu solve");
+        assert!(t.as_ns() > 0.0);
+        for (k, (h, g)) in host.iter().zip(&x).enumerate() {
+            assert!((h - g).abs() < 1e-9, "x[{k}]: {h} vs {g}");
+        }
+        assert!(check_solution(&a, &x, &b, 1e-8));
+    }
+
+    #[test]
+    fn rejects_wrong_rhs_length() {
+        let a = random_dominant(50, 3.0, 105);
+        let gpu = gpu_for(&a);
+        let f = LuFactorization::compute(&gpu, &a, &LuOptions::default()).expect("ok");
+        assert!(matches!(f.solve(&vec![0.0; 49]), Err(GpluError::Input(_))));
+    }
+
+    #[test]
+    fn repaired_planar_matrix_pipeline() {
+        use gplu_sparse::gen::planar::{planar, PlanarParams};
+        let a = planar(&PlanarParams {
+            side: 16,
+            tri_prob: 0.4,
+            missing_diag_fraction: 0.4,
+            seed: 9,
+        });
+        let gpu = gpu_for(&a);
+        let f = LuFactorization::compute(&gpu, &a, &LuOptions::default()).expect("ok");
+        assert!(f.report.repaired_diagonals > 0);
+        assert!(residual_probe(&f.preprocessed, &f.lu, 3) < 1e-9);
+    }
+}

@@ -1,0 +1,94 @@
+//! Per-phase timing and accounting — what the paper's Figures 4–6 break
+//! their bars into.
+
+use gplu_sim::SimTime;
+
+/// Timing and accounting of one end-to-end factorization.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseReport {
+    /// Host-side pre-processing (ordering + diagonal repair).
+    pub preprocess: SimTime,
+    /// Symbolic factorization phase.
+    pub symbolic: SimTime,
+    /// Levelization (scheduling) phase.
+    pub levelize: SimTime,
+    /// Numeric factorization phase.
+    pub numeric: SimTime,
+
+    /// Fill-ins discovered (new nonzeros beyond the input pattern).
+    pub new_fill_ins: usize,
+    /// Nonzeros of the filled matrix.
+    pub fill_nnz: usize,
+    /// Out-of-core chunk size used by symbolic (0 when not chunked).
+    pub chunk_size: usize,
+    /// Out-of-core iterations run by symbolic.
+    pub symbolic_iterations: usize,
+    /// Unified-memory fault groups raised during symbolic (UM engines).
+    pub fault_groups: u64,
+    /// Levels in the schedule.
+    pub n_levels: usize,
+    /// Widest level.
+    pub max_level_width: usize,
+    /// Numeric kernel mode mix (levels typed A/B/C).
+    pub mode_mix: (usize, usize, usize),
+    /// Dense-format concurrency limit `M`, when the dense engine ran.
+    pub m_limit: Option<usize>,
+    /// Binary-search probes, when the sparse engine ran.
+    pub probes: u64,
+    /// Diagonal entries repaired during pre-processing.
+    pub repaired_diagonals: usize,
+}
+
+impl PhaseReport {
+    /// Total factorization time (the end-to-end bar of Figure 4).
+    pub fn total(&self) -> SimTime {
+        self.preprocess + self.symbolic + self.levelize + self.numeric
+    }
+
+    /// GPU-side total (symbolic + levelize + numeric), the quantity the
+    /// normalized figures compare.
+    pub fn gpu_total(&self) -> SimTime {
+        self.symbolic + self.levelize + self.numeric
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "pre {} | sym {} ({} iters, chunk {}) | lvl {} ({} levels) | num {} | fill {} (+{})",
+            self.preprocess,
+            self.symbolic,
+            self.symbolic_iterations,
+            self.chunk_size,
+            self.levelize,
+            self.n_levels,
+            self.numeric,
+            self.fill_nnz,
+            self.new_fill_ins,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_add_up() {
+        let r = PhaseReport {
+            preprocess: SimTime::from_us(1.0),
+            symbolic: SimTime::from_us(2.0),
+            levelize: SimTime::from_us(3.0),
+            numeric: SimTime::from_us(4.0),
+            ..Default::default()
+        };
+        assert!((r.total().as_ns() - 10_000.0).abs() < 1e-9);
+        assert!((r.gpu_total().as_ns() - 9_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_mentions_phases() {
+        let r = PhaseReport { fill_nnz: 42, ..Default::default() };
+        let s = r.summary();
+        assert!(s.contains("sym") && s.contains("num") && s.contains("42"));
+    }
+}

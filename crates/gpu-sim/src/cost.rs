@@ -1,0 +1,175 @@
+//! The frozen cost-model constants.
+//!
+//! Each constant carries its provenance. They were chosen from published
+//! V100/Xeon characteristics, then frozen; DESIGN.md §6 explains the
+//! calibration policy (tune once so relative results land in the paper's
+//! bands, then never touch again per-experiment).
+
+use serde::{Deserialize, Serialize};
+
+/// Cost constants for pricing simulated execution.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CostModel {
+    // ---- kernel launches -------------------------------------------------
+    /// Host-side kernel launch + sync overhead. CUDA launch latency is
+    /// ~3–10 µs through the runtime API; the paper's out-of-core loop pays
+    /// this once per chunk iteration.
+    pub host_launch_ns: f64,
+    /// Device-side (dynamic parallelism) launch overhead, the advantage the
+    /// paper's Algorithm 5 exploits; measured at a few hundred ns on Volta.
+    pub device_launch_ns: f64,
+
+    // ---- on-device execution --------------------------------------------
+    /// Per-item cost of a block-parallel step once the block's threads are
+    /// saturated (irregular, memory-latency-amortised work like adjacency
+    /// scans): ~0.25 ns/edge for an SM-resident block.
+    pub block_item_ns: f64,
+    /// Per-item cost of *structured* numeric work (the multiply–add
+    /// streams of the factorization kernels): coalesced and
+    /// pipeline-saturated, an order of magnitude cheaper than the
+    /// irregular traversal items above.
+    pub flop_item_ns: f64,
+    /// Fixed cost of one intra-block step (barrier + frontier bookkeeping);
+    /// dominates when frontiers are tiny, which is what makes sparse
+    /// matrices GPU-unfriendly (paper §4.2).
+    pub block_step_ns: f64,
+    /// Device-memory bandwidth: V100 HBM2 ≈ 900 GB/s ⇒ 0.00111 ns/byte.
+    pub hbm_ns_per_byte: f64,
+
+    // ---- host <-> device ------------------------------------------------
+    /// PCIe 3.0 x16 effective bandwidth ≈ 12 GB/s ⇒ 0.0833 ns/byte.
+    pub pcie_ns_per_byte: f64,
+    /// Fixed per-transfer latency (driver + DMA setup), ~10 µs.
+    pub pcie_latency_ns: f64,
+
+    // ---- unified memory ---------------------------------------------------
+    /// Fault-group migration block of the UM manager. Volta's UVM tree
+    /// prefetcher escalates per-fault migration up to 2 MiB, and the
+    /// paper's Table 3 group counts divide its intermediate-state
+    /// footprint at almost exactly that granularity (≈1.8 MiB/group).
+    pub um_page_bytes: u64,
+    /// Service time per GPU page-fault *group* (fault handling +
+    /// population of one block): 20–45 µs in published UVM studies; we
+    /// price 25 µs per 2 MiB block.
+    pub um_fault_group_ns: f64,
+    /// Pages (blocks) per counted fault group; 1 — the block *is* the
+    /// group.
+    pub um_fault_group_pages: u64,
+
+    // ---- CPU baseline -----------------------------------------------------
+    /// Per-item cost of irregular pointer-chasing work on one Xeon core
+    /// (cache-missing adjacency scans on a 2013 Ivy Bridge): ~7 ns.
+    pub cpu_item_ns: f64,
+    /// Threads of the baseline host (paper: 14 cores × 2 HT = 28).
+    pub cpu_threads: usize,
+    /// Parallel efficiency of the CPU baseline (memory-bandwidth ceiling
+    /// keeps 28 threads from scaling linearly).
+    pub cpu_efficiency: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            host_launch_ns: 5_000.0,
+            device_launch_ns: 600.0,
+            block_item_ns: 0.25,
+            flop_item_ns: 0.15,
+            block_step_ns: 50.0,
+            hbm_ns_per_byte: 1.0 / 900.0e9 * 1e9,
+            pcie_ns_per_byte: 1.0 / 12.0e9 * 1e9,
+            pcie_latency_ns: 10_000.0,
+            um_page_bytes: 2 * 1024 * 1024,
+            um_fault_group_ns: 25_000.0,
+            um_fault_group_pages: 1,
+            cpu_item_ns: 7.0,
+            cpu_threads: 28,
+            cpu_efficiency: 0.42,
+        }
+    }
+}
+
+impl CostModel {
+    /// Effective CPU parallel throughput divisor: `threads × efficiency`.
+    pub fn cpu_parallel_speedup(&self) -> f64 {
+        self.cpu_threads as f64 * self.cpu_efficiency
+    }
+
+    /// Time for `items` of irregular work on the parallel CPU baseline.
+    pub fn cpu_parallel_ns(&self, items: u64) -> f64 {
+        items as f64 * self.cpu_item_ns / self.cpu_parallel_speedup()
+    }
+
+    /// Time for an explicit PCIe transfer of `bytes`.
+    pub fn pcie_transfer_ns(&self, bytes: u64) -> f64 {
+        self.pcie_latency_ns + bytes as f64 * self.pcie_ns_per_byte
+    }
+
+    /// Scales the *fixed latencies* (kernel-launch overheads and the PCIe
+    /// setup latency) down by `scale`, for experiments on matrices scaled
+    /// down by the same factor.
+    ///
+    /// Rationale: per-item (throughput) costs shrink automatically with
+    /// problem size, but launch counts are scale-invariant by design (the
+    /// out-of-core profile preserves the iteration count, levelization
+    /// preserves the level count). Left unscaled, fixed latencies would
+    /// dominate the scaled runs and invert every GPU-vs-CPU comparison
+    /// that holds at paper scale. Dividing them by the matrix scale
+    /// restores the paper's fixed-to-throughput cost ratio (DESIGN.md §6).
+    pub fn scaled_latencies(mut self, scale: usize) -> Self {
+        let s = scale.max(1) as f64;
+        self.host_launch_ns /= s;
+        self.device_launch_ns /= s;
+        self.pcie_latency_ns /= s;
+        self
+    }
+
+    /// Switches the unified-memory page granularity while keeping the
+    /// fault-service cost *per byte* invariant (the service time scales
+    /// with the page size). Scaled-down experiments use finer pages so the
+    /// paging behaviour keeps its resolution at small footprints; because
+    /// per-byte overhead is preserved, fault-time *fractions* (Table 3's
+    /// metric) are unaffected by the choice.
+    pub fn with_um_page_bytes(mut self, bytes: u64) -> Self {
+        let bytes = bytes.max(256);
+        self.um_fault_group_ns *= bytes as f64 / self.um_page_bytes as f64;
+        self.um_page_bytes = bytes;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_physical() {
+        let c = CostModel::default();
+        // HBM must be far faster than PCIe.
+        assert!(c.hbm_ns_per_byte < c.pcie_ns_per_byte / 10.0);
+        // Dynamic parallelism must beat host launches (the Alg. 5 premise).
+        assert!(c.device_launch_ns < c.host_launch_ns / 2.0);
+        // Fault service per byte sits below PCIe per byte (populating a
+        // block is cheaper than transferring it) but is far from free —
+        // the Table 3 tax on on-demand paging of device-created scratch.
+        let service_per_byte = c.um_fault_group_ns / c.um_page_bytes as f64;
+        assert!(service_per_byte < c.pcie_ns_per_byte);
+        assert!(service_per_byte > c.pcie_ns_per_byte / 20.0);
+    }
+
+    #[test]
+    fn cpu_parallel_math() {
+        let c = CostModel::default();
+        let single = 1_000_000.0 * c.cpu_item_ns;
+        let par = c.cpu_parallel_ns(1_000_000);
+        assert!(par < single / 10.0, "28 threads must give >10x");
+        assert!(par > single / 28.0, "but not superlinear");
+    }
+
+    #[test]
+    fn pcie_transfer_includes_latency() {
+        let c = CostModel::default();
+        assert!(c.pcie_transfer_ns(0) == c.pcie_latency_ns);
+        let big = c.pcie_transfer_ns(12_000_000_000);
+        assert!((big - (c.pcie_latency_ns + 1e9)).abs() / big < 1e-6, "12 GB ≈ 1 s");
+    }
+}

@@ -1,0 +1,502 @@
+//! The simulated GPU and its launch machinery.
+
+use crate::clock::SimTime;
+use crate::config::GpuConfig;
+use crate::cost::CostModel;
+use crate::error::SimError;
+use crate::kernel::{BlockCtx, Kernel};
+use crate::memory::DeviceMemory;
+use crate::stats::GpuStatsSnapshot;
+use crate::unified::UmSpace;
+use parking_lot::Mutex;
+use rayon::prelude::*;
+use std::collections::BinaryHeap;
+use std::cmp::Reverse;
+
+/// Where a launch originates: from the host (CUDA runtime API) or from
+/// device code via *dynamic parallelism* (the paper's Algorithm 5). The
+/// only difference is the launch overhead — exactly the saving the paper
+/// claims for its GPU topological sort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaunchKind {
+    /// Host-side launch (runtime-API latency).
+    Host,
+    /// Device-side child launch (dynamic parallelism).
+    Device,
+}
+
+/// How to *functionally* execute the blocks of a kernel.
+///
+/// Pricing is identical either way; `Seq` exists so kernels whose
+/// unified-memory paging behaviour must be deterministic (the UM baselines
+/// feeding Table 3) replay blocks in a fixed order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Exec {
+    /// Blocks run on the rayon pool (fast wall-clock, default).
+    Par,
+    /// Blocks run sequentially in block-id order (deterministic paging).
+    Seq,
+}
+
+/// Outcome of one kernel launch.
+#[derive(Debug, Clone)]
+pub struct KernelReport {
+    /// Kernel name (diagnostics).
+    pub name: String,
+    /// Number of blocks launched.
+    pub grid: usize,
+    /// Simulated end-to-end kernel time (incl. launch overhead).
+    pub time: SimTime,
+    /// Wave-scheduled compute makespan.
+    pub compute: SimTime,
+    /// HBM bandwidth bound over the kernel's total traffic.
+    pub bandwidth: SimTime,
+    /// Serialized unified-memory fault service time.
+    pub fault: SimTime,
+    /// Unified-memory fault groups raised.
+    pub fault_groups: u64,
+    /// Concurrency the wave scheduler used.
+    pub concurrency: usize,
+}
+
+#[derive(Debug, Default)]
+struct GpuState {
+    now_ns: f64,
+    kernels_host: u64,
+    kernels_device: u64,
+    kernel_time_ns: f64,
+    fault_time_ns: f64,
+    fault_groups: u64,
+    h2d_bytes: u64,
+    d2h_bytes: u64,
+    xfer_time_ns: f64,
+    prefetch_time_ns: f64,
+}
+
+/// A simulated GPU: configuration, cost model, device memory, unified
+/// memory and a monotone clock.
+#[derive(Debug)]
+pub struct Gpu {
+    cfg: GpuConfig,
+    cost: CostModel,
+    /// Device-memory allocator (out-of-core decisions key off this).
+    pub mem: DeviceMemory,
+    /// Unified-memory space.
+    pub um: UmSpace,
+    state: Mutex<GpuState>,
+}
+
+impl Gpu {
+    /// Creates a GPU from a configuration with the default cost model.
+    pub fn new(cfg: GpuConfig) -> Self {
+        Gpu::with_cost(cfg, CostModel::default())
+    }
+
+    /// Creates a GPU with an explicit cost model.
+    pub fn with_cost(cfg: GpuConfig, cost: CostModel) -> Self {
+        let mem = DeviceMemory::new(cfg.device_memory);
+        let um = UmSpace::new(&cost, cfg.device_memory);
+        Gpu { cfg, cost, mem, um, state: Mutex::new(GpuState::default()) }
+    }
+
+    /// Device configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    /// Cost model.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        SimTime::from_ns(self.state.lock().now_ns)
+    }
+
+    /// Advances the clock by host-side work priced externally (e.g. the
+    /// CPU share of a hybrid phase).
+    pub fn advance(&self, t: SimTime) {
+        self.state.lock().now_ns += t.as_ns();
+    }
+
+    /// Explicit host→device transfer of `bytes`.
+    pub fn h2d(&self, bytes: u64) -> SimTime {
+        let t = SimTime::from_ns(self.cost.pcie_transfer_ns(bytes));
+        let mut s = self.state.lock();
+        s.h2d_bytes += bytes;
+        s.xfer_time_ns += t.as_ns();
+        s.now_ns += t.as_ns();
+        t
+    }
+
+    /// Explicit device→host transfer of `bytes`.
+    pub fn d2h(&self, bytes: u64) -> SimTime {
+        let t = SimTime::from_ns(self.cost.pcie_transfer_ns(bytes));
+        let mut s = self.state.lock();
+        s.d2h_bytes += bytes;
+        s.xfer_time_ns += t.as_ns();
+        s.now_ns += t.as_ns();
+        t
+    }
+
+    /// Unified-memory prefetch of a byte range (bulk PCIe move, no fault
+    /// penalty) — `cudaMemPrefetchAsync`. Host-backed and materialised
+    /// pages are charged at PCIe rate; populating fresh device scratch is
+    /// free.
+    pub fn um_prefetch(&self, alloc: &crate::unified::UmAlloc, offset: u64, len: u64) -> SimTime {
+        let bytes = self.um.prefetch(alloc, offset, len);
+        let t = if bytes == 0 {
+            SimTime::ZERO
+        } else {
+            SimTime::from_ns(self.cost.pcie_transfer_ns(bytes))
+        };
+        let mut s = self.state.lock();
+        s.prefetch_time_ns += t.as_ns();
+        s.now_ns += t.as_ns();
+        t
+    }
+
+    /// Launches a kernel from the host. See [`Gpu::launch_with`].
+    pub fn launch<K: Kernel>(
+        &self,
+        name: &str,
+        grid: usize,
+        threads_per_block: usize,
+        kernel: &K,
+    ) -> Result<KernelReport, SimError> {
+        self.launch_with(name, grid, threads_per_block, LaunchKind::Host, Exec::Par, kernel)
+    }
+
+    /// Launches a child kernel from device code (dynamic parallelism).
+    pub fn launch_device<K: Kernel>(
+        &self,
+        name: &str,
+        grid: usize,
+        threads_per_block: usize,
+        kernel: &K,
+    ) -> Result<KernelReport, SimError> {
+        self.launch_with(name, grid, threads_per_block, LaunchKind::Device, Exec::Par, kernel)
+    }
+
+    /// Launches a kernel whose concurrency is additionally capped at `cap`
+    /// blocks — the dense-format numeric kernel's `M = L/(n·sizeof)` limit
+    /// from the paper's Section 3.4 (each concurrent block owns an `O(n)`
+    /// dense column buffer, so fewer than `TB_max` blocks can be resident).
+    pub fn launch_capped<K: Kernel>(
+        &self,
+        name: &str,
+        grid: usize,
+        threads_per_block: usize,
+        cap: usize,
+        kernel: &K,
+    ) -> Result<KernelReport, SimError> {
+        self.launch_inner(name, grid, threads_per_block, LaunchKind::Host, Exec::Par, Some(cap), kernel)
+    }
+
+    /// Full-control launch.
+    ///
+    /// Functionally executes `kernel` for every block id in `0..grid`
+    /// (in parallel unless `exec` is [`Exec::Seq`]), then prices it:
+    ///
+    /// * per-block compute times are wave-scheduled onto
+    ///   `min(grid, TB_max)` concurrent block slots (greedy list
+    ///   scheduling, the standard Graham bound),
+    /// * the kernel cannot beat the HBM bandwidth bound over its total
+    ///   memory traffic,
+    /// * unified-memory fault service is **serialized** across blocks
+    ///   (the GPU fault handler is a global bottleneck — this is what makes
+    ///   on-demand paging slow in the paper's Table 3),
+    /// * plus the launch overhead of `kind`.
+    pub fn launch_with<K: Kernel>(
+        &self,
+        name: &str,
+        grid: usize,
+        threads_per_block: usize,
+        kind: LaunchKind,
+        exec: Exec,
+        kernel: &K,
+    ) -> Result<KernelReport, SimError> {
+        self.launch_inner(name, grid, threads_per_block, kind, exec, None, kernel)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn launch_inner<K: Kernel>(
+        &self,
+        name: &str,
+        grid: usize,
+        threads_per_block: usize,
+        kind: LaunchKind,
+        exec: Exec,
+        cap: Option<usize>,
+        kernel: &K,
+    ) -> Result<KernelReport, SimError> {
+        if threads_per_block == 0 || threads_per_block > self.cfg.max_threads_per_block {
+            return Err(SimError::BadLaunch(format!(
+                "threads_per_block {threads_per_block} outside 1..={}",
+                self.cfg.max_threads_per_block
+            )));
+        }
+        let launch_ns = match kind {
+            LaunchKind::Host => self.cost.host_launch_ns,
+            LaunchKind::Device => self.cost.device_launch_ns,
+        };
+        if grid == 0 {
+            // Empty launch still pays the overhead (matches CUDA).
+            let t = SimTime::from_ns(launch_ns);
+            let mut s = self.state.lock();
+            match kind {
+                LaunchKind::Host => s.kernels_host += 1,
+                LaunchKind::Device => s.kernels_device += 1,
+            }
+            s.now_ns += launch_ns;
+            s.kernel_time_ns += launch_ns;
+            return Ok(KernelReport {
+                name: name.into(),
+                grid: 0,
+                time: t,
+                compute: SimTime::ZERO,
+                bandwidth: SimTime::ZERO,
+                fault: SimTime::ZERO,
+                fault_groups: 0,
+                concurrency: 0,
+            });
+        }
+
+        // Functional execution with per-block accounting.
+        let run_one = |b: usize| {
+            let mut ctx = BlockCtx::new(&self.cost, Some(&self.um), threads_per_block);
+            kernel.run_block(b, &mut ctx);
+            (ctx.compute_ns, ctx.mem_bytes, ctx.fault_ns, ctx.fault_groups)
+        };
+        let per_block: Vec<(f64, u64, f64, u64)> = match exec {
+            Exec::Par => (0..grid).into_par_iter().map(run_one).collect(),
+            Exec::Seq => (0..grid).map(run_one).collect(),
+        };
+
+        let concurrency = grid.min(self.cfg.tb_max).min(cap.unwrap_or(usize::MAX)).max(1);
+        let compute_ns = makespan(per_block.iter().map(|p| p.0), concurrency);
+        let total_bytes: u64 = per_block.iter().map(|p| p.1).sum();
+        let bw_ns = total_bytes as f64 * self.cost.hbm_ns_per_byte;
+        let fault_ns: f64 = per_block.iter().map(|p| p.2).sum();
+        let fault_groups: u64 = per_block.iter().map(|p| p.3).sum();
+
+        let total_ns = launch_ns + compute_ns.max(bw_ns) + fault_ns;
+        let mut s = self.state.lock();
+        match kind {
+            LaunchKind::Host => s.kernels_host += 1,
+            LaunchKind::Device => s.kernels_device += 1,
+        }
+        s.now_ns += total_ns;
+        s.kernel_time_ns += total_ns;
+        s.fault_time_ns += fault_ns;
+        s.fault_groups += fault_groups;
+
+        Ok(KernelReport {
+            name: name.into(),
+            grid,
+            time: SimTime::from_ns(total_ns),
+            compute: SimTime::from_ns(compute_ns),
+            bandwidth: SimTime::from_ns(bw_ns),
+            fault: SimTime::from_ns(fault_ns),
+            fault_groups,
+            concurrency,
+        })
+    }
+
+    /// Statistics snapshot (difference snapshots for phase accounting).
+    pub fn stats(&self) -> GpuStatsSnapshot {
+        let s = self.state.lock();
+        GpuStatsSnapshot {
+            now: SimTime::from_ns(s.now_ns),
+            kernels_host: s.kernels_host,
+            kernels_device: s.kernels_device,
+            kernel_time: SimTime::from_ns(s.kernel_time_ns),
+            fault_time: SimTime::from_ns(s.fault_time_ns),
+            fault_groups: s.fault_groups,
+            h2d_bytes: s.h2d_bytes,
+            d2h_bytes: s.d2h_bytes,
+            xfer_time: SimTime::from_ns(s.xfer_time_ns),
+            prefetch_time: SimTime::from_ns(s.prefetch_time_ns),
+        }
+    }
+}
+
+/// Greedy list-scheduling makespan of `times` on `slots` identical machines
+/// (assign each job in order to the earliest-finishing slot).
+fn makespan<I: Iterator<Item = f64>>(times: I, slots: usize) -> f64 {
+    let mut heap: BinaryHeap<Reverse<u64>> = (0..slots).map(|_| Reverse(0u64)).collect();
+    // f64 times are packed as integer nanoseconds ×1000 for the heap (total
+    // times here are ≥ 0 and far below u64 range).
+    let mut max_finish = 0u64;
+    for t in times {
+        let Reverse(earliest) = heap.pop().expect("slots >= 1");
+        let finish = earliest + (t * 1000.0).round() as u64;
+        max_finish = max_finish.max(finish);
+        heap.push(Reverse(finish));
+    }
+    max_finish as f64 / 1000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gpu() -> Gpu {
+        Gpu::new(GpuConfig::v100())
+    }
+
+    #[test]
+    fn makespan_perfectly_divides_equal_jobs() {
+        let times = vec![10.0; 8];
+        assert!((makespan(times.into_iter(), 4) - 20.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn makespan_bounded_by_longest_job() {
+        let times = vec![100.0, 1.0, 1.0, 1.0];
+        assert!((makespan(times.into_iter(), 4) - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn launch_advances_clock_and_counts() {
+        let g = gpu();
+        let before = g.now();
+        let rep = g
+            .launch("noop", 320, 1024, &|_b: usize, ctx: &mut BlockCtx| {
+                ctx.step(100);
+            })
+            .expect("launch ok");
+        assert!(g.now() > before);
+        assert_eq!(rep.grid, 320);
+        assert_eq!(rep.concurrency, 160, "tb_max caps concurrency");
+        // 320 equal blocks on 160 slots = 2 waves.
+        let one_block = g.cost().block_step_ns + 100.0 * g.cost().block_item_ns;
+        assert!((rep.compute.as_ns() - 2.0 * one_block).abs() < 1.0);
+        assert_eq!(g.stats().kernels_host, 1);
+    }
+
+    #[test]
+    fn device_launch_is_cheaper() {
+        let g = gpu();
+        let h = g.launch("h", 1, 32, &|_b: usize, ctx: &mut BlockCtx| ctx.step(1)).expect("ok");
+        let d = g
+            .launch_device("d", 1, 32, &|_b: usize, ctx: &mut BlockCtx| ctx.step(1))
+            .expect("ok");
+        assert!(d.time < h.time);
+        let s = g.stats();
+        assert_eq!((s.kernels_host, s.kernels_device), (1, 1));
+    }
+
+    #[test]
+    fn empty_launch_still_costs_overhead() {
+        let g = gpu();
+        let rep = g.launch("empty", 0, 32, &|_b: usize, _ctx: &mut BlockCtx| {}).expect("ok");
+        assert!((rep.time.as_ns() - g.cost().host_launch_ns).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bandwidth_bound_kicks_in() {
+        let g = gpu();
+        // One block moving 1 GB: bandwidth time ~1.1 ms dwarfs compute.
+        let rep = g
+            .launch("bw", 1, 1024, &|_b: usize, ctx: &mut BlockCtx| {
+                ctx.mem(1 << 30);
+                ctx.step(1);
+            })
+            .expect("ok");
+        assert!(rep.bandwidth > rep.compute);
+        assert!(rep.time >= rep.bandwidth);
+    }
+
+    #[test]
+    fn rejects_oversized_blocks() {
+        let g = gpu();
+        let err = g.launch("bad", 1, 2048, &|_b: usize, _ctx: &mut BlockCtx| {});
+        assert!(matches!(err, Err(SimError::BadLaunch(_))));
+    }
+
+    #[test]
+    fn um_faults_serialize_into_kernel_time() {
+        let cfg = GpuConfig::v100().with_memory(1 << 20);
+        let cost = crate::CostModel { um_page_bytes: 64 * 1024, ..Default::default() };
+        let g = Gpu::with_cost(cfg, cost);
+        let a = g.um.alloc(512 * 1024);
+        let page = g.um.page_bytes();
+        let rep = g
+            .launch_with(
+                "um",
+                4,
+                1024,
+                LaunchKind::Host,
+                Exec::Seq,
+                &|b: usize, ctx: &mut BlockCtx| {
+                    ctx.um_read(&a, b as u64 * page, page);
+                },
+            )
+            .expect("ok");
+        assert!(rep.fault_groups > 0);
+        assert!(rep.fault.as_ns() > 0.0);
+        assert_eq!(g.stats().fault_groups, rep.fault_groups);
+        g.um.free(a);
+    }
+
+    #[test]
+    fn transfers_accumulate() {
+        let g = gpu();
+        g.h2d(1 << 20);
+        g.d2h(1 << 10);
+        let s = g.stats();
+        assert_eq!(s.h2d_bytes, 1 << 20);
+        assert_eq!(s.d2h_bytes, 1 << 10);
+        assert!(s.xfer_time.as_ns() > 2.0 * g.cost().pcie_latency_ns - 1.0);
+    }
+
+    mod props {
+        use super::super::makespan;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Greedy list scheduling respects the classic bounds:
+            /// max(longest job, total/slots) <= makespan <= total/slots + longest.
+            #[test]
+            fn prop_makespan_bounds(
+                times in proptest::collection::vec(0.0f64..10_000.0, 1..64),
+                slots in 1usize..32,
+            ) {
+                let total: f64 = times.iter().sum();
+                let longest = times.iter().copied().fold(0.0, f64::max);
+                let m = makespan(times.iter().copied(), slots);
+                let lower = longest.max(total / slots as f64);
+                // Quantisation in the heap packs times at 1/1000 ns.
+                prop_assert!(m + 0.01 * times.len() as f64 >= lower - 1e-6);
+                prop_assert!(m <= total / slots as f64 + longest + 0.01 * times.len() as f64);
+            }
+
+            /// One slot serializes exactly.
+            #[test]
+            fn prop_single_slot_is_sum(
+                times in proptest::collection::vec(0.0f64..1_000.0, 1..32),
+            ) {
+                let total: f64 = times.iter().sum();
+                let m = makespan(times.iter().copied(), 1);
+                prop_assert!((m - total).abs() <= 0.001 * times.len() as f64 + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn seq_and_par_price_identically() {
+        // Same kernel priced under both execution modes (no UM involved).
+        let k = |b: usize, ctx: &mut BlockCtx| {
+            ctx.step((b as u64 % 7) * 100);
+        };
+        let g1 = gpu();
+        let g2 = gpu();
+        let r1 = g1.launch_with("k", 64, 256, LaunchKind::Host, Exec::Par, &k).expect("ok");
+        let r2 = g2.launch_with("k", 64, 256, LaunchKind::Host, Exec::Seq, &k).expect("ok");
+        assert!((r1.time.as_ns() - r2.time.as_ns()).abs() < 1e-6);
+    }
+}

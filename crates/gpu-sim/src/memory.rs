@@ -1,0 +1,162 @@
+//! Device-memory allocator.
+//!
+//! Capacity is the whole point: the paper's out-of-core design exists
+//! because the symbolic phase's intermediate state (`c·n` words per
+//! in-flight source row, `c = 6`) does not fit. [`DeviceMemory`] tracks
+//! usage against the configured capacity and **fails allocations that do
+//! not fit**, which is the signal the out-of-core drivers react to. It
+//! also records the high-water mark so experiments can report peak usage.
+
+use crate::error::SimError;
+use parking_lot::Mutex;
+
+/// Handle to a live device allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DeviceAlloc {
+    id: u64,
+    bytes: u64,
+}
+
+impl DeviceAlloc {
+    /// Size of this allocation in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Opaque id (for diagnostics).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+#[derive(Debug, Default)]
+struct MemState {
+    in_use: u64,
+    peak: u64,
+    next_id: u64,
+    live: std::collections::HashMap<u64, u64>,
+}
+
+/// A capacity-tracked device-memory allocator.
+///
+/// Only sizes are tracked — payload data lives in ordinary host `Vec`s held
+/// by the algorithm implementations; see the crate docs for the functional
+/// vs priced split.
+#[derive(Debug)]
+pub struct DeviceMemory {
+    capacity: u64,
+    state: Mutex<MemState>,
+}
+
+impl DeviceMemory {
+    /// Creates an allocator with `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        DeviceMemory { capacity, state: Mutex::new(MemState::default()) }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently free.
+    pub fn free_bytes(&self) -> u64 {
+        self.capacity - self.state.lock().in_use
+    }
+
+    /// Bytes currently allocated.
+    pub fn used_bytes(&self) -> u64 {
+        self.state.lock().in_use
+    }
+
+    /// High-water mark over the allocator's lifetime.
+    pub fn peak_bytes(&self) -> u64 {
+        self.state.lock().peak
+    }
+
+    /// Allocates `bytes`, failing with [`SimError::OutOfMemory`] when the
+    /// request does not fit — the trigger for out-of-core fallback.
+    pub fn alloc(&self, bytes: u64) -> Result<DeviceAlloc, SimError> {
+        let mut s = self.state.lock();
+        if s.in_use + bytes > self.capacity {
+            return Err(SimError::OutOfMemory {
+                requested: bytes,
+                free: self.capacity - s.in_use,
+                capacity: self.capacity,
+            });
+        }
+        s.in_use += bytes;
+        s.peak = s.peak.max(s.in_use);
+        let id = s.next_id;
+        s.next_id += 1;
+        s.live.insert(id, bytes);
+        Ok(DeviceAlloc { id, bytes })
+    }
+
+    /// Frees an allocation. Double frees return [`SimError::InvalidHandle`].
+    pub fn free(&self, alloc: DeviceAlloc) -> Result<(), SimError> {
+        let mut s = self.state.lock();
+        match s.live.remove(&alloc.id) {
+            Some(bytes) => {
+                s.in_use -= bytes;
+                Ok(())
+            }
+            None => Err(SimError::InvalidHandle(alloc.id)),
+        }
+    }
+
+    /// Frees every live allocation (end-of-phase cleanup).
+    pub fn reset(&self) {
+        let mut s = self.state.lock();
+        s.live.clear();
+        s.in_use = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_cycle() {
+        let m = DeviceMemory::new(1000);
+        let a = m.alloc(400).expect("fits");
+        let b = m.alloc(600).expect("fits exactly");
+        assert_eq!(m.free_bytes(), 0);
+        assert!(matches!(m.alloc(1), Err(SimError::OutOfMemory { .. })));
+        m.free(a).expect("live");
+        assert_eq!(m.free_bytes(), 400);
+        m.free(b).expect("live");
+        assert_eq!(m.used_bytes(), 0);
+        assert_eq!(m.peak_bytes(), 1000);
+    }
+
+    #[test]
+    fn double_free_rejected() {
+        let m = DeviceMemory::new(100);
+        let a = m.alloc(10).expect("fits");
+        m.free(a).expect("first free ok");
+        assert!(matches!(m.free(a), Err(SimError::InvalidHandle(_))));
+    }
+
+    #[test]
+    fn oom_reports_sizes() {
+        let m = DeviceMemory::new(100);
+        let _a = m.alloc(90).expect("fits");
+        match m.alloc(20) {
+            Err(SimError::OutOfMemory { requested, free, capacity }) => {
+                assert_eq!((requested, free, capacity), (20, 10, 100));
+            }
+            other => panic!("expected OOM, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let m = DeviceMemory::new(100);
+        let _ = m.alloc(50).expect("fits");
+        m.reset();
+        assert_eq!(m.used_bytes(), 0);
+        assert!(m.alloc(100).is_ok());
+    }
+}

@@ -1,0 +1,110 @@
+//! Aggregate GPU statistics.
+
+use crate::clock::SimTime;
+
+/// Snapshot of everything the simulated GPU has done so far. Experiments
+/// take snapshots at phase boundaries and difference them.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct GpuStatsSnapshot {
+    /// Current simulated clock.
+    pub now: SimTime,
+    /// Host-side kernel launches.
+    pub kernels_host: u64,
+    /// Device-side (dynamic parallelism) kernel launches.
+    pub kernels_device: u64,
+    /// Total time inside kernels.
+    pub kernel_time: SimTime,
+    /// Of which: serialized unified-memory fault service.
+    pub fault_time: SimTime,
+    /// Unified-memory fault groups (Table 3's count).
+    pub fault_groups: u64,
+    /// Host→device bytes moved explicitly.
+    pub h2d_bytes: u64,
+    /// Device→host bytes moved explicitly.
+    pub d2h_bytes: u64,
+    /// Time spent in explicit transfers.
+    pub xfer_time: SimTime,
+    /// Time spent in explicit UM prefetches.
+    pub prefetch_time: SimTime,
+}
+
+impl GpuStatsSnapshot {
+    /// Component-wise difference `self - earlier` (for phase accounting).
+    pub fn since(&self, earlier: &GpuStatsSnapshot) -> GpuStatsSnapshot {
+        GpuStatsSnapshot {
+            now: self.now - earlier.now,
+            kernels_host: self.kernels_host - earlier.kernels_host,
+            kernels_device: self.kernels_device - earlier.kernels_device,
+            kernel_time: self.kernel_time - earlier.kernel_time,
+            fault_time: self.fault_time - earlier.fault_time,
+            fault_groups: self.fault_groups - earlier.fault_groups,
+            h2d_bytes: self.h2d_bytes - earlier.h2d_bytes,
+            d2h_bytes: self.d2h_bytes - earlier.d2h_bytes,
+            xfer_time: self.xfer_time - earlier.xfer_time,
+            prefetch_time: self.prefetch_time - earlier.prefetch_time,
+        }
+    }
+
+    /// Fraction of elapsed time spent servicing page faults — the metric of
+    /// the paper's Table 3 ("pc." columns).
+    pub fn fault_time_fraction(&self) -> f64 {
+        if self.now.as_ns() == 0.0 {
+            0.0
+        } else {
+            self.fault_time.as_ns() / self.now.as_ns()
+        }
+    }
+
+    /// Fraction of elapsed time spent on explicit data movement (the
+    /// out-of-core implementation's analog of fault overhead; Table 3's
+    /// "pc. ooc" column).
+    pub fn xfer_time_fraction(&self) -> f64 {
+        if self.now.as_ns() == 0.0 {
+            0.0
+        } else {
+            self.xfer_time.as_ns() / self.now.as_ns()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn since_subtracts_componentwise() {
+        let early = GpuStatsSnapshot {
+            now: SimTime::from_ns(100.0),
+            kernels_host: 2,
+            fault_groups: 5,
+            ..Default::default()
+        };
+        let late = GpuStatsSnapshot {
+            now: SimTime::from_ns(350.0),
+            kernels_host: 7,
+            fault_groups: 11,
+            ..Default::default()
+        };
+        let d = late.since(&early);
+        assert_eq!(d.now.as_ns(), 250.0);
+        assert_eq!(d.kernels_host, 5);
+        assert_eq!(d.fault_groups, 6);
+    }
+
+    #[test]
+    fn fractions_guard_zero_elapsed() {
+        let z = GpuStatsSnapshot::default();
+        assert_eq!(z.fault_time_fraction(), 0.0);
+        assert_eq!(z.xfer_time_fraction(), 0.0);
+    }
+
+    #[test]
+    fn fault_fraction_math() {
+        let s = GpuStatsSnapshot {
+            now: SimTime::from_us(10.0),
+            fault_time: SimTime::from_us(4.0),
+            ..Default::default()
+        };
+        assert!((s.fault_time_fraction() - 0.4).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,213 @@
+//! Dense-format GPU numeric factorization — the GLU 3.0 discipline the
+//! paper's Section 3.4 starts from, and the baseline of Figure 8.
+//!
+//! Every concurrently active column owns an `O(n)` dense buffer on the
+//! device, giving direct row indexing — but only
+//! `M = L_free / (n · sizeof(dtype))` buffers fit. When a level is wider
+//! than `M`, it is processed in `⌈width/M⌉` sequential batches, each a
+//! separate kernel launch whose concurrency is capped at `M`; every column
+//! additionally pays the buffer traffic (clear + scatter + gather) that
+//! the sparse format avoids. For the huge matrices of Table 4, `M` drops
+//! below `TB_max` and the device runs block-starved — the deficiency the
+//! binary-search CSC format removes.
+
+use crate::modes::{classify_level, launch_shape, LevelType, ModeMix};
+use crate::outcome::{process_column, NumericOutcome};
+use crate::values::ValueStore;
+use gplu_schedule::Levels;
+use gplu_sim::{BlockCtx, Gpu, SimError};
+use gplu_sparse::{Csc, SparseError};
+use parking_lot::Mutex;
+
+/// Factorizes the filled matrix in the dense-column format.
+///
+/// `pattern` must carry the complete fill pattern with `A`'s values (the
+/// symbolic result converted to CSC); `levels` the schedule for its
+/// dependency graph.
+pub fn factorize_gpu_dense(
+    gpu: &Gpu,
+    pattern: &Csc,
+    levels: &Levels,
+) -> Result<NumericOutcome, SimError> {
+    let n = pattern.n_cols();
+    let before = gpu.stats();
+
+    // Resident: the CSC structure + values (float) + level numbers.
+    let csc_bytes = ((n + 1) as u64 + 2 * pattern.nnz() as u64) * 4;
+    let csc_dev = gpu.mem.alloc(csc_bytes)?;
+    gpu.h2d(csc_bytes);
+    let lvl_dev = gpu.mem.alloc(n as u64 * 4)?;
+
+    // The paper's M: how many O(n) dense buffers fit in what remains.
+    let col_bytes = n as u64 * gpu.config().data_bytes;
+    let m_limit = (gpu.mem.free_bytes() / col_bytes) as usize;
+    if m_limit == 0 {
+        return Err(SimError::OutOfMemory {
+            requested: col_bytes,
+            free: gpu.mem.free_bytes(),
+            capacity: gpu.mem.capacity(),
+        });
+    }
+
+    let vals = ValueStore::new(&pattern.vals);
+    let mut mix = ModeMix::default();
+    let mut batches = 0u64;
+    let error: Mutex<Option<SparseError>> = Mutex::new(None);
+
+    for cols in &levels.groups {
+        let t = classify_level(pattern, cols);
+        match t {
+            LevelType::A => mix.a += 1,
+            LevelType::B => mix.b += 1,
+            LevelType::C => mix.c += 1,
+        }
+        let (threads, stripes) = launch_shape(t);
+        // Level split into batches of at most M concurrent dense buffers.
+        for batch in cols.chunks(m_limit.max(1)) {
+            batches += 1;
+            let buffers = gpu.mem.alloc(batch.len() as u64 * col_bytes)?;
+            gpu.launch_capped("numeric_dense", batch.len() * stripes, threads, m_limit, &|b: usize,
+                   ctx: &mut BlockCtx| {
+                let col = batch[b / stripes] as usize;
+                let stripe = b % stripes;
+                // Each column's work (updates + scatter/gather + the O(n)
+                // dense-buffer traffic the paper charges per column) is
+                // split across its cooperating stripes; stripe 0 performs
+                // the functional arithmetic, co-stripes charge their share
+                // of the cost from the structure alone. Right-looking
+                // execution has no per-target dependency chain, so a
+                // column costs a few block-wide steps plus its share of
+                // the (structured, flop-rate) update stream.
+                let (_deps, items) = crate::outcome::column_cost_estimate(pattern, col);
+                let nnz_col =
+                    (pattern.col_ptr[col + 1] - pattern.col_ptr[col]) as u64;
+                // Structured update stream at the flop rate…
+                ctx.bulk_flops(3, (items + 2 * nnz_col) / stripes as u64);
+                // …plus the O(n) dense-buffer traffic (clear + scatter +
+                // gather of an `n`-length vector): uncoalesced
+                // read-modify-write, charged at the irregular rate — the
+                // per-column tax the sparse format avoids entirely.
+                ctx.work(4 * n as u64 / stripes as u64);
+                ctx.mem((items * 8 + 4 * n as u64) / stripes as u64);
+                if stripe == 0 {
+                    if let Err(e) = process_column(pattern, &vals, col, false) {
+                        error.lock().get_or_insert(e);
+                    }
+                }
+            })?;
+            gpu.mem.free(buffers)?;
+        }
+        if let Some(e) = error.lock().take() {
+            return Err(SimError::BadLaunch(format!("numeric failure: {e}")));
+        }
+    }
+
+    gpu.mem.free(lvl_dev)?;
+    gpu.d2h(pattern.nnz() as u64 * 4); // factored values back to host
+    gpu.mem.free(csc_dev)?;
+
+    let lu = Csc::from_parts_unchecked(
+        pattern.n_rows(),
+        n,
+        pattern.col_ptr.clone(),
+        pattern.row_idx.clone(),
+        vals.into_vec(),
+    );
+    let stats = gpu.stats().since(&before);
+    Ok(NumericOutcome {
+        lu,
+        time: stats.now,
+        stats,
+        mode_mix: mix,
+        m_limit: Some(m_limit),
+        batches,
+        probes: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gplu_sim::{CostModel, GpuConfig};
+    use gplu_schedule::{levelize_cpu, DepGraph};
+    use gplu_sparse::convert::csr_to_csc;
+    use gplu_sparse::gen::random::random_dominant;
+    use gplu_sparse::verify::residual_probe;
+    use gplu_symbolic::symbolic_cpu;
+
+    fn setup(a: &gplu_sparse::Csr) -> (Csc, Levels) {
+        let sym = symbolic_cpu(a, &CostModel::default());
+        let g = DepGraph::build(&sym.result.filled);
+        let levels = levelize_cpu(&g, &CostModel::default()).levels;
+        (csr_to_csc(&sym.result.filled), levels)
+    }
+
+    #[test]
+    fn matches_sequential_factorization() {
+        let a = random_dominant(80, 4.0, 71);
+        let (pattern, levels) = setup(&a);
+        let gpu = Gpu::new(GpuConfig::v100());
+        let out = factorize_gpu_dense(&gpu, &pattern, &levels).expect("factorizes");
+
+        let mut seq = pattern.clone();
+        crate::seq::factorize_seq(&mut seq).expect("seq ok");
+        for (k, (&want, &got)) in seq.vals.iter().zip(&out.lu.vals).enumerate() {
+            assert!((want - got).abs() < 1e-12, "value {k}: {want} vs {got}");
+        }
+        assert!(residual_probe(&a, &out.lu, 3) < 1e-10);
+    }
+
+    #[test]
+    fn m_limit_caps_concurrency_and_batches() {
+        // Random sparsity ⇒ wide levels (hundreds of independent columns),
+        // so a single-digit M must split them into many batches.
+        let a = random_dominant(256, 3.0, 72);
+        let (pattern, levels) = setup(&a);
+        // Tiny device: CSC + levels + ~8 dense buffers.
+        let csc_bytes = ((256 + 1) as u64 + 2 * pattern.nnz() as u64) * 4;
+        let mem = csc_bytes + 256 * 4 + 8 * 256 * 4 + 512;
+        let gpu = Gpu::new(GpuConfig::v100().with_memory(mem));
+        let out = factorize_gpu_dense(&gpu, &pattern, &levels).expect("factorizes");
+        let m = out.m_limit.expect("dense reports M");
+        assert!(m <= 9, "M should be ~8, got {m}");
+        assert!(
+            out.batches as usize > levels.n_levels(),
+            "narrow M must split wide levels into batches"
+        );
+    }
+
+    #[test]
+    fn block_starved_device_is_slower() {
+        let a = random_dominant(512, 4.0, 73);
+        let (pattern, levels) = setup(&a);
+        let roomy = Gpu::new(GpuConfig::v100());
+        let fast = factorize_gpu_dense(&roomy, &pattern, &levels).expect("ok");
+        let csc_bytes = ((512 + 1) as u64 + 2 * pattern.nnz() as u64) * 4;
+        let tight = Gpu::new(GpuConfig::v100().with_memory(csc_bytes + 512 * 4 + 4 * 512 * 4 + 512));
+        let slow = factorize_gpu_dense(&tight, &pattern, &levels).expect("ok");
+        assert!(slow.time > fast.time, "M-starvation must cost time");
+    }
+
+    #[test]
+    fn frees_device_memory() {
+        let a = random_dominant(64, 3.0, 74);
+        let (pattern, levels) = setup(&a);
+        let gpu = Gpu::new(GpuConfig::v100());
+        factorize_gpu_dense(&gpu, &pattern, &levels).expect("ok");
+        assert_eq!(gpu.mem.used_bytes(), 0);
+    }
+
+    #[test]
+    fn zero_pivot_surfaces_as_error() {
+        let mut coo = gplu_sparse::Coo::new(2, 2);
+        for i in 0..2 {
+            for j in 0..2 {
+                coo.push(i, j, 1.0);
+            }
+        }
+        let a = gplu_sparse::convert::coo_to_csr(&coo);
+        let (pattern, levels) = setup(&a);
+        let gpu = Gpu::new(GpuConfig::v100());
+        assert!(factorize_gpu_dense(&gpu, &pattern, &levels).is_err());
+    }
+}

@@ -1,0 +1,164 @@
+//! Level-type classification — GLU 3.0's three kernel modes (paper
+//! Section 2.2).
+//!
+//! Parallelism changes shape across the level schedule:
+//! * **Type A** (early levels): many independent columns, few updates
+//!   each — a thread block per column with a warp per update source,
+//! * **Type B** (transition): many columns *and* many updates — a full
+//!   1024-thread block per column,
+//! * **Type C** (late levels): a handful of columns with huge update
+//!   lists — the whole device cooperates on each column, striping its
+//!   update rows across many blocks.
+
+use gplu_schedule::Levels;
+use gplu_sparse::Csc;
+
+/// The three GLU 3.0 kernel modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LevelType {
+    /// Many columns, few sub-columns: block per column, warp-grained.
+    A,
+    /// Transitional: block per column, all threads on the update lists.
+    B,
+    /// Few columns, many sub-columns: multiple blocks cooperate per
+    /// column.
+    C,
+}
+
+/// Column count below which a level is "narrow" (type C candidate).
+pub const NARROW_LEVEL: usize = 32;
+/// Average update-source count above which columns are "heavy".
+pub const HEAVY_DEPS: f64 = 24.0;
+
+/// Classifies one level given the filled matrix and its columns.
+///
+/// The decision mirrors GLU 3.0: early levels have many columns whose
+/// dependency lists are short (A); late levels have few, heavy columns
+/// (C); everything in between is B.
+pub fn classify_level(lu: &Csc, columns: &[gplu_sparse::Idx]) -> LevelType {
+    if columns.is_empty() {
+        return LevelType::A;
+    }
+    let total_deps: u64 = columns
+        .iter()
+        .map(|&j| {
+            let j = j as usize;
+            // Dependencies = entries above the diagonal of column j.
+            let (start, _) = (lu.col_ptr[j], lu.col_ptr[j + 1]);
+            let below = lu.lower_bound_after(j, j);
+            (below - start).saturating_sub(0) as u64
+        })
+        .sum();
+    let avg_deps = total_deps as f64 / columns.len() as f64;
+    if columns.len() < NARROW_LEVEL && avg_deps >= HEAVY_DEPS {
+        LevelType::C
+    } else if avg_deps < HEAVY_DEPS {
+        LevelType::A
+    } else {
+        LevelType::B
+    }
+}
+
+/// Thread-block shape for a level type: `(threads_per_block, stripes)`.
+/// `stripes` is the number of blocks cooperating on one column (type C's
+/// row-striping); 1 otherwise.
+pub fn launch_shape(t: LevelType) -> (usize, usize) {
+    match t {
+        LevelType::A => (256, 1),
+        LevelType::B => (1024, 1),
+        LevelType::C => (1024, 64),
+    }
+}
+
+/// Statistics of a schedule's level types (for reports).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ModeMix {
+    /// Levels classified A.
+    pub a: usize,
+    /// Levels classified B.
+    pub b: usize,
+    /// Levels classified C.
+    pub c: usize,
+}
+
+/// Classifies every level of a schedule.
+pub fn classify_schedule(lu: &Csc, levels: &Levels) -> (Vec<LevelType>, ModeMix) {
+    let mut mix = ModeMix::default();
+    let types: Vec<LevelType> = levels
+        .groups
+        .iter()
+        .map(|cols| {
+            let t = classify_level(lu, cols);
+            match t {
+                LevelType::A => mix.a += 1,
+                LevelType::B => mix.b += 1,
+                LevelType::C => mix.c += 1,
+            }
+            t
+        })
+        .collect();
+    (types, mix)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gplu_sparse::convert::coo_to_csc;
+    use gplu_sparse::Coo;
+
+    /// Column with `deps` entries above the diagonal at column `j = deps`.
+    fn column_with_deps(n: usize, deps: usize) -> Csc {
+        let mut coo = Coo::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 1.0);
+        }
+        for t in 0..deps {
+            coo.push(t, deps, 1.0);
+        }
+        coo_to_csc(&coo)
+    }
+
+    #[test]
+    fn wide_light_level_is_type_a() {
+        let lu = column_with_deps(64, 2);
+        let cols: Vec<_> = (0..64u32).collect();
+        assert_eq!(classify_level(&lu, &cols), LevelType::A);
+    }
+
+    #[test]
+    fn narrow_heavy_level_is_type_c() {
+        let lu = column_with_deps(64, 40);
+        assert_eq!(classify_level(&lu, &[40]), LevelType::C);
+    }
+
+    #[test]
+    fn wide_heavy_level_is_type_b() {
+        // Many columns, all heavy: craft 40 columns each with 30 deps.
+        let n = 80;
+        let mut coo = Coo::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 1.0);
+        }
+        for j in 40..n {
+            for t in 0..30 {
+                coo.push(t, j, 1.0);
+            }
+        }
+        let lu = coo_to_csc(&coo);
+        let cols: Vec<_> = (40..80u32).collect();
+        assert_eq!(classify_level(&lu, &cols), LevelType::B);
+    }
+
+    #[test]
+    fn shapes_are_sane() {
+        assert_eq!(launch_shape(LevelType::A).1, 1);
+        assert_eq!(launch_shape(LevelType::C).1, 64);
+        assert!(launch_shape(LevelType::A).0 < launch_shape(LevelType::B).0);
+    }
+
+    #[test]
+    fn empty_level_defaults_a() {
+        let lu = column_with_deps(4, 1);
+        assert_eq!(classify_level(&lu, &[]), LevelType::A);
+    }
+}

@@ -1,0 +1,218 @@
+//! Shared outcome type and the per-column functional kernel core.
+
+use crate::modes::ModeMix;
+use crate::values::ValueStore;
+use gplu_sim::{GpuStatsSnapshot, SimTime};
+use gplu_sparse::{Csc, SparseError};
+
+/// Result of a GPU numeric factorization.
+#[derive(Debug, Clone)]
+pub struct NumericOutcome {
+    /// The combined factor (unit-diagonal `L` strictly below the diagonal,
+    /// `U` on and above) on the filled pattern.
+    pub lu: Csc,
+    /// Simulated time of the numeric phase.
+    pub time: SimTime,
+    /// GPU statistics delta.
+    pub stats: GpuStatsSnapshot,
+    /// How many levels ran in each kernel mode.
+    pub mode_mix: ModeMix,
+    /// Dense format only: the `M = L_free/(n·sizeof)` concurrency limit.
+    pub m_limit: Option<usize>,
+    /// Dense format only: total batched kernel launches (levels split into
+    /// `⌈width/M⌉` batches).
+    pub batches: u64,
+    /// Sparse format only: total binary-search probes (Algorithm 6).
+    pub probes: u64,
+}
+
+/// Operation counts of one column's factorization, for cost charging.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ColCosts {
+    /// Dependency columns consumed (update steps).
+    pub deps: u64,
+    /// Multiply–add items applied.
+    pub items: u64,
+    /// Binary-search probes (sparse access only).
+    pub probes: u64,
+    /// Entries of the column (scatter/gather volume for the dense format).
+    pub nnz: u64,
+}
+
+/// Factorizes column `j` against finished columns, reading and writing
+/// through the atomic [`ValueStore`] (`pattern` supplies the immutable
+/// structure).
+///
+/// `use_binary_search` selects the access discipline being modelled:
+/// * `false` — dense format: the column sits in an `O(n)` dense buffer, so
+///   each target row is located directly (functionally we use the merge
+///   position, which touches each entry once, like the dense scatter),
+/// * `true` — sorted-CSC format: every target row is located with the
+///   binary search of the paper's Algorithm 6 and the probes are counted.
+///
+/// Only the block owning column `j` calls this for `j`, so the writes are
+/// data-race-free; reads target columns finished in earlier levels.
+pub fn process_column(
+    pattern: &Csc,
+    vals: &ValueStore,
+    j: usize,
+    use_binary_search: bool,
+) -> Result<ColCosts, SparseError> {
+    let mut costs = ColCosts::default();
+    let (start, end) = (pattern.col_ptr[j], pattern.col_ptr[j + 1]);
+    costs.nnz = (end - start) as u64;
+
+    for k in start..end {
+        let t = pattern.row_idx[k] as usize;
+        if t >= j {
+            break;
+        }
+        costs.deps += 1;
+        let u_tj = vals.get(k);
+        if u_tj == 0.0 {
+            continue;
+        }
+        let t_lower = pattern.lower_bound_after(t, t);
+        let t_end = pattern.col_ptr[t + 1];
+        if use_binary_search {
+            for src in t_lower..t_end {
+                let i = pattern.row_idx[src] as usize;
+                let (pos, probes) = pattern.find_in_col(i, j);
+                costs.probes += probes as u64;
+                costs.items += 1;
+                let pos = pos.unwrap_or_else(|| {
+                    unreachable!("missing fill position ({i}, {j}); symbolic closure violated")
+                });
+                vals.set(pos, vals.get(pos) - vals.get(src) * u_tj);
+            }
+        } else {
+            // Dense discipline: direct indexing; functionally an ascending
+            // merge locates the same positions with one touch per entry.
+            let mut dst = k + 1;
+            for src in t_lower..t_end {
+                let i = pattern.row_idx[src];
+                while dst < end && pattern.row_idx[dst] < i {
+                    dst += 1;
+                }
+                debug_assert!(
+                    dst < end && pattern.row_idx[dst] == i,
+                    "missing fill position ({i}, {j})"
+                );
+                costs.items += 1;
+                vals.set(dst, vals.get(dst) - vals.get(src) * u_tj);
+                dst += 1;
+            }
+        }
+    }
+
+    // Division by the pivot.
+    let (diag_pos, probes) = pattern.find_in_col(j, j);
+    costs.probes += probes as u64;
+    let diag_pos = diag_pos.ok_or(SparseError::ZeroDiagonal { row: j })?;
+    let pivot = vals.get(diag_pos);
+    if pivot == 0.0 || !pivot.is_finite() {
+        return Err(SparseError::ZeroPivot { col: j });
+    }
+    for k in (diag_pos + 1)..end {
+        costs.items += 1;
+        vals.set(k, vals.get(k) / pivot);
+    }
+    Ok(costs)
+}
+
+/// Structural cost estimate of a column's factorization: `(deps, items)`
+/// where `items` counts the multiply–adds plus the division entries. Used
+/// by cost-only co-stripes (type-C cooperative blocks) without touching
+/// values; exact up to deps whose current value happens to be 0.0.
+pub fn column_cost_estimate(pattern: &Csc, j: usize) -> (u64, u64) {
+    let (start, end) = (pattern.col_ptr[j], pattern.col_ptr[j + 1]);
+    let mut deps = 0u64;
+    let mut items = 0u64;
+    for k in start..end {
+        let t = pattern.row_idx[k] as usize;
+        if t >= j {
+            break;
+        }
+        deps += 1;
+        items += (pattern.col_ptr[t + 1] - pattern.lower_bound_after(t, t)) as u64;
+    }
+    items += (end - pattern.lower_bound_after(j, j)) as u64;
+    (deps, items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gplu_sim::CostModel;
+    use gplu_sparse::convert::csr_to_csc;
+    use gplu_sparse::gen::random::random_dominant;
+    use gplu_symbolic::symbolic_cpu;
+
+    fn filled(a: &gplu_sparse::Csr) -> Csc {
+        csr_to_csc(&symbolic_cpu(a, &CostModel::default()).result.filled)
+    }
+
+    #[test]
+    fn both_disciplines_match_sequential() {
+        let a = random_dominant(40, 4.0, 61);
+        let pattern = filled(&a);
+        let mut seq = pattern.clone();
+        crate::seq::factorize_seq(&mut seq).expect("seq factorizes");
+
+        for &bs in &[false, true] {
+            let vals = ValueStore::new(&pattern.vals);
+            for j in 0..40 {
+                process_column(&pattern, &vals, j, bs).expect("column ok");
+            }
+            let got = vals.into_vec();
+            for (k, (&want, got)) in seq.vals.iter().zip(&got).enumerate() {
+                assert!(
+                    (want - got).abs() < 1e-12,
+                    "bs={bs}: value {k} differs: {want} vs {got}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn probes_counted_only_for_binary_search() {
+        let a = random_dominant(30, 4.0, 62);
+        let pattern = filled(&a);
+        let vals = ValueStore::new(&pattern.vals);
+        let mut dense_probes = 0;
+        let mut items = 0;
+        for j in 0..30 {
+            let c = process_column(&pattern, &vals, j, false).expect("ok");
+            dense_probes += c.probes;
+            items += c.items;
+        }
+        // Dense discipline only probes for the diagonal lookup.
+        assert!(dense_probes <= 30 * 8);
+        assert!(items > 0);
+
+        let vals = ValueStore::new(&pattern.vals);
+        let mut sparse_probes = 0;
+        for j in 0..30 {
+            sparse_probes += process_column(&pattern, &vals, j, true).expect("ok").probes;
+        }
+        assert!(sparse_probes > dense_probes, "binary search must pay probes");
+    }
+
+    #[test]
+    fn zero_pivot_detected() {
+        let mut coo = gplu_sparse::Coo::new(2, 2);
+        for i in 0..2 {
+            for j in 0..2 {
+                coo.push(i, j, 1.0);
+            }
+        }
+        let a = gplu_sparse::convert::coo_to_csr(&coo);
+        let pattern = filled(&a);
+        let vals = ValueStore::new(&pattern.vals);
+        process_column(&pattern, &vals, 0, true).expect("col 0 fine");
+        assert!(matches!(
+            process_column(&pattern, &vals, 1, true),
+            Err(SparseError::ZeroPivot { col: 1 })
+        ));
+    }
+}

@@ -1,0 +1,149 @@
+//! Sequential numeric factorization — the exact-arithmetic reference the
+//! GPU variants are verified against, and the functional core they share.
+//!
+//! Operates in place on the CSC value array of the filled matrix. The
+//! update order (dependency columns ascending, then division) is byte-for-
+//! byte the order the parallel versions apply per column, so results are
+//! bit-identical across all engines.
+
+use gplu_sparse::{Csc, SparseError};
+
+/// Factorizes the filled matrix sequentially: on return `lu` holds the
+/// combined factor (unit-diagonal `L` strictly below, `U` on and above the
+/// diagonal).
+///
+/// `lu` must carry the *complete* fill pattern (from symbolic
+/// factorization) — a missing fill position would silently drop an update,
+/// which is why the symbolic phase must precede this one.
+pub fn factorize_seq(lu: &mut Csc) -> Result<(), SparseError> {
+    let n = lu.n_cols();
+    for j in 0..n {
+        factorize_column_seq(lu, j)?;
+    }
+    Ok(())
+}
+
+/// Processes one column (gather updates from finished columns, then
+/// divide) — the per-column work every engine performs.
+fn factorize_column_seq(lu: &mut Csc, j: usize) -> Result<(), SparseError> {
+    let (start, end) = (lu.col_ptr[j], lu.col_ptr[j + 1]);
+    // Dependency columns: entries of column j strictly above the diagonal
+    // (the U part), ascending — each must already be final.
+    for k in start..end {
+        let t = lu.row_idx[k] as usize;
+        if t >= j {
+            break;
+        }
+        let u_tj = lu.vals[k];
+        if u_tj == 0.0 {
+            continue;
+        }
+        // As(i, j) -= As(i, t) * As(t, j) for every i > t in column t.
+        let t_lower = lu.lower_bound_after(t, t);
+        let t_end = lu.col_ptr[t + 1];
+        // Merge the L part of column t into column j's tail: both row
+        // lists ascend, so a two-pointer merge touches each entry once.
+        let mut dst = k + 1;
+        for src in t_lower..t_end {
+            let i = lu.row_idx[src];
+            while dst < end && lu.row_idx[dst] < i {
+                dst += 1;
+            }
+            // A row present in L(:, t) but absent in column j would be a
+            // symbolic-phase bug: Theorem 1 closes the pattern over
+            // exactly these (i, t, j) paths.
+            debug_assert!(
+                dst < end && lu.row_idx[dst] == i,
+                "missing fill position ({i}, {j})"
+            );
+            if dst < end && lu.row_idx[dst] == i {
+                lu.vals[dst] -= lu.vals[src] * u_tj;
+                dst += 1;
+            }
+        }
+    }
+    // Division: As(i, j) /= As(j, j) for i > j.
+    let (diag_pos, _) = lu.find_in_col(j, j);
+    let diag_pos = diag_pos.ok_or(SparseError::ZeroDiagonal { row: j })?;
+    let pivot = lu.vals[diag_pos];
+    if pivot == 0.0 || !pivot.is_finite() {
+        return Err(SparseError::ZeroPivot { col: j });
+    }
+    for k in (diag_pos + 1)..end {
+        lu.vals[k] /= pivot;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gplu_sim::CostModel;
+    use gplu_sparse::convert::{csr_to_csc, csr_to_dense};
+    use gplu_sparse::gen::random::{banded_dominant, random_dominant};
+    use gplu_sparse::verify::{residual_dense, residual_probe};
+    use gplu_symbolic::symbolic_cpu;
+
+    fn filled_csc(a: &gplu_sparse::Csr) -> Csc {
+        csr_to_csc(&symbolic_cpu(a, &CostModel::default()).result.filled)
+    }
+
+    #[test]
+    fn matches_dense_oracle() {
+        let a = random_dominant(30, 4.0, 51);
+        let mut lu = filled_csc(&a);
+        factorize_seq(&mut lu).expect("factorizes");
+        let dense_lu = csr_to_dense(&a).lu_no_pivot().expect("oracle factorizes");
+        // Compare entrywise at the sparse positions.
+        for j in 0..30 {
+            for (i, v) in lu.col_iter(j) {
+                assert!(
+                    (v - dense_lu[(i, j)]).abs() < 1e-10,
+                    "entry ({i},{j}): sparse {v} vs dense {}",
+                    dense_lu[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn residual_is_small() {
+        let a = banded_dominant(200, 4, 52);
+        let mut lu = filled_csc(&a);
+        factorize_seq(&mut lu).expect("factorizes");
+        assert!(residual_probe(&a, &lu, 4) < 1e-10);
+    }
+
+    #[test]
+    fn residual_dense_on_small_case() {
+        let a = random_dominant(16, 3.0, 53);
+        let mut lu = filled_csc(&a);
+        factorize_seq(&mut lu).expect("factorizes");
+        assert!(residual_dense(&a, &lu) < 1e-11);
+    }
+
+    #[test]
+    fn rejects_zero_pivot() {
+        // A matrix engineered to hit an exact zero pivot: [[1,1],[1,1]]
+        // gives U(1,1) = 1 - 1*1 = 0.
+        let mut coo = gplu_sparse::Coo::new(2, 2);
+        for i in 0..2 {
+            for j in 0..2 {
+                coo.push(i, j, 1.0);
+            }
+        }
+        let a = gplu_sparse::convert::coo_to_csr(&coo);
+        let mut lu = filled_csc(&a);
+        assert!(matches!(factorize_seq(&mut lu), Err(SparseError::ZeroPivot { col: 1 })));
+    }
+
+    #[test]
+    fn identity_factorizes_to_itself() {
+        let a = gplu_sparse::Csr::identity(5);
+        let mut lu = filled_csc(&a);
+        factorize_seq(&mut lu).expect("factorizes");
+        for j in 0..5 {
+            assert_eq!(lu.get(j, j), Some(1.0));
+        }
+    }
+}

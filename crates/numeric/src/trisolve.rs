@@ -1,0 +1,260 @@
+//! GPU-simulated sparse triangular solves — the step the paper's
+//! introduction motivates ("solution x can be easily obtained by solving
+//! equations involving these two triangular matrices") and the natural
+//! completion of the end-to-end GPU story: with factorization fully on the
+//! device, the solve can stay there too.
+//!
+//! Triangular solves carry the same dependency structure as numeric
+//! factorization: unknown `x_j` of `L y = b` is final only after every
+//! `y_t` with `L(j, t) ≠ 0` has been applied. We reuse the workspace's
+//! level machinery (Kahn wavefronts over the factor's own pattern) and run
+//! one thread block per column per level, with CAS-accumulated right-hand-
+//! side updates — the level-scheduled GPU solve of the sparse-triangular
+//! literature the paper cites (Liu et al. \[28\] pursue the
+//! synchronisation-free variant of the same schedule).
+
+use crate::values::ValueStore;
+use gplu_schedule::Levels;
+use gplu_sim::{BlockCtx, Gpu, GpuStatsSnapshot, SimError, SimTime};
+use gplu_sparse::{Csc, SparseError, Val};
+
+/// Precomputed level schedules for both triangles of a combined factor.
+///
+/// Building the plan costs one pass over the factor; it is reused across
+/// every right-hand side (the circuit-simulation pattern: one plan, many
+/// solves).
+#[derive(Debug, Clone)]
+pub struct TriSolvePlan {
+    /// Wavefronts of the forward (unit-L) solve.
+    pub l_levels: Levels,
+    /// Wavefronts of the backward (U) solve.
+    pub u_levels: Levels,
+}
+
+impl TriSolvePlan {
+    /// Builds the schedules from the combined factor (unit-diagonal `L`
+    /// strictly below, `U` on and above the diagonal).
+    pub fn new(lu: &Csc) -> TriSolvePlan {
+        let n = lu.n_cols();
+        // Forward solve: column j's updates touch rows > j where L has
+        // entries, so x_j depends on every t < j with L(j, t) != 0 — the
+        // longest-path recurrence over the L pattern (edges ascend).
+        let mut l_level = vec![0u32; n];
+        let mut u_level = vec![0u32; n];
+        for t in 0..n {
+            let start = lu.lower_bound_after(t, t);
+            for k in start..lu.col_ptr[t + 1] {
+                let j = lu.row_idx[k] as usize;
+                l_level[j] = l_level[j].max(l_level[t] + 1);
+            }
+        }
+        // Backward solve: x_j depends on every i > j with U(i, j)… in
+        // column terms, column j of U updates rows i < j, so the
+        // dependency points downward; sweep columns descending.
+        for t in (0..n).rev() {
+            let diag = lu.lower_bound_after(t, t);
+            for k in lu.col_ptr[t]..diag {
+                let i = lu.row_idx[k] as usize;
+                if i < t {
+                    u_level[i] = u_level[i].max(u_level[t] + 1);
+                }
+            }
+        }
+        TriSolvePlan {
+            l_levels: Levels::from_level_of(l_level),
+            u_levels: Levels::from_level_of(u_level),
+        }
+    }
+}
+
+/// Outcome of a GPU triangular solve.
+#[derive(Debug, Clone)]
+pub struct TriSolveOutcome {
+    /// The solution vector.
+    pub x: Vec<Val>,
+    /// Simulated time of both sweeps.
+    pub time: SimTime,
+    /// Levels of the forward and backward sweeps.
+    pub l_levels: usize,
+    /// Levels of the backward sweep.
+    pub u_levels: usize,
+    /// GPU statistics delta.
+    pub stats: GpuStatsSnapshot,
+}
+
+/// Solves `(L·U) x = b` on the simulated GPU with the level-scheduled
+/// column algorithm, given a combined factor and its plan.
+pub fn solve_gpu(
+    gpu: &Gpu,
+    lu: &Csc,
+    plan: &TriSolvePlan,
+    b: &[Val],
+) -> Result<TriSolveOutcome, SimError> {
+    let n = lu.n_cols();
+    assert_eq!(b.len(), n, "rhs length mismatch");
+    let before = gpu.stats();
+
+    // The factor is assumed device-resident (it just came out of numeric
+    // factorization); the rhs crosses the bus.
+    let x_dev = gpu.mem.alloc(n as u64 * 8)?;
+    gpu.h2d(n as u64 * 8);
+
+    let y = ValueStore::new(b);
+    // Forward sweep: per level, block per column j: y_j is final; apply
+    // y_i -= L(i,j) * y_j to the rows below.
+    for cols in &plan.l_levels.groups {
+        gpu.launch_device("trisolve_l", cols.len(), 256, &|blk: usize, ctx: &mut BlockCtx| {
+            let j = cols[blk] as usize;
+            let yj = y.get(j);
+            let start = lu.lower_bound_after(j, j);
+            let end = lu.col_ptr[j + 1];
+            ctx.bulk_flops(1, (end - start) as u64);
+            ctx.mem((end - start) as u64 * 12);
+            if yj != 0.0 {
+                for k in start..end {
+                    y.fetch_add(lu.row_idx[k] as usize, -lu.vals[k] * yj);
+                }
+            }
+        })?;
+    }
+
+    // Backward sweep: per level, block per column j: divide by the pivot,
+    // then push x_j's contribution up through U's column.
+    let error = parking_lot::Mutex::new(None::<SparseError>);
+    for cols in &plan.u_levels.groups {
+        gpu.launch_device("trisolve_u", cols.len(), 256, &|blk: usize, ctx: &mut BlockCtx| {
+            let j = cols[blk] as usize;
+            let (diag_pos, probes) = lu.find_in_col(j, j);
+            let Some(diag_pos) = diag_pos else {
+                error.lock().get_or_insert(SparseError::ZeroDiagonal { row: j });
+                return;
+            };
+            let pivot = lu.vals[diag_pos];
+            if pivot == 0.0 || !pivot.is_finite() {
+                error.lock().get_or_insert(SparseError::ZeroPivot { col: j });
+                return;
+            }
+            let xj = y.get(j) / pivot;
+            y.set(j, xj);
+            let ups = diag_pos - lu.col_ptr[j];
+            ctx.bulk_flops(1, ups as u64 + probes as u64);
+            ctx.mem(ups as u64 * 12);
+            if xj != 0.0 {
+                for k in lu.col_ptr[j]..diag_pos {
+                    y.fetch_add(lu.row_idx[k] as usize, -lu.vals[k] * xj);
+                }
+            }
+        })?;
+        if let Some(e) = error.lock().take() {
+            return Err(SimError::BadLaunch(format!("triangular solve failure: {e}")));
+        }
+    }
+
+    gpu.d2h(n as u64 * 8);
+    gpu.mem.free(x_dev)?;
+    let stats = gpu.stats().since(&before);
+    Ok(TriSolveOutcome {
+        x: y.into_vec(),
+        time: stats.now,
+        l_levels: plan.l_levels.n_levels(),
+        u_levels: plan.u_levels.n_levels(),
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gplu_sim::{CostModel, GpuConfig};
+    use gplu_sparse::convert::csr_to_csc;
+    use gplu_sparse::gen::random::{banded_dominant, random_dominant};
+    use gplu_sparse::triangular::solve_lu;
+    use gplu_symbolic::symbolic_cpu;
+
+    fn factor(a: &gplu_sparse::Csr) -> Csc {
+        let mut lu = csr_to_csc(&symbolic_cpu(a, &CostModel::default()).result.filled);
+        crate::seq::factorize_seq(&mut lu).expect("factorizes");
+        lu
+    }
+
+    #[test]
+    fn matches_host_solve() {
+        let a = random_dominant(200, 4.0, 91);
+        let lu = factor(&a);
+        let b: Vec<f64> = (0..200).map(|i| (i % 5) as f64 - 2.0).collect();
+        let host = solve_lu(&lu, &b).expect("host solve");
+        let plan = TriSolvePlan::new(&lu);
+        let gpu = Gpu::new(GpuConfig::v100());
+        let out = solve_gpu(&gpu, &lu, &plan, &b).expect("gpu solve");
+        for (k, (h, g)) in host.iter().zip(&out.x).enumerate() {
+            assert!((h - g).abs() < 1e-9, "x[{k}]: host {h} vs gpu {g}");
+        }
+    }
+
+    #[test]
+    fn solves_the_original_system() {
+        let a = banded_dominant(300, 4, 92);
+        let lu = factor(&a);
+        let x_true = vec![1.5; 300];
+        let b = a.spmv(&x_true);
+        let plan = TriSolvePlan::new(&lu);
+        let gpu = Gpu::new(GpuConfig::v100());
+        let out = solve_gpu(&gpu, &lu, &plan, &b).expect("gpu solve");
+        assert!(gplu_sparse::verify::check_solution(&a, &out.x, &b, 1e-8));
+    }
+
+    #[test]
+    fn plan_levels_respect_dependencies() {
+        let a = random_dominant(150, 4.0, 93);
+        let lu = factor(&a);
+        let plan = TriSolvePlan::new(&lu);
+        // Forward: every L entry (i, j) with i > j must cross levels.
+        for j in 0..150 {
+            for k in lu.lower_bound_after(j, j)..lu.col_ptr[j + 1] {
+                let i = lu.row_idx[k] as usize;
+                assert!(
+                    plan.l_levels.level_of[i] > plan.l_levels.level_of[j],
+                    "L({i},{j}) violates forward schedule"
+                );
+            }
+        }
+        // Backward: every strict-U entry (i, j) with i < j must cross.
+        for j in 0..150 {
+            let diag = lu.lower_bound_after(j, j);
+            for k in lu.col_ptr[j]..diag {
+                let i = lu.row_idx[k] as usize;
+                if i < j {
+                    assert!(
+                        plan.u_levels.level_of[i] > plan.u_levels.level_of[j],
+                        "U({i},{j}) violates backward schedule"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plan_reuse_across_many_rhs() {
+        let a = random_dominant(120, 4.0, 94);
+        let lu = factor(&a);
+        let plan = TriSolvePlan::new(&lu);
+        let gpu = Gpu::new(GpuConfig::v100());
+        for seed in 0..4u64 {
+            let x_true: Vec<f64> = (0..120).map(|i| ((i as u64 + seed) % 9) as f64 + 1.0).collect();
+            let b = a.spmv(&x_true);
+            let out = solve_gpu(&gpu, &lu, &plan, &b).expect("gpu solve");
+            assert!(gplu_sparse::verify::check_solution(&a, &out.x, &b, 1e-8), "rhs {seed}");
+        }
+    }
+
+    #[test]
+    fn frees_device_memory() {
+        let a = random_dominant(80, 3.0, 95);
+        let lu = factor(&a);
+        let plan = TriSolvePlan::new(&lu);
+        let gpu = Gpu::new(GpuConfig::v100());
+        let b = vec![1.0; 80];
+        solve_gpu(&gpu, &lu, &plan, &b).expect("gpu solve");
+        assert_eq!(gpu.mem.used_bytes(), 0);
+    }
+}

@@ -1,0 +1,71 @@
+//! Serial CPU levelization — the baseline every prior LU work used
+//! (Section 3.3: "previous efforts on LU factorization all performed
+//! levelization on CPUs").
+
+use crate::depgraph::DepGraph;
+use crate::levels::Levels;
+use gplu_sim::{CostModel, SimTime};
+
+/// Outcome of CPU levelization.
+#[derive(Debug, Clone)]
+pub struct CpuLevelizeOutcome {
+    /// The level schedule.
+    pub levels: Levels,
+    /// Simulated (serial) CPU time.
+    pub time: SimTime,
+}
+
+/// Computes levels with the serial recurrence
+/// `level(k) = max(-1, level(c1), level(c2), …) + 1`.
+///
+/// Because dependency edges always ascend (column ids), a single forward
+/// scan applying the recurrence is exact. The cost is serial — the paper's
+/// point is precisely that this chain of dependencies resists
+/// parallelisation on the CPU.
+pub fn levelize_cpu(g: &DepGraph, cost: &CostModel) -> CpuLevelizeOutcome {
+    let mut level_of = vec![0u32; g.n()];
+    for t in 0..g.n() {
+        for &j in g.out(t) {
+            let j = j as usize;
+            level_of[j] = level_of[j].max(level_of[t] + 1);
+        }
+    }
+    // One serial item per edge plus one per node (single thread).
+    let items = g.n_edges() as u64 + g.n() as u64;
+    let time = SimTime::from_ns(items as f64 * cost.cpu_item_ns);
+    CpuLevelizeOutcome { levels: Levels::from_level_of(level_of), time }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gplu_sparse::gen::random::random_dominant;
+
+    #[test]
+    fn chain_gets_distinct_levels() {
+        let g = DepGraph { ptr: vec![0, 1, 2, 2], adj: vec![1, 2], indegree: vec![0, 1, 1] };
+        let out = levelize_cpu(&g, &CostModel::default());
+        assert_eq!(out.levels.level_of, vec![0, 1, 2]);
+        assert!(out.time.as_ns() > 0.0);
+    }
+
+    #[test]
+    fn diamond_merges_at_join() {
+        // 0 -> {1, 2} -> 3
+        let g = DepGraph {
+            ptr: vec![0, 2, 3, 4, 4],
+            adj: vec![1, 2, 3, 3],
+            indegree: vec![0, 1, 1, 2],
+        };
+        let out = levelize_cpu(&g, &CostModel::default());
+        assert_eq!(out.levels.level_of, vec![0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn validates_on_random_matrix() {
+        let a = random_dominant(120, 4.0, 6);
+        let g = DepGraph::build(&a);
+        let out = levelize_cpu(&g, &CostModel::default());
+        out.levels.validate(&g).expect("exact longest-path levels");
+    }
+}

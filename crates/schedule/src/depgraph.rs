@@ -1,0 +1,132 @@
+//! Column dependency graph of the filled matrix.
+
+use gplu_sparse::{Csr, Idx};
+
+/// The dependency DAG: an edge `t → j` (with `t < j` always) means column
+/// `j` must be factorized after column `t`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DepGraph {
+    /// Out-edge offsets (`ptr[t]..ptr[t+1]` indexes `adj`).
+    pub ptr: Vec<usize>,
+    /// Out-edge targets, ascending within each source.
+    pub adj: Vec<Idx>,
+    /// In-degree of each column.
+    pub indegree: Vec<u32>,
+}
+
+impl DepGraph {
+    /// Builds the dependency graph from the filled pattern `As`.
+    ///
+    /// Every structural entry `(r, c)` with `r ≠ c` contributes the edge
+    /// `min(r,c) → max(r,c)`: `c > r` is the paper's U dependency
+    /// (`U(r,c) ≠ 0` ⇒ column `c` after column `r`), `c < r` is the
+    /// L-side ordering GLU 3.0's relaxed detection adds. Duplicates (a
+    /// symmetric pair) are merged.
+    pub fn build(filled: &Csr) -> DepGraph {
+        let n = filled.n_rows();
+        let mut pairs: Vec<(Idx, Idx)> = Vec::with_capacity(filled.nnz());
+        for r in 0..n {
+            for &c in filled.row_cols(r) {
+                let c = c as usize;
+                if c != r {
+                    let (lo, hi) = if r < c { (r, c) } else { (c, r) };
+                    pairs.push((lo as Idx, hi as Idx));
+                }
+            }
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+
+        let mut ptr = vec![0usize; n + 1];
+        for &(t, _) in &pairs {
+            ptr[t as usize + 1] += 1;
+        }
+        for i in 0..n {
+            ptr[i + 1] += ptr[i];
+        }
+        let mut adj = vec![0 as Idx; pairs.len()];
+        let mut cursor = ptr.clone();
+        let mut indegree = vec![0u32; n];
+        for (t, j) in pairs {
+            adj[cursor[t as usize]] = j;
+            cursor[t as usize] += 1;
+            indegree[j as usize] += 1;
+        }
+        DepGraph { ptr, adj, indegree }
+    }
+
+    /// Number of columns.
+    pub fn n(&self) -> usize {
+        self.indegree.len()
+    }
+
+    /// Number of dependency edges.
+    pub fn n_edges(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Out-edges of column `t`.
+    #[inline]
+    pub fn out(&self, t: usize) -> &[Idx] {
+        &self.adj[self.ptr[t]..self.ptr[t + 1]]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gplu_sparse::convert::coo_to_csr;
+    use gplu_sparse::Coo;
+
+    /// Filled pattern:
+    /// ```text
+    ///   x . x
+    ///   . x .
+    ///   x . x
+    /// ```
+    /// Entry (0,2) gives the U edge 0→2; entry (2,0) the L edge 0→2 — the
+    /// pair must merge into one edge.
+    #[test]
+    fn symmetric_pair_merges() {
+        let mut c = Coo::new(3, 3);
+        for i in 0..3 {
+            c.push(i, i, 1.0);
+        }
+        c.push(0, 2, 1.0);
+        c.push(2, 0, 1.0);
+        let g = DepGraph::build(&coo_to_csr(&c));
+        assert_eq!(g.n_edges(), 1);
+        assert_eq!(g.out(0), &[2]);
+        assert_eq!(g.indegree, vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn l_only_entry_still_creates_edge() {
+        // As(2,1) ≠ 0 with no As(1,2): GLU 3.0's second dependency family.
+        let mut c = Coo::new(3, 3);
+        for i in 0..3 {
+            c.push(i, i, 1.0);
+        }
+        c.push(2, 1, 1.0);
+        let g = DepGraph::build(&coo_to_csr(&c));
+        assert_eq!(g.out(1), &[2]);
+    }
+
+    #[test]
+    fn edges_always_point_upward() {
+        let a = gplu_sparse::gen::random::random_dominant(50, 4.0, 5);
+        let g = DepGraph::build(&a);
+        for t in 0..50 {
+            for &j in g.out(t) {
+                assert!(j as usize > t, "edge {t} -> {j} must ascend");
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_only_matrix_has_no_edges() {
+        let g = DepGraph::build(&Csr::identity(4));
+        assert_eq!(g.n_edges(), 0);
+        assert_eq!(g.indegree, vec![0; 4]);
+    }
+}

@@ -1,0 +1,217 @@
+//! GPU levelization: Kahn's algorithm with dynamic parallelism — the
+//! paper's Algorithm 5 and its second contribution.
+//!
+//! The whole procedure runs on the device: a host-launched parent `Topo`
+//! kernel orchestrates the wavefronts, launching the `update` and
+//! `cons_queue` child kernels **from device code** (CUDA dynamic
+//! parallelism). Against the prior art that bounced back to the CPU to
+//! launch each level's kernels [Saxena et al. 37], every per-level launch
+//! pays the ~0.6 µs device-launch overhead instead of the ~5 µs host
+//! round-trip — on graphs with thousands of levels this is the difference
+//! the paper claims.
+//!
+//! Structure (Algorithm 5):
+//! * `cons_graph` — builds the dependency adjacency on the device,
+//! * `cnt_indegree` — counts in-degrees,
+//! * `Topo` (parent) — loops: `update` decrements the in-degrees of the
+//!   current queue's out-neighbours (atomics), collecting vertices that
+//!   hit zero; `cons_queue` compacts them into the next queue and assigns
+//!   the level number.
+
+use crate::depgraph::DepGraph;
+use crate::levels::Levels;
+use crossbeam::queue::SegQueue;
+use gplu_sim::{BlockCtx, Gpu, GpuStatsSnapshot, SimError, SimTime};
+use gplu_sparse::Idx;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Outcome of GPU levelization.
+#[derive(Debug, Clone)]
+pub struct GpuLevelizeOutcome {
+    /// The level schedule.
+    pub levels: Levels,
+    /// Simulated time of the whole procedure (graph build + topo sort).
+    pub time: SimTime,
+    /// Device-side child-kernel launches performed by `Topo`.
+    pub device_launches: u64,
+    /// GPU statistics delta.
+    pub stats: GpuStatsSnapshot,
+}
+
+/// Runs levelization on the GPU (Algorithm 5).
+pub fn levelize_gpu(gpu: &Gpu, g: &DepGraph) -> Result<GpuLevelizeOutcome, SimError> {
+    let n = g.n();
+    let before = gpu.stats();
+
+    // Device storage: adjacency (ptr + adj), in-degrees, level numbers and
+    // the two queues.
+    let graph_bytes = ((n + 1) as u64 + g.n_edges() as u64) * 4;
+    let graph_dev = gpu.mem.alloc(graph_bytes)?;
+    gpu.h2d(graph_bytes);
+    let work_dev = gpu.mem.alloc(4 * 4 * n as u64)?; // indegree, level, 2 queues
+
+    // cons_graph: the device-side adjacency construction (line 14).
+    gpu.launch("cons_graph", g.n_edges().div_ceil(1024).max(1), 1024, &|_b: usize,
+           ctx: &mut BlockCtx| {
+        ctx.step(1024);
+        ctx.mem(1024 * 8);
+    })?;
+
+    // cnt_indegree (line 15): one pass over the edges.
+    let indegree: Vec<AtomicU32> = g.indegree.iter().map(|&d| AtomicU32::new(d)).collect();
+    gpu.launch("cnt_indegree", g.n_edges().div_ceil(1024).max(1), 1024, &|_b: usize,
+           ctx: &mut BlockCtx| {
+        ctx.step(1024);
+        ctx.mem(1024 * 4);
+    })?;
+
+    // Topo parent kernel (line 16): one host launch; everything below is
+    // device-side child launches.
+    gpu.launch("Topo", 1, 32, &|_b: usize, ctx: &mut BlockCtx| {
+        ctx.serial(16); // parent bookkeeping
+    })?;
+
+    let mut level_of = vec![0u32; n];
+    let mut device_launches = 0u64;
+
+    // Initial queue: vertices with no incoming edges (child cons_queue,
+    // line 4): scan all in-degrees.
+    let found: SegQueue<Idx> = SegQueue::new();
+    gpu.launch_device("cons_queue", n.div_ceil(1024).max(1), 1024, &|b: usize,
+           ctx: &mut BlockCtx| {
+        let start = b * 1024;
+        let end = (start + 1024).min(n);
+        ctx.step((end - start) as u64);
+        ctx.mem((end - start) as u64 * 4);
+        for (v, d) in indegree.iter().enumerate().take(end).skip(start) {
+            if d.load(Ordering::Relaxed) == 0 {
+                found.push(v as Idx);
+            }
+        }
+    })?;
+    device_launches += 1;
+
+    let mut queue: Vec<Idx> = std::iter::from_fn(|| found.pop()).collect();
+    queue.sort_unstable();
+    for &v in &queue {
+        level_of[v as usize] = 0;
+    }
+
+    let mut level_num = 1u32;
+    let mut scheduled = queue.len();
+    while !queue.is_empty() {
+        // update<<< >>> (line 7): one block per queue vertex, threads over
+        // its out-edges; decrements are atomic.
+        let q = std::mem::take(&mut queue);
+        gpu.launch_device("update", q.len(), 1024, &|b: usize, ctx: &mut BlockCtx| {
+            let v = q[b] as usize;
+            let out = g.out(v);
+            ctx.step(out.len() as u64);
+            ctx.mem(out.len() as u64 * 8);
+            for &j in out {
+                if indegree[j as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
+                    found.push(j);
+                }
+            }
+        })?;
+        device_launches += 1;
+
+        // cons_queue<<< >>> (line 9): compact the vertices that reached
+        // in-degree zero into the next queue and stamp their level. Cost
+        // is proportional to the vertices actually compacted.
+        let mut next: Vec<Idx> = std::iter::from_fn(|| found.pop()).collect();
+        next.sort_unstable();
+        gpu.launch_device("cons_queue", next.len().div_ceil(1024).max(1), 1024, &|b: usize,
+               ctx: &mut BlockCtx| {
+            let items = 1024.min(next.len().saturating_sub(b * 1024)) as u64;
+            ctx.step(items);
+            ctx.mem(items * 4);
+        })?;
+        device_launches += 1;
+
+        for &v in &next {
+            level_of[v as usize] = level_num;
+        }
+        scheduled += next.len();
+        level_num += 1;
+        queue = next;
+    }
+
+    gpu.d2h(n as u64 * 4); // level numbers back to the host scheduler
+    gpu.mem.free(work_dev)?;
+    gpu.mem.free(graph_dev)?;
+
+    if scheduled != n {
+        // A cycle would mean the dependency graph was not a DAG — edges
+        // always ascend, so this is unreachable unless the graph is
+        // corrupt.
+        return Err(SimError::BadLaunch(format!(
+            "topological sort visited {scheduled} of {n} columns (cycle?)"
+        )));
+    }
+
+    let stats = gpu.stats().since(&before);
+    Ok(GpuLevelizeOutcome {
+        levels: Levels::from_level_of(level_of),
+        time: stats.now,
+        device_launches,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::levelize_cpu;
+    use gplu_sim::{CostModel, GpuConfig};
+    use gplu_sparse::gen::random::{banded_dominant, random_dominant};
+
+    fn gpu() -> Gpu {
+        Gpu::new(GpuConfig::v100())
+    }
+
+    #[test]
+    fn matches_cpu_levels() {
+        let a = random_dominant(300, 4.0, 41);
+        let g = DepGraph::build(&a);
+        let gpu_out = levelize_gpu(&gpu(), &g).expect("runs");
+        let cpu_out = levelize_cpu(&g, &CostModel::default());
+        assert_eq!(gpu_out.levels.level_of, cpu_out.levels.level_of);
+        gpu_out.levels.validate(&g).expect("valid schedule");
+    }
+
+    #[test]
+    fn kahn_levels_equal_longest_path() {
+        // Kahn wavefronts and the longest-path recurrence coincide.
+        let a = banded_dominant(500, 3, 42);
+        let g = DepGraph::build(&a);
+        let out = levelize_gpu(&gpu(), &g).expect("runs");
+        out.levels.validate(&g).expect("wavefront == longest path");
+    }
+
+    #[test]
+    fn device_launches_scale_with_levels() {
+        let a = banded_dominant(400, 2, 43);
+        let g = DepGraph::build(&a);
+        let out = levelize_gpu(&gpu(), &g).expect("runs");
+        // Initial cons_queue + (update + cons_queue) per non-empty level.
+        assert_eq!(out.device_launches, 1 + 2 * out.levels.n_levels() as u64);
+    }
+
+    #[test]
+    fn all_independent_columns_is_one_level() {
+        let g = DepGraph::build(&gplu_sparse::Csr::identity(64));
+        let out = levelize_gpu(&gpu(), &g).expect("runs");
+        assert_eq!(out.levels.n_levels(), 1);
+        assert_eq!(out.levels.max_width(), 64);
+    }
+
+    #[test]
+    fn frees_device_memory() {
+        let a = random_dominant(200, 3.0, 44);
+        let g = DepGraph::build(&a);
+        let gpu = gpu();
+        levelize_gpu(&gpu, &g).expect("runs");
+        assert_eq!(gpu.mem.used_bytes(), 0);
+    }
+}

@@ -1,0 +1,188 @@
+//! Coordinate (triplet) format, used for matrix assembly and I/O.
+
+use crate::{error::SparseError, Idx, Val};
+
+/// A sparse matrix in coordinate (COO / triplet) format.
+///
+/// COO is the assembly format: generators and the Matrix Market reader
+/// produce it, and it converts to [`crate::Csr`] / [`crate::Csc`] for
+/// computation. Duplicate coordinates are allowed until
+/// [`Coo::sum_duplicates`] is called; conversions sum duplicates implicitly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Coo {
+    n_rows: usize,
+    n_cols: usize,
+    /// Row index of each entry.
+    pub rows: Vec<Idx>,
+    /// Column index of each entry.
+    pub cols: Vec<Idx>,
+    /// Value of each entry.
+    pub vals: Vec<Val>,
+}
+
+impl Coo {
+    /// Creates an empty `n_rows x n_cols` COO matrix.
+    pub fn new(n_rows: usize, n_cols: usize) -> Self {
+        Coo { n_rows, n_cols, rows: Vec::new(), cols: Vec::new(), vals: Vec::new() }
+    }
+
+    /// Creates an empty COO matrix with room for `cap` entries.
+    pub fn with_capacity(n_rows: usize, n_cols: usize, cap: usize) -> Self {
+        Coo {
+            n_rows,
+            n_cols,
+            rows: Vec::with_capacity(cap),
+            cols: Vec::with_capacity(cap),
+            vals: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Builds a COO matrix from parallel triplet arrays, validating bounds.
+    pub fn from_triplets(
+        n_rows: usize,
+        n_cols: usize,
+        rows: Vec<Idx>,
+        cols: Vec<Idx>,
+        vals: Vec<Val>,
+    ) -> Result<Self, SparseError> {
+        if rows.len() != cols.len() || rows.len() != vals.len() {
+            return Err(SparseError::MalformedOffsets(format!(
+                "triplet arrays disagree in length: {} rows, {} cols, {} vals",
+                rows.len(),
+                cols.len(),
+                vals.len()
+            )));
+        }
+        for (&r, &c) in rows.iter().zip(&cols) {
+            if r as usize >= n_rows || c as usize >= n_cols {
+                return Err(SparseError::IndexOutOfBounds {
+                    row: r as usize,
+                    col: c as usize,
+                    n_rows,
+                    n_cols,
+                });
+            }
+        }
+        Ok(Coo { n_rows, n_cols, rows, cols, vals })
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Number of stored entries (including any duplicates not yet summed).
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Appends one entry. Panics in debug builds on out-of-bounds indices.
+    #[inline]
+    pub fn push(&mut self, row: usize, col: usize, val: Val) {
+        debug_assert!(row < self.n_rows && col < self.n_cols, "({row},{col}) out of bounds");
+        self.rows.push(row as Idx);
+        self.cols.push(col as Idx);
+        self.vals.push(val);
+    }
+
+    /// Sorts entries into row-major order and sums duplicate coordinates.
+    ///
+    /// After this call every (row, col) pair is unique and the triplets are
+    /// sorted by `(row, col)`, which makes the CSR conversion a single scan.
+    pub fn sum_duplicates(&mut self) {
+        let mut order: Vec<usize> = (0..self.nnz()).collect();
+        order.sort_unstable_by_key(|&k| (self.rows[k], self.cols[k]));
+        let mut rows = Vec::with_capacity(self.nnz());
+        let mut cols = Vec::with_capacity(self.nnz());
+        let mut vals = Vec::with_capacity(self.nnz());
+        for k in order {
+            let (r, c, v) = (self.rows[k], self.cols[k], self.vals[k]);
+            if let (Some(&lr), Some(&lc)) = (rows.last(), cols.last()) {
+                if lr == r && lc == c {
+                    *vals.last_mut().expect("vals tracks rows") += v;
+                    continue;
+                }
+            }
+            rows.push(r);
+            cols.push(c);
+            vals.push(v);
+        }
+        self.rows = rows;
+        self.cols = cols;
+        self.vals = vals;
+    }
+
+    /// Returns the transposed matrix (rows and columns swapped).
+    pub fn transpose(&self) -> Coo {
+        Coo {
+            n_rows: self.n_cols,
+            n_cols: self.n_rows,
+            rows: self.cols.clone(),
+            cols: self.rows.clone(),
+            vals: self.vals.clone(),
+        }
+    }
+
+    /// Iterates over `(row, col, value)` triplets.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, Val)> + '_ {
+        self.rows
+            .iter()
+            .zip(&self.cols)
+            .zip(&self.vals)
+            .map(|((&r, &c), &v)| (r as usize, c as usize, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_iterate() {
+        let mut a = Coo::new(3, 3);
+        a.push(0, 0, 1.0);
+        a.push(2, 1, -2.0);
+        assert_eq!(a.nnz(), 2);
+        let triplets: Vec<_> = a.iter().collect();
+        assert_eq!(triplets, vec![(0, 0, 1.0), (2, 1, -2.0)]);
+    }
+
+    #[test]
+    fn from_triplets_validates_bounds() {
+        let err = Coo::from_triplets(2, 2, vec![0, 3], vec![0, 0], vec![1.0, 1.0]);
+        assert!(matches!(err, Err(SparseError::IndexOutOfBounds { row: 3, .. })));
+    }
+
+    #[test]
+    fn from_triplets_validates_lengths() {
+        let err = Coo::from_triplets(2, 2, vec![0], vec![0, 1], vec![1.0, 1.0]);
+        assert!(matches!(err, Err(SparseError::MalformedOffsets(_))));
+    }
+
+    #[test]
+    fn sum_duplicates_merges_and_sorts() {
+        let mut a = Coo::new(2, 2);
+        a.push(1, 1, 2.0);
+        a.push(0, 0, 1.0);
+        a.push(1, 1, 3.0);
+        a.push(0, 1, 4.0);
+        a.sum_duplicates();
+        let triplets: Vec<_> = a.iter().collect();
+        assert_eq!(triplets, vec![(0, 0, 1.0), (0, 1, 4.0), (1, 1, 5.0)]);
+    }
+
+    #[test]
+    fn transpose_swaps_coordinates() {
+        let mut a = Coo::new(2, 3);
+        a.push(0, 2, 7.0);
+        let t = a.transpose();
+        assert_eq!(t.n_rows(), 3);
+        assert_eq!(t.n_cols(), 2);
+        assert_eq!(t.iter().next(), Some((2, 0, 7.0)));
+    }
+}

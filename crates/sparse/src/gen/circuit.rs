@@ -1,0 +1,141 @@
+//! Circuit-netlist-style generator.
+//!
+//! Post-layout circuit matrices (the pre2 / onetone / rajat family the
+//! paper's motivation centres on) are unsymmetric, have a heavy-tailed
+//! degree distribution (power/ground rails touch many nodes, most nodes
+//! touch a handful), and strong locality (devices connect nearby nodes).
+//! This generator reproduces those traits with three edge classes:
+//! local couplings, preferential-attachment "rail" edges, and a sprinkle of
+//! long-range feedback edges that breaks symmetry.
+
+use super::{assemble_dominant, draw_val, rng};
+use crate::{Coo, Csr};
+use rand::Rng;
+
+/// Parameters of the circuit generator.
+#[derive(Debug, Clone)]
+pub struct CircuitParams {
+    /// Matrix dimension.
+    pub n: usize,
+    /// Target average nonzeros per row (including the diagonal).
+    pub nnz_per_row: f64,
+    /// Fraction of off-diagonal edges drawn as rail (hub) connections.
+    pub rail_fraction: f64,
+    /// Number of hub (rail) nodes.
+    pub rails: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CircuitParams {
+    fn default() -> Self {
+        CircuitParams { n: 1024, nnz_per_row: 8.0, rail_fraction: 0.15, rails: 4, seed: 0xC1C }
+    }
+}
+
+/// Generates a circuit-style diagonally dominant matrix.
+pub fn circuit(params: &CircuitParams) -> Csr {
+    let CircuitParams { n, nnz_per_row, rail_fraction, rails, seed } = *params;
+    assert!(n >= 2, "circuit generator needs n >= 2");
+    let mut r = rng(seed);
+    // One diagonal per row is implied; budget the rest as off-diagonals.
+    let off_target = ((nnz_per_row - 1.0).max(0.5) * n as f64) as usize;
+    let n_rail = (off_target as f64 * rail_fraction) as usize;
+    let n_local = off_target - n_rail;
+    let rails = rails.max(1).min(n);
+
+    let mut coo = Coo::with_capacity(n, n, off_target + n);
+    // Local couplings: node i to a node within a window, asymmetric.
+    // Each draw emits ~1.7 entries (one always, one with p=0.7), so divide
+    // the budget accordingly; rail draws emit 2.
+    let window = (n / 64).max(2);
+    let n_local = (n_local as f64 / 1.7) as usize;
+    let n_rail = n_rail / 2;
+    for _ in 0..n_local {
+        let i = r.gen_range(0..n);
+        let lo = i.saturating_sub(window);
+        let hi = (i + window).min(n - 1);
+        let j = r.gen_range(lo..=hi);
+        if i != j {
+            coo.push(i, j, draw_val(&mut r));
+            // Devices are mostly (not always) bidirectional couplings.
+            if r.gen_bool(0.7) {
+                coo.push(j, i, draw_val(&mut r));
+            }
+        }
+    }
+    // Rail edges: connect random nodes to one of the hub nodes (low ids,
+    // mimicking supply nets that are eliminated early).
+    for _ in 0..n_rail {
+        let i = r.gen_range(0..n);
+        let hub = r.gen_range(0..rails);
+        if i != hub {
+            coo.push(i, hub, draw_val(&mut r));
+            coo.push(hub, i, draw_val(&mut r));
+        }
+    }
+    // Long-range feedback (controlled sources): strictly one-directional.
+    // Kept rare — a sprinkle of global edges breaks symmetry without
+    // collapsing the elimination ordering's separators.
+    for _ in 0..(off_target / 100).max(1) {
+        let i = r.gen_range(0..n);
+        let j = r.gen_range(0..n);
+        if i != j {
+            coo.push(i, j, draw_val(&mut r));
+        }
+    }
+    assemble_dominant(coo, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn density_close_to_target() {
+        let p = CircuitParams { n: 2000, nnz_per_row: 9.0, ..Default::default() };
+        let a = circuit(&p);
+        let d = a.density();
+        // Duplicates get merged so density can undershoot; it must be in
+        // the right ballpark and never overshoot by much.
+        assert!(d > 5.0 && d < 11.0, "density {d} out of band");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = CircuitParams { n: 300, ..Default::default() };
+        assert_eq!(circuit(&p), circuit(&p));
+        let q = CircuitParams { seed: 99, ..p };
+        assert_ne!(circuit(&p), circuit(&q));
+    }
+
+    #[test]
+    fn unsymmetric_pattern() {
+        let a = circuit(&CircuitParams { n: 500, ..Default::default() });
+        let mut asym = 0;
+        for i in 0..a.n_rows() {
+            for (j, _) in a.row_iter(i) {
+                if a.get(j, i).is_none() {
+                    asym += 1;
+                }
+            }
+        }
+        assert!(asym > 0, "circuit matrices must be structurally unsymmetric");
+    }
+
+    #[test]
+    fn diagonally_dominant_and_factorizable() {
+        let a = circuit(&CircuitParams { n: 64, nnz_per_row: 6.0, ..Default::default() });
+        assert!(a.has_full_diagonal());
+        let d = crate::convert::csr_to_dense(&a);
+        assert!(d.lu_no_pivot().is_ok());
+    }
+
+    #[test]
+    fn hubs_have_high_degree() {
+        let a = circuit(&CircuitParams { n: 2000, nnz_per_row: 8.0, ..Default::default() });
+        let hub_deg = a.row_cols(0).len();
+        let mid_deg = a.row_cols(1000).len();
+        assert!(hub_deg > 3 * mid_deg, "hub degree {hub_deg} vs mid {mid_deg}");
+    }
+}

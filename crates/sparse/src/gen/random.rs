@@ -1,0 +1,76 @@
+//! Plain uniform random sparse matrices — the workhorse of unit and
+//! property tests, where no particular application structure is wanted.
+
+use super::{assemble_dominant, draw_val, rng};
+use crate::{Coo, Csr};
+use rand::Rng;
+
+/// Generates an `n x n` diagonally dominant matrix with approximately
+/// `nnz_per_row` entries per row, uniformly scattered.
+pub fn random_dominant(n: usize, nnz_per_row: f64, seed: u64) -> Csr {
+    assert!(n >= 1);
+    let mut r = rng(seed);
+    let off_target = ((nnz_per_row - 1.0).max(0.0) * n as f64) as usize;
+    let mut coo = Coo::with_capacity(n, n, off_target + n);
+    for _ in 0..off_target {
+        let i = r.gen_range(0..n);
+        let j = r.gen_range(0..n);
+        if i != j {
+            coo.push(i, j, draw_val(&mut r));
+        }
+    }
+    assemble_dominant(coo, 1.0)
+}
+
+/// Generates a banded diagonally dominant matrix (half-bandwidth `band`),
+/// useful when tests need predictable, low fill.
+pub fn banded_dominant(n: usize, band: usize, seed: u64) -> Csr {
+    let mut r = rng(seed);
+    let mut coo = Coo::with_capacity(n, n, n * (2 * band + 1));
+    for i in 0..n {
+        let lo = i.saturating_sub(band);
+        let hi = (i + band).min(n - 1);
+        for j in lo..=hi {
+            if i != j && r.gen_bool(0.8) {
+                coo.push(i, j, draw_val(&mut r));
+            }
+        }
+    }
+    assemble_dominant(coo, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_dominant_factorizes() {
+        let a = random_dominant(40, 5.0, 9);
+        assert!(a.has_full_diagonal());
+        assert!(crate::convert::csr_to_dense(&a).lu_no_pivot().is_ok());
+    }
+
+    #[test]
+    fn banded_respects_bandwidth() {
+        let a = banded_dominant(50, 3, 10);
+        for i in 0..50 {
+            for (j, _) in a.row_iter(i) {
+                assert!(i.abs_diff(j) <= 3);
+            }
+        }
+    }
+
+    #[test]
+    fn density_tracks_request() {
+        let a = random_dominant(5000, 7.0, 11);
+        let d = a.density();
+        assert!(d > 5.0 && d <= 7.5, "density {d}");
+    }
+
+    #[test]
+    fn single_row_matrix_works() {
+        let a = random_dominant(1, 3.0, 1);
+        assert_eq!(a.n_rows(), 1);
+        assert_eq!(a.nnz(), 1);
+    }
+}

@@ -1,0 +1,229 @@
+//! The paper's matrix suites, as named synthetic analogs.
+//!
+//! [`paper_suite`] reproduces Table 2 (the 18 matrices whose symbolic
+//! intermediates exceed GPU memory), [`um_suite`] the 7 smallest-`n` of
+//! those used for the unified-memory comparison (Figures 5/6, Table 3),
+//! [`frontier_pair`] the two matrices of Figures 3/7 (pre2 and audikw_1),
+//! and [`large_suite`] the four huge Table 4 matrices.
+//!
+//! Each entry records the *paper's* `n`/`nnz` and generates an analog at
+//! `paper_n / scale` with the same `nnz/n`, per DESIGN.md §2. The GPU
+//! profile used alongside a suite must be scaled correspondingly (see
+//! `gplu_sim::GpuConfig`): device memory by `scale²` for the symbolic
+//! out-of-core experiments (preserving the iteration count `∝ n²/L`) and
+//! by `scale` for the numeric-format experiments (preserving the parallel
+//! column limit `M = L/(n·4)`).
+
+use super::circuit::{circuit, CircuitParams};
+use super::mesh::{mesh, MeshParams};
+use super::planar::{planar, PlanarParams};
+use crate::Csr;
+
+/// The structural family an analog is drawn from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// Unsymmetric circuit/netlist-like pattern.
+    Circuit,
+    /// Near-symmetric multi-DOF FEM stencil.
+    Mesh,
+    /// Planar triangulation with deficient diagonal (Table 4 family).
+    Planar,
+}
+
+/// One matrix of a paper suite.
+#[derive(Debug, Clone)]
+pub struct SuiteEntry {
+    /// Full SuiteSparse name from the paper.
+    pub name: &'static str,
+    /// The paper's abbreviation (Table 2 column "abbr").
+    pub abbr: &'static str,
+    /// Paper dimension.
+    pub paper_n: usize,
+    /// Paper nonzero count.
+    pub paper_nnz: usize,
+    /// Pattern family used for the analog.
+    pub family: Family,
+}
+
+impl SuiteEntry {
+    /// Paper density `nnz/n`.
+    pub fn paper_density(&self) -> f64 {
+        self.paper_nnz as f64 / self.paper_n as f64
+    }
+
+    /// Analog dimension at `scale`, floored at 768 rows — below that the
+    /// device's fixed overheads dominate any matrix and the analog stops
+    /// exercising the out-of-core machinery meaningfully.
+    pub fn analog_n(&self, scale: usize) -> usize {
+        (self.paper_n / scale).max(768)
+    }
+
+    /// Generates the analog matrix at `scale` (dimension `paper_n/scale`,
+    /// density preserved). Deterministic: the seed is derived from the
+    /// matrix name.
+    pub fn generate(&self, scale: usize) -> Csr {
+        let n = self.analog_n(scale);
+        let density = self.paper_density();
+        let seed = self
+            .name
+            .bytes()
+            .fold(0xcbf29ce484222325u64, |h, b| (h ^ b as u64).wrapping_mul(0x100000001b3));
+        match self.family {
+            Family::Circuit => circuit(&CircuitParams {
+                n,
+                nnz_per_row: density,
+                rail_fraction: 0.12,
+                rails: (n / 256).max(2),
+                seed,
+            }),
+            Family::Mesh => mesh(&MeshParams::for_target(n, density, seed)),
+            Family::Planar => planar(&PlanarParams::for_target(n, density, seed)),
+        }
+    }
+}
+
+/// Default scale divisor for the Table 2 suite.
+pub const DEFAULT_SCALE: usize = 128;
+/// Default scale divisor for the Table 4 (huge) suite.
+pub const DEFAULT_LARGE_SCALE: usize = 1024;
+
+/// Table 2: the 18 matrices whose symbolic-factorization intermediates
+/// exceed V100 device memory, in the paper's row order.
+pub fn paper_suite() -> Vec<SuiteEntry> {
+    use Family::*;
+    vec![
+        SuiteEntry { name: "g7jac200sc", abbr: "G7", paper_n: 59310, paper_nnz: 837936, family: Circuit },
+        SuiteEntry { name: "rma10", abbr: "RM", paper_n: 46835, paper_nnz: 2374001, family: Mesh },
+        SuiteEntry { name: "pre2", abbr: "PR", paper_n: 659033, paper_nnz: 5959282, family: Circuit },
+        SuiteEntry { name: "inline_1", abbr: "IN", paper_n: 503712, paper_nnz: 18660027, family: Mesh },
+        SuiteEntry { name: "crankseg_2", abbr: "CR2", paper_n: 63838, paper_nnz: 7106348, family: Mesh },
+        SuiteEntry { name: "bmwcra_1", abbr: "BMC", paper_n: 148770, paper_nnz: 5396386, family: Mesh },
+        SuiteEntry { name: "crankseg_1", abbr: "CR1", paper_n: 52804, paper_nnz: 5333507, family: Mesh },
+        SuiteEntry { name: "bmw7st_1", abbr: "BM7", paper_n: 141347, paper_nnz: 3740507, family: Mesh },
+        SuiteEntry { name: "apache2", abbr: "AP", paper_n: 715176, paper_nnz: 2766523, family: Mesh },
+        SuiteEntry { name: "s3dkq4m2", abbr: "S34", paper_n: 90449, paper_nnz: 2455670, family: Mesh },
+        SuiteEntry { name: "s3dkt3m2", abbr: "S33", paper_n: 90449, paper_nnz: 1921955, family: Mesh },
+        SuiteEntry { name: "onetone2", abbr: "OT2", paper_n: 36057, paper_nnz: 227628, family: Circuit },
+        SuiteEntry { name: "rajat15", abbr: "R15", paper_n: 37261, paper_nnz: 443573, family: Circuit },
+        SuiteEntry { name: "bbmat", abbr: "BB", paper_n: 38744, paper_nnz: 1771722, family: Circuit },
+        SuiteEntry { name: "mixtank_new", abbr: "MI", paper_n: 29957, paper_nnz: 1995041, family: Mesh },
+        SuiteEntry { name: "Goodwin_054", abbr: "GO", paper_n: 32510, paper_nnz: 1030878, family: Mesh },
+        SuiteEntry { name: "onetone1", abbr: "OT1", paper_n: 36057, paper_nnz: 341088, family: Circuit },
+        SuiteEntry { name: "windtunnel_evap3d", abbr: "WI", paper_n: 40816, paper_nnz: 2730600, family: Mesh },
+    ]
+}
+
+/// The 7 matrices of the unified-memory experiments (Figures 5/6, Table 3):
+/// the Table 2 entries with the smallest `n` (all below 41,000 rows), in
+/// the paper's Table 3 row order.
+pub fn um_suite() -> Vec<SuiteEntry> {
+    let order = ["OT2", "R15", "BB", "MI", "GO", "OT1", "WI"];
+    let all = paper_suite();
+    order
+        .iter()
+        .map(|abbr| {
+            all.iter()
+                .find(|e| e.abbr == *abbr)
+                .expect("um_suite abbreviations are a subset of paper_suite")
+                .clone()
+        })
+        .collect()
+}
+
+/// The two matrices of Figures 3 and 7: pre2 and audikw_1 (the latter is
+/// not in Table 2; the paper uses it only for the frontier-profile and
+/// dynamic-parallelism experiments).
+pub fn frontier_pair() -> Vec<SuiteEntry> {
+    let pre2 = paper_suite().into_iter().find(|e| e.abbr == "PR").expect("pre2 in suite");
+    vec![
+        pre2,
+        SuiteEntry {
+            name: "audikw_1",
+            abbr: "AUD",
+            paper_n: 943695,
+            paper_nnz: 77651847,
+            family: Family::Mesh,
+        },
+    ]
+}
+
+/// Table 4: the four huge planar matrices used for the numeric-format
+/// experiment, with their paper sizes. These are rank-deficient (missing
+/// diagonals) until repaired with value 1000, as in the paper.
+pub fn large_suite() -> Vec<SuiteEntry> {
+    use Family::Planar;
+    vec![
+        SuiteEntry { name: "hugetrace-00020", abbr: "HT20", paper_n: 16_002_413, paper_nnz: 47_997_626, family: Planar },
+        SuiteEntry { name: "delaunay_n24", abbr: "D24", paper_n: 16_777_216, paper_nnz: 100_663_202, family: Planar },
+        SuiteEntry { name: "hugebubbles-00000", abbr: "HB00", paper_n: 18_318_143, paper_nnz: 54_940_162, family: Planar },
+        SuiteEntry { name: "hugebubbles-00010", abbr: "HB10", paper_n: 19_458_087, paper_nnz: 58_359_528, family: Planar },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_has_18_rows_in_paper_order() {
+        let suite = paper_suite();
+        assert_eq!(suite.len(), 18);
+        assert_eq!(suite[0].abbr, "G7");
+        assert_eq!(suite[17].abbr, "WI");
+    }
+
+    #[test]
+    fn um_suite_matches_paper_selection() {
+        let um = um_suite();
+        assert_eq!(um.len(), 7);
+        assert!(um.iter().all(|e| e.paper_n < 41_000), "paper: all 7 have fewer than 41k rows");
+        assert_eq!(um[0].abbr, "OT2");
+        assert_eq!(um[6].abbr, "WI");
+    }
+
+    #[test]
+    fn densities_match_table2() {
+        let suite = paper_suite();
+        let g7 = suite.iter().find(|e| e.abbr == "G7").expect("G7 exists");
+        assert!((g7.paper_density() - 14.1).abs() < 0.1);
+        let cr2 = suite.iter().find(|e| e.abbr == "CR2").expect("CR2 exists");
+        assert!((cr2.paper_density() - 111.3).abs() < 0.1);
+    }
+
+    #[test]
+    fn analogs_generate_with_preserved_density() {
+        for entry in [&paper_suite()[11], &paper_suite()[4]] {
+            // OT2 (sparse circuit) and CR2 (dense mesh)
+            let a = entry.generate(256);
+            let want = entry.paper_density();
+            let got = a.density();
+            assert!(
+                got > want * 0.4 && got < want * 1.6,
+                "{}: analog density {got:.1} vs paper {want:.1}",
+                entry.abbr
+            );
+        }
+    }
+
+    #[test]
+    fn analog_dimension_scales() {
+        let pr = &paper_suite()[2];
+        assert_eq!(pr.analog_n(128), 659033 / 128);
+        assert_eq!(pr.analog_n(1 << 30), 768, "floor at 768 rows");
+    }
+
+    #[test]
+    fn large_suite_is_planar_and_deficient() {
+        for e in large_suite() {
+            assert_eq!(e.family, Family::Planar);
+            let a = e.generate(4096);
+            assert!(!a.has_full_diagonal(), "{} analog must need diagonal repair", e.abbr);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let e = &paper_suite()[0];
+        assert_eq!(e.generate(512), e.generate(512));
+    }
+}

@@ -1,0 +1,217 @@
+//! Matrix Market I/O.
+//!
+//! The paper evaluates on SuiteSparse matrices, which are distributed in the
+//! Matrix Market exchange format. This reader/writer supports the subset the
+//! collection uses for LU-factorizable inputs: `matrix coordinate
+//! real|integer|pattern general|symmetric`.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::{error::SparseError, Coo};
+
+/// Symmetry declared in a Matrix Market header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Symmetry {
+    /// All entries stored explicitly.
+    General,
+    /// Only the lower triangle stored; the reader mirrors it.
+    Symmetric,
+}
+
+/// Reads a Matrix Market `coordinate` file into COO form.
+///
+/// Pattern matrices get value `1.0` for every entry. Symmetric matrices are
+/// expanded to general storage (off-diagonal entries mirrored).
+pub fn read_matrix_market<R: Read>(reader: R) -> Result<Coo, SparseError> {
+    let mut lines = BufReader::new(reader).lines();
+
+    let header = loop {
+        match lines.next() {
+            Some(line) => {
+                let line = line?;
+                if !line.trim().is_empty() {
+                    break line;
+                }
+            }
+            None => return Err(SparseError::Parse("empty file".into())),
+        }
+    };
+    let head: Vec<String> = header.split_whitespace().map(|t| t.to_ascii_lowercase()).collect();
+    if head.len() < 4 || head[0] != "%%matrixmarket" || head[1] != "matrix" {
+        return Err(SparseError::Parse(format!("bad header line: {header}")));
+    }
+    if head[2] != "coordinate" {
+        return Err(SparseError::Parse(format!(
+            "only coordinate format supported, got {}",
+            head[2]
+        )));
+    }
+    let field = head[3].as_str();
+    let pattern = match field {
+        "real" | "integer" => false,
+        "pattern" => true,
+        other => {
+            return Err(SparseError::Parse(format!("unsupported field type {other}")));
+        }
+    };
+    let symmetry = match head.get(4).map(String::as_str) {
+        None | Some("general") => Symmetry::General,
+        Some("symmetric") => Symmetry::Symmetric,
+        Some(other) => {
+            return Err(SparseError::Parse(format!("unsupported symmetry {other}")));
+        }
+    };
+
+    // Skip comments, find the size line.
+    let size_line = loop {
+        match lines.next() {
+            Some(line) => {
+                let line = line?;
+                let t = line.trim();
+                if t.is_empty() || t.starts_with('%') {
+                    continue;
+                }
+                break line;
+            }
+            None => return Err(SparseError::Parse("missing size line".into())),
+        }
+    };
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| t.parse::<usize>())
+        .collect::<Result<_, _>>()
+        .map_err(|e| SparseError::Parse(format!("bad size line '{size_line}': {e}")))?;
+    if dims.len() != 3 {
+        return Err(SparseError::Parse(format!("size line needs 3 fields: {size_line}")));
+    }
+    let (n_rows, n_cols, nnz) = (dims[0], dims[1], dims[2]);
+
+    let mut coo = Coo::with_capacity(n_rows, n_cols, nnz);
+    let mut read = 0usize;
+    for line in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let i: usize = it
+            .next()
+            .ok_or_else(|| SparseError::Parse(format!("short entry line: {t}")))?
+            .parse()
+            .map_err(|e| SparseError::Parse(format!("bad row in '{t}': {e}")))?;
+        let j: usize = it
+            .next()
+            .ok_or_else(|| SparseError::Parse(format!("short entry line: {t}")))?
+            .parse()
+            .map_err(|e| SparseError::Parse(format!("bad col in '{t}': {e}")))?;
+        let v: f64 = if pattern {
+            1.0
+        } else {
+            it.next()
+                .ok_or_else(|| SparseError::Parse(format!("missing value in '{t}'")))?
+                .parse()
+                .map_err(|e| SparseError::Parse(format!("bad value in '{t}': {e}")))?
+        };
+        if i == 0 || j == 0 || i > n_rows || j > n_cols {
+            return Err(SparseError::IndexOutOfBounds {
+                row: i.wrapping_sub(1),
+                col: j.wrapping_sub(1),
+                n_rows,
+                n_cols,
+            });
+        }
+        coo.push(i - 1, j - 1, v);
+        if symmetry == Symmetry::Symmetric && i != j {
+            coo.push(j - 1, i - 1, v);
+        }
+        read += 1;
+    }
+    if read != nnz {
+        return Err(SparseError::Parse(format!("header declared {nnz} entries, found {read}")));
+    }
+    Ok(coo)
+}
+
+/// Reads a Matrix Market file from a path.
+pub fn read_matrix_market_file<P: AsRef<Path>>(path: P) -> Result<Coo, SparseError> {
+    read_matrix_market(std::fs::File::open(path)?)
+}
+
+/// Writes a COO matrix as `matrix coordinate real general`.
+pub fn write_matrix_market<W: Write>(writer: W, a: &Coo) -> Result<(), SparseError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "% written by gplu-sparse")?;
+    writeln!(w, "{} {} {}", a.n_rows(), a.n_cols(), a.nnz())?;
+    for (i, j, v) in a.iter() {
+        writeln!(w, "{} {} {:.17e}", i + 1, j + 1, v)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes a COO matrix to a path.
+pub fn write_matrix_market_file<P: AsRef<Path>>(path: P, a: &Coo) -> Result<(), SparseError> {
+    write_matrix_market(std::fs::File::create(path)?, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_general_real() {
+        let text = "%%MatrixMarket matrix coordinate real general\n% comment\n3 3 2\n1 1 1.5\n3 2 -2.0\n";
+        let a = read_matrix_market(text.as_bytes()).expect("parses");
+        assert_eq!(a.n_rows(), 3);
+        assert_eq!(a.nnz(), 2);
+        let entries: Vec<_> = a.iter().collect();
+        assert_eq!(entries, vec![(0, 0, 1.5), (2, 1, -2.0)]);
+    }
+
+    #[test]
+    fn parses_symmetric_and_mirrors() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n2 2 2\n1 1 4.0\n2 1 1.0\n";
+        let a = read_matrix_market(text.as_bytes()).expect("parses");
+        // Diagonal not mirrored, off-diagonal mirrored.
+        assert_eq!(a.nnz(), 3);
+        let entries: Vec<_> = a.iter().collect();
+        assert!(entries.contains(&(0, 1, 1.0)));
+        assert!(entries.contains(&(1, 0, 1.0)));
+    }
+
+    #[test]
+    fn parses_pattern() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n2 2\n";
+        let a = read_matrix_market(text.as_bytes()).expect("parses");
+        assert_eq!(a.iter().next(), Some((1, 1, 1.0)));
+    }
+
+    #[test]
+    fn rejects_entry_count_mismatch() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";
+        assert!(matches!(read_matrix_market(text.as_bytes()), Err(SparseError::Parse(_))));
+    }
+
+    #[test]
+    fn rejects_one_based_overflow() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        assert!(matches!(
+            read_matrix_market(text.as_bytes()),
+            Err(SparseError::IndexOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn round_trips_through_writer() {
+        let mut a = Coo::new(3, 3);
+        a.push(0, 0, 1.25);
+        a.push(2, 1, -7.5);
+        let mut buf = Vec::new();
+        write_matrix_market(&mut buf, &a).expect("writes");
+        let b = read_matrix_market(&buf[..]).expect("parses");
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,165 @@
+//! Reverse Cuthill–McKee ordering.
+
+use super::symmetrized_adjacency;
+use crate::{Csr, Idx};
+
+/// Computes the reverse Cuthill–McKee ordering of `A + Aᵀ`.
+///
+/// Returns old indices in new sequence (`order[k]` = old index placed at new
+/// position `k`). Disconnected components are each started from a
+/// pseudo-peripheral vertex found by repeated BFS.
+pub fn rcm_order(a: &Csr) -> Vec<Idx> {
+    let n = a.n_rows();
+    let (ptr, adj) = symmetrized_adjacency(a);
+    let degree = |u: usize| ptr[u + 1] - ptr[u];
+
+    let mut visited = vec![false; n];
+    let mut order: Vec<Idx> = Vec::with_capacity(n);
+    let mut frontier: Vec<Idx> = Vec::new();
+    let mut next: Vec<Idx> = Vec::new();
+
+    for start in 0..n {
+        if visited[start] {
+            continue;
+        }
+        let root = pseudo_peripheral(start, &ptr, &adj, &visited);
+        visited[root] = true;
+        let component_begin = order.len();
+        order.push(root as Idx);
+        frontier.clear();
+        frontier.push(root as Idx);
+        while !frontier.is_empty() {
+            next.clear();
+            for &u in &frontier {
+                let u = u as usize;
+                // Gather unvisited neighbours sorted by ascending degree,
+                // the Cuthill–McKee tie-break.
+                let begin = next.len();
+                for &v in &adj[ptr[u]..ptr[u + 1]] {
+                    if !visited[v as usize] {
+                        visited[v as usize] = true;
+                        next.push(v);
+                    }
+                }
+                next[begin..].sort_unstable_by_key(|&v| degree(v as usize));
+            }
+            order.extend_from_slice(&next);
+            std::mem::swap(&mut frontier, &mut next);
+        }
+        // Reverse within the component (the "reverse" in RCM).
+        order[component_begin..].reverse();
+    }
+    order
+}
+
+/// Finds a pseudo-peripheral vertex of the component containing `start`
+/// by alternating BFS from the farthest minimal-degree vertex.
+fn pseudo_peripheral(start: usize, ptr: &[usize], adj: &[Idx], visited: &[bool]) -> usize {
+    let n = visited.len();
+    let mut root = start;
+    let mut last_ecc = 0usize;
+    let mut level = vec![usize::MAX; n];
+    for _ in 0..4 {
+        // BFS computing eccentricity from `root`.
+        level.iter_mut().for_each(|l| *l = usize::MAX);
+        level[root] = 0;
+        let mut queue = std::collections::VecDeque::from([root]);
+        let mut farthest = root;
+        while let Some(u) = queue.pop_front() {
+            for &v in &adj[ptr[u]..ptr[u + 1]] {
+                let v = v as usize;
+                if !visited[v] && level[v] == usize::MAX {
+                    level[v] = level[u] + 1;
+                    if level[v] > level[farthest] {
+                        farthest = v;
+                    }
+                    queue.push_back(v);
+                }
+            }
+        }
+        let ecc = level[farthest];
+        if ecc <= last_ecc && last_ecc > 0 {
+            break;
+        }
+        last_ecc = ecc;
+        // Restart from the farthest vertex of minimal degree at that level.
+        let min_deg_far = (0..n)
+            .filter(|&v| level[v] == ecc)
+            .min_by_key(|&v| ptr[v + 1] - ptr[v])
+            .unwrap_or(farthest);
+        root = min_deg_far;
+    }
+    root
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::coo_to_csr;
+    use crate::{Coo, Permutation};
+
+    fn path_graph(n: usize) -> Csr {
+        let mut coo = Coo::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 4.0);
+            if i + 1 < n {
+                coo.push(i, i + 1, -1.0);
+                coo.push(i + 1, i, -1.0);
+            }
+        }
+        coo_to_csr(&coo)
+    }
+
+    fn bandwidth(a: &Csr) -> usize {
+        (0..a.n_rows())
+            .flat_map(|i| a.row_cols(i).iter().map(move |&j| i.abs_diff(j as usize)))
+            .max()
+            .unwrap_or(0)
+    }
+
+    #[test]
+    fn rcm_is_a_permutation() {
+        let a = path_graph(10);
+        let order = rcm_order(&a);
+        assert!(Permutation::from_order(&order).is_ok());
+    }
+
+    #[test]
+    fn rcm_keeps_path_bandwidth_one() {
+        let a = path_graph(16);
+        let order = rcm_order(&a);
+        let p = Permutation::from_order(&order).expect("valid");
+        let b = crate::perm::permute_csr(&a, &p, &p);
+        assert_eq!(bandwidth(&b), 1);
+    }
+
+    #[test]
+    fn rcm_reduces_bandwidth_of_shuffled_path() {
+        // Shuffle a path graph badly, then check RCM restores bandwidth 1.
+        let a = path_graph(32);
+        let shuffle =
+            Permutation::from_forward((0..32).map(|i| ((i * 17) % 32) as Idx).collect::<Vec<_>>())
+                .expect("17 coprime to 32");
+        let shuffled = crate::perm::permute_csr(&a, &shuffle, &shuffle);
+        assert!(bandwidth(&shuffled) > 1);
+        let p = Permutation::from_order(&rcm_order(&shuffled)).expect("valid");
+        let restored = crate::perm::permute_csr(&shuffled, &p, &p);
+        assert_eq!(bandwidth(&restored), 1);
+    }
+
+    #[test]
+    fn rcm_handles_disconnected_components() {
+        let mut coo = Coo::new(4, 4);
+        for i in 0..4 {
+            coo.push(i, i, 1.0);
+        }
+        coo.push(0, 1, 1.0);
+        coo.push(1, 0, 1.0);
+        coo.push(2, 3, 1.0);
+        coo.push(3, 2, 1.0);
+        let a = coo_to_csr(&coo);
+        let order = rcm_order(&a);
+        assert!(Permutation::from_order(&order).is_ok());
+        assert_eq!(order.len(), 4);
+    }
+}

@@ -1,0 +1,250 @@
+//! The fill2 per-row traversal (the paper's Algorithm 1).
+//!
+//! For a source row `src`, the traversal discovers every column of the
+//! filled row `As(src, :)`: the original entries of `A(src, :)` plus every
+//! fill-in `(src, j)` licensed by Theorem 1. It sweeps a *threshold* upward
+//! over discovered vertices `< src`; from each threshold it BFS-explores
+//! the adjacency of `A`, classifying each newly reached vertex as a fill-in
+//! (if above the threshold) or as a further frontier vertex (if below).
+//!
+//! This single function is the kernel body shared by the CPU baseline, the
+//! out-of-core GPU stages (`symbolic_1` counting / `symbolic_2` storing)
+//! and the unified-memory variants — they differ only in memory management
+//! and cost accounting, exactly as in the paper.
+
+use gplu_sparse::{Csr, Idx};
+
+/// Reusable per-worker state: the `c·n` words of traversal storage the
+/// paper's chunk sizing is built around (fill stamps + two frontier
+/// queues; the remaining words of `c = 6` are the emit buffers owned by
+/// the call sites).
+#[derive(Debug)]
+pub struct Fill2Workspace {
+    /// Visit stamps: `fill[v] == src` means `v` was reached during `src`'s
+    /// traversal. Stamps are unique per row, so the array never needs
+    /// clearing between rows (the `fill(:) = 0` of Algorithm 1 happens
+    /// once, here at construction).
+    fill: Vec<u32>,
+    queue: Vec<Idx>,
+    next: Vec<Idx>,
+}
+
+impl Fill2Workspace {
+    /// Workspace for an `n × n` matrix.
+    pub fn new(n: usize) -> Self {
+        Fill2Workspace {
+            fill: vec![u32::MAX; n],
+            queue: Vec::with_capacity(64),
+            next: Vec::with_capacity(64),
+        }
+    }
+
+    /// Matrix dimension this workspace serves.
+    pub fn n(&self) -> usize {
+        self.fill.len()
+    }
+}
+
+/// Traversal metrics for one source row — these drive both the simulator's
+/// cost accounting and the paper's Figure 3 / Algorithm 4 analyses.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RowMetrics {
+    /// Frontier BFS iterations executed (each is one block-wide step).
+    pub steps: u64,
+    /// Adjacency entries scanned.
+    pub edges: u64,
+    /// Total frontier vertices processed — the paper's per-row "number of
+    /// frontiers" (Figure 3's y-axis, Algorithm 4's split criterion).
+    pub frontiers: u64,
+    /// Largest instantaneous frontier queue — what the dynamic-assignment
+    /// variant sizes its shrunken part-1 queues against.
+    pub max_queue: u64,
+    /// Entries emitted for the filled row (originals + fill-ins, incl. the
+    /// diagonal).
+    pub emitted: u32,
+}
+
+/// Runs the fill2 traversal for row `src`.
+///
+/// Every column of the filled row `As(src, :)` is passed to `emit`
+/// (unsorted; the diagonal and original entries included). Pass a counting
+/// closure for stage 1 (`symbolic_1`) and a collecting closure for stage 2
+/// (`symbolic_2`).
+pub fn fill2_row(
+    a: &Csr,
+    src: u32,
+    ws: &mut Fill2Workspace,
+    mut emit: impl FnMut(Idx),
+) -> RowMetrics {
+    debug_assert_eq!(ws.n(), a.n_rows(), "workspace sized for a different matrix");
+    let mut m = RowMetrics::default();
+    let fill = &mut ws.fill;
+    let srcu = src as usize;
+
+    // Seed: the original entries of row `src` (Algorithm 1 lines 1-10).
+    fill[srcu] = src;
+    emit(src); // diagonal (guaranteed structurally present after pre-processing)
+    m.emitted += 1;
+    for &v in a.row_cols(srcu) {
+        if v == src {
+            continue; // diagonal already emitted
+        }
+        fill[v as usize] = src;
+        emit(v);
+        m.emitted += 1;
+    }
+
+    // Threshold sweep (lines 11-27). `fill[t] == src` marks vertices
+    // reached so far; thresholds are consumed in ascending order, and
+    // fill-ins below `src` discovered later in the sweep still get their
+    // turn because they are always greater than the current threshold.
+    for threshold in 0..src {
+        if fill[threshold as usize] != src {
+            continue;
+        }
+        ws.queue.clear();
+        ws.queue.push(threshold);
+        while !ws.queue.is_empty() {
+            m.steps += 1;
+            m.frontiers += ws.queue.len() as u64;
+            m.max_queue = m.max_queue.max(ws.queue.len() as u64);
+            ws.next.clear();
+            for &u in &ws.queue {
+                for &w in a.row_cols(u as usize) {
+                    m.edges += 1;
+                    if fill[w as usize] == src {
+                        continue;
+                    }
+                    fill[w as usize] = src;
+                    if w > threshold {
+                        // New fill-in of row `src` (L side if w < src,
+                        // U side if w > src); if below `src` it will also
+                        // serve as a later threshold.
+                        emit(w);
+                        m.emitted += 1;
+                    } else {
+                        // Intermediate vertex: keep traversing.
+                        ws.next.push(w);
+                    }
+                }
+            }
+            std::mem::swap(&mut ws.queue, &mut ws.next);
+        }
+    }
+    m
+}
+
+/// Convenience: runs fill2 for row `src` and returns the **sorted** filled
+/// row pattern.
+pub fn fill2_row_sorted(a: &Csr, src: u32, ws: &mut Fill2Workspace) -> (Vec<Idx>, RowMetrics) {
+    let mut cols = Vec::new();
+    let metrics = fill2_row(a, src, ws, |c| cols.push(c));
+    cols.sort_unstable();
+    (cols, metrics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gplu_sparse::convert::coo_to_csr;
+    use gplu_sparse::Coo;
+
+    /// The running example of the paper's Figure 1 would need its exact
+    /// matrix; we use a small crafted case with a known fill-in instead:
+    ///
+    /// ```text
+    ///   A = 1 . . 1        row 3 has a(3,0); eliminating column 0
+    ///       . 1 . .        reaches a(0,3)… path 3 -> 0 -> 3 is the
+    ///       1 . 1 .        diagonal, but 2 -> 0 -> 3 (intermediate 0 <
+    ///       1 . . 1        min(2,3)) creates fill-in (2, 3).
+    /// ```
+    fn example() -> gplu_sparse::Csr {
+        let mut c = Coo::new(4, 4);
+        for i in 0..4 {
+            c.push(i, i, 1.0);
+        }
+        c.push(0, 3, 1.0);
+        c.push(2, 0, 1.0);
+        c.push(3, 0, 1.0);
+        coo_to_csr(&c)
+    }
+
+    #[test]
+    fn finds_expected_fill_in() {
+        let a = example();
+        let mut ws = Fill2Workspace::new(4);
+        let (row2, _) = fill2_row_sorted(&a, 2, &mut ws);
+        // Originals: {0, 2}; fill-in (2,3) via path 2 -> 0 -> 3.
+        assert_eq!(row2, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn row_zero_is_just_its_originals() {
+        let a = example();
+        let mut ws = Fill2Workspace::new(4);
+        let (row0, m) = fill2_row_sorted(&a, 0, &mut ws);
+        assert_eq!(row0, vec![0, 3]);
+        assert_eq!(m.frontiers, 0, "no thresholds below row 0");
+    }
+
+    #[test]
+    fn workspace_reuse_needs_no_clearing() {
+        let a = example();
+        let mut ws = Fill2Workspace::new(4);
+        // Process rows out of order; stamps must not leak between rows.
+        let (r3a, _) = fill2_row_sorted(&a, 3, &mut ws);
+        let (r2, _) = fill2_row_sorted(&a, 2, &mut ws);
+        let (r3b, _) = fill2_row_sorted(&a, 3, &mut ws);
+        assert_eq!(r3a, r3b);
+        assert_eq!(r2, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn metrics_count_real_work() {
+        let a = example();
+        let mut ws = Fill2Workspace::new(4);
+        let (_, m) = fill2_row_sorted(&a, 3, &mut ws);
+        assert!(m.edges > 0);
+        assert!(m.steps > 0);
+        assert_eq!(m.emitted as usize, 2, "row 3: {{0, 3}} with no new fill");
+    }
+
+    #[test]
+    fn chain_path_with_large_intermediates_gives_no_fill() {
+        // Lower bidiagonal + full first row. Row 5 reaches everything via
+        // 5 -> 4 -> 3 -> 2 -> 1 -> 0, but those intermediates are NOT all
+        // smaller than the would-be fill targets, so Theorem 1 licenses no
+        // fill-in for row 5: the sweep must come back empty-handed.
+        let n = 6;
+        let mut c = Coo::new(n, n);
+        for i in 0..n {
+            c.push(i, i, 1.0);
+            if i > 0 {
+                c.push(i, i - 1, 1.0);
+            }
+            c.push(0, i, 1.0);
+        }
+        let a = coo_to_csr(&c);
+        let mut ws = Fill2Workspace::new(n);
+        let (row5, _) = fill2_row_sorted(&a, 5, &mut ws);
+        assert_eq!(row5, vec![4, 5]);
+    }
+
+    #[test]
+    fn hub_row_fills_through_small_intermediate() {
+        // Row 5 connects to vertex 0, and row 0 is dense: every column j
+        // has the path 5 -> 0 -> j with intermediate 0 < min(5, j), so the
+        // whole row fills in.
+        let n = 6;
+        let mut c = Coo::new(n, n);
+        for i in 0..n {
+            c.push(i, i, 1.0);
+            c.push(0, i, 1.0);
+        }
+        c.push(5, 0, 1.0);
+        let a = coo_to_csr(&c);
+        let mut ws = Fill2Workspace::new(n);
+        let (row5, _) = fill2_row_sorted(&a, 5, &mut ws);
+        assert_eq!(row5, vec![0, 1, 2, 3, 4, 5]);
+    }
+}

@@ -1,0 +1,50 @@
+//! # gplu-symbolic
+//!
+//! Symbolic LU factorization — the phase the paper moves onto the GPU
+//! out-of-core (its first contribution, Section 3.2).
+//!
+//! Given the pre-processed matrix `A`, symbolic factorization computes the
+//! nonzero *pattern* of the filled matrix `As = L + U` (original entries
+//! plus *fill-ins*), which the numeric phase then populates. Fill-ins obey
+//! Theorem 1 (Rose–Tarjan): `(i, j)` fills in iff a directed path `i → j`
+//! exists in the graph of `A` whose intermediate vertices are all smaller
+//! than both `i` and `j`.
+//!
+//! Implementations, all producing identical patterns (cross-checked by the
+//! test suites):
+//!
+//! * [`fill2`] — the per-row frontier traversal of the paper's
+//!   Algorithm 1, the kernel body shared by every GPU variant,
+//! * `reference` — two independent oracles (direct Theorem-1 reachability
+//!   and classical row-merge symbolic elimination) used only in tests,
+//! * [`cpu`] — the "modified GLU 3.0" parallel CPU baseline of Figure 4,
+//! * [`ooc`] — the out-of-core two-stage GPU implementation (Algorithm 3),
+//! * [`dynamic`] — the dynamic-parallelism-assignment variant
+//!   (Algorithm 4) with the 50 %-of-max-frontier split,
+//! * [`um`] — unified-memory GPU implementations with and without
+//!   prefetching (the baselines of Figures 5/6 and Table 3),
+//! * [`frontier`] — the frontier-size profiler behind Figure 3,
+//! * [`multi`] — a multi-GPU scale-out of the out-of-core engine (the
+//!   GSOFA-style distribution of the paper's related work).
+//!
+//! The result type [`SymbolicResult`] carries the filled pattern (with
+//! values: `A`'s entries in place, explicit zeros at fill positions — what
+//! Algorithm 2 consumes) plus traversal metrics.
+
+pub mod cpu;
+pub mod dynamic;
+pub mod fill2;
+pub mod frontier;
+pub mod multi;
+pub mod ooc;
+pub mod reference;
+pub mod result;
+pub mod um;
+
+pub use cpu::symbolic_cpu;
+pub use dynamic::{symbolic_ooc_dynamic, DynamicSplit};
+pub use fill2::{fill2_row, Fill2Workspace, RowMetrics};
+pub use multi::{symbolic_multi_gpu, MultiGpuOutcome, Partition};
+pub use ooc::{symbolic_ooc, OocOutcome};
+pub use result::SymbolicResult;
+pub use um::{symbolic_um, UmMode, UmOutcome};

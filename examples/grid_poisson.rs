@@ -1,0 +1,84 @@
+//! Direct solution of a 2-D Poisson problem — the FEM/mesh side of the
+//! paper's Table 2 suite (inline_1, bmw*, s3dk* are all mesh stiffness
+//! matrices).
+//!
+//! Discretizes −Δu = f on a square grid with the 5-point stencil, factors
+//! the system on the simulated GPU, and checks the solution against a
+//! manufactured analytic field. Also contrasts the RCM and AMD orderings'
+//! fill — the pre-processing knob the pipeline exposes.
+//!
+//! ```sh
+//! cargo run --release --example grid_poisson
+//! ```
+
+use gplu::prelude::*;
+use gplu::sparse::convert::coo_to_csr;
+use gplu::sparse::ordering::OrderingKind;
+use gplu::sparse::Coo;
+
+/// 5-point Laplacian on a `side x side` grid (Dirichlet boundary folded in).
+fn poisson(side: usize) -> gplu::sparse::Csr {
+    let n = side * side;
+    let idx = |x: usize, y: usize| y * side + x;
+    let mut coo = Coo::new(n, n);
+    for y in 0..side {
+        for x in 0..side {
+            let u = idx(x, y);
+            coo.push(u, u, 4.0);
+            if x > 0 {
+                coo.push(u, idx(x - 1, y), -1.0);
+            }
+            if x + 1 < side {
+                coo.push(u, idx(x + 1, y), -1.0);
+            }
+            if y > 0 {
+                coo.push(u, idx(x, y - 1), -1.0);
+            }
+            if y + 1 < side {
+                coo.push(u, idx(x, y + 1), -1.0);
+            }
+        }
+    }
+    coo_to_csr(&coo)
+}
+
+fn main() {
+    let side = 48;
+    let n = side * side;
+    let a = poisson(side);
+    println!("Poisson {side}x{side}: n = {n}, nnz = {}", a.nnz());
+
+    // Manufactured solution: u(x, y) = sin(pi x) sin(pi y) on the unit
+    // square; b = A u (discrete consistency, so the check is exact up to
+    // solver roundoff).
+    let h = 1.0 / (side + 1) as f64;
+    let u_true: Vec<f64> = (0..n)
+        .map(|k| {
+            let (x, y) = ((k % side + 1) as f64 * h, (k / side + 1) as f64 * h);
+            (std::f64::consts::PI * x).sin() * (std::f64::consts::PI * y).sin()
+        })
+        .collect();
+    let b = a.spmv(&u_true);
+
+    for (name, kind) in [("RCM", OrderingKind::Rcm), ("AMD", OrderingKind::MinDegree)] {
+        let gpu = Gpu::new(GpuConfig::v100_symbolic_profile(n, a.nnz()));
+        let opts = LuOptions::default().with_ordering(kind);
+        let f = LuFactorization::compute(&gpu, &a, &opts).expect("factorization");
+        let x = f.solve(&b).expect("solve");
+        let err = x
+            .iter()
+            .zip(&u_true)
+            .map(|(p, q)| (p - q).abs())
+            .fold(0.0f64, f64::max);
+        println!(
+            "{name:>4}: fill {:>8} (+{:>8}), {:>4} levels, simulated {:>10}, max err {err:.2e}",
+            f.report.fill_nnz,
+            f.report.new_fill_ins,
+            f.report.n_levels,
+            format!("{}", f.report.total()),
+        );
+        assert!(err < 1e-9, "{name}: solve inaccurate");
+    }
+    println!("\nBoth orderings solve identically; fill (and thus numeric work) differs —");
+    println!("the pre-processing choice the paper inherits from the direct-solver canon.");
+}

@@ -1,0 +1,65 @@
+//! # gplu
+//!
+//! End-to-end sparse LU factorization for large matrices on (simulated)
+//! GPUs — a Rust reproduction of *"End-to-End LU Factorization of Large
+//! Matrices on GPUs"* (Xia, Agrawal, Jiang, Ramnath — PPoPP 2023).
+//!
+//! This façade crate re-exports the workspace:
+//!
+//! * [`core`] — the end-to-end pipeline ([`core::LuFactorization`]),
+//! * [`sparse`] — matrix formats, I/O, generators, orderings, solves,
+//! * [`sim`] — the discrete-cost GPU simulator substrate,
+//! * [`symbolic`] / [`schedule`] / [`numeric`] — the three phases,
+//! * [`baseline`] — the paper's comparison pipelines (modified GLU 3.0,
+//!   unified memory).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use gplu::prelude::*;
+//!
+//! // A diagonally dominant sparse system.
+//! let a = gplu::sparse::gen::random::random_dominant(1000, 5.0, 42);
+//! let b = a.spmv(&vec![1.0; 1000]);
+//!
+//! // A simulated V100 whose memory cannot hold the symbolic
+//! // intermediates (forcing the paper's out-of-core path).
+//! let gpu = Gpu::new(GpuConfig::v100_symbolic_profile(a.n_rows(), a.nnz()));
+//!
+//! let f = LuFactorization::compute(&gpu, &a, &LuOptions::default()).unwrap();
+//! let x = f.solve(&b).unwrap();
+//! assert!(gplu::sparse::verify::check_solution(&a, &x, &b, 1e-8));
+//! ```
+//!
+//! See `examples/` for runnable scenarios and DESIGN.md / EXPERIMENTS.md
+//! for the paper-reproduction map.
+
+pub use gplu_baseline as baseline;
+pub use gplu_core as core;
+pub use gplu_numeric as numeric;
+pub use gplu_schedule as schedule;
+pub use gplu_sim as sim;
+pub use gplu_sparse as sparse;
+pub use gplu_symbolic as symbolic;
+
+/// The types most programs need.
+pub mod prelude {
+    pub use gplu_core::{
+        GpluError, LuFactorization, LuOptions, NumericFormat, PhaseReport, SymbolicEngine,
+    };
+    pub use gplu_sim::{CostModel, Gpu, GpuConfig, SimTime};
+    pub use gplu_sparse::{Csc, Csr, Permutation};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_reexports_work() {
+        let a = crate::sparse::gen::random::random_dominant(100, 4.0, 1);
+        let gpu = Gpu::new(GpuConfig::v100_symbolic_profile(a.n_rows(), a.nnz()));
+        let f = LuFactorization::compute(&gpu, &a, &LuOptions::default()).expect("pipeline ok");
+        assert!(f.report.total() > SimTime::ZERO);
+    }
+}

@@ -1,0 +1,76 @@
+//! Every implementation of every phase must agree exactly: the paper's
+//! engineering claim is that the GPU versions compute *the same
+//! factorization* as the CPU baselines, just faster. These tests pin that
+//! across the whole matrix (pun intended) of engines.
+
+use gplu::baseline::{factorize_glu30, factorize_um_pipeline};
+use gplu::prelude::*;
+use gplu::sparse::gen::random::random_dominant;
+use gplu::sparse::gen::suite::paper_suite;
+
+fn gpu_for(a: &gplu::sparse::Csr) -> Gpu {
+    Gpu::new(GpuConfig::v100_symbolic_profile(a.n_rows(), a.nnz()))
+}
+
+#[test]
+fn all_four_symbolic_engines_agree_bitwise() {
+    let a = random_dominant(350, 4.0, 314);
+    let mut factors = Vec::new();
+    for engine in [
+        SymbolicEngine::Ooc,
+        SymbolicEngine::OocDynamic,
+        SymbolicEngine::UmNoPrefetch,
+        SymbolicEngine::UmPrefetch,
+    ] {
+        let opts = LuOptions { symbolic: engine, ..Default::default() };
+        let f = LuFactorization::compute(&gpu_for(&a), &a, &opts).expect("pipeline");
+        factors.push((engine, f.lu));
+    }
+    let (ref_engine, reference) = &factors[0];
+    for (engine, lu) in &factors[1..] {
+        assert_eq!(
+            &reference.vals, &lu.vals,
+            "{engine:?} disagrees with {ref_engine:?}"
+        );
+        assert_eq!(reference.col_ptr, lu.col_ptr, "{engine:?}: pattern differs");
+    }
+}
+
+#[test]
+fn baselines_agree_with_pipeline() {
+    let a = random_dominant(300, 4.0, 315);
+    let ours =
+        LuFactorization::compute(&gpu_for(&a), &a, &LuOptions::default()).expect("pipeline");
+    let glu =
+        factorize_glu30(&gpu_for(&a), &a, &gplu::core::PreprocessOptions::default())
+            .expect("glu30");
+    let um = factorize_um_pipeline(&gpu_for(&a), &a, true, &LuOptions::default()).expect("um");
+    assert_eq!(ours.lu.vals, glu.lu.vals, "GLU 3.0 baseline differs");
+    assert_eq!(ours.lu.vals, um.lu.vals, "UM pipeline differs");
+}
+
+#[test]
+fn engines_agree_on_paper_analogs() {
+    // A cheap sweep over a few Table 2 analogs at a deep scale.
+    for abbr in ["G7", "OT2", "MI"] {
+        let entry = paper_suite().into_iter().find(|e| e.abbr == abbr).expect("known");
+        let a = entry.generate(8192);
+        let ours =
+            LuFactorization::compute(&gpu_for(&a), &a, &LuOptions::default()).expect("pipeline");
+        let glu = factorize_glu30(&gpu_for(&a), &a, &gplu::core::PreprocessOptions::default())
+            .expect("glu30");
+        assert_eq!(ours.lu.vals, glu.lu.vals, "{abbr}: baseline disagrees");
+    }
+}
+
+#[test]
+fn determinism_across_runs() {
+    let a = random_dominant(250, 4.0, 316);
+    let f1 = LuFactorization::compute(&gpu_for(&a), &a, &LuOptions::default()).expect("run 1");
+    let f2 = LuFactorization::compute(&gpu_for(&a), &a, &LuOptions::default()).expect("run 2");
+    assert_eq!(f1.lu.vals, f2.lu.vals);
+    assert_eq!(f1.report.fill_nnz, f2.report.fill_nnz);
+    assert_eq!(f1.report.n_levels, f2.report.n_levels);
+    // Simulated times are part of the contract too (deterministic model).
+    assert!((f1.report.total().as_ns() - f2.report.total().as_ns()).abs() < 1e-6);
+}

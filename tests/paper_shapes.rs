@@ -1,0 +1,141 @@
+//! The paper's qualitative results, as executable assertions. Each test
+//! pins one "who wins" relationship from the evaluation section; the
+//! quantitative bands live in EXPERIMENTS.md and the `gplu-bench`
+//! binaries.
+
+use gplu::baseline::factorize_glu30;
+use gplu::prelude::*;
+use gplu::sparse::gen::suite::paper_suite;
+use gplu::symbolic::{symbolic_ooc, symbolic_um, UmMode};
+
+const TEST_SCALE: usize = 1024;
+
+fn prepared(abbr: &str) -> (gplu::sparse::Csr, Gpu, Gpu, Gpu) {
+    let entry = paper_suite().into_iter().find(|e| e.abbr == abbr).expect("known abbr");
+    let a = entry.generate(TEST_SCALE);
+    let mk = || {
+        let cfg = GpuConfig::v100_symbolic_profile(a.n_rows(), a.nnz());
+        let cost = CostModel::default()
+            .scaled_latencies(TEST_SCALE)
+            .with_um_page_bytes(2 * 1024 * 1024 / TEST_SCALE as u64);
+        Gpu::with_cost(cfg, cost)
+    };
+    (a.clone(), mk(), mk(), mk())
+}
+
+/// Figure 4: the end-to-end GPU pipeline beats the modified GLU 3.0
+/// baseline, and the gap comes from the symbolic phase.
+#[test]
+fn fig4_shape_ooc_beats_glu30() {
+    for abbr in ["WI", "MI", "BB"] {
+        let (a, g1, g2, _) = prepared(abbr);
+        let ours = LuFactorization::compute(&g1, &a, &LuOptions::default()).expect("ours");
+        let base = factorize_glu30(&g2, &a, &gplu::core::PreprocessOptions::default())
+            .expect("baseline");
+        assert!(
+            ours.report.gpu_total() < base.report.gpu_total(),
+            "{abbr}: ooc {} must beat GLU3.0 {}",
+            ours.report.gpu_total(),
+            base.report.gpu_total()
+        );
+        assert!(
+            ours.report.symbolic < base.report.symbolic,
+            "{abbr}: the win must come from symbolic"
+        );
+    }
+}
+
+/// Figure 4's correlation: denser matrices see larger symbolic speedups.
+#[test]
+fn fig4_shape_density_correlates_with_speedup() {
+    let speedup = |abbr: &str| {
+        let (a, g1, g2, _) = prepared(abbr);
+        let ours = LuFactorization::compute(&g1, &a, &LuOptions::default()).expect("ours");
+        let base = factorize_glu30(&g2, &a, &gplu::core::PreprocessOptions::default())
+            .expect("baseline");
+        base.report.symbolic.ratio(ours.report.symbolic)
+    };
+    let dense = speedup("WI"); // nnz/n ≈ 67 in the paper
+    let sparse = speedup("OT2"); // nnz/n ≈ 6.3
+    assert!(
+        dense > sparse,
+        "denser matrix must speed up more: WI {dense:.2} vs OT2 {sparse:.2}"
+    );
+}
+
+/// Figures 5/6: out-of-core beats prefetched UM beats on-demand UM on the
+/// symbolic phase.
+#[test]
+fn fig56_shape_ooc_beats_um_beats_no_prefetch() {
+    for abbr in ["OT2", "GO"] {
+        let (a, g1, g2, g3) = prepared(abbr);
+        let pre = gplu::core::preprocess(
+            &a,
+            &gplu::core::PreprocessOptions::default(),
+            g1.cost(),
+        )
+        .expect("preprocess");
+        let ooc = symbolic_ooc(&g1, &pre.matrix).expect("ooc");
+        let wp = symbolic_um(&g2, &pre.matrix, UmMode::Prefetch).expect("um wp");
+        let wo = symbolic_um(&g3, &pre.matrix, UmMode::NoPrefetch).expect("um wo");
+        assert!(ooc.time < wp.time, "{abbr}: ooc {} vs um+p {}", ooc.time, wp.time);
+        assert!(wp.time < wo.time, "{abbr}: um+p {} vs um-p {}", wp.time, wo.time);
+        assert!(wp.fault_groups < wo.fault_groups, "{abbr}: prefetch must cut faults");
+    }
+}
+
+/// Table 3: the out-of-core implementation spends a far smaller fraction
+/// of its time on data movement than UM does servicing faults.
+#[test]
+fn table3_shape_fault_fractions() {
+    let (a, g1, g2, _) = prepared("OT1");
+    let pre =
+        gplu::core::preprocess(&a, &gplu::core::PreprocessOptions::default(), g1.cost())
+            .expect("preprocess");
+    let ooc = symbolic_ooc(&g1, &pre.matrix).expect("ooc");
+    let wo = symbolic_um(&g2, &pre.matrix, UmMode::NoPrefetch).expect("um");
+    let ooc_frac = ooc.stats.xfer_time_fraction();
+    let um_frac = wo.fault_time_fraction;
+    assert!(
+        um_frac > 5.0 * ooc_frac,
+        "fault share {um_frac:.3} must dwarf explicit-transfer share {ooc_frac:.3}"
+    );
+}
+
+/// Section 3.3: GPU levelization with dynamic parallelism beats the
+/// serial CPU recurrence once the dependency graph carries real fill.
+#[test]
+fn levelization_shape_gpu_beats_cpu() {
+    let (a, g1, _, _) = prepared("MI");
+    let pre =
+        gplu::core::preprocess(&a, &gplu::core::PreprocessOptions::default(), g1.cost())
+            .expect("preprocess");
+    let sym = gplu::symbolic::symbolic_cpu(&pre.matrix, g1.cost());
+    let dep = gplu::schedule::DepGraph::build(&sym.result.filled);
+    let cpu = gplu::schedule::levelize_cpu(&dep, g1.cost());
+    let gpu_out = gplu::schedule::levelize_gpu(&g1, &dep).expect("gpu levelize");
+    assert_eq!(cpu.levels.level_of, gpu_out.levels.level_of);
+    assert!(
+        gpu_out.time < cpu.time,
+        "GPU topo sort {} must beat serial CPU {}",
+        gpu_out.time,
+        cpu.time
+    );
+}
+
+/// Figure 3's premise: the frontier profile rises with the source-row id.
+#[test]
+fn fig3_shape_frontier_profile_rises() {
+    let (a, g1, _, _) = prepared("PR");
+    let pre =
+        gplu::core::preprocess(&a, &gplu::core::PreprocessOptions::default(), g1.cost())
+            .expect("preprocess");
+    let profile = gplu::symbolic::frontier::frontier_profile(&pre.matrix);
+    let buckets = gplu::symbolic::frontier::bucket_max(&profile, 8);
+    let first_half: u64 = buckets[..4].iter().sum();
+    let second_half: u64 = buckets[4..].iter().sum();
+    assert!(
+        second_half > 2 * first_half,
+        "frontier mass must concentrate in late iterations: {buckets:?}"
+    );
+}
