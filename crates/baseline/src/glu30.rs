@@ -80,7 +80,10 @@ mod tests {
         let baseline =
             factorize_glu30(&gpu_for(&a), &a, &PreprocessOptions::default()).expect("ok");
         let ours = LuFactorization::compute(&gpu_for(&a), &a, &LuOptions::default()).expect("ok");
-        assert_eq!(baseline.lu.vals, ours.lu.vals, "same factors, different engines");
+        assert_eq!(
+            baseline.lu.vals, ours.lu.vals,
+            "same factors, different engines"
+        );
         assert!(residual_probe(&baseline.preprocessed, &baseline.lu, 3) < 1e-9);
     }
 

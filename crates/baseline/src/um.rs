@@ -18,7 +18,11 @@ pub fn factorize_um_pipeline(
     base: &LuOptions,
 ) -> Result<LuFactorization, GpluError> {
     let opts = LuOptions {
-        symbolic: if prefetch { SymbolicEngine::UmPrefetch } else { SymbolicEngine::UmNoPrefetch },
+        symbolic: if prefetch {
+            SymbolicEngine::UmPrefetch
+        } else {
+            SymbolicEngine::UmNoPrefetch
+        },
         ..base.clone()
     };
     LuFactorization::compute(gpu, a, &opts)
@@ -32,7 +36,9 @@ mod tests {
 
     fn gpu_for(a: &Csr) -> Gpu {
         let cfg = GpuConfig::v100_symbolic_profile(a.n_rows(), a.nnz());
-        let cost = CostModel::default().scaled_latencies(64).with_um_page_bytes(32 * 1024);
+        let cost = CostModel::default()
+            .scaled_latencies(64)
+            .with_um_page_bytes(32 * 1024);
         Gpu::with_cost(cfg, cost)
     }
 
@@ -42,7 +48,10 @@ mod tests {
         let base = LuOptions::default();
         let wo = factorize_um_pipeline(&gpu_for(&a), &a, false, &base).expect("ok");
         let wp = factorize_um_pipeline(&gpu_for(&a), &a, true, &base).expect("ok");
-        assert!(wp.report.symbolic < wo.report.symbolic, "prefetching must help symbolic");
+        assert!(
+            wp.report.symbolic < wo.report.symbolic,
+            "prefetching must help symbolic"
+        );
         assert!(wp.report.fault_groups < wo.report.fault_groups);
         assert_eq!(wp.lu.vals, wo.lu.vals);
     }

@@ -12,7 +12,10 @@ fn bench_end_to_end(c: &mut Criterion) {
     let mut group = c.benchmark_group("end_to_end");
     group.sample_size(10);
     for abbr in ["OT2", "GO"] {
-        let entry = paper_suite().into_iter().find(|e| e.abbr == abbr).expect("known abbr");
+        let entry = paper_suite()
+            .into_iter()
+            .find(|e| e.abbr == abbr)
+            .expect("known abbr");
         let prep = Prepared::new(entry, 256);
         let (_, fill) = gplu_bench::fill_size_of(&prep);
 
@@ -29,8 +32,12 @@ fn bench_end_to_end(c: &mut Criterion) {
             })
         });
 
-        let f = LuFactorization::compute(&prep.gpu_symbolic(fill), &prep.matrix, &LuOptions::default())
-            .expect("ok");
+        let f = LuFactorization::compute(
+            &prep.gpu_symbolic(fill),
+            &prep.matrix,
+            &LuOptions::default(),
+        )
+        .expect("ok");
         let rhs = vec![1.0; prep.matrix.n_rows()];
         group.bench_with_input(BenchmarkId::new("solve", abbr), &f, |b, f| {
             b.iter(|| f.solve(&rhs).expect("ok"))

@@ -3,12 +3,12 @@
 //! triangular solves — the building blocks every experiment leans on.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gplu_numeric::factorize_seq;
+use gplu_sim::CostModel;
 use gplu_sparse::convert::{csc_to_csr, csr_to_csc};
 use gplu_sparse::gen::random::random_dominant;
 use gplu_sparse::ordering::{amd_order, rcm_order};
 use gplu_sparse::triangular::solve_lu;
-use gplu_sim::CostModel;
-use gplu_numeric::factorize_seq;
 use gplu_symbolic::symbolic_cpu;
 
 fn bench_formats(c: &mut Criterion) {
@@ -23,17 +23,21 @@ fn bench_formats(c: &mut Criterion) {
     group.bench_with_input(BenchmarkId::new("csc_to_csr", "n4k"), &csc, |b, m| {
         b.iter(|| csc_to_csr(m))
     });
-    group.bench_with_input(BenchmarkId::new("binary_search_column", "n4k"), &csc, |b, m| {
-        b.iter(|| {
-            let mut hits = 0u64;
-            for j in (0..m.n_cols()).step_by(7) {
-                if m.find_in_col(j / 2, j).0.is_some() {
-                    hits += 1;
+    group.bench_with_input(
+        BenchmarkId::new("binary_search_column", "n4k"),
+        &csc,
+        |b, m| {
+            b.iter(|| {
+                let mut hits = 0u64;
+                for j in (0..m.n_cols()).step_by(7) {
+                    if m.find_in_col(j / 2, j).0.is_some() {
+                        hits += 1;
+                    }
                 }
-            }
-            hits
-        })
-    });
+                hits
+            })
+        },
+    );
     group.bench_with_input(BenchmarkId::new("amd_order", "n4k"), &a, |b, a| {
         b.iter(|| amd_order(a))
     });
@@ -47,9 +51,11 @@ fn bench_formats(c: &mut Criterion) {
     let mut lu = csr_to_csc(&sym.result.filled);
     factorize_seq(&mut lu).expect("factorizes");
     let rhs = vec![1.0; 1500];
-    group.bench_with_input(BenchmarkId::new("triangular_solve", "n1.5k"), &lu, |b, lu| {
-        b.iter(|| solve_lu(lu, &rhs).expect("ok"))
-    });
+    group.bench_with_input(
+        BenchmarkId::new("triangular_solve", "n1.5k"),
+        &lu,
+        |b, lu| b.iter(|| solve_lu(lu, &rhs).expect("ok")),
+    );
     group.finish();
 }
 

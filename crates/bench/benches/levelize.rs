@@ -12,7 +12,10 @@ fn bench_levelize(c: &mut Criterion) {
     let mut group = c.benchmark_group("levelize");
     group.sample_size(10);
     for abbr in ["OT2", "MI"] {
-        let entry = paper_suite().into_iter().find(|e| e.abbr == abbr).expect("known abbr");
+        let entry = paper_suite()
+            .into_iter()
+            .find(|e| e.abbr == abbr)
+            .expect("known abbr");
         let prep = Prepared::new(entry, 256);
         let (pre, _) = gplu_bench::fill_size_of(&prep);
         let sym = symbolic_cpu(&pre, &CostModel::default());
@@ -24,9 +27,11 @@ fn bench_levelize(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("gpu_kahn", abbr), &dep, |b, g| {
             b.iter(|| levelize_gpu(&Gpu::new(GpuConfig::v100()), g).expect("ok"))
         });
-        group.bench_with_input(BenchmarkId::new("build_graph", abbr), &sym.result.filled, |b, f| {
-            b.iter(|| DepGraph::build(f))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("build_graph", abbr),
+            &sym.result.filled,
+            |b, f| b.iter(|| DepGraph::build(f)),
+        );
     }
     group.finish();
 }

@@ -30,9 +30,11 @@ fn bench_numeric(c: &mut Criterion) {
     group.bench_with_input(BenchmarkId::new("gpu_dense", "HT20"), &pattern, |b, p| {
         b.iter(|| factorize_gpu_dense(&prep.gpu_numeric(fill), p, &levels).expect("ok"))
     });
-    group.bench_with_input(BenchmarkId::new("gpu_sparse_bsearch", "HT20"), &pattern, |b, p| {
-        b.iter(|| factorize_gpu_sparse(&prep.gpu_numeric(fill), p, &levels).expect("ok"))
-    });
+    group.bench_with_input(
+        BenchmarkId::new("gpu_sparse_bsearch", "HT20"),
+        &pattern,
+        |b, p| b.iter(|| factorize_gpu_sparse(&prep.gpu_numeric(fill), p, &levels).expect("ok")),
+    );
     group.finish();
 }
 

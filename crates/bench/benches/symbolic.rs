@@ -12,7 +12,10 @@ fn bench_symbolic(c: &mut Criterion) {
     let mut group = c.benchmark_group("symbolic");
     group.sample_size(10);
     for abbr in ["OT2", "WI"] {
-        let entry = paper_suite().into_iter().find(|e| e.abbr == abbr).expect("known abbr");
+        let entry = paper_suite()
+            .into_iter()
+            .find(|e| e.abbr == abbr)
+            .expect("known abbr");
         let prep = Prepared::new(entry, 256);
         let (pre, fill) = gplu_bench::fill_size_of(&prep);
 

@@ -20,7 +20,11 @@ impl Args {
 
     /// Parses from an explicit iterator (testable).
     pub fn parse_from<I: IntoIterator<Item = String>>(iter: I) -> Args {
-        let mut args = Args { scale: None, quick: false, only: Vec::new() };
+        let mut args = Args {
+            scale: None,
+            quick: false,
+            only: Vec::new(),
+        };
         let mut it = iter.into_iter();
         while let Some(a) = it.next() {
             match a.as_str() {

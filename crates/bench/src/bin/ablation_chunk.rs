@@ -16,10 +16,13 @@ use gplu_symbolic::symbolic_ooc;
 fn main() {
     let args = Args::parse();
     let scale = args.scale_or(DEFAULT_SCALE);
-    let entry = paper_suite().into_iter().find(|e| e.abbr == "MI").expect("MI in suite");
+    let entry = paper_suite()
+        .into_iter()
+        .find(|e| e.abbr == "MI")
+        .expect("MI in suite");
     let prep = Prepared::new(entry.clone(), scale);
-    let pre = preprocess(&prep.matrix, &PreprocessOptions::default(), &prep.cost())
-        .expect("preprocess");
+    let pre =
+        preprocess(&prep.matrix, &PreprocessOptions::default(), &prep.cost()).expect("preprocess");
     let n = pre.matrix.n_rows() as u64;
 
     println!(
@@ -27,7 +30,13 @@ fn main() {
         entry.name
     );
     let mut t = Table::new([
-        "device", "chunk", "iterations", "launches", "xfer KiB", "symbolic", "vs best",
+        "device",
+        "chunk",
+        "iterations",
+        "launches",
+        "xfer KiB",
+        "symbolic",
+        "vs best",
     ]);
     let full_state = 24 * n * n;
     let mut results = Vec::new();

@@ -18,11 +18,26 @@ fn main() {
     println!("Ablation: adaptive A/B/C kernel modes vs forced single modes\n");
 
     let mut t = Table::new([
-        "matrix", "mode mix (A/B/C)", "adaptive", "all-A", "all-B", "all-C", "best forced / adaptive",
+        "matrix",
+        "mode mix (A/B/C)",
+        "adaptive",
+        "all-A",
+        "all-B",
+        "all-C",
+        "best forced / adaptive",
     ]);
     let cases = [
-        (paper_suite().into_iter().find(|e| e.abbr == "WI").expect("WI"), args.scale_or(DEFAULT_SCALE)),
-        (large_suite().into_iter().next().expect("HT20"), args.scale_or(DEFAULT_LARGE_SCALE)),
+        (
+            paper_suite()
+                .into_iter()
+                .find(|e| e.abbr == "WI")
+                .expect("WI"),
+            args.scale_or(DEFAULT_SCALE),
+        ),
+        (
+            large_suite().into_iter().next().expect("HT20"),
+            args.scale_or(DEFAULT_LARGE_SCALE),
+        ),
     ];
     for (entry, scale) in cases {
         let prep = Prepared::new(entry.clone(), scale);

@@ -23,9 +23,7 @@ fn main() {
         let prep = Prepared::new(entry.clone(), scale);
         let (pre, fill) = fill_size_of(&prep);
         println!("{} ({}), n = {}:", entry.name, entry.abbr, pre.n_rows());
-        let mut t = Table::new([
-            "devices", "partition", "makespan", "speedup", "efficiency",
-        ]);
+        let mut t = Table::new(["devices", "partition", "makespan", "speedup", "efficiency"]);
         let mut base = None;
         for k in [1usize, 2, 4, 8] {
             for partition in [Partition::Blocked, Partition::Strided] {

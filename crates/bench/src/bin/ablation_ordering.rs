@@ -16,13 +16,23 @@ fn main() {
     println!("Ablation: ordering choice across the pipeline (scale 1/{scale})\n");
 
     let mut t = Table::new([
-        "matrix", "ordering", "fill nnz", "fill ratio", "levels", "sym", "num", "total",
+        "matrix",
+        "ordering",
+        "fill nnz",
+        "fill ratio",
+        "levels",
+        "sym",
+        "num",
+        "total",
     ]);
     for abbr in ["OT2", "BB", "WI"] {
         if !args.selected(abbr) {
             continue;
         }
-        let entry = paper_suite().into_iter().find(|e| e.abbr == abbr).expect("known abbr");
+        let entry = paper_suite()
+            .into_iter()
+            .find(|e| e.abbr == abbr)
+            .expect("known abbr");
         let prep = Prepared::new(entry.clone(), scale);
         let (_, fill) = gplu_bench::fill_size_of(&prep);
         for (name, kind) in [
@@ -38,7 +48,10 @@ fn main() {
                         entry.abbr.to_string(),
                         name.to_string(),
                         f.report.fill_nnz.to_string(),
-                        format!("{:.1}x", f.report.fill_nnz as f64 / prep.matrix.nnz() as f64),
+                        format!(
+                            "{:.1}x",
+                            f.report.fill_nnz as f64 / prep.matrix.nnz() as f64
+                        ),
                         f.report.n_levels.to_string(),
                         format!("{}", f.report.symbolic),
                         format!("{}", f.report.numeric),

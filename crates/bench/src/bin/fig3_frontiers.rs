@@ -21,8 +21,12 @@ fn main() {
             continue;
         }
         let prep = Prepared::new(entry.clone(), scale);
-        let pre = preprocess(&prep.matrix, &PreprocessOptions::default(), &CostModel::default())
-            .expect("preprocesses");
+        let pre = preprocess(
+            &prep.matrix,
+            &PreprocessOptions::default(),
+            &CostModel::default(),
+        )
+        .expect("preprocesses");
         let profile = frontier_profile(&pre.matrix);
 
         // Bucket into the out-of-core iterations the naive Algorithm 3
@@ -31,8 +35,13 @@ fn main() {
         let buckets = bucket_max(&profile, iterations);
         let peak = buckets.iter().copied().max().unwrap_or(1).max(1);
 
-        println!("{} ({}): n = {}, peak per-row frontier = {}", entry.name, entry.abbr,
-            pre.matrix.n_rows(), peak);
+        println!(
+            "{} ({}): n = {}, peak per-row frontier = {}",
+            entry.name,
+            entry.abbr,
+            pre.matrix.n_rows(),
+            peak
+        );
         for (i, &b) in buckets.iter().enumerate() {
             let bar = "#".repeat((b * 48 / peak) as usize);
             println!("  iter {i:>3}  {b:>8}  {bar}");

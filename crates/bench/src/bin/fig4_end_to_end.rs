@@ -36,11 +36,18 @@ fn main() {
             .expect("baseline factorizes");
 
         let gpu_ours = prep.gpu_symbolic(fill);
-        let opts = LuOptions { symbolic: SymbolicEngine::OocDynamic, ..Default::default() };
+        let opts = LuOptions {
+            symbolic: SymbolicEngine::OocDynamic,
+            ..Default::default()
+        };
         let ours = LuFactorization::compute(&gpu_ours, &prep.matrix, &opts)
             .expect("end-to-end factorizes");
 
-        assert_eq!(base.lu.vals, ours.lu.vals, "{}: engines disagree", entry.abbr);
+        assert_eq!(
+            base.lu.vals, ours.lu.vals,
+            "{}: engines disagree",
+            entry.abbr
+        );
 
         let base_total = base.report.gpu_total();
         let ours_total = ours.report.gpu_total();

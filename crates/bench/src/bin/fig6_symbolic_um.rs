@@ -18,7 +18,14 @@ fn main() {
     println!("Figure 6: symbolic phase, out-of-core vs UM w/ and w/o prefetch (scale 1/{scale})\n");
 
     let mut t = Table::new([
-        "matrix", "abbr", "nnz/n", "ooc", "um w/ p", "um w/o p", "w/p norm", "w/o p norm",
+        "matrix",
+        "abbr",
+        "nnz/n",
+        "ooc",
+        "um w/ p",
+        "um w/o p",
+        "w/p norm",
+        "w/o p norm",
     ]);
     for entry in um_suite() {
         if !args.selected(entry.abbr) {

@@ -17,8 +17,17 @@ fn main() {
     println!("Figure 7: dynamic parallelism assignment vs naive out-of-core (scale 1/{scale})\n");
 
     let mut t = Table::new([
-        "matrix", "abbr", "naive", "dynamic", "improvement", "n1/n", "chunk1", "chunk2",
-        "iters(naive)", "iters(dyn)", "overflow rows",
+        "matrix",
+        "abbr",
+        "naive",
+        "dynamic",
+        "improvement",
+        "n1/n",
+        "chunk1",
+        "chunk2",
+        "iters(naive)",
+        "iters(dyn)",
+        "overflow rows",
     ]);
     for entry in frontier_pair() {
         if !args.selected(entry.abbr) {

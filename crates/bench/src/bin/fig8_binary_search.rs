@@ -45,7 +45,11 @@ fn main() {
 
         let gpu = prep.gpu_numeric(fill);
         let sparse = factorize_gpu_sparse(&gpu, &pattern, &levels).expect("sparse ok");
-        assert_eq!(dense.lu.vals, sparse.lu.vals, "{}: formats disagree", entry.abbr);
+        assert_eq!(
+            dense.lu.vals, sparse.lu.vals,
+            "{}: formats disagree",
+            entry.abbr
+        );
 
         let s = dense.time.ratio(sparse.time);
         speedups.push(s);

@@ -59,7 +59,11 @@ fn main() {
             repaired.to_string(),
             m_analog.to_string(),
         ]);
-        assert!(m_analog < gpu.config().tb_max, "{}: dense format must be block-starved", entry.abbr);
+        assert!(
+            m_analog < gpu.config().tb_max,
+            "{}: dense format must be block-starved",
+            entry.abbr
+        );
     }
     t.print();
     println!("\nPaper max #blocks: 124 / 119 / 109 / 102 — all below TB_max = 160, so the");

@@ -32,7 +32,11 @@ impl Prepared {
     /// Generates the analog for `entry` at `scale`.
     pub fn new(entry: SuiteEntry, scale: usize) -> Prepared {
         let matrix = entry.generate(scale);
-        Prepared { entry, matrix, scale }
+        Prepared {
+            entry,
+            matrix,
+            scale,
+        }
     }
 
     /// The cost model for this scale: fixed latencies shrink with the
@@ -41,7 +45,9 @@ impl Prepared {
     /// fault-time fractions carry over.
     pub fn cost(&self) -> CostModel {
         let block = (2 * 1024 * 1024 / self.scale as u64).max(4096);
-        CostModel::default().scaled_latencies(self.scale).with_um_page_bytes(block)
+        CostModel::default()
+            .scaled_latencies(self.scale)
+            .with_um_page_bytes(block)
     }
 
     /// GPU for the symbolic-phase experiments: device memory sized so the
@@ -68,8 +74,7 @@ impl Prepared {
     /// limit `M = ⌊8·10⁹ / (4·n_paper)⌋`.
     pub fn gpu_numeric(&self, fill_nnz: usize) -> Gpu {
         let n = self.matrix.n_rows();
-        let m_paper =
-            (GpuConfig::NUMERIC_BUDGET_BYTES / (self.entry.paper_n as u64 * 4)) as usize;
+        let m_paper = (GpuConfig::NUMERIC_BUDGET_BYTES / (self.entry.paper_n as u64 * 4)) as usize;
         let csc_bytes = ((n + 1) as u64 + 2 * fill_nnz as u64) * 4;
         let mem = csc_bytes + n as u64 * 4 + m_paper as u64 * n as u64 * 4 + 4096;
         Gpu::with_cost(GpuConfig::v100().with_memory(mem), self.cost())
@@ -109,7 +114,10 @@ mod tests {
         let (_, fill) = fill_size_of(&prep);
         let gpu = prep.gpu_symbolic(fill);
         let n = prep.matrix.n_rows() as u64;
-        assert!(gpu.mem.capacity() < 24 * n * n, "intermediates must not fit");
+        assert!(
+            gpu.mem.capacity() < 24 * n * n,
+            "intermediates must not fit"
+        );
     }
 
     #[test]
@@ -122,7 +130,10 @@ mod tests {
         let csc_bytes = ((n + 1) as u64 + 2 * fill as u64) * 4;
         let free_for_buffers = gpu.mem.capacity() - csc_bytes - n as u64 * 4;
         let m = (free_for_buffers / (n as u64 * 4)) as usize;
-        assert!((123..=125).contains(&m), "hugetrace M should be ~124, got {m}");
+        assert!(
+            (123..=125).contains(&m),
+            "hugetrace M should be ~124, got {m}"
+        );
     }
 
     #[test]

@@ -10,7 +10,10 @@ pub struct Table {
 impl Table {
     /// New table with the given column headers.
     pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Table {
-        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (must match the header count).

@@ -1,9 +1,7 @@
 //! Implementation of the `gplu` command-line driver (library-shaped so the
 //! command logic is unit-testable without spawning processes).
 
-use gplu_core::{
-    GpluError, LuFactorization, LuOptions, NumericFormat, SymbolicEngine,
-};
+use gplu_core::{GpluError, LuFactorization, LuOptions, NumericFormat, SymbolicEngine};
 use gplu_sim::{Gpu, GpuConfig};
 use gplu_sparse::convert::coo_to_csr;
 use gplu_sparse::gen::{circuit, mesh, planar};
@@ -27,7 +25,10 @@ options:
   --ordering amd|rcm|natural    fill-reducing ordering (default amd)
   --engine ooc|dynamic|um|um-prefetch
                                 symbolic engine (default dynamic)
-  --format auto|dense|sparse    numeric format (default auto)
+  --format auto|dense|sparse|merge
+                                numeric format (default auto: dense until the
+                                paper's switch criterion fires, then merge-join
+                                CSC; 'sparse' forces binary-search CSC)
   --mem <MiB>                   device memory (default: out-of-core profile)
 ";
 
@@ -87,14 +88,19 @@ pub struct RunOptions {
 /// Parses the option flags shared by `factorize` and `solve`.
 pub fn parse_options(args: &[String]) -> Result<RunOptions, CliError> {
     let mut opts = RunOptions {
-        lu: LuOptions { symbolic: SymbolicEngine::OocDynamic, ..Default::default() },
+        lu: LuOptions {
+            symbolic: SymbolicEngine::OocDynamic,
+            ..Default::default()
+        },
         mem: None,
         gpu_solve: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut value = |flag: &str| {
-            it.next().cloned().ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))
+            it.next()
+                .cloned()
+                .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))
         };
         match a.as_str() {
             "--ordering" => {
@@ -119,6 +125,7 @@ pub fn parse_options(args: &[String]) -> Result<RunOptions, CliError> {
                     "auto" => NumericFormat::Auto,
                     "dense" => NumericFormat::Dense,
                     "sparse" => NumericFormat::Sparse,
+                    "merge" => NumericFormat::SparseMerge,
                     other => return Err(CliError::Usage(format!("unknown format '{other}'"))),
                 };
             }
@@ -151,37 +158,71 @@ fn gpu_for(a: &Csr, mem: Option<u64>) -> Gpu {
 pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     match args.first().map(String::as_str) {
         Some("info") => {
-            let path = args.get(1).ok_or_else(|| CliError::Usage("info needs a path".into()))?;
+            let path = args
+                .get(1)
+                .ok_or_else(|| CliError::Usage("info needs a path".into()))?;
             let a = load(path)?;
-            writeln!(out, "{path}: {} x {}, {} nonzeros ({:.2}/row)", a.n_rows(), a.n_cols(),
-                a.nnz(), a.density())?;
-            writeln!(out, "structural diagonal: {}",
-                if a.has_full_diagonal() { "full" } else { "DEFICIENT (will be repaired)" })?;
+            writeln!(
+                out,
+                "{path}: {} x {}, {} nonzeros ({:.2}/row)",
+                a.n_rows(),
+                a.n_cols(),
+                a.nnz(),
+                a.density()
+            )?;
+            writeln!(
+                out,
+                "structural diagonal: {}",
+                if a.has_full_diagonal() {
+                    "full"
+                } else {
+                    "DEFICIENT (will be repaired)"
+                }
+            )?;
             let state = 24 * a.n_rows() as u64 * a.n_rows() as u64;
-            writeln!(out, "symbolic intermediate state: {} MiB (out-of-core on devices below that)",
-                state >> 20)?;
+            writeln!(
+                out,
+                "symbolic intermediate state: {} MiB (out-of-core on devices below that)",
+                state >> 20
+            )?;
             Ok(())
         }
         Some("factorize") => {
-            let path =
-                args.get(1).ok_or_else(|| CliError::Usage("factorize needs a path".into()))?;
+            let path = args
+                .get(1)
+                .ok_or_else(|| CliError::Usage("factorize needs a path".into()))?;
             let opts = parse_options(&args[2..])?;
             let a = load(path)?;
             let gpu = gpu_for(&a, opts.mem);
             let f = LuFactorization::compute(&gpu, &a, &opts.lu)?;
             writeln!(out, "{}", f.report.summary())?;
-            writeln!(out, "levels: {} (widest {}), modes A/B/C: {:?}",
-                f.report.n_levels, f.report.max_level_width, f.report.mode_mix)?;
+            writeln!(
+                out,
+                "levels: {} (widest {}), modes A/B/C: {:?}",
+                f.report.n_levels, f.report.max_level_width, f.report.mode_mix
+            )?;
             if let Some(m) = f.report.m_limit {
                 writeln!(out, "dense format, M = {m} parallel columns")?;
+            } else if f.report.probes > 0 {
+                writeln!(
+                    out,
+                    "sorted-CSC format, {} binary-search probes",
+                    f.report.probes
+                )?;
             } else {
-                writeln!(out, "sorted-CSC format, {} binary-search probes", f.report.probes)?;
+                writeln!(
+                    out,
+                    "sorted-CSC format, merge-join access, {} merge steps",
+                    f.report.merge_steps
+                )?;
             }
             writeln!(out, "total simulated time: {}", f.report.total())?;
             Ok(())
         }
         Some("solve") => {
-            let path = args.get(1).ok_or_else(|| CliError::Usage("solve needs a path".into()))?;
+            let path = args
+                .get(1)
+                .ok_or_else(|| CliError::Usage("solve needs a path".into()))?;
             let opts = parse_options(&args[2..])?;
             let a = load(path)?;
             let gpu = gpu_for(&a, opts.mem);
@@ -196,13 +237,19 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             } else {
                 f.solve(&b)?
             };
-            let err =
-                x.iter().zip(&x_true).map(|(p, q)| (p - q).abs()).fold(0.0f64, f64::max);
+            let err = x
+                .iter()
+                .zip(&x_true)
+                .map(|(p, q)| (p - q).abs())
+                .fold(0.0f64, f64::max);
             writeln!(out, "{}", f.report.summary())?;
             writeln!(out, "solve max error vs x = 1: {err:.3e}")?;
             if f.report.repaired_diagonals > 0 {
-                writeln!(out, "note: {} diagonals repaired; the solve targets the repaired system",
-                    f.report.repaired_diagonals)?;
+                writeln!(
+                    out,
+                    "note: {} diagonals repaired; the solve targets the repaired system",
+                    f.report.repaired_diagonals
+                )?;
             }
             Ok(())
         }
@@ -210,12 +257,16 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             let [family, n, density, path] = [1, 2, 3, 4].map(|i| args.get(i).cloned());
             let (Some(family), Some(n), Some(density), Some(path)) = (family, n, density, path)
             else {
-                return Err(CliError::Usage("gen needs <family> <n> <density> <out.mtx>".into()));
+                return Err(CliError::Usage(
+                    "gen needs <family> <n> <density> <out.mtx>".into(),
+                ));
             };
-            let n: usize =
-                n.parse().map_err(|_| CliError::Usage("n must be an integer".into()))?;
-            let density: f64 =
-                density.parse().map_err(|_| CliError::Usage("density must be a number".into()))?;
+            let n: usize = n
+                .parse()
+                .map_err(|_| CliError::Usage("n must be an integer".into()))?;
+            let density: f64 = density
+                .parse()
+                .map_err(|_| CliError::Usage("density must be a number".into()))?;
             let seed: u64 = args.get(5).map(|s| s.parse().unwrap_or(42)).unwrap_or(42);
             let a = match family.as_str() {
                 "circuit" => circuit::circuit(&circuit::CircuitParams {
@@ -235,7 +286,13 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
                 }
             }
             write_matrix_market_file(&path, &coo)?;
-            writeln!(out, "wrote {path}: {} x {}, {} nonzeros", a.n_rows(), a.n_cols(), a.nnz())?;
+            writeln!(
+                out,
+                "wrote {path}: {} x {}, {} nonzeros",
+                a.n_rows(),
+                a.n_cols(),
+                a.nnz()
+            )?;
             Ok(())
         }
         Some("--help") | Some("-h") | None => {
@@ -300,8 +357,16 @@ mod tests {
     #[test]
     fn engine_and_format_flags_parse() {
         let o = parse_options(
-            &["--engine", "um-prefetch", "--format", "sparse", "--mem", "64", "--gpu-solve"]
-                .map(String::from),
+            &[
+                "--engine",
+                "um-prefetch",
+                "--format",
+                "sparse",
+                "--mem",
+                "64",
+                "--gpu-solve",
+            ]
+            .map(String::from),
         )
         .expect("parses");
         assert_eq!(o.lu.symbolic, SymbolicEngine::UmPrefetch);
@@ -311,13 +376,32 @@ mod tests {
     }
 
     #[test]
+    fn merge_format_flag_parses_and_reports() {
+        let o = parse_options(&["--format", "merge"].map(String::from)).expect("parses");
+        assert_eq!(o.lu.format, NumericFormat::SparseMerge);
+
+        let path = tmp("merge.mtx");
+        run_str(&["gen", "circuit", "300", "5", &path]).expect("gen");
+        let out = run_str(&["factorize", &path, "--format", "merge"]).expect("factorize");
+        assert!(out.contains("merge-join access"), "got: {out}");
+        let out = run_str(&["factorize", &path, "--format", "sparse"]).expect("factorize");
+        assert!(out.contains("binary-search probes"), "got: {out}");
+    }
+
+    #[test]
     fn bad_flags_are_usage_errors() {
-        assert!(matches!(parse_options(&["--engine".into()]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse_options(&["--engine".into()]),
+            Err(CliError::Usage(_))
+        ));
         assert!(matches!(
             parse_options(&["--format".into(), "csc".into()]),
             Err(CliError::Usage(_))
         ));
-        assert!(matches!(run(&["wat".into()], &mut Vec::new()), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run(&["wat".into()], &mut Vec::new()),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

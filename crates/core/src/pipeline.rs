@@ -3,7 +3,7 @@
 use crate::error::GpluError;
 use crate::preprocess::{preprocess, PreprocessOptions, PreprocessOutcome};
 use crate::report::PhaseReport;
-use gplu_numeric::{factorize_gpu_dense, factorize_gpu_sparse};
+use gplu_numeric::{factorize_gpu_dense, factorize_gpu_merge, factorize_gpu_sparse};
 use gplu_schedule::{levelize_gpu, DepGraph, Levels};
 use gplu_sim::Gpu;
 use gplu_sparse::convert::csr_to_csc;
@@ -29,14 +29,19 @@ pub enum SymbolicEngine {
 /// Numeric-format selection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum NumericFormat {
-    /// The paper's criterion: sorted CSC iff
-    /// `n > L/(TB_max · sizeof(dtype))`.
+    /// The paper's criterion decides *when* to leave the dense format
+    /// (`n > L/(TB_max · sizeof(dtype))`); when it fires, the pipeline
+    /// runs the merge-join CSC kernel — the streaming refinement of
+    /// Algorithm 6 (use [`NumericFormat::Sparse`] to force the paper's
+    /// binary-search access verbatim).
     #[default]
     Auto,
     /// Force the dense-column format (the GLU 3.0 discipline).
     Dense,
     /// Force the sorted-CSC binary-search format (Algorithm 6).
     Sparse,
+    /// Force the sorted-CSC merge-join format (`O(nnz)` access).
+    SparseMerge,
 }
 
 /// End-to-end pipeline options.
@@ -83,8 +88,13 @@ impl LuFactorization {
         let mut report = PhaseReport::default();
 
         // 1. Pre-processing (host).
-        let PreprocessOutcome { matrix, p_row, p_col, repaired, time } =
-            preprocess(a, &opts.preprocess, gpu.cost())?;
+        let PreprocessOutcome {
+            matrix,
+            p_row,
+            p_col,
+            repaired,
+            time,
+        } = preprocess(a, &opts.preprocess, gpu.cost())?;
         gpu.advance(time);
         report.preprocess = time;
         report.repaired_diagonals = repaired;
@@ -130,20 +140,26 @@ impl LuFactorization {
         // 4. Numeric factorization (GPU), format per the paper's
         // criterion unless forced.
         let pattern = csr_to_csc(&symbolic.filled);
-        let use_sparse = match opts.format {
-            NumericFormat::Auto => gpu.config().should_use_sparse_format(matrix.n_rows()),
-            NumericFormat::Dense => false,
-            NumericFormat::Sparse => true,
-        };
-        let numeric = if use_sparse {
-            factorize_gpu_sparse(gpu, &pattern, &lvl.levels)?
-        } else {
-            factorize_gpu_dense(gpu, &pattern, &lvl.levels)?
+        // Auto follows the paper's *switch* criterion but lands on the
+        // merge-join kernel — same CSC residency, strictly less location
+        // work than binary search.
+        let numeric = match opts.format {
+            NumericFormat::Auto => {
+                if gpu.config().should_use_sparse_format(matrix.n_rows()) {
+                    factorize_gpu_merge(gpu, &pattern, &lvl.levels)?
+                } else {
+                    factorize_gpu_dense(gpu, &pattern, &lvl.levels)?
+                }
+            }
+            NumericFormat::Dense => factorize_gpu_dense(gpu, &pattern, &lvl.levels)?,
+            NumericFormat::Sparse => factorize_gpu_sparse(gpu, &pattern, &lvl.levels)?,
+            NumericFormat::SparseMerge => factorize_gpu_merge(gpu, &pattern, &lvl.levels)?,
         };
         report.numeric = numeric.time;
         report.mode_mix = (numeric.mode_mix.a, numeric.mode_mix.b, numeric.mode_mix.c);
         report.m_limit = numeric.m_limit;
         report.probes = numeric.probes;
+        report.merge_steps = numeric.merge_steps;
 
         Ok(LuFactorization {
             lu: numeric.lu,
@@ -184,7 +200,9 @@ impl LuFactorization {
             )));
         }
         let out = gplu_numeric::solve_gpu(gpu, &self.lu, plan, &self.p_row.permute_vec(b))?;
-        let x = (0..out.x.len()).map(|i| out.x[self.p_col.apply(i)]).collect();
+        let x = (0..out.x.len())
+            .map(|i| out.x[self.p_col.apply(i)])
+            .collect();
         Ok((x, out.time))
     }
 
@@ -256,12 +274,18 @@ mod tests {
         let a = random_dominant(300, 4.0, 101);
         let gpu = gpu_for(&a);
         let f = LuFactorization::compute(&gpu, &a, &LuOptions::default()).expect("pipeline ok");
-        assert!(residual_probe(&f.preprocessed, &f.lu, 4) < 1e-9, "factors must reconstruct");
+        assert!(
+            residual_probe(&f.preprocessed, &f.lu, 4) < 1e-9,
+            "factors must reconstruct"
+        );
 
         let x_true = vec![1.0; 300];
         let b = a.spmv(&x_true);
         let x = f.solve(&b).expect("solve ok");
-        assert!(check_solution(&a, &x, &b, 1e-8), "A x = b must hold in original ordering");
+        assert!(
+            check_solution(&a, &x, &b, 1e-8),
+            "A x = b must hold in original ordering"
+        );
     }
 
     #[test]
@@ -275,7 +299,10 @@ mod tests {
             SymbolicEngine::UmPrefetch,
         ] {
             let gpu = gpu_for(&a);
-            let opts = LuOptions { symbolic: engine, ..Default::default() };
+            let opts = LuOptions {
+                symbolic: engine,
+                ..Default::default()
+            };
             let f = LuFactorization::compute(&gpu, &a, &opts).expect("pipeline ok");
             factors.push(f.lu);
         }
@@ -288,16 +315,61 @@ mod tests {
     fn dense_and_sparse_formats_agree() {
         let a = banded_dominant(250, 4, 103);
         let mut results = Vec::new();
-        for format in [NumericFormat::Dense, NumericFormat::Sparse] {
+        for format in [
+            NumericFormat::Dense,
+            NumericFormat::Sparse,
+            NumericFormat::SparseMerge,
+        ] {
             let gpu = gpu_for(&a);
-            let opts = LuOptions { format, ..Default::default() };
+            let opts = LuOptions {
+                format,
+                ..Default::default()
+            };
             let f = LuFactorization::compute(&gpu, &a, &opts).expect("pipeline ok");
             results.push(f);
         }
         assert_eq!(results[0].lu.vals, results[1].lu.vals);
+        assert_eq!(results[0].lu.vals, results[2].lu.vals);
         assert!(results[0].report.m_limit.is_some());
         assert!(results[1].report.m_limit.is_none());
         assert!(results[1].report.probes > 0);
+        assert_eq!(results[1].report.merge_steps, 0);
+        assert!(results[2].report.merge_steps > 0);
+        assert_eq!(results[2].report.probes, 0);
+    }
+
+    #[test]
+    fn auto_selects_merge_exactly_when_format_switch_fires() {
+        // Criterion: sparse iff n > L/(TB_max·sizeof). With TB_max = 160
+        // and 4-byte data, L = 160·4·n sits exactly at the boundary (not
+        // sparse); one byte less flips it.
+        let boundary = 160u64 * 4 * 300;
+        assert!(!GpuConfig::v100()
+            .with_memory(boundary)
+            .should_use_sparse_format(300));
+        assert!(GpuConfig::v100()
+            .with_memory(boundary - 1)
+            .should_use_sparse_format(300));
+
+        // When the switch fires, Auto must run the merge kernel
+        // (merge_steps counted, no probes, no M limit)…
+        let a = banded_dominant(300, 4, 108);
+        let tight = Gpu::new(GpuConfig::v100().with_memory(150_000));
+        assert!(tight.config().should_use_sparse_format(300));
+        let f = LuFactorization::compute(&tight, &a, &LuOptions::default()).expect("ok");
+        assert!(
+            f.report.merge_steps > 0,
+            "Auto must pick merge when the switch fires"
+        );
+        assert_eq!(f.report.probes, 0);
+        assert!(f.report.m_limit.is_none());
+
+        // …and stay dense otherwise.
+        let roomy = Gpu::new(GpuConfig::v100());
+        assert!(!roomy.config().should_use_sparse_format(300));
+        let f = LuFactorization::compute(&roomy, &a, &LuOptions::default()).expect("ok");
+        assert!(f.report.m_limit.is_some(), "Auto must stay dense otherwise");
+        assert_eq!(f.report.merge_steps, 0);
     }
 
     #[test]
@@ -325,7 +397,11 @@ mod tests {
         let plain = f.solve(&b).expect("solve");
         let refined = f.solve_refined(&b, 2).expect("refined");
         let resid = |x: &[f64]| {
-            a.spmv(x).iter().zip(&b).map(|(p, q)| (p - q).abs()).fold(0.0f64, f64::max)
+            a.spmv(x)
+                .iter()
+                .zip(&b)
+                .map(|(p, q)| (p - q).abs())
+                .fold(0.0f64, f64::max)
         };
         assert!(
             resid(&refined) <= resid(&plain) * 1.0001,

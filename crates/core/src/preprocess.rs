@@ -65,7 +65,10 @@ pub fn preprocess(
         return Err(GpluError::Input("empty matrix".into()));
     }
     if n != a.n_cols() {
-        return Err(GpluError::Input(format!("matrix must be square, got {n}x{}", a.n_cols())));
+        return Err(GpluError::Input(format!(
+            "matrix must be square, got {n}x{}",
+            a.n_cols()
+        )));
     }
 
     // Optional static pivoting: a row permutation completing the
@@ -102,7 +105,13 @@ pub fn preprocess(
         Some(p) => p.then(&p_sym),
         None => p_sym.clone(),
     };
-    Ok(PreprocessOutcome { matrix: fixed, p_row, p_col: p_sym, repaired: inserted + replaced, time })
+    Ok(PreprocessOutcome {
+        matrix: fixed,
+        p_row,
+        p_col: p_sym,
+        repaired: inserted + replaced,
+        time,
+    })
 }
 
 #[cfg(test)]
@@ -114,7 +123,12 @@ mod tests {
 
     #[test]
     fn output_has_full_diagonal() {
-        let a = planar(&PlanarParams { side: 12, tri_prob: 0.4, missing_diag_fraction: 0.5, seed: 2 });
+        let a = planar(&PlanarParams {
+            side: 12,
+            tri_prob: 0.4,
+            missing_diag_fraction: 0.5,
+            seed: 2,
+        });
         let out = preprocess(&a, &PreprocessOptions::default(), &CostModel::default())
             .expect("preprocesses");
         assert!(out.matrix.has_full_diagonal());
@@ -144,10 +158,16 @@ mod tests {
             coo.push(i, 3 - i, 1.0);
         }
         let a = gplu_sparse::convert::coo_to_csr(&coo);
-        let opts = PreprocessOptions { static_pivot: true, ..Default::default() };
+        let opts = PreprocessOptions {
+            static_pivot: true,
+            ..Default::default()
+        };
         let out = preprocess(&a, &opts, &CostModel::default()).expect("preprocesses");
         assert!(out.matrix.has_full_diagonal());
-        assert_eq!(out.repaired, 0, "matching should complete the diagonal without repair");
+        assert_eq!(
+            out.repaired, 0,
+            "matching should complete the diagonal without repair"
+        );
     }
 
     #[test]
@@ -162,8 +182,14 @@ mod tests {
     #[test]
     fn natural_ordering_keeps_structure() {
         let a = random_dominant(20, 3.0, 92);
-        let opts = PreprocessOptions { ordering: OrderingKind::Natural, ..Default::default() };
+        let opts = PreprocessOptions {
+            ordering: OrderingKind::Natural,
+            ..Default::default()
+        };
         let out = preprocess(&a, &opts, &CostModel::default()).expect("preprocesses");
-        assert_eq!(out.matrix, a, "natural ordering of a diagonal-complete matrix is a no-op");
+        assert_eq!(
+            out.matrix, a,
+            "natural ordering of a diagonal-complete matrix is a no-op"
+        );
     }
 }

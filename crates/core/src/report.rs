@@ -33,8 +33,10 @@ pub struct PhaseReport {
     pub mode_mix: (usize, usize, usize),
     /// Dense-format concurrency limit `M`, when the dense engine ran.
     pub m_limit: Option<usize>,
-    /// Binary-search probes, when the sparse engine ran.
+    /// Binary-search probes, when the binary-search engine ran.
     pub probes: u64,
+    /// Merge-join destination-cursor advances, when the merge engine ran.
+    pub merge_steps: u64,
     /// Diagonal entries repaired during pre-processing.
     pub repaired_diagonals: usize,
 }
@@ -87,7 +89,10 @@ mod tests {
 
     #[test]
     fn summary_mentions_phases() {
-        let r = PhaseReport { fill_nnz: 42, ..Default::default() };
+        let r = PhaseReport {
+            fill_nnz: 42,
+            ..Default::default()
+        };
         let s = r.summary();
         assert!(s.contains("sym") && s.contains("num") && s.contains("42"));
     }

@@ -17,7 +17,10 @@ impl SimTime {
     /// From nanoseconds.
     #[inline]
     pub fn from_ns(ns: f64) -> SimTime {
-        debug_assert!(ns >= 0.0 && ns.is_finite(), "negative or non-finite time: {ns}");
+        debug_assert!(
+            ns >= 0.0 && ns.is_finite(),
+            "negative or non-finite time: {ns}"
+        );
         SimTime(ns)
     }
 
@@ -149,13 +152,18 @@ mod tests {
 
     #[test]
     fn sum_and_ratio() {
-        let total: SimTime = [SimTime::from_ns(1.0), SimTime::from_ns(2.0)].into_iter().sum();
+        let total: SimTime = [SimTime::from_ns(1.0), SimTime::from_ns(2.0)]
+            .into_iter()
+            .sum();
         assert_eq!(total.as_ns(), 3.0);
         assert!((SimTime::from_us(2.0).ratio(SimTime::from_us(1.0)) - 2.0).abs() < 1e-12);
     }
 
     #[test]
     fn max_picks_larger() {
-        assert_eq!(SimTime::from_ns(5.0).max(SimTime::from_ns(3.0)).as_ns(), 5.0);
+        assert_eq!(
+            SimTime::from_ns(5.0).max(SimTime::from_ns(3.0)).as_ns(),
+            5.0
+        );
     }
 }

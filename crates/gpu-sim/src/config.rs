@@ -1,13 +1,11 @@
 //! GPU configuration — the paper's Table 1, plus scaled profiles.
 
-use serde::{Deserialize, Serialize};
-
 /// Static device specification. Defaults reproduce the paper's Table 1
 /// (Tesla V100) plus the two quantities the paper uses implicitly: device
 /// memory capacity and the maximal number of concurrently resident thread
 /// blocks `TB_max` (the paper states "the maximal number of thread blocks
 /// of our GPU is 160", i.e. two blocks per SM at full occupancy).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GpuConfig {
     /// Human-readable name for reports.
     pub name: String,

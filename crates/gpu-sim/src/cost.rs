@@ -5,10 +5,8 @@
 //! calibration policy (tune once so relative results land in the paper's
 //! bands, then never touch again per-experiment).
 
-use serde::{Deserialize, Serialize};
-
 /// Cost constants for pricing simulated execution.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CostModel {
     // ---- kernel launches -------------------------------------------------
     /// Host-side kernel launch + sync overhead. CUDA launch latency is
@@ -56,6 +54,16 @@ pub struct CostModel {
     /// group.
     pub um_fault_group_pages: u64,
 
+    // ---- numeric access pricing ------------------------------------------
+    /// Fractional item-cost of one binary-search probe in the Algorithm 6
+    /// numeric kernel. Each located update target pays `log2(nnz_col)`
+    /// probes, and a probe (one dependent load + compare inside an
+    /// otherwise coalesced stream) is cheaper than a full multiply–add
+    /// item but far from free. The merge-join discipline streams both
+    /// columns in lockstep and pays **no** probe surcharge — that
+    /// difference is exactly the O(nnz·log nnz) → O(nnz) win.
+    pub probe_weight: f64,
+
     // ---- CPU baseline -----------------------------------------------------
     /// Per-item cost of irregular pointer-chasing work on one Xeon core
     /// (cache-missing adjacency scans on a 2013 Ivy Bridge): ~7 ns.
@@ -81,6 +89,7 @@ impl Default for CostModel {
             um_page_bytes: 2 * 1024 * 1024,
             um_fault_group_ns: 25_000.0,
             um_fault_group_pages: 1,
+            probe_weight: 0.12,
             cpu_item_ns: 7.0,
             cpu_threads: 28,
             cpu_efficiency: 0.42,
@@ -102,6 +111,19 @@ impl CostModel {
     /// Time for an explicit PCIe transfer of `bytes`.
     pub fn pcie_transfer_ns(&self, bytes: u64) -> f64 {
         self.pcie_latency_ns + bytes as f64 * self.pcie_ns_per_byte
+    }
+
+    /// Flop-equivalent surcharge for locating `items` update targets by
+    /// per-element binary search in a destination column of `nnz_col`
+    /// stored entries (Algorithm 6): `items · ⌈log2(nnz_col)⌉ ·
+    /// probe_weight`. Charge this *in addition to* the `items` themselves.
+    ///
+    /// The merge-join discipline has no analog of this function: its
+    /// two-pointer walk is priced as the item stream alone (plus the
+    /// bytes it touches), which is what makes it O(nnz).
+    pub fn probe_flop_items(&self, items: u64, nnz_col: u64) -> u64 {
+        let log_nnz = 64 - u64::leading_zeros(nnz_col.max(1)) as u64;
+        (items as f64 * log_nnz as f64 * self.probe_weight) as u64
     }
 
     /// Scales the *fixed latencies* (kernel-launch overheads and the PCIe
@@ -166,10 +188,24 @@ mod tests {
     }
 
     #[test]
+    fn probe_surcharge_scales_with_column_size() {
+        let c = CostModel::default();
+        // log2(1024) = 11 significant bits ⇒ 1000 · 11 · 0.12 = 1320.
+        assert_eq!(c.probe_flop_items(1000, 1024), 1320);
+        // Deeper columns cost more probes per located item…
+        assert!(c.probe_flop_items(1000, 1 << 20) > c.probe_flop_items(1000, 1 << 10));
+        // …and an empty column is clamped, not a panic.
+        assert_eq!(c.probe_flop_items(0, 0), 0);
+    }
+
+    #[test]
     fn pcie_transfer_includes_latency() {
         let c = CostModel::default();
         assert!(c.pcie_transfer_ns(0) == c.pcie_latency_ns);
         let big = c.pcie_transfer_ns(12_000_000_000);
-        assert!((big - (c.pcie_latency_ns + 1e9)).abs() / big < 1e-6, "12 GB ≈ 1 s");
+        assert!(
+            (big - (c.pcie_latency_ns + 1e9)).abs() / big < 1e-6,
+            "12 GB ≈ 1 s"
+        );
     }
 }

@@ -34,13 +34,24 @@ pub enum SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::OutOfMemory { requested, free, capacity } => write!(
+            SimError::OutOfMemory {
+                requested,
+                free,
+                capacity,
+            } => write!(
                 f,
                 "device out of memory: requested {requested} B, free {free} B of {capacity} B"
             ),
             SimError::InvalidHandle(h) => write!(f, "invalid device allocation handle {h}"),
-            SimError::AccessOutOfBounds { handle, offset, len } => {
-                write!(f, "access at offset {offset} outside allocation {handle} of {len} B")
+            SimError::AccessOutOfBounds {
+                handle,
+                offset,
+                len,
+            } => {
+                write!(
+                    f,
+                    "access at offset {offset} outside allocation {handle} of {len} B"
+                )
             }
             SimError::BadLaunch(msg) => write!(f, "bad kernel launch: {msg}"),
         }
@@ -55,7 +66,11 @@ mod tests {
 
     #[test]
     fn messages_contain_numbers() {
-        let e = SimError::OutOfMemory { requested: 100, free: 10, capacity: 50 };
+        let e = SimError::OutOfMemory {
+            requested: 100,
+            free: 10,
+            capacity: 50,
+        };
         let s = e.to_string();
         assert!(s.contains("100") && s.contains("10") && s.contains("50"));
     }

@@ -159,8 +159,11 @@ impl<'a> BlockCtx<'a> {
         let um = self
             .um
             .expect("kernel touched unified memory but was launched without a UM space");
-        let TouchOutcome { faulted_pages, fault_groups, migrated_bytes } =
-            um.touch(alloc, offset, len);
+        let TouchOutcome {
+            faulted_pages,
+            fault_groups,
+            migrated_bytes,
+        } = um.touch(alloc, offset, len);
         if faulted_pages > 0 {
             self.fault_groups += fault_groups;
             self.fault_ns += fault_groups as f64 * self.cost.um_fault_group_ns

@@ -10,8 +10,8 @@ use crate::stats::GpuStatsSnapshot;
 use crate::unified::UmSpace;
 use parking_lot::Mutex;
 use rayon::prelude::*;
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Where a launch originates: from the host (CUDA runtime API) or from
 /// device code via *dynamic parallelism* (the paper's Algorithm 5). The
@@ -96,7 +96,13 @@ impl Gpu {
     pub fn with_cost(cfg: GpuConfig, cost: CostModel) -> Self {
         let mem = DeviceMemory::new(cfg.device_memory);
         let um = UmSpace::new(&cost, cfg.device_memory);
-        Gpu { cfg, cost, mem, um, state: Mutex::new(GpuState::default()) }
+        Gpu {
+            cfg,
+            cost,
+            mem,
+            um,
+            state: Mutex::new(GpuState::default()),
+        }
     }
 
     /// Device configuration.
@@ -165,7 +171,14 @@ impl Gpu {
         threads_per_block: usize,
         kernel: &K,
     ) -> Result<KernelReport, SimError> {
-        self.launch_with(name, grid, threads_per_block, LaunchKind::Host, Exec::Par, kernel)
+        self.launch_with(
+            name,
+            grid,
+            threads_per_block,
+            LaunchKind::Host,
+            Exec::Par,
+            kernel,
+        )
     }
 
     /// Launches a child kernel from device code (dynamic parallelism).
@@ -176,7 +189,14 @@ impl Gpu {
         threads_per_block: usize,
         kernel: &K,
     ) -> Result<KernelReport, SimError> {
-        self.launch_with(name, grid, threads_per_block, LaunchKind::Device, Exec::Par, kernel)
+        self.launch_with(
+            name,
+            grid,
+            threads_per_block,
+            LaunchKind::Device,
+            Exec::Par,
+            kernel,
+        )
     }
 
     /// Launches a kernel whose concurrency is additionally capped at `cap`
@@ -191,7 +211,15 @@ impl Gpu {
         cap: usize,
         kernel: &K,
     ) -> Result<KernelReport, SimError> {
-        self.launch_inner(name, grid, threads_per_block, LaunchKind::Host, Exec::Par, Some(cap), kernel)
+        self.launch_inner(
+            name,
+            grid,
+            threads_per_block,
+            LaunchKind::Host,
+            Exec::Par,
+            Some(cap),
+            kernel,
+        )
     }
 
     /// Full-control launch.
@@ -267,14 +295,22 @@ impl Gpu {
         let run_one = |b: usize| {
             let mut ctx = BlockCtx::new(&self.cost, Some(&self.um), threads_per_block);
             kernel.run_block(b, &mut ctx);
-            (ctx.compute_ns, ctx.mem_bytes, ctx.fault_ns, ctx.fault_groups)
+            (
+                ctx.compute_ns,
+                ctx.mem_bytes,
+                ctx.fault_ns,
+                ctx.fault_groups,
+            )
         };
         let per_block: Vec<(f64, u64, f64, u64)> = match exec {
             Exec::Par => (0..grid).into_par_iter().map(run_one).collect(),
             Exec::Seq => (0..grid).map(run_one).collect(),
         };
 
-        let concurrency = grid.min(self.cfg.tb_max).min(cap.unwrap_or(usize::MAX)).max(1);
+        let concurrency = grid
+            .min(self.cfg.tb_max)
+            .min(cap.unwrap_or(usize::MAX))
+            .max(1);
         let compute_ns = makespan(per_block.iter().map(|p| p.0), concurrency);
         let total_bytes: u64 = per_block.iter().map(|p| p.1).sum();
         let bw_ns = total_bytes as f64 * self.cost.hbm_ns_per_byte;
@@ -379,7 +415,9 @@ mod tests {
     #[test]
     fn device_launch_is_cheaper() {
         let g = gpu();
-        let h = g.launch("h", 1, 32, &|_b: usize, ctx: &mut BlockCtx| ctx.step(1)).expect("ok");
+        let h = g
+            .launch("h", 1, 32, &|_b: usize, ctx: &mut BlockCtx| ctx.step(1))
+            .expect("ok");
         let d = g
             .launch_device("d", 1, 32, &|_b: usize, ctx: &mut BlockCtx| ctx.step(1))
             .expect("ok");
@@ -391,7 +429,9 @@ mod tests {
     #[test]
     fn empty_launch_still_costs_overhead() {
         let g = gpu();
-        let rep = g.launch("empty", 0, 32, &|_b: usize, _ctx: &mut BlockCtx| {}).expect("ok");
+        let rep = g
+            .launch("empty", 0, 32, &|_b: usize, _ctx: &mut BlockCtx| {})
+            .expect("ok");
         assert!((rep.time.as_ns() - g.cost().host_launch_ns).abs() < 1e-9);
     }
 
@@ -419,7 +459,10 @@ mod tests {
     #[test]
     fn um_faults_serialize_into_kernel_time() {
         let cfg = GpuConfig::v100().with_memory(1 << 20);
-        let cost = crate::CostModel { um_page_bytes: 64 * 1024, ..Default::default() };
+        let cost = crate::CostModel {
+            um_page_bytes: 64 * 1024,
+            ..Default::default()
+        };
         let g = Gpu::with_cost(cfg, cost);
         let a = g.um.alloc(512 * 1024);
         let page = g.um.page_bytes();
@@ -495,8 +538,12 @@ mod tests {
         };
         let g1 = gpu();
         let g2 = gpu();
-        let r1 = g1.launch_with("k", 64, 256, LaunchKind::Host, Exec::Par, &k).expect("ok");
-        let r2 = g2.launch_with("k", 64, 256, LaunchKind::Host, Exec::Seq, &k).expect("ok");
+        let r1 = g1
+            .launch_with("k", 64, 256, LaunchKind::Host, Exec::Par, &k)
+            .expect("ok");
+        let r2 = g2
+            .launch_with("k", 64, 256, LaunchKind::Host, Exec::Seq, &k)
+            .expect("ok");
         assert!((r1.time.as_ns() - r2.time.as_ns()).abs() < 1e-6);
     }
 }

@@ -51,7 +51,10 @@ pub struct DeviceMemory {
 impl DeviceMemory {
     /// Creates an allocator with `capacity` bytes.
     pub fn new(capacity: u64) -> Self {
-        DeviceMemory { capacity, state: Mutex::new(MemState::default()) }
+        DeviceMemory {
+            capacity,
+            state: Mutex::new(MemState::default()),
+        }
     }
 
     /// Total capacity in bytes.
@@ -144,7 +147,11 @@ mod tests {
         let m = DeviceMemory::new(100);
         let _a = m.alloc(90).expect("fits");
         match m.alloc(20) {
-            Err(SimError::OutOfMemory { requested, free, capacity }) => {
+            Err(SimError::OutOfMemory {
+                requested,
+                free,
+                capacity,
+            }) => {
                 assert_eq!((requested, free, capacity), (20, 10, 100));
             }
             other => panic!("expected OOM, got {other:?}"),

@@ -299,7 +299,10 @@ mod tests {
         um.touch(&a, 2048, 2048); // pages 2,3 -> evict 0,1 (materialised)
         let t = um.touch(&a, 0, 1024); // re-touch page 0
         assert_eq!(t.faulted_pages, 1);
-        assert_eq!(t.migrated_bytes, 1024, "materialised scratch pays migration");
+        assert_eq!(
+            t.migrated_bytes, 1024,
+            "materialised scratch pays migration"
+        );
     }
 
     #[test]
@@ -330,8 +333,16 @@ mod tests {
         let um = space(16);
         let host = um.alloc(4 * 1024);
         let scratch = um.alloc_scratch(4 * 1024);
-        assert_eq!(um.prefetch(&host, 0, 4 * 1024), 4 * 1024, "host pages cost PCIe");
-        assert_eq!(um.prefetch(&scratch, 0, 4 * 1024), 0, "fresh scratch is free");
+        assert_eq!(
+            um.prefetch(&host, 0, 4 * 1024),
+            4 * 1024,
+            "host pages cost PCIe"
+        );
+        assert_eq!(
+            um.prefetch(&scratch, 0, 4 * 1024),
+            0,
+            "fresh scratch is free"
+        );
         assert_eq!(um.touch(&host, 0, 4 * 1024).faulted_pages, 0);
         assert_eq!(um.touch(&scratch, 0, 4 * 1024).faulted_pages, 0);
         assert_eq!(um.stats().fault_groups, 0);

@@ -11,8 +11,10 @@
 //! below `TB_max` and the device runs block-starved — the deficiency the
 //! binary-search CSC format removes.
 
-use crate::modes::{classify_level, launch_shape, LevelType, ModeMix};
-use crate::outcome::{process_column, NumericOutcome};
+use crate::modes::{classify_level_cached, launch_shape, LevelType, ModeMix};
+use crate::outcome::{
+    column_cost_estimate_cached, process_column, AccessDiscipline, NumericOutcome, PivotCache,
+};
 use crate::values::ValueStore;
 use gplu_schedule::Levels;
 use gplu_sim::{BlockCtx, Gpu, SimError};
@@ -50,12 +52,13 @@ pub fn factorize_gpu_dense(
     }
 
     let vals = ValueStore::new(&pattern.vals);
+    let cache = PivotCache::build(pattern);
     let mut mix = ModeMix::default();
     let mut batches = 0u64;
     let error: Mutex<Option<SparseError>> = Mutex::new(None);
 
     for cols in &levels.groups {
-        let t = classify_level(pattern, cols);
+        let t = classify_level_cached(pattern, &cache, cols);
         match t {
             LevelType::A => mix.a += 1,
             LevelType::B => mix.b += 1,
@@ -65,36 +68,48 @@ pub fn factorize_gpu_dense(
         // Level split into batches of at most M concurrent dense buffers.
         for batch in cols.chunks(m_limit.max(1)) {
             batches += 1;
+            // Hoisted: one structural cost estimate per column, shared by
+            // all of its cooperating stripes.
+            let items_of: Vec<u64> = batch
+                .iter()
+                .map(|&j| column_cost_estimate_cached(pattern, &cache, j as usize).1)
+                .collect();
             let buffers = gpu.mem.alloc(batch.len() as u64 * col_bytes)?;
-            gpu.launch_capped("numeric_dense", batch.len() * stripes, threads, m_limit, &|b: usize,
-                   ctx: &mut BlockCtx| {
-                let col = batch[b / stripes] as usize;
-                let stripe = b % stripes;
-                // Each column's work (updates + scatter/gather + the O(n)
-                // dense-buffer traffic the paper charges per column) is
-                // split across its cooperating stripes; stripe 0 performs
-                // the functional arithmetic, co-stripes charge their share
-                // of the cost from the structure alone. Right-looking
-                // execution has no per-target dependency chain, so a
-                // column costs a few block-wide steps plus its share of
-                // the (structured, flop-rate) update stream.
-                let (_deps, items) = crate::outcome::column_cost_estimate(pattern, col);
-                let nnz_col =
-                    (pattern.col_ptr[col + 1] - pattern.col_ptr[col]) as u64;
-                // Structured update stream at the flop rate…
-                ctx.bulk_flops(3, (items + 2 * nnz_col) / stripes as u64);
-                // …plus the O(n) dense-buffer traffic (clear + scatter +
-                // gather of an `n`-length vector): uncoalesced
-                // read-modify-write, charged at the irregular rate — the
-                // per-column tax the sparse format avoids entirely.
-                ctx.work(4 * n as u64 / stripes as u64);
-                ctx.mem((items * 8 + 4 * n as u64) / stripes as u64);
-                if stripe == 0 {
-                    if let Err(e) = process_column(pattern, &vals, col, false) {
-                        error.lock().get_or_insert(e);
+            gpu.launch_capped(
+                "numeric_dense",
+                batch.len() * stripes,
+                threads,
+                m_limit,
+                &|b: usize, ctx: &mut BlockCtx| {
+                    let col = batch[b / stripes] as usize;
+                    let stripe = b % stripes;
+                    // Each column's work (updates + scatter/gather + the O(n)
+                    // dense-buffer traffic the paper charges per column) is
+                    // split across its cooperating stripes; stripe 0 performs
+                    // the functional arithmetic, co-stripes charge their share
+                    // of the cost from the structure alone. Right-looking
+                    // execution has no per-target dependency chain, so a
+                    // column costs a few block-wide steps plus its share of
+                    // the (structured, flop-rate) update stream.
+                    let items = items_of[b / stripes];
+                    let nnz_col = (pattern.col_ptr[col + 1] - pattern.col_ptr[col]) as u64;
+                    // Structured update stream at the flop rate…
+                    ctx.bulk_flops(3, (items + 2 * nnz_col) / stripes as u64);
+                    // …plus the O(n) dense-buffer traffic (clear + scatter +
+                    // gather of an `n`-length vector): uncoalesced
+                    // read-modify-write, charged at the irregular rate — the
+                    // per-column tax the sparse format avoids entirely.
+                    ctx.work(4 * n as u64 / stripes as u64);
+                    ctx.mem((items * 8 + 4 * n as u64) / stripes as u64);
+                    if stripe == 0 {
+                        if let Err(e) =
+                            process_column(pattern, &vals, col, AccessDiscipline::Dense, &cache)
+                        {
+                            error.lock().get_or_insert(e);
+                        }
                     }
-                }
-            })?;
+                },
+            )?;
             gpu.mem.free(buffers)?;
         }
         if let Some(e) = error.lock().take() {
@@ -122,14 +137,15 @@ pub fn factorize_gpu_dense(
         m_limit: Some(m_limit),
         batches,
         probes: 0,
+        merge_steps: 0,
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gplu_sim::{CostModel, GpuConfig};
     use gplu_schedule::{levelize_cpu, DepGraph};
+    use gplu_sim::{CostModel, GpuConfig};
     use gplu_sparse::convert::csr_to_csc;
     use gplu_sparse::gen::random::random_dominant;
     use gplu_sparse::verify::residual_probe;
@@ -183,7 +199,8 @@ mod tests {
         let roomy = Gpu::new(GpuConfig::v100());
         let fast = factorize_gpu_dense(&roomy, &pattern, &levels).expect("ok");
         let csc_bytes = ((512 + 1) as u64 + 2 * pattern.nnz() as u64) * 4;
-        let tight = Gpu::new(GpuConfig::v100().with_memory(csc_bytes + 512 * 4 + 4 * 512 * 4 + 512));
+        let tight =
+            Gpu::new(GpuConfig::v100().with_memory(csc_bytes + 512 * 4 + 4 * 512 * 4 + 512));
         let slow = factorize_gpu_dense(&tight, &pattern, &levels).expect("ok");
         assert!(slow.time > fast.time, "M-starvation must cost time");
     }

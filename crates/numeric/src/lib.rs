@@ -25,7 +25,16 @@
 //!   concurrency below `TB_max` for huge matrices (Table 4),
 //! * **sparse format** ([`sparse`]): no buffers; every row access is the
 //!   binary search of Algorithm 6 (our [`gplu_sparse::Csc::find_in_col`])
-//!   with its `log(col_nnz)` probe cost, but all `TB_max` blocks run.
+//!   with its `log(col_nnz)` probe cost, but all `TB_max` blocks run,
+//! * **merge format** ([`merge`]): sorted CSC like [`sparse`], but update
+//!   targets are located by a two-pointer merge-join of the (sorted)
+//!   source segment and destination column — `O(nnz)` total instead of
+//!   `O(nnz · log nnz)`, with no probe surcharge.
+//!
+//! The three access patterns share one kernel core,
+//! [`outcome::process_column`], parameterized by
+//! [`outcome::AccessDiscipline`]; per-factorization pivot/segment
+//! positions are precomputed once in an [`outcome::PivotCache`].
 //!
 //! GLU 3.0's three level types (Section 2.2) are classified in [`modes`]
 //! and map to block/thread shapes per level.
@@ -35,16 +44,18 @@
 //! reading finished ones — the level barrier provides the happens-before.
 
 pub mod dense;
+pub mod merge;
 pub mod modes;
 pub mod outcome;
 pub mod seq;
-pub mod trisolve;
 pub mod sparse;
+pub mod trisolve;
 pub mod values;
 
 pub use dense::factorize_gpu_dense;
-pub use modes::{classify_level, classify_schedule, LevelType, ModeMix};
-pub use outcome::NumericOutcome;
+pub use merge::factorize_gpu_merge;
+pub use modes::{classify_level, classify_level_cached, classify_schedule, LevelType, ModeMix};
+pub use outcome::{AccessDiscipline, NumericOutcome, PivotCache};
 pub use seq::factorize_seq;
 pub use sparse::{factorize_gpu_sparse, factorize_gpu_sparse_forced};
 pub use trisolve::{solve_gpu, TriSolveOutcome, TriSolvePlan};

@@ -10,6 +10,7 @@
 //!   lists — the whole device cooperates on each column, striping its
 //!   update rows across many blocks.
 
+use crate::outcome::PivotCache;
 use gplu_schedule::Levels;
 use gplu_sparse::Csc;
 
@@ -36,21 +37,40 @@ pub const HEAVY_DEPS: f64 = 24.0;
 /// dependency lists are short (A); late levels have few, heavy columns
 /// (C); everything in between is B.
 pub fn classify_level(lu: &Csc, columns: &[gplu_sparse::Idx]) -> LevelType {
-    if columns.is_empty() {
-        return LevelType::A;
-    }
-    let total_deps: u64 = columns
-        .iter()
-        .map(|&j| {
+    classify_deps(
+        columns.len(),
+        columns.iter().map(|&j| {
             let j = j as usize;
             // Dependencies = entries above the diagonal of column j.
-            let (start, _) = (lu.col_ptr[j], lu.col_ptr[j + 1]);
-            let below = lu.lower_bound_after(j, j);
-            (below - start).saturating_sub(0) as u64
-        })
-        .sum();
-    let avg_deps = total_deps as f64 / columns.len() as f64;
-    if columns.len() < NARROW_LEVEL && avg_deps >= HEAVY_DEPS {
+            (lu.lower_bound_after(j, j) - lu.col_ptr[j]) as u64
+        }),
+    )
+}
+
+/// As [`classify_level`], but with the above-diagonal counts served by the
+/// [`PivotCache`] — no binary searches, so classifying the whole schedule
+/// is `O(n)` instead of `O(n log nnz)`.
+pub fn classify_level_cached(
+    lu: &Csc,
+    cache: &PivotCache,
+    columns: &[gplu_sparse::Idx],
+) -> LevelType {
+    classify_deps(
+        columns.len(),
+        columns.iter().map(|&j| {
+            let j = j as usize;
+            (cache.lower_start(j) - lu.col_ptr[j]) as u64
+        }),
+    )
+}
+
+fn classify_deps(width: usize, deps: impl Iterator<Item = u64>) -> LevelType {
+    if width == 0 {
+        return LevelType::A;
+    }
+    let total_deps: u64 = deps.sum();
+    let avg_deps = total_deps as f64 / width as f64;
+    if width < NARROW_LEVEL && avg_deps >= HEAVY_DEPS {
         LevelType::C
     } else if avg_deps < HEAVY_DEPS {
         LevelType::A
@@ -160,5 +180,21 @@ mod tests {
     fn empty_level_defaults_a() {
         let lu = column_with_deps(4, 1);
         assert_eq!(classify_level(&lu, &[]), LevelType::A);
+    }
+
+    #[test]
+    fn cached_classification_agrees() {
+        for &(n, deps) in &[(64usize, 2usize), (64, 40), (32, 10)] {
+            let lu = column_with_deps(n, deps);
+            let cache = PivotCache::build(&lu);
+            let wide: Vec<_> = (0..n as u32).collect();
+            let narrow = [deps as u32];
+            for cols in [&wide[..], &narrow[..], &[][..]] {
+                assert_eq!(
+                    classify_level_cached(&lu, &cache, cols),
+                    classify_level(&lu, cols)
+                );
+            }
+        }
     }
 }

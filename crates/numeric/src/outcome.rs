@@ -1,4 +1,5 @@
-//! Shared outcome type and the per-column functional kernel core.
+//! Shared outcome type, the per-column functional kernel core, and the
+//! per-factorization pivot-position cache.
 
 use crate::modes::ModeMix;
 use crate::values::ValueStore;
@@ -22,8 +23,93 @@ pub struct NumericOutcome {
     /// Dense format only: total batched kernel launches (levels split into
     /// `⌈width/M⌉` batches).
     pub batches: u64,
-    /// Sparse format only: total binary-search probes (Algorithm 6).
+    /// Binary-search format only: total probes (Algorithm 6).
     pub probes: u64,
+    /// Merge format only: total two-pointer advances of the destination
+    /// cursor (the streaming analog of `probes`).
+    pub merge_steps: u64,
+}
+
+/// How a numeric kernel locates the update targets inside a destination
+/// column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessDiscipline {
+    /// Dense per-column buffers (GLU 3.0): each target row indexes an
+    /// `O(n)` scatter buffer directly. Functionally realized here as an
+    /// ascending merge, which touches the same positions once each.
+    Dense,
+    /// Sorted CSC with per-element binary search — the paper's
+    /// Algorithm 6. Every located target pays `log2(nnz_col)` probes.
+    BinarySearch,
+    /// Sorted CSC with a two-pointer merge-join of the source segment and
+    /// the destination column. Both sides are sorted by row, so one
+    /// forward walk locates every target: `O(nnz_t + nnz_j)` per update
+    /// instead of `O(nnz_t · log nnz_j)`, and no probe surcharge.
+    Merge,
+}
+
+/// Per-factorization cache of the two structural positions every engine
+/// otherwise re-derives over and over: for each column `j`, the position
+/// of the diagonal entry `(j, j)` and the first strictly-sub-diagonal
+/// position `lower_bound_after(j, j)`.
+///
+/// Built once per factorization in `O(nnz)`; afterwards the per-column
+/// pivot lookup and the per-dependency source-segment start are `O(1)`
+/// array reads instead of binary searches. (The binary-search *update*
+/// probes of Algorithm 6 are unaffected — those locate fill positions in
+/// the destination column, which this cache cannot know.)
+#[derive(Debug, Clone)]
+pub struct PivotCache {
+    /// Position of `(j, j)` in column `j`'s index range, or `usize::MAX`
+    /// when the diagonal is structurally absent.
+    diag_pos: Vec<usize>,
+    /// `lower_bound_after(j, j)`: first position in column `j` whose row
+    /// exceeds `j`.
+    lower_start: Vec<usize>,
+}
+
+impl PivotCache {
+    /// Scans the pattern once and records both positions for every column.
+    pub fn build(pattern: &Csc) -> PivotCache {
+        let n = pattern.n_cols();
+        let mut diag_pos = vec![usize::MAX; n];
+        let mut lower_start = vec![0usize; n];
+        for j in 0..n {
+            let lb = pattern.lower_bound_after(j, j);
+            lower_start[j] = lb;
+            if lb > pattern.col_ptr[j] && pattern.row_idx[lb - 1] as usize == j {
+                diag_pos[j] = lb - 1;
+            }
+        }
+        PivotCache {
+            diag_pos,
+            lower_start,
+        }
+    }
+
+    /// Position of the diagonal entry of column `j`, if present.
+    #[inline]
+    pub fn diag(&self, j: usize) -> Option<usize> {
+        let p = self.diag_pos[j];
+        (p != usize::MAX).then_some(p)
+    }
+
+    /// First position in column `j` whose row index exceeds `j` (the start
+    /// of the `L` segment).
+    #[inline]
+    pub fn lower_start(&self, j: usize) -> usize {
+        self.lower_start[j]
+    }
+
+    /// Number of columns covered.
+    pub fn len(&self) -> usize {
+        self.diag_pos.len()
+    }
+
+    /// True when built for an empty pattern.
+    pub fn is_empty(&self) -> bool {
+        self.diag_pos.is_empty()
+    }
 }
 
 /// Operation counts of one column's factorization, for cost charging.
@@ -33,22 +119,23 @@ pub struct ColCosts {
     pub deps: u64,
     /// Multiply–add items applied.
     pub items: u64,
-    /// Binary-search probes (sparse access only).
+    /// Binary-search probes (binary-search access only).
     pub probes: u64,
+    /// Destination-cursor advances (merge access only).
+    pub merge_steps: u64,
     /// Entries of the column (scatter/gather volume for the dense format).
     pub nnz: u64,
 }
 
 /// Factorizes column `j` against finished columns, reading and writing
 /// through the atomic [`ValueStore`] (`pattern` supplies the immutable
-/// structure).
+/// structure, `cache` the pre-computed pivot/segment positions).
 ///
-/// `use_binary_search` selects the access discipline being modelled:
-/// * `false` — dense format: the column sits in an `O(n)` dense buffer, so
-///   each target row is located directly (functionally we use the merge
-///   position, which touches each entry once, like the dense scatter),
-/// * `true` — sorted-CSC format: every target row is located with the
-///   binary search of the paper's Algorithm 6 and the probes are counted.
+/// `discipline` selects the access pattern being modelled — see
+/// [`AccessDiscipline`]. All three apply bit-identical arithmetic in the
+/// same order; they differ only in how target positions are located and
+/// which counters ([`ColCosts::probes`] / [`ColCosts::merge_steps`]) they
+/// accumulate.
 ///
 /// Only the block owning column `j` calls this for `j`, so the writes are
 /// data-race-free; reads target columns finished in earlier levels.
@@ -56,7 +143,8 @@ pub fn process_column(
     pattern: &Csc,
     vals: &ValueStore,
     j: usize,
-    use_binary_search: bool,
+    discipline: AccessDiscipline,
+    cache: &PivotCache,
 ) -> Result<ColCosts, SparseError> {
     let mut costs = ColCosts::default();
     let (start, end) = (pattern.col_ptr[j], pattern.col_ptr[j + 1]);
@@ -72,43 +160,67 @@ pub fn process_column(
         if u_tj == 0.0 {
             continue;
         }
-        let t_lower = pattern.lower_bound_after(t, t);
+        let t_lower = cache.lower_start(t);
         let t_end = pattern.col_ptr[t + 1];
-        if use_binary_search {
-            for src in t_lower..t_end {
-                let i = pattern.row_idx[src] as usize;
-                let (pos, probes) = pattern.find_in_col(i, j);
-                costs.probes += probes as u64;
-                costs.items += 1;
-                let pos = pos.unwrap_or_else(|| {
-                    unreachable!("missing fill position ({i}, {j}); symbolic closure violated")
-                });
-                vals.set(pos, vals.get(pos) - vals.get(src) * u_tj);
+        match discipline {
+            AccessDiscipline::BinarySearch => {
+                for src in t_lower..t_end {
+                    let i = pattern.row_idx[src] as usize;
+                    let (pos, probes) = pattern.find_in_col(i, j);
+                    costs.probes += probes as u64;
+                    costs.items += 1;
+                    let pos = pos.unwrap_or_else(|| {
+                        unreachable!("missing fill position ({i}, {j}); symbolic closure violated")
+                    });
+                    vals.set(pos, vals.get(pos) - vals.get(src) * u_tj);
+                }
             }
-        } else {
-            // Dense discipline: direct indexing; functionally an ascending
-            // merge locates the same positions with one touch per entry.
-            let mut dst = k + 1;
-            for src in t_lower..t_end {
-                let i = pattern.row_idx[src];
-                while dst < end && pattern.row_idx[dst] < i {
+            AccessDiscipline::Dense => {
+                // Dense discipline: direct indexing; functionally an
+                // ascending merge locates the same positions with one
+                // touch per entry.
+                let mut dst = k + 1;
+                for src in t_lower..t_end {
+                    let i = pattern.row_idx[src];
+                    while dst < end && pattern.row_idx[dst] < i {
+                        dst += 1;
+                    }
+                    debug_assert!(
+                        dst < end && pattern.row_idx[dst] == i,
+                        "missing fill position ({i}, {j})"
+                    );
+                    costs.items += 1;
+                    vals.set(dst, vals.get(dst) - vals.get(src) * u_tj);
                     dst += 1;
                 }
-                debug_assert!(
-                    dst < end && pattern.row_idx[dst] == i,
-                    "missing fill position ({i}, {j})"
-                );
-                costs.items += 1;
-                vals.set(dst, vals.get(dst) - vals.get(src) * u_tj);
-                dst += 1;
+            }
+            AccessDiscipline::Merge => {
+                // Merge-join: both the source segment and the destination
+                // column are sorted by row, so a single forward walk of
+                // `dst` locates every target. Each cursor advance is one
+                // streamed comparison — counted, never repeated.
+                let mut dst = k + 1;
+                for src in t_lower..t_end {
+                    let i = pattern.row_idx[src];
+                    while dst < end && pattern.row_idx[dst] < i {
+                        dst += 1;
+                        costs.merge_steps += 1;
+                    }
+                    debug_assert!(
+                        dst < end && pattern.row_idx[dst] == i,
+                        "missing fill position ({i}, {j})"
+                    );
+                    costs.items += 1;
+                    vals.set(dst, vals.get(dst) - vals.get(src) * u_tj);
+                    dst += 1;
+                    costs.merge_steps += 1;
+                }
             }
         }
     }
 
-    // Division by the pivot.
-    let (diag_pos, probes) = pattern.find_in_col(j, j);
-    costs.probes += probes as u64;
-    let diag_pos = diag_pos.ok_or(SparseError::ZeroDiagonal { row: j })?;
+    // Division by the pivot — position served by the cache, not a search.
+    let diag_pos = cache.diag(j).ok_or(SparseError::ZeroDiagonal { row: j })?;
     let pivot = vals.get(diag_pos);
     if pivot == 0.0 || !pivot.is_finite() {
         return Err(SparseError::ZeroPivot { col: j });
@@ -140,6 +252,26 @@ pub fn column_cost_estimate(pattern: &Csc, j: usize) -> (u64, u64) {
     (deps, items)
 }
 
+/// As [`column_cost_estimate`], but with every `lower_bound_after` served
+/// by the [`PivotCache`] — `O(nnz_j)` with no binary searches. The engines
+/// call this once per column per level (hoisted out of the per-stripe
+/// closures) and hand the result to every stripe.
+pub fn column_cost_estimate_cached(pattern: &Csc, cache: &PivotCache, j: usize) -> (u64, u64) {
+    let (start, end) = (pattern.col_ptr[j], pattern.col_ptr[j + 1]);
+    let mut deps = 0u64;
+    let mut items = 0u64;
+    for k in start..end {
+        let t = pattern.row_idx[k] as usize;
+        if t >= j {
+            break;
+        }
+        deps += 1;
+        items += (pattern.col_ptr[t + 1] - cache.lower_start(t)) as u64;
+    }
+    items += (end - cache.lower_start(j)) as u64;
+    (deps, items)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,50 +284,131 @@ mod tests {
         csr_to_csc(&symbolic_cpu(a, &CostModel::default()).result.filled)
     }
 
+    const ALL: [AccessDiscipline; 3] = [
+        AccessDiscipline::Dense,
+        AccessDiscipline::BinarySearch,
+        AccessDiscipline::Merge,
+    ];
+
     #[test]
-    fn both_disciplines_match_sequential() {
+    fn all_disciplines_match_sequential() {
         let a = random_dominant(40, 4.0, 61);
         let pattern = filled(&a);
+        let cache = PivotCache::build(&pattern);
         let mut seq = pattern.clone();
         crate::seq::factorize_seq(&mut seq).expect("seq factorizes");
 
-        for &bs in &[false, true] {
+        for &d in &ALL {
             let vals = ValueStore::new(&pattern.vals);
             for j in 0..40 {
-                process_column(&pattern, &vals, j, bs).expect("column ok");
+                process_column(&pattern, &vals, j, d, &cache).expect("column ok");
             }
             let got = vals.into_vec();
             for (k, (&want, got)) in seq.vals.iter().zip(&got).enumerate() {
                 assert!(
                     (want - got).abs() < 1e-12,
-                    "bs={bs}: value {k} differs: {want} vs {got}"
+                    "{d:?}: value {k} differs: {want} vs {got}"
                 );
             }
         }
     }
 
     #[test]
+    fn merge_is_bit_identical_to_sequential() {
+        // Merge walks positions in exactly the sequential order, so the
+        // factors must agree to the last bit, not merely to a tolerance.
+        let a = random_dominant(60, 5.0, 63);
+        let pattern = filled(&a);
+        let cache = PivotCache::build(&pattern);
+        let mut seq = pattern.clone();
+        crate::seq::factorize_seq(&mut seq).expect("seq factorizes");
+
+        let vals = ValueStore::new(&pattern.vals);
+        for j in 0..60 {
+            process_column(&pattern, &vals, j, AccessDiscipline::Merge, &cache).expect("ok");
+        }
+        assert_eq!(vals.into_vec(), seq.vals);
+    }
+
+    #[test]
     fn probes_counted_only_for_binary_search() {
         let a = random_dominant(30, 4.0, 62);
         let pattern = filled(&a);
+        let cache = PivotCache::build(&pattern);
         let vals = ValueStore::new(&pattern.vals);
         let mut dense_probes = 0;
         let mut items = 0;
         for j in 0..30 {
-            let c = process_column(&pattern, &vals, j, false).expect("ok");
+            let c =
+                process_column(&pattern, &vals, j, AccessDiscipline::Dense, &cache).expect("ok");
             dense_probes += c.probes;
             items += c.items;
         }
-        // Dense discipline only probes for the diagonal lookup.
-        assert!(dense_probes <= 30 * 8);
+        // With the pivot cache even the diagonal lookup is search-free.
+        assert_eq!(dense_probes, 0);
         assert!(items > 0);
 
         let vals = ValueStore::new(&pattern.vals);
         let mut sparse_probes = 0;
         for j in 0..30 {
-            sparse_probes += process_column(&pattern, &vals, j, true).expect("ok").probes;
+            sparse_probes +=
+                process_column(&pattern, &vals, j, AccessDiscipline::BinarySearch, &cache)
+                    .expect("ok")
+                    .probes;
         }
-        assert!(sparse_probes > dense_probes, "binary search must pay probes");
+        assert!(sparse_probes > 0, "binary search must pay probes");
+    }
+
+    #[test]
+    fn merge_steps_bound_by_column_traffic() {
+        // Each destination entry is passed at most once per dependency, so
+        // merge_steps ≤ Σ_deps nnz_j — the O(nnz) streaming bound; probes
+        // stay zero.
+        let a = random_dominant(50, 5.0, 64);
+        let pattern = filled(&a);
+        let cache = PivotCache::build(&pattern);
+        let vals = ValueStore::new(&pattern.vals);
+        for j in 0..50 {
+            let c =
+                process_column(&pattern, &vals, j, AccessDiscipline::Merge, &cache).expect("ok");
+            assert_eq!(c.probes, 0);
+            assert!(
+                c.merge_steps <= c.deps * c.nnz,
+                "col {j}: merge_steps {} exceeds deps·nnz {}",
+                c.merge_steps,
+                c.deps * c.nnz
+            );
+        }
+    }
+
+    #[test]
+    fn pivot_cache_matches_searches() {
+        let a = random_dominant(35, 4.0, 65);
+        let pattern = filled(&a);
+        let cache = PivotCache::build(&pattern);
+        assert_eq!(cache.len(), 35);
+        for j in 0..35 {
+            assert_eq!(cache.diag(j), pattern.find_in_col(j, j).0, "diag {j}");
+            assert_eq!(
+                cache.lower_start(j),
+                pattern.lower_bound_after(j, j),
+                "lower {j}"
+            );
+        }
+    }
+
+    #[test]
+    fn cached_cost_estimate_matches_uncached() {
+        let a = random_dominant(45, 4.0, 66);
+        let pattern = filled(&a);
+        let cache = PivotCache::build(&pattern);
+        for j in 0..45 {
+            assert_eq!(
+                column_cost_estimate_cached(&pattern, &cache, j),
+                column_cost_estimate(&pattern, j),
+                "col {j}"
+            );
+        }
     }
 
     #[test]
@@ -208,10 +421,12 @@ mod tests {
         }
         let a = gplu_sparse::convert::coo_to_csr(&coo);
         let pattern = filled(&a);
+        let cache = PivotCache::build(&pattern);
         let vals = ValueStore::new(&pattern.vals);
-        process_column(&pattern, &vals, 0, true).expect("col 0 fine");
+        process_column(&pattern, &vals, 0, AccessDiscipline::BinarySearch, &cache)
+            .expect("col 0 fine");
         assert!(matches!(
-            process_column(&pattern, &vals, 1, true),
+            process_column(&pattern, &vals, 1, AccessDiscipline::BinarySearch, &cache),
             Err(SparseError::ZeroPivot { col: 1 })
         ));
     }

@@ -134,7 +134,10 @@ mod tests {
         }
         let a = gplu_sparse::convert::coo_to_csr(&coo);
         let mut lu = filled_csc(&a);
-        assert!(matches!(factorize_seq(&mut lu), Err(SparseError::ZeroPivot { col: 1 })));
+        assert!(matches!(
+            factorize_seq(&mut lu),
+            Err(SparseError::ZeroPivot { col: 1 })
+        ));
     }
 
     #[test]

@@ -9,8 +9,10 @@
 //! the probe count is charged by the cost model at a reduced per-probe
 //! weight (the upper levels of the search tree stay cache-resident).
 
-use crate::modes::{classify_level, launch_shape, LevelType, ModeMix};
-use crate::outcome::{column_cost_estimate, process_column, NumericOutcome};
+use crate::modes::{classify_level_cached, launch_shape, LevelType, ModeMix};
+use crate::outcome::{
+    column_cost_estimate_cached, process_column, AccessDiscipline, NumericOutcome, PivotCache,
+};
 use crate::values::ValueStore;
 use gplu_schedule::Levels;
 use gplu_sim::{BlockCtx, Gpu, SimError};
@@ -20,7 +22,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Fraction of a full work-item each binary-search probe costs (probes hit
 /// mostly cache-resident tree levels; the leaf access is already counted
-/// as the update item itself).
+/// as the update item itself). This is the default of the cost model's
+/// `probe_weight` knob; the kernel charges through
+/// [`gplu_sim::CostModel::probe_flop_items`].
 pub const PROBE_WEIGHT: f64 = 0.12;
 
 /// Factorizes the filled matrix in the sorted-CSC format (Algorithm 6).
@@ -50,43 +54,59 @@ pub fn factorize_gpu_sparse_forced(
     let lvl_dev = gpu.mem.alloc(n as u64 * 4)?;
 
     let vals = ValueStore::new(&pattern.vals);
+    let cache = PivotCache::build(pattern);
     let mut mix = ModeMix::default();
     let total_probes = AtomicU64::new(0);
     let error: Mutex<Option<SparseError>> = Mutex::new(None);
 
     for cols in &levels.groups {
-        let t = force.unwrap_or_else(|| classify_level(pattern, cols));
+        let t = force.unwrap_or_else(|| classify_level_cached(pattern, &cache, cols));
         match t {
             LevelType::A => mix.a += 1,
             LevelType::B => mix.b += 1,
             LevelType::C => mix.c += 1,
         }
         let (threads, stripes) = launch_shape(t);
-        gpu.launch("numeric_sparse", cols.len() * stripes, threads, &|b: usize,
-               ctx: &mut BlockCtx| {
-            let col = cols[b / stripes] as usize;
-            let stripe = b % stripes;
-            let (_deps, items) = column_cost_estimate(pattern, col);
-            // Each located access pays log2(col_nnz) probes at the reduced
-            // probe weight, on top of the item itself (all at the
-            // structured flop rate; the chain-free right-looking charge,
-            // as in the dense engine).
-            let nnz_col = (pattern.col_ptr[col + 1] - pattern.col_ptr[col]).max(1) as u64;
-            let log_nnz = 64 - nnz_col.leading_zeros() as u64;
-            let probe_items = (items as f64 * log_nnz as f64 * PROBE_WEIGHT) as u64;
-            ctx.bulk_flops(3, (items + probe_items) / stripes as u64);
-            ctx.mem(items * 8 / stripes as u64);
-            if stripe == 0 {
-                match process_column(pattern, &vals, col, true) {
-                    Ok(c) => {
-                        total_probes.fetch_add(c.probes, Ordering::Relaxed);
-                    }
-                    Err(e) => {
-                        error.lock().get_or_insert(e);
+        // Hoisted: one structural cost estimate per column, shared by all
+        // of its cooperating stripes (type C runs 64 per column).
+        let items_of: Vec<u64> = cols
+            .iter()
+            .map(|&j| column_cost_estimate_cached(pattern, &cache, j as usize).1)
+            .collect();
+        gpu.launch(
+            "numeric_sparse",
+            cols.len() * stripes,
+            threads,
+            &|b: usize, ctx: &mut BlockCtx| {
+                let col = cols[b / stripes] as usize;
+                let stripe = b % stripes;
+                let items = items_of[b / stripes];
+                // Each located access pays log2(col_nnz) probes at the reduced
+                // probe weight, on top of the item itself (all at the
+                // structured flop rate; the chain-free right-looking charge,
+                // as in the dense engine).
+                let nnz_col = (pattern.col_ptr[col + 1] - pattern.col_ptr[col]).max(1) as u64;
+                let probe_items = gpu.cost().probe_flop_items(items, nnz_col);
+                ctx.bulk_flops(3, (items + probe_items) / stripes as u64);
+                ctx.mem(items * 8 / stripes as u64);
+                if stripe == 0 {
+                    match process_column(
+                        pattern,
+                        &vals,
+                        col,
+                        AccessDiscipline::BinarySearch,
+                        &cache,
+                    ) {
+                        Ok(c) => {
+                            total_probes.fetch_add(c.probes, Ordering::Relaxed);
+                        }
+                        Err(e) => {
+                            error.lock().get_or_insert(e);
+                        }
                     }
                 }
-            }
-        })?;
+            },
+        )?;
         if let Some(e) = error.lock().take() {
             return Err(SimError::BadLaunch(format!("numeric failure: {e}")));
         }
@@ -112,6 +132,7 @@ pub fn factorize_gpu_sparse_forced(
         m_limit: None,
         batches: 0,
         probes: total_probes.load(Ordering::Relaxed),
+        merge_steps: 0,
     })
 }
 
@@ -139,9 +160,12 @@ mod tests {
         let (pattern, levels) = setup(&a);
         let sparse = factorize_gpu_sparse(&Gpu::new(GpuConfig::v100()), &pattern, &levels)
             .expect("sparse ok");
-        let dense = factorize_gpu_dense(&Gpu::new(GpuConfig::v100()), &pattern, &levels)
-            .expect("dense ok");
-        assert_eq!(sparse.lu.vals, dense.lu.vals, "identical update order ⇒ identical bits");
+        let dense =
+            factorize_gpu_dense(&Gpu::new(GpuConfig::v100()), &pattern, &levels).expect("dense ok");
+        assert_eq!(
+            sparse.lu.vals, dense.lu.vals,
+            "identical update order ⇒ identical bits"
+        );
         assert!(residual_probe(&a, &sparse.lu, 3) < 1e-10);
     }
 
@@ -149,9 +173,13 @@ mod tests {
     fn counts_binary_search_probes() {
         let a = banded_dominant(200, 4, 82);
         let (pattern, levels) = setup(&a);
-        let out = factorize_gpu_sparse(&Gpu::new(GpuConfig::v100()), &pattern, &levels)
-            .expect("ok");
-        assert!(out.probes > pattern.nnz() as u64 / 2, "probes {} too few", out.probes);
+        let out =
+            factorize_gpu_sparse(&Gpu::new(GpuConfig::v100()), &pattern, &levels).expect("ok");
+        assert!(
+            out.probes > pattern.nnz() as u64 / 2,
+            "probes {} too few",
+            out.probes
+        );
         assert!(out.m_limit.is_none());
     }
 
@@ -163,12 +191,18 @@ mod tests {
         let (pattern, levels) = setup(&a);
         let csc_bytes = ((2000 + 1) as u64 + 2 * pattern.nnz() as u64) * 4;
         let mem = csc_bytes + 2000 * 4 + 20 * 2000 * 4 + 1024; // M ≈ 20 < 160
-        let dense_out =
-            factorize_gpu_dense(&Gpu::new(GpuConfig::v100().with_memory(mem)), &pattern, &levels)
-                .expect("dense ok");
-        let sparse_out =
-            factorize_gpu_sparse(&Gpu::new(GpuConfig::v100().with_memory(mem)), &pattern, &levels)
-                .expect("sparse ok");
+        let dense_out = factorize_gpu_dense(
+            &Gpu::new(GpuConfig::v100().with_memory(mem)),
+            &pattern,
+            &levels,
+        )
+        .expect("dense ok");
+        let sparse_out = factorize_gpu_sparse(
+            &Gpu::new(GpuConfig::v100().with_memory(mem)),
+            &pattern,
+            &levels,
+        )
+        .expect("sparse ok");
         assert!(
             sparse_out.time < dense_out.time,
             "sparse {} must beat block-starved dense {}",

@@ -103,50 +103,66 @@ pub fn solve_gpu(
     // Forward sweep: per level, block per column j: y_j is final; apply
     // y_i -= L(i,j) * y_j to the rows below.
     for cols in &plan.l_levels.groups {
-        gpu.launch_device("trisolve_l", cols.len(), 256, &|blk: usize, ctx: &mut BlockCtx| {
-            let j = cols[blk] as usize;
-            let yj = y.get(j);
-            let start = lu.lower_bound_after(j, j);
-            let end = lu.col_ptr[j + 1];
-            ctx.bulk_flops(1, (end - start) as u64);
-            ctx.mem((end - start) as u64 * 12);
-            if yj != 0.0 {
-                for k in start..end {
-                    y.fetch_add(lu.row_idx[k] as usize, -lu.vals[k] * yj);
+        gpu.launch_device(
+            "trisolve_l",
+            cols.len(),
+            256,
+            &|blk: usize, ctx: &mut BlockCtx| {
+                let j = cols[blk] as usize;
+                let yj = y.get(j);
+                let start = lu.lower_bound_after(j, j);
+                let end = lu.col_ptr[j + 1];
+                ctx.bulk_flops(1, (end - start) as u64);
+                ctx.mem((end - start) as u64 * 12);
+                if yj != 0.0 {
+                    for k in start..end {
+                        y.fetch_add(lu.row_idx[k] as usize, -lu.vals[k] * yj);
+                    }
                 }
-            }
-        })?;
+            },
+        )?;
     }
 
     // Backward sweep: per level, block per column j: divide by the pivot,
     // then push x_j's contribution up through U's column.
     let error = parking_lot::Mutex::new(None::<SparseError>);
     for cols in &plan.u_levels.groups {
-        gpu.launch_device("trisolve_u", cols.len(), 256, &|blk: usize, ctx: &mut BlockCtx| {
-            let j = cols[blk] as usize;
-            let (diag_pos, probes) = lu.find_in_col(j, j);
-            let Some(diag_pos) = diag_pos else {
-                error.lock().get_or_insert(SparseError::ZeroDiagonal { row: j });
-                return;
-            };
-            let pivot = lu.vals[diag_pos];
-            if pivot == 0.0 || !pivot.is_finite() {
-                error.lock().get_or_insert(SparseError::ZeroPivot { col: j });
-                return;
-            }
-            let xj = y.get(j) / pivot;
-            y.set(j, xj);
-            let ups = diag_pos - lu.col_ptr[j];
-            ctx.bulk_flops(1, ups as u64 + probes as u64);
-            ctx.mem(ups as u64 * 12);
-            if xj != 0.0 {
-                for k in lu.col_ptr[j]..diag_pos {
-                    y.fetch_add(lu.row_idx[k] as usize, -lu.vals[k] * xj);
+        gpu.launch_device(
+            "trisolve_u",
+            cols.len(),
+            256,
+            &|blk: usize, ctx: &mut BlockCtx| {
+                let j = cols[blk] as usize;
+                let (diag_pos, probes) = lu.find_in_col(j, j);
+                let Some(diag_pos) = diag_pos else {
+                    error
+                        .lock()
+                        .get_or_insert(SparseError::ZeroDiagonal { row: j });
+                    return;
+                };
+                let pivot = lu.vals[diag_pos];
+                if pivot == 0.0 || !pivot.is_finite() {
+                    error
+                        .lock()
+                        .get_or_insert(SparseError::ZeroPivot { col: j });
+                    return;
                 }
-            }
-        })?;
+                let xj = y.get(j) / pivot;
+                y.set(j, xj);
+                let ups = diag_pos - lu.col_ptr[j];
+                ctx.bulk_flops(1, ups as u64 + probes as u64);
+                ctx.mem(ups as u64 * 12);
+                if xj != 0.0 {
+                    for k in lu.col_ptr[j]..diag_pos {
+                        y.fetch_add(lu.row_idx[k] as usize, -lu.vals[k] * xj);
+                    }
+                }
+            },
+        )?;
         if let Some(e) = error.lock().take() {
-            return Err(SimError::BadLaunch(format!("triangular solve failure: {e}")));
+            return Err(SimError::BadLaunch(format!(
+                "triangular solve failure: {e}"
+            )));
         }
     }
 
@@ -240,10 +256,15 @@ mod tests {
         let plan = TriSolvePlan::new(&lu);
         let gpu = Gpu::new(GpuConfig::v100());
         for seed in 0..4u64 {
-            let x_true: Vec<f64> = (0..120).map(|i| ((i as u64 + seed) % 9) as f64 + 1.0).collect();
+            let x_true: Vec<f64> = (0..120)
+                .map(|i| ((i as u64 + seed) % 9) as f64 + 1.0)
+                .collect();
             let b = a.spmv(&x_true);
             let out = solve_gpu(&gpu, &lu, &plan, &b).expect("gpu solve");
-            assert!(gplu_sparse::verify::check_solution(&a, &out.x, &b, 1e-8), "rhs {seed}");
+            assert!(
+                gplu_sparse::verify::check_solution(&a, &out.x, &b, 1e-8),
+                "rhs {seed}"
+            );
         }
     }
 

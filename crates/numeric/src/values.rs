@@ -17,7 +17,9 @@ pub struct ValueStore {
 impl ValueStore {
     /// Builds the store from initial values.
     pub fn new(vals: &[f64]) -> Self {
-        ValueStore { bits: vals.iter().map(|v| AtomicU64::new(v.to_bits())).collect() }
+        ValueStore {
+            bits: vals.iter().map(|v| AtomicU64::new(v.to_bits())).collect(),
+        }
     }
 
     /// Number of entries.
@@ -60,12 +62,18 @@ impl ValueStore {
 
     /// Extracts the final values.
     pub fn into_vec(self) -> Vec<f64> {
-        self.bits.into_iter().map(|b| f64::from_bits(b.into_inner())).collect()
+        self.bits
+            .into_iter()
+            .map(|b| f64::from_bits(b.into_inner()))
+            .collect()
     }
 
     /// Copies the current values (for diagnostics mid-run).
     pub fn snapshot(&self) -> Vec<f64> {
-        self.bits.iter().map(|b| f64::from_bits(b.load(Ordering::Relaxed))).collect()
+        self.bits
+            .iter()
+            .map(|b| f64::from_bits(b.load(Ordering::Relaxed)))
+            .collect()
     }
 }
 
@@ -94,7 +102,9 @@ mod tests {
     fn concurrent_disjoint_writes() {
         use rayon::prelude::*;
         let s = ValueStore::new(&vec![0.0; 1000]);
-        (0..1000usize).into_par_iter().for_each(|k| s.set(k, k as f64));
+        (0..1000usize)
+            .into_par_iter()
+            .for_each(|k| s.set(k, k as f64));
         let v = s.into_vec();
         assert!((0..1000).all(|k| v[k] == k as f64));
     }

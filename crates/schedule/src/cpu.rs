@@ -33,7 +33,10 @@ pub fn levelize_cpu(g: &DepGraph, cost: &CostModel) -> CpuLevelizeOutcome {
     // One serial item per edge plus one per node (single thread).
     let items = g.n_edges() as u64 + g.n() as u64;
     let time = SimTime::from_ns(items as f64 * cost.cpu_item_ns);
-    CpuLevelizeOutcome { levels: Levels::from_level_of(level_of), time }
+    CpuLevelizeOutcome {
+        levels: Levels::from_level_of(level_of),
+        time,
+    }
 }
 
 #[cfg(test)]
@@ -43,7 +46,11 @@ mod tests {
 
     #[test]
     fn chain_gets_distinct_levels() {
-        let g = DepGraph { ptr: vec![0, 1, 2, 2], adj: vec![1, 2], indegree: vec![0, 1, 1] };
+        let g = DepGraph {
+            ptr: vec![0, 1, 2, 2],
+            adj: vec![1, 2],
+            indegree: vec![0, 1, 1],
+        };
         let out = levelize_cpu(&g, &CostModel::default());
         assert_eq!(out.levels.level_of, vec![0, 1, 2]);
         assert!(out.time.as_ns() > 0.0);

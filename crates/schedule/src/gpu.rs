@@ -51,19 +51,27 @@ pub fn levelize_gpu(gpu: &Gpu, g: &DepGraph) -> Result<GpuLevelizeOutcome, SimEr
     let work_dev = gpu.mem.alloc(4 * 4 * n as u64)?; // indegree, level, 2 queues
 
     // cons_graph: the device-side adjacency construction (line 14).
-    gpu.launch("cons_graph", g.n_edges().div_ceil(1024).max(1), 1024, &|_b: usize,
-           ctx: &mut BlockCtx| {
-        ctx.step(1024);
-        ctx.mem(1024 * 8);
-    })?;
+    gpu.launch(
+        "cons_graph",
+        g.n_edges().div_ceil(1024).max(1),
+        1024,
+        &|_b: usize, ctx: &mut BlockCtx| {
+            ctx.step(1024);
+            ctx.mem(1024 * 8);
+        },
+    )?;
 
     // cnt_indegree (line 15): one pass over the edges.
     let indegree: Vec<AtomicU32> = g.indegree.iter().map(|&d| AtomicU32::new(d)).collect();
-    gpu.launch("cnt_indegree", g.n_edges().div_ceil(1024).max(1), 1024, &|_b: usize,
-           ctx: &mut BlockCtx| {
-        ctx.step(1024);
-        ctx.mem(1024 * 4);
-    })?;
+    gpu.launch(
+        "cnt_indegree",
+        g.n_edges().div_ceil(1024).max(1),
+        1024,
+        &|_b: usize, ctx: &mut BlockCtx| {
+            ctx.step(1024);
+            ctx.mem(1024 * 4);
+        },
+    )?;
 
     // Topo parent kernel (line 16): one host launch; everything below is
     // device-side child launches.
@@ -77,18 +85,22 @@ pub fn levelize_gpu(gpu: &Gpu, g: &DepGraph) -> Result<GpuLevelizeOutcome, SimEr
     // Initial queue: vertices with no incoming edges (child cons_queue,
     // line 4): scan all in-degrees.
     let found: SegQueue<Idx> = SegQueue::new();
-    gpu.launch_device("cons_queue", n.div_ceil(1024).max(1), 1024, &|b: usize,
-           ctx: &mut BlockCtx| {
-        let start = b * 1024;
-        let end = (start + 1024).min(n);
-        ctx.step((end - start) as u64);
-        ctx.mem((end - start) as u64 * 4);
-        for (v, d) in indegree.iter().enumerate().take(end).skip(start) {
-            if d.load(Ordering::Relaxed) == 0 {
-                found.push(v as Idx);
+    gpu.launch_device(
+        "cons_queue",
+        n.div_ceil(1024).max(1),
+        1024,
+        &|b: usize, ctx: &mut BlockCtx| {
+            let start = b * 1024;
+            let end = (start + 1024).min(n);
+            ctx.step((end - start) as u64);
+            ctx.mem((end - start) as u64 * 4);
+            for (v, d) in indegree.iter().enumerate().take(end).skip(start) {
+                if d.load(Ordering::Relaxed) == 0 {
+                    found.push(v as Idx);
+                }
             }
-        }
-    })?;
+        },
+    )?;
     device_launches += 1;
 
     let mut queue: Vec<Idx> = std::iter::from_fn(|| found.pop()).collect();
@@ -121,12 +133,16 @@ pub fn levelize_gpu(gpu: &Gpu, g: &DepGraph) -> Result<GpuLevelizeOutcome, SimEr
         // is proportional to the vertices actually compacted.
         let mut next: Vec<Idx> = std::iter::from_fn(|| found.pop()).collect();
         next.sort_unstable();
-        gpu.launch_device("cons_queue", next.len().div_ceil(1024).max(1), 1024, &|b: usize,
-               ctx: &mut BlockCtx| {
-            let items = 1024.min(next.len().saturating_sub(b * 1024)) as u64;
-            ctx.step(items);
-            ctx.mem(items * 4);
-        })?;
+        gpu.launch_device(
+            "cons_queue",
+            next.len().div_ceil(1024).max(1),
+            1024,
+            &|b: usize, ctx: &mut BlockCtx| {
+                let items = 1024.min(next.len().saturating_sub(b * 1024)) as u64;
+                ctx.step(items);
+                ctx.mem(items * 4);
+            },
+        )?;
         device_launches += 1;
 
         for &v in &next {

@@ -56,7 +56,9 @@ impl Levels {
         }
         for (col, (&got, &want)) in self.level_of.iter().zip(&want).enumerate() {
             if got != want {
-                return Err(format!("column {col}: level {got}, longest-path depth {want}"));
+                return Err(format!(
+                    "column {col}: level {got}, longest-path depth {want}"
+                ));
             }
         }
         Ok(())

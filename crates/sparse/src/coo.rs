@@ -23,7 +23,13 @@ pub struct Coo {
 impl Coo {
     /// Creates an empty `n_rows x n_cols` COO matrix.
     pub fn new(n_rows: usize, n_cols: usize) -> Self {
-        Coo { n_rows, n_cols, rows: Vec::new(), cols: Vec::new(), vals: Vec::new() }
+        Coo {
+            n_rows,
+            n_cols,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            vals: Vec::new(),
+        }
     }
 
     /// Creates an empty COO matrix with room for `cap` entries.
@@ -63,7 +69,13 @@ impl Coo {
                 });
             }
         }
-        Ok(Coo { n_rows, n_cols, rows, cols, vals })
+        Ok(Coo {
+            n_rows,
+            n_cols,
+            rows,
+            cols,
+            vals,
+        })
     }
 
     /// Number of rows.
@@ -84,7 +96,10 @@ impl Coo {
     /// Appends one entry. Panics in debug builds on out-of-bounds indices.
     #[inline]
     pub fn push(&mut self, row: usize, col: usize, val: Val) {
-        debug_assert!(row < self.n_rows && col < self.n_cols, "({row},{col}) out of bounds");
+        debug_assert!(
+            row < self.n_rows && col < self.n_cols,
+            "({row},{col}) out of bounds"
+        );
         self.rows.push(row as Idx);
         self.cols.push(col as Idx);
         self.vals.push(val);
@@ -155,7 +170,10 @@ mod tests {
     #[test]
     fn from_triplets_validates_bounds() {
         let err = Coo::from_triplets(2, 2, vec![0, 3], vec![0, 0], vec![1.0, 1.0]);
-        assert!(matches!(err, Err(SparseError::IndexOutOfBounds { row: 3, .. })));
+        assert!(matches!(
+            err,
+            Err(SparseError::IndexOutOfBounds { row: 3, .. })
+        ));
     }
 
     #[test]

@@ -71,7 +71,13 @@ impl Csc {
                 }
             }
         }
-        Ok(Csc { n_rows, n_cols, col_ptr, row_idx, vals })
+        Ok(Csc {
+            n_rows,
+            n_cols,
+            col_ptr,
+            row_idx,
+            vals,
+        })
     }
 
     /// Builds a CSC matrix without validation; debug builds re-verify.
@@ -83,10 +89,23 @@ impl Csc {
         vals: Vec<Val>,
     ) -> Self {
         debug_assert!(
-            Csc::new(n_rows, n_cols, col_ptr.clone(), row_idx.clone(), vals.clone()).is_ok(),
+            Csc::new(
+                n_rows,
+                n_cols,
+                col_ptr.clone(),
+                row_idx.clone(),
+                vals.clone()
+            )
+            .is_ok(),
             "from_parts_unchecked given invalid CSC"
         );
-        Csc { n_rows, n_cols, col_ptr, row_idx, vals }
+        Csc {
+            n_rows,
+            n_cols,
+            col_ptr,
+            row_idx,
+            vals,
+        }
     }
 
     /// Number of rows.
@@ -121,7 +140,10 @@ impl Csc {
 
     /// Entries `(row, val)` of column `j`.
     pub fn col_iter(&self, j: usize) -> impl Iterator<Item = (usize, Val)> + '_ {
-        self.col_rows(j).iter().zip(self.col_vals(j)).map(|(&r, &v)| (r as usize, v))
+        self.col_rows(j)
+            .iter()
+            .zip(self.col_vals(j))
+            .map(|(&r, &v)| (r as usize, v))
     }
 
     /// Binary search for row `i` within column `j` (Algorithm 6 of the
@@ -187,8 +209,14 @@ mod tests {
         // [1 0 2]
         // [0 3 0]
         // [4 0 5]
-        Csc::new(3, 3, vec![0, 2, 3, 5], vec![0, 2, 1, 0, 2], vec![1.0, 4.0, 3.0, 2.0, 5.0])
-            .expect("valid")
+        Csc::new(
+            3,
+            3,
+            vec![0, 2, 3, 5],
+            vec![0, 2, 1, 0, 2],
+            vec![1.0, 4.0, 3.0, 2.0, 5.0],
+        )
+        .expect("valid")
     }
 
     #[test]

@@ -76,7 +76,13 @@ impl Csr {
                 }
             }
         }
-        Ok(Csr { n_rows, n_cols, row_ptr, col_idx, vals })
+        Ok(Csr {
+            n_rows,
+            n_cols,
+            row_ptr,
+            col_idx,
+            vals,
+        })
     }
 
     /// Builds a CSR matrix without validation. The caller must uphold the
@@ -89,10 +95,23 @@ impl Csr {
         vals: Vec<Val>,
     ) -> Self {
         debug_assert!(
-            Csr::new(n_rows, n_cols, row_ptr.clone(), col_idx.clone(), vals.clone()).is_ok(),
+            Csr::new(
+                n_rows,
+                n_cols,
+                row_ptr.clone(),
+                col_idx.clone(),
+                vals.clone()
+            )
+            .is_ok(),
             "from_parts_unchecked given invalid CSR"
         );
-        Csr { n_rows, n_cols, row_ptr, col_idx, vals }
+        Csr {
+            n_rows,
+            n_cols,
+            row_ptr,
+            col_idx,
+            vals,
+        }
     }
 
     /// An `n x n` identity matrix.
@@ -148,13 +167,18 @@ impl Csr {
 
     /// Entries `(col, val)` of row `i`.
     pub fn row_iter(&self, i: usize) -> impl Iterator<Item = (usize, Val)> + '_ {
-        self.row_cols(i).iter().zip(self.row_vals(i)).map(|(&c, &v)| (c as usize, v))
+        self.row_cols(i)
+            .iter()
+            .zip(self.row_vals(i))
+            .map(|(&c, &v)| (c as usize, v))
     }
 
     /// Looks up `A[i, j]` by binary search within row `i`.
     pub fn get(&self, i: usize, j: usize) -> Option<Val> {
         let row = self.row_cols(i);
-        row.binary_search(&(j as Idx)).ok().map(|k| self.vals[self.row_ptr[i] + k])
+        row.binary_search(&(j as Idx))
+            .ok()
+            .map(|k| self.vals[self.row_ptr[i] + k])
     }
 
     /// True if every diagonal entry `(i, i)` is structurally present
@@ -196,8 +220,14 @@ mod tests {
         // [1 0 2]
         // [0 3 0]
         // [4 0 5]
-        Csr::new(3, 3, vec![0, 2, 3, 5], vec![0, 2, 1, 0, 2], vec![1.0, 2.0, 3.0, 4.0, 5.0])
-            .expect("valid")
+        Csr::new(
+            3,
+            3,
+            vec![0, 2, 3, 5],
+            vec![0, 2, 1, 0, 2],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0],
+        )
+        .expect("valid")
     }
 
     #[test]

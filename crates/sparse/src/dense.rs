@@ -14,7 +14,11 @@ pub struct Dense {
 impl Dense {
     /// An `n_rows x n_cols` zero matrix.
     pub fn zeros(n_rows: usize, n_cols: usize) -> Self {
-        Dense { n_rows, n_cols, data: vec![0.0; n_rows * n_cols] }
+        Dense {
+            n_rows,
+            n_cols,
+            data: vec![0.0; n_rows * n_cols],
+        }
     }
 
     /// An `n x n` identity matrix.
@@ -29,7 +33,11 @@ impl Dense {
     /// Builds from a row-major data vector.
     pub fn from_row_major(n_rows: usize, n_cols: usize, data: Vec<Val>) -> Self {
         assert_eq!(data.len(), n_rows * n_cols, "data length mismatch");
-        Dense { n_rows, n_cols, data }
+        Dense {
+            n_rows,
+            n_cols,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -80,7 +88,10 @@ impl Dense {
     /// is needed.
     pub fn lu_no_pivot(&self) -> Result<Dense, SparseError> {
         if self.n_rows != self.n_cols {
-            return Err(SparseError::NotSquare { n_rows: self.n_rows, n_cols: self.n_cols });
+            return Err(SparseError::NotSquare {
+                n_rows: self.n_rows,
+                n_cols: self.n_cols,
+            });
         }
         let n = self.n_rows;
         let mut a = self.clone();
@@ -176,13 +187,19 @@ mod tests {
     fn lu_detects_zero_pivot() {
         // Leading entry zero and no pivoting -> fail at column 0.
         let a = Dense::from_row_major(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
-        assert!(matches!(a.lu_no_pivot(), Err(SparseError::ZeroPivot { col: 0 })));
+        assert!(matches!(
+            a.lu_no_pivot(),
+            Err(SparseError::ZeroPivot { col: 0 })
+        ));
     }
 
     #[test]
     fn lu_requires_square() {
         let a = Dense::zeros(2, 3);
-        assert!(matches!(a.lu_no_pivot(), Err(SparseError::NotSquare { .. })));
+        assert!(matches!(
+            a.lu_no_pivot(),
+            Err(SparseError::NotSquare { .. })
+        ));
     }
 
     #[test]

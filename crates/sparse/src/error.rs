@@ -61,19 +61,30 @@ pub enum SparseError {
 impl fmt::Display for SparseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SparseError::IndexOutOfBounds { row, col, n_rows, n_cols } => write!(
+            SparseError::IndexOutOfBounds {
+                row,
+                col,
+                n_rows,
+                n_cols,
+            } => write!(
                 f,
                 "entry ({row}, {col}) out of bounds for {n_rows}x{n_cols} matrix"
             ),
             SparseError::MalformedOffsets(msg) => write!(f, "malformed offset array: {msg}"),
             SparseError::UnsortedIndices { major } => {
-                write!(f, "indices not strictly ascending within major index {major}")
+                write!(
+                    f,
+                    "indices not strictly ascending within major index {major}"
+                )
             }
             SparseError::DuplicateEntry { row, col } => {
                 write!(f, "duplicate entry at ({row}, {col})")
             }
             SparseError::NotSquare { n_rows, n_cols } => {
-                write!(f, "operation requires a square matrix, got {n_rows}x{n_cols}")
+                write!(
+                    f,
+                    "operation requires a square matrix, got {n_rows}x{n_cols}"
+                )
             }
             SparseError::ZeroDiagonal { row } => {
                 write!(f, "structurally zero diagonal at row {row}")
@@ -100,7 +111,12 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = SparseError::IndexOutOfBounds { row: 5, col: 7, n_rows: 4, n_cols: 4 };
+        let e = SparseError::IndexOutOfBounds {
+            row: 5,
+            col: 7,
+            n_rows: 4,
+            n_cols: 4,
+        };
         assert!(e.to_string().contains("(5, 7)"));
         assert!(e.to_string().contains("4x4"));
 

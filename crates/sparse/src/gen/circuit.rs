@@ -29,13 +29,25 @@ pub struct CircuitParams {
 
 impl Default for CircuitParams {
     fn default() -> Self {
-        CircuitParams { n: 1024, nnz_per_row: 8.0, rail_fraction: 0.15, rails: 4, seed: 0xC1C }
+        CircuitParams {
+            n: 1024,
+            nnz_per_row: 8.0,
+            rail_fraction: 0.15,
+            rails: 4,
+            seed: 0xC1C,
+        }
     }
 }
 
 /// Generates a circuit-style diagonally dominant matrix.
 pub fn circuit(params: &CircuitParams) -> Csr {
-    let CircuitParams { n, nnz_per_row, rail_fraction, rails, seed } = *params;
+    let CircuitParams {
+        n,
+        nnz_per_row,
+        rail_fraction,
+        rails,
+        seed,
+    } = *params;
     assert!(n >= 2, "circuit generator needs n >= 2");
     let mut r = rng(seed);
     // One diagonal per row is implied; budget the rest as off-diagonals.
@@ -93,7 +105,11 @@ mod tests {
 
     #[test]
     fn density_close_to_target() {
-        let p = CircuitParams { n: 2000, nnz_per_row: 9.0, ..Default::default() };
+        let p = CircuitParams {
+            n: 2000,
+            nnz_per_row: 9.0,
+            ..Default::default()
+        };
         let a = circuit(&p);
         let d = a.density();
         // Duplicates get merged so density can undershoot; it must be in
@@ -103,7 +119,10 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let p = CircuitParams { n: 300, ..Default::default() };
+        let p = CircuitParams {
+            n: 300,
+            ..Default::default()
+        };
         assert_eq!(circuit(&p), circuit(&p));
         let q = CircuitParams { seed: 99, ..p };
         assert_ne!(circuit(&p), circuit(&q));
@@ -111,7 +130,10 @@ mod tests {
 
     #[test]
     fn unsymmetric_pattern() {
-        let a = circuit(&CircuitParams { n: 500, ..Default::default() });
+        let a = circuit(&CircuitParams {
+            n: 500,
+            ..Default::default()
+        });
         let mut asym = 0;
         for i in 0..a.n_rows() {
             for (j, _) in a.row_iter(i) {
@@ -120,12 +142,19 @@ mod tests {
                 }
             }
         }
-        assert!(asym > 0, "circuit matrices must be structurally unsymmetric");
+        assert!(
+            asym > 0,
+            "circuit matrices must be structurally unsymmetric"
+        );
     }
 
     #[test]
     fn diagonally_dominant_and_factorizable() {
-        let a = circuit(&CircuitParams { n: 64, nnz_per_row: 6.0, ..Default::default() });
+        let a = circuit(&CircuitParams {
+            n: 64,
+            nnz_per_row: 6.0,
+            ..Default::default()
+        });
         assert!(a.has_full_diagonal());
         let d = crate::convert::csr_to_dense(&a);
         assert!(d.lu_no_pivot().is_ok());
@@ -133,9 +162,16 @@ mod tests {
 
     #[test]
     fn hubs_have_high_degree() {
-        let a = circuit(&CircuitParams { n: 2000, nnz_per_row: 8.0, ..Default::default() });
+        let a = circuit(&CircuitParams {
+            n: 2000,
+            nnz_per_row: 8.0,
+            ..Default::default()
+        });
         let hub_deg = a.row_cols(0).len();
         let mid_deg = a.row_cols(1000).len();
-        assert!(hub_deg > 3 * mid_deg, "hub degree {hub_deg} vs mid {mid_deg}");
+        assert!(
+            hub_deg > 3 * mid_deg,
+            "hub degree {hub_deg} vs mid {mid_deg}"
+        );
     }
 }

@@ -42,7 +42,14 @@ impl MeshParams {
         let side = side.max(2);
         let full = 7.0 * dof as f64;
         let keep = (nnz_per_row / full).clamp(0.05, 1.0);
-        MeshParams { nx: side, ny: side, nz: (nodes / (side * side)).max(1), dof, keep, seed }
+        MeshParams {
+            nx: side,
+            ny: side,
+            nz: (nodes / (side * side)).max(1),
+            dof,
+            keep,
+            seed,
+        }
     }
 
     /// Total matrix dimension.
@@ -53,7 +60,14 @@ impl MeshParams {
 
 /// Generates a 3D FEM-style near-symmetric diagonally dominant matrix.
 pub fn mesh(params: &MeshParams) -> Csr {
-    let MeshParams { nx, ny, nz, dof, keep, seed } = *params;
+    let MeshParams {
+        nx,
+        ny,
+        nz,
+        dof,
+        keep,
+        seed,
+    } = *params;
     let n = params.n();
     let mut r = rng(seed);
     let node = |x: usize, y: usize, z: usize| (z * ny + y) * nx + x;
@@ -117,7 +131,10 @@ mod tests {
         let p = MeshParams::for_target(3000, 30.0, 2);
         let a = mesh(&p);
         let d = a.density();
-        assert!(d > 12.0 && d < 45.0, "density {d} out of band for request 30");
+        assert!(
+            d > 12.0 && d < 45.0,
+            "density {d} out of band for request 30"
+        );
     }
 
     #[test]
@@ -129,7 +146,14 @@ mod tests {
 
     #[test]
     fn factorizable_without_pivoting() {
-        let p = MeshParams { nx: 3, ny: 3, nz: 2, dof: 2, keep: 0.9, seed: 5 };
+        let p = MeshParams {
+            nx: 3,
+            ny: 3,
+            nz: 2,
+            dof: 2,
+            keep: 0.9,
+            seed: 5,
+        };
         let a = mesh(&p);
         assert!(a.has_full_diagonal());
         let d = crate::convert::csr_to_dense(&a);
@@ -138,7 +162,14 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let p = MeshParams { nx: 4, ny: 4, nz: 2, dof: 2, keep: 0.8, seed: 11 };
+        let p = MeshParams {
+            nx: 4,
+            ny: 4,
+            nz: 2,
+            dof: 2,
+            keep: 0.8,
+            seed: 11,
+        };
         assert_eq!(mesh(&p), mesh(&p));
     }
 }

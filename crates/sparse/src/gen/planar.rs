@@ -32,7 +32,12 @@ impl PlanarParams {
         let side = (n_target as f64).sqrt().round().max(2.0) as usize;
         // Grid gives ~4 off-diagonals + optional diagonal entry + triangles.
         let tri_prob = ((nnz_per_row - 4.0) / 2.0).clamp(0.0, 1.0);
-        PlanarParams { side, tri_prob, missing_diag_fraction: 0.4, seed }
+        PlanarParams {
+            side,
+            tri_prob,
+            missing_diag_fraction: 0.4,
+            seed,
+        }
     }
 
     /// Total matrix dimension.
@@ -49,7 +54,12 @@ impl PlanarParams {
 /// kept small relative to the repair value (1000) so the repaired matrix is
 /// strongly dominant.
 pub fn planar(params: &PlanarParams) -> Csr {
-    let PlanarParams { side, tri_prob, missing_diag_fraction, seed } = *params;
+    let PlanarParams {
+        side,
+        tri_prob,
+        missing_diag_fraction,
+        seed,
+    } = *params;
     assert!(side >= 2, "planar generator needs side >= 2");
     let n = params.n();
     let mut r = rng(seed);
@@ -106,9 +116,17 @@ mod tests {
 
     #[test]
     fn has_missing_diagonals() {
-        let p = PlanarParams { side: 32, tri_prob: 0.5, missing_diag_fraction: 0.4, seed: 2 };
+        let p = PlanarParams {
+            side: 32,
+            tri_prob: 0.5,
+            missing_diag_fraction: 0.4,
+            seed: 2,
+        };
         let a = planar(&p);
-        assert!(!a.has_full_diagonal(), "generator must produce deficient diagonals");
+        assert!(
+            !a.has_full_diagonal(),
+            "generator must produce deficient diagonals"
+        );
         let missing = (0..a.n_rows()).filter(|&i| a.get(i, i).is_none()).count();
         let frac = missing as f64 / a.n_rows() as f64;
         assert!(frac > 0.2 && frac < 0.6, "missing fraction {frac}");
@@ -116,18 +134,31 @@ mod tests {
 
     #[test]
     fn repaired_matrix_factorizes() {
-        let p = PlanarParams { side: 8, tri_prob: 0.5, missing_diag_fraction: 0.4, seed: 3 };
+        let p = PlanarParams {
+            side: 8,
+            tri_prob: 0.5,
+            missing_diag_fraction: 0.4,
+            seed: 3,
+        };
         let a = planar(&p);
         let (b, inserted) = repair_diagonal(&a, 1000.0);
         assert!(inserted > 0);
         assert!(b.has_full_diagonal());
         let d = crate::convert::csr_to_dense(&b);
-        assert!(d.lu_no_pivot().is_ok(), "repaired planar matrix must factorize");
+        assert!(
+            d.lu_no_pivot().is_ok(),
+            "repaired planar matrix must factorize"
+        );
     }
 
     #[test]
     fn pattern_is_symmetric_off_diagonal() {
-        let p = PlanarParams { side: 10, tri_prob: 0.3, missing_diag_fraction: 0.3, seed: 4 };
+        let p = PlanarParams {
+            side: 10,
+            tri_prob: 0.3,
+            missing_diag_fraction: 0.3,
+            seed: 4,
+        };
         let a = planar(&p);
         for i in 0..a.n_rows() {
             for (j, _) in a.row_iter(i) {

@@ -64,10 +64,9 @@ impl SuiteEntry {
     pub fn generate(&self, scale: usize) -> Csr {
         let n = self.analog_n(scale);
         let density = self.paper_density();
-        let seed = self
-            .name
-            .bytes()
-            .fold(0xcbf29ce484222325u64, |h, b| (h ^ b as u64).wrapping_mul(0x100000001b3));
+        let seed = self.name.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x100000001b3)
+        });
         match self.family {
             Family::Circuit => circuit(&CircuitParams {
                 n,
@@ -92,24 +91,132 @@ pub const DEFAULT_LARGE_SCALE: usize = 1024;
 pub fn paper_suite() -> Vec<SuiteEntry> {
     use Family::*;
     vec![
-        SuiteEntry { name: "g7jac200sc", abbr: "G7", paper_n: 59310, paper_nnz: 837936, family: Circuit },
-        SuiteEntry { name: "rma10", abbr: "RM", paper_n: 46835, paper_nnz: 2374001, family: Mesh },
-        SuiteEntry { name: "pre2", abbr: "PR", paper_n: 659033, paper_nnz: 5959282, family: Circuit },
-        SuiteEntry { name: "inline_1", abbr: "IN", paper_n: 503712, paper_nnz: 18660027, family: Mesh },
-        SuiteEntry { name: "crankseg_2", abbr: "CR2", paper_n: 63838, paper_nnz: 7106348, family: Mesh },
-        SuiteEntry { name: "bmwcra_1", abbr: "BMC", paper_n: 148770, paper_nnz: 5396386, family: Mesh },
-        SuiteEntry { name: "crankseg_1", abbr: "CR1", paper_n: 52804, paper_nnz: 5333507, family: Mesh },
-        SuiteEntry { name: "bmw7st_1", abbr: "BM7", paper_n: 141347, paper_nnz: 3740507, family: Mesh },
-        SuiteEntry { name: "apache2", abbr: "AP", paper_n: 715176, paper_nnz: 2766523, family: Mesh },
-        SuiteEntry { name: "s3dkq4m2", abbr: "S34", paper_n: 90449, paper_nnz: 2455670, family: Mesh },
-        SuiteEntry { name: "s3dkt3m2", abbr: "S33", paper_n: 90449, paper_nnz: 1921955, family: Mesh },
-        SuiteEntry { name: "onetone2", abbr: "OT2", paper_n: 36057, paper_nnz: 227628, family: Circuit },
-        SuiteEntry { name: "rajat15", abbr: "R15", paper_n: 37261, paper_nnz: 443573, family: Circuit },
-        SuiteEntry { name: "bbmat", abbr: "BB", paper_n: 38744, paper_nnz: 1771722, family: Circuit },
-        SuiteEntry { name: "mixtank_new", abbr: "MI", paper_n: 29957, paper_nnz: 1995041, family: Mesh },
-        SuiteEntry { name: "Goodwin_054", abbr: "GO", paper_n: 32510, paper_nnz: 1030878, family: Mesh },
-        SuiteEntry { name: "onetone1", abbr: "OT1", paper_n: 36057, paper_nnz: 341088, family: Circuit },
-        SuiteEntry { name: "windtunnel_evap3d", abbr: "WI", paper_n: 40816, paper_nnz: 2730600, family: Mesh },
+        SuiteEntry {
+            name: "g7jac200sc",
+            abbr: "G7",
+            paper_n: 59310,
+            paper_nnz: 837936,
+            family: Circuit,
+        },
+        SuiteEntry {
+            name: "rma10",
+            abbr: "RM",
+            paper_n: 46835,
+            paper_nnz: 2374001,
+            family: Mesh,
+        },
+        SuiteEntry {
+            name: "pre2",
+            abbr: "PR",
+            paper_n: 659033,
+            paper_nnz: 5959282,
+            family: Circuit,
+        },
+        SuiteEntry {
+            name: "inline_1",
+            abbr: "IN",
+            paper_n: 503712,
+            paper_nnz: 18660027,
+            family: Mesh,
+        },
+        SuiteEntry {
+            name: "crankseg_2",
+            abbr: "CR2",
+            paper_n: 63838,
+            paper_nnz: 7106348,
+            family: Mesh,
+        },
+        SuiteEntry {
+            name: "bmwcra_1",
+            abbr: "BMC",
+            paper_n: 148770,
+            paper_nnz: 5396386,
+            family: Mesh,
+        },
+        SuiteEntry {
+            name: "crankseg_1",
+            abbr: "CR1",
+            paper_n: 52804,
+            paper_nnz: 5333507,
+            family: Mesh,
+        },
+        SuiteEntry {
+            name: "bmw7st_1",
+            abbr: "BM7",
+            paper_n: 141347,
+            paper_nnz: 3740507,
+            family: Mesh,
+        },
+        SuiteEntry {
+            name: "apache2",
+            abbr: "AP",
+            paper_n: 715176,
+            paper_nnz: 2766523,
+            family: Mesh,
+        },
+        SuiteEntry {
+            name: "s3dkq4m2",
+            abbr: "S34",
+            paper_n: 90449,
+            paper_nnz: 2455670,
+            family: Mesh,
+        },
+        SuiteEntry {
+            name: "s3dkt3m2",
+            abbr: "S33",
+            paper_n: 90449,
+            paper_nnz: 1921955,
+            family: Mesh,
+        },
+        SuiteEntry {
+            name: "onetone2",
+            abbr: "OT2",
+            paper_n: 36057,
+            paper_nnz: 227628,
+            family: Circuit,
+        },
+        SuiteEntry {
+            name: "rajat15",
+            abbr: "R15",
+            paper_n: 37261,
+            paper_nnz: 443573,
+            family: Circuit,
+        },
+        SuiteEntry {
+            name: "bbmat",
+            abbr: "BB",
+            paper_n: 38744,
+            paper_nnz: 1771722,
+            family: Circuit,
+        },
+        SuiteEntry {
+            name: "mixtank_new",
+            abbr: "MI",
+            paper_n: 29957,
+            paper_nnz: 1995041,
+            family: Mesh,
+        },
+        SuiteEntry {
+            name: "Goodwin_054",
+            abbr: "GO",
+            paper_n: 32510,
+            paper_nnz: 1030878,
+            family: Mesh,
+        },
+        SuiteEntry {
+            name: "onetone1",
+            abbr: "OT1",
+            paper_n: 36057,
+            paper_nnz: 341088,
+            family: Circuit,
+        },
+        SuiteEntry {
+            name: "windtunnel_evap3d",
+            abbr: "WI",
+            paper_n: 40816,
+            paper_nnz: 2730600,
+            family: Mesh,
+        },
     ]
 }
 
@@ -134,7 +241,10 @@ pub fn um_suite() -> Vec<SuiteEntry> {
 /// not in Table 2; the paper uses it only for the frontier-profile and
 /// dynamic-parallelism experiments).
 pub fn frontier_pair() -> Vec<SuiteEntry> {
-    let pre2 = paper_suite().into_iter().find(|e| e.abbr == "PR").expect("pre2 in suite");
+    let pre2 = paper_suite()
+        .into_iter()
+        .find(|e| e.abbr == "PR")
+        .expect("pre2 in suite");
     vec![
         pre2,
         SuiteEntry {
@@ -153,10 +263,34 @@ pub fn frontier_pair() -> Vec<SuiteEntry> {
 pub fn large_suite() -> Vec<SuiteEntry> {
     use Family::Planar;
     vec![
-        SuiteEntry { name: "hugetrace-00020", abbr: "HT20", paper_n: 16_002_413, paper_nnz: 47_997_626, family: Planar },
-        SuiteEntry { name: "delaunay_n24", abbr: "D24", paper_n: 16_777_216, paper_nnz: 100_663_202, family: Planar },
-        SuiteEntry { name: "hugebubbles-00000", abbr: "HB00", paper_n: 18_318_143, paper_nnz: 54_940_162, family: Planar },
-        SuiteEntry { name: "hugebubbles-00010", abbr: "HB10", paper_n: 19_458_087, paper_nnz: 58_359_528, family: Planar },
+        SuiteEntry {
+            name: "hugetrace-00020",
+            abbr: "HT20",
+            paper_n: 16_002_413,
+            paper_nnz: 47_997_626,
+            family: Planar,
+        },
+        SuiteEntry {
+            name: "delaunay_n24",
+            abbr: "D24",
+            paper_n: 16_777_216,
+            paper_nnz: 100_663_202,
+            family: Planar,
+        },
+        SuiteEntry {
+            name: "hugebubbles-00000",
+            abbr: "HB00",
+            paper_n: 18_318_143,
+            paper_nnz: 54_940_162,
+            family: Planar,
+        },
+        SuiteEntry {
+            name: "hugebubbles-00010",
+            abbr: "HB10",
+            paper_n: 19_458_087,
+            paper_nnz: 58_359_528,
+            family: Planar,
+        },
     ]
 }
 
@@ -176,7 +310,10 @@ mod tests {
     fn um_suite_matches_paper_selection() {
         let um = um_suite();
         assert_eq!(um.len(), 7);
-        assert!(um.iter().all(|e| e.paper_n < 41_000), "paper: all 7 have fewer than 41k rows");
+        assert!(
+            um.iter().all(|e| e.paper_n < 41_000),
+            "paper: all 7 have fewer than 41k rows"
+        );
         assert_eq!(um[0].abbr, "OT2");
         assert_eq!(um[6].abbr, "WI");
     }
@@ -217,7 +354,11 @@ mod tests {
         for e in large_suite() {
             assert_eq!(e.family, Family::Planar);
             let a = e.generate(4096);
-            assert!(!a.has_full_diagonal(), "{} analog must need diagonal repair", e.abbr);
+            assert!(
+                !a.has_full_diagonal(),
+                "{} analog must need diagonal repair",
+                e.abbr
+            );
         }
     }
 

@@ -37,7 +37,10 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<Coo, SparseError> {
             None => return Err(SparseError::Parse("empty file".into())),
         }
     };
-    let head: Vec<String> = header.split_whitespace().map(|t| t.to_ascii_lowercase()).collect();
+    let head: Vec<String> = header
+        .split_whitespace()
+        .map(|t| t.to_ascii_lowercase())
+        .collect();
     if head.len() < 4 || head[0] != "%%matrixmarket" || head[1] != "matrix" {
         return Err(SparseError::Parse(format!("bad header line: {header}")));
     }
@@ -52,7 +55,9 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<Coo, SparseError> {
         "real" | "integer" => false,
         "pattern" => true,
         other => {
-            return Err(SparseError::Parse(format!("unsupported field type {other}")));
+            return Err(SparseError::Parse(format!(
+                "unsupported field type {other}"
+            )));
         }
     };
     let symmetry = match head.get(4).map(String::as_str) {
@@ -83,7 +88,9 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<Coo, SparseError> {
         .collect::<Result<_, _>>()
         .map_err(|e| SparseError::Parse(format!("bad size line '{size_line}': {e}")))?;
     if dims.len() != 3 {
-        return Err(SparseError::Parse(format!("size line needs 3 fields: {size_line}")));
+        return Err(SparseError::Parse(format!(
+            "size line needs 3 fields: {size_line}"
+        )));
     }
     let (n_rows, n_cols, nnz) = (dims[0], dims[1], dims[2]);
 
@@ -129,7 +136,9 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<Coo, SparseError> {
         read += 1;
     }
     if read != nnz {
-        return Err(SparseError::Parse(format!("header declared {nnz} entries, found {read}")));
+        return Err(SparseError::Parse(format!(
+            "header declared {nnz} entries, found {read}"
+        )));
     }
     Ok(coo)
 }
@@ -163,7 +172,8 @@ mod tests {
 
     #[test]
     fn parses_general_real() {
-        let text = "%%MatrixMarket matrix coordinate real general\n% comment\n3 3 2\n1 1 1.5\n3 2 -2.0\n";
+        let text =
+            "%%MatrixMarket matrix coordinate real general\n% comment\n3 3 2\n1 1 1.5\n3 2 -2.0\n";
         let a = read_matrix_market(text.as_bytes()).expect("parses");
         assert_eq!(a.n_rows(), 3);
         assert_eq!(a.nnz(), 2);
@@ -192,7 +202,10 @@ mod tests {
     #[test]
     fn rejects_entry_count_mismatch() {
         let text = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";
-        assert!(matches!(read_matrix_market(text.as_bytes()), Err(SparseError::Parse(_))));
+        assert!(matches!(
+            read_matrix_market(text.as_bytes()),
+            Err(SparseError::Parse(_))
+        ));
     }
 
     #[test]

@@ -126,8 +126,9 @@ mod tests {
         let p = Permutation::from_order(order).expect("valid order");
         let b = permute_csr(a, &p, &p);
         let n = b.n_rows();
-        let mut rows: Vec<std::collections::BTreeSet<usize>> =
-            (0..n).map(|i| b.row_cols(i).iter().map(|&c| c as usize).collect()).collect();
+        let mut rows: Vec<std::collections::BTreeSet<usize>> = (0..n)
+            .map(|i| b.row_cols(i).iter().map(|&c| c as usize).collect())
+            .collect();
         let mut fill = 0usize;
         for k in 0..n {
             let later: Vec<usize> = rows[k].iter().copied().filter(|&j| j > k).collect();

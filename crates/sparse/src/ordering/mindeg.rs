@@ -9,8 +9,8 @@
 
 use super::symmetrized_adjacency;
 use crate::{Csr, Idx};
-use std::collections::{BTreeSet, BinaryHeap};
 use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap};
 
 /// Computes a minimum-degree ordering of `A + Aᵀ`.
 ///
@@ -28,9 +28,8 @@ pub fn min_degree_order(a: &Csr) -> Vec<Idx> {
     let mut eliminated = vec![false; n];
     // Lazy-deletion priority queue of (degree, vertex): stale entries are
     // skipped when their recorded degree no longer matches.
-    let mut heap: BinaryHeap<Reverse<(usize, Idx)>> = (0..n)
-        .map(|u| Reverse((nbrs[u].len(), u as Idx)))
-        .collect();
+    let mut heap: BinaryHeap<Reverse<(usize, Idx)>> =
+        (0..n).map(|u| Reverse((nbrs[u].len(), u as Idx))).collect();
 
     let mut order = Vec::with_capacity(n);
     while let Some(Reverse((deg, u))) = heap.pop() {
@@ -42,7 +41,11 @@ pub fn min_degree_order(a: &Csr) -> Vec<Idx> {
         order.push(u as Idx);
 
         // Form the elimination clique among surviving neighbours.
-        let clique: Vec<Idx> = nbrs[u].iter().copied().filter(|&v| !eliminated[v as usize]).collect();
+        let clique: Vec<Idx> = nbrs[u]
+            .iter()
+            .copied()
+            .filter(|&v| !eliminated[v as usize])
+            .collect();
         for (a_pos, &v) in clique.iter().enumerate() {
             let v = v as usize;
             nbrs[v].remove(&(u as Idx));
@@ -84,7 +87,10 @@ mod tests {
         // Once all but one leaf is gone the hub's degree drops to 1 and it
         // ties with the final leaf, so the hub lands in the last two slots.
         let hub_pos = order.iter().position(|&v| v == 0).expect("hub ordered");
-        assert!(hub_pos >= n - 2, "hub eliminated at {hub_pos}, expected near the end");
+        assert!(
+            hub_pos >= n - 2,
+            "hub eliminated at {hub_pos}, expected near the end"
+        );
     }
 
     #[test]
@@ -126,8 +132,7 @@ mod tests {
             .collect();
         let mut fill = 0usize;
         for k in 0..n {
-            let later: Vec<usize> =
-                rows[k].iter().copied().filter(|&j| j > k).collect();
+            let later: Vec<usize> = rows[k].iter().copied().filter(|&j| j > k).collect();
             for (ai, &i) in later.iter().enumerate() {
                 for &j in &later[ai + 1..] {
                     if rows[i].insert(j) {
@@ -139,6 +144,9 @@ mod tests {
                 }
             }
         }
-        assert_eq!(fill, 0, "min-degree ordering of an arrow matrix is fill-free");
+        assert_eq!(
+            fill, 0,
+            "min-degree ordering of an arrow matrix is fill-free"
+        );
     }
 }

@@ -17,7 +17,9 @@ pub struct Permutation {
 impl Permutation {
     /// The identity permutation on `0..n`.
     pub fn identity(n: usize) -> Self {
-        Permutation { forward: (0..n as Idx).collect() }
+        Permutation {
+            forward: (0..n as Idx).collect(),
+        }
     }
 
     /// Builds from a forward map, validating bijectivity.
@@ -32,7 +34,9 @@ impl Permutation {
                 )));
             }
             if seen[t] {
-                return Err(SparseError::InvalidPermutation(format!("target {t} repeated")));
+                return Err(SparseError::InvalidPermutation(format!(
+                    "target {t} repeated"
+                )));
             }
             seen[t] = true;
         }
@@ -89,9 +93,17 @@ impl Permutation {
 
     /// Composition `other ∘ self`: applies `self` first, then `other`.
     pub fn then(&self, other: &Permutation) -> Permutation {
-        assert_eq!(self.len(), other.len(), "composing permutations of different sizes");
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "composing permutations of different sizes"
+        );
         Permutation {
-            forward: self.forward.iter().map(|&m| other.forward[m as usize]).collect(),
+            forward: self
+                .forward
+                .iter()
+                .map(|&m| other.forward[m as usize])
+                .collect(),
         }
     }
 

@@ -25,7 +25,10 @@ use crate::{convert, Coo, Csr, Idx, Permutation, SparseError, Val};
 pub fn max_transversal(a: &Csr) -> Result<Permutation, SparseError> {
     let n = a.n_rows();
     if n != a.n_cols() {
-        return Err(SparseError::NotSquare { n_rows: n, n_cols: a.n_cols() });
+        return Err(SparseError::NotSquare {
+            n_rows: n,
+            n_cols: a.n_cols(),
+        });
     }
     // match_col[j] = row matched to column j; match_row[i] = column matched to row i.
     let mut match_col = vec![usize::MAX; n];
@@ -60,9 +63,7 @@ pub fn max_transversal(a: &Csr) -> Result<Permutation, SparseError> {
     for i in 0..n {
         // Cheap pass: claim the diagonal when free, preferring identity.
         if match_row[i] == usize::MAX
-            && match_col
-                .get(i)
-                .is_some_and(|&m| m == usize::MAX)
+            && match_col.get(i).is_some_and(|&m| m == usize::MAX)
             && a.get(i, i).is_some()
         {
             match_col[i] = i;

@@ -113,7 +113,10 @@ mod tests {
         coo.push(0, 0, 0.0);
         coo.push(1, 1, 1.0);
         let lu = coo_to_csc(&coo);
-        assert!(matches!(solve_upper(&lu, &[1.0, 1.0]), Err(SparseError::ZeroPivot { col: 0 })));
+        assert!(matches!(
+            solve_upper(&lu, &[1.0, 1.0]),
+            Err(SparseError::ZeroPivot { col: 0 })
+        ));
     }
 
     #[test]

@@ -88,7 +88,12 @@ pub fn residual_dense(a: &Csr, lu: &Csc) -> f64 {
 pub fn check_solution(a: &Csr, x: &[Val], b: &[Val], tol: f64) -> bool {
     let ax = a.spmv(x);
     let bnorm = b.iter().map(|v| v.abs()).fold(0.0f64, f64::max).max(1e-300);
-    ax.iter().zip(b).map(|(p, q)| (p - q).abs()).fold(0.0f64, f64::max) / bnorm <= tol
+    ax.iter()
+        .zip(b)
+        .map(|(p, q)| (p - q).abs())
+        .fold(0.0f64, f64::max)
+        / bnorm
+        <= tol
 }
 
 #[cfg(test)]

@@ -82,7 +82,9 @@ pub fn plan_split(gpu: &Gpu, a: &Csr, pool: &WorkspacePool) -> Result<DynamicSpl
     let samples: Vec<usize> = if n <= PREPASS_SAMPLES {
         (0..n).collect()
     } else {
-        (0..PREPASS_SAMPLES).map(|k| k * n / PREPASS_SAMPLES).collect()
+        (0..PREPASS_SAMPLES)
+            .map(|k| k * n / PREPASS_SAMPLES)
+            .collect()
     };
     let mut profile: Vec<u64> = Vec::with_capacity(samples.len());
     let mut queues: Vec<u64> = Vec::with_capacity(samples.len());
@@ -93,8 +95,15 @@ pub fn plan_split(gpu: &Gpu, a: &Csr, pool: &WorkspacePool) -> Result<DynamicSpl
     }
     let max_frontier = profile.iter().copied().max().unwrap_or(0);
     let threshold = (max_frontier as f64 * SPLIT_FRACTION) as u64;
-    let split_at = profile.iter().position(|&f| f > threshold).unwrap_or(samples.len());
-    let n1 = if split_at == 0 { 0 } else { samples.get(split_at).copied().unwrap_or(n) };
+    let split_at = profile
+        .iter()
+        .position(|&f| f > threshold)
+        .unwrap_or(samples.len());
+    let n1 = if split_at == 0 {
+        0
+    } else {
+        samples.get(split_at).copied().unwrap_or(n)
+    };
 
     let cap = samples
         .iter()
@@ -108,7 +117,12 @@ pub fn plan_split(gpu: &Gpu, a: &Csr, pool: &WorkspacePool) -> Result<DynamicSpl
     let free = gpu.mem.free_bytes();
     let chunk2 = ((free / row_state_bytes(n)) as usize).clamp(1, n.max(1));
     let chunk1 = ((free / part1_row_bytes(n, cap)) as usize).clamp(chunk2, n.max(1));
-    Ok(DynamicSplit { n1, frontier_cap: cap, chunk1, chunk2 })
+    Ok(DynamicSplit {
+        n1,
+        frontier_cap: cap,
+        chunk1,
+        chunk2,
+    })
 }
 
 /// Runs out-of-core symbolic factorization with dynamic parallelism
@@ -147,8 +161,10 @@ pub fn symbolic_ooc_dynamic(gpu: &Gpu, a: &Csr) -> Result<DynamicOutcome, SimErr
         // Resident output when the factorized pattern fits on the device
         // (Algorithm 3 line 8); otherwise stream per batch.
         let resident_out = if store {
-            let total_fill: u64 =
-                fill_counts.iter().map(|c| c.load(Ordering::Relaxed) as u64).sum();
+            let total_fill: u64 = fill_counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed) as u64)
+                .sum();
             gpu.mem.alloc(total_fill * 4).ok()
         } else {
             None
@@ -193,12 +209,14 @@ pub fn symbolic_ooc_dynamic(gpu: &Gpu, a: &Csr) -> Result<DynamicOutcome, SimErr
             if range.is_empty() {
                 continue;
             }
-            let row_bytes =
-                if capped { part1_row_bytes(n, split.frontier_cap) } else { row_state_bytes(n) };
+            let row_bytes = if capped {
+                part1_row_bytes(n, split.frontier_cap)
+            } else {
+                row_state_bytes(n)
+            };
             if !store {
                 // Counting stage: fixed chunks, state only.
-                let state_dev =
-                    gpu.mem.alloc(chunk.min(range.len()) as u64 * row_bytes)?;
+                let state_dev = gpu.mem.alloc(chunk.min(range.len()) as u64 * row_bytes)?;
                 let iters = range.len().div_ceil(chunk);
                 num_iterations += iters;
                 for iter in 0..iters {
@@ -219,8 +237,11 @@ pub fn symbolic_ooc_dynamic(gpu: &Gpu, a: &Csr) -> Result<DynamicOutcome, SimErr
                     let mut batch_nnz = 0u64;
                     while start + rows < range.end && rows < chunk {
                         let c = fill_counts[start + rows].load(Ordering::Relaxed) as u64;
-                        let out_need =
-                            if resident_out.is_some() { 0 } else { (batch_nnz + c) * 4 };
+                        let out_need = if resident_out.is_some() {
+                            0
+                        } else {
+                            (batch_nnz + c) * 4
+                        };
                         let need = (rows as u64 + 1) * row_bytes + out_need;
                         if rows > 0 && need > free {
                             break;
@@ -268,10 +289,14 @@ pub fn symbolic_ooc_dynamic(gpu: &Gpu, a: &Csr) -> Result<DynamicOutcome, SimErr
                     None
                 };
                 num_iterations += 1;
-                gpu.launch("symbolic_retry", batch.len(), 1024, &|b: usize,
-                       ctx: &mut BlockCtx| {
-                    body(batch[b], false, ctx);
-                })?;
+                gpu.launch(
+                    "symbolic_retry",
+                    batch.len(),
+                    1024,
+                    &|b: usize, ctx: &mut BlockCtx| {
+                        body(batch[b], false, ctx);
+                    },
+                )?;
                 if let Some((dev, nnz)) = out_dev {
                     gpu.d2h(nnz * 4);
                     gpu.mem.free(dev)?;
@@ -283,11 +308,15 @@ pub fn symbolic_ooc_dynamic(gpu: &Gpu, a: &Csr) -> Result<DynamicOutcome, SimErr
         if !store {
             // Prefix sum + offsets readback between the stages (as in
             // Algorithm 3).
-            gpu.launch("prefix_sum", n.div_ceil(1024).max(1), 1024, &|_b: usize,
-                   ctx: &mut BlockCtx| {
-                ctx.step(1024);
-                ctx.mem(1024 * 4);
-            })?;
+            gpu.launch(
+                "prefix_sum",
+                n.div_ceil(1024).max(1),
+                1024,
+                &|_b: usize, ctx: &mut BlockCtx| {
+                    ctx.step(1024);
+                    ctx.mem(1024 * 4);
+                },
+            )?;
             gpu.d2h(n as u64 * 4);
         } else {
             while let Some((src, cols)) = collected.pop() {

@@ -20,11 +20,15 @@ use gplu_sparse::{Csr, Idx};
 /// the call sites).
 #[derive(Debug)]
 pub struct Fill2Workspace {
-    /// Visit stamps: `fill[v] == src` means `v` was reached during `src`'s
-    /// traversal. Stamps are unique per row, so the array never needs
-    /// clearing between rows (the `fill(:) = 0` of Algorithm 1 happens
-    /// once, here at construction).
+    /// Visit stamps: `fill[v] == epoch` means `v` was reached during the
+    /// current traversal. Stamps are unique per *call* — not per row — so
+    /// the array never needs clearing between rows (the `fill(:) = 0` of
+    /// Algorithm 1 happens once, at construction), and a pooled workspace
+    /// may safely revisit a row it already traversed (the two-stage
+    /// count/store kernels and the dynamic engine's overflow re-runs do).
     fill: Vec<u32>,
+    /// Stamp of the most recent traversal; bumped on every call.
+    epoch: u32,
     queue: Vec<Idx>,
     next: Vec<Idx>,
 }
@@ -34,9 +38,23 @@ impl Fill2Workspace {
     pub fn new(n: usize) -> Self {
         Fill2Workspace {
             fill: vec![u32::MAX; n],
+            epoch: 0,
             queue: Vec::with_capacity(64),
             next: Vec::with_capacity(64),
         }
+    }
+
+    /// Starts a traversal: returns a stamp distinct from every value
+    /// currently in `fill`. On the (astronomically rare) epoch wrap the
+    /// stamp array is re-cleared so stale `u32::MAX`-era stamps cannot
+    /// alias.
+    fn next_stamp(&mut self) -> u32 {
+        if self.epoch >= u32::MAX - 1 {
+            self.fill.fill(u32::MAX);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.epoch
     }
 
     /// Matrix dimension this workspace serves.
@@ -78,28 +96,29 @@ pub fn fill2_row(
 ) -> RowMetrics {
     debug_assert_eq!(ws.n(), a.n_rows(), "workspace sized for a different matrix");
     let mut m = RowMetrics::default();
+    let stamp = ws.next_stamp();
     let fill = &mut ws.fill;
     let srcu = src as usize;
 
     // Seed: the original entries of row `src` (Algorithm 1 lines 1-10).
-    fill[srcu] = src;
+    fill[srcu] = stamp;
     emit(src); // diagonal (guaranteed structurally present after pre-processing)
     m.emitted += 1;
     for &v in a.row_cols(srcu) {
         if v == src {
             continue; // diagonal already emitted
         }
-        fill[v as usize] = src;
+        fill[v as usize] = stamp;
         emit(v);
         m.emitted += 1;
     }
 
-    // Threshold sweep (lines 11-27). `fill[t] == src` marks vertices
+    // Threshold sweep (lines 11-27). `fill[t] == stamp` marks vertices
     // reached so far; thresholds are consumed in ascending order, and
     // fill-ins below `src` discovered later in the sweep still get their
     // turn because they are always greater than the current threshold.
     for threshold in 0..src {
-        if fill[threshold as usize] != src {
+        if fill[threshold as usize] != stamp {
             continue;
         }
         ws.queue.clear();
@@ -112,10 +131,10 @@ pub fn fill2_row(
             for &u in &ws.queue {
                 for &w in a.row_cols(u as usize) {
                     m.edges += 1;
-                    if fill[w as usize] == src {
+                    if fill[w as usize] == stamp {
                         continue;
                     }
-                    fill[w as usize] = src;
+                    fill[w as usize] = stamp;
                     if w > threshold {
                         // New fill-in of row `src` (L side if w < src,
                         // U side if w > src); if below `src` it will also
@@ -197,6 +216,20 @@ mod tests {
         let (r3b, _) = fill2_row_sorted(&a, 3, &mut ws);
         assert_eq!(r3a, r3b);
         assert_eq!(r2, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn revisiting_a_row_with_fill_keeps_its_fill_ins() {
+        // The two-stage kernels (count, then store) can hand the *same*
+        // row to the *same* pooled workspace twice. Row 2 has a genuine
+        // fill-in (2,3); a per-row stamp would see stage 1's marks and
+        // drop it in stage 2.
+        let a = example();
+        let mut ws = Fill2Workspace::new(4);
+        let (first, _) = fill2_row_sorted(&a, 2, &mut ws);
+        let (second, _) = fill2_row_sorted(&a, 2, &mut ws);
+        assert_eq!(first, vec![0, 2, 3]);
+        assert_eq!(first, second, "fill-ins lost on revisit");
     }
 
     #[test]

@@ -28,7 +28,10 @@ pub fn bucket_max(profile: &[u64], iterations: usize) -> Vec<u64> {
         return Vec::new();
     }
     let chunk = profile.len().div_ceil(iterations);
-    profile.chunks(chunk).map(|c| c.iter().copied().max().unwrap_or(0)).collect()
+    profile
+        .chunks(chunk)
+        .map(|c| c.iter().copied().max().unwrap_or(0))
+        .collect()
 }
 
 /// The paper's split criterion: the first row index whose frontier count
@@ -36,7 +39,10 @@ pub fn bucket_max(profile: &[u64], iterations: usize) -> Vec<u64> {
 pub fn split_point(profile: &[u64], fraction: f64) -> usize {
     let max = profile.iter().copied().max().unwrap_or(0);
     let threshold = (max as f64 * fraction) as u64;
-    profile.iter().position(|&f| f > threshold).unwrap_or(profile.len())
+    profile
+        .iter()
+        .position(|&f| f > threshold)
+        .unwrap_or(profile.len())
 }
 
 #[cfg(test)]
@@ -50,7 +56,10 @@ mod tests {
         let p = frontier_profile(&a);
         let early: u64 = p[..100].iter().sum();
         let late: u64 = p[500..].iter().sum();
-        assert!(late > early, "frontier work must grow with row id: {early} vs {late}");
+        assert!(
+            late > early,
+            "frontier work must grow with row id: {early} vs {late}"
+        );
     }
 
     #[test]

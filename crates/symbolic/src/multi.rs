@@ -66,15 +66,18 @@ pub fn symbolic_multi_gpu(
                 let end = (d + 1) * n / k;
                 (start as u32..end as u32).collect()
             }
-            Partition::Strided => (d as u32..).step_by(k).take_while(|&r| (r as usize) < n)
+            Partition::Strided => (d as u32..)
+                .step_by(k)
+                .take_while(|&r| (r as usize) < n)
                 .collect(),
         }
     };
 
     let fill_counts: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
     let agg = [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)];
-    let patterns: Vec<parking_lot::Mutex<Vec<Idx>>> =
-        (0..n).map(|_| parking_lot::Mutex::new(Vec::new())).collect();
+    let patterns: Vec<parking_lot::Mutex<Vec<Idx>>> = (0..n)
+        .map(|_| parking_lot::Mutex::new(Vec::new()))
+        .collect();
 
     let mut per_gpu = Vec::with_capacity(k);
     for (d, gpu) in gpus.iter().enumerate() {
@@ -85,13 +88,17 @@ pub fn symbolic_multi_gpu(
         let a_bytes = (n as u64 + 1 + a.nnz() as u64) * 4;
         let a_dev = gpu.mem.alloc(a_bytes)?;
         gpu.h2d(a_bytes);
-        let chunk = ((gpu.mem.free_bytes() / row_state_bytes(n)) as usize)
-            .clamp(1, my_rows.len().max(1));
+        let chunk =
+            ((gpu.mem.free_bytes() / row_state_bytes(n)) as usize).clamp(1, my_rows.len().max(1));
         let state_dev = gpu.mem.alloc(chunk as u64 * row_state_bytes(n))?;
 
         let pool = WorkspacePool::new(n);
         for store in [false, true] {
-            let stage = if store { "mg_symbolic_2" } else { "mg_symbolic_1" };
+            let stage = if store {
+                "mg_symbolic_2"
+            } else {
+                "mg_symbolic_1"
+            };
             for batch in my_rows.chunks(chunk.max(1)) {
                 gpu.launch(stage, batch.len(), 1024, &|b: usize, ctx: &mut BlockCtx| {
                     let src = batch[b];
@@ -118,8 +125,10 @@ pub fn symbolic_multi_gpu(
         }
         // Ship this device's slice of the pattern to the host for the
         // merge.
-        let my_nnz: u64 =
-            my_rows.iter().map(|&r| fill_counts[r as usize].load(Ordering::Relaxed) as u64).sum();
+        let my_nnz: u64 = my_rows
+            .iter()
+            .map(|&r| fill_counts[r as usize].load(Ordering::Relaxed) as u64)
+            .sum();
         gpu.d2h(my_nnz * 4);
         gpu.mem.free(state_dev)?;
         gpu.mem.free(a_dev)?;
@@ -141,7 +150,12 @@ pub fn symbolic_multi_gpu(
     };
     let pattern_rows: Vec<Vec<Idx>> = patterns.into_iter().map(|m| m.into_inner()).collect();
     let result = SymbolicResult::from_patterns(a, pattern_rows, metrics);
-    Ok(MultiGpuOutcome { result, per_gpu, time: makespan, efficiency })
+    Ok(MultiGpuOutcome {
+        result,
+        per_gpu,
+        time: makespan,
+        efficiency,
+    })
 }
 
 #[cfg(test)]

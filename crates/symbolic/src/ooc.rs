@@ -55,12 +55,18 @@ pub struct WorkspacePool {
 impl WorkspacePool {
     /// Pool of workspaces for an `n × n` matrix.
     pub fn new(n: usize) -> Self {
-        WorkspacePool { n, pool: SegQueue::new() }
+        WorkspacePool {
+            n,
+            pool: SegQueue::new(),
+        }
     }
 
     /// Runs `f` with a pooled (or fresh) workspace.
     pub fn with<R>(&self, f: impl FnOnce(&mut Fill2Workspace) -> R) -> R {
-        let mut ws = self.pool.pop().unwrap_or_else(|| Fill2Workspace::new(self.n));
+        let mut ws = self
+            .pool
+            .pop()
+            .unwrap_or_else(|| Fill2Workspace::new(self.n));
         let r = f(&mut ws);
         self.pool.push(ws);
         r
@@ -137,13 +143,21 @@ pub fn symbolic_ooc(gpu: &Gpu, a: &Csr) -> Result<OocOutcome, SimError> {
     }
 
     // ---- Device prefix sum over fill_count (line 7). ----
-    gpu.launch("prefix_sum", n.div_ceil(1024).max(1), 1024, &|_b: usize, ctx: &mut BlockCtx| {
-        ctx.step(1024);
-        ctx.mem(1024 * 4);
-    })?;
+    gpu.launch(
+        "prefix_sum",
+        n.div_ceil(1024).max(1),
+        1024,
+        &|_b: usize, ctx: &mut BlockCtx| {
+            ctx.step(1024);
+            ctx.mem(1024 * 4);
+        },
+    )?;
     gpu.d2h(n as u64 * 4); // row offsets for host-side assembly
 
-    let counts: Vec<u32> = fill_counts.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+    let counts: Vec<u32> = fill_counts
+        .iter()
+        .map(|c| c.load(Ordering::Relaxed))
+        .collect();
     let total_fill: u64 = counts.iter().map(|&c| c as u64).sum();
 
     // ---- Stage 2: store positions (kernel symbolic_2). ----
@@ -168,7 +182,11 @@ pub fn symbolic_ooc(gpu: &Gpu, a: &Csr) -> Result<OocOutcome, SimError> {
         let mut chunk_nnz: u64 = 0;
         while start + rows < n && rows < chunk {
             let b = counts[start + rows] as u64;
-            let out_need = if resident_out.is_some() { 0 } else { (chunk_nnz + b) * 4 };
+            let out_need = if resident_out.is_some() {
+                0
+            } else {
+                (chunk_nnz + b) * 4
+            };
             let need = (rows as u64 + 1) * row_bytes + out_need;
             if rows > 0 && need > free {
                 break;
@@ -177,8 +195,11 @@ pub fn symbolic_ooc(gpu: &Gpu, a: &Csr) -> Result<OocOutcome, SimError> {
             rows += 1;
         }
         let state2_dev = gpu.mem.alloc(rows as u64 * row_bytes)?;
-        let out_dev =
-            if resident_out.is_none() { Some(gpu.mem.alloc(chunk_nnz * 4)?) } else { None };
+        let out_dev = if resident_out.is_none() {
+            Some(gpu.mem.alloc(chunk_nnz * 4)?)
+        } else {
+            None
+        };
         gpu.launch("symbolic_2", rows, 1024, &|b: usize, ctx: &mut BlockCtx| {
             let src = (start + b) as u32;
             let mut cols = Vec::with_capacity(counts[src as usize] as usize);
@@ -256,7 +277,10 @@ mod tests {
         let a = random_dominant(1024, 3.0, 5);
         let gpu = gpu_for(&a);
         let ooc = symbolic_ooc(&gpu, &a).expect("runs");
-        assert!(ooc.num_iterations >= 2, "profile must force out-of-core chunking");
+        assert!(
+            ooc.num_iterations >= 2,
+            "profile must force out-of-core chunking"
+        );
         assert_eq!(ooc.num_iterations, 1024usize.div_ceil(ooc.chunk_size));
         assert_eq!(ooc.per_iter_max_frontier.len(), ooc.num_iterations);
     }
@@ -288,7 +312,10 @@ mod tests {
         // Device barely larger than the matrix itself: no room for state.
         let a_bytes = (4096u64 + 1 + a.nnz() as u64) * 4;
         let gpu = Gpu::new(GpuConfig::v100().with_memory(a_bytes + 4096 * 4 + 1024));
-        assert!(matches!(symbolic_ooc(&gpu, &a), Err(SimError::OutOfMemory { .. })));
+        assert!(matches!(
+            symbolic_ooc(&gpu, &a),
+            Err(SimError::OutOfMemory { .. })
+        ));
     }
 
     #[test]
@@ -298,8 +325,19 @@ mod tests {
         let a = gplu_sparse::gen::random::banded_dominant(1500, 6, 11);
         let gpu = gpu_for(&a);
         let ooc = symbolic_ooc(&gpu, &a).expect("runs");
-        let first = ooc.per_iter_max_frontier.first().copied().expect("non-empty");
-        let last = ooc.per_iter_max_frontier.last().copied().expect("non-empty");
-        assert!(last >= first, "frontier profile should not shrink: {first} -> {last}");
+        let first = ooc
+            .per_iter_max_frontier
+            .first()
+            .copied()
+            .expect("non-empty");
+        let last = ooc
+            .per_iter_max_frontier
+            .last()
+            .copied()
+            .expect("non-empty");
+        assert!(
+            last >= first,
+            "frontier profile should not shrink: {first} -> {last}"
+        );
     }
 }

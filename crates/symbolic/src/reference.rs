@@ -98,7 +98,9 @@ mod tests {
 
     fn fill_by_fill2(a: &Csr) -> Vec<Vec<Idx>> {
         let mut ws = Fill2Workspace::new(a.n_rows());
-        (0..a.n_rows()).map(|i| fill2_row_sorted(a, i as u32, &mut ws).0).collect()
+        (0..a.n_rows())
+            .map(|i| fill2_row_sorted(a, i as u32, &mut ws).0)
+            .collect()
     }
 
     #[test]
@@ -132,7 +134,11 @@ mod tests {
     #[test]
     fn diagonal_matrix_has_no_fill() {
         let a = Csr::identity(5);
-        for rows in [fill_by_theorem1(&a), fill_by_elimination(&a), fill_by_fill2(&a)] {
+        for rows in [
+            fill_by_theorem1(&a),
+            fill_by_elimination(&a),
+            fill_by_fill2(&a),
+        ] {
             for (i, row) in rows.iter().enumerate() {
                 assert_eq!(row, &vec![i as Idx]);
             }

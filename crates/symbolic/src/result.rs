@@ -40,7 +40,10 @@ impl SymbolicResult {
         let mut col_idx = Vec::with_capacity(nnz);
         let mut vals = vec![0.0 as Val; nnz];
         for (i, pat) in patterns.iter().enumerate() {
-            debug_assert!(pat.windows(2).all(|w| w[0] < w[1]), "row {i} pattern unsorted");
+            debug_assert!(
+                pat.windows(2).all(|w| w[0] < w[1]),
+                "row {i} pattern unsorted"
+            );
             let base = col_idx.len();
             col_idx.extend_from_slice(pat);
             // Scatter A's values into the (sorted) filled row by a merged
@@ -56,7 +59,11 @@ impl SymbolicResult {
             row_ptr.push(col_idx.len());
         }
         let filled = Csr::from_parts_unchecked(n, a.n_cols(), row_ptr, col_idx, vals);
-        SymbolicResult { filled, fill_count, metrics }
+        SymbolicResult {
+            filled,
+            fill_count,
+            metrics,
+        }
     }
 
     /// Number of nonzeros in the filled matrix.
@@ -99,7 +106,11 @@ mod tests {
         let patterns = vec![vec![0, 2], vec![1], vec![0, 1, 2]];
         let r = SymbolicResult::from_patterns(&a, patterns, SymbolicMetrics::default());
         assert_eq!(r.filled.get(0, 2), Some(5.0));
-        assert_eq!(r.filled.get(2, 1), Some(0.0), "fill-in must be explicit zero");
+        assert_eq!(
+            r.filled.get(2, 1),
+            Some(0.0),
+            "fill-in must be explicit zero"
+        );
         assert_eq!(r.filled.get(2, 2), Some(3.0));
         assert_eq!(r.new_fill_ins(&a), 1);
         assert!((r.fill_ratio(&a) - 6.0 / 5.0).abs() < 1e-12);

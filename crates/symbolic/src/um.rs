@@ -80,7 +80,11 @@ pub fn symbolic_um(gpu: &Gpu, a: &Csr, mode: UmMode) -> Result<UmOutcome, SimErr
     let agg = Mutex::new(SymbolicMetrics::default());
 
     for store in [false, true] {
-        let stage = if store { "um_symbolic_2" } else { "um_symbolic_1" };
+        let stage = if store {
+            "um_symbolic_2"
+        } else {
+            "um_symbolic_1"
+        };
         // Fresh scratch per stage (as the real implementation would
         // re-allocate its queues): no stale materialised pages.
         let state_um = gpu.um.alloc_scratch(row_bytes * n as u64);
@@ -92,63 +96,72 @@ pub fn symbolic_um(gpu: &Gpu, a: &Csr, mode: UmMode) -> Result<UmOutcome, SimErr
         while start < n {
             let rows = batch.min(n - start);
             if mode == UmMode::Prefetch {
-                let cover =
-                    ((rows as u64 * row_bytes) as f64 * PREFETCH_COVERAGE) as u64;
+                let cover = ((rows as u64 * row_bytes) as f64 * PREFETCH_COVERAGE) as u64;
                 gpu.um_prefetch(&state_um, start as u64 * row_bytes, cover.max(1));
             }
-            gpu.launch_with(stage, rows, 1024, LaunchKind::Host, Exec::Seq, &|b: usize,
-                   ctx: &mut BlockCtx| {
-                let src = (start + b) as u32;
-                let mut cols: Vec<Idx> = Vec::new();
-                let m = {
-                    let mut ws = ws.lock();
+            gpu.launch_with(
+                stage,
+                rows,
+                1024,
+                LaunchKind::Host,
+                Exec::Seq,
+                &|b: usize, ctx: &mut BlockCtx| {
+                    let src = (start + b) as u32;
+                    let mut cols: Vec<Idx> = Vec::new();
+                    let m = {
+                        let mut ws = ws.lock();
+                        if store {
+                            fill2_row(a, src, &mut ws, |c| cols.push(c))
+                        } else {
+                            fill2_row(a, src, &mut ws, |_| {})
+                        }
+                    };
+                    crate::ooc::charge_row(ctx, &m);
+
+                    // Managed-memory touches: the row's fill-stamp array is
+                    // written through (4·n bytes), the frontier queues grow to
+                    // the instantaneous maximum, and the adjacency scan reads
+                    // the matrix allocation.
+                    let s_off = src as u64 * row_bytes;
+                    ctx.um_write(&state_um, s_off, (4 * n as u64).min(row_bytes));
+                    let q_bytes = (8 * m.max_queue).min(row_bytes - 4 * n as u64);
+                    if q_bytes > 0 {
+                        ctx.um_write(&state_um, s_off + 4 * n as u64, q_bytes);
+                    }
+                    ctx.um_read(&a_um, 0, (m.edges * 4).min(a_bytes));
+                    ctx.um_write(&counts_um, src as u64 * 4, 4);
+
                     if store {
-                        fill2_row(a, src, &mut ws, |c| cols.push(c))
+                        cols.sort_unstable();
+                        let e = m.emitted as u64;
+                        if e > 1 {
+                            ctx.step(e * (64 - e.leading_zeros() as u64));
+                        }
+                        patterns.lock()[src as usize] = cols;
                     } else {
-                        fill2_row(a, src, &mut ws, |_| {})
+                        counts.lock()[src as usize] = m.emitted;
+                        let mut g = agg.lock();
+                        g.steps += m.steps;
+                        g.edges += m.edges;
+                        g.frontiers += m.frontiers;
                     }
-                };
-                crate::ooc::charge_row(ctx, &m);
-
-                // Managed-memory touches: the row's fill-stamp array is
-                // written through (4·n bytes), the frontier queues grow to
-                // the instantaneous maximum, and the adjacency scan reads
-                // the matrix allocation.
-                let s_off = src as u64 * row_bytes;
-                ctx.um_write(&state_um, s_off, (4 * n as u64).min(row_bytes));
-                let q_bytes = (8 * m.max_queue).min(row_bytes - 4 * n as u64);
-                if q_bytes > 0 {
-                    ctx.um_write(&state_um, s_off + 4 * n as u64, q_bytes);
-                }
-                ctx.um_read(&a_um, 0, (m.edges * 4).min(a_bytes));
-                ctx.um_write(&counts_um, src as u64 * 4, 4);
-
-                if store {
-                    cols.sort_unstable();
-                    let e = m.emitted as u64;
-                    if e > 1 {
-                        ctx.step(e * (64 - e.leading_zeros() as u64));
-                    }
-                    patterns.lock()[src as usize] = cols;
-                } else {
-                    counts.lock()[src as usize] = m.emitted;
-                    let mut g = agg.lock();
-                    g.steps += m.steps;
-                    g.edges += m.edges;
-                    g.frontiers += m.frontiers;
-                }
-            })?;
+                },
+            )?;
             start += rows;
         }
         gpu.um.free(state_um);
         if !store {
             // Prefix sum over the managed counts, as in the explicit
             // version.
-            gpu.launch("prefix_sum", n.div_ceil(1024).max(1), 1024, &|_b: usize,
-                   ctx: &mut BlockCtx| {
-                ctx.step(1024);
-                ctx.mem(1024 * 4);
-            })?;
+            gpu.launch(
+                "prefix_sum",
+                n.div_ceil(1024).max(1),
+                1024,
+                &|_b: usize, ctx: &mut BlockCtx| {
+                    ctx.step(1024);
+                    ctx.mem(1024 * 4);
+                },
+            )?;
         }
     }
 
@@ -196,7 +209,10 @@ mod tests {
     fn oversubscription_causes_faults() {
         let a = random_dominant(800, 4.0, 32);
         let um = symbolic_um(&gpu_for(&a), &a, UmMode::NoPrefetch).expect("runs");
-        assert!(um.fault_groups > 0, "state exceeds the device; faults are mandatory");
+        assert!(
+            um.fault_groups > 0,
+            "state exceeds the device; faults are mandatory"
+        );
         assert!(um.fault_time_fraction > 0.0);
     }
 
@@ -211,7 +227,12 @@ mod tests {
             wp.fault_groups,
             wo.fault_groups
         );
-        assert!(wp.time < wo.time, "prefetch {} must be faster than {}", wp.time, wo.time);
+        assert!(
+            wp.time < wo.time,
+            "prefetch {} must be faster than {}",
+            wp.time,
+            wo.time
+        );
         assert_eq!(wp.result.filled, wo.result.filled);
     }
 

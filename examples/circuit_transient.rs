@@ -12,8 +12,8 @@
 //! cargo run --release --example circuit_transient
 //! ```
 
-use gplu::prelude::*;
 use gplu::numeric::factorize_gpu_sparse;
+use gplu::prelude::*;
 use gplu::schedule::{levelize_gpu, DepGraph};
 use gplu::sparse::convert::csr_to_csc;
 use gplu::sparse::gen::circuit::{circuit, CircuitParams};
@@ -24,18 +24,23 @@ use gplu::symbolic::symbolic_ooc_dynamic;
 fn main() {
     // A post-layout circuit-style conductance matrix.
     let n = 1500;
-    let a = circuit(&CircuitParams { n, nnz_per_row: 8.0, seed: 7, ..Default::default() });
-    println!("circuit matrix: n = {n}, nnz = {} ({:.1}/row)", a.nnz(), a.density());
+    let a = circuit(&CircuitParams {
+        n,
+        nnz_per_row: 8.0,
+        seed: 7,
+        ..Default::default()
+    });
+    println!(
+        "circuit matrix: n = {n}, nnz = {} ({:.1}/row)",
+        a.nnz(),
+        a.density()
+    );
 
     let gpu = Gpu::new(GpuConfig::v100_symbolic_profile(n, a.nnz()));
 
     // Pre-process + symbolic + levelize ONCE (pattern-only work).
-    let pre = gplu::core::preprocess(
-        &a,
-        &gplu::core::PreprocessOptions::default(),
-        gpu.cost(),
-    )
-    .expect("preprocess");
+    let pre = gplu::core::preprocess(&a, &gplu::core::PreprocessOptions::default(), gpu.cost())
+        .expect("preprocess");
     let sym = symbolic_ooc_dynamic(&gpu, &pre.matrix).expect("symbolic");
     let dep = DepGraph::build(&sym.result.filled);
     let lvl = levelize_gpu(&gpu, &dep).expect("levelize");
@@ -67,7 +72,9 @@ fn main() {
         numeric_total += gpu.now() - t0;
 
         // Solve for the node voltages at this step.
-        let b: Vec<f64> = (0..n).map(|i| if i % 97 == 0 { 1e-3 } else { 0.0 }).collect();
+        let b: Vec<f64> = (0..n)
+            .map(|i| if i % 97 == 0 { 1e-3 } else { 0.0 })
+            .collect();
         let b_perm = pre.p_row.permute_vec(&b);
         let y = solve_lu(&out.lu, &b_perm).expect("solve");
         let x: Vec<f64> = (0..n).map(|i| y[pre.p_col.apply(i)]).collect();
@@ -77,7 +84,10 @@ fn main() {
         for v in a_step.vals.iter_mut() {
             *v *= drift;
         }
-        assert!(check_solution(&a_step, &x, &b, 1e-8), "step {step}: solve check failed");
+        assert!(
+            check_solution(&a_step, &x, &b, 1e-8),
+            "step {step}: solve check failed"
+        );
     }
     println!(
         "{timesteps} transient steps: numeric-only re-factorization, simulated {} total \

@@ -22,8 +22,14 @@ fn main() {
     // Fixed device: memory chosen so mid-sized planar matrices cross the
     // paper's format criterion.
     let device_mem: u64 = 7 << 20;
-    println!("device memory L = {} MiB, TB_max = 160, float data", device_mem >> 20);
-    println!("switch criterion: n > L/(TB_max*4) = {}\n", device_mem / (160 * 4));
+    println!(
+        "device memory L = {} MiB, TB_max = 160, float data",
+        device_mem >> 20
+    );
+    println!(
+        "switch criterion: n > L/(TB_max*4) = {}\n",
+        device_mem / (160 * 4)
+    );
 
     println!(
         "{:>6}  {:>9}  {:>6}  {:>8}  {:>10}  {:>10}  {:>7}  {:>6}",
@@ -55,7 +61,10 @@ fn main() {
         // The paper's criterion is evaluated on the memory left after the
         // resident factor — the quantity the dense buffers actually share.
         let free_after_factor = device_mem.saturating_sub(pattern.nnz() as u64 * 8);
-        let switch = cfg.clone().with_memory(free_after_factor).should_use_sparse_format(n);
+        let switch = cfg
+            .clone()
+            .with_memory(free_after_factor)
+            .should_use_sparse_format(n);
 
         let gpu = Gpu::new(cfg.clone());
         let dense = factorize_gpu_dense(&gpu, &pattern, &levels);
@@ -63,7 +72,10 @@ fn main() {
         let sparse = match factorize_gpu_sparse(&gpu, &pattern, &levels) {
             Ok(s) => s,
             Err(e) => {
-                println!("{n:>6}  {:>9}  even the CSC factor exceeds this device: {e}", pattern.nnz());
+                println!(
+                    "{n:>6}  {:>9}  even the CSC factor exceeds this device: {e}",
+                    pattern.nnz()
+                );
                 continue;
             }
         };

@@ -31,7 +31,10 @@ fn main() {
     )
     .expect("preprocess");
 
-    println!("{:>10}  {:>6}  {:>6}  {:>10}  {:>12}", "device", "chunk", "iters", "time", "h2d+d2h");
+    println!(
+        "{:>10}  {:>6}  {:>6}  {:>10}  {:>12}",
+        "device", "chunk", "iters", "time", "h2d+d2h"
+    );
     for shrink in [4u64, 8, 16, 64, 256] {
         let mem = (state_bytes / shrink).max(1 << 20);
         let gpu = Gpu::new(GpuConfig::v100().with_memory(mem));
@@ -64,7 +67,10 @@ fn main() {
     );
 
     // The unified-memory road not taken.
-    for (name, mode) in [("UM on-demand", UmMode::NoPrefetch), ("UM prefetch", UmMode::Prefetch)] {
+    for (name, mode) in [
+        ("UM on-demand", UmMode::NoPrefetch),
+        ("UM prefetch", UmMode::Prefetch),
+    ] {
         let gpu = Gpu::new(GpuConfig::v100().with_memory(state_bytes / 16));
         let out = symbolic_um(&gpu, &pre.matrix, mode).expect("um");
         println!(

@@ -15,7 +15,13 @@ fn main() {
     let a = random_dominant(n, 6.0, 42);
     let x_true: Vec<f64> = (0..n).map(|i| ((i % 7) as f64) - 3.0).collect();
     let b = a.spmv(&x_true);
-    println!("matrix: {} x {}, {} nonzeros ({:.1}/row)", n, n, a.nnz(), a.density());
+    println!(
+        "matrix: {} x {}, {} nonzeros ({:.1}/row)",
+        n,
+        n,
+        a.nnz(),
+        a.density()
+    );
 
     // 2. A simulated Tesla V100 whose device memory cannot hold the
     //    symbolic-factorization intermediates (6 words x n per source

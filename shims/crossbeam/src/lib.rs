@@ -1,0 +1,93 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the one type this workspace uses: [`queue::SegQueue`], an
+//! unbounded MPMC queue. The real crate is lock-free; this stand-in uses
+//! a mutexed `VecDeque`, which preserves the API and FIFO semantics (the
+//! workspace uses it for work distribution, not for lock-free latency).
+
+pub mod queue {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// An unbounded multi-producer multi-consumer FIFO queue.
+    #[derive(Debug)]
+    pub struct SegQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> SegQueue<T> {
+        /// Creates an empty queue.
+        pub fn new() -> Self {
+            SegQueue {
+                inner: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Pushes an element to the back.
+        pub fn push(&self, value: T) {
+            self.lock().push_back(value);
+        }
+
+        /// Pops the front element, if any.
+        pub fn pop(&self) -> Option<T> {
+            self.lock().pop_front()
+        }
+
+        /// Number of queued elements.
+        pub fn len(&self) -> usize {
+            self.lock().len()
+        }
+
+        /// True when no elements are queued.
+        pub fn is_empty(&self) -> bool {
+            self.lock().is_empty()
+        }
+
+        fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+            self.inner.lock().unwrap_or_else(|e| e.into_inner())
+        }
+    }
+
+    impl<T> Default for SegQueue<T> {
+        fn default() -> Self {
+            SegQueue::new()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_order() {
+            let q = SegQueue::new();
+            q.push(1);
+            q.push(2);
+            assert_eq!(q.len(), 2);
+            assert_eq!(q.pop(), Some(1));
+            assert_eq!(q.pop(), Some(2));
+            assert_eq!(q.pop(), None);
+            assert!(q.is_empty());
+        }
+
+        #[test]
+        fn concurrent_producers_drain_fully() {
+            let q = std::sync::Arc::new(SegQueue::new());
+            std::thread::scope(|s| {
+                for t in 0..4 {
+                    let q = q.clone();
+                    s.spawn(move || {
+                        for i in 0..100 {
+                            q.push(t * 100 + i);
+                        }
+                    });
+                }
+            });
+            let mut seen = 0;
+            while q.pop().is_some() {
+                seen += 1;
+            }
+            assert_eq!(seen, 400);
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors
+//! the parallel-iterator subset it uses: `into_par_iter` over ranges,
+//! `par_chunks` over slices, and the `map` / `flat_map_iter` / `for_each`
+//! / `collect` adapters, plus [`current_num_threads`].
+//!
+//! Execution model: adapters are eager. Each adapter splits its items into
+//! one contiguous chunk per available core and runs them on scoped threads,
+//! then reassembles results **in input order** — the ordering guarantee the
+//! gpu simulator relies on when it zips block results back to block ids.
+//! Panics in worker closures propagate to the caller, as in real rayon.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads the pool would use (here: the machine's
+/// available parallelism).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs `f` over `items` on scoped threads, preserving input order in the
+/// output. The closure is shared by reference, so it must be `Sync`.
+fn run_parallel<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    if n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let workers = current_num_threads().min(n);
+    let chunk_len = n.div_ceil(workers);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut it = items.into_iter();
+    loop {
+        let chunk: Vec<T> = it.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for handle in handles {
+            // Re-raise worker panics on the calling thread, like rayon.
+            match handle.join() {
+                Ok(part) => out.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        out
+    })
+}
+
+/// An eager "parallel iterator": the realized item list plus adapters that
+/// fan work out across threads.
+pub struct ParIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Parallel element-wise transform, order-preserving.
+    pub fn map<U, F>(self, f: F) -> ParIter<U>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        ParIter {
+            items: run_parallel(self.items, f),
+        }
+    }
+
+    /// Parallel transform where each element yields a sequential iterator;
+    /// results are concatenated in input order.
+    pub fn flat_map_iter<U, I, F>(self, f: F) -> ParIter<U>
+    where
+        U: Send,
+        I: IntoIterator<Item = U>,
+        F: Fn(T) -> I + Sync,
+    {
+        let nested = run_parallel(self.items, |t| f(t).into_iter().collect::<Vec<U>>());
+        ParIter {
+            items: nested.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Runs `f` on every element in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        run_parallel(self.items, f);
+    }
+
+    /// Collects the realized items (already in input order).
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// Conversion into a parallel iterator (`rayon::iter::IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Realizes the parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// Parallel chunking over slices (`rayon::slice::ParallelSlice`).
+pub trait ParallelSlice<T: Sync> {
+    /// Splits the slice into `size`-element chunks (last may be short) and
+    /// yields them as a parallel iterator.
+    fn par_chunks(&self, size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, size: usize) -> ParIter<&[T]> {
+        assert!(size > 0, "chunk size must be non-zero");
+        ParIter {
+            items: self.chunks(size).collect(),
+        }
+    }
+}
+
+/// The traits user code imports with `use rayon::prelude::*;`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let out: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_chunks_covers_slice_in_order() {
+        let data: Vec<u32> = (0..103).collect();
+        let sums: Vec<u32> = data.par_chunks(10).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums.len(), 11);
+        assert_eq!(sums.iter().sum::<u32>(), data.iter().sum());
+        assert_eq!(sums[0], (0..10).sum());
+    }
+
+    #[test]
+    fn flat_map_iter_concatenates_in_order() {
+        let out: Vec<usize> = (0..10usize)
+            .into_par_iter()
+            .flat_map_iter(|i| vec![i; i])
+            .collect();
+        let expect: Vec<usize> = (0..10).flat_map(|i| vec![i; i]).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn for_each_visits_every_item() {
+        let hits = std::sync::atomic::AtomicUsize::new(0);
+        (0..500usize).into_par_iter().for_each(|_| {
+            hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(std::sync::atomic::Ordering::Relaxed), 500);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let caught = std::panic::catch_unwind(|| {
+            (0..64usize).into_par_iter().for_each(|i| {
+                if i == 33 {
+                    panic!("boom");
+                }
+            });
+        });
+        assert!(caught.is_err());
+    }
+}

@@ -36,7 +36,9 @@ fn repeated_solves_reuse_factors() {
     let a = random_dominant(200, 4.0, 88);
     let f = LuFactorization::compute(&gpu_for(&a), &a, &LuOptions::default()).expect("pipeline");
     for seed in 0..5u64 {
-        let x_true: Vec<f64> = (0..200).map(|i| ((i as u64 ^ seed) % 11) as f64 - 5.0).collect();
+        let x_true: Vec<f64> = (0..200)
+            .map(|i| ((i as u64 ^ seed) % 11) as f64 - 5.0)
+            .collect();
         let b = a.spmv(&x_true);
         let x = f.solve(&b).expect("solve");
         assert!(check_solution(&a, &x, &b, 1e-8), "rhs seed {seed}");
@@ -48,8 +50,14 @@ fn suite_analog_smoke_every_family() {
     // One matrix per generator family through the full pipeline.
     use gplu::sparse::gen::suite::{large_suite, paper_suite};
     let picks = [
-        paper_suite().into_iter().find(|e| e.abbr == "OT2").expect("circuit family"),
-        paper_suite().into_iter().find(|e| e.abbr == "WI").expect("mesh family"),
+        paper_suite()
+            .into_iter()
+            .find(|e| e.abbr == "OT2")
+            .expect("circuit family"),
+        paper_suite()
+            .into_iter()
+            .find(|e| e.abbr == "WI")
+            .expect("mesh family"),
         large_suite().into_iter().next().expect("planar family"),
     ];
     for entry in picks {

@@ -22,7 +22,10 @@ fn all_four_symbolic_engines_agree_bitwise() {
         SymbolicEngine::UmNoPrefetch,
         SymbolicEngine::UmPrefetch,
     ] {
-        let opts = LuOptions { symbolic: engine, ..Default::default() };
+        let opts = LuOptions {
+            symbolic: engine,
+            ..Default::default()
+        };
         let f = LuFactorization::compute(&gpu_for(&a), &a, &opts).expect("pipeline");
         factors.push((engine, f.lu));
     }
@@ -39,11 +42,9 @@ fn all_four_symbolic_engines_agree_bitwise() {
 #[test]
 fn baselines_agree_with_pipeline() {
     let a = random_dominant(300, 4.0, 315);
-    let ours =
-        LuFactorization::compute(&gpu_for(&a), &a, &LuOptions::default()).expect("pipeline");
-    let glu =
-        factorize_glu30(&gpu_for(&a), &a, &gplu::core::PreprocessOptions::default())
-            .expect("glu30");
+    let ours = LuFactorization::compute(&gpu_for(&a), &a, &LuOptions::default()).expect("pipeline");
+    let glu = factorize_glu30(&gpu_for(&a), &a, &gplu::core::PreprocessOptions::default())
+        .expect("glu30");
     let um = factorize_um_pipeline(&gpu_for(&a), &a, true, &LuOptions::default()).expect("um");
     assert_eq!(ours.lu.vals, glu.lu.vals, "GLU 3.0 baseline differs");
     assert_eq!(ours.lu.vals, um.lu.vals, "UM pipeline differs");
@@ -53,7 +54,10 @@ fn baselines_agree_with_pipeline() {
 fn engines_agree_on_paper_analogs() {
     // A cheap sweep over a few Table 2 analogs at a deep scale.
     for abbr in ["G7", "OT2", "MI"] {
-        let entry = paper_suite().into_iter().find(|e| e.abbr == abbr).expect("known");
+        let entry = paper_suite()
+            .into_iter()
+            .find(|e| e.abbr == abbr)
+            .expect("known");
         let a = entry.generate(8192);
         let ours =
             LuFactorization::compute(&gpu_for(&a), &a, &LuOptions::default()).expect("pipeline");

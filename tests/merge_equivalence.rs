@@ -1,0 +1,117 @@
+//! Property-based equivalence of the merge-join numeric kernel: across
+//! random, mesh and circuit generators, the merge engine must produce
+//! factors **bit-identical** to the sequential reference and to the
+//! binary-search CSC engine (all three apply the same updates in the same
+//! order — the disciplines differ only in how positions are located).
+
+use gplu::numeric::{factorize_gpu_merge, factorize_gpu_sparse, factorize_seq};
+use gplu::prelude::*;
+use gplu::schedule::{levelize_cpu, DepGraph};
+use gplu::sparse::convert::csr_to_csc;
+use gplu::sparse::gen::{circuit, mesh, random};
+use gplu::sparse::Csr;
+use gplu::symbolic::symbolic_cpu;
+use proptest::prelude::*;
+
+/// Runs symbolic + levelization, then both GPU engines and the sequential
+/// reference, asserting bitwise agreement of all three factors.
+fn assert_merge_equivalent(a: &Csr, label: &str) -> Result<(), TestCaseError> {
+    let sym = symbolic_cpu(a, &CostModel::default());
+    let pattern = csr_to_csc(&sym.result.filled);
+    let levels = levelize_cpu(&DepGraph::build(&sym.result.filled), &CostModel::default()).levels;
+
+    let mut seq = pattern.clone();
+    factorize_seq(&mut seq).expect("sequential reference factorizes");
+
+    let merge = factorize_gpu_merge(&Gpu::new(GpuConfig::v100()), &pattern, &levels)
+        .expect("merge engine ok");
+    let bsearch = factorize_gpu_sparse(&Gpu::new(GpuConfig::v100()), &pattern, &levels)
+        .expect("binary-search engine ok");
+
+    prop_assert_eq!(&merge.lu.vals, &seq.vals, "{}: merge != seq", label);
+    prop_assert_eq!(
+        &merge.lu.vals,
+        &bsearch.lu.vals,
+        "{}: merge != bsearch",
+        label
+    );
+    prop_assert_eq!(merge.probes, 0, "{}: merge must not probe", label);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn merge_matches_seq_and_bsearch_on_random(
+        n in 20usize..120,
+        density in 2.0f64..6.0,
+        seed in 0u64..500,
+    ) {
+        let a = random::random_dominant(n, density, seed);
+        assert_merge_equivalent(&a, "random")?;
+    }
+
+    #[test]
+    fn merge_matches_seq_and_bsearch_on_banded(
+        n in 20usize..150,
+        band in 2usize..8,
+        seed in 0u64..500,
+    ) {
+        let a = random::banded_dominant(n, band, seed);
+        assert_merge_equivalent(&a, "banded")?;
+    }
+
+    #[test]
+    fn merge_matches_seq_and_bsearch_on_mesh(
+        n in 25usize..120,
+        density in 3.0f64..6.0,
+        seed in 0u64..500,
+    ) {
+        let a = mesh::mesh(&mesh::MeshParams::for_target(n, density, seed));
+        assert_merge_equivalent(&a, "mesh")?;
+    }
+
+    #[test]
+    fn merge_matches_seq_and_bsearch_on_circuit(
+        n in 30usize..150,
+        nnz_per_row in 3.0f64..7.0,
+        seed in 0u64..500,
+    ) {
+        let a = circuit::circuit(&circuit::CircuitParams {
+            n,
+            nnz_per_row,
+            seed,
+            ..Default::default()
+        });
+        assert_merge_equivalent(&a, "circuit")?;
+    }
+}
+
+#[test]
+fn merge_through_the_pipeline_is_bit_identical_too() {
+    // End-to-end: the SparseMerge pipeline format against Sparse.
+    let a = random::random_dominant(300, 4.0, 321);
+    let gpu = || Gpu::new(GpuConfig::v100_symbolic_profile(a.n_rows(), a.nnz()));
+    let merge = LuFactorization::compute(
+        &gpu(),
+        &a,
+        &LuOptions {
+            format: NumericFormat::SparseMerge,
+            ..Default::default()
+        },
+    )
+    .expect("merge pipeline ok");
+    let bsearch = LuFactorization::compute(
+        &gpu(),
+        &a,
+        &LuOptions {
+            format: NumericFormat::Sparse,
+            ..Default::default()
+        },
+    )
+    .expect("bsearch pipeline ok");
+    assert_eq!(merge.lu.vals, bsearch.lu.vals);
+    assert!(merge.report.merge_steps > 0);
+    assert!(bsearch.report.probes > 0);
+}

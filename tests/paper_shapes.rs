@@ -11,7 +11,10 @@ use gplu::symbolic::{symbolic_ooc, symbolic_um, UmMode};
 const TEST_SCALE: usize = 1024;
 
 fn prepared(abbr: &str) -> (gplu::sparse::Csr, Gpu, Gpu, Gpu) {
-    let entry = paper_suite().into_iter().find(|e| e.abbr == abbr).expect("known abbr");
+    let entry = paper_suite()
+        .into_iter()
+        .find(|e| e.abbr == abbr)
+        .expect("known abbr");
     let a = entry.generate(TEST_SCALE);
     let mk = || {
         let cfg = GpuConfig::v100_symbolic_profile(a.n_rows(), a.nnz());
@@ -30,8 +33,8 @@ fn fig4_shape_ooc_beats_glu30() {
     for abbr in ["WI", "MI", "BB"] {
         let (a, g1, g2, _) = prepared(abbr);
         let ours = LuFactorization::compute(&g1, &a, &LuOptions::default()).expect("ours");
-        let base = factorize_glu30(&g2, &a, &gplu::core::PreprocessOptions::default())
-            .expect("baseline");
+        let base =
+            factorize_glu30(&g2, &a, &gplu::core::PreprocessOptions::default()).expect("baseline");
         assert!(
             ours.report.gpu_total() < base.report.gpu_total(),
             "{abbr}: ooc {} must beat GLU3.0 {}",
@@ -51,8 +54,8 @@ fn fig4_shape_density_correlates_with_speedup() {
     let speedup = |abbr: &str| {
         let (a, g1, g2, _) = prepared(abbr);
         let ours = LuFactorization::compute(&g1, &a, &LuOptions::default()).expect("ours");
-        let base = factorize_glu30(&g2, &a, &gplu::core::PreprocessOptions::default())
-            .expect("baseline");
+        let base =
+            factorize_glu30(&g2, &a, &gplu::core::PreprocessOptions::default()).expect("baseline");
         base.report.symbolic.ratio(ours.report.symbolic)
     };
     let dense = speedup("WI"); // nnz/n ≈ 67 in the paper
@@ -69,18 +72,27 @@ fn fig4_shape_density_correlates_with_speedup() {
 fn fig56_shape_ooc_beats_um_beats_no_prefetch() {
     for abbr in ["OT2", "GO"] {
         let (a, g1, g2, g3) = prepared(abbr);
-        let pre = gplu::core::preprocess(
-            &a,
-            &gplu::core::PreprocessOptions::default(),
-            g1.cost(),
-        )
-        .expect("preprocess");
+        let pre = gplu::core::preprocess(&a, &gplu::core::PreprocessOptions::default(), g1.cost())
+            .expect("preprocess");
         let ooc = symbolic_ooc(&g1, &pre.matrix).expect("ooc");
         let wp = symbolic_um(&g2, &pre.matrix, UmMode::Prefetch).expect("um wp");
         let wo = symbolic_um(&g3, &pre.matrix, UmMode::NoPrefetch).expect("um wo");
-        assert!(ooc.time < wp.time, "{abbr}: ooc {} vs um+p {}", ooc.time, wp.time);
-        assert!(wp.time < wo.time, "{abbr}: um+p {} vs um-p {}", wp.time, wo.time);
-        assert!(wp.fault_groups < wo.fault_groups, "{abbr}: prefetch must cut faults");
+        assert!(
+            ooc.time < wp.time,
+            "{abbr}: ooc {} vs um+p {}",
+            ooc.time,
+            wp.time
+        );
+        assert!(
+            wp.time < wo.time,
+            "{abbr}: um+p {} vs um-p {}",
+            wp.time,
+            wo.time
+        );
+        assert!(
+            wp.fault_groups < wo.fault_groups,
+            "{abbr}: prefetch must cut faults"
+        );
     }
 }
 
@@ -89,9 +101,8 @@ fn fig56_shape_ooc_beats_um_beats_no_prefetch() {
 #[test]
 fn table3_shape_fault_fractions() {
     let (a, g1, g2, _) = prepared("OT1");
-    let pre =
-        gplu::core::preprocess(&a, &gplu::core::PreprocessOptions::default(), g1.cost())
-            .expect("preprocess");
+    let pre = gplu::core::preprocess(&a, &gplu::core::PreprocessOptions::default(), g1.cost())
+        .expect("preprocess");
     let ooc = symbolic_ooc(&g1, &pre.matrix).expect("ooc");
     let wo = symbolic_um(&g2, &pre.matrix, UmMode::NoPrefetch).expect("um");
     let ooc_frac = ooc.stats.xfer_time_fraction();
@@ -107,9 +118,8 @@ fn table3_shape_fault_fractions() {
 #[test]
 fn levelization_shape_gpu_beats_cpu() {
     let (a, g1, _, _) = prepared("MI");
-    let pre =
-        gplu::core::preprocess(&a, &gplu::core::PreprocessOptions::default(), g1.cost())
-            .expect("preprocess");
+    let pre = gplu::core::preprocess(&a, &gplu::core::PreprocessOptions::default(), g1.cost())
+        .expect("preprocess");
     let sym = gplu::symbolic::symbolic_cpu(&pre.matrix, g1.cost());
     let dep = gplu::schedule::DepGraph::build(&sym.result.filled);
     let cpu = gplu::schedule::levelize_cpu(&dep, g1.cost());
@@ -127,9 +137,8 @@ fn levelization_shape_gpu_beats_cpu() {
 #[test]
 fn fig3_shape_frontier_profile_rises() {
     let (a, g1, _, _) = prepared("PR");
-    let pre =
-        gplu::core::preprocess(&a, &gplu::core::PreprocessOptions::default(), g1.cost())
-            .expect("preprocess");
+    let pre = gplu::core::preprocess(&a, &gplu::core::PreprocessOptions::default(), g1.cost())
+        .expect("preprocess");
     let profile = gplu::symbolic::frontier::frontier_profile(&pre.matrix);
     let buckets = gplu::symbolic::frontier::bucket_max(&profile, 8);
     let first_half: u64 = buckets[..4].iter().sum();

@@ -29,8 +29,8 @@ fn matrix_market_round_trip_then_factorize() {
     let read = coo_to_csr(&read_matrix_market(&buf[..]).expect("read"));
     assert_eq!(a, read, "round trip must be lossless");
 
-    let f = LuFactorization::compute(&gpu_for(&read), &read, &LuOptions::default())
-        .expect("pipeline");
+    let f =
+        LuFactorization::compute(&gpu_for(&read), &read, &LuOptions::default()).expect("pipeline");
     let b = read.spmv(&vec![2.0; 150]);
     let x = f.solve(&b).expect("solve");
     assert!(check_solution(&read, &x, &b, 1e-8));
@@ -58,7 +58,10 @@ fn rank_deficient_planar_is_repaired_and_factored() {
         .zip(&b)
         .map(|(p, q)| (p - q).abs())
         .fold(0.0, f64::max);
-    assert!(residual < 1e-8 * 1000.0, "repaired-system residual {residual}");
+    assert!(
+        residual < 1e-8 * 1000.0,
+        "repaired-system residual {residual}"
+    );
 }
 
 #[test]
@@ -85,7 +88,10 @@ fn static_pivot_handles_permuted_diagonal() {
         ..Default::default()
     };
     let f = LuFactorization::compute(&gpu_for(&a), &a, &opts).expect("pipeline");
-    assert_eq!(f.report.repaired_diagonals, 0, "matching should avoid value repair");
+    assert_eq!(
+        f.report.repaired_diagonals, 0,
+        "matching should avoid value repair"
+    );
     let x_true = vec![1.0; n];
     let b = a.spmv(&x_true);
     let x = f.solve(&b).expect("solve");
