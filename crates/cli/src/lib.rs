@@ -2,7 +2,7 @@
 //! command logic is unit-testable without spawning processes).
 
 use gplu_core::{GpluError, LuFactorization, LuOptions, NumericFormat, SymbolicEngine};
-use gplu_sim::{Gpu, GpuConfig};
+use gplu_sim::{CostModel, FaultPlan, Gpu, GpuConfig};
 use gplu_sparse::convert::coo_to_csr;
 use gplu_sparse::gen::{circuit, mesh, planar};
 use gplu_sparse::io::{read_matrix_market_file, write_matrix_market_file};
@@ -30,6 +30,13 @@ options:
                                 paper's switch criterion fires, then merge-join
                                 CSC; 'sparse' forces binary-search CSC)
   --mem <MiB>                   device memory (default: out-of-core profile)
+  --repair-singular             patch pivots that cancel to zero with the
+                                repair value and retry the numeric phase once
+  --fault-plan <spec>           inject deterministic device faults; spec is a
+                                comma list of oom:alloc=N[:persistent],
+                                squeeze:alloc=N:KEEP%, badlaunch:KERNEL=N
+                                [:persistent], or seed:S (random plan).
+                                Also read from GPLU_FAULT_PLAN when unset.
 ";
 
 /// CLI error type.
@@ -83,6 +90,9 @@ pub struct RunOptions {
     pub mem: Option<u64>,
     /// Solve on the simulated GPU.
     pub gpu_solve: bool,
+    /// Deterministic fault-injection plan (`--fault-plan` or
+    /// `GPLU_FAULT_PLAN`).
+    pub fault_plan: Option<FaultPlan>,
 }
 
 /// Parses the option flags shared by `factorize` and `solve`.
@@ -94,6 +104,7 @@ pub fn parse_options(args: &[String]) -> Result<RunOptions, CliError> {
         },
         mem: None,
         gpu_solve: false,
+        fault_plan: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -136,22 +147,60 @@ pub fn parse_options(args: &[String]) -> Result<RunOptions, CliError> {
                 opts.mem = Some(mib << 20);
             }
             "--gpu-solve" => opts.gpu_solve = true,
+            "--repair-singular" => opts.lu.preprocess.repair_singular = true,
+            "--fault-plan" => {
+                let spec = value("--fault-plan")?;
+                opts.fault_plan = Some(
+                    FaultPlan::parse(&spec)
+                        .map_err(|e| CliError::Usage(format!("--fault-plan: {e}")))?,
+                );
+            }
             other => return Err(CliError::Usage(format!("unknown flag '{other}'"))),
         }
+    }
+    if opts.fault_plan.is_none() {
+        opts.fault_plan = FaultPlan::from_env()
+            .map_err(|e| CliError::Usage(format!("{}: {e}", gplu_sim::FAULT_PLAN_ENV)))?;
     }
     Ok(opts)
 }
 
 fn load(path: &str) -> Result<Csr, CliError> {
-    Ok(coo_to_csr(&read_matrix_market_file(path)?))
+    let a = coo_to_csr(&read_matrix_market_file(path)?);
+    // The parser already rejects non-finite values; validate the built
+    // structure too so corrupt files surface as typed errors, not index
+    // panics further down the pipeline.
+    a.validate()?;
+    Ok(a)
 }
 
-fn gpu_for(a: &Csr, mem: Option<u64>) -> Gpu {
-    let cfg = match mem {
+fn gpu_for(a: &Csr, opts: &RunOptions) -> Gpu {
+    let cfg = match opts.mem {
         Some(bytes) => GpuConfig::v100().with_memory(bytes),
         None => GpuConfig::v100_symbolic_profile(a.n_rows(), a.nnz()),
     };
-    Gpu::new(cfg)
+    match &opts.fault_plan {
+        Some(plan) => Gpu::with_fault_plan(cfg, CostModel::default(), plan.clone()),
+        None => Gpu::new(cfg),
+    }
+}
+
+/// Prints injected-fault counters and the recovery record after a
+/// factorization that ran under a fault plan (or recovered from genuine
+/// pressure).
+fn report_faults(out: &mut dyn Write, gpu: &Gpu, f: &LuFactorization) -> std::io::Result<()> {
+    let stats = gpu.stats();
+    if stats.injected_faults() > 0 {
+        writeln!(
+            out,
+            "injected faults: {} oom, {} launch, {} squeeze",
+            stats.injected_oom, stats.injected_launch_faults, stats.injected_squeezes
+        )?;
+    }
+    if !f.report.recovery.is_empty() {
+        writeln!(out, "recovery: {}", f.report.recovery.summary())?;
+    }
+    Ok(())
 }
 
 /// Runs one command against `out`.
@@ -193,9 +242,10 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
                 .ok_or_else(|| CliError::Usage("factorize needs a path".into()))?;
             let opts = parse_options(&args[2..])?;
             let a = load(path)?;
-            let gpu = gpu_for(&a, opts.mem);
+            let gpu = gpu_for(&a, &opts);
             let f = LuFactorization::compute(&gpu, &a, &opts.lu)?;
             writeln!(out, "{}", f.report.summary())?;
+            report_faults(out, &gpu, &f)?;
             writeln!(
                 out,
                 "levels: {} (widest {}), modes A/B/C: {:?}",
@@ -225,8 +275,9 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
                 .ok_or_else(|| CliError::Usage("solve needs a path".into()))?;
             let opts = parse_options(&args[2..])?;
             let a = load(path)?;
-            let gpu = gpu_for(&a, opts.mem);
+            let gpu = gpu_for(&a, &opts);
             let f = LuFactorization::compute(&gpu, &a, &opts.lu)?;
+            report_faults(out, &gpu, &f)?;
             let x_true = vec![1.0; a.n_rows()];
             let b = a.spmv(&x_true);
             let x = if opts.gpu_solve {
@@ -386,6 +437,58 @@ mod tests {
         assert!(out.contains("merge-join access"), "got: {out}");
         let out = run_str(&["factorize", &path, "--format", "sparse"]).expect("factorize");
         assert!(out.contains("binary-search probes"), "got: {out}");
+    }
+
+    #[test]
+    fn fault_plan_flag_parses_and_reports_recovery() {
+        let o = parse_options(&["--fault-plan", "oom:alloc=3,seed:0"].map(String::from))
+            .expect("parses");
+        assert!(o.fault_plan.is_some());
+        assert!(matches!(
+            parse_options(&["--fault-plan".into(), "oom:alloc=wat".into()]),
+            Err(CliError::Usage(_))
+        ));
+
+        let path = tmp("faulted.mtx");
+        run_str(&["gen", "circuit", "300", "5", &path]).expect("gen");
+        // Ordinal 3 is the symbolic state chunk: the engine backs off and
+        // the run must still succeed, reporting what it did.
+        let out = run_str(&[
+            "factorize",
+            &path,
+            "--engine",
+            "ooc",
+            "--fault-plan",
+            "oom:alloc=3",
+        ])
+        .expect("recovers");
+        assert!(out.contains("injected faults: 1 oom"), "got: {out}");
+        assert!(out.contains("recovery:"), "got: {out}");
+        assert!(out.contains("chunk backoff"), "got: {out}");
+    }
+
+    #[test]
+    fn repair_singular_flag_parses() {
+        let o = parse_options(&["--repair-singular".to_string()]).expect("parses");
+        assert!(o.lu.preprocess.repair_singular);
+    }
+
+    #[test]
+    fn corrupt_matrix_file_is_a_typed_error() {
+        let path = tmp("nan.mtx");
+        std::fs::write(
+            &path,
+            "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n2 2 nan\n",
+        )
+        .expect("write");
+        let err = run_str(&["info", &path]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CliError::Sparse(SparseError::NonFiniteValue { row: 1, col: 1 })
+            ),
+            "got {err}"
+        );
     }
 
     #[test]

@@ -1,5 +1,13 @@
 //! Pipeline error type.
+//!
+//! [`GpluError`] is the whole public failure surface of the pipeline:
+//! `factorize` either returns a verified factorization or one of these —
+//! never a panic. The structured variants ([`GpluError::DeviceOom`],
+//! [`GpluError::SingularPivot`], [`GpluError::RecoveryExhausted`]) tell
+//! callers *why* recovery stopped, not just that it did.
 
+use crate::recovery::Phase;
+use gplu_numeric::NumericError;
 use gplu_sim::SimError;
 use gplu_sparse::SparseError;
 use std::fmt;
@@ -13,6 +21,33 @@ pub enum GpluError {
     Sim(SimError),
     /// The input violates a pipeline precondition.
     Input(String),
+    /// Device memory was exhausted in `phase` and no further backoff or
+    /// degradation was available.
+    DeviceOom {
+        /// Phase that ran out of memory.
+        phase: Phase,
+        /// How many engine/format attempts were made before giving up.
+        attempts: usize,
+    },
+    /// A zero or non-finite pivot that the pipeline did not (or could
+    /// not) repair.
+    SingularPivot {
+        /// Column whose pivot broke.
+        col: usize,
+        /// Level-schedule group executing at the time (`usize::MAX`
+        /// outside a level schedule, e.g. in a triangular solve).
+        level: usize,
+    },
+    /// Every rung of the recovery ladder for `phase` failed; `last` is
+    /// the final rung's error.
+    RecoveryExhausted {
+        /// Phase whose ladder was exhausted.
+        phase: Phase,
+        /// Total attempts across the ladder.
+        attempts: usize,
+        /// Stringified error from the last attempt.
+        last: String,
+    },
 }
 
 impl fmt::Display for GpluError {
@@ -21,6 +56,24 @@ impl fmt::Display for GpluError {
             GpluError::Sparse(e) => write!(f, "sparse error: {e}"),
             GpluError::Sim(e) => write!(f, "simulator error: {e}"),
             GpluError::Input(msg) => write!(f, "invalid input: {msg}"),
+            GpluError::DeviceOom { phase, attempts } => write!(
+                f,
+                "device out of memory in {phase} phase after {attempts} attempt(s)"
+            ),
+            GpluError::SingularPivot { col, level } if *level == usize::MAX => {
+                write!(f, "singular pivot in column {col}")
+            }
+            GpluError::SingularPivot { col, level } => {
+                write!(f, "singular pivot in column {col} (level {level})")
+            }
+            GpluError::RecoveryExhausted {
+                phase,
+                attempts,
+                last,
+            } => write!(
+                f,
+                "recovery exhausted in {phase} phase after {attempts} attempt(s): {last}"
+            ),
         }
     }
 }
@@ -39,6 +92,16 @@ impl From<SimError> for GpluError {
     }
 }
 
+impl From<NumericError> for GpluError {
+    fn from(e: NumericError) -> Self {
+        match e {
+            NumericError::Sim(s) => GpluError::Sim(s),
+            NumericError::SingularPivot { col, level } => GpluError::SingularPivot { col, level },
+            NumericError::Input(msg) => GpluError::Input(msg),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -51,5 +114,37 @@ mod tests {
         assert!(e.to_string().contains("7"));
         let e = GpluError::Input("empty matrix".into());
         assert!(e.to_string().contains("empty matrix"));
+    }
+
+    #[test]
+    fn numeric_errors_map_onto_the_unified_surface() {
+        let e: GpluError = NumericError::SingularPivot { col: 4, level: 1 }.into();
+        assert_eq!(e, GpluError::SingularPivot { col: 4, level: 1 });
+        let e: GpluError = NumericError::Sim(SimError::InvalidHandle(3)).into();
+        assert!(matches!(e, GpluError::Sim(_)));
+        let e: GpluError = NumericError::Input("bad rhs".into()).into();
+        assert!(matches!(e, GpluError::Input(_)));
+    }
+
+    #[test]
+    fn structured_variants_display_their_context() {
+        let e = GpluError::DeviceOom {
+            phase: Phase::Symbolic,
+            attempts: 2,
+        };
+        assert!(e.to_string().contains("symbolic"));
+        assert!(e.to_string().contains("2 attempt"));
+        let e = GpluError::RecoveryExhausted {
+            phase: Phase::Numeric,
+            attempts: 3,
+            last: "out of device memory".into(),
+        };
+        assert!(e.to_string().contains("numeric"));
+        assert!(e.to_string().contains("out of device memory"));
+        let e = GpluError::SingularPivot {
+            col: 9,
+            level: usize::MAX,
+        };
+        assert!(!e.to_string().contains("level"));
     }
 }

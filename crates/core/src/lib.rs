@@ -36,9 +36,11 @@
 pub mod error;
 pub mod pipeline;
 pub mod preprocess;
+pub mod recovery;
 pub mod report;
 
 pub use error::GpluError;
 pub use pipeline::{LuFactorization, LuOptions, NumericFormat, SymbolicEngine};
 pub use preprocess::{preprocess, PreprocessOptions, PreprocessOutcome};
+pub use recovery::{Phase, RecoveryAction, RecoveryEvent, RecoveryLog};
 pub use report::PhaseReport;

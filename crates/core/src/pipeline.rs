@@ -1,11 +1,20 @@
 //! The end-to-end pipeline.
+//!
+//! [`LuFactorization::compute`] is self-healing: device OOM in the
+//! symbolic phase first backs off chunk sizes (inside the engines), then
+//! degrades the engine Ooc → UM; the numeric phase degrades
+//! Dense → SparseMerge; a pivot that cancels to zero can be repaired and
+//! retried once. Every corrective step lands in
+//! [`PhaseReport::recovery`], and every terminal failure is a structured
+//! [`GpluError`] — the pipeline never panics on a well-formed input.
 
 use crate::error::GpluError;
 use crate::preprocess::{preprocess, PreprocessOptions, PreprocessOutcome};
+use crate::recovery::{Phase, RecoveryAction, RecoveryLog};
 use crate::report::PhaseReport;
-use gplu_numeric::{factorize_gpu_dense, factorize_gpu_merge, factorize_gpu_sparse};
+use gplu_numeric::{factorize_gpu_dense, factorize_gpu_merge, factorize_gpu_sparse, NumericError};
 use gplu_schedule::{levelize_gpu, DepGraph, Levels};
-use gplu_sim::Gpu;
+use gplu_sim::{Gpu, SimError};
 use gplu_sparse::convert::csr_to_csc;
 use gplu_sparse::ordering::OrderingKind;
 use gplu_sparse::triangular::solve_lu;
@@ -82,14 +91,109 @@ pub struct LuFactorization {
     pub report: PhaseReport,
 }
 
+/// Maps a ladder's terminal failure onto the structured error surface:
+/// a single-rung OOM becomes [`GpluError::DeviceOom`]; a multi-rung
+/// exhaustion becomes [`GpluError::RecoveryExhausted`].
+fn ladder_exhausted(phase: Phase, attempts: usize, last: SimError) -> GpluError {
+    if attempts > 1 {
+        GpluError::RecoveryExhausted {
+            phase,
+            attempts,
+            last: last.to_string(),
+        }
+    } else if matches!(last, SimError::OutOfMemory { .. }) {
+        GpluError::DeviceOom { phase, attempts }
+    } else {
+        GpluError::Sim(last)
+    }
+}
+
+/// Runs one symbolic engine, filling the report and recording any
+/// in-engine recovery (chunk backoff, fault-forced streaming).
+fn run_symbolic(
+    gpu: &Gpu,
+    matrix: &Csr,
+    engine: SymbolicEngine,
+    report: &mut PhaseReport,
+    recovery: &mut RecoveryLog,
+) -> Result<SymbolicResult, SimError> {
+    let faults_before = gpu.stats().injected_faults();
+    let (result, backoffs, streamed) = match engine {
+        SymbolicEngine::Ooc => {
+            let out = symbolic_ooc(gpu, matrix)?;
+            report.symbolic = out.time;
+            report.chunk_size = out.chunk_size;
+            report.symbolic_iterations = out.num_iterations;
+            (out.result, out.oom_backoffs, out.streamed_output)
+        }
+        SymbolicEngine::OocDynamic => {
+            let out = symbolic_ooc_dynamic(gpu, matrix)?;
+            report.symbolic = out.time;
+            report.chunk_size = out.split.chunk2;
+            report.symbolic_iterations = out.num_iterations;
+            (out.result, out.oom_backoffs, out.streamed_output)
+        }
+        SymbolicEngine::UmNoPrefetch | SymbolicEngine::UmPrefetch => {
+            let mode = if engine == SymbolicEngine::UmPrefetch {
+                UmMode::Prefetch
+            } else {
+                UmMode::NoPrefetch
+            };
+            let out = symbolic_um(gpu, matrix, mode)?;
+            report.symbolic = out.time;
+            report.fault_groups = out.fault_groups;
+            (out.result, 0, false)
+        }
+    };
+    if backoffs > 0 {
+        recovery.record(
+            Phase::Symbolic,
+            RecoveryAction::ChunkBackoff {
+                backoffs,
+                final_chunk: report.chunk_size,
+            },
+        );
+    }
+    // Streaming is the designed out-of-core response to a genuinely small
+    // device; it only counts as *recovery* when injected faults forced it.
+    if streamed && gpu.stats().injected_faults() > faults_before {
+        recovery.record(Phase::Symbolic, RecoveryAction::StreamedOutput);
+    }
+    Ok(result)
+}
+
+/// Overwrites the diagonal value of column `col` in both the factorized
+/// pattern (CSC) and the pre-processed matrix (CSR) — the late analogue
+/// of pre-processing's `repair_diagonal`, applied when a pivot cancels
+/// to zero during elimination.
+fn bump_diag(matrix: &mut Csr, pattern: &mut Csc, col: usize, value: f64) -> bool {
+    let (pos, _) = pattern.find_in_col(col, col);
+    let Some(pos) = pos else { return false };
+    pattern.vals[pos] = value;
+    for k in matrix.row_ptr[col]..matrix.row_ptr[col + 1] {
+        if matrix.col_idx[k] as usize == col {
+            matrix.vals[k] = value;
+            return true;
+        }
+    }
+    // The pre-processed matrix always carries a full diagonal; reaching
+    // here means the inputs are inconsistent.
+    false
+}
+
 impl LuFactorization {
     /// Runs the full pipeline on `gpu`.
+    ///
+    /// Returns a verified-recoverable factorization or a structured
+    /// [`GpluError`]; corrective actions taken along the way are listed
+    /// in `report.recovery`.
     pub fn compute(gpu: &Gpu, a: &Csr, opts: &LuOptions) -> Result<Self, GpluError> {
         let mut report = PhaseReport::default();
+        let mut recovery = RecoveryLog::default();
 
         // 1. Pre-processing (host).
         let PreprocessOutcome {
-            matrix,
+            mut matrix,
             p_row,
             p_col,
             repaired,
@@ -99,67 +203,143 @@ impl LuFactorization {
         report.preprocess = time;
         report.repaired_diagonals = repaired;
 
-        // 2. Symbolic factorization (GPU).
-        let symbolic: SymbolicResult = match opts.symbolic {
-            SymbolicEngine::Ooc => {
-                let out = symbolic_ooc(gpu, &matrix)?;
-                report.symbolic = out.time;
-                report.chunk_size = out.chunk_size;
-                report.symbolic_iterations = out.num_iterations;
-                out.result
+        // 2. Symbolic factorization (GPU), with engine degradation: the
+        // out-of-core engines already back off their chunk sizes under
+        // OOM; if one still fails, fall back to unified memory, whose
+        // on-demand paging cannot run out of device capacity.
+        let engine_ladder: &[SymbolicEngine] = match opts.symbolic {
+            SymbolicEngine::Ooc => &[SymbolicEngine::Ooc, SymbolicEngine::UmPrefetch],
+            SymbolicEngine::OocDynamic => &[SymbolicEngine::OocDynamic, SymbolicEngine::UmPrefetch],
+            SymbolicEngine::UmNoPrefetch => &[SymbolicEngine::UmNoPrefetch],
+            SymbolicEngine::UmPrefetch => &[SymbolicEngine::UmPrefetch],
+        };
+        let mut symbolic: Option<SymbolicResult> = None;
+        let mut last_err: Option<SimError> = None;
+        let mut attempts = 0usize;
+        for (i, &engine) in engine_ladder.iter().enumerate() {
+            if i > 0 {
+                // The failed attempt left its allocations behind; clear
+                // the device before the fallback engine runs.
+                gpu.mem.reset();
+                recovery.record(
+                    Phase::Symbolic,
+                    RecoveryAction::EngineDegraded {
+                        from: format!("{:?}", engine_ladder[i - 1]),
+                        to: format!("{engine:?}"),
+                    },
+                );
             }
-            SymbolicEngine::OocDynamic => {
-                let out = symbolic_ooc_dynamic(gpu, &matrix)?;
-                report.symbolic = out.time;
-                report.chunk_size = out.split.chunk2;
-                report.symbolic_iterations = out.num_iterations;
-                out.result
+            attempts += 1;
+            match run_symbolic(gpu, &matrix, engine, &mut report, &mut recovery) {
+                Ok(result) => {
+                    symbolic = Some(result);
+                    break;
+                }
+                Err(e) => last_err = Some(e),
             }
-            SymbolicEngine::UmNoPrefetch | SymbolicEngine::UmPrefetch => {
-                let mode = if opts.symbolic == SymbolicEngine::UmPrefetch {
-                    UmMode::Prefetch
-                } else {
-                    UmMode::NoPrefetch
-                };
-                let out = symbolic_um(gpu, &matrix, mode)?;
-                report.symbolic = out.time;
-                report.fault_groups = out.fault_groups;
-                out.result
-            }
+        }
+        let Some(symbolic) = symbolic else {
+            let last = last_err.unwrap_or(SimError::BadLaunch("no symbolic engine ran".into()));
+            return Err(ladder_exhausted(Phase::Symbolic, attempts, last));
         };
         report.fill_nnz = symbolic.fill_nnz();
         report.new_fill_ins = symbolic.new_fill_ins(&matrix);
 
         // 3. Levelization (GPU, dynamic parallelism).
         let dep = DepGraph::build(&symbolic.filled);
-        let lvl = levelize_gpu(gpu, &dep)?;
+        let lvl = levelize_gpu(gpu, &dep).map_err(|e| match e {
+            SimError::OutOfMemory { .. } => GpluError::DeviceOom {
+                phase: Phase::Levelize,
+                attempts: 1,
+            },
+            other => GpluError::Sim(other),
+        })?;
         report.levelize = lvl.time;
         report.n_levels = lvl.levels.n_levels();
         report.max_level_width = lvl.levels.max_width();
 
         // 4. Numeric factorization (GPU), format per the paper's
-        // criterion unless forced.
-        let pattern = csr_to_csc(&symbolic.filled);
+        // criterion unless forced, with format degradation: the dense
+        // engine's O(n) column buffers are the memory-hungry rung; on
+        // device failure fall back to the buffer-free merge-join CSC
+        // kernel. (Forced Sparse/SparseMerge are already the conservative
+        // formats and run as requested.)
+        let mut pattern = csr_to_csc(&symbolic.filled);
         // Auto follows the paper's *switch* criterion but lands on the
         // merge-join kernel — same CSC residency, strictly less location
         // work than binary search.
-        let numeric = match opts.format {
+        let format_ladder: &[NumericFormat] = match opts.format {
             NumericFormat::Auto => {
                 if gpu.config().should_use_sparse_format(matrix.n_rows()) {
-                    factorize_gpu_merge(gpu, &pattern, &lvl.levels)?
+                    &[NumericFormat::SparseMerge]
                 } else {
-                    factorize_gpu_dense(gpu, &pattern, &lvl.levels)?
+                    &[NumericFormat::Dense, NumericFormat::SparseMerge]
                 }
             }
-            NumericFormat::Dense => factorize_gpu_dense(gpu, &pattern, &lvl.levels)?,
-            NumericFormat::Sparse => factorize_gpu_sparse(gpu, &pattern, &lvl.levels)?,
-            NumericFormat::SparseMerge => factorize_gpu_merge(gpu, &pattern, &lvl.levels)?,
+            NumericFormat::Dense => &[NumericFormat::Dense, NumericFormat::SparseMerge],
+            NumericFormat::Sparse => &[NumericFormat::Sparse],
+            NumericFormat::SparseMerge => &[NumericFormat::SparseMerge],
+        };
+        let mut repair_attempted = false;
+        let numeric = 'numeric: loop {
+            let mut last_err: Option<SimError> = None;
+            let mut attempts = 0usize;
+            for (i, &format) in format_ladder.iter().enumerate() {
+                if i > 0 {
+                    gpu.mem.reset();
+                    recovery.record(
+                        Phase::Numeric,
+                        RecoveryAction::FormatDegraded {
+                            from: format!("{:?}", format_ladder[i - 1]),
+                            to: format!("{format:?}"),
+                        },
+                    );
+                }
+                attempts += 1;
+                let run = match format {
+                    NumericFormat::Dense => factorize_gpu_dense(gpu, &pattern, &lvl.levels),
+                    NumericFormat::Sparse => factorize_gpu_sparse(gpu, &pattern, &lvl.levels),
+                    NumericFormat::Auto | NumericFormat::SparseMerge => {
+                        factorize_gpu_merge(gpu, &pattern, &lvl.levels)
+                    }
+                };
+                match run {
+                    Ok(out) => break 'numeric out,
+                    Err(NumericError::Sim(e)) => last_err = Some(e),
+                    Err(NumericError::SingularPivot { col, level }) => {
+                        // A pivot cancelled to zero mid-elimination. The
+                        // structure is unchanged, so the symbolic result
+                        // and schedule stay valid: patch the diagonal
+                        // (the paper's Table 4 constant) and retry the
+                        // numeric ladder once.
+                        let value = opts.preprocess.repair_value;
+                        if opts.preprocess.repair_singular
+                            && !repair_attempted
+                            && bump_diag(&mut matrix, &mut pattern, col, value)
+                        {
+                            repair_attempted = true;
+                            gpu.mem.reset();
+                            recovery.record(
+                                Phase::Numeric,
+                                RecoveryAction::PivotRepaired { col, value },
+                            );
+                            report.repaired_diagonals += 1;
+                            continue 'numeric;
+                        }
+                        return Err(GpluError::SingularPivot { col, level });
+                    }
+                    Err(NumericError::Input(msg)) => return Err(GpluError::Input(msg)),
+                }
+            }
+            let last = last_err.unwrap_or(SimError::BadLaunch("no numeric format ran".into()));
+            return Err(ladder_exhausted(Phase::Numeric, attempts, last));
         };
         report.numeric = numeric.time;
         report.mode_mix = (numeric.mode_mix.a, numeric.mode_mix.b, numeric.mode_mix.c);
         report.m_limit = numeric.m_limit;
         report.probes = numeric.probes;
         report.merge_steps = numeric.merge_steps;
+        report.recovery = recovery;
 
         Ok(LuFactorization {
             lu: numeric.lu,
@@ -261,12 +441,20 @@ impl LuFactorization {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gplu_sim::GpuConfig;
+    use gplu_sim::{CostModel, FaultPlan, GpuConfig};
     use gplu_sparse::gen::random::{banded_dominant, random_dominant};
     use gplu_sparse::verify::{check_solution, residual_probe};
 
     fn gpu_for(a: &Csr) -> Gpu {
         Gpu::new(GpuConfig::v100_symbolic_profile(a.n_rows(), a.nnz()))
+    }
+
+    fn faulted_gpu_for(a: &Csr, plan: FaultPlan) -> Gpu {
+        Gpu::with_fault_plan(
+            GpuConfig::v100_symbolic_profile(a.n_rows(), a.nnz()),
+            CostModel::default(),
+            plan,
+        )
     }
 
     #[test]
@@ -432,6 +620,176 @@ mod tests {
         let gpu = gpu_for(&a);
         let f = LuFactorization::compute(&gpu, &a, &LuOptions::default()).expect("ok");
         assert!(matches!(f.solve(&vec![0.0; 49]), Err(GpluError::Input(_))));
+    }
+
+    #[test]
+    fn clean_run_has_empty_recovery_log() {
+        let a = random_dominant(200, 4.0, 120);
+        let gpu = gpu_for(&a);
+        let f = LuFactorization::compute(&gpu, &a, &LuOptions::default()).expect("ok");
+        assert!(
+            f.report.recovery.is_empty(),
+            "clean run must not report recovery: {}",
+            f.report.recovery.summary()
+        );
+    }
+
+    #[test]
+    fn transient_oom_backs_off_and_matches_clean_factors() {
+        let a = random_dominant(200, 4.0, 121);
+        let opts = LuOptions {
+            symbolic: SymbolicEngine::Ooc,
+            ..Default::default()
+        };
+        let clean = LuFactorization::compute(&gpu_for(&a), &a, &opts).expect("clean ok");
+
+        // Ordinal 3 is the stage-1 state chunk: the engine must halve its
+        // chunk and carry on.
+        let gpu = faulted_gpu_for(&a, FaultPlan::new().oom_on_alloc(3));
+        let f = LuFactorization::compute(&gpu, &a, &opts).expect("recovers");
+        assert_eq!(f.lu.vals, clean.lu.vals, "recovery must not change bits");
+        assert!(
+            f.report
+                .recovery
+                .events()
+                .iter()
+                .any(|e| matches!(e.action, RecoveryAction::ChunkBackoff { .. })),
+            "backoff must be recorded: {}",
+            f.report.recovery.summary()
+        );
+        assert!(!f.report.recovery.degraded());
+    }
+
+    #[test]
+    fn symbolic_engine_degrades_ooc_to_um() {
+        let a = random_dominant(150, 4.0, 122);
+        let opts = LuOptions {
+            symbolic: SymbolicEngine::Ooc,
+            ..Default::default()
+        };
+        let clean = LuFactorization::compute(&gpu_for(&a), &a, &opts).expect("clean ok");
+
+        // Every out-of-core stage-1 launch is rejected; UM runs different
+        // kernels and must take over.
+        let gpu = faulted_gpu_for(&a, FaultPlan::new().persistent_bad_launch("symbolic_1", 1));
+        let f = LuFactorization::compute(&gpu, &a, &opts).expect("degrades to UM");
+        assert_eq!(f.lu.vals, clean.lu.vals, "engines agree bitwise");
+        let degraded = f.report.recovery.events().iter().any(|e| {
+            matches!(
+                &e.action,
+                RecoveryAction::EngineDegraded { from, to }
+                    if from == "Ooc" && to == "UmPrefetch"
+            )
+        });
+        assert!(
+            degraded,
+            "Ooc -> UmPrefetch must be recorded: {}",
+            f.report.recovery.summary()
+        );
+    }
+
+    #[test]
+    fn numeric_format_degrades_dense_to_merge() {
+        let a = banded_dominant(200, 4, 123);
+        let opts = LuOptions {
+            format: NumericFormat::Dense,
+            ..Default::default()
+        };
+        let clean = LuFactorization::compute(&gpu_for(&a), &a, &opts).expect("clean ok");
+
+        let gpu = faulted_gpu_for(
+            &a,
+            FaultPlan::new().persistent_bad_launch("numeric_dense", 1),
+        );
+        let f = LuFactorization::compute(&gpu, &a, &opts).expect("degrades to merge");
+        assert_eq!(f.lu.vals, clean.lu.vals, "formats agree bitwise");
+        let degraded = f.report.recovery.events().iter().any(|e| {
+            matches!(
+                &e.action,
+                RecoveryAction::FormatDegraded { from, to }
+                    if from == "Dense" && to == "SparseMerge"
+            )
+        });
+        assert!(
+            degraded,
+            "Dense -> SparseMerge must be recorded: {}",
+            f.report.recovery.summary()
+        );
+        assert!(f.report.m_limit.is_none(), "merge engine reports no M");
+        assert!(f.report.merge_steps > 0);
+    }
+
+    #[test]
+    fn recovery_exhaustion_is_a_typed_error_not_a_panic() {
+        let a = random_dominant(100, 4.0, 124);
+        // Reject every kernel on the device: both symbolic rungs fail.
+        let gpu = faulted_gpu_for(&a, FaultPlan::new().persistent_bad_launch("*", 1));
+        let err = LuFactorization::compute(&gpu, &a, &LuOptions::default()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                GpluError::RecoveryExhausted {
+                    phase: Phase::Symbolic,
+                    attempts: 2,
+                    ..
+                }
+            ),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn singular_pivot_without_repair_is_typed() {
+        // Rank-deficient 2x2 of ones: the second pivot cancels to zero
+        // during elimination (pre-processing sees nonzero diagonals, so it
+        // repairs nothing up front).
+        let mut coo = gplu_sparse::Coo::new(2, 2);
+        for i in 0..2 {
+            for j in 0..2 {
+                coo.push(i, j, 1.0);
+            }
+        }
+        let a = gplu_sparse::convert::coo_to_csr(&coo);
+        let gpu = gpu_for(&a);
+        let err = LuFactorization::compute(&gpu, &a, &LuOptions::default()).unwrap_err();
+        assert!(
+            matches!(err, GpluError::SingularPivot { col: 1, .. }),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn singular_pivot_with_repair_retries_and_records() {
+        let mut coo = gplu_sparse::Coo::new(2, 2);
+        for i in 0..2 {
+            for j in 0..2 {
+                coo.push(i, j, 1.0);
+            }
+        }
+        let a = gplu_sparse::convert::coo_to_csr(&coo);
+        let gpu = gpu_for(&a);
+        let opts = LuOptions {
+            preprocess: PreprocessOptions {
+                repair_singular: true,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let f = LuFactorization::compute(&gpu, &a, &opts).expect("repairs and retries");
+        let repaired = f
+            .report
+            .recovery
+            .events()
+            .iter()
+            .any(|e| matches!(e.action, RecoveryAction::PivotRepaired { col: 1, .. }));
+        assert!(
+            repaired,
+            "repair must be recorded: {}",
+            f.report.recovery.summary()
+        );
+        assert!(f.report.repaired_diagonals >= 1);
+        // The factors reconstruct the *repaired* matrix.
+        assert!(residual_probe(&f.preprocessed, &f.lu, 2) < 1e-9);
     }
 
     #[test]

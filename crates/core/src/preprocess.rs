@@ -23,6 +23,11 @@ pub struct PreprocessOptions {
     /// paper's Table 4 treatment ("replaced their 0 diagonal elements
     /// with a non-zero number (1000)").
     pub repair_value: f64,
+    /// When the numeric phase hits a pivot that cancelled to zero *during*
+    /// elimination (pre-processing only repairs diagonals that start out
+    /// zero), patch that diagonal with `repair_value` and retry the
+    /// numeric phase once instead of failing with `SingularPivot`.
+    pub repair_singular: bool,
 }
 
 impl Default for PreprocessOptions {
@@ -34,6 +39,7 @@ impl Default for PreprocessOptions {
             ordering: OrderingKind::MinDegree,
             static_pivot: false,
             repair_value: 1000.0,
+            repair_singular: false,
         }
     }
 }

@@ -1,0 +1,220 @@
+//! Recovery accounting for the self-healing pipeline.
+//!
+//! Every phase of [`crate::LuFactorization::compute`] is allowed to fail
+//! transiently — device allocations can be denied, kernels can be
+//! rejected, pivots can cancel to zero — and the pipeline responds by
+//! backing off, degrading to a more conservative engine, or repairing the
+//! matrix. None of that may happen silently: each action is recorded as a
+//! [`RecoveryEvent`] in the [`RecoveryLog`] attached to
+//! [`crate::PhaseReport`], so callers (and the chaos suite) can audit
+//! exactly how a factorization survived.
+
+use std::fmt;
+
+/// The pipeline phase in which an event or failure occurred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Host-side pre-processing (ordering, diagonal repair).
+    Preprocess,
+    /// GPU symbolic factorization.
+    Symbolic,
+    /// GPU levelization.
+    Levelize,
+    /// GPU numeric factorization.
+    Numeric,
+    /// Triangular solve.
+    Solve,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Phase::Preprocess => "preprocess",
+            Phase::Symbolic => "symbolic",
+            Phase::Levelize => "levelize",
+            Phase::Numeric => "numeric",
+            Phase::Solve => "solve",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One corrective action the pipeline took to keep a factorization alive.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecoveryAction {
+    /// An out-of-core engine hit device OOM and geometrically shrank its
+    /// chunk until the allocation fit.
+    ChunkBackoff {
+        /// Number of halvings performed across the phase.
+        backoffs: usize,
+        /// The chunk size (source rows) that finally fit.
+        final_chunk: usize,
+    },
+    /// The symbolic output could not stay device-resident and was
+    /// streamed back to the host per batch instead.
+    StreamedOutput,
+    /// A symbolic engine failed outright and the pipeline fell back to a
+    /// more conservative one.
+    EngineDegraded {
+        /// Engine that failed (debug-formatted `SymbolicEngine`).
+        from: String,
+        /// Engine that ran instead.
+        to: String,
+    },
+    /// A numeric format failed outright and the pipeline fell back to a
+    /// less memory-hungry one.
+    FormatDegraded {
+        /// Format that failed (debug-formatted `NumericFormat`).
+        from: String,
+        /// Format that ran instead.
+        to: String,
+    },
+    /// A singular pivot was patched with the repair value and the numeric
+    /// phase was retried (the paper's Table 4 treatment, applied late).
+    PivotRepaired {
+        /// Column whose pivot was repaired.
+        col: usize,
+        /// Value written onto the diagonal.
+        value: f64,
+    },
+}
+
+impl fmt::Display for RecoveryAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryAction::ChunkBackoff {
+                backoffs,
+                final_chunk,
+            } => write!(f, "chunk backoff x{backoffs} to {final_chunk} rows"),
+            RecoveryAction::StreamedOutput => f.write_str("streamed output to host"),
+            RecoveryAction::EngineDegraded { from, to } => {
+                write!(f, "engine degraded {from} -> {to}")
+            }
+            RecoveryAction::FormatDegraded { from, to } => {
+                write!(f, "format degraded {from} -> {to}")
+            }
+            RecoveryAction::PivotRepaired { col, value } => {
+                write!(f, "pivot repaired at column {col} (value {value})")
+            }
+        }
+    }
+}
+
+/// A recovery action tagged with the phase it rescued.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryEvent {
+    /// Phase in which the action was taken.
+    pub phase: Phase,
+    /// What was done.
+    pub action: RecoveryAction,
+}
+
+impl fmt::Display for RecoveryEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.phase, self.action)
+    }
+}
+
+/// Ordered record of every corrective action taken during one
+/// factorization. Empty when nothing went wrong.
+#[must_use = "a recovery log documents degraded results; inspect or attach it"]
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecoveryLog {
+    events: Vec<RecoveryEvent>,
+}
+
+impl RecoveryLog {
+    /// Appends an event.
+    pub fn record(&mut self, phase: Phase, action: RecoveryAction) {
+        self.events.push(RecoveryEvent { phase, action });
+    }
+
+    /// All events, in the order they were taken.
+    pub fn events(&self) -> &[RecoveryEvent] {
+        &self.events
+    }
+
+    /// True when no recovery was needed.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if any recorded event degraded an engine or format — the
+    /// result is correct but was produced by a non-requested path.
+    pub fn degraded(&self) -> bool {
+        self.events.iter().any(|e| {
+            matches!(
+                e.action,
+                RecoveryAction::EngineDegraded { .. } | RecoveryAction::FormatDegraded { .. }
+            )
+        })
+    }
+
+    /// One-line summary for logs and the CLI.
+    pub fn summary(&self) -> String {
+        if self.events.is_empty() {
+            return "no recovery needed".into();
+        }
+        let parts: Vec<String> = self.events.iter().map(|e| e.to_string()).collect();
+        parts.join("; ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_records_in_order_and_summarizes() {
+        let mut log = RecoveryLog::default();
+        assert!(log.is_empty());
+        assert_eq!(log.summary(), "no recovery needed");
+
+        log.record(
+            Phase::Symbolic,
+            RecoveryAction::ChunkBackoff {
+                backoffs: 3,
+                final_chunk: 8,
+            },
+        );
+        log.record(
+            Phase::Numeric,
+            RecoveryAction::FormatDegraded {
+                from: "Dense".into(),
+                to: "SparseMerge".into(),
+            },
+        );
+        assert_eq!(log.len(), 2);
+        assert!(!log.is_empty());
+        assert!(log.degraded());
+        assert_eq!(log.events()[0].phase, Phase::Symbolic);
+        let s = log.summary();
+        assert!(s.contains("chunk backoff x3"));
+        assert!(s.contains("Dense -> SparseMerge"));
+    }
+
+    #[test]
+    fn backoff_alone_is_not_degradation() {
+        let mut log = RecoveryLog::default();
+        log.record(
+            Phase::Symbolic,
+            RecoveryAction::ChunkBackoff {
+                backoffs: 1,
+                final_chunk: 64,
+            },
+        );
+        log.record(Phase::Symbolic, RecoveryAction::StreamedOutput);
+        assert!(!log.degraded());
+    }
+
+    #[test]
+    fn phases_display_lowercase() {
+        assert_eq!(Phase::Symbolic.to_string(), "symbolic");
+        assert_eq!(Phase::Numeric.to_string(), "numeric");
+    }
+}

@@ -1,6 +1,7 @@
 //! Per-phase timing and accounting — what the paper's Figures 4–6 break
 //! their bars into.
 
+use crate::recovery::RecoveryLog;
 use gplu_sim::SimTime;
 
 /// Timing and accounting of one end-to-end factorization.
@@ -39,6 +40,10 @@ pub struct PhaseReport {
     pub merge_steps: u64,
     /// Diagonal entries repaired during pre-processing.
     pub repaired_diagonals: usize,
+    /// Every corrective action taken to keep the run alive (OOM backoff,
+    /// engine/format degradation, late pivot repair). Empty on a clean
+    /// run.
+    pub recovery: RecoveryLog,
 }
 
 impl PhaseReport {

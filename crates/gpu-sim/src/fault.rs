@@ -1,0 +1,556 @@
+//! Deterministic fault injection for the simulated GPU.
+//!
+//! Real out-of-core solvers live next to failure: `cudaMalloc` returns
+//! `cudaErrorMemoryAllocation` under fragmentation or external pressure,
+//! kernels fail to launch, and the free-memory headroom a chunk size was
+//! computed from can evaporate mid-run. A [`FaultPlan`] scripts those
+//! events **deterministically** — by allocation ordinal and by per-kernel
+//! launch ordinal — so recovery paths (chunk backoff, engine degradation)
+//! can be driven and asserted on in ordinary unit tests, and a chaos suite
+//! can replay hundreds of schedules from fixed seeds.
+//!
+//! Three fault kinds are modelled:
+//!
+//! * **OOM** — the Nth call to [`DeviceMemory::alloc`] fails with
+//!   [`SimError::OutOfMemory`]. *Transient* faults fire exactly once (the
+//!   retry succeeds); *persistent* faults fire on every allocation from
+//!   the Nth onward (the device never recovers).
+//! * **Capacity squeeze** — at the Nth allocation the device capacity
+//!   shrinks to `keep_percent` of its current value (floored at the bytes
+//!   already live). Models external memory pressure; the squeeze itself
+//!   does not fail the allocation, but later requests see less headroom.
+//! * **BadLaunch** — the Nth launch of a *named* kernel fails with
+//!   [`SimError::BadLaunch`] before any block runs (`"*"` matches every
+//!   kernel). Transient or persistent, as above.
+//!
+//! Plans come from the builder API, from a compact spec string
+//! (`FaultPlan::parse("oom:alloc=3,badlaunch:numeric_dense=1")`, also read
+//! from the `GPLU_FAULT_PLAN` environment variable), or from a seed
+//! ([`FaultPlan::from_seed`]) that expands to a small random schedule via
+//! SplitMix64 — same seed, same schedule, forever.
+//!
+//! [`DeviceMemory::alloc`]: crate::DeviceMemory::alloc
+
+use crate::error::SimError;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Environment variable holding a fault-plan spec string.
+pub const FAULT_PLAN_ENV: &str = "GPLU_FAULT_PLAN";
+
+/// An OOM fault scheduled by allocation ordinal (1-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OomFault {
+    /// Allocation ordinal the fault fires on.
+    pub nth: u64,
+    /// Transient (fires once) vs persistent (fires from `nth` onward).
+    pub persistent: bool,
+}
+
+/// A capacity squeeze scheduled by allocation ordinal (1-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SqueezeFault {
+    /// Allocation ordinal the squeeze is applied at.
+    pub nth: u64,
+    /// New capacity as a percentage of the current capacity (clamped to
+    /// the bytes currently live, so existing allocations survive).
+    pub keep_percent: u64,
+}
+
+/// A launch failure scheduled by per-kernel launch ordinal (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaunchFault {
+    /// Kernel name to match (`"*"` matches every kernel).
+    pub kernel: String,
+    /// Launch ordinal (per kernel name) the fault fires on.
+    pub nth: u64,
+    /// Transient vs persistent, as for [`OomFault`].
+    pub persistent: bool,
+}
+
+/// A deterministic schedule of injected device faults.
+///
+/// Immutable once built; attach it to a GPU with
+/// [`Gpu::with_fault_plan`](crate::Gpu::with_fault_plan).
+#[derive(Debug, Clone, Default, PartialEq)]
+#[must_use = "a fault plan does nothing until attached to a Gpu"]
+pub struct FaultPlan {
+    oom: Vec<OomFault>,
+    squeezes: Vec<SqueezeFault>,
+    launches: Vec<LaunchFault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// True when the plan schedules no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.oom.is_empty() && self.squeezes.is_empty() && self.launches.is_empty()
+    }
+
+    /// Fails the `nth` allocation (1-based) once; the retry succeeds.
+    pub fn oom_on_alloc(mut self, nth: u64) -> Self {
+        self.oom.push(OomFault {
+            nth,
+            persistent: false,
+        });
+        self
+    }
+
+    /// Fails every allocation from the `nth` onward.
+    pub fn persistent_oom_from(mut self, nth: u64) -> Self {
+        self.oom.push(OomFault {
+            nth,
+            persistent: true,
+        });
+        self
+    }
+
+    /// Shrinks device capacity to `keep_percent`% at the `nth` allocation.
+    pub fn squeeze_at(mut self, nth: u64, keep_percent: u64) -> Self {
+        self.squeezes.push(SqueezeFault {
+            nth,
+            keep_percent: keep_percent.min(100),
+        });
+        self
+    }
+
+    /// Fails the `nth` launch of `kernel` once (`"*"` = any kernel).
+    pub fn bad_launch(mut self, kernel: &str, nth: u64) -> Self {
+        self.launches.push(LaunchFault {
+            kernel: kernel.to_string(),
+            nth,
+            persistent: false,
+        });
+        self
+    }
+
+    /// Fails every launch of `kernel` from the `nth` onward.
+    pub fn persistent_bad_launch(mut self, kernel: &str, nth: u64) -> Self {
+        self.launches.push(LaunchFault {
+            kernel: kernel.to_string(),
+            nth,
+            persistent: true,
+        });
+        self
+    }
+
+    /// Scheduled OOM faults.
+    pub fn oom_faults(&self) -> &[OomFault] {
+        &self.oom
+    }
+
+    /// Scheduled capacity squeezes.
+    pub fn squeeze_faults(&self) -> &[SqueezeFault] {
+        &self.squeezes
+    }
+
+    /// Scheduled launch faults.
+    pub fn launch_faults(&self) -> &[LaunchFault] {
+        &self.launches
+    }
+
+    /// Parses a comma-separated spec string:
+    ///
+    /// * `oom:alloc=N[:persistent]` — OOM on the Nth allocation,
+    /// * `squeeze:alloc=N:K` — shrink capacity to K% at the Nth allocation,
+    /// * `badlaunch:KERNEL=N[:persistent]` — fail the Nth launch of KERNEL,
+    /// * `seed:S` — expand a seeded schedule (see [`FaultPlan::from_seed`]).
+    ///
+    /// Example: `oom:alloc=3,badlaunch:numeric_dense=1,squeeze:alloc=4:50`.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut plan = FaultPlan::new();
+        for raw in spec.split(',') {
+            let item = raw.trim();
+            if item.is_empty() {
+                continue;
+            }
+            let mut parts = item.split(':');
+            let kind = parts.next().unwrap_or_default();
+            match kind {
+                "oom" => {
+                    let nth = parse_alloc_ordinal(parts.next(), item)?;
+                    match parts.next() {
+                        None => plan = plan.oom_on_alloc(nth),
+                        Some("persistent") => plan = plan.persistent_oom_from(nth),
+                        Some(other) => {
+                            return Err(format!("'{item}': unknown modifier '{other}'"));
+                        }
+                    }
+                }
+                "squeeze" => {
+                    let nth = parse_alloc_ordinal(parts.next(), item)?;
+                    let keep = parts
+                        .next()
+                        .ok_or_else(|| format!("'{item}': squeeze needs a keep percentage"))?
+                        .parse::<u64>()
+                        .map_err(|_| format!("'{item}': keep percentage must be an integer"))?;
+                    if keep > 100 {
+                        return Err(format!("'{item}': keep percentage must be <= 100"));
+                    }
+                    plan = plan.squeeze_at(nth, keep);
+                }
+                "badlaunch" => {
+                    let body = parts
+                        .next()
+                        .ok_or_else(|| format!("'{item}': badlaunch needs KERNEL=N"))?;
+                    let (kernel, nth) = body
+                        .split_once('=')
+                        .ok_or_else(|| format!("'{item}': badlaunch needs KERNEL=N"))?;
+                    if kernel.is_empty() {
+                        return Err(format!("'{item}': empty kernel name"));
+                    }
+                    let nth = parse_positive(nth, item)?;
+                    match parts.next() {
+                        None => plan = plan.bad_launch(kernel, nth),
+                        Some("persistent") => plan = plan.persistent_bad_launch(kernel, nth),
+                        Some(other) => {
+                            return Err(format!("'{item}': unknown modifier '{other}'"));
+                        }
+                    }
+                }
+                "seed" => {
+                    let seed = parts
+                        .next()
+                        .ok_or_else(|| format!("'{item}': seed needs a value"))?
+                        .parse::<u64>()
+                        .map_err(|_| format!("'{item}': seed must be an integer"))?;
+                    let seeded = FaultPlan::from_seed(seed);
+                    plan.oom.extend(seeded.oom);
+                    plan.squeezes.extend(seeded.squeezes);
+                    plan.launches.extend(seeded.launches);
+                }
+                other => {
+                    return Err(format!(
+                        "'{item}': unknown fault kind '{other}' \
+                         (expected oom, squeeze, badlaunch or seed)"
+                    ));
+                }
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Reads a plan from the `GPLU_FAULT_PLAN` environment variable.
+    /// `Ok(None)` when the variable is unset or empty.
+    pub fn from_env() -> Result<Option<Self>, String> {
+        match std::env::var(FAULT_PLAN_ENV) {
+            Ok(s) if !s.trim().is_empty() => FaultPlan::parse(&s).map(Some),
+            _ => Ok(None),
+        }
+    }
+
+    /// Expands `seed` into a small random fault schedule (1–3 faults) via
+    /// SplitMix64. Deterministic: the same seed always yields the same
+    /// plan, which is what lets a chaos suite replay failures by seed.
+    pub fn from_seed(seed: u64) -> Self {
+        // Kernel names the pipeline actually launches, so seeded launch
+        // faults land on real code paths.
+        const KERNELS: &[&str] = &[
+            "symbolic_1",
+            "symbolic_2",
+            "symbolic_retry",
+            "prefix_sum",
+            "numeric_dense",
+            "numeric_sparse",
+            "numeric_merge",
+            "trisolve_l",
+            "trisolve_u",
+            "um_symbolic_1",
+            "um_symbolic_2",
+        ];
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let mut next = move || splitmix64(&mut state);
+        let mut plan = FaultPlan::new();
+        let count = 1 + (next() % 3);
+        for _ in 0..count {
+            match next() % 100 {
+                // Transient OOM dominates: it is the recoverable case the
+                // backoff and degradation machinery exists for.
+                0..=44 => plan = plan.oom_on_alloc(1 + next() % 24),
+                45..=59 => plan = plan.persistent_oom_from(2 + next() % 40),
+                60..=74 => plan = plan.squeeze_at(2 + next() % 16, 35 + next() % 55),
+                75..=89 => {
+                    let kernel = KERNELS[(next() % KERNELS.len() as u64) as usize];
+                    plan = plan.bad_launch(kernel, 1 + next() % 3);
+                }
+                _ => {
+                    let kernel = KERNELS[(next() % KERNELS.len() as u64) as usize];
+                    plan = plan.persistent_bad_launch(kernel, 1 + next() % 2);
+                }
+            }
+        }
+        plan
+    }
+}
+
+fn parse_alloc_ordinal(part: Option<&str>, item: &str) -> Result<u64, String> {
+    let body = part.ok_or_else(|| format!("'{item}': expected alloc=N"))?;
+    let (key, nth) = body
+        .split_once('=')
+        .ok_or_else(|| format!("'{item}': expected alloc=N"))?;
+    if key != "alloc" {
+        return Err(format!(
+            "'{item}': unknown trigger '{key}' (expected alloc)"
+        ));
+    }
+    parse_positive(nth, item)
+}
+
+fn parse_positive(s: &str, item: &str) -> Result<u64, String> {
+    match s.parse::<u64>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(format!("'{item}': ordinal must be a positive integer")),
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// What [`FaultInjector::on_alloc`] decided for one allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct AllocVerdict {
+    /// Apply a capacity squeeze to this percentage before the allocation.
+    pub squeeze_keep_percent: Option<u64>,
+    /// Fail this allocation with an injected OOM.
+    pub inject_oom: bool,
+}
+
+/// Runtime state of a [`FaultPlan`]: monotone ordinals plus fired-fault
+/// counters. Shared (`Arc`) between the allocator and the launch path.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    allocs: AtomicU64,
+    launch_counts: Mutex<HashMap<String, u64>>,
+    injected_oom: AtomicU64,
+    injected_launches: AtomicU64,
+    injected_squeezes: AtomicU64,
+}
+
+impl FaultInjector {
+    /// Wraps a plan with fresh counters.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultInjector {
+            plan,
+            allocs: AtomicU64::new(0),
+            launch_counts: Mutex::new(HashMap::new()),
+            injected_oom: AtomicU64::new(0),
+            injected_launches: AtomicU64::new(0),
+            injected_squeezes: AtomicU64::new(0),
+        }
+    }
+
+    /// The schedule this injector replays.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Advances the allocation ordinal and returns the verdict for this
+    /// allocation. Called exactly once per [`DeviceMemory::alloc`]
+    /// request, successful or not.
+    ///
+    /// [`DeviceMemory::alloc`]: crate::DeviceMemory::alloc
+    pub(crate) fn on_alloc(&self) -> AllocVerdict {
+        let nth = self.allocs.fetch_add(1, Ordering::Relaxed) + 1;
+        let squeeze_keep_percent = self
+            .plan
+            .squeezes
+            .iter()
+            .find(|s| s.nth == nth)
+            .map(|s| s.keep_percent);
+        if squeeze_keep_percent.is_some() {
+            self.injected_squeezes.fetch_add(1, Ordering::Relaxed);
+        }
+        let inject_oom = self.plan.oom.iter().any(|f| {
+            if f.persistent {
+                nth >= f.nth
+            } else {
+                nth == f.nth
+            }
+        });
+        if inject_oom {
+            self.injected_oom.fetch_add(1, Ordering::Relaxed);
+        }
+        AllocVerdict {
+            squeeze_keep_percent,
+            inject_oom,
+        }
+    }
+
+    /// Advances the per-kernel launch ordinal for `name` and returns the
+    /// injected error when a scheduled launch fault fires.
+    pub(crate) fn on_launch(&self, name: &str) -> Option<SimError> {
+        if self.plan.launches.is_empty() {
+            return None;
+        }
+        let nth = {
+            let mut counts = self.launch_counts.lock();
+            let c = counts.entry(name.to_string()).or_insert(0);
+            *c += 1;
+            *c
+        };
+        let hit = self.plan.launches.iter().any(|f| {
+            (f.kernel == "*" || f.kernel == name)
+                && if f.persistent {
+                    nth >= f.nth
+                } else {
+                    nth == f.nth
+                }
+        });
+        if hit {
+            self.injected_launches.fetch_add(1, Ordering::Relaxed);
+            Some(SimError::BadLaunch(format!(
+                "injected fault: kernel '{name}' launch #{nth}"
+            )))
+        } else {
+            None
+        }
+    }
+
+    /// Injected OOM failures so far.
+    pub fn injected_oom(&self) -> u64 {
+        self.injected_oom.load(Ordering::Relaxed)
+    }
+
+    /// Injected launch failures so far.
+    pub fn injected_launches(&self) -> u64 {
+        self.injected_launches.load(Ordering::Relaxed)
+    }
+
+    /// Capacity squeezes applied so far.
+    pub fn injected_squeezes(&self) -> u64 {
+        self.injected_squeezes.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_faults() {
+        let p = FaultPlan::new()
+            .oom_on_alloc(3)
+            .persistent_oom_from(10)
+            .squeeze_at(4, 50)
+            .bad_launch("numeric_dense", 1)
+            .persistent_bad_launch("prefix_sum", 2);
+        assert_eq!(p.oom_faults().len(), 2);
+        assert_eq!(p.squeeze_faults().len(), 1);
+        assert_eq!(p.launch_faults().len(), 2);
+        assert!(!p.is_empty());
+        assert!(FaultPlan::new().is_empty());
+    }
+
+    #[test]
+    fn parse_round_trips_the_builder() {
+        let parsed =
+            FaultPlan::parse("oom:alloc=3, oom:alloc=10:persistent, squeeze:alloc=4:50, badlaunch:numeric_dense=1, badlaunch:prefix_sum=2:persistent")
+                .expect("valid spec");
+        let built = FaultPlan::new()
+            .oom_on_alloc(3)
+            .persistent_oom_from(10)
+            .squeeze_at(4, 50)
+            .bad_launch("numeric_dense", 1)
+            .persistent_bad_launch("prefix_sum", 2);
+        assert_eq!(parsed, built);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        for bad in [
+            "oom",
+            "oom:alloc",
+            "oom:alloc=0",
+            "oom:alloc=x",
+            "oom:alloc=3:sometimes",
+            "oom:launch=3",
+            "squeeze:alloc=4",
+            "squeeze:alloc=4:101",
+            "badlaunch:=1",
+            "badlaunch:k",
+            "seed:x",
+            "quux:alloc=1",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "'{bad}' should be rejected");
+        }
+    }
+
+    #[test]
+    fn empty_spec_is_empty_plan() {
+        assert!(FaultPlan::parse("").expect("ok").is_empty());
+        assert!(FaultPlan::parse(" , ").expect("ok").is_empty());
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_vary_by_seed() {
+        for seed in 0..200u64 {
+            let a = FaultPlan::from_seed(seed);
+            let b = FaultPlan::from_seed(seed);
+            assert_eq!(a, b, "seed {seed} must be reproducible");
+            assert!(!a.is_empty(), "seeded plans always schedule something");
+        }
+        let distinct = (0..50u64)
+            .map(FaultPlan::from_seed)
+            .collect::<Vec<_>>()
+            .windows(2)
+            .filter(|w| w[0] != w[1])
+            .count();
+        assert!(distinct > 30, "seeds must actually vary the schedule");
+    }
+
+    #[test]
+    fn seed_spec_matches_from_seed() {
+        assert_eq!(
+            FaultPlan::parse("seed:42").expect("ok"),
+            FaultPlan::from_seed(42)
+        );
+    }
+
+    #[test]
+    fn transient_oom_fires_exactly_once() {
+        let inj = FaultInjector::new(FaultPlan::new().oom_on_alloc(2));
+        assert!(!inj.on_alloc().inject_oom);
+        assert!(inj.on_alloc().inject_oom);
+        assert!(!inj.on_alloc().inject_oom);
+        assert_eq!(inj.injected_oom(), 1);
+    }
+
+    #[test]
+    fn persistent_oom_fires_from_nth_onward() {
+        let inj = FaultInjector::new(FaultPlan::new().persistent_oom_from(2));
+        assert!(!inj.on_alloc().inject_oom);
+        assert!(inj.on_alloc().inject_oom);
+        assert!(inj.on_alloc().inject_oom);
+        assert_eq!(inj.injected_oom(), 2);
+    }
+
+    #[test]
+    fn launch_ordinals_are_per_kernel() {
+        let inj = FaultInjector::new(FaultPlan::new().bad_launch("b", 2));
+        assert!(inj.on_launch("a").is_none());
+        assert!(inj.on_launch("b").is_none());
+        assert!(inj.on_launch("a").is_none());
+        assert!(inj.on_launch("b").is_some(), "second launch of b");
+        assert!(inj.on_launch("b").is_none(), "transient: third is clean");
+        assert_eq!(inj.injected_launches(), 1);
+    }
+
+    #[test]
+    fn wildcard_kernel_matches_everything() {
+        let inj = FaultInjector::new(FaultPlan::new().persistent_bad_launch("*", 1));
+        assert!(inj.on_launch("anything").is_some());
+        assert!(inj.on_launch("else").is_some());
+        assert_eq!(inj.injected_launches(), 2);
+    }
+}

@@ -4,6 +4,7 @@ use crate::clock::SimTime;
 use crate::config::GpuConfig;
 use crate::cost::CostModel;
 use crate::error::SimError;
+use crate::fault::{FaultInjector, FaultPlan};
 use crate::kernel::{BlockCtx, Kernel};
 use crate::memory::DeviceMemory;
 use crate::stats::GpuStatsSnapshot;
@@ -12,6 +13,7 @@ use parking_lot::Mutex;
 use rayon::prelude::*;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 /// Where a launch originates: from the host (CUDA runtime API) or from
 /// device code via *dynamic parallelism* (the paper's Algorithm 5). The
@@ -84,6 +86,7 @@ pub struct Gpu {
     /// Unified-memory space.
     pub um: UmSpace,
     state: Mutex<GpuState>,
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl Gpu {
@@ -94,7 +97,20 @@ impl Gpu {
 
     /// Creates a GPU with an explicit cost model.
     pub fn with_cost(cfg: GpuConfig, cost: CostModel) -> Self {
-        let mem = DeviceMemory::new(cfg.device_memory);
+        Gpu::build(cfg, cost, None)
+    }
+
+    /// Creates a GPU that replays a deterministic [`FaultPlan`]: scheduled
+    /// allocation failures, capacity squeezes and kernel-launch failures
+    /// fire at their exact ordinals. An empty plan behaves like
+    /// [`Gpu::with_cost`].
+    pub fn with_fault_plan(cfg: GpuConfig, cost: CostModel, plan: FaultPlan) -> Self {
+        let injector = (!plan.is_empty()).then(|| Arc::new(FaultInjector::new(plan)));
+        Gpu::build(cfg, cost, injector)
+    }
+
+    fn build(cfg: GpuConfig, cost: CostModel, faults: Option<Arc<FaultInjector>>) -> Self {
+        let mem = DeviceMemory::with_faults(cfg.device_memory, faults.clone());
         let um = UmSpace::new(&cost, cfg.device_memory);
         Gpu {
             cfg,
@@ -102,12 +118,18 @@ impl Gpu {
             mem,
             um,
             state: Mutex::new(GpuState::default()),
+            faults,
         }
     }
 
     /// Device configuration.
     pub fn config(&self) -> &GpuConfig {
         &self.cfg
+    }
+
+    /// The fault injector attached to this GPU, when a plan is active.
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.faults.as_deref()
     }
 
     /// Cost model.
@@ -265,6 +287,13 @@ impl Gpu {
                 self.cfg.max_threads_per_block
             )));
         }
+        if let Some(inj) = &self.faults {
+            // Injected launch failure: the kernel never starts, no blocks
+            // run, no time passes (the runtime rejects it up front).
+            if let Some(err) = inj.on_launch(name) {
+                return Err(err);
+            }
+        }
         let launch_ns = match kind {
             LaunchKind::Host => self.cost.host_launch_ns,
             LaunchKind::Device => self.cost.device_launch_ns,
@@ -342,6 +371,14 @@ impl Gpu {
 
     /// Statistics snapshot (difference snapshots for phase accounting).
     pub fn stats(&self) -> GpuStatsSnapshot {
+        let (injected_oom, injected_launch_faults, injected_squeezes) = match &self.faults {
+            Some(f) => (
+                f.injected_oom(),
+                f.injected_launches(),
+                f.injected_squeezes(),
+            ),
+            None => (0, 0, 0),
+        };
         let s = self.state.lock();
         GpuStatsSnapshot {
             now: SimTime::from_ns(s.now_ns),
@@ -354,6 +391,9 @@ impl Gpu {
             d2h_bytes: s.d2h_bytes,
             xfer_time: SimTime::from_ns(s.xfer_time_ns),
             prefetch_time: SimTime::from_ns(s.prefetch_time_ns),
+            injected_oom,
+            injected_launch_faults,
+            injected_squeezes,
         }
     }
 }
@@ -528,6 +568,51 @@ mod tests {
                 prop_assert!((m - total).abs() <= 0.001 * times.len() as f64 + 1e-6);
             }
         }
+    }
+
+    #[test]
+    fn injected_bad_launch_fires_on_exact_ordinal() {
+        let g = Gpu::with_fault_plan(
+            GpuConfig::v100(),
+            CostModel::default(),
+            FaultPlan::new().bad_launch("victim", 2),
+        );
+        let k = |_b: usize, ctx: &mut BlockCtx| ctx.step(1);
+        assert!(g.launch("victim", 1, 32, &k).is_ok());
+        let t_before = g.now();
+        let err = g.launch("victim", 1, 32, &k);
+        assert!(matches!(err, Err(SimError::BadLaunch(_))));
+        assert_eq!(g.now(), t_before, "a rejected launch costs no time");
+        assert!(g.launch("victim", 1, 32, &k).is_ok(), "transient");
+        assert!(g.launch("bystander", 1, 32, &k).is_ok());
+        let s = g.stats();
+        assert_eq!(s.injected_launch_faults, 1);
+        assert_eq!(s.kernels_host, 3, "the rejected launch is not counted");
+    }
+
+    #[test]
+    fn injected_counters_flow_into_stats_and_since() {
+        let g = Gpu::with_fault_plan(
+            GpuConfig::v100(),
+            CostModel::default(),
+            FaultPlan::new().oom_on_alloc(1).squeeze_at(2, 90),
+        );
+        assert!(g.mem.alloc(16).is_err());
+        let mid = g.stats();
+        assert_eq!((mid.injected_oom, mid.injected_squeezes), (1, 0));
+        let _ = g.mem.alloc(16).expect("squeeze does not fail the alloc");
+        let s = g.stats();
+        assert_eq!((s.injected_oom, s.injected_squeezes), (1, 1));
+        assert_eq!(s.injected_faults(), 2);
+        let d = s.since(&mid);
+        assert_eq!((d.injected_oom, d.injected_squeezes), (0, 1));
+    }
+
+    #[test]
+    fn empty_fault_plan_is_inert() {
+        let g = Gpu::with_fault_plan(GpuConfig::v100(), CostModel::default(), FaultPlan::new());
+        assert!(g.fault_injector().is_none());
+        assert_eq!(g.stats().injected_faults(), 0);
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod clock;
 pub mod config;
 pub mod cost;
 pub mod error;
+pub mod fault;
 pub mod kernel;
 pub mod launch;
 pub mod memory;
@@ -49,6 +50,7 @@ pub use clock::SimTime;
 pub use config::GpuConfig;
 pub use cost::CostModel;
 pub use error::SimError;
+pub use fault::{FaultInjector, FaultPlan, LaunchFault, OomFault, SqueezeFault, FAULT_PLAN_ENV};
 pub use kernel::{BlockCtx, Kernel};
 pub use launch::{Exec, Gpu, KernelReport, LaunchKind};
 pub use memory::{DeviceAlloc, DeviceMemory};

@@ -8,7 +8,9 @@
 //! also records the high-water mark so experiments can report peak usage.
 
 use crate::error::SimError;
+use crate::fault::FaultInjector;
 use parking_lot::Mutex;
+use std::sync::Arc;
 
 /// Handle to a live device allocation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -31,6 +33,9 @@ impl DeviceAlloc {
 
 #[derive(Debug, Default)]
 struct MemState {
+    // Capacity lives under the lock so an injected squeeze can shrink it
+    // mid-run without racing in-flight allocations.
+    capacity: u64,
     in_use: u64,
     peak: u64,
     next_id: u64,
@@ -44,27 +49,36 @@ struct MemState {
 /// vs priced split.
 #[derive(Debug)]
 pub struct DeviceMemory {
-    capacity: u64,
     state: Mutex<MemState>,
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl DeviceMemory {
     /// Creates an allocator with `capacity` bytes.
     pub fn new(capacity: u64) -> Self {
+        DeviceMemory::with_faults(capacity, None)
+    }
+
+    /// Creates an allocator whose requests pass through a fault injector.
+    pub fn with_faults(capacity: u64, faults: Option<Arc<FaultInjector>>) -> Self {
         DeviceMemory {
-            capacity,
-            state: Mutex::new(MemState::default()),
+            state: Mutex::new(MemState {
+                capacity,
+                ..MemState::default()
+            }),
+            faults,
         }
     }
 
-    /// Total capacity in bytes.
+    /// Total capacity in bytes (may shrink under an injected squeeze).
     pub fn capacity(&self) -> u64 {
-        self.capacity
+        self.state.lock().capacity
     }
 
     /// Bytes currently free.
     pub fn free_bytes(&self) -> u64 {
-        self.capacity - self.state.lock().in_use
+        let s = self.state.lock();
+        s.capacity - s.in_use
     }
 
     /// Bytes currently allocated.
@@ -81,11 +95,26 @@ impl DeviceMemory {
     /// request does not fit — the trigger for out-of-core fallback.
     pub fn alloc(&self, bytes: u64) -> Result<DeviceAlloc, SimError> {
         let mut s = self.state.lock();
-        if s.in_use + bytes > self.capacity {
+        if let Some(inj) = &self.faults {
+            let verdict = inj.on_alloc();
+            if let Some(keep) = verdict.squeeze_keep_percent {
+                // External memory pressure: live allocations survive, but
+                // the headroom above them shrinks — and stays shrunk.
+                s.capacity = (s.capacity * keep / 100).max(s.in_use);
+            }
+            if verdict.inject_oom {
+                return Err(SimError::OutOfMemory {
+                    requested: bytes,
+                    free: s.capacity - s.in_use,
+                    capacity: s.capacity,
+                });
+            }
+        }
+        if s.in_use + bytes > s.capacity {
             return Err(SimError::OutOfMemory {
                 requested: bytes,
-                free: self.capacity - s.in_use,
-                capacity: self.capacity,
+                free: s.capacity - s.in_use,
+                capacity: s.capacity,
             });
         }
         s.in_use += bytes;
@@ -165,5 +194,52 @@ mod tests {
         m.reset();
         assert_eq!(m.used_bytes(), 0);
         assert!(m.alloc(100).is_ok());
+    }
+
+    mod injection {
+        use super::*;
+        use crate::fault::{FaultInjector, FaultPlan};
+
+        fn mem_with(plan: FaultPlan, capacity: u64) -> DeviceMemory {
+            DeviceMemory::with_faults(capacity, Some(Arc::new(FaultInjector::new(plan))))
+        }
+
+        #[test]
+        fn transient_oom_fails_nth_alloc_only() {
+            let m = mem_with(FaultPlan::new().oom_on_alloc(2), 1000);
+            assert!(m.alloc(10).is_ok());
+            assert!(matches!(m.alloc(10), Err(SimError::OutOfMemory { .. })));
+            assert!(m.alloc(10).is_ok(), "transient fault clears on retry");
+        }
+
+        #[test]
+        fn persistent_oom_never_recovers() {
+            let m = mem_with(FaultPlan::new().persistent_oom_from(2), 1000);
+            assert!(m.alloc(10).is_ok());
+            for _ in 0..5 {
+                assert!(matches!(m.alloc(1), Err(SimError::OutOfMemory { .. })));
+            }
+        }
+
+        #[test]
+        fn squeeze_shrinks_capacity_but_keeps_live_allocations() {
+            let m = mem_with(FaultPlan::new().squeeze_at(2, 50), 1000);
+            let a = m.alloc(700).expect("fits before squeeze");
+            // The squeeze wants 500 but 700 bytes are live: floor at in-use.
+            assert!(matches!(m.alloc(200), Err(SimError::OutOfMemory { .. })));
+            assert_eq!(m.capacity(), 700);
+            assert_eq!(m.free_bytes(), 0);
+            m.free(a).expect("live");
+            assert!(m.alloc(700).is_ok(), "squeezed capacity is reusable");
+        }
+
+        #[test]
+        fn squeeze_persists_across_reset() {
+            let m = mem_with(FaultPlan::new().squeeze_at(1, 40), 1000);
+            let _ = m.alloc(10);
+            assert_eq!(m.capacity(), 400);
+            m.reset();
+            assert_eq!(m.capacity(), 400, "external pressure outlives a phase");
+        }
     }
 }

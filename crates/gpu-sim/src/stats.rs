@@ -26,6 +26,12 @@ pub struct GpuStatsSnapshot {
     pub xfer_time: SimTime,
     /// Time spent in explicit UM prefetches.
     pub prefetch_time: SimTime,
+    /// Injected allocation failures (fault plan).
+    pub injected_oom: u64,
+    /// Injected kernel-launch failures (fault plan).
+    pub injected_launch_faults: u64,
+    /// Injected capacity squeezes applied (fault plan).
+    pub injected_squeezes: u64,
 }
 
 impl GpuStatsSnapshot {
@@ -42,7 +48,15 @@ impl GpuStatsSnapshot {
             d2h_bytes: self.d2h_bytes - earlier.d2h_bytes,
             xfer_time: self.xfer_time - earlier.xfer_time,
             prefetch_time: self.prefetch_time - earlier.prefetch_time,
+            injected_oom: self.injected_oom - earlier.injected_oom,
+            injected_launch_faults: self.injected_launch_faults - earlier.injected_launch_faults,
+            injected_squeezes: self.injected_squeezes - earlier.injected_squeezes,
         }
+    }
+
+    /// Total injected faults of every kind (fault plan).
+    pub fn injected_faults(&self) -> u64 {
+        self.injected_oom + self.injected_launch_faults + self.injected_squeezes
     }
 
     /// Fraction of elapsed time spent servicing page faults — the metric of

@@ -11,6 +11,7 @@
 //! below `TB_max` and the device runs block-starved — the deficiency the
 //! binary-search CSC format removes.
 
+use crate::error::NumericError;
 use crate::modes::{classify_level_cached, launch_shape, LevelType, ModeMix};
 use crate::outcome::{
     column_cost_estimate_cached, process_column, AccessDiscipline, NumericOutcome, PivotCache,
@@ -30,7 +31,7 @@ pub fn factorize_gpu_dense(
     gpu: &Gpu,
     pattern: &Csc,
     levels: &Levels,
-) -> Result<NumericOutcome, SimError> {
+) -> Result<NumericOutcome, NumericError> {
     let n = pattern.n_cols();
     let before = gpu.stats();
 
@@ -44,11 +45,11 @@ pub fn factorize_gpu_dense(
     let col_bytes = n as u64 * gpu.config().data_bytes;
     let m_limit = (gpu.mem.free_bytes() / col_bytes) as usize;
     if m_limit == 0 {
-        return Err(SimError::OutOfMemory {
+        return Err(NumericError::Sim(SimError::OutOfMemory {
             requested: col_bytes,
             free: gpu.mem.free_bytes(),
             capacity: gpu.mem.capacity(),
-        });
+        }));
     }
 
     let vals = ValueStore::new(&pattern.vals);
@@ -57,7 +58,7 @@ pub fn factorize_gpu_dense(
     let mut batches = 0u64;
     let error: Mutex<Option<SparseError>> = Mutex::new(None);
 
-    for cols in &levels.groups {
+    for (li, cols) in levels.groups.iter().enumerate() {
         let t = classify_level_cached(pattern, &cache, cols);
         match t {
             LevelType::A => mix.a += 1,
@@ -113,7 +114,7 @@ pub fn factorize_gpu_dense(
             gpu.mem.free(buffers)?;
         }
         if let Some(e) = error.lock().take() {
-            return Err(SimError::BadLaunch(format!("numeric failure: {e}")));
+            return Err(NumericError::from_sparse_at_level(e, li));
         }
     }
 
@@ -225,6 +226,10 @@ mod tests {
         let a = gplu_sparse::convert::coo_to_csr(&coo);
         let (pattern, levels) = setup(&a);
         let gpu = Gpu::new(GpuConfig::v100());
-        assert!(factorize_gpu_dense(&gpu, &pattern, &levels).is_err());
+        let err = factorize_gpu_dense(&gpu, &pattern, &levels).unwrap_err();
+        assert!(
+            matches!(err, NumericError::SingularPivot { col: 1, .. }),
+            "want SingularPivot in column 1, got {err}"
+        );
     }
 }

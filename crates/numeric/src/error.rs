@@ -1,0 +1,107 @@
+//! Structured errors for the numeric phase.
+//!
+//! Device failures ([`SimError`]) and numerical breakdown used to share
+//! one channel — engines smuggled pivot failures through
+//! `SimError::BadLaunch(format!(...))`, which callers could neither match
+//! on nor recover from. [`NumericError`] separates the two: the pipeline
+//! degrades formats on [`NumericError::Sim`] OOM and repairs/reports
+//! pivots on [`NumericError::SingularPivot`].
+
+use gplu_sim::SimError;
+use gplu_sparse::SparseError;
+use std::fmt;
+
+/// Errors from the GPU numeric engines and triangular solves.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NumericError {
+    /// Device-side failure: out of memory, failed launch, bad handle.
+    Sim(SimError),
+    /// Zero, non-finite, or structurally absent pivot. All engines report
+    /// the same variant, tagged with the level-schedule group that was
+    /// executing, so callers can repair-and-retry uniformly.
+    SingularPivot {
+        /// The column whose pivot broke.
+        col: usize,
+        /// Index of the level group being executed (0-based; `usize::MAX`
+        /// when the failure happened outside a level schedule, e.g. in a
+        /// triangular solve).
+        level: usize,
+    },
+    /// A precondition on the inputs failed (rhs length, corrupt pattern).
+    Input(String),
+}
+
+impl NumericError {
+    /// Maps a kernel-core [`SparseError`] raised while executing level
+    /// group `level` onto the unified surface.
+    pub fn from_sparse_at_level(e: SparseError, level: usize) -> Self {
+        match e {
+            SparseError::ZeroDiagonal { row } => NumericError::SingularPivot { col: row, level },
+            SparseError::ZeroPivot { col } => NumericError::SingularPivot { col, level },
+            other => NumericError::Input(other.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for NumericError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumericError::Sim(e) => write!(f, "device failure in numeric phase: {e}"),
+            NumericError::SingularPivot { col, level } if *level == usize::MAX => {
+                write!(f, "singular pivot in column {col}")
+            }
+            NumericError::SingularPivot { col, level } => {
+                write!(f, "singular pivot in column {col} (level {level})")
+            }
+            NumericError::Input(msg) => write!(f, "invalid numeric input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NumericError {}
+
+impl From<SimError> for NumericError {
+    fn from(e: SimError) -> Self {
+        NumericError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_pivot_errors_unify() {
+        assert_eq!(
+            NumericError::from_sparse_at_level(SparseError::ZeroDiagonal { row: 3 }, 2),
+            NumericError::SingularPivot { col: 3, level: 2 }
+        );
+        assert_eq!(
+            NumericError::from_sparse_at_level(SparseError::ZeroPivot { col: 5 }, 0),
+            NumericError::SingularPivot { col: 5, level: 0 }
+        );
+        assert!(matches!(
+            NumericError::from_sparse_at_level(SparseError::MissingFill { row: 1, col: 2 }, 0),
+            NumericError::Input(_)
+        ));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = NumericError::SingularPivot { col: 7, level: 3 };
+        assert!(e.to_string().contains("column 7"));
+        assert!(e.to_string().contains("level 3"));
+        let e = NumericError::SingularPivot {
+            col: 7,
+            level: usize::MAX,
+        };
+        assert!(!e.to_string().contains("level"));
+        let e: NumericError = SimError::OutOfMemory {
+            requested: 10,
+            free: 1,
+            capacity: 4,
+        }
+        .into();
+        assert!(e.to_string().contains("device failure"));
+    }
+}

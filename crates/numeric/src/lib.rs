@@ -44,6 +44,7 @@
 //! reading finished ones — the level barrier provides the happens-before.
 
 pub mod dense;
+pub mod error;
 pub mod merge;
 pub mod modes;
 pub mod outcome;
@@ -53,6 +54,7 @@ pub mod trisolve;
 pub mod values;
 
 pub use dense::factorize_gpu_dense;
+pub use error::NumericError;
 pub use merge::factorize_gpu_merge;
 pub use modes::{classify_level, classify_level_cached, classify_schedule, LevelType, ModeMix};
 pub use outcome::{AccessDiscipline, NumericOutcome, PivotCache};

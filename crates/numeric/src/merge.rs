@@ -16,13 +16,14 @@
 //! binary-search engine it needs no per-column dense buffers, so all
 //! `TB_max` blocks stay resident regardless of `n`.
 
+use crate::error::NumericError;
 use crate::modes::{classify_level_cached, launch_shape, LevelType, ModeMix};
 use crate::outcome::{
     column_cost_estimate_cached, process_column, AccessDiscipline, NumericOutcome, PivotCache,
 };
 use crate::values::ValueStore;
 use gplu_schedule::Levels;
-use gplu_sim::{BlockCtx, Gpu, SimError};
+use gplu_sim::{BlockCtx, Gpu};
 use gplu_sparse::{Csc, SparseError};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -32,7 +33,7 @@ pub fn factorize_gpu_merge(
     gpu: &Gpu,
     pattern: &Csc,
     levels: &Levels,
-) -> Result<NumericOutcome, SimError> {
+) -> Result<NumericOutcome, NumericError> {
     let n = pattern.n_cols();
     let before = gpu.stats();
 
@@ -47,7 +48,7 @@ pub fn factorize_gpu_merge(
     let total_merge_steps = AtomicU64::new(0);
     let error: Mutex<Option<SparseError>> = Mutex::new(None);
 
-    for cols in &levels.groups {
+    for (li, cols) in levels.groups.iter().enumerate() {
         let t = classify_level_cached(pattern, &cache, cols);
         match t {
             LevelType::A => mix.a += 1,
@@ -89,7 +90,7 @@ pub fn factorize_gpu_merge(
             },
         )?;
         if let Some(e) = error.lock().take() {
-            return Err(SimError::BadLaunch(format!("numeric failure: {e}")));
+            return Err(NumericError::from_sparse_at_level(e, li));
         }
     }
 
@@ -188,5 +189,22 @@ mod tests {
         let gpu = Gpu::new(GpuConfig::v100());
         factorize_gpu_merge(&gpu, &pattern, &levels).expect("ok");
         assert_eq!(gpu.mem.used_bytes(), 0);
+    }
+
+    #[test]
+    fn singular_pivot_is_typed() {
+        let mut coo = gplu_sparse::Coo::new(2, 2);
+        for i in 0..2 {
+            for j in 0..2 {
+                coo.push(i, j, 1.0);
+            }
+        }
+        let a = gplu_sparse::convert::coo_to_csr(&coo);
+        let (pattern, levels) = setup(&a);
+        let err = factorize_gpu_merge(&Gpu::new(GpuConfig::v100()), &pattern, &levels).unwrap_err();
+        assert!(
+            matches!(err, crate::NumericError::SingularPivot { col: 1, .. }),
+            "want SingularPivot in column 1, got {err}"
+        );
     }
 }

@@ -169,9 +169,7 @@ pub fn process_column(
                     let (pos, probes) = pattern.find_in_col(i, j);
                     costs.probes += probes as u64;
                     costs.items += 1;
-                    let pos = pos.unwrap_or_else(|| {
-                        unreachable!("missing fill position ({i}, {j}); symbolic closure violated")
-                    });
+                    let pos = pos.ok_or(SparseError::MissingFill { row: i, col: j })?;
                     vals.set(pos, vals.get(pos) - vals.get(src) * u_tj);
                 }
             }
@@ -185,10 +183,12 @@ pub fn process_column(
                     while dst < end && pattern.row_idx[dst] < i {
                         dst += 1;
                     }
-                    debug_assert!(
-                        dst < end && pattern.row_idx[dst] == i,
-                        "missing fill position ({i}, {j})"
-                    );
+                    if dst >= end || pattern.row_idx[dst] != i {
+                        return Err(SparseError::MissingFill {
+                            row: i as usize,
+                            col: j,
+                        });
+                    }
                     costs.items += 1;
                     vals.set(dst, vals.get(dst) - vals.get(src) * u_tj);
                     dst += 1;
@@ -206,10 +206,12 @@ pub fn process_column(
                         dst += 1;
                         costs.merge_steps += 1;
                     }
-                    debug_assert!(
-                        dst < end && pattern.row_idx[dst] == i,
-                        "missing fill position ({i}, {j})"
-                    );
+                    if dst >= end || pattern.row_idx[dst] != i {
+                        return Err(SparseError::MissingFill {
+                            row: i as usize,
+                            col: j,
+                        });
+                    }
                     costs.items += 1;
                     vals.set(dst, vals.get(dst) - vals.get(src) * u_tj);
                     dst += 1;

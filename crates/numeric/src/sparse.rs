@@ -9,13 +9,14 @@
 //! the probe count is charged by the cost model at a reduced per-probe
 //! weight (the upper levels of the search tree stay cache-resident).
 
+use crate::error::NumericError;
 use crate::modes::{classify_level_cached, launch_shape, LevelType, ModeMix};
 use crate::outcome::{
     column_cost_estimate_cached, process_column, AccessDiscipline, NumericOutcome, PivotCache,
 };
 use crate::values::ValueStore;
 use gplu_schedule::Levels;
-use gplu_sim::{BlockCtx, Gpu, SimError};
+use gplu_sim::{BlockCtx, Gpu};
 use gplu_sparse::{Csc, SparseError};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -32,7 +33,7 @@ pub fn factorize_gpu_sparse(
     gpu: &Gpu,
     pattern: &Csc,
     levels: &Levels,
-) -> Result<NumericOutcome, SimError> {
+) -> Result<NumericOutcome, NumericError> {
     factorize_gpu_sparse_forced(gpu, pattern, levels, None)
 }
 
@@ -44,7 +45,7 @@ pub fn factorize_gpu_sparse_forced(
     pattern: &Csc,
     levels: &Levels,
     force: Option<LevelType>,
-) -> Result<NumericOutcome, SimError> {
+) -> Result<NumericOutcome, NumericError> {
     let n = pattern.n_cols();
     let before = gpu.stats();
 
@@ -59,7 +60,7 @@ pub fn factorize_gpu_sparse_forced(
     let total_probes = AtomicU64::new(0);
     let error: Mutex<Option<SparseError>> = Mutex::new(None);
 
-    for cols in &levels.groups {
+    for (li, cols) in levels.groups.iter().enumerate() {
         let t = force.unwrap_or_else(|| classify_level_cached(pattern, &cache, cols));
         match t {
             LevelType::A => mix.a += 1,
@@ -108,7 +109,7 @@ pub fn factorize_gpu_sparse_forced(
             },
         )?;
         if let Some(e) = error.lock().take() {
-            return Err(SimError::BadLaunch(format!("numeric failure: {e}")));
+            return Err(NumericError::from_sparse_at_level(e, li));
         }
     }
 
@@ -218,5 +219,24 @@ mod tests {
         let gpu = Gpu::new(GpuConfig::v100());
         factorize_gpu_sparse(&gpu, &pattern, &levels).expect("ok");
         assert_eq!(gpu.mem.used_bytes(), 0);
+    }
+
+    #[test]
+    fn singular_pivot_is_typed() {
+        // Rank-deficient 2x2 of all ones: column 1's pivot cancels to zero.
+        let mut coo = gplu_sparse::Coo::new(2, 2);
+        for i in 0..2 {
+            for j in 0..2 {
+                coo.push(i, j, 1.0);
+            }
+        }
+        let a = gplu_sparse::convert::coo_to_csr(&coo);
+        let (pattern, levels) = setup(&a);
+        let err =
+            factorize_gpu_sparse(&Gpu::new(GpuConfig::v100()), &pattern, &levels).unwrap_err();
+        assert!(
+            matches!(err, crate::NumericError::SingularPivot { col: 1, .. }),
+            "want SingularPivot in column 1, got {err}"
+        );
     }
 }

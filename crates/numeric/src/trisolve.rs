@@ -13,9 +13,10 @@
 //! literature the paper cites (Liu et al. \[28\] pursue the
 //! synchronisation-free variant of the same schedule).
 
+use crate::error::NumericError;
 use crate::values::ValueStore;
 use gplu_schedule::Levels;
-use gplu_sim::{BlockCtx, Gpu, GpuStatsSnapshot, SimError, SimTime};
+use gplu_sim::{BlockCtx, Gpu, GpuStatsSnapshot, SimTime};
 use gplu_sparse::{Csc, SparseError, Val};
 
 /// Precomputed level schedules for both triangles of a combined factor.
@@ -89,9 +90,14 @@ pub fn solve_gpu(
     lu: &Csc,
     plan: &TriSolvePlan,
     b: &[Val],
-) -> Result<TriSolveOutcome, SimError> {
+) -> Result<TriSolveOutcome, NumericError> {
     let n = lu.n_cols();
-    assert_eq!(b.len(), n, "rhs length mismatch");
+    if b.len() != n {
+        return Err(NumericError::Input(format!(
+            "rhs length {} does not match matrix dimension {n}",
+            b.len()
+        )));
+    }
     let before = gpu.stats();
 
     // The factor is assumed device-resident (it just came out of numeric
@@ -160,9 +166,7 @@ pub fn solve_gpu(
             },
         )?;
         if let Some(e) = error.lock().take() {
-            return Err(SimError::BadLaunch(format!(
-                "triangular solve failure: {e}"
-            )));
+            return Err(NumericError::from_sparse_at_level(e, usize::MAX));
         }
     }
 
@@ -277,5 +281,34 @@ mod tests {
         let b = vec![1.0; 80];
         solve_gpu(&gpu, &lu, &plan, &b).expect("gpu solve");
         assert_eq!(gpu.mem.used_bytes(), 0);
+    }
+
+    #[test]
+    fn rhs_length_mismatch_is_typed_not_a_panic() {
+        let a = random_dominant(40, 3.0, 96);
+        let lu = factor(&a);
+        let plan = TriSolvePlan::new(&lu);
+        let gpu = Gpu::new(GpuConfig::v100());
+        let err = solve_gpu(&gpu, &lu, &plan, &[1.0; 7]).unwrap_err();
+        assert!(matches!(err, NumericError::Input(_)), "got {err}");
+    }
+
+    #[test]
+    fn zero_pivot_in_factor_is_singular_pivot() {
+        let a = random_dominant(40, 3.0, 97);
+        let mut lu = factor(&a);
+        // Corrupt one pivot to zero: the backward sweep must report it.
+        let (diag, _) = lu.find_in_col(5, 5);
+        lu.vals[diag.expect("diagonal present")] = 0.0;
+        let plan = TriSolvePlan::new(&lu);
+        let gpu = Gpu::new(GpuConfig::v100());
+        let err = solve_gpu(&gpu, &lu, &plan, &[1.0; 40]).unwrap_err();
+        assert_eq!(
+            err,
+            NumericError::SingularPivot {
+                col: 5,
+                level: usize::MAX
+            }
+        );
     }
 }

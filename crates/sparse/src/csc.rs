@@ -31,6 +31,24 @@ impl Csc {
         row_idx: Vec<Idx>,
         vals: Vec<Val>,
     ) -> Result<Self, SparseError> {
+        Csc::check_structure(n_rows, n_cols, &col_ptr, &row_idx, vals.len())?;
+        Ok(Csc {
+            n_rows,
+            n_cols,
+            col_ptr,
+            row_idx,
+            vals,
+        })
+    }
+
+    /// The structural invariants of [`Csc::new`], as a standalone check.
+    fn check_structure(
+        n_rows: usize,
+        n_cols: usize,
+        col_ptr: &[usize],
+        row_idx: &[Idx],
+        n_vals: usize,
+    ) -> Result<(), SparseError> {
         if col_ptr.len() != n_cols + 1 {
             return Err(SparseError::MalformedOffsets(format!(
                 "col_ptr has length {}, expected {}",
@@ -43,7 +61,7 @@ impl Csc {
                 "col_ptr must start at 0 and end at nnz".into(),
             ));
         }
-        if row_idx.len() != vals.len() {
+        if row_idx.len() != n_vals {
             return Err(SparseError::MalformedOffsets(
                 "row_idx and vals lengths differ".into(),
             ));
@@ -71,13 +89,29 @@ impl Csc {
                 }
             }
         }
-        Ok(Csc {
-            n_rows,
-            n_cols,
-            col_ptr,
-            row_idx,
-            vals,
-        })
+        Ok(())
+    }
+
+    /// Full validation for untrusted data: the structural invariants of
+    /// [`Csc::new`] plus finiteness of every stored value. Finiteness is
+    /// deliberately not part of construction — factors can transiently
+    /// hold non-finite values — so call this at trust boundaries.
+    pub fn validate(&self) -> Result<(), SparseError> {
+        Csc::check_structure(
+            self.n_rows,
+            self.n_cols,
+            &self.col_ptr,
+            &self.row_idx,
+            self.vals.len(),
+        )?;
+        for j in 0..self.n_cols {
+            for (i, v) in self.col_iter(j) {
+                if !v.is_finite() {
+                    return Err(SparseError::NonFiniteValue { row: i, col: j });
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Builds a CSC matrix without validation; debug builds re-verify.
@@ -225,6 +259,23 @@ mod tests {
         assert_eq!(a.get(2, 0), Some(4.0));
         assert_eq!(a.get(1, 0), None);
         assert_eq!(a.col_rows(2), &[0, 2]);
+    }
+
+    #[test]
+    fn validate_checks_structure_and_finiteness() {
+        let mut a = sample();
+        a.validate().expect("sample is clean");
+        a.vals[1] = f64::NEG_INFINITY;
+        assert_eq!(
+            a.validate(),
+            Err(SparseError::NonFiniteValue { row: 2, col: 0 })
+        );
+        let mut b = sample();
+        b.row_idx[0] = 2; // column 0 becomes [2, 2]: no longer ascending
+        assert!(matches!(
+            b.validate(),
+            Err(SparseError::UnsortedIndices { major: 0 })
+        ));
     }
 
     #[test]

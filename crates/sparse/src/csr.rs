@@ -31,6 +31,24 @@ impl Csr {
         col_idx: Vec<Idx>,
         vals: Vec<Val>,
     ) -> Result<Self, SparseError> {
+        Csr::check_structure(n_rows, n_cols, &row_ptr, &col_idx, vals.len())?;
+        Ok(Csr {
+            n_rows,
+            n_cols,
+            row_ptr,
+            col_idx,
+            vals,
+        })
+    }
+
+    /// The structural invariants of [`Csr::new`], as a standalone check.
+    fn check_structure(
+        n_rows: usize,
+        n_cols: usize,
+        row_ptr: &[usize],
+        col_idx: &[Idx],
+        n_vals: usize,
+    ) -> Result<(), SparseError> {
         if row_ptr.len() != n_rows + 1 {
             return Err(SparseError::MalformedOffsets(format!(
                 "row_ptr has length {}, expected {}",
@@ -46,11 +64,11 @@ impl Csr {
                 row_ptr.last().expect("len >= 1")
             )));
         }
-        if col_idx.len() != vals.len() {
+        if col_idx.len() != n_vals {
             return Err(SparseError::MalformedOffsets(format!(
                 "col_idx ({}) and vals ({}) lengths differ",
                 col_idx.len(),
-                vals.len()
+                n_vals
             )));
         }
         for i in 0..n_rows {
@@ -76,13 +94,30 @@ impl Csr {
                 }
             }
         }
-        Ok(Csr {
-            n_rows,
-            n_cols,
-            row_ptr,
-            col_idx,
-            vals,
-        })
+        Ok(())
+    }
+
+    /// Full validation for untrusted data (e.g. freshly parsed files):
+    /// the structural invariants of [`Csr::new`] plus finiteness of every
+    /// stored value. Factors may legitimately hold transient non-finite
+    /// values mid-elimination, so finiteness is *not* part of
+    /// construction — call this at trust boundaries.
+    pub fn validate(&self) -> Result<(), SparseError> {
+        Csr::check_structure(
+            self.n_rows,
+            self.n_cols,
+            &self.row_ptr,
+            &self.col_idx,
+            self.vals.len(),
+        )?;
+        for i in 0..self.n_rows {
+            for (j, v) in self.row_iter(i) {
+                if !v.is_finite() {
+                    return Err(SparseError::NonFiniteValue { row: i, col: j });
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Builds a CSR matrix without validation. The caller must uphold the
@@ -270,6 +305,29 @@ mod tests {
         assert!(matches!(
             Csr::new(1, 2, vec![0, 1], vec![5], vec![1.0]),
             Err(SparseError::IndexOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_accepts_finite_and_rejects_non_finite() {
+        let mut a = sample();
+        a.validate().expect("sample is clean");
+        a.vals[2] = f64::NAN;
+        assert_eq!(
+            a.validate(),
+            Err(SparseError::NonFiniteValue { row: 1, col: 1 })
+        );
+        a.vals[2] = f64::INFINITY;
+        assert!(a.validate().is_err());
+    }
+
+    #[test]
+    fn validate_recatches_structural_corruption() {
+        let mut a = sample();
+        a.col_idx[0] = 2; // row 0 becomes [2, 2]: no longer ascending
+        assert!(matches!(
+            a.validate(),
+            Err(SparseError::UnsortedIndices { major: 0 })
         ));
     }
 

@@ -50,6 +50,21 @@ pub enum SparseError {
         /// The column of the offending pivot.
         col: usize,
     },
+    /// A stored value is NaN or infinite where finite data is required.
+    NonFiniteValue {
+        /// Row of the offending entry.
+        row: usize,
+        /// Column of the offending entry.
+        col: usize,
+    },
+    /// A numeric update targeted a position the symbolic pattern does not
+    /// contain — the fill closure was violated (corrupt pattern).
+    MissingFill {
+        /// Row of the missing position.
+        row: usize,
+        /// Column of the missing position.
+        col: usize,
+    },
     /// Matrix Market parsing failure.
     Parse(String),
     /// Underlying I/O failure (stringified; `std::io::Error` is not `Clone`).
@@ -90,6 +105,15 @@ impl fmt::Display for SparseError {
                 write!(f, "structurally zero diagonal at row {row}")
             }
             SparseError::ZeroPivot { col } => write!(f, "zero or non-finite pivot in column {col}"),
+            SparseError::NonFiniteValue { row, col } => {
+                write!(f, "non-finite value at ({row}, {col})")
+            }
+            SparseError::MissingFill { row, col } => {
+                write!(
+                    f,
+                    "missing fill position ({row}, {col}): symbolic closure violated"
+                )
+            }
             SparseError::Parse(msg) => write!(f, "matrix market parse error: {msg}"),
             SparseError::Io(msg) => write!(f, "i/o error: {msg}"),
             SparseError::InvalidPermutation(msg) => write!(f, "invalid permutation: {msg}"),

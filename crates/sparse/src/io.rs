@@ -129,6 +129,12 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<Coo, SparseError> {
                 n_cols,
             });
         }
+        if !v.is_finite() {
+            return Err(SparseError::NonFiniteValue {
+                row: i - 1,
+                col: j - 1,
+            });
+        }
         coo.push(i - 1, j - 1, v);
         if symmetry == Symmetry::Symmetric && i != j {
             coo.push(j - 1, i - 1, v);
@@ -206,6 +212,20 @@ mod tests {
             read_matrix_market(text.as_bytes()),
             Err(SparseError::Parse(_))
         ));
+    }
+
+    #[test]
+    fn rejects_non_finite_values() {
+        for bad in ["nan", "inf", "-inf", "NaN", "Infinity"] {
+            let text = format!("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2 {bad}\n");
+            assert!(
+                matches!(
+                    read_matrix_market(text.as_bytes()),
+                    Err(SparseError::NonFiniteValue { row: 0, col: 1 })
+                ),
+                "{bad} must be rejected"
+            );
+        }
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! the estimate's quality.
 
 use crate::fill2::fill2_row;
-use crate::ooc::{charge_row, row_state_bytes, WorkspacePool};
+use crate::ooc::{charge_row, row_state_bytes, with_oom_backoff, WorkspacePool};
 use crate::result::{SymbolicMetrics, SymbolicResult};
 use crossbeam::queue::SegQueue;
 use gplu_sim::{BlockCtx, Gpu, GpuStatsSnapshot, SimError, SimTime};
@@ -39,6 +39,7 @@ pub struct DynamicSplit {
 
 /// Outcome of the dynamic-assignment run.
 #[derive(Debug, Clone)]
+#[must_use = "the outcome carries the pattern and any recovery evidence"]
 pub struct DynamicOutcome {
     /// The factorization pattern.
     pub result: SymbolicResult,
@@ -49,6 +50,11 @@ pub struct DynamicOutcome {
     pub overflows: usize,
     /// Total out-of-core iterations across both parts and stages.
     pub num_iterations: usize,
+    /// Batch halvings taken after failed allocations (OOM backoff).
+    pub oom_backoffs: usize,
+    /// True when the factorized pattern could not stay device-resident and
+    /// the storing stage streamed each batch back to the host instead.
+    pub streamed_output: bool,
     /// Simulated time of the whole phase.
     pub time: SimTime,
     /// GPU statistics delta.
@@ -153,6 +159,8 @@ pub fn symbolic_ooc_dynamic(gpu: &Gpu, a: &Csr) -> Result<DynamicOutcome, SimErr
     let mut patterns: Vec<Vec<Idx>> = vec![Vec::new(); n];
     let mut num_iterations = 0usize;
     let mut overflow_rows = 0usize;
+    let mut oom_backoffs = 0usize;
+    let mut streamed_output = false;
 
     // Two stages (count, then store); within each, part 1 with its large
     // chunk and shrunken queues, then part 2 with the conservative chunk.
@@ -165,7 +173,9 @@ pub fn symbolic_ooc_dynamic(gpu: &Gpu, a: &Csr) -> Result<DynamicOutcome, SimErr
                 .iter()
                 .map(|c| c.load(Ordering::Relaxed) as u64)
                 .sum();
-            gpu.mem.alloc(total_fill * 4).ok()
+            let out = gpu.mem.alloc(total_fill * 4).ok();
+            streamed_output = out.is_none();
+            out
         } else {
             None
         };
@@ -215,13 +225,19 @@ pub fn symbolic_ooc_dynamic(gpu: &Gpu, a: &Csr) -> Result<DynamicOutcome, SimErr
                 row_state_bytes(n)
             };
             if !store {
-                // Counting stage: fixed chunks, state only.
-                let state_dev = gpu.mem.alloc(chunk.min(range.len()) as u64 * row_bytes)?;
-                let iters = range.len().div_ceil(chunk);
+                // Counting stage: fixed chunks, state only. The chunk the
+                // split planned for is only a hint — back off geometrically
+                // when the state allocation fails.
+                let (state_dev, eff_chunk, backoffs) =
+                    with_oom_backoff(chunk.min(range.len()), |rows| {
+                        gpu.mem.alloc(rows as u64 * row_bytes)
+                    })?;
+                oom_backoffs += backoffs;
+                let iters = range.len().div_ceil(eff_chunk);
                 num_iterations += iters;
                 for iter in 0..iters {
-                    let start = range.start + iter * chunk;
-                    let rows = chunk.min(range.end - start);
+                    let start = range.start + iter * eff_chunk;
+                    let rows = eff_chunk.min(range.end - start);
                     gpu.launch(stage, rows, 1024, &|b: usize, ctx: &mut BlockCtx| {
                         body((start + b) as u32, capped, ctx);
                     })?;
@@ -233,28 +249,41 @@ pub fn symbolic_ooc_dynamic(gpu: &Gpu, a: &Csr) -> Result<DynamicOutcome, SimErr
                 let mut start = range.start;
                 while start < range.end {
                     let free = gpu.mem.free_bytes();
-                    let mut rows = 0usize;
-                    let mut batch_nnz = 0u64;
-                    while start + rows < range.end && rows < chunk {
-                        let c = fill_counts[start + rows].load(Ordering::Relaxed) as u64;
+                    let mut batch = 0usize;
+                    let mut planned_nnz = 0u64;
+                    while start + batch < range.end && batch < chunk {
+                        let c = fill_counts[start + batch].load(Ordering::Relaxed) as u64;
                         let out_need = if resident_out.is_some() {
                             0
                         } else {
-                            (batch_nnz + c) * 4
+                            (planned_nnz + c) * 4
                         };
-                        let need = (rows as u64 + 1) * row_bytes + out_need;
-                        if rows > 0 && need > free {
+                        let need = (batch as u64 + 1) * row_bytes + out_need;
+                        if batch > 0 && need > free {
                             break;
                         }
-                        batch_nnz += c;
-                        rows += 1;
+                        planned_nnz += c;
+                        batch += 1;
                     }
-                    let state_dev = gpu.mem.alloc(rows as u64 * row_bytes)?;
-                    let out_dev = if resident_out.is_none() {
-                        Some(gpu.mem.alloc(batch_nnz * 4)?)
-                    } else {
-                        None
-                    };
+                    // The sizing above is a hint; the allocation decides.
+                    let ((state_dev, out_dev, batch_nnz), rows, backoffs) =
+                        with_oom_backoff(batch, |r| {
+                            let nnz: u64 = (start..start + r)
+                                .map(|i| fill_counts[i].load(Ordering::Relaxed) as u64)
+                                .sum();
+                            let state = gpu.mem.alloc(r as u64 * row_bytes)?;
+                            if resident_out.is_some() {
+                                return Ok((state, None, nnz));
+                            }
+                            match gpu.mem.alloc(nnz * 4) {
+                                Ok(out) => Ok((state, Some(out), nnz)),
+                                Err(e) => {
+                                    let _ = gpu.mem.free(state);
+                                    Err(e)
+                                }
+                            }
+                        })?;
+                    oom_backoffs += backoffs;
                     num_iterations += 1;
                     gpu.launch(stage, rows, 1024, &|b: usize, ctx: &mut BlockCtx| {
                         body((start + b) as u32, capped, ctx);
@@ -277,17 +306,29 @@ pub fn symbolic_ooc_dynamic(gpu: &Gpu, a: &Csr) -> Result<DynamicOutcome, SimErr
         }
         if !retry.is_empty() {
             let row_bytes = row_state_bytes(n);
-            for batch in retry.chunks(split.chunk2) {
-                let state_dev = gpu.mem.alloc(batch.len() as u64 * row_bytes)?;
-                let out_dev = if store && resident_out.is_none() {
-                    let nnz: u64 = batch
-                        .iter()
-                        .map(|&r| fill_counts[r as usize].load(Ordering::Relaxed) as u64)
-                        .sum();
-                    Some((gpu.mem.alloc(nnz * 4)?, nnz))
-                } else {
-                    None
-                };
+            let mut idx = 0usize;
+            while idx < retry.len() {
+                let want = (retry.len() - idx).min(split.chunk2);
+                let ((state_dev, out_dev), rows, backoffs) = with_oom_backoff(want, |r| {
+                    let state = gpu.mem.alloc(r as u64 * row_bytes)?;
+                    if store && resident_out.is_none() {
+                        let nnz: u64 = retry[idx..idx + r]
+                            .iter()
+                            .map(|&row| fill_counts[row as usize].load(Ordering::Relaxed) as u64)
+                            .sum();
+                        match gpu.mem.alloc(nnz * 4) {
+                            Ok(out) => Ok((state, Some((out, nnz)))),
+                            Err(e) => {
+                                let _ = gpu.mem.free(state);
+                                Err(e)
+                            }
+                        }
+                    } else {
+                        Ok((state, None))
+                    }
+                })?;
+                oom_backoffs += backoffs;
+                let batch = &retry[idx..idx + rows];
                 num_iterations += 1;
                 gpu.launch(
                     "symbolic_retry",
@@ -302,6 +343,7 @@ pub fn symbolic_ooc_dynamic(gpu: &Gpu, a: &Csr) -> Result<DynamicOutcome, SimErr
                     gpu.mem.free(dev)?;
                 }
                 gpu.mem.free(state_dev)?;
+                idx += rows;
             }
         }
 
@@ -347,6 +389,8 @@ pub fn symbolic_ooc_dynamic(gpu: &Gpu, a: &Csr) -> Result<DynamicOutcome, SimErr
         split,
         overflows: overflow_rows,
         num_iterations,
+        oom_backoffs,
+        streamed_output,
         time: stats.now,
         stats,
     })
@@ -418,7 +462,41 @@ mod tests {
     fn releases_device_memory() {
         let a = random_dominant(300, 4.0, 13);
         let gpu = gpu_for(&a);
-        symbolic_ooc_dynamic(&gpu, &a).expect("runs");
+        let _ = symbolic_ooc_dynamic(&gpu, &a).expect("runs");
         assert_eq!(gpu.mem.used_bytes(), 0);
+    }
+
+    #[test]
+    fn oom_backoff_recovers_and_keeps_pattern_exact() {
+        use gplu_sim::{CostModel, FaultPlan};
+        let a = random_dominant(400, 4.0, 21);
+        let plain = symbolic_ooc_dynamic(&gpu_for(&a), &a).expect("runs");
+        // Fail the first counting-stage state allocation (ordinal 3:
+        // matrix, counts, part-1 state) twice.
+        let gpu = Gpu::with_fault_plan(
+            GpuConfig::v100_symbolic_profile(a.n_rows(), a.nnz()),
+            CostModel::default(),
+            FaultPlan::new().oom_on_alloc(3).oom_on_alloc(4),
+        );
+        let faulted = symbolic_ooc_dynamic(&gpu, &a).expect("backoff recovers");
+        assert_eq!(faulted.oom_backoffs, 2);
+        assert!(faulted.num_iterations > plain.num_iterations);
+        assert_eq!(faulted.result.filled, plain.result.filled);
+        assert_eq!(gpu.mem.used_bytes(), 0);
+    }
+
+    #[test]
+    fn persistent_oom_is_a_typed_error() {
+        use gplu_sim::{CostModel, FaultPlan};
+        let a = random_dominant(300, 4.0, 13);
+        let gpu = Gpu::with_fault_plan(
+            GpuConfig::v100_symbolic_profile(a.n_rows(), a.nnz()),
+            CostModel::default(),
+            FaultPlan::new().persistent_oom_from(1),
+        );
+        assert!(matches!(
+            symbolic_ooc_dynamic(&gpu, &a),
+            Err(SimError::OutOfMemory { .. })
+        ));
     }
 }

@@ -30,6 +30,7 @@ use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 /// Outcome of an out-of-core symbolic run.
 #[derive(Debug, Clone)]
+#[must_use = "the outcome carries the pattern and any recovery evidence"]
 pub struct OocOutcome {
     /// The factorization pattern (identical across all implementations).
     pub result: SymbolicResult,
@@ -39,6 +40,11 @@ pub struct OocOutcome {
     pub num_iterations: usize,
     /// Per-iteration maximum per-row frontier count (Figure 3's series).
     pub per_iter_max_frontier: Vec<u64>,
+    /// Chunk halvings taken after failed allocations (OOM backoff).
+    pub oom_backoffs: usize,
+    /// True when the factorized pattern could not stay device-resident and
+    /// stage 2 streamed each batch back to the host instead.
+    pub streamed_output: bool,
     /// Simulated time of the whole symbolic phase.
     pub time: SimTime,
     /// GPU statistics delta over the phase.
@@ -92,6 +98,40 @@ pub fn chunk_size_for(gpu: &Gpu, n: usize) -> usize {
     (gpu.mem.free_bytes() / row_state_bytes(n)) as usize
 }
 
+/// Attempts beyond which [`with_oom_backoff`] gives up and surfaces the
+/// last [`SimError::OutOfMemory`]. Halving alone terminates at one row;
+/// the bound additionally caps floor-level retries (which exist so a
+/// *transient* fault at the floor still recovers) against a device that
+/// is persistently out of memory.
+pub(crate) const MAX_OOM_RETRIES: usize = 32;
+
+/// Runs `attempt(rows)`; on [`SimError::OutOfMemory`] halves `rows`
+/// (geometric backoff, floor at one source row) and retries, up to
+/// [`MAX_OOM_RETRIES`] attempts. Returns the successful value, the row
+/// count that fit, and the number of backoff retries taken. The free-bytes
+/// pre-check the engines start from is only a *hint* — the headroom can
+/// shrink between check and allocation (injected squeezes model exactly
+/// that), so the allocation itself is the arbiter.
+pub(crate) fn with_oom_backoff<T>(
+    mut rows: usize,
+    mut attempt: impl FnMut(usize) -> Result<T, SimError>,
+) -> Result<(T, usize, usize), SimError> {
+    let mut retries = 0usize;
+    loop {
+        match attempt(rows) {
+            Ok(v) => return Ok((v, rows, retries)),
+            Err(e @ SimError::OutOfMemory { .. }) => {
+                if retries >= MAX_OOM_RETRIES {
+                    return Err(e);
+                }
+                retries += 1;
+                rows = (rows / 2).max(1);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
 /// Runs out-of-core GPU symbolic factorization (Algorithm 3).
 pub fn symbolic_ooc(gpu: &Gpu, a: &Csr) -> Result<OocOutcome, SimError> {
     let n = a.n_rows();
@@ -104,15 +144,20 @@ pub fn symbolic_ooc(gpu: &Gpu, a: &Csr) -> Result<OocOutcome, SimError> {
     gpu.h2d(a_bytes);
     let counts_dev = gpu.mem.alloc(n as u64 * 4)?;
 
-    let chunk = chunk_size_for(gpu, n).min(n);
-    if chunk == 0 {
+    let chunk_hint = chunk_size_for(gpu, n).min(n);
+    if chunk_hint == 0 {
         return Err(SimError::OutOfMemory {
             requested: row_state_bytes(n),
             free: gpu.mem.free_bytes(),
             capacity: gpu.mem.capacity(),
         });
     }
-    let mut state_dev = Some(gpu.mem.alloc(chunk as u64 * row_state_bytes(n))?);
+    let mut oom_backoffs = 0usize;
+    let (state_alloc, chunk, backoffs) = with_oom_backoff(chunk_hint, |rows| {
+        gpu.mem.alloc(rows as u64 * row_state_bytes(n))
+    })?;
+    oom_backoffs += backoffs;
+    let mut state_dev = Some(state_alloc);
     let num_iter = n.div_ceil(chunk);
 
     let pool = WorkspacePool::new(n);
@@ -172,34 +217,46 @@ pub fn symbolic_ooc(gpu: &Gpu, a: &Csr) -> Result<OocOutcome, SimError> {
         gpu.mem.free(dev)?;
     }
     let resident_out = gpu.mem.alloc(total_fill * 4).ok();
+    let streamed_output = resident_out.is_none();
     let collected: SegQueue<(u32, Vec<Idx>)> = SegQueue::new();
     let mut patterns: Vec<Vec<Idx>> = vec![Vec::new(); n];
     let mut start = 0usize;
     while start < n {
         let free = gpu.mem.free_bytes();
         let row_bytes = row_state_bytes(n);
-        let mut rows = 0usize;
-        let mut chunk_nnz: u64 = 0;
-        while start + rows < n && rows < chunk {
-            let b = counts[start + rows] as u64;
+        let mut batch = 0usize;
+        let mut batch_nnz: u64 = 0;
+        while start + batch < n && batch < chunk {
+            let b = counts[start + batch] as u64;
             let out_need = if resident_out.is_some() {
                 0
             } else {
-                (chunk_nnz + b) * 4
+                (batch_nnz + b) * 4
             };
-            let need = (rows as u64 + 1) * row_bytes + out_need;
-            if rows > 0 && need > free {
+            let need = (batch as u64 + 1) * row_bytes + out_need;
+            if batch > 0 && need > free {
                 break;
             }
-            chunk_nnz += b;
-            rows += 1;
+            batch_nnz += b;
+            batch += 1;
         }
-        let state2_dev = gpu.mem.alloc(rows as u64 * row_bytes)?;
-        let out_dev = if resident_out.is_none() {
-            Some(gpu.mem.alloc(chunk_nnz * 4)?)
-        } else {
-            None
-        };
+        // The batch is sized against free bytes, but only the allocation
+        // itself is authoritative: back off geometrically when it fails.
+        let ((state2_dev, out_dev, chunk_nnz), rows, backoffs) = with_oom_backoff(batch, |r| {
+            let nnz: u64 = counts[start..start + r].iter().map(|&c| c as u64).sum();
+            let state = gpu.mem.alloc(r as u64 * row_bytes)?;
+            if resident_out.is_some() {
+                return Ok((state, None, nnz));
+            }
+            match gpu.mem.alloc(nnz * 4) {
+                Ok(out) => Ok((state, Some(out), nnz)),
+                Err(e) => {
+                    let _ = gpu.mem.free(state);
+                    Err(e)
+                }
+            }
+        })?;
+        oom_backoffs += backoffs;
         gpu.launch("symbolic_2", rows, 1024, &|b: usize, ctx: &mut BlockCtx| {
             let src = (start + b) as u32;
             let mut cols = Vec::with_capacity(counts[src as usize] as usize);
@@ -246,6 +303,8 @@ pub fn symbolic_ooc(gpu: &Gpu, a: &Csr) -> Result<OocOutcome, SimError> {
         chunk_size: chunk,
         num_iterations: num_iter,
         per_iter_max_frontier,
+        oom_backoffs,
+        streamed_output,
         time: stats.now,
         stats,
     })
@@ -289,7 +348,7 @@ mod tests {
     fn device_memory_is_released() {
         let a = random_dominant(300, 4.0, 9);
         let gpu = gpu_for(&a);
-        symbolic_ooc(&gpu, &a).expect("runs");
+        let _ = symbolic_ooc(&gpu, &a).expect("runs");
         assert_eq!(gpu.mem.used_bytes(), 0, "phase must free all device memory");
         assert!(gpu.mem.peak_bytes() > 0);
     }
@@ -312,6 +371,64 @@ mod tests {
         // Device barely larger than the matrix itself: no room for state.
         let a_bytes = (4096u64 + 1 + a.nnz() as u64) * 4;
         let gpu = Gpu::new(GpuConfig::v100().with_memory(a_bytes + 4096 * 4 + 1024));
+        assert!(matches!(
+            symbolic_ooc(&gpu, &a),
+            Err(SimError::OutOfMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn oom_backoff_halves_chunk_until_fit() {
+        use gplu_sim::FaultPlan;
+        let a = random_dominant(1024, 3.0, 5);
+        let plain = symbolic_ooc(&gpu_for(&a), &a).expect("runs");
+        // Fail the stage-1 state allocation (ordinal 3: matrix, counts,
+        // state) twice: the chunk must halve twice and then fit.
+        let gpu = Gpu::with_fault_plan(
+            GpuConfig::v100_symbolic_profile(a.n_rows(), a.nnz()),
+            CostModel::default(),
+            FaultPlan::new().oom_on_alloc(3).oom_on_alloc(4),
+        );
+        let faulted = symbolic_ooc(&gpu, &a).expect("backoff recovers");
+        assert_eq!(faulted.oom_backoffs, 2);
+        assert_eq!(faulted.chunk_size, (plain.chunk_size / 4).max(1));
+        assert_eq!(
+            faulted.num_iterations,
+            a.n_rows().div_ceil(faulted.chunk_size)
+        );
+        assert_eq!(faulted.result.filled, plain.result.filled);
+        assert_eq!(gpu.stats().injected_oom, 2);
+        assert_eq!(gpu.mem.used_bytes(), 0);
+    }
+
+    #[test]
+    fn injected_oom_on_resident_output_forces_streaming() {
+        use gplu_sim::FaultPlan;
+        let a = random_dominant(300, 4.0, 9);
+        let plain = symbolic_ooc(&gpu_for(&a), &a).expect("runs");
+        // Ordinal 4 is the resident-output attempt (matrix, counts,
+        // stage-1 state, output): failing it must flip stage 2 into
+        // streaming without changing the pattern.
+        let gpu = Gpu::with_fault_plan(
+            GpuConfig::v100_symbolic_profile(a.n_rows(), a.nnz()),
+            CostModel::default(),
+            FaultPlan::new().oom_on_alloc(4),
+        );
+        let faulted = symbolic_ooc(&gpu, &a).expect("streams instead");
+        assert!(faulted.streamed_output);
+        assert_eq!(faulted.result.filled, plain.result.filled);
+        assert_eq!(gpu.mem.used_bytes(), 0);
+    }
+
+    #[test]
+    fn persistent_oom_at_floor_is_a_typed_error() {
+        use gplu_sim::FaultPlan;
+        let a = random_dominant(200, 4.0, 17);
+        let gpu = Gpu::with_fault_plan(
+            GpuConfig::v100_symbolic_profile(a.n_rows(), a.nnz()),
+            CostModel::default(),
+            FaultPlan::new().persistent_oom_from(3),
+        );
         assert!(matches!(
             symbolic_ooc(&gpu, &a),
             Err(SimError::OutOfMemory { .. })
