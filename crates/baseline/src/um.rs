@@ -52,7 +52,7 @@ mod tests {
             wp.report.symbolic < wo.report.symbolic,
             "prefetching must help symbolic"
         );
-        assert!(wp.report.fault_groups < wo.report.fault_groups);
+        assert!(wp.report.fault_groups() < wo.report.fault_groups());
         assert_eq!(wp.lu.vals, wo.lu.vals);
     }
 

@@ -6,11 +6,16 @@
 //! (higher `nnz/n`).
 //!
 //! Usage: `fig4_end_to_end [--scale N] [--quick] [--only OT2,WI]`
+//!
+//! Besides the printed table, every out-of-core run's machine-readable
+//! [`RunReport`] is written to `BENCH_fig4_end_to_end.json` — phase
+//! timings, per-level records, GPU counters — for downstream tooling.
 
 use gplu_baseline::factorize_glu30;
 use gplu_bench::{fill_size_of, geomean, Args, Prepared, Table};
-use gplu_core::{LuFactorization, LuOptions, PreprocessOptions, SymbolicEngine};
+use gplu_core::{LuFactorization, LuOptions, PreprocessOptions, RunReport, SymbolicEngine};
 use gplu_sparse::gen::suite::{paper_suite, DEFAULT_SCALE};
+use gplu_trace::{JsonValue, Recorder};
 
 fn main() {
     let args = Args::parse();
@@ -23,6 +28,7 @@ fn main() {
         "speedup",
     ]);
     let mut speedups = Vec::new();
+    let mut reports: Vec<JsonValue> = Vec::new();
 
     for entry in paper_suite() {
         if !args.selected(entry.abbr) {
@@ -40,7 +46,8 @@ fn main() {
             symbolic: SymbolicEngine::OocDynamic,
             ..Default::default()
         };
-        let ours = LuFactorization::compute(&gpu_ours, &prep.matrix, &opts)
+        let recorder = Recorder::new();
+        let ours = LuFactorization::compute_traced(&gpu_ours, &prep.matrix, &opts, &recorder)
             .expect("end-to-end factorizes");
 
         assert_eq!(
@@ -53,6 +60,20 @@ fn main() {
         let ours_total = ours.report.gpu_total();
         let speedup = base_total.ratio(ours_total);
         speedups.push(speedup);
+
+        let run = RunReport::new(
+            prep.matrix.n_rows(),
+            prep.matrix.nnz(),
+            ours.report.clone(),
+            &recorder.into_events(),
+        );
+        reports.push(
+            JsonValue::obj()
+                .set("matrix", entry.name)
+                .set("abbr", entry.abbr)
+                .set("speedup_vs_glu30", speedup)
+                .set("report", run.to_json()),
+        );
 
         table.row([
             entry.name.to_string(),
@@ -75,4 +96,14 @@ fn main() {
         "\nspeedup range {min:.2}-{max:.2}x (geomean {:.2}x); paper reports 1.13-32.65x",
         geomean(&speedups)
     );
+
+    let out_path = "BENCH_fig4_end_to_end.json";
+    let doc = JsonValue::obj()
+        .set("benchmark", "fig4_end_to_end")
+        .set("scale", scale)
+        .set("runs", reports);
+    match std::fs::write(out_path, doc.to_pretty()) {
+        Ok(()) => println!("per-run telemetry: {out_path}"),
+        Err(e) => eprintln!("could not write {out_path}: {e}"),
+    }
 }

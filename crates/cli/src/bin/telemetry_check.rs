@@ -1,0 +1,151 @@
+//! `telemetry_check` — CI validator for the telemetry artifacts.
+//!
+//! ```text
+//! telemetry_check <report.json> [trace.json]
+//! ```
+//!
+//! Checks that a `--report-json` file is schema-versioned, internally
+//! consistent (the phase totals add up), and carries per-level records,
+//! and that a `--trace-out` file is a balanced, time-ordered Chrome
+//! trace. Exits non-zero with a message on the first violation.
+
+use gplu_trace::{json, JsonValue};
+use std::process::ExitCode;
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("telemetry_check: {msg}");
+    ExitCode::FAILURE
+}
+
+fn check_report(doc: &JsonValue) -> Result<String, String> {
+    let version = doc
+        .get("schema_version")
+        .and_then(JsonValue::as_u64)
+        .ok_or("report: schema_version missing")?;
+    if version != 1 {
+        return Err(format!("report: unknown schema_version {version}"));
+    }
+
+    let phases = doc.get("phases").ok_or("report: phases missing")?;
+    let get = |key: &str| {
+        phases
+            .get(key)
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("report: phases.{key} missing"))
+    };
+    let total = get("total_ns")?;
+    let sum =
+        get("preprocess_ns")? + get("symbolic_ns")? + get("levelize_ns")? + get("numeric_ns")?;
+    if (total - sum).abs() > 1e-9 {
+        return Err(format!(
+            "report: total_ns {total} != phase sum {sum} (diff {})",
+            (total - sum).abs()
+        ));
+    }
+
+    let levels = doc
+        .get("levels")
+        .and_then(JsonValue::as_arr)
+        .ok_or("report: levels missing")?;
+    if levels.is_empty() {
+        return Err("report: no per-level records".into());
+    }
+    for (i, l) in levels.iter().enumerate() {
+        for key in ["level", "width", "duration_ns"] {
+            if l.get(key).and_then(JsonValue::as_f64).is_none() {
+                return Err(format!("report: levels[{i}].{key} missing"));
+            }
+        }
+    }
+
+    for section in ["matrix", "symbolic", "schedule", "numeric", "fill", "gpu"] {
+        if doc.get(section).is_none() {
+            return Err(format!("report: {section} section missing"));
+        }
+    }
+
+    Ok(format!(
+        "report ok: schema v{version}, total {total} ns, {} levels",
+        levels.len()
+    ))
+}
+
+fn check_trace(doc: &JsonValue) -> Result<String, String> {
+    let events = doc
+        .get("traceEvents")
+        .and_then(JsonValue::as_arr)
+        .ok_or("trace: traceEvents missing")?;
+    if events.is_empty() {
+        return Err("trace: no events".into());
+    }
+
+    let mut last_ts = f64::NEG_INFINITY;
+    let mut open: Vec<&str> = Vec::new();
+    let mut spans = 0usize;
+    for (i, e) in events.iter().enumerate() {
+        let ts = e
+            .get("ts")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("trace: events[{i}].ts missing"))?;
+        if ts < last_ts {
+            return Err(format!(
+                "trace: ts decreases at event {i} ({ts} < {last_ts})"
+            ));
+        }
+        last_ts = ts;
+        let name = e
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("trace: events[{i}].name missing"))?;
+        match e.get("ph").and_then(JsonValue::as_str) {
+            Some("B") => open.push(name),
+            Some("E") => {
+                let j = open
+                    .iter()
+                    .rposition(|n| *n == name)
+                    .ok_or_else(|| format!("trace: unmatched E for '{name}' at event {i}"))?;
+                open.remove(j);
+                spans += 1;
+            }
+            Some(_) => {}
+            None => return Err(format!("trace: events[{i}].ph missing")),
+        }
+    }
+    if !open.is_empty() {
+        return Err(format!("trace: {} spans left open: {open:?}", open.len()));
+    }
+    if spans == 0 {
+        return Err("trace: no complete spans".into());
+    }
+
+    Ok(format!("trace ok: {} events, {spans} spans", events.len()))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(report_path) = args.first() else {
+        return fail("usage: telemetry_check <report.json> [trace.json]");
+    };
+
+    type Check = fn(&JsonValue) -> Result<String, String>;
+    let checks: Vec<(&String, Check)> = match args.get(1) {
+        Some(trace_path) => vec![(report_path, check_report), (trace_path, check_trace)],
+        None => vec![(report_path, check_report)],
+    };
+
+    for (path, check) in checks {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => return fail(&format!("{path}: {e}")),
+        };
+        let doc = match json::parse(&text) {
+            Ok(d) => d,
+            Err(e) => return fail(&format!("{path}: invalid JSON: {e}")),
+        };
+        match check(&doc) {
+            Ok(msg) => println!("{path}: {msg}"),
+            Err(msg) => return fail(&format!("{path}: {msg}")),
+        }
+    }
+    ExitCode::SUCCESS
+}

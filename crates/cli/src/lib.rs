@@ -1,13 +1,14 @@
 //! Implementation of the `gplu` command-line driver (library-shaped so the
 //! command logic is unit-testable without spawning processes).
 
-use gplu_core::{GpluError, LuFactorization, LuOptions, NumericFormat, SymbolicEngine};
+use gplu_core::{GpluError, LuFactorization, LuOptions, NumericFormat, RunReport, SymbolicEngine};
 use gplu_sim::{CostModel, FaultPlan, Gpu, GpuConfig};
 use gplu_sparse::convert::coo_to_csr;
 use gplu_sparse::gen::{circuit, mesh, planar};
 use gplu_sparse::io::{read_matrix_market_file, write_matrix_market_file};
 use gplu_sparse::ordering::OrderingKind;
 use gplu_sparse::{Coo, Csr, SparseError};
+use gplu_trace::{chrome_trace, metrics_text, Recorder};
 use std::fmt;
 use std::io::Write;
 
@@ -37,6 +38,12 @@ options:
                                 squeeze:alloc=N:KEEP%, badlaunch:KERNEL=N
                                 [:persistent], or seed:S (random plan).
                                 Also read from GPLU_FAULT_PLAN when unset.
+  --trace-out <path>            write a Chrome trace-event JSON file of the
+                                run (open in Perfetto / chrome://tracing)
+  --report-json <path>          write the versioned machine-readable run
+                                report (phase timings, per-level records,
+                                GPU counters, recovery log)
+  --metrics                     print span histograms and counters to stdout
 ";
 
 /// CLI error type.
@@ -93,6 +100,20 @@ pub struct RunOptions {
     /// Deterministic fault-injection plan (`--fault-plan` or
     /// `GPLU_FAULT_PLAN`).
     pub fault_plan: Option<FaultPlan>,
+    /// Write a Chrome trace-event file here (`--trace-out`).
+    pub trace_out: Option<String>,
+    /// Write the machine-readable run report here (`--report-json`).
+    pub report_json: Option<String>,
+    /// Print span histograms and counters (`--metrics`).
+    pub metrics: bool,
+}
+
+impl RunOptions {
+    /// True when any telemetry output was requested (the pipeline then
+    /// runs with a live recorder instead of the no-op sink).
+    pub fn wants_telemetry(&self) -> bool {
+        self.trace_out.is_some() || self.report_json.is_some() || self.metrics
+    }
 }
 
 /// Parses the option flags shared by `factorize` and `solve`.
@@ -105,6 +126,9 @@ pub fn parse_options(args: &[String]) -> Result<RunOptions, CliError> {
         mem: None,
         gpu_solve: false,
         fault_plan: None,
+        trace_out: None,
+        report_json: None,
+        metrics: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -148,6 +172,9 @@ pub fn parse_options(args: &[String]) -> Result<RunOptions, CliError> {
             }
             "--gpu-solve" => opts.gpu_solve = true,
             "--repair-singular" => opts.lu.preprocess.repair_singular = true,
+            "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
+            "--report-json" => opts.report_json = Some(value("--report-json")?),
+            "--metrics" => opts.metrics = true,
             "--fault-plan" => {
                 let spec = value("--fault-plan")?;
                 opts.fault_plan = Some(
@@ -183,6 +210,36 @@ fn gpu_for(a: &Csr, opts: &RunOptions) -> Gpu {
         Some(plan) => Gpu::with_fault_plan(cfg, CostModel::default(), plan.clone()),
         None => Gpu::new(cfg),
     }
+}
+
+/// Runs the pipeline, recording telemetry when any of `--trace-out`,
+/// `--report-json`, or `--metrics` was given, and writes the requested
+/// artifacts.
+fn compute_with_telemetry(
+    gpu: &Gpu,
+    a: &Csr,
+    opts: &RunOptions,
+    out: &mut dyn Write,
+) -> Result<LuFactorization, CliError> {
+    if !opts.wants_telemetry() {
+        return Ok(LuFactorization::compute(gpu, a, &opts.lu)?);
+    }
+    let recorder = Recorder::new();
+    let f = LuFactorization::compute_traced(gpu, a, &opts.lu, &recorder)?;
+    let events = recorder.into_events();
+    if let Some(path) = &opts.trace_out {
+        std::fs::write(path, chrome_trace(&events))?;
+        writeln!(out, "trace: {path} ({} events)", events.len())?;
+    }
+    if let Some(path) = &opts.report_json {
+        let report = RunReport::new(a.n_rows(), a.nnz(), f.report.clone(), &events);
+        std::fs::write(path, report.to_json_string())?;
+        writeln!(out, "report: {path}")?;
+    }
+    if opts.metrics {
+        write!(out, "{}", metrics_text(&events))?;
+    }
+    Ok(f)
 }
 
 /// Prints injected-fault counters and the recovery record after a
@@ -243,7 +300,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             let opts = parse_options(&args[2..])?;
             let a = load(path)?;
             let gpu = gpu_for(&a, &opts);
-            let f = LuFactorization::compute(&gpu, &a, &opts.lu)?;
+            let f = compute_with_telemetry(&gpu, &a, &opts, out)?;
             writeln!(out, "{}", f.report.summary())?;
             report_faults(out, &gpu, &f)?;
             writeln!(
@@ -276,7 +333,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             let opts = parse_options(&args[2..])?;
             let a = load(path)?;
             let gpu = gpu_for(&a, &opts);
-            let f = LuFactorization::compute(&gpu, &a, &opts.lu)?;
+            let f = compute_with_telemetry(&gpu, &a, &opts, out)?;
             report_faults(out, &gpu, &f)?;
             let x_true = vec![1.0; a.n_rows()];
             let b = a.spmv(&x_true);
@@ -465,6 +522,51 @@ mod tests {
         assert!(out.contains("injected faults: 1 oom"), "got: {out}");
         assert!(out.contains("recovery:"), "got: {out}");
         assert!(out.contains("chunk backoff"), "got: {out}");
+    }
+
+    #[test]
+    fn telemetry_flags_write_artifacts() {
+        use gplu_trace::{json, JsonValue};
+
+        let path = tmp("telemetry.mtx");
+        run_str(&["gen", "circuit", "300", "5", &path]).expect("gen");
+        let trace_path = tmp("telemetry-trace.json");
+        let report_path = tmp("telemetry-report.json");
+        let out = run_str(&[
+            "factorize",
+            &path,
+            "--trace-out",
+            &trace_path,
+            "--report-json",
+            &report_path,
+            "--metrics",
+        ])
+        .expect("factorize with telemetry");
+        assert!(out.contains("trace: "), "got: {out}");
+        assert!(out.contains("report: "), "got: {out}");
+        assert!(out.contains("spans (simulated time):"), "got: {out}");
+
+        // Both artifacts parse; the trace has events, the report carries
+        // the schema stamp and per-level records.
+        let trace = json::parse(&std::fs::read_to_string(&trace_path).expect("trace file"))
+            .expect("trace parses");
+        let events = trace
+            .get("traceEvents")
+            .and_then(JsonValue::as_arr)
+            .expect("traceEvents");
+        assert!(!events.is_empty());
+
+        let report = json::parse(&std::fs::read_to_string(&report_path).expect("report file"))
+            .expect("report parses");
+        assert_eq!(
+            report.get("schema_version").and_then(JsonValue::as_u64),
+            Some(1)
+        );
+        let levels = report
+            .get("levels")
+            .and_then(JsonValue::as_arr)
+            .expect("levels");
+        assert!(!levels.is_empty(), "per-level records must be present");
     }
 
     #[test]

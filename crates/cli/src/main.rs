@@ -9,9 +9,12 @@
 //!
 //! Options (factorize/solve):
 //! `--ordering amd|rcm|natural`, `--engine ooc|dynamic|um|um-prefetch`,
-//! `--format auto|dense|sparse`, `--mem <MiB>` (device memory; default: the
-//! symbolic out-of-core profile for the input), `--gpu-solve` (solve on the
-//! simulated GPU instead of the host).
+//! `--format auto|dense|sparse|merge`, `--mem <MiB>` (device memory;
+//! default: the symbolic out-of-core profile for the input), `--gpu-solve`
+//! (solve on the simulated GPU instead of the host), `--trace-out <path>`
+//! (Chrome trace-event JSON — open in Perfetto), `--report-json <path>`
+//! (versioned machine-readable run report), `--metrics` (span histograms
+//! on stdout).
 
 use gplu_cli::{run, CliError};
 use std::process::ExitCode;

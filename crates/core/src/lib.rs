@@ -38,9 +38,11 @@ pub mod pipeline;
 pub mod preprocess;
 pub mod recovery;
 pub mod report;
+pub mod telemetry;
 
 pub use error::GpluError;
 pub use pipeline::{LuFactorization, LuOptions, NumericFormat, SymbolicEngine};
 pub use preprocess::{preprocess, PreprocessOptions, PreprocessOutcome};
 pub use recovery::{Phase, RecoveryAction, RecoveryEvent, RecoveryLog};
-pub use report::PhaseReport;
+pub use report::{PhaseReport, PhaseStats};
+pub use telemetry::{extract_levels, LevelRecord, RunReport, SCHEMA_VERSION};

@@ -12,14 +12,20 @@ use crate::error::GpluError;
 use crate::preprocess::{preprocess, PreprocessOptions, PreprocessOutcome};
 use crate::recovery::{Phase, RecoveryAction, RecoveryLog};
 use crate::report::PhaseReport;
-use gplu_numeric::{factorize_gpu_dense, factorize_gpu_merge, factorize_gpu_sparse, NumericError};
-use gplu_schedule::{levelize_gpu, DepGraph, Levels};
+use gplu_numeric::{
+    factorize_gpu_dense_traced, factorize_gpu_merge_traced, factorize_gpu_sparse_traced,
+    NumericError,
+};
+use gplu_schedule::{levelize_gpu_traced, DepGraph, Levels};
 use gplu_sim::{Gpu, SimError};
 use gplu_sparse::convert::csr_to_csc;
 use gplu_sparse::ordering::OrderingKind;
 use gplu_sparse::triangular::solve_lu;
 use gplu_sparse::{Csc, Csr, Permutation, Val};
-use gplu_symbolic::{symbolic_ooc, symbolic_ooc_dynamic, symbolic_um, SymbolicResult, UmMode};
+use gplu_symbolic::{
+    symbolic_ooc_dynamic_traced, symbolic_ooc_traced, symbolic_um_traced, SymbolicResult, UmMode,
+};
+use gplu_trace::{AttrValue, TraceSink, NOOP};
 
 /// Which symbolic engine the pipeline runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -108,6 +114,43 @@ fn ladder_exhausted(phase: Phase, attempts: usize, last: SimError) -> GpluError 
     }
 }
 
+/// Static display name for the symbolic engine (an allocation-free
+/// [`AttrValue::Sym`] on the phase spans).
+fn engine_name(engine: SymbolicEngine) -> &'static str {
+    match engine {
+        SymbolicEngine::Ooc => "Ooc",
+        SymbolicEngine::OocDynamic => "OocDynamic",
+        SymbolicEngine::UmNoPrefetch => "UmNoPrefetch",
+        SymbolicEngine::UmPrefetch => "UmPrefetch",
+    }
+}
+
+/// Static display name for the numeric format.
+fn format_name(format: NumericFormat) -> &'static str {
+    match format {
+        NumericFormat::Auto => "Auto",
+        NumericFormat::Dense => "Dense",
+        NumericFormat::Sparse => "Sparse",
+        NumericFormat::SparseMerge => "SparseMerge",
+    }
+}
+
+/// Emits a `recovery` instant alongside a [`RecoveryLog::record`] call.
+/// The owned attribute strings are only built when the sink is live.
+fn trace_recovery(trace: &dyn TraceSink, ts_ns: f64, phase: Phase, action: &RecoveryAction) {
+    if trace.enabled() {
+        trace.instant(
+            "recovery",
+            "recovery",
+            ts_ns,
+            &[
+                ("phase", AttrValue::Str(phase.to_string())),
+                ("action", AttrValue::Str(action.to_string())),
+            ],
+        );
+    }
+}
+
 /// Runs one symbolic engine, filling the report and recording any
 /// in-engine recovery (chunk backoff, fault-forced streaming).
 fn run_symbolic(
@@ -116,18 +159,19 @@ fn run_symbolic(
     engine: SymbolicEngine,
     report: &mut PhaseReport,
     recovery: &mut RecoveryLog,
+    trace: &dyn TraceSink,
 ) -> Result<SymbolicResult, SimError> {
     let faults_before = gpu.stats().injected_faults();
     let (result, backoffs, streamed) = match engine {
         SymbolicEngine::Ooc => {
-            let out = symbolic_ooc(gpu, matrix)?;
+            let out = symbolic_ooc_traced(gpu, matrix, trace)?;
             report.symbolic = out.time;
             report.chunk_size = out.chunk_size;
             report.symbolic_iterations = out.num_iterations;
             (out.result, out.oom_backoffs, out.streamed_output)
         }
         SymbolicEngine::OocDynamic => {
-            let out = symbolic_ooc_dynamic(gpu, matrix)?;
+            let out = symbolic_ooc_dynamic_traced(gpu, matrix, trace)?;
             report.symbolic = out.time;
             report.chunk_size = out.split.chunk2;
             report.symbolic_iterations = out.num_iterations;
@@ -139,25 +183,25 @@ fn run_symbolic(
             } else {
                 UmMode::NoPrefetch
             };
-            let out = symbolic_um(gpu, matrix, mode)?;
+            let out = symbolic_um_traced(gpu, matrix, mode, trace)?;
             report.symbolic = out.time;
-            report.fault_groups = out.fault_groups;
             (out.result, 0, false)
         }
     };
     if backoffs > 0 {
-        recovery.record(
-            Phase::Symbolic,
-            RecoveryAction::ChunkBackoff {
-                backoffs,
-                final_chunk: report.chunk_size,
-            },
-        );
+        let action = RecoveryAction::ChunkBackoff {
+            backoffs,
+            final_chunk: report.chunk_size,
+        };
+        trace_recovery(trace, gpu.now().as_ns(), Phase::Symbolic, &action);
+        recovery.record(Phase::Symbolic, action);
     }
     // Streaming is the designed out-of-core response to a genuinely small
     // device; it only counts as *recovery* when injected faults forced it.
     if streamed && gpu.stats().injected_faults() > faults_before {
-        recovery.record(Phase::Symbolic, RecoveryAction::StreamedOutput);
+        let action = RecoveryAction::StreamedOutput;
+        trace_recovery(trace, gpu.now().as_ns(), Phase::Symbolic, &action);
+        recovery.record(Phase::Symbolic, action);
     }
     Ok(result)
 }
@@ -188,10 +232,26 @@ impl LuFactorization {
     /// [`GpluError`]; corrective actions taken along the way are listed
     /// in `report.recovery`.
     pub fn compute(gpu: &Gpu, a: &Csr, opts: &LuOptions) -> Result<Self, GpluError> {
+        Self::compute_traced(gpu, a, opts, &NOOP)
+    }
+
+    /// [`LuFactorization::compute`] with telemetry: one `phase.*` span per
+    /// pipeline phase, the engines' per-chunk/per-level spans, and a
+    /// `recovery` instant per corrective action land in `trace`; per-phase
+    /// GPU statistics deltas land in [`PhaseReport::phase_stats`] either
+    /// way.
+    pub fn compute_traced(
+        gpu: &Gpu,
+        a: &Csr,
+        opts: &LuOptions,
+        trace: &dyn TraceSink,
+    ) -> Result<Self, GpluError> {
         let mut report = PhaseReport::default();
         let mut recovery = RecoveryLog::default();
 
         // 1. Pre-processing (host).
+        let pre_before = gpu.stats();
+        trace.span_begin("phase.preprocess", "phase", gpu.now().as_ns(), &[]);
         let PreprocessOutcome {
             mut matrix,
             p_row,
@@ -202,6 +262,13 @@ impl LuFactorization {
         gpu.advance(time);
         report.preprocess = time;
         report.repaired_diagonals = repaired;
+        trace.span_end(
+            "phase.preprocess",
+            "phase",
+            gpu.now().as_ns(),
+            &[("repaired_diagonals", repaired.into())],
+        );
+        report.phase_stats.preprocess = gpu.stats().since(&pre_before);
 
         // 2. Symbolic factorization (GPU), with engine degradation: the
         // out-of-core engines already back off their chunk sizes under
@@ -213,31 +280,50 @@ impl LuFactorization {
             SymbolicEngine::UmNoPrefetch => &[SymbolicEngine::UmNoPrefetch],
             SymbolicEngine::UmPrefetch => &[SymbolicEngine::UmPrefetch],
         };
+        let sym_before = gpu.stats();
+        trace.span_begin(
+            "phase.symbolic",
+            "phase",
+            gpu.now().as_ns(),
+            &[("engine", engine_name(opts.symbolic).into())],
+        );
         let mut symbolic: Option<SymbolicResult> = None;
         let mut last_err: Option<SimError> = None;
         let mut attempts = 0usize;
+        let mut used_engine = opts.symbolic;
         for (i, &engine) in engine_ladder.iter().enumerate() {
             if i > 0 {
                 // The failed attempt left its allocations behind; clear
                 // the device before the fallback engine runs.
                 gpu.mem.reset();
-                recovery.record(
-                    Phase::Symbolic,
-                    RecoveryAction::EngineDegraded {
-                        from: format!("{:?}", engine_ladder[i - 1]),
-                        to: format!("{engine:?}"),
-                    },
-                );
+                let action = RecoveryAction::EngineDegraded {
+                    from: engine_name(engine_ladder[i - 1]).to_string(),
+                    to: engine_name(engine).to_string(),
+                };
+                trace_recovery(trace, gpu.now().as_ns(), Phase::Symbolic, &action);
+                recovery.record(Phase::Symbolic, action);
             }
             attempts += 1;
-            match run_symbolic(gpu, &matrix, engine, &mut report, &mut recovery) {
+            match run_symbolic(gpu, &matrix, engine, &mut report, &mut recovery, trace) {
                 Ok(result) => {
                     symbolic = Some(result);
+                    used_engine = engine;
                     break;
                 }
                 Err(e) => last_err = Some(e),
             }
         }
+        report.phase_stats.symbolic = gpu.stats().since(&sym_before);
+        trace.span_end(
+            "phase.symbolic",
+            "phase",
+            gpu.now().as_ns(),
+            &[
+                ("engine", engine_name(used_engine).into()),
+                ("attempts", attempts.into()),
+                ("ok", symbolic.is_some().into()),
+            ],
+        );
         let Some(symbolic) = symbolic else {
             let last = last_err.unwrap_or(SimError::BadLaunch("no symbolic engine ran".into()));
             return Err(ladder_exhausted(Phase::Symbolic, attempts, last));
@@ -246,8 +332,10 @@ impl LuFactorization {
         report.new_fill_ins = symbolic.new_fill_ins(&matrix);
 
         // 3. Levelization (GPU, dynamic parallelism).
+        let lvl_before = gpu.stats();
+        trace.span_begin("phase.levelize", "phase", gpu.now().as_ns(), &[]);
         let dep = DepGraph::build(&symbolic.filled);
-        let lvl = levelize_gpu(gpu, &dep).map_err(|e| match e {
+        let lvl = levelize_gpu_traced(gpu, &dep, trace).map_err(|e| match e {
             SimError::OutOfMemory { .. } => GpluError::DeviceOom {
                 phase: Phase::Levelize,
                 attempts: 1,
@@ -257,6 +345,16 @@ impl LuFactorization {
         report.levelize = lvl.time;
         report.n_levels = lvl.levels.n_levels();
         report.max_level_width = lvl.levels.max_width();
+        trace.span_end(
+            "phase.levelize",
+            "phase",
+            gpu.now().as_ns(),
+            &[
+                ("levels", report.n_levels.into()),
+                ("max_width", report.max_level_width.into()),
+            ],
+        );
+        report.phase_stats.levelize = gpu.stats().since(&lvl_before);
 
         // 4. Numeric factorization (GPU), format per the paper's
         // criterion unless forced, with format degradation: the dense
@@ -280,31 +378,41 @@ impl LuFactorization {
             NumericFormat::Sparse => &[NumericFormat::Sparse],
             NumericFormat::SparseMerge => &[NumericFormat::SparseMerge],
         };
+        let num_before = gpu.stats();
+        trace.span_begin(
+            "phase.numeric",
+            "phase",
+            gpu.now().as_ns(),
+            &[("format", format_name(opts.format).into())],
+        );
         let mut repair_attempted = false;
-        let numeric = 'numeric: loop {
+        let (numeric, used_format) = 'numeric: loop {
             let mut last_err: Option<SimError> = None;
             let mut attempts = 0usize;
             for (i, &format) in format_ladder.iter().enumerate() {
                 if i > 0 {
                     gpu.mem.reset();
-                    recovery.record(
-                        Phase::Numeric,
-                        RecoveryAction::FormatDegraded {
-                            from: format!("{:?}", format_ladder[i - 1]),
-                            to: format!("{format:?}"),
-                        },
-                    );
+                    let action = RecoveryAction::FormatDegraded {
+                        from: format_name(format_ladder[i - 1]).to_string(),
+                        to: format_name(format).to_string(),
+                    };
+                    trace_recovery(trace, gpu.now().as_ns(), Phase::Numeric, &action);
+                    recovery.record(Phase::Numeric, action);
                 }
                 attempts += 1;
                 let run = match format {
-                    NumericFormat::Dense => factorize_gpu_dense(gpu, &pattern, &lvl.levels),
-                    NumericFormat::Sparse => factorize_gpu_sparse(gpu, &pattern, &lvl.levels),
+                    NumericFormat::Dense => {
+                        factorize_gpu_dense_traced(gpu, &pattern, &lvl.levels, trace)
+                    }
+                    NumericFormat::Sparse => {
+                        factorize_gpu_sparse_traced(gpu, &pattern, &lvl.levels, None, trace)
+                    }
                     NumericFormat::Auto | NumericFormat::SparseMerge => {
-                        factorize_gpu_merge(gpu, &pattern, &lvl.levels)
+                        factorize_gpu_merge_traced(gpu, &pattern, &lvl.levels, trace)
                     }
                 };
                 match run {
-                    Ok(out) => break 'numeric out,
+                    Ok(out) => break 'numeric (out, format),
                     Err(NumericError::Sim(e)) => last_err = Some(e),
                     Err(NumericError::SingularPivot { col, level }) => {
                         // A pivot cancelled to zero mid-elimination. The
@@ -319,10 +427,9 @@ impl LuFactorization {
                         {
                             repair_attempted = true;
                             gpu.mem.reset();
-                            recovery.record(
-                                Phase::Numeric,
-                                RecoveryAction::PivotRepaired { col, value },
-                            );
+                            let action = RecoveryAction::PivotRepaired { col, value };
+                            trace_recovery(trace, gpu.now().as_ns(), Phase::Numeric, &action);
+                            recovery.record(Phase::Numeric, action);
                             report.repaired_diagonals += 1;
                             continue 'numeric;
                         }
@@ -339,6 +446,18 @@ impl LuFactorization {
         report.m_limit = numeric.m_limit;
         report.probes = numeric.probes;
         report.merge_steps = numeric.merge_steps;
+        trace.span_end(
+            "phase.numeric",
+            "phase",
+            gpu.now().as_ns(),
+            &[
+                ("format", format_name(used_format).into()),
+                ("mode_a", numeric.mode_mix.a.into()),
+                ("mode_b", numeric.mode_mix.b.into()),
+                ("mode_c", numeric.mode_mix.c.into()),
+            ],
+        );
+        report.phase_stats.numeric = gpu.stats().since(&num_before);
         report.recovery = recovery;
 
         Ok(LuFactorization {

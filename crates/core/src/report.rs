@@ -2,7 +2,23 @@
 //! their bars into.
 
 use crate::recovery::RecoveryLog;
-use gplu_sim::SimTime;
+use gplu_sim::{GpuStatsSnapshot, SimTime};
+
+/// Per-phase GPU statistics deltas: each field is the difference of the
+/// snapshots taken at that phase's boundaries. This is the single source
+/// of truth for per-phase device accounting (kernel counts, transfer
+/// bytes, unified-memory fault groups).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseStats {
+    /// Host pre-processing (typically only advances the clock).
+    pub preprocess: GpuStatsSnapshot,
+    /// Symbolic factorization (across every ladder attempt).
+    pub symbolic: GpuStatsSnapshot,
+    /// Levelization.
+    pub levelize: GpuStatsSnapshot,
+    /// Numeric factorization (across every ladder attempt).
+    pub numeric: GpuStatsSnapshot,
+}
 
 /// Timing and accounting of one end-to-end factorization.
 #[derive(Debug, Clone, Default)]
@@ -24,8 +40,6 @@ pub struct PhaseReport {
     pub chunk_size: usize,
     /// Out-of-core iterations run by symbolic.
     pub symbolic_iterations: usize,
-    /// Unified-memory fault groups raised during symbolic (UM engines).
-    pub fault_groups: u64,
     /// Levels in the schedule.
     pub n_levels: usize,
     /// Widest level.
@@ -40,6 +54,9 @@ pub struct PhaseReport {
     pub merge_steps: u64,
     /// Diagonal entries repaired during pre-processing.
     pub repaired_diagonals: usize,
+    /// Per-phase GPU statistics deltas (snapshot differences taken at the
+    /// phase boundaries by the pipeline).
+    pub phase_stats: PhaseStats,
     /// Every corrective action taken to keep the run alive (OOM backoff,
     /// engine/format degradation, late pivot repair). Empty on a clean
     /// run.
@@ -58,9 +75,17 @@ impl PhaseReport {
         self.symbolic + self.levelize + self.numeric
     }
 
-    /// One-line human-readable summary.
+    /// Unified-memory fault groups raised during symbolic (Table 3's
+    /// count) — derived from the symbolic-phase snapshot delta rather than
+    /// tracked separately, so there is exactly one source of truth.
+    pub fn fault_groups(&self) -> u64 {
+        self.phase_stats.symbolic.fault_groups
+    }
+
+    /// One-line human-readable summary. Engine-specific counters (probes,
+    /// merge steps) and recovery actions are appended only when present.
     pub fn summary(&self) -> String {
-        format!(
+        let mut s = format!(
             "pre {} | sym {} ({} iters, chunk {}) | lvl {} ({} levels) | num {} | fill {} (+{})",
             self.preprocess,
             self.symbolic,
@@ -71,13 +96,24 @@ impl PhaseReport {
             self.numeric,
             self.fill_nnz,
             self.new_fill_ins,
-        )
+        );
+        if self.probes > 0 {
+            s.push_str(&format!(" | probes {}", self.probes));
+        }
+        if self.merge_steps > 0 {
+            s.push_str(&format!(" | merge {}", self.merge_steps));
+        }
+        if !self.recovery.is_empty() {
+            s.push_str(&format!(" | recovery: {}", self.recovery.summary()));
+        }
+        s
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::recovery::{Phase, RecoveryAction};
 
     #[test]
     fn totals_add_up() {
@@ -100,5 +136,37 @@ mod tests {
         };
         let s = r.summary();
         assert!(s.contains("sym") && s.contains("num") && s.contains("42"));
+        // A clean run with no engine counters stays terse.
+        assert!(!s.contains("probes") && !s.contains("merge") && !s.contains("recovery"));
+
+        // Engine counters and recovery show up exactly when present.
+        let mut busy = PhaseReport {
+            probes: 7,
+            merge_steps: 9,
+            ..Default::default()
+        };
+        busy.recovery.record(
+            Phase::Numeric,
+            RecoveryAction::FormatDegraded {
+                from: "Dense".into(),
+                to: "SparseMerge".into(),
+            },
+        );
+        let s = busy.summary();
+        assert!(s.contains("probes 7"), "{s}");
+        assert!(s.contains("merge 9"), "{s}");
+        assert!(
+            s.contains("recovery:") && s.contains("Dense -> SparseMerge"),
+            "{s}"
+        );
+    }
+
+    #[test]
+    fn fault_groups_come_from_symbolic_phase_stats() {
+        let mut r = PhaseReport::default();
+        assert_eq!(r.fault_groups(), 0);
+        r.phase_stats.symbolic.fault_groups = 17;
+        r.phase_stats.numeric.fault_groups = 99; // not symbolic: ignored
+        assert_eq!(r.fault_groups(), 17);
     }
 }

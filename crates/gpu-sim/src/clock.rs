@@ -65,6 +65,14 @@ impl SimTime {
     pub fn ratio(self, other: SimTime) -> f64 {
         self.0 / other.0
     }
+
+    /// Difference clamped at zero. Unlike `Sub`, makes no monotonicity
+    /// claim — for differencing snapshot pairs whose order the caller does
+    /// not control.
+    #[inline]
+    pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime((self.0 - rhs.0).max(0.0))
+    }
 }
 
 impl Add for SimTime {

@@ -36,21 +36,29 @@ pub struct GpuStatsSnapshot {
 
 impl GpuStatsSnapshot {
     /// Component-wise difference `self - earlier` (for phase accounting).
+    ///
+    /// Saturating on every field: an out-of-order pair (snapshots from
+    /// different phases, or swapped arguments) yields zeros instead of a
+    /// debug-build overflow panic.
     pub fn since(&self, earlier: &GpuStatsSnapshot) -> GpuStatsSnapshot {
         GpuStatsSnapshot {
-            now: self.now - earlier.now,
-            kernels_host: self.kernels_host - earlier.kernels_host,
-            kernels_device: self.kernels_device - earlier.kernels_device,
-            kernel_time: self.kernel_time - earlier.kernel_time,
-            fault_time: self.fault_time - earlier.fault_time,
-            fault_groups: self.fault_groups - earlier.fault_groups,
-            h2d_bytes: self.h2d_bytes - earlier.h2d_bytes,
-            d2h_bytes: self.d2h_bytes - earlier.d2h_bytes,
-            xfer_time: self.xfer_time - earlier.xfer_time,
-            prefetch_time: self.prefetch_time - earlier.prefetch_time,
-            injected_oom: self.injected_oom - earlier.injected_oom,
-            injected_launch_faults: self.injected_launch_faults - earlier.injected_launch_faults,
-            injected_squeezes: self.injected_squeezes - earlier.injected_squeezes,
+            now: self.now.saturating_sub(earlier.now),
+            kernels_host: self.kernels_host.saturating_sub(earlier.kernels_host),
+            kernels_device: self.kernels_device.saturating_sub(earlier.kernels_device),
+            kernel_time: self.kernel_time.saturating_sub(earlier.kernel_time),
+            fault_time: self.fault_time.saturating_sub(earlier.fault_time),
+            fault_groups: self.fault_groups.saturating_sub(earlier.fault_groups),
+            h2d_bytes: self.h2d_bytes.saturating_sub(earlier.h2d_bytes),
+            d2h_bytes: self.d2h_bytes.saturating_sub(earlier.d2h_bytes),
+            xfer_time: self.xfer_time.saturating_sub(earlier.xfer_time),
+            prefetch_time: self.prefetch_time.saturating_sub(earlier.prefetch_time),
+            injected_oom: self.injected_oom.saturating_sub(earlier.injected_oom),
+            injected_launch_faults: self
+                .injected_launch_faults
+                .saturating_sub(earlier.injected_launch_faults),
+            injected_squeezes: self
+                .injected_squeezes
+                .saturating_sub(earlier.injected_squeezes),
         }
     }
 
@@ -103,6 +111,28 @@ mod tests {
         assert_eq!(d.now.as_ns(), 250.0);
         assert_eq!(d.kernels_host, 5);
         assert_eq!(d.fault_groups, 6);
+    }
+
+    #[test]
+    fn since_saturates_on_out_of_order_pairs() {
+        let early = GpuStatsSnapshot {
+            now: SimTime::from_ns(100.0),
+            kernels_host: 2,
+            fault_groups: 5,
+            h2d_bytes: 64,
+            ..Default::default()
+        };
+        let late = GpuStatsSnapshot {
+            now: SimTime::from_ns(350.0),
+            kernels_host: 7,
+            fault_groups: 11,
+            h2d_bytes: 512,
+            ..Default::default()
+        };
+        // Swapped arguments: every field clamps to zero, no panic.
+        let d = early.since(&late);
+        assert_eq!(d, GpuStatsSnapshot::default());
+        assert_eq!(d.now.as_ns(), 0.0);
     }
 
     #[test]

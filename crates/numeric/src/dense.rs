@@ -20,6 +20,7 @@ use crate::values::ValueStore;
 use gplu_schedule::Levels;
 use gplu_sim::{BlockCtx, Gpu, SimError};
 use gplu_sparse::{Csc, SparseError};
+use gplu_trace::{TraceSink, NOOP};
 use parking_lot::Mutex;
 
 /// Factorizes the filled matrix in the dense-column format.
@@ -31,6 +32,18 @@ pub fn factorize_gpu_dense(
     gpu: &Gpu,
     pattern: &Csc,
     levels: &Levels,
+) -> Result<NumericOutcome, NumericError> {
+    factorize_gpu_dense_traced(gpu, pattern, levels, &NOOP)
+}
+
+/// [`factorize_gpu_dense`] with telemetry: one `numeric.level` span per
+/// schedule level; the end event carries the level's width, its A/B/C mode
+/// classification, and the number of M-capped batches it took.
+pub fn factorize_gpu_dense_traced(
+    gpu: &Gpu,
+    pattern: &Csc,
+    levels: &Levels,
+    trace: &dyn TraceSink,
 ) -> Result<NumericOutcome, NumericError> {
     let n = pattern.n_cols();
     let before = gpu.stats();
@@ -66,6 +79,13 @@ pub fn factorize_gpu_dense(
             LevelType::C => mix.c += 1,
         }
         let (threads, stripes) = launch_shape(t);
+        let batches_before = batches;
+        trace.span_begin(
+            "numeric.level",
+            "level",
+            gpu.now().as_ns(),
+            &[("level", li.into()), ("width", cols.len().into())],
+        );
         // Level split into batches of at most M concurrent dense buffers.
         for batch in cols.chunks(m_limit.max(1)) {
             batches += 1;
@@ -113,6 +133,17 @@ pub fn factorize_gpu_dense(
             )?;
             gpu.mem.free(buffers)?;
         }
+        trace.span_end(
+            "numeric.level",
+            "level",
+            gpu.now().as_ns(),
+            &[
+                ("level", li.into()),
+                ("width", cols.len().into()),
+                ("mode", t.letter().into()),
+                ("batches", (batches - batches_before).into()),
+            ],
+        );
         if let Some(e) = error.lock().take() {
             return Err(NumericError::from_sparse_at_level(e, li));
         }

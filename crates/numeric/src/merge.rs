@@ -25,6 +25,7 @@ use crate::values::ValueStore;
 use gplu_schedule::Levels;
 use gplu_sim::{BlockCtx, Gpu};
 use gplu_sparse::{Csc, SparseError};
+use gplu_trace::{TraceSink, NOOP};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -33,6 +34,18 @@ pub fn factorize_gpu_merge(
     gpu: &Gpu,
     pattern: &Csc,
     levels: &Levels,
+) -> Result<NumericOutcome, NumericError> {
+    factorize_gpu_merge_traced(gpu, pattern, levels, &NOOP)
+}
+
+/// [`factorize_gpu_merge`] with telemetry: one `numeric.level` span per
+/// schedule level; the end event carries the level's width, its A/B/C
+/// mode, and the merge-cursor steps the level contributed.
+pub fn factorize_gpu_merge_traced(
+    gpu: &Gpu,
+    pattern: &Csc,
+    levels: &Levels,
+    trace: &dyn TraceSink,
 ) -> Result<NumericOutcome, NumericError> {
     let n = pattern.n_cols();
     let before = gpu.stats();
@@ -56,6 +69,13 @@ pub fn factorize_gpu_merge(
             LevelType::C => mix.c += 1,
         }
         let (threads, stripes) = launch_shape(t);
+        let steps_before = total_merge_steps.load(Ordering::Relaxed);
+        trace.span_begin(
+            "numeric.level",
+            "level",
+            gpu.now().as_ns(),
+            &[("level", li.into()), ("width", cols.len().into())],
+        );
         // Hoisted: one structural cost estimate per column, shared by all
         // of its cooperating stripes (type C runs 64 per column).
         let items_of: Vec<u64> = cols
@@ -89,6 +109,20 @@ pub fn factorize_gpu_merge(
                 }
             },
         )?;
+        trace.span_end(
+            "numeric.level",
+            "level",
+            gpu.now().as_ns(),
+            &[
+                ("level", li.into()),
+                ("width", cols.len().into()),
+                ("mode", t.letter().into()),
+                (
+                    "merge_steps",
+                    (total_merge_steps.load(Ordering::Relaxed) - steps_before).into(),
+                ),
+            ],
+        );
         if let Some(e) = error.lock().take() {
             return Err(NumericError::from_sparse_at_level(e, li));
         }

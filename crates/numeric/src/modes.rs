@@ -26,6 +26,17 @@ pub enum LevelType {
     C,
 }
 
+impl LevelType {
+    /// The mode letter as a static string (telemetry attribute value).
+    pub fn letter(self) -> &'static str {
+        match self {
+            LevelType::A => "A",
+            LevelType::B => "B",
+            LevelType::C => "C",
+        }
+    }
+}
+
 /// Column count below which a level is "narrow" (type C candidate).
 pub const NARROW_LEVEL: usize = 32;
 /// Average update-source count above which columns are "heavy".

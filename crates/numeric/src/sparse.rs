@@ -18,6 +18,7 @@ use crate::values::ValueStore;
 use gplu_schedule::Levels;
 use gplu_sim::{BlockCtx, Gpu};
 use gplu_sparse::{Csc, SparseError};
+use gplu_trace::{TraceSink, NOOP};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -46,6 +47,19 @@ pub fn factorize_gpu_sparse_forced(
     levels: &Levels,
     force: Option<LevelType>,
 ) -> Result<NumericOutcome, NumericError> {
+    factorize_gpu_sparse_traced(gpu, pattern, levels, force, &NOOP)
+}
+
+/// [`factorize_gpu_sparse_forced`] with telemetry: one `numeric.level` span
+/// per schedule level; the end event carries the level's width, its A/B/C
+/// mode, and the binary-search probe count the level contributed.
+pub fn factorize_gpu_sparse_traced(
+    gpu: &Gpu,
+    pattern: &Csc,
+    levels: &Levels,
+    force: Option<LevelType>,
+    trace: &dyn TraceSink,
+) -> Result<NumericOutcome, NumericError> {
     let n = pattern.n_cols();
     let before = gpu.stats();
 
@@ -68,6 +82,13 @@ pub fn factorize_gpu_sparse_forced(
             LevelType::C => mix.c += 1,
         }
         let (threads, stripes) = launch_shape(t);
+        let probes_before = total_probes.load(Ordering::Relaxed);
+        trace.span_begin(
+            "numeric.level",
+            "level",
+            gpu.now().as_ns(),
+            &[("level", li.into()), ("width", cols.len().into())],
+        );
         // Hoisted: one structural cost estimate per column, shared by all
         // of its cooperating stripes (type C runs 64 per column).
         let items_of: Vec<u64> = cols
@@ -108,6 +129,20 @@ pub fn factorize_gpu_sparse_forced(
                 }
             },
         )?;
+        trace.span_end(
+            "numeric.level",
+            "level",
+            gpu.now().as_ns(),
+            &[
+                ("level", li.into()),
+                ("width", cols.len().into()),
+                ("mode", t.letter().into()),
+                (
+                    "probes",
+                    (total_probes.load(Ordering::Relaxed) - probes_before).into(),
+                ),
+            ],
+        );
         if let Some(e) = error.lock().take() {
             return Err(NumericError::from_sparse_at_level(e, li));
         }

@@ -23,6 +23,7 @@ use crate::levels::Levels;
 use crossbeam::queue::SegQueue;
 use gplu_sim::{BlockCtx, Gpu, GpuStatsSnapshot, SimError, SimTime};
 use gplu_sparse::Idx;
+use gplu_trace::{TraceSink, NOOP};
 use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Outcome of GPU levelization.
@@ -40,6 +41,18 @@ pub struct GpuLevelizeOutcome {
 
 /// Runs levelization on the GPU (Algorithm 5).
 pub fn levelize_gpu(gpu: &Gpu, g: &DepGraph) -> Result<GpuLevelizeOutcome, SimError> {
+    levelize_gpu_traced(gpu, g, &NOOP)
+}
+
+/// [`levelize_gpu`] with telemetry: one `levelize.wavefront` span per Kahn
+/// wavefront, carrying the wavefront index and its width (the number of
+/// queue vertices the `update` child kernel processed), plus a
+/// `levelize.width` counter sample per wavefront.
+pub fn levelize_gpu_traced(
+    gpu: &Gpu,
+    g: &DepGraph,
+    trace: &dyn TraceSink,
+) -> Result<GpuLevelizeOutcome, SimError> {
     let n = g.n();
     let before = gpu.stats();
 
@@ -115,6 +128,16 @@ pub fn levelize_gpu(gpu: &Gpu, g: &DepGraph) -> Result<GpuLevelizeOutcome, SimEr
         // update<<< >>> (line 7): one block per queue vertex, threads over
         // its out-edges; decrements are atomic.
         let q = std::mem::take(&mut queue);
+        trace.span_begin(
+            "levelize.wavefront",
+            "level",
+            gpu.now().as_ns(),
+            &[
+                ("wavefront", (level_num as u64 - 1).into()),
+                ("width", q.len().into()),
+            ],
+        );
+        trace.counter("levelize.width", "level", gpu.now().as_ns(), q.len() as f64);
         gpu.launch_device("update", q.len(), 1024, &|b: usize, ctx: &mut BlockCtx| {
             let v = q[b] as usize;
             let out = g.out(v);
@@ -148,6 +171,12 @@ pub fn levelize_gpu(gpu: &Gpu, g: &DepGraph) -> Result<GpuLevelizeOutcome, SimEr
         for &v in &next {
             level_of[v as usize] = level_num;
         }
+        trace.span_end(
+            "levelize.wavefront",
+            "level",
+            gpu.now().as_ns(),
+            &[("next_width", next.len().into())],
+        );
         scheduled += next.len();
         level_num += 1;
         queue = next;

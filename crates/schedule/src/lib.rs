@@ -30,5 +30,5 @@ pub mod levels;
 
 pub use cpu::{levelize_cpu, CpuLevelizeOutcome};
 pub use depgraph::DepGraph;
-pub use gpu::{levelize_gpu, GpuLevelizeOutcome};
+pub use gpu::{levelize_gpu, levelize_gpu_traced, GpuLevelizeOutcome};
 pub use levels::Levels;

@@ -22,6 +22,7 @@ use crate::result::{SymbolicMetrics, SymbolicResult};
 use crossbeam::queue::SegQueue;
 use gplu_sim::{BlockCtx, Gpu, GpuStatsSnapshot, SimError, SimTime};
 use gplu_sparse::{Csr, Idx};
+use gplu_trace::{TraceSink, NOOP};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 /// The two-part split chosen by the prepass.
@@ -134,6 +135,18 @@ pub fn plan_split(gpu: &Gpu, a: &Csr, pool: &WorkspacePool) -> Result<DynamicSpl
 /// Runs out-of-core symbolic factorization with dynamic parallelism
 /// assignment (Algorithm 4).
 pub fn symbolic_ooc_dynamic(gpu: &Gpu, a: &Csr) -> Result<DynamicOutcome, SimError> {
+    symbolic_ooc_dynamic_traced(gpu, a, &NOOP)
+}
+
+/// [`symbolic_ooc_dynamic`] with telemetry: a `symbolic.split` instant for
+/// the prepass decision, one `symbolic.chunk` span per counting-stage
+/// iteration (attrs: iteration, rows, part), and one `symbolic.batch` span
+/// per storing-stage or retry batch.
+pub fn symbolic_ooc_dynamic_traced(
+    gpu: &Gpu,
+    a: &Csr,
+    trace: &dyn TraceSink,
+) -> Result<DynamicOutcome, SimError> {
     let n = a.n_rows();
     let before = gpu.stats();
 
@@ -144,6 +157,17 @@ pub fn symbolic_ooc_dynamic(gpu: &Gpu, a: &Csr) -> Result<DynamicOutcome, SimErr
 
     let pool = WorkspacePool::new(n);
     let split = plan_split(gpu, a, &pool)?;
+    trace.instant(
+        "symbolic.split",
+        "chunk",
+        gpu.now().as_ns(),
+        &[
+            ("n1", split.n1.into()),
+            ("frontier_cap", split.frontier_cap.into()),
+            ("chunk1", split.chunk1.into()),
+            ("chunk2", split.chunk2.into()),
+        ],
+    );
     if split.chunk2 == 0 {
         return Err(SimError::OutOfMemory {
             requested: row_state_bytes(n),
@@ -238,9 +262,20 @@ pub fn symbolic_ooc_dynamic(gpu: &Gpu, a: &Csr) -> Result<DynamicOutcome, SimErr
                 for iter in 0..iters {
                     let start = range.start + iter * eff_chunk;
                     let rows = eff_chunk.min(range.end - start);
+                    trace.span_begin(
+                        "symbolic.chunk",
+                        "chunk",
+                        gpu.now().as_ns(),
+                        &[
+                            ("iter", iter.into()),
+                            ("rows", rows.into()),
+                            ("part", if capped { 1u64.into() } else { 2u64.into() }),
+                        ],
+                    );
                     gpu.launch(stage, rows, 1024, &|b: usize, ctx: &mut BlockCtx| {
                         body((start + b) as u32, capped, ctx);
                     })?;
+                    trace.span_end("symbolic.chunk", "chunk", gpu.now().as_ns(), &[]);
                 }
                 gpu.mem.free(state_dev)?;
             } else {
@@ -285,9 +320,21 @@ pub fn symbolic_ooc_dynamic(gpu: &Gpu, a: &Csr) -> Result<DynamicOutcome, SimErr
                         })?;
                     oom_backoffs += backoffs;
                     num_iterations += 1;
+                    trace.span_begin(
+                        "symbolic.batch",
+                        "chunk",
+                        gpu.now().as_ns(),
+                        &[
+                            ("start", start.into()),
+                            ("rows", rows.into()),
+                            ("nnz", batch_nnz.into()),
+                            ("streamed", streamed_output.into()),
+                        ],
+                    );
                     gpu.launch(stage, rows, 1024, &|b: usize, ctx: &mut BlockCtx| {
                         body((start + b) as u32, capped, ctx);
                     })?;
+                    trace.span_end("symbolic.batch", "chunk", gpu.now().as_ns(), &[]);
                     if let Some(dev) = out_dev {
                         gpu.d2h(batch_nnz * 4);
                         gpu.mem.free(dev)?;
@@ -330,6 +377,12 @@ pub fn symbolic_ooc_dynamic(gpu: &Gpu, a: &Csr) -> Result<DynamicOutcome, SimErr
                 oom_backoffs += backoffs;
                 let batch = &retry[idx..idx + rows];
                 num_iterations += 1;
+                trace.span_begin(
+                    "symbolic.retry",
+                    "chunk",
+                    gpu.now().as_ns(),
+                    &[("rows", batch.len().into())],
+                );
                 gpu.launch(
                     "symbolic_retry",
                     batch.len(),
@@ -338,6 +391,7 @@ pub fn symbolic_ooc_dynamic(gpu: &Gpu, a: &Csr) -> Result<DynamicOutcome, SimErr
                         body(batch[b], false, ctx);
                     },
                 )?;
+                trace.span_end("symbolic.retry", "chunk", gpu.now().as_ns(), &[]);
                 if let Some((dev, nnz)) = out_dev {
                     gpu.d2h(nnz * 4);
                     gpu.mem.free(dev)?;

@@ -42,9 +42,9 @@ pub mod result;
 pub mod um;
 
 pub use cpu::symbolic_cpu;
-pub use dynamic::{symbolic_ooc_dynamic, DynamicSplit};
+pub use dynamic::{symbolic_ooc_dynamic, symbolic_ooc_dynamic_traced, DynamicSplit};
 pub use fill2::{fill2_row, Fill2Workspace, RowMetrics};
 pub use multi::{symbolic_multi_gpu, MultiGpuOutcome, Partition};
-pub use ooc::{symbolic_ooc, OocOutcome};
+pub use ooc::{symbolic_ooc, symbolic_ooc_traced, OocOutcome};
 pub use result::SymbolicResult;
-pub use um::{symbolic_um, UmMode, UmOutcome};
+pub use um::{symbolic_um, symbolic_um_traced, UmMode, UmOutcome};

@@ -26,6 +26,7 @@ use crate::result::{SymbolicMetrics, SymbolicResult};
 use crossbeam::queue::SegQueue;
 use gplu_sim::{BlockCtx, Gpu, GpuConfig, GpuStatsSnapshot, SimError, SimTime};
 use gplu_sparse::{Csr, Idx};
+use gplu_trace::{TraceSink, NOOP};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 /// Outcome of an out-of-core symbolic run.
@@ -134,6 +135,18 @@ pub(crate) fn with_oom_backoff<T>(
 
 /// Runs out-of-core GPU symbolic factorization (Algorithm 3).
 pub fn symbolic_ooc(gpu: &Gpu, a: &Csr) -> Result<OocOutcome, SimError> {
+    symbolic_ooc_traced(gpu, a, &NOOP)
+}
+
+/// [`symbolic_ooc`] with telemetry: one `symbolic.chunk` span per stage-1
+/// out-of-core iteration (carrying the iteration index, row count, and the
+/// iteration's max per-row frontier), and one `symbolic.batch` span per
+/// stage-2 output batch.
+pub fn symbolic_ooc_traced(
+    gpu: &Gpu,
+    a: &Csr,
+    trace: &dyn TraceSink,
+) -> Result<OocOutcome, SimError> {
     let n = a.n_rows();
     let before = gpu.stats();
 
@@ -171,6 +184,12 @@ pub fn symbolic_ooc(gpu: &Gpu, a: &Csr) -> Result<OocOutcome, SimError> {
     for iter in 0..num_iter {
         let start = iter * chunk;
         let rows = chunk.min(n - start);
+        trace.span_begin(
+            "symbolic.chunk",
+            "chunk",
+            gpu.now().as_ns(),
+            &[("iter", iter.into()), ("rows", rows.into())],
+        );
         gpu.launch("symbolic_1", rows, 1024, &|b: usize, ctx: &mut BlockCtx| {
             let src = (start + b) as u32;
             let m = pool.with(|ws| fill2_row(a, src, ws, |_| {}));
@@ -185,6 +204,16 @@ pub fn symbolic_ooc(gpu: &Gpu, a: &Csr) -> Result<OocOutcome, SimError> {
             .max()
             .unwrap_or(0);
         per_iter_max_frontier.push(max_frontier);
+        trace.span_end(
+            "symbolic.chunk",
+            "chunk",
+            gpu.now().as_ns(),
+            &[
+                ("iter", iter.into()),
+                ("rows", rows.into()),
+                ("max_frontier", max_frontier.into()),
+            ],
+        );
     }
 
     // ---- Device prefix sum over fill_count (line 7). ----
@@ -257,6 +286,17 @@ pub fn symbolic_ooc(gpu: &Gpu, a: &Csr) -> Result<OocOutcome, SimError> {
             }
         })?;
         oom_backoffs += backoffs;
+        trace.span_begin(
+            "symbolic.batch",
+            "chunk",
+            gpu.now().as_ns(),
+            &[
+                ("start", start.into()),
+                ("rows", rows.into()),
+                ("nnz", chunk_nnz.into()),
+                ("streamed", streamed_output.into()),
+            ],
+        );
         gpu.launch("symbolic_2", rows, 1024, &|b: usize, ctx: &mut BlockCtx| {
             let src = (start + b) as u32;
             let mut cols = Vec::with_capacity(counts[src as usize] as usize);
@@ -275,6 +315,7 @@ pub fn symbolic_ooc(gpu: &Gpu, a: &Csr) -> Result<OocOutcome, SimError> {
             gpu.mem.free(dev)?;
         }
         gpu.mem.free(state2_dev)?;
+        trace.span_end("symbolic.batch", "chunk", gpu.now().as_ns(), &[]);
         while let Some((src, cols)) = collected.pop() {
             patterns[src as usize] = cols;
         }

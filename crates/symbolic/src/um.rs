@@ -24,6 +24,7 @@ use crate::fill2::{fill2_row, Fill2Workspace};
 use crate::result::{SymbolicMetrics, SymbolicResult};
 use gplu_sim::{BlockCtx, Exec, Gpu, GpuStatsSnapshot, LaunchKind, SimError, SimTime};
 use gplu_sparse::{Csr, Idx};
+use gplu_trace::{TraceSink, NOOP};
 use parking_lot::Mutex;
 
 /// Which unified-memory variant to run.
@@ -56,6 +57,18 @@ pub struct UmOutcome {
 
 /// Runs unified-memory GPU symbolic factorization in the given mode.
 pub fn symbolic_um(gpu: &Gpu, a: &Csr, mode: UmMode) -> Result<UmOutcome, SimError> {
+    symbolic_um_traced(gpu, a, mode, &NOOP)
+}
+
+/// [`symbolic_um`] with telemetry: one `symbolic.batch` span per launch
+/// batch, its end carrying the batch's fault-group delta (the per-batch
+/// resolution behind the paper's Table 3 totals).
+pub fn symbolic_um_traced(
+    gpu: &Gpu,
+    a: &Csr,
+    mode: UmMode,
+    trace: &dyn TraceSink,
+) -> Result<UmOutcome, SimError> {
     let n = a.n_rows();
     let before = gpu.stats();
     let row_bytes = gplu_sim::GpuConfig::SYMBOLIC_ROW_WORDS * 4 * n as u64;
@@ -95,6 +108,13 @@ pub fn symbolic_um(gpu: &Gpu, a: &Csr, mode: UmMode) -> Result<UmOutcome, SimErr
         let mut start = 0usize;
         while start < n {
             let rows = batch.min(n - start);
+            let faults_before = gpu.stats().fault_groups;
+            trace.span_begin(
+                "symbolic.batch",
+                "chunk",
+                gpu.now().as_ns(),
+                &[("start", start.into()), ("rows", rows.into())],
+            );
             if mode == UmMode::Prefetch {
                 let cover = ((rows as u64 * row_bytes) as f64 * PREFETCH_COVERAGE) as u64;
                 gpu.um_prefetch(&state_um, start as u64 * row_bytes, cover.max(1));
@@ -147,6 +167,15 @@ pub fn symbolic_um(gpu: &Gpu, a: &Csr, mode: UmMode) -> Result<UmOutcome, SimErr
                     }
                 },
             )?;
+            trace.span_end(
+                "symbolic.batch",
+                "chunk",
+                gpu.now().as_ns(),
+                &[(
+                    "fault_groups",
+                    (gpu.stats().fault_groups - faults_before).into(),
+                )],
+            );
             start += rows;
         }
         gpu.um.free(state_um);

@@ -1,0 +1,240 @@
+//! Chrome trace-event exporter.
+//!
+//! Produces the JSON object format (`{"traceEvents": [...]}`) understood by
+//! `chrome://tracing` and [Perfetto](https://ui.perfetto.dev). Timestamps
+//! are the pipeline's *simulated* nanoseconds converted to the format's
+//! microsecond unit, so a factorization renders as a flamegraph over
+//! simulated time.
+
+use crate::event::{EventKind, TraceEvent};
+use crate::json::JsonValue;
+
+/// Single process/thread ids: the simulator is a single logical timeline.
+const PID: u64 = 1;
+const TID: u64 = 1;
+
+/// Renders events as Chrome trace-event JSON.
+///
+/// Events are stably sorted by timestamp, so the emission order breaks ties
+/// — in particular a zero-length span keeps its `B` before its `E`, and
+/// nested spans opened at the same instant stay properly nested. Spans left
+/// open by an aborted code path (an engine erroring out of a chunk, a
+/// ladder rung failing mid-phase) are closed with synthetic `E` events at
+/// the final timestamp, so the output is always balanced.
+pub fn chrome_trace(events: &[TraceEvent]) -> String {
+    let mut ordered: Vec<&TraceEvent> = events.iter().collect();
+    ordered.sort_by(|a, b| a.ts_ns.partial_cmp(&b.ts_ns).expect("finite timestamps"));
+
+    let mut trace_events: Vec<JsonValue> = ordered.iter().map(|e| chrome_event(e)).collect();
+
+    // Close any span a failed code path left open (LIFO, so the synthetic
+    // ends unwind the open stack innermost-first).
+    let mut open: Vec<&TraceEvent> = Vec::new();
+    for e in &ordered {
+        match e.kind {
+            EventKind::Begin => open.push(e),
+            EventKind::End => {
+                if let Some(i) = open.iter().rposition(|b| b.name == e.name) {
+                    open.remove(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    let last_ts = ordered.last().map_or(0.0, |e| e.ts_ns);
+    while let Some(b) = open.pop() {
+        trace_events.push(
+            JsonValue::obj()
+                .set("name", b.name)
+                .set("cat", b.cat)
+                .set("ph", "E")
+                .set("ts", last_ts / 1000.0)
+                .set("pid", PID)
+                .set("tid", TID),
+        );
+    }
+
+    JsonValue::obj()
+        .set("traceEvents", trace_events)
+        .set("displayTimeUnit", "ns")
+        .to_compact()
+}
+
+fn chrome_event(e: &TraceEvent) -> JsonValue {
+    let ph = match e.kind {
+        EventKind::Begin => "B",
+        EventKind::End => "E",
+        EventKind::Instant => "i",
+        EventKind::Counter(_) => "C",
+    };
+    let mut out = JsonValue::obj()
+        .set("name", e.name)
+        .set("cat", e.cat)
+        .set("ph", ph)
+        .set("ts", e.ts_ns / 1000.0)
+        .set("pid", PID)
+        .set("tid", TID);
+    if matches!(e.kind, EventKind::Instant) {
+        // Thread-scoped instant marker.
+        out = out.set("s", "t");
+    }
+    let mut args = JsonValue::obj();
+    if let EventKind::Counter(v) = e.kind {
+        args = args.set(e.name, v);
+    }
+    for (k, v) in &e.attrs {
+        args = args.set(k, attr_json(v));
+    }
+    if let JsonValue::Obj(fields) = &args {
+        if !fields.is_empty() {
+            out = out.set("args", args);
+        }
+    }
+    out
+}
+
+fn attr_json(v: &crate::event::AttrValue) -> JsonValue {
+    use crate::event::AttrValue::*;
+    match v {
+        U64(x) => JsonValue::from(*x),
+        I64(x) => JsonValue::from(*x),
+        F64(x) => JsonValue::from(*x),
+        Bool(x) => JsonValue::from(*x),
+        Sym(s) => JsonValue::from(*s),
+        Str(s) => JsonValue::from(s.clone()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::AttrValue;
+    use crate::json::parse;
+
+    fn ev(name: &'static str, kind: EventKind, ts_ns: f64) -> TraceEvent {
+        TraceEvent {
+            name,
+            cat: "test",
+            kind,
+            ts_ns,
+            attrs: vec![],
+        }
+    }
+
+    #[test]
+    fn emits_sorted_balanced_events() {
+        let events = vec![
+            ev("outer", EventKind::Begin, 0.0),
+            ev("inner", EventKind::Begin, 5.0),
+            ev("inner", EventKind::End, 5.0), // zero-length span
+            ev("outer", EventKind::End, 10.0),
+            ev("mark", EventKind::Instant, 7.0),
+            ev("width", EventKind::Counter(3.0), 7.0),
+        ];
+        let out = chrome_trace(&events);
+        let doc = parse(&out).expect("valid json");
+        let list = doc
+            .get("traceEvents")
+            .and_then(JsonValue::as_arr)
+            .expect("traceEvents array");
+        assert_eq!(list.len(), 6);
+
+        // ts non-decreasing, in microseconds.
+        let ts: Vec<f64> = list
+            .iter()
+            .map(|e| e.get("ts").and_then(JsonValue::as_f64).expect("ts"))
+            .collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(ts[0], 0.0);
+        assert_eq!(*ts.last().expect("non-empty"), 0.01); // 10 ns = 0.01 µs
+
+        // B/E balanced, with the zero-length span's B before its E.
+        let phs: Vec<&str> = list
+            .iter()
+            .map(|e| e.get("ph").and_then(JsonValue::as_str).expect("ph"))
+            .collect();
+        assert_eq!(phs.iter().filter(|p| **p == "B").count(), 2);
+        assert_eq!(phs.iter().filter(|p| **p == "E").count(), 2);
+        let inner_b = list
+            .iter()
+            .position(|e| {
+                e.get("name").and_then(JsonValue::as_str) == Some("inner")
+                    && e.get("ph").and_then(JsonValue::as_str) == Some("B")
+            })
+            .expect("inner B");
+        assert_eq!(
+            list[inner_b + 1].get("ph").and_then(JsonValue::as_str),
+            Some("E")
+        );
+
+        // Counter value lands in args under the counter's name.
+        let counter = list
+            .iter()
+            .find(|e| e.get("ph").and_then(JsonValue::as_str) == Some("C"))
+            .expect("counter event");
+        assert_eq!(
+            counter
+                .get("args")
+                .and_then(|a| a.get("width"))
+                .and_then(JsonValue::as_f64),
+            Some(3.0)
+        );
+    }
+
+    #[test]
+    fn unmatched_begin_gets_synthetic_end() {
+        // An engine that errored out of its chunk leaves a dangling B;
+        // the exporter must still hand Perfetto a balanced trace.
+        let events = vec![
+            ev("phase.symbolic", EventKind::Begin, 0.0),
+            ev("symbolic.chunk", EventKind::Begin, 2.0),
+            ev("symbolic.chunk", EventKind::End, 4.0),
+            ev("symbolic.chunk", EventKind::Begin, 6.0),
+        ];
+        let doc = parse(&chrome_trace(&events)).expect("valid json");
+        let list = doc
+            .get("traceEvents")
+            .and_then(JsonValue::as_arr)
+            .expect("arr");
+        let phs: Vec<&str> = list
+            .iter()
+            .map(|e| e.get("ph").and_then(JsonValue::as_str).expect("ph"))
+            .collect();
+        assert_eq!(phs.iter().filter(|p| **p == "B").count(), 3);
+        assert_eq!(phs.iter().filter(|p| **p == "E").count(), 3);
+        // Synthetic ends unwind innermost-first at the last timestamp.
+        assert_eq!(
+            list[4].get("name").and_then(JsonValue::as_str),
+            Some("symbolic.chunk")
+        );
+        assert_eq!(
+            list[5].get("name").and_then(JsonValue::as_str),
+            Some("phase.symbolic")
+        );
+        assert_eq!(list[5].get("ts").and_then(JsonValue::as_f64), Some(0.006));
+    }
+
+    #[test]
+    fn attrs_become_args() {
+        let events = vec![TraceEvent {
+            name: "numeric.level",
+            cat: "level",
+            kind: EventKind::End,
+            ts_ns: 100.0,
+            attrs: vec![
+                ("width", AttrValue::U64(4)),
+                ("mode", AttrValue::Sym("B")),
+                ("frac", AttrValue::F64(0.5)),
+            ],
+        }];
+        let doc = parse(&chrome_trace(&events)).expect("valid json");
+        let e = &doc
+            .get("traceEvents")
+            .and_then(JsonValue::as_arr)
+            .expect("arr")[0];
+        let args = e.get("args").expect("args");
+        assert_eq!(args.get("width").and_then(JsonValue::as_u64), Some(4));
+        assert_eq!(args.get("mode").and_then(JsonValue::as_str), Some("B"));
+        assert_eq!(args.get("frac").and_then(JsonValue::as_f64), Some(0.5));
+    }
+}

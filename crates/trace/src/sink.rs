@@ -1,0 +1,114 @@
+//! The recording interface and the zero-cost disabled sink.
+
+use crate::event::{AttrValue, EventKind};
+
+/// Where telemetry events go.
+///
+/// The engines call the convenience methods ([`TraceSink::span_begin`],
+/// [`TraceSink::span_end`], [`TraceSink::instant`], [`TraceSink::counter`])
+/// with stack-built attribute slices; only an enabled sink turns them into
+/// owned [`TraceEvent`]s. Emission sites that must build owned strings
+/// (e.g. `format!`ed attribute values) should guard on
+/// [`TraceSink::enabled`] so a disabled run allocates nothing.
+pub trait TraceSink: Sync {
+    /// True when events are being kept. The default methods check this
+    /// before constructing anything owned.
+    fn enabled(&self) -> bool;
+
+    /// Records one event. Only called when [`TraceSink::enabled`] is true.
+    fn event(
+        &self,
+        name: &'static str,
+        cat: &'static str,
+        kind: EventKind,
+        ts_ns: f64,
+        attrs: &[(&'static str, AttrValue)],
+    );
+
+    /// Opens a span at `ts_ns`.
+    fn span_begin(
+        &self,
+        name: &'static str,
+        cat: &'static str,
+        ts_ns: f64,
+        attrs: &[(&'static str, AttrValue)],
+    ) {
+        if self.enabled() {
+            self.event(name, cat, EventKind::Begin, ts_ns, attrs);
+        }
+    }
+
+    /// Closes the innermost open span with this name at `ts_ns`.
+    fn span_end(
+        &self,
+        name: &'static str,
+        cat: &'static str,
+        ts_ns: f64,
+        attrs: &[(&'static str, AttrValue)],
+    ) {
+        if self.enabled() {
+            self.event(name, cat, EventKind::End, ts_ns, attrs);
+        }
+    }
+
+    /// Records a point event.
+    fn instant(
+        &self,
+        name: &'static str,
+        cat: &'static str,
+        ts_ns: f64,
+        attrs: &[(&'static str, AttrValue)],
+    ) {
+        if self.enabled() {
+            self.event(name, cat, EventKind::Instant, ts_ns, attrs);
+        }
+    }
+
+    /// Records a counter sample.
+    fn counter(&self, name: &'static str, cat: &'static str, ts_ns: f64, value: f64) {
+        if self.enabled() {
+            self.event(name, cat, EventKind::Counter(value), ts_ns, &[]);
+        }
+    }
+}
+
+/// The disabled sink: every emission is a no-op and, because the default
+/// methods bail on [`TraceSink::enabled`] before building anything owned,
+/// a traced engine running against it performs zero extra heap
+/// allocations.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopSink;
+
+impl TraceSink for NoopSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn event(
+        &self,
+        _name: &'static str,
+        _cat: &'static str,
+        _kind: EventKind,
+        _ts_ns: f64,
+        _attrs: &[(&'static str, AttrValue)],
+    ) {
+    }
+}
+
+/// A shared instance for `&NOOP` call sites.
+pub static NOOP: NoopSink = NoopSink;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_is_disabled_and_silent() {
+        assert!(!NOOP.enabled());
+        // None of these may panic or do anything observable.
+        NOOP.span_begin("a", "c", 0.0, &[("k", AttrValue::U64(1))]);
+        NOOP.span_end("a", "c", 1.0, &[]);
+        NOOP.instant("b", "c", 2.0, &[]);
+        NOOP.counter("n", "c", 3.0, 4.0);
+    }
+}

@@ -1,0 +1,190 @@
+//! End-to-end telemetry contract: every numeric format and a
+//! fault-injected recovery run must produce (a) a JSON run report whose
+//! phase totals match the in-process [`PhaseReport`] exactly and which
+//! parses back through the hand-rolled parser, and (b) a Chrome trace
+//! with non-decreasing timestamps and balanced B/E events.
+
+use gplu_core::{LuFactorization, LuOptions, NumericFormat, RunReport, SymbolicEngine};
+use gplu_sim::{CostModel, FaultPlan, Gpu, GpuConfig};
+use gplu_sparse::gen::random::random_dominant;
+use gplu_sparse::Csr;
+use gplu_trace::{chrome_trace, json, JsonValue, Recorder, TraceEvent};
+
+fn gpu_for(a: &Csr) -> Gpu {
+    Gpu::new(GpuConfig::v100_symbolic_profile(a.n_rows(), a.nnz()))
+}
+
+fn traced_run(gpu: &Gpu, a: &Csr, opts: &LuOptions) -> (LuFactorization, Vec<TraceEvent>) {
+    let recorder = Recorder::new();
+    let f = LuFactorization::compute_traced(gpu, a, opts, &recorder).expect("pipeline ok");
+    (f, recorder.into_events())
+}
+
+/// The acceptance contract: report totals equal `PhaseReport::total()` to
+/// 1e-9 ns, per-level records exist, and the trace is ordered and
+/// balanced.
+fn check_artifacts(f: &LuFactorization, events: &[TraceEvent], label: &str) {
+    assert!(!events.is_empty(), "{label}: no events recorded");
+
+    // --- JSON report round-trip.
+    let run = RunReport::new(
+        f.preprocessed.n_rows(),
+        f.preprocessed.nnz(),
+        f.report.clone(),
+        events,
+    );
+    let text = run.to_json_string();
+    let doc = json::parse(&text).unwrap_or_else(|e| panic!("{label}: report reparse: {e}"));
+
+    let phases = doc.get("phases").expect("phases section");
+    let total_json = phases
+        .get("total_ns")
+        .and_then(JsonValue::as_f64)
+        .expect("total_ns");
+    assert!(
+        (total_json - f.report.total().as_ns()).abs() <= 1e-9,
+        "{label}: report total {total_json} != PhaseReport::total() {}",
+        f.report.total().as_ns()
+    );
+    let sum: f64 = ["preprocess_ns", "symbolic_ns", "levelize_ns", "numeric_ns"]
+        .iter()
+        .map(|k| phases.get(k).and_then(JsonValue::as_f64).expect("phase"))
+        .sum();
+    assert!(
+        (total_json - sum).abs() <= 1e-9,
+        "{label}: phase sum {sum} != total {total_json}"
+    );
+
+    let levels = doc
+        .get("levels")
+        .and_then(JsonValue::as_arr)
+        .expect("levels array");
+    assert_eq!(
+        levels.len(),
+        f.report.n_levels,
+        "{label}: one record per schedule level"
+    );
+
+    // --- Chrome trace: ordered and balanced.
+    let trace = chrome_trace(events);
+    let doc = json::parse(&trace).unwrap_or_else(|e| panic!("{label}: trace reparse: {e}"));
+    let list = doc
+        .get("traceEvents")
+        .and_then(JsonValue::as_arr)
+        .expect("traceEvents");
+    assert!(!list.is_empty(), "{label}: empty trace");
+
+    let mut last_ts = f64::NEG_INFINITY;
+    let mut open: Vec<&str> = Vec::new();
+    for (i, e) in list.iter().enumerate() {
+        let ts = e.get("ts").and_then(JsonValue::as_f64).expect("ts");
+        assert!(
+            ts >= last_ts,
+            "{label}: ts decreases at event {i}: {ts} < {last_ts}"
+        );
+        last_ts = ts;
+        let name = e.get("name").and_then(JsonValue::as_str).expect("name");
+        match e.get("ph").and_then(JsonValue::as_str).expect("ph") {
+            "B" => open.push(name),
+            "E" => {
+                let j = open
+                    .iter()
+                    .rposition(|n| *n == name)
+                    .unwrap_or_else(|| panic!("{label}: unmatched E '{name}' at {i}"));
+                open.remove(j);
+            }
+            _ => {}
+        }
+    }
+    assert!(open.is_empty(), "{label}: spans left open: {open:?}");
+}
+
+#[test]
+fn all_numeric_formats_produce_valid_artifacts() {
+    let a = random_dominant(250, 4.0, 310);
+    for format in [
+        NumericFormat::Auto,
+        NumericFormat::Dense,
+        NumericFormat::Sparse,
+        NumericFormat::SparseMerge,
+    ] {
+        let opts = LuOptions {
+            format,
+            ..Default::default()
+        };
+        let gpu = gpu_for(&a);
+        let (f, events) = traced_run(&gpu, &a, &opts);
+        check_artifacts(&f, &events, &format!("{format:?}"));
+    }
+}
+
+#[test]
+fn fault_injected_run_produces_valid_artifacts_and_recovery_instants() {
+    let a = random_dominant(200, 4.0, 311);
+    let opts = LuOptions {
+        symbolic: SymbolicEngine::Ooc,
+        ..Default::default()
+    };
+    // Ordinal 3 is the symbolic state chunk: the engine backs off its
+    // chunk size and recovers.
+    let gpu = Gpu::with_fault_plan(
+        GpuConfig::v100_symbolic_profile(a.n_rows(), a.nnz()),
+        CostModel::default(),
+        FaultPlan::new().oom_on_alloc(3),
+    );
+    let (f, events) = traced_run(&gpu, &a, &opts);
+    assert!(
+        !f.report.recovery.is_empty(),
+        "fault plan must trigger recovery"
+    );
+    check_artifacts(&f, &events, "faulted");
+
+    // Every recovery action appears as a `recovery` instant with both
+    // attributes populated.
+    let instants: Vec<&TraceEvent> = events.iter().filter(|e| e.name == "recovery").collect();
+    assert_eq!(
+        instants.len(),
+        f.report.recovery.len(),
+        "one instant per recovery action"
+    );
+    for i in &instants {
+        assert!(i.attr("phase").is_some() && i.attr("action").is_some());
+    }
+}
+
+#[test]
+fn phase_spans_cover_the_whole_run() {
+    let a = random_dominant(200, 4.0, 312);
+    let gpu = gpu_for(&a);
+    let (f, events) = traced_run(&gpu, &a, &LuOptions::default());
+
+    for phase in [
+        "phase.preprocess",
+        "phase.symbolic",
+        "phase.levelize",
+        "phase.numeric",
+    ] {
+        let begins = events
+            .iter()
+            .filter(|e| e.name == phase && e.kind == gplu_trace::EventKind::Begin)
+            .count();
+        let ends = events
+            .iter()
+            .filter(|e| e.name == phase && e.kind == gplu_trace::EventKind::End)
+            .count();
+        assert_eq!((begins, ends), (1, 1), "{phase} span must appear once");
+    }
+
+    // The per-phase snapshot deltas are populated: the symbolic phase ran
+    // kernels, and the phase stats' clock deltas sum to the report total.
+    let stats = &f.report.phase_stats;
+    assert!(stats.symbolic.kernels_host + stats.symbolic.kernels_device > 0);
+    let stats_total =
+        stats.preprocess.now + stats.symbolic.now + stats.levelize.now + stats.numeric.now;
+    assert!(
+        (stats_total.as_ns() - f.report.total().as_ns()).abs() <= 1e-6,
+        "phase snapshot clocks {} must cover the report total {}",
+        stats_total,
+        f.report.total()
+    );
+}
