@@ -1,0 +1,344 @@
+//! Little-endian binary encoding for snapshot section payloads.
+//!
+//! Everything in a snapshot is built from a handful of primitives —
+//! fixed-width integers, `f64` bit patterns (so `-0.0`, infinities and
+//! NaNs round-trip exactly, a requirement for bit-identical resume),
+//! length-prefixed byte strings and vectors — plus typed helpers for the
+//! sparse-matrix structures the pipeline persists.
+
+use crate::snapshot::CheckpointError;
+use gplu_sparse::{Csr, Idx, Permutation};
+
+/// Encoder: appends primitives to a growing byte buffer.
+#[derive(Debug, Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// Fresh empty encoder.
+    pub fn new() -> Self {
+        Enc::default()
+    }
+
+    /// Finishes encoding and returns the payload.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` as `u64`.
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Appends an `f64` as its exact bit pattern.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.usize(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Appends a length-prefixed `u32` vector.
+    pub fn vec_u32(&mut self, v: &[u32]) {
+        self.usize(v.len());
+        for &x in v {
+            self.u32(x);
+        }
+    }
+
+    /// Appends a length-prefixed `u64` vector.
+    pub fn vec_u64(&mut self, v: &[u64]) {
+        self.usize(v.len());
+        for &x in v {
+            self.u64(x);
+        }
+    }
+
+    /// Appends a length-prefixed `usize` vector (as `u64`s).
+    pub fn vec_usize(&mut self, v: &[usize]) {
+        self.usize(v.len());
+        for &x in v {
+            self.usize(x);
+        }
+    }
+
+    /// Appends a length-prefixed `f64` vector, bit-exact.
+    pub fn vec_f64(&mut self, v: &[f64]) {
+        self.usize(v.len());
+        for &x in v {
+            self.f64(x);
+        }
+    }
+}
+
+fn corrupt(what: &str) -> CheckpointError {
+    CheckpointError::Corrupt(format!("section payload truncated or malformed: {what}"))
+}
+
+/// Guards length prefixes against truncated/garbage payloads: a claimed
+/// element count may not exceed the bytes actually remaining.
+fn check_len(
+    claimed: u64,
+    elem_bytes: usize,
+    remaining: usize,
+    what: &str,
+) -> Result<usize, CheckpointError> {
+    let need = claimed
+        .checked_mul(elem_bytes as u64)
+        .ok_or_else(|| corrupt(what))?;
+    if need > remaining as u64 {
+        return Err(corrupt(what));
+    }
+    Ok(claimed as usize)
+}
+
+/// Decoder: a cursor over a section payload. Every read is bounds-checked
+/// and fails with [`CheckpointError::Corrupt`] instead of panicking —
+/// snapshots are untrusted input (truncated writes, bit rot).
+#[derive(Debug)]
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// Wraps a payload.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], CheckpointError> {
+        if self.remaining() < n {
+            return Err(corrupt(what));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self, what: &str) -> Result<u8, CheckpointError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    /// Reads a `u32`.
+    pub fn u32(&mut self, what: &str) -> Result<u32, CheckpointError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, what)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Reads a `u64`.
+    pub fn u64(&mut self, what: &str) -> Result<u64, CheckpointError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, what)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads a `usize` (stored as `u64`).
+    pub fn usize(&mut self, what: &str) -> Result<usize, CheckpointError> {
+        let v = self.u64(what)?;
+        usize::try_from(v).map_err(|_| corrupt(what))
+    }
+
+    /// Reads an `f64` bit pattern.
+    pub fn f64(&mut self, what: &str) -> Result<f64, CheckpointError> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self, what: &str) -> Result<String, CheckpointError> {
+        let len = self.u64(what)?;
+        let len = check_len(len, 1, self.remaining(), what)?;
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| corrupt(what))
+    }
+
+    /// Reads a length-prefixed `u32` vector.
+    pub fn vec_u32(&mut self, what: &str) -> Result<Vec<u32>, CheckpointError> {
+        let len = self.u64(what)?;
+        let len = check_len(len, 4, self.remaining(), what)?;
+        (0..len).map(|_| self.u32(what)).collect()
+    }
+
+    /// Reads a length-prefixed `u64` vector.
+    pub fn vec_u64(&mut self, what: &str) -> Result<Vec<u64>, CheckpointError> {
+        let len = self.u64(what)?;
+        let len = check_len(len, 8, self.remaining(), what)?;
+        (0..len).map(|_| self.u64(what)).collect()
+    }
+
+    /// Reads a length-prefixed `usize` vector.
+    pub fn vec_usize(&mut self, what: &str) -> Result<Vec<usize>, CheckpointError> {
+        let len = self.u64(what)?;
+        let len = check_len(len, 8, self.remaining(), what)?;
+        (0..len).map(|_| self.usize(what)).collect()
+    }
+
+    /// Reads a length-prefixed `f64` vector.
+    pub fn vec_f64(&mut self, what: &str) -> Result<Vec<f64>, CheckpointError> {
+        let len = self.u64(what)?;
+        let len = check_len(len, 8, self.remaining(), what)?;
+        (0..len).map(|_| self.f64(what)).collect()
+    }
+}
+
+/// Encodes a CSR matrix (dimensions, structure, bit-exact values).
+pub fn encode_csr(e: &mut Enc, a: &Csr) {
+    e.usize(a.n_rows());
+    e.usize(a.n_cols());
+    e.vec_usize(&a.row_ptr);
+    e.vec_u32(&a.col_idx);
+    e.vec_f64(&a.vals);
+}
+
+/// Decodes a CSR matrix, re-validating its structural invariants so a
+/// corrupted payload cannot smuggle an inconsistent matrix past the
+/// checksum (e.g. a valid checksum over garbage written by a buggy tool).
+pub fn decode_csr(d: &mut Dec<'_>) -> Result<Csr, CheckpointError> {
+    let n_rows = d.usize("csr.n_rows")?;
+    let n_cols = d.usize("csr.n_cols")?;
+    let row_ptr = d.vec_usize("csr.row_ptr")?;
+    let col_idx: Vec<Idx> = d.vec_u32("csr.col_idx")?;
+    let vals = d.vec_f64("csr.vals")?;
+    // Pre-validate what `Csr::new` assumes rather than checks: offsets
+    // must be globally monotone and span `col_idx` before it may slice.
+    let spans = row_ptr.first() == Some(&0)
+        && *row_ptr.last().unwrap_or(&0) == col_idx.len()
+        && row_ptr.windows(2).all(|w| w[0] <= w[1])
+        && n_rows.checked_add(1) == Some(row_ptr.len());
+    if !spans {
+        return Err(CheckpointError::Corrupt(
+            "decoded CSR invalid: malformed row offsets".into(),
+        ));
+    }
+    Csr::new(n_rows, n_cols, row_ptr, col_idx, vals)
+        .map_err(|e| CheckpointError::Corrupt(format!("decoded CSR invalid: {e}")))
+}
+
+/// Encodes a permutation (forward map).
+pub fn encode_perm(e: &mut Enc, p: &Permutation) {
+    e.vec_u32(p.as_slice());
+}
+
+/// Decodes a permutation, re-validating bijectivity.
+pub fn decode_perm(d: &mut Dec<'_>) -> Result<Permutation, CheckpointError> {
+    let fwd = d.vec_u32("perm.forward")?;
+    Permutation::from_forward(fwd)
+        .map_err(|e| CheckpointError::Corrupt(format!("decoded permutation invalid: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut e = Enc::new();
+        e.u8(7);
+        e.u32(0xDEAD_BEEF);
+        e.u64(u64::MAX);
+        e.usize(12345);
+        e.f64(-0.0);
+        e.f64(f64::NEG_INFINITY);
+        e.str("héllo");
+        e.vec_u32(&[1, 2, 3]);
+        e.vec_f64(&[f64::NAN, 1.5]);
+        let bytes = e.into_bytes();
+
+        let mut d = Dec::new(&bytes);
+        assert_eq!(d.u8("a").unwrap(), 7);
+        assert_eq!(d.u32("b").unwrap(), 0xDEAD_BEEF);
+        assert_eq!(d.u64("c").unwrap(), u64::MAX);
+        assert_eq!(d.usize("d").unwrap(), 12345);
+        let z = d.f64("e").unwrap();
+        assert!(z == 0.0 && z.is_sign_negative(), "-0.0 must survive");
+        assert_eq!(d.f64("f").unwrap(), f64::NEG_INFINITY);
+        assert_eq!(d.str("g").unwrap(), "héllo");
+        assert_eq!(d.vec_u32("h").unwrap(), vec![1, 2, 3]);
+        let v = d.vec_f64("i").unwrap();
+        assert!(v[0].is_nan() && v[1] == 1.5);
+        assert_eq!(d.remaining(), 0);
+    }
+
+    #[test]
+    fn truncated_reads_error_instead_of_panicking() {
+        let mut e = Enc::new();
+        e.vec_u64(&[1, 2, 3]);
+        let bytes = e.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut d = Dec::new(&bytes[..cut]);
+            assert!(d.vec_u64("v").is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn absurd_length_prefix_is_rejected_up_front() {
+        // A length prefix claiming 2^60 elements must not attempt a huge
+        // allocation; the remaining-bytes bound catches it first.
+        let mut e = Enc::new();
+        e.u64(1 << 60);
+        let bytes = e.into_bytes();
+        assert!(Dec::new(&bytes).vec_f64("v").is_err());
+        assert!(Dec::new(&bytes).str("s").is_err());
+    }
+
+    #[test]
+    fn csr_and_perm_round_trip_and_validate() {
+        let a = Csr::new(
+            2,
+            2,
+            vec![0, 2, 3],
+            vec![0, 1, 1],
+            vec![1.0, -0.0, f64::MIN_POSITIVE],
+        )
+        .unwrap();
+        let mut e = Enc::new();
+        encode_csr(&mut e, &a);
+        let p = Permutation::from_forward(vec![1, 0]).unwrap();
+        encode_perm(&mut e, &p);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        let a2 = decode_csr(&mut d).unwrap();
+        assert_eq!(a2.row_ptr, a.row_ptr);
+        assert_eq!(a2.col_idx, a.col_idx);
+        assert_eq!(a2.vals[0].to_bits(), 1.0f64.to_bits());
+        assert_eq!(a2.vals[1].to_bits(), (-0.0f64).to_bits());
+        let p2 = decode_perm(&mut d).unwrap();
+        assert_eq!(p2.as_slice(), p.as_slice());
+
+        // A structurally invalid CSR is rejected even though it decodes.
+        let mut e = Enc::new();
+        e.usize(2);
+        e.usize(2);
+        e.vec_usize(&[0, 5, 1]); // non-monotone row_ptr
+        e.vec_u32(&[0]);
+        e.vec_f64(&[1.0]);
+        let bytes = e.into_bytes();
+        assert!(decode_csr(&mut Dec::new(&bytes)).is_err());
+    }
+}

@@ -1,0 +1,134 @@
+//! XXH64 — the 64-bit xxHash used for every snapshot section checksum
+//! and for matrix fingerprints.
+//!
+//! Implemented in-tree (the build has no registry access) following the
+//! canonical specification. Properties that matter here: fast single-pass
+//! hashing of large byte slices, strong avalanche for corruption
+//! detection, and a stable value across platforms and versions — the
+//! checksum is part of the on-disk format.
+
+const PRIME64_1: u64 = 0x9E37_79B1_85EB_CA87;
+const PRIME64_2: u64 = 0xC2B2_AE3D_27D4_EB4F;
+const PRIME64_3: u64 = 0x1656_67B1_9E37_79F9;
+const PRIME64_4: u64 = 0x85EB_CA77_C2B2_AE63;
+const PRIME64_5: u64 = 0x27D4_EB2F_1656_67C5;
+
+#[inline]
+fn round(acc: u64, lane: u64) -> u64 {
+    acc.wrapping_add(lane.wrapping_mul(PRIME64_2))
+        .rotate_left(31)
+        .wrapping_mul(PRIME64_1)
+}
+
+#[inline]
+fn merge_round(hash: u64, acc: u64) -> u64 {
+    (hash ^ round(0, acc))
+        .wrapping_mul(PRIME64_1)
+        .wrapping_add(PRIME64_4)
+}
+
+#[inline]
+fn read_u64(data: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(data[at..at + 8].try_into().expect("8 bytes"))
+}
+
+#[inline]
+fn read_u32(data: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(data[at..at + 4].try_into().expect("4 bytes"))
+}
+
+/// XXH64 of `data` with the given seed.
+pub fn xxh64(data: &[u8], seed: u64) -> u64 {
+    let len = data.len();
+    let mut pos = 0usize;
+    let mut hash = if len >= 32 {
+        let mut v1 = seed.wrapping_add(PRIME64_1).wrapping_add(PRIME64_2);
+        let mut v2 = seed.wrapping_add(PRIME64_2);
+        let mut v3 = seed;
+        let mut v4 = seed.wrapping_sub(PRIME64_1);
+        while pos + 32 <= len {
+            v1 = round(v1, read_u64(data, pos));
+            v2 = round(v2, read_u64(data, pos + 8));
+            v3 = round(v3, read_u64(data, pos + 16));
+            v4 = round(v4, read_u64(data, pos + 24));
+            pos += 32;
+        }
+        let mut h = v1
+            .rotate_left(1)
+            .wrapping_add(v2.rotate_left(7))
+            .wrapping_add(v3.rotate_left(12))
+            .wrapping_add(v4.rotate_left(18));
+        h = merge_round(h, v1);
+        h = merge_round(h, v2);
+        h = merge_round(h, v3);
+        merge_round(h, v4)
+    } else {
+        seed.wrapping_add(PRIME64_5)
+    };
+    hash = hash.wrapping_add(len as u64);
+
+    while pos + 8 <= len {
+        hash = (hash ^ round(0, read_u64(data, pos)))
+            .rotate_left(27)
+            .wrapping_mul(PRIME64_1)
+            .wrapping_add(PRIME64_4);
+        pos += 8;
+    }
+    if pos + 4 <= len {
+        hash = (hash ^ u64::from(read_u32(data, pos)).wrapping_mul(PRIME64_1))
+            .rotate_left(23)
+            .wrapping_mul(PRIME64_2)
+            .wrapping_add(PRIME64_3);
+        pos += 4;
+    }
+    while pos < len {
+        hash = (hash ^ u64::from(data[pos]).wrapping_mul(PRIME64_5))
+            .rotate_left(11)
+            .wrapping_mul(PRIME64_1);
+        pos += 1;
+    }
+
+    hash ^= hash >> 33;
+    hash = hash.wrapping_mul(PRIME64_2);
+    hash ^= hash >> 29;
+    hash = hash.wrapping_mul(PRIME64_3);
+    hash ^ (hash >> 32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vector_empty_input() {
+        // Canonical XXH64("", seed=0).
+        assert_eq!(xxh64(b"", 0), 0xEF46_DB37_51D8_E999);
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let data = b"the quick brown fox jumps over the lazy dog, twice over";
+        assert_eq!(xxh64(data, 7), xxh64(data, 7));
+        assert_ne!(xxh64(data, 7), xxh64(data, 8));
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_hash() {
+        // Exercise every length class: <4, <8, <32, >=32 bytes.
+        for len in [1usize, 3, 5, 7, 11, 31, 32, 33, 64, 100] {
+            let base: Vec<u8> = (0..len as u32).map(|i| (i * 37 + 11) as u8).collect();
+            let h0 = xxh64(&base, 0);
+            for byte in 0..len {
+                for bit in 0..8 {
+                    let mut flipped = base.clone();
+                    flipped[byte] ^= 1 << bit;
+                    assert_ne!(
+                        xxh64(&flipped, 0),
+                        h0,
+                        "len {len}, byte {byte}, bit {bit} collided"
+                    );
+                }
+            }
+        }
+    }
+}

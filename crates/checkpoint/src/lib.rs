@@ -1,0 +1,36 @@
+//! # gplu-checkpoint
+//!
+//! Crash-consistent checkpoint/resume for long factorizations.
+//!
+//! The paper's whole premise is runs whose intermediates exceed device
+//! memory — long, chunked, and restartable *in spirit* (Algorithm 3
+//! already streams source rows in resumable chunks). This crate makes
+//! them restartable *in practice*: a versioned, self-describing binary
+//! snapshot format ([`Snapshot`], magic + format version + per-section
+//! XXH64 checksums) and a durable store ([`CheckpointStore`]) whose
+//! writes are crash-consistent (tmp file + fsync + atomic rename +
+//! latest-valid-wins manifest).
+//!
+//! The crate is deliberately policy-free: it defines the container, the
+//! checksum discipline, the atomicity protocol and typed codecs for the
+//! sparse structures ([`codec`]); *what* goes into each section and
+//! *when* snapshots are cut is decided by the pipeline in `gplu-core`,
+//! which owns the phase structure.
+//!
+//! Corruption of any kind — truncation, bit flips, a forged section id,
+//! a manifest pointing at a missing file — is detected and surfaced as
+//! [`CheckpointError::Corrupt`]; the loader then falls back to the next
+//! older snapshot, and only when *no* candidate verifies does resume
+//! fail. A checkpointed run can therefore never be resumed from torn
+//! state: it either continues from a verified prefix of its own history
+//! or reports corruption explicitly.
+
+pub mod codec;
+pub mod hash;
+pub mod snapshot;
+pub mod store;
+
+pub use codec::{decode_csr, decode_perm, encode_csr, encode_perm, Dec, Enc};
+pub use hash::xxh64;
+pub use snapshot::{section, CheckpointError, Snapshot, FORMAT_VERSION, MAGIC};
+pub use store::{CheckpointStore, ManifestEntry, MANIFEST_FILE, MANIFEST_VERSION};

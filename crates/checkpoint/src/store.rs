@@ -1,0 +1,417 @@
+//! Crash-consistent snapshot storage.
+//!
+//! The durability protocol is the classic one production databases use
+//! for their checkpoint files:
+//!
+//! 1. the snapshot is written to `snap-<seq>.ckpt.tmp`,
+//! 2. the file is fsynced, then atomically renamed to `snap-<seq>.ckpt`,
+//! 3. the directory is fsynced so the rename itself is durable,
+//! 4. `manifest.json` — listing every snapshot with its size and whole-file
+//!    XXH64 — is rewritten through the same tmp/fsync/rename dance.
+//!
+//! A crash at any point leaves either the previous state or the new state,
+//! never a torn one: a torn `.tmp` is simply ignored, a torn snapshot that
+//! somehow got renamed fails its checksums and is skipped. Loading walks
+//! the candidates newest-first and returns the first snapshot that passes
+//! all verification (**latest-valid-wins**); if candidates exist but none
+//! verifies, that is a hard [`CheckpointError::Corrupt`] — resuming from
+//! nothing when progress was supposedly saved must be an explicit,
+//! operator-visible decision, not a silent restart.
+
+use crate::hash::xxh64;
+use crate::snapshot::{CheckpointError, Snapshot};
+use gplu_trace::{json, JsonValue};
+use std::fs::{self, File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Manifest schema version.
+pub const MANIFEST_VERSION: u64 = 1;
+
+/// Manifest file name inside a checkpoint directory.
+pub const MANIFEST_FILE: &str = "manifest.json";
+
+/// One manifest entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// Monotone snapshot sequence number.
+    pub seq: u64,
+    /// File name relative to the checkpoint directory.
+    pub file: String,
+    /// Snapshot size in bytes.
+    pub bytes: u64,
+    /// XXH64 of the whole snapshot file.
+    pub xxh64: u64,
+}
+
+/// A checkpoint directory.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+}
+
+fn snap_file_name(seq: u64) -> String {
+    format!("snap-{seq:08}.ckpt")
+}
+
+fn seq_of_file_name(name: &str) -> Option<u64> {
+    name.strip_prefix("snap-")?
+        .strip_suffix(".ckpt")?
+        .parse()
+        .ok()
+}
+
+/// Writes `data` to `path` durably: tmp file, fsync, atomic rename,
+/// directory fsync.
+fn write_atomic(dir: &Path, path: &Path, data: &[u8]) -> Result<(), CheckpointError> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)?;
+        f.write_all(data)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    // Persist the rename itself. Directory fsync can fail on exotic
+    // filesystems; that is a durability (not correctness) concern, so a
+    // failure here still surfaces as Io.
+    File::open(dir)?.sync_all()?;
+    Ok(())
+}
+
+impl CheckpointStore {
+    /// Opens (creating if needed) a checkpoint directory.
+    pub fn open(dir: &Path) -> Result<Self, CheckpointError> {
+        fs::create_dir_all(dir)?;
+        Ok(CheckpointStore {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    /// The directory this store persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Durably writes `snap` under sequence number `seq` and rewrites the
+    /// manifest. Returns the number of snapshot bytes written.
+    pub fn save(&self, seq: u64, snap: &Snapshot) -> Result<u64, CheckpointError> {
+        let bytes = snap.to_bytes();
+        let path = self.dir.join(snap_file_name(seq));
+        write_atomic(&self.dir, &path, &bytes)?;
+        self.rewrite_manifest()?;
+        Ok(bytes.len() as u64)
+    }
+
+    /// Rebuilds the manifest from the snapshot files actually on disk —
+    /// the directory is the source of truth; the manifest is its durable,
+    /// checksummed index.
+    fn rewrite_manifest(&self) -> Result<(), CheckpointError> {
+        let mut entries = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let Some(seq) = seq_of_file_name(&name) else {
+                continue;
+            };
+            let data = fs::read(entry.path())?;
+            entries.push(ManifestEntry {
+                seq,
+                file: name,
+                bytes: data.len() as u64,
+                xxh64: xxh64(&data, 0),
+            });
+        }
+        entries.sort_by_key(|e| e.seq);
+        let mut doc = String::new();
+        doc.push_str(&format!(
+            "{{\n  \"schema_version\": {MANIFEST_VERSION},\n  \"entries\": ["
+        ));
+        for (i, e) in entries.iter().enumerate() {
+            if i > 0 {
+                doc.push(',');
+            }
+            doc.push_str(&format!(
+                "\n    {{\"seq\": {}, \"file\": \"{}\", \"bytes\": {}, \"xxh64\": \"{:016x}\"}}",
+                e.seq, e.file, e.bytes, e.xxh64
+            ));
+        }
+        doc.push_str("\n  ]\n}\n");
+        write_atomic(&self.dir, &self.dir.join(MANIFEST_FILE), doc.as_bytes())
+    }
+
+    /// Parses the manifest. `Ok(None)` when no manifest exists yet.
+    pub fn read_manifest(&self) -> Result<Option<Vec<ManifestEntry>>, CheckpointError> {
+        let path = self.dir.join(MANIFEST_FILE);
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        let doc = json::parse(&text)
+            .map_err(|e| CheckpointError::Corrupt(format!("manifest.json: {e}")))?;
+        parse_manifest(&doc)
+            .map(Some)
+            .map_err(|e| CheckpointError::Corrupt(format!("manifest.json: {e}")))
+    }
+
+    /// Candidate snapshots, newest first: from the manifest when present
+    /// and parseable, otherwise by scanning the directory (a corrupt
+    /// manifest must not hide intact snapshots).
+    fn candidates(&self) -> Result<Vec<(u64, PathBuf, Option<ManifestEntry>)>, CheckpointError> {
+        let mut out: Vec<(u64, PathBuf, Option<ManifestEntry>)> = match self.read_manifest() {
+            Ok(Some(entries)) => entries
+                .into_iter()
+                .map(|e| (e.seq, self.dir.join(&e.file), Some(e)))
+                .collect(),
+            Ok(None) | Err(_) => {
+                let mut v = Vec::new();
+                if let Ok(rd) = fs::read_dir(&self.dir) {
+                    for entry in rd.flatten() {
+                        let name = entry.file_name().to_string_lossy().into_owned();
+                        if let Some(seq) = seq_of_file_name(&name) {
+                            v.push((seq, entry.path(), None));
+                        }
+                    }
+                }
+                v
+            }
+        };
+        out.sort_by_key(|(seq, _, _)| std::cmp::Reverse(*seq));
+        Ok(out)
+    }
+
+    /// Loads the newest snapshot that passes every check (whole-file hash
+    /// against the manifest, then magic/version/per-section checksums).
+    ///
+    /// * `Ok(None)` — the directory holds no snapshots at all (fresh run).
+    /// * `Ok(Some((seq, snap)))` — the latest valid snapshot.
+    /// * `Err(Corrupt)` — snapshots exist but none verifies.
+    pub fn load_latest(&self) -> Result<Option<(u64, Snapshot)>, CheckpointError> {
+        let candidates = self.candidates()?;
+        if candidates.is_empty() {
+            return Ok(None);
+        }
+        let mut failures = Vec::new();
+        for (seq, path, entry) in &candidates {
+            let data = match fs::read(path) {
+                Ok(d) => d,
+                Err(e) => {
+                    failures.push(format!("{}: {e}", path.display()));
+                    continue;
+                }
+            };
+            if let Some(e) = entry {
+                let actual = xxh64(&data, 0);
+                if actual != e.xxh64 || data.len() as u64 != e.bytes {
+                    failures.push(format!(
+                        "{}: file hash/size disagrees with manifest",
+                        path.display()
+                    ));
+                    continue;
+                }
+            }
+            match Snapshot::from_bytes(&data) {
+                Ok(snap) => return Ok(Some((*seq, snap))),
+                Err(e) => failures.push(format!("{}: {e}", path.display())),
+            }
+        }
+        Err(CheckpointError::Corrupt(format!(
+            "no valid snapshot among {} candidate(s): {}",
+            candidates.len(),
+            failures.join("; ")
+        )))
+    }
+
+    /// Highest sequence number present on disk (valid or not), so a
+    /// resumed run continues numbering instead of overwriting history.
+    pub fn max_seq(&self) -> Result<u64, CheckpointError> {
+        Ok(self
+            .candidates()?
+            .first()
+            .map(|(seq, _, _)| *seq)
+            .unwrap_or(0))
+    }
+}
+
+fn parse_manifest(doc: &JsonValue) -> Result<Vec<ManifestEntry>, String> {
+    let version = doc
+        .get("schema_version")
+        .and_then(JsonValue::as_u64)
+        .ok_or("schema_version missing")?;
+    if version != MANIFEST_VERSION {
+        return Err(format!("unknown schema_version {version}"));
+    }
+    let entries = doc
+        .get("entries")
+        .and_then(JsonValue::as_arr)
+        .ok_or("entries missing")?;
+    let mut out = Vec::with_capacity(entries.len());
+    for (i, e) in entries.iter().enumerate() {
+        let seq = e
+            .get("seq")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| format!("entries[{i}].seq missing"))?;
+        let file = e
+            .get("file")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("entries[{i}].file missing"))?;
+        if file.contains('/') || file.contains("..") {
+            return Err(format!("entries[{i}].file escapes the directory"));
+        }
+        let bytes = e
+            .get("bytes")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| format!("entries[{i}].bytes missing"))?;
+        let hash = e
+            .get("xxh64")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("entries[{i}].xxh64 missing"))?;
+        let xxh64 = u64::from_str_radix(hash, 16)
+            .map_err(|_| format!("entries[{i}].xxh64 not a hex hash"))?;
+        out.push(ManifestEntry {
+            seq,
+            file: file.to_string(),
+            bytes,
+            xxh64,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::section;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new() -> Self {
+            static NEXT: AtomicU32 = AtomicU32::new(0);
+            let dir = std::env::temp_dir().join(format!(
+                "gplu-ckpt-store-test-{}-{}",
+                std::process::id(),
+                NEXT.fetch_add(1, Ordering::Relaxed)
+            ));
+            fs::create_dir_all(&dir).unwrap();
+            TempDir(dir)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn snap(tag: u8) -> Snapshot {
+        let mut s = Snapshot::new();
+        s.add_section(section::META, vec![tag; 16]);
+        s
+    }
+
+    #[test]
+    fn empty_dir_loads_none() {
+        let t = TempDir::new();
+        let store = CheckpointStore::open(&t.0).unwrap();
+        assert!(store.load_latest().unwrap().is_none());
+        assert_eq!(store.max_seq().unwrap(), 0);
+    }
+
+    #[test]
+    fn latest_valid_wins() {
+        let t = TempDir::new();
+        let store = CheckpointStore::open(&t.0).unwrap();
+        store.save(1, &snap(1)).unwrap();
+        store.save(2, &snap(2)).unwrap();
+        let (seq, s) = store.load_latest().unwrap().expect("snapshot");
+        assert_eq!(seq, 2);
+        assert_eq!(s.section(section::META), Some(&[2u8; 16][..]));
+        assert_eq!(store.max_seq().unwrap(), 2);
+        let entries = store.read_manifest().unwrap().expect("manifest");
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].seq, 1);
+        assert_eq!(entries[1].file, "snap-00000002.ckpt");
+    }
+
+    #[test]
+    fn corrupt_latest_falls_back_to_older_valid() {
+        let t = TempDir::new();
+        let store = CheckpointStore::open(&t.0).unwrap();
+        store.save(1, &snap(1)).unwrap();
+        store.save(2, &snap(2)).unwrap();
+        // Flip a payload byte in the newest snapshot.
+        let p = t.0.join(snap_file_name(2));
+        let mut data = fs::read(&p).unwrap();
+        let last = data.len() - 1;
+        data[last] ^= 0xFF;
+        fs::write(&p, &data).unwrap();
+
+        let (seq, s) = store.load_latest().unwrap().expect("older snapshot");
+        assert_eq!(seq, 1);
+        assert_eq!(s.section(section::META), Some(&[1u8; 16][..]));
+    }
+
+    #[test]
+    fn all_corrupt_is_a_hard_error() {
+        let t = TempDir::new();
+        let store = CheckpointStore::open(&t.0).unwrap();
+        store.save(1, &snap(1)).unwrap();
+        store.save(2, &snap(2)).unwrap();
+        for seq in [1, 2] {
+            let p = t.0.join(snap_file_name(seq));
+            let mut data = fs::read(&p).unwrap();
+            data.truncate(data.len() / 2);
+            fs::write(&p, &data).unwrap();
+        }
+        assert!(matches!(
+            store.load_latest(),
+            Err(CheckpointError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn missing_manifest_still_finds_snapshots() {
+        let t = TempDir::new();
+        let store = CheckpointStore::open(&t.0).unwrap();
+        store.save(3, &snap(3)).unwrap();
+        fs::remove_file(t.0.join(MANIFEST_FILE)).unwrap();
+        let (seq, _) = store.load_latest().unwrap().expect("snapshot");
+        assert_eq!(seq, 3);
+    }
+
+    #[test]
+    fn garbage_manifest_falls_back_to_directory_scan() {
+        let t = TempDir::new();
+        let store = CheckpointStore::open(&t.0).unwrap();
+        store.save(1, &snap(1)).unwrap();
+        fs::write(t.0.join(MANIFEST_FILE), b"{not json").unwrap();
+        let (seq, _) = store.load_latest().unwrap().expect("snapshot");
+        assert_eq!(seq, 1);
+    }
+
+    #[test]
+    fn stray_tmp_files_are_ignored() {
+        let t = TempDir::new();
+        let store = CheckpointStore::open(&t.0).unwrap();
+        store.save(1, &snap(1)).unwrap();
+        // A torn write that never got renamed.
+        fs::write(t.0.join("snap-00000009.ckpt.tmp"), b"torn").unwrap();
+        let (seq, _) = store.load_latest().unwrap().expect("snapshot");
+        assert_eq!(seq, 1);
+    }
+
+    #[test]
+    fn manifest_rejects_path_escapes() {
+        let doc = json::parse(
+            r#"{"schema_version": 1, "entries": [{"seq": 1, "file": "../evil.ckpt", "bytes": 1, "xxh64": "00"}]}"#,
+        )
+        .unwrap();
+        assert!(parse_manifest(&doc).is_err());
+    }
+}

@@ -1,14 +1,20 @@
-//! `telemetry_check` — CI validator for the telemetry artifacts.
+//! `telemetry_check` — CI validator for the run's durable artifacts.
 //!
 //! ```text
 //! telemetry_check <report.json> [trace.json]
+//! telemetry_check --manifest <checkpoint-dir>
 //! ```
 //!
 //! Checks that a `--report-json` file is schema-versioned, internally
 //! consistent (the phase totals add up), and carries per-level records,
 //! and that a `--trace-out` file is a balanced, time-ordered Chrome
-//! trace. Exits non-zero with a message on the first violation.
+//! trace. With `--manifest`, validates a `--checkpoint-dir` instead:
+//! the manifest parses, every listed snapshot exists with the advertised
+//! size and whole-file hash, every snapshot passes its own structural
+//! checks, and the latest-valid-wins load succeeds. Exits non-zero with
+//! a message on the first violation.
 
+use gplu_checkpoint::{xxh64, CheckpointStore, Snapshot};
 use gplu_trace::{json, JsonValue};
 use std::process::ExitCode;
 
@@ -121,10 +127,76 @@ fn check_trace(doc: &JsonValue) -> Result<String, String> {
     Ok(format!("trace ok: {} events, {spans} spans", events.len()))
 }
 
+/// Validates a checkpoint directory: manifest ↔ files ↔ checksums ↔
+/// structural snapshot decode, plus the latest-valid-wins load the
+/// pipeline itself would perform on `--resume`.
+fn check_manifest(dir: &str) -> Result<String, String> {
+    let dir = std::path::Path::new(dir);
+    let store = CheckpointStore::open(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let entries = store
+        .read_manifest()
+        .map_err(|e| format!("manifest: {e}"))?
+        .ok_or("manifest: missing (no manifest.json in the directory)")?;
+    if entries.is_empty() {
+        return Err("manifest: empty (no snapshots listed)".into());
+    }
+    let mut last_seq = None;
+    for e in &entries {
+        if let Some(prev) = last_seq {
+            if e.seq <= prev {
+                return Err(format!(
+                    "manifest: sequence numbers not strictly increasing ({prev} then {})",
+                    e.seq
+                ));
+            }
+        }
+        last_seq = Some(e.seq);
+        let path = dir.join(&e.file);
+        let data = std::fs::read(&path).map_err(|err| format!("{}: {err}", path.display()))?;
+        if data.len() as u64 != e.bytes {
+            return Err(format!(
+                "{}: size {} disagrees with manifest ({})",
+                e.file,
+                data.len(),
+                e.bytes
+            ));
+        }
+        let actual = xxh64(&data, 0);
+        if actual != e.xxh64 {
+            return Err(format!(
+                "{}: whole-file hash {actual:016x} disagrees with manifest {:016x}",
+                e.file, e.xxh64
+            ));
+        }
+        Snapshot::from_bytes(&data).map_err(|err| format!("{}: {err}", e.file))?;
+    }
+    let (seq, snap) = store
+        .load_latest()
+        .map_err(|e| format!("load_latest: {e}"))?
+        .ok_or("load_latest: no snapshot found despite a populated manifest")?;
+    Ok(format!(
+        "manifest ok: {} snapshot(s), latest seq {seq} ({} sections)",
+        entries.len(),
+        snap.section_ids().len()
+    ))
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--manifest") {
+        let Some(dir) = args.get(1) else {
+            return fail("usage: telemetry_check --manifest <checkpoint-dir>");
+        };
+        return match check_manifest(dir) {
+            Ok(msg) => {
+                println!("{dir}: {msg}");
+                ExitCode::SUCCESS
+            }
+            Err(msg) => fail(&format!("{dir}: {msg}")),
+        };
+    }
     let Some(report_path) = args.first() else {
-        return fail("usage: telemetry_check <report.json> [trace.json]");
+        return fail("usage: telemetry_check <report.json> [trace.json] | --manifest <dir>");
     };
 
     type Check = fn(&JsonValue) -> Result<String, String>;

@@ -1,14 +1,17 @@
 //! Implementation of the `gplu` command-line driver (library-shaped so the
 //! command logic is unit-testable without spawning processes).
 
-use gplu_core::{GpluError, LuFactorization, LuOptions, NumericFormat, RunReport, SymbolicEngine};
+use gplu_core::{
+    CheckpointOptions, GpluError, LuFactorization, LuOptions, NumericFormat, RunReport,
+    SymbolicEngine,
+};
 use gplu_sim::{CostModel, FaultPlan, Gpu, GpuConfig};
 use gplu_sparse::convert::coo_to_csr;
 use gplu_sparse::gen::{circuit, mesh, planar};
 use gplu_sparse::io::{read_matrix_market_file, write_matrix_market_file};
 use gplu_sparse::ordering::OrderingKind;
 use gplu_sparse::{Coo, Csr, SparseError};
-use gplu_trace::{chrome_trace, metrics_text, Recorder};
+use gplu_trace::{chrome_trace, metrics_text, Recorder, NOOP};
 use std::fmt;
 use std::io::Write;
 
@@ -36,8 +39,19 @@ options:
   --fault-plan <spec>           inject deterministic device faults; spec is a
                                 comma list of oom:alloc=N[:persistent],
                                 squeeze:alloc=N:KEEP%, badlaunch:KERNEL=N
-                                [:persistent], or seed:S (random plan).
+                                [:persistent], crash:at=N (kill the process at
+                                its Nth crash point — checkpoint write
+                                boundaries), or seed:S (random plan).
                                 Also read from GPLU_FAULT_PLAN when unset.
+  --checkpoint-dir <dir>        cut crash-consistent snapshots into <dir>: one
+                                at every phase boundary plus periodic partial
+                                snapshots inside the symbolic/numeric phases
+  --checkpoint-every <N>        partial-snapshot cadence in completed symbolic
+                                iterations / numeric levels (default 8;
+                                requires --checkpoint-dir, must be >= 1)
+  --resume                      resume from the latest valid snapshot in
+                                --checkpoint-dir (which must belong to the
+                                same matrix) instead of starting over
   --trace-out <path>            write a Chrome trace-event JSON file of the
                                 run (open in Perfetto / chrome://tracing)
   --report-json <path>          write the versioned machine-readable run
@@ -106,6 +120,9 @@ pub struct RunOptions {
     pub report_json: Option<String>,
     /// Print span histograms and counters (`--metrics`).
     pub metrics: bool,
+    /// Crash-consistent checkpointing (`--checkpoint-dir`,
+    /// `--checkpoint-every`, `--resume`), validated as a unit.
+    pub checkpoint: Option<CheckpointOptions>,
 }
 
 impl RunOptions {
@@ -129,7 +146,11 @@ pub fn parse_options(args: &[String]) -> Result<RunOptions, CliError> {
         trace_out: None,
         report_json: None,
         metrics: false,
+        checkpoint: None,
     };
+    let mut ckpt_dir: Option<String> = None;
+    let mut ckpt_every: Option<usize> = None;
+    let mut resume = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut value = |flag: &str| {
@@ -171,6 +192,20 @@ pub fn parse_options(args: &[String]) -> Result<RunOptions, CliError> {
                 opts.mem = Some(mib << 20);
             }
             "--gpu-solve" => opts.gpu_solve = true,
+            "--checkpoint-dir" => ckpt_dir = Some(value("--checkpoint-dir")?),
+            "--checkpoint-every" => {
+                let n: usize = value("--checkpoint-every")?.parse().map_err(|_| {
+                    CliError::Usage("--checkpoint-every takes a positive integer".into())
+                })?;
+                if n == 0 {
+                    return Err(CliError::Usage(
+                        "--checkpoint-every must be at least 1 (0 would never cut a snapshot)"
+                            .into(),
+                    ));
+                }
+                ckpt_every = Some(n);
+            }
+            "--resume" => resume = true,
             "--repair-singular" => opts.lu.preprocess.repair_singular = true,
             "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
             "--report-json" => opts.report_json = Some(value("--report-json")?),
@@ -189,6 +224,26 @@ pub fn parse_options(args: &[String]) -> Result<RunOptions, CliError> {
         opts.fault_plan = FaultPlan::from_env()
             .map_err(|e| CliError::Usage(format!("{}: {e}", gplu_sim::FAULT_PLAN_ENV)))?;
     }
+    opts.checkpoint = match ckpt_dir {
+        Some(dir) => {
+            let mut ckpt = CheckpointOptions::new(dir).resume(resume);
+            if let Some(n) = ckpt_every {
+                ckpt = ckpt.every(n);
+            }
+            Some(ckpt)
+        }
+        None if resume => {
+            return Err(CliError::Usage(
+                "--resume requires --checkpoint-dir (where should the snapshot come from?)".into(),
+            ));
+        }
+        None if ckpt_every.is_some() => {
+            return Err(CliError::Usage(
+                "--checkpoint-every requires --checkpoint-dir".into(),
+            ));
+        }
+        None => None,
+    };
     Ok(opts)
 }
 
@@ -222,10 +277,16 @@ fn compute_with_telemetry(
     out: &mut dyn Write,
 ) -> Result<LuFactorization, CliError> {
     if !opts.wants_telemetry() {
-        return Ok(LuFactorization::compute(gpu, a, &opts.lu)?);
+        return Ok(match &opts.checkpoint {
+            Some(ckpt) => LuFactorization::compute_checkpointed(gpu, a, &opts.lu, ckpt, &NOOP)?,
+            None => LuFactorization::compute(gpu, a, &opts.lu)?,
+        });
     }
     let recorder = Recorder::new();
-    let f = LuFactorization::compute_traced(gpu, a, &opts.lu, &recorder)?;
+    let f = match &opts.checkpoint {
+        Some(ckpt) => LuFactorization::compute_checkpointed(gpu, a, &opts.lu, ckpt, &recorder)?,
+        None => LuFactorization::compute_traced(gpu, a, &opts.lu, &recorder)?,
+    };
     let events = recorder.into_events();
     if let Some(path) = &opts.trace_out {
         std::fs::write(path, chrome_trace(&events))?;
@@ -303,6 +364,14 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             let f = compute_with_telemetry(&gpu, &a, &opts, out)?;
             writeln!(out, "{}", f.report.summary())?;
             report_faults(out, &gpu, &f)?;
+            if let Some(ckpt) = &opts.checkpoint {
+                writeln!(
+                    out,
+                    "checkpoints: {} (cadence {})",
+                    ckpt.dir.display(),
+                    ckpt.every
+                )?;
+            }
             writeln!(
                 out,
                 "levels: {} (widest {}), modes A/B/C: {:?}",
@@ -567,6 +636,91 @@ mod tests {
             .and_then(JsonValue::as_arr)
             .expect("levels");
         assert!(!levels.is_empty(), "per-level records must be present");
+    }
+
+    #[test]
+    fn checkpoint_flags_parse_and_validate() {
+        let o = parse_options(
+            &["--checkpoint-dir", "/tmp/ck", "--checkpoint-every", "3"].map(String::from),
+        )
+        .expect("parses");
+        let ckpt = o.checkpoint.expect("checkpoint options");
+        assert_eq!(ckpt.dir, std::path::PathBuf::from("/tmp/ck"));
+        assert_eq!(ckpt.every, 3);
+        assert!(!ckpt.resume);
+
+        let o = parse_options(&["--checkpoint-dir", "/tmp/ck", "--resume"].map(String::from))
+            .expect("parses");
+        assert!(o.checkpoint.expect("checkpoint options").resume);
+
+        // Satellite guardrails: every bad combination is a typed usage
+        // error, never a panic or a silent ignore.
+        for bad in [
+            vec!["--resume"],
+            vec!["--checkpoint-every", "4"],
+            vec!["--checkpoint-dir", "/tmp/ck", "--checkpoint-every", "0"],
+            vec!["--checkpoint-dir", "/tmp/ck", "--checkpoint-every", "wat"],
+            vec!["--checkpoint-dir"],
+        ] {
+            let args: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
+            assert!(
+                matches!(parse_options(&args), Err(CliError::Usage(_))),
+                "expected usage error for {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn crash_then_resume_from_the_command_line() {
+        let path = tmp("crashy.mtx");
+        run_str(&["gen", "circuit", "300", "5", &path]).expect("gen");
+        let dir = tmp("crashy-ckpt");
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // First run is killed at an injected crash point mid-factorization.
+        let err = run_str(&[
+            "factorize",
+            &path,
+            "--checkpoint-dir",
+            &dir,
+            "--checkpoint-every",
+            "2",
+            "--fault-plan",
+            "crash:at=5",
+        ])
+        .unwrap_err();
+        assert!(
+            matches!(err, CliError::Pipeline(GpluError::Crashed { ordinal: 5 })),
+            "got {err}"
+        );
+
+        // A snapshot survived the crash...
+        let snapshots = std::fs::read_dir(&dir).expect("checkpoint dir").count();
+        assert!(snapshots > 0, "no snapshots written before the crash");
+
+        // ...and the rerun resumes from it and completes.
+        let out = run_str(&[
+            "factorize",
+            &path,
+            "--checkpoint-dir",
+            &dir,
+            "--checkpoint-every",
+            "2",
+            "--resume",
+        ])
+        .expect("resume completes");
+        assert!(out.contains("total simulated time"), "got: {out}");
+        assert!(out.contains("checkpoints: "), "got: {out}");
+
+        // Resuming against a different matrix is a typed mismatch.
+        let other = tmp("crashy-other.mtx");
+        run_str(&["gen", "circuit", "310", "5", &other]).expect("gen");
+        let err =
+            run_str(&["factorize", &other, "--checkpoint-dir", &dir, "--resume"]).unwrap_err();
+        assert!(
+            matches!(err, CliError::Pipeline(GpluError::CheckpointMismatch(_))),
+            "got {err}"
+        );
     }
 
     #[test]

@@ -48,6 +48,22 @@ pub enum GpluError {
         /// Stringified error from the last attempt.
         last: String,
     },
+    /// The process was killed at an injected crash point (fault plan
+    /// `crash:at=N`). Terminal by design: no ladder degrades around it —
+    /// a later run resumes from the last durable checkpoint.
+    Crashed {
+        /// Crash-point ordinal (1-based) the kill fired on.
+        ordinal: u64,
+    },
+    /// A checkpoint snapshot failed its checksum or structural
+    /// validation and no older valid snapshot was available.
+    CheckpointCorrupt(String),
+    /// A `--resume` snapshot was written for a different matrix than the
+    /// one being factorized.
+    CheckpointMismatch(String),
+    /// Checkpoint configuration or I/O failure (bad flag combination,
+    /// unwritable directory, failed write).
+    Checkpoint(String),
 }
 
 impl fmt::Display for GpluError {
@@ -74,6 +90,12 @@ impl fmt::Display for GpluError {
                 f,
                 "recovery exhausted in {phase} phase after {attempts} attempt(s): {last}"
             ),
+            GpluError::Crashed { ordinal } => {
+                write!(f, "process killed at injected crash point #{ordinal}")
+            }
+            GpluError::CheckpointCorrupt(msg) => write!(f, "checkpoint corrupt: {msg}"),
+            GpluError::CheckpointMismatch(msg) => write!(f, "checkpoint mismatch: {msg}"),
+            GpluError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
         }
     }
 }
@@ -88,16 +110,31 @@ impl From<SparseError> for GpluError {
 
 impl From<SimError> for GpluError {
     fn from(e: SimError) -> Self {
-        GpluError::Sim(e)
+        match e {
+            // An injected kill keeps its identity across every layer so
+            // callers (and the chaos suite) can distinguish "the process
+            // died as scheduled" from a genuine device failure.
+            SimError::Crashed { ordinal } => GpluError::Crashed { ordinal },
+            other => GpluError::Sim(other),
+        }
     }
 }
 
 impl From<NumericError> for GpluError {
     fn from(e: NumericError) -> Self {
         match e {
-            NumericError::Sim(s) => GpluError::Sim(s),
+            NumericError::Sim(s) => GpluError::from(s),
             NumericError::SingularPivot { col, level } => GpluError::SingularPivot { col, level },
             NumericError::Input(msg) => GpluError::Input(msg),
+        }
+    }
+}
+
+impl From<gplu_checkpoint::CheckpointError> for GpluError {
+    fn from(e: gplu_checkpoint::CheckpointError) -> Self {
+        match e {
+            gplu_checkpoint::CheckpointError::Corrupt(msg) => GpluError::CheckpointCorrupt(msg),
+            gplu_checkpoint::CheckpointError::Io(msg) => GpluError::Checkpoint(msg),
         }
     }
 }

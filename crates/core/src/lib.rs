@@ -33,6 +33,7 @@
 //! println!("{}", f.report.summary());
 //! ```
 
+pub mod checkpoint;
 pub mod error;
 pub mod pipeline;
 pub mod preprocess;
@@ -40,6 +41,9 @@ pub mod recovery;
 pub mod report;
 pub mod telemetry;
 
+pub use checkpoint::{
+    matrix_fingerprint, CheckpointOptions, CheckpointSession, PhaseMark, ResumeState,
+};
 pub use error::GpluError;
 pub use pipeline::{LuFactorization, LuOptions, NumericFormat, SymbolicEngine};
 pub use preprocess::{preprocess, PreprocessOptions, PreprocessOutcome};

@@ -8,24 +8,27 @@
 //! [`PhaseReport::recovery`], and every terminal failure is a structured
 //! [`GpluError`] — the pipeline never panics on a well-formed input.
 
+use crate::checkpoint::{self, CheckpointOptions, CheckpointSession, PhaseMark, PreState};
 use crate::error::GpluError;
 use crate::preprocess::{preprocess, PreprocessOptions, PreprocessOutcome};
 use crate::recovery::{Phase, RecoveryAction, RecoveryLog};
 use crate::report::PhaseReport;
 use gplu_numeric::{
-    factorize_gpu_dense_traced, factorize_gpu_merge_traced, factorize_gpu_sparse_traced,
-    NumericError,
+    factorize_gpu_dense_run, factorize_gpu_merge_run, factorize_gpu_sparse_run, LevelHook,
+    LevelProgress, NumericError, NumericResume,
 };
 use gplu_schedule::{levelize_gpu_traced, DepGraph, Levels};
-use gplu_sim::{Gpu, SimError};
+use gplu_sim::{Gpu, SimError, SimTime};
 use gplu_sparse::convert::csr_to_csc;
 use gplu_sparse::ordering::OrderingKind;
 use gplu_sparse::triangular::solve_lu;
 use gplu_sparse::{Csc, Csr, Permutation, Val};
 use gplu_symbolic::{
-    symbolic_ooc_dynamic_traced, symbolic_ooc_traced, symbolic_um_traced, SymbolicResult, UmMode,
+    symbolic_ooc_dynamic_run, symbolic_ooc_run, symbolic_um_traced, ChunkHook, ChunkProgress,
+    SymbolicResult, SymbolicResume, UmMode,
 };
 use gplu_trace::{AttrValue, TraceSink, NOOP};
+use std::cell::RefCell;
 
 /// Which symbolic engine the pipeline runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -152,7 +155,11 @@ fn trace_recovery(trace: &dyn TraceSink, ts_ns: f64, phase: Phase, action: &Reco
 }
 
 /// Runs one symbolic engine, filling the report and recording any
-/// in-engine recovery (chunk backoff, fault-forced streaming).
+/// in-engine recovery (chunk backoff, fault-forced streaming). The
+/// out-of-core engines take the optional chunk-watermark resume state
+/// and per-chunk checkpoint hook; unified memory runs are a single
+/// indivisible pass with no durability points.
+#[allow(clippy::too_many_arguments)]
 fn run_symbolic(
     gpu: &Gpu,
     matrix: &Csr,
@@ -160,24 +167,27 @@ fn run_symbolic(
     report: &mut PhaseReport,
     recovery: &mut RecoveryLog,
     trace: &dyn TraceSink,
+    resume: Option<&SymbolicResume>,
+    hook: Option<&mut ChunkHook<'_>>,
 ) -> Result<SymbolicResult, SimError> {
     let faults_before = gpu.stats().injected_faults();
     let (result, backoffs, streamed) = match engine {
         SymbolicEngine::Ooc => {
-            let out = symbolic_ooc_traced(gpu, matrix, trace)?;
+            let out = symbolic_ooc_run(gpu, matrix, trace, resume, hook)?;
             report.symbolic = out.time;
             report.chunk_size = out.chunk_size;
             report.symbolic_iterations = out.num_iterations;
             (out.result, out.oom_backoffs, out.streamed_output)
         }
         SymbolicEngine::OocDynamic => {
-            let out = symbolic_ooc_dynamic_traced(gpu, matrix, trace)?;
+            let out = symbolic_ooc_dynamic_run(gpu, matrix, trace, resume, hook)?;
             report.symbolic = out.time;
             report.chunk_size = out.split.chunk2;
             report.symbolic_iterations = out.num_iterations;
             (out.result, out.oom_backoffs, out.streamed_output)
         }
         SymbolicEngine::UmNoPrefetch | SymbolicEngine::UmPrefetch => {
+            let _ = (resume, hook);
             let mode = if engine == SymbolicEngine::UmPrefetch {
                 UmMode::Prefetch
             } else {
@@ -204,6 +214,30 @@ fn run_symbolic(
         recovery.record(Phase::Symbolic, action);
     }
     Ok(result)
+}
+
+/// Cuts an in-kernel snapshot from an engine hook. Injected crashes
+/// pass through untouched (they must abort the whole pipeline), while
+/// checkpoint I/O failures are stashed in `slot` and replaced with a
+/// sentinel device error: the engine aborts, and the ladder rethrows
+/// the stored error instead of degrading around a broken disk.
+fn hooked_cut(
+    sess: &mut CheckpointSession,
+    gpu: &Gpu,
+    trace: &dyn TraceSink,
+    slot: &RefCell<Option<GpluError>>,
+    mark: PhaseMark,
+    payload: (u32, Vec<u8>),
+) -> Result<(), SimError> {
+    match sess.cut_in_kernel(gpu, trace, mark, Some(payload)) {
+        Ok(()) => Ok(()),
+        Err(e @ SimError::Crashed { .. }) => Err(e),
+        Err(SimError::BadLaunch(msg)) => {
+            *slot.borrow_mut() = Some(GpluError::Checkpoint(msg));
+            Err(SimError::BadLaunch("checkpoint write failed".into()))
+        }
+        Err(other) => Err(other),
+    }
 }
 
 /// Overwrites the diagonal value of column `col` in both the factorized
@@ -246,122 +280,259 @@ impl LuFactorization {
         opts: &LuOptions,
         trace: &dyn TraceSink,
     ) -> Result<Self, GpluError> {
+        Self::compute_inner(gpu, a, opts, None, trace)
+    }
+
+    /// [`LuFactorization::compute_traced`] with crash-consistent
+    /// checkpointing: a durable snapshot is cut at every phase boundary
+    /// and every [`CheckpointOptions::every`] completed numeric levels /
+    /// symbolic chunks. With [`CheckpointOptions::resume`] the latest
+    /// valid snapshot in the directory is verified against the input
+    /// matrix ([`GpluError::CheckpointMismatch`] when it belongs to a
+    /// different one) and replayed; the resumed run produces factors
+    /// bit-identical to an uninterrupted run. An empty or absent
+    /// checkpoint directory under `resume` simply starts fresh.
+    pub fn compute_checkpointed(
+        gpu: &Gpu,
+        a: &Csr,
+        opts: &LuOptions,
+        ckpt: &CheckpointOptions,
+        trace: &dyn TraceSink,
+    ) -> Result<Self, GpluError> {
+        let mut session = CheckpointSession::open(ckpt, a, opts, gpu, trace)?;
+        Self::compute_inner(gpu, a, opts, Some(&mut session), trace)
+    }
+
+    fn compute_inner(
+        gpu: &Gpu,
+        a: &Csr,
+        opts: &LuOptions,
+        mut session: Option<&mut CheckpointSession>,
+        trace: &dyn TraceSink,
+    ) -> Result<Self, GpluError> {
         let mut report = PhaseReport::default();
         let mut recovery = RecoveryLog::default();
+        let every = session.as_ref().map_or(usize::MAX, |s| s.every());
+        // Checkpoint I/O failures inside engine hooks land here (see
+        // `hooked_cut`); the ladders rethrow them instead of degrading.
+        let ckpt_err: RefCell<Option<GpluError>> = RefCell::new(None);
+        let resume_state = session.as_mut().and_then(|s| s.resume.take());
+        if let Some(r) = &resume_state {
+            // Continue the interrupted run's clock so simulated timings
+            // accumulate across the restart rather than starting over.
+            let now = gpu.now().as_ns();
+            if r.clock_ns > now {
+                gpu.advance(SimTime::from_ns(r.clock_ns - now));
+            }
+            recovery = r.recovery.clone();
+        }
 
-        // 1. Pre-processing (host).
-        let pre_before = gpu.stats();
-        trace.span_begin("phase.preprocess", "phase", gpu.now().as_ns(), &[]);
-        let PreprocessOutcome {
-            mut matrix,
-            p_row,
-            p_col,
-            repaired,
-            time,
-        } = preprocess(a, &opts.preprocess, gpu.cost())?;
-        gpu.advance(time);
-        report.preprocess = time;
-        report.repaired_diagonals = repaired;
-        trace.span_end(
-            "phase.preprocess",
-            "phase",
-            gpu.now().as_ns(),
-            &[("repaired_diagonals", repaired.into())],
-        );
-        report.phase_stats.preprocess = gpu.stats().since(&pre_before);
+        // 1. Pre-processing (host) — replayed from the snapshot on
+        // resume (every snapshot carries it, including any later
+        // diagonal repairs).
+        let (mut matrix, p_row, p_col) = if let Some(r) = &resume_state {
+            let pre = &r.pre;
+            report.preprocess = SimTime::from_ns(pre.time_ns);
+            report.repaired_diagonals = pre.repaired;
+            (pre.matrix.clone(), pre.p_row.clone(), pre.p_col.clone())
+        } else {
+            let pre_before = gpu.stats();
+            trace.span_begin("phase.preprocess", "phase", gpu.now().as_ns(), &[]);
+            let PreprocessOutcome {
+                matrix,
+                p_row,
+                p_col,
+                repaired,
+                time,
+            } = preprocess(a, &opts.preprocess, gpu.cost())?;
+            gpu.advance(time);
+            report.preprocess = time;
+            report.repaired_diagonals = repaired;
+            trace.span_end(
+                "phase.preprocess",
+                "phase",
+                gpu.now().as_ns(),
+                &[("repaired_diagonals", repaired.into())],
+            );
+            report.phase_stats.preprocess = gpu.stats().since(&pre_before);
+            if let Some(sess) = session.as_deref_mut() {
+                sess.set_preprocess(&PreState {
+                    matrix: matrix.clone(),
+                    p_row: p_row.clone(),
+                    p_col: p_col.clone(),
+                    repaired,
+                    time_ns: time.as_ns(),
+                });
+                sess.cut(gpu, trace, PhaseMark::Preprocessed, None)?;
+            }
+            (matrix, p_row, p_col)
+        };
 
         // 2. Symbolic factorization (GPU), with engine degradation: the
         // out-of-core engines already back off their chunk sizes under
         // OOM; if one still fails, fall back to unified memory, whose
-        // on-demand paging cannot run out of device capacity.
-        let engine_ladder: &[SymbolicEngine] = match opts.symbolic {
-            SymbolicEngine::Ooc => &[SymbolicEngine::Ooc, SymbolicEngine::UmPrefetch],
-            SymbolicEngine::OocDynamic => &[SymbolicEngine::OocDynamic, SymbolicEngine::UmPrefetch],
-            SymbolicEngine::UmNoPrefetch => &[SymbolicEngine::UmNoPrefetch],
-            SymbolicEngine::UmPrefetch => &[SymbolicEngine::UmPrefetch],
-        };
-        let sym_before = gpu.stats();
-        trace.span_begin(
-            "phase.symbolic",
-            "phase",
-            gpu.now().as_ns(),
-            &[("engine", engine_name(opts.symbolic).into())],
-        );
-        let mut symbolic: Option<SymbolicResult> = None;
-        let mut last_err: Option<SimError> = None;
-        let mut attempts = 0usize;
-        let mut used_engine = opts.symbolic;
-        for (i, &engine) in engine_ladder.iter().enumerate() {
-            if i > 0 {
-                // The failed attempt left its allocations behind; clear
-                // the device before the fallback engine runs.
-                gpu.mem.reset();
-                let action = RecoveryAction::EngineDegraded {
-                    from: engine_name(engine_ladder[i - 1]).to_string(),
-                    to: engine_name(engine).to_string(),
-                };
-                trace_recovery(trace, gpu.now().as_ns(), Phase::Symbolic, &action);
-                recovery.record(Phase::Symbolic, action);
-            }
-            attempts += 1;
-            match run_symbolic(gpu, &matrix, engine, &mut report, &mut recovery, trace) {
-                Ok(result) => {
-                    symbolic = Some(result);
-                    used_engine = engine;
-                    break;
+        // on-demand paging cannot run out of device capacity. A snapshot
+        // past this phase replays the filled pattern instead; a partial
+        // snapshot replays the chunk watermark on the engine that cut it.
+        let symbolic = if let Some(done) = resume_state.as_ref().and_then(|r| r.symbolic.as_ref()) {
+            report.chunk_size = done.chunk_size;
+            report.symbolic_iterations = done.iterations;
+            done.result.clone()
+        } else {
+            let sym_partial = resume_state.as_ref().and_then(|r| r.sym_partial.as_ref());
+            let engine_ladder: &[SymbolicEngine] = match opts.symbolic {
+                SymbolicEngine::Ooc => &[SymbolicEngine::Ooc, SymbolicEngine::UmPrefetch],
+                SymbolicEngine::OocDynamic => {
+                    &[SymbolicEngine::OocDynamic, SymbolicEngine::UmPrefetch]
                 }
-                Err(e) => last_err = Some(e),
+                SymbolicEngine::UmNoPrefetch => &[SymbolicEngine::UmNoPrefetch],
+                SymbolicEngine::UmPrefetch => &[SymbolicEngine::UmPrefetch],
+            };
+            let sym_before = gpu.stats();
+            trace.span_begin(
+                "phase.symbolic",
+                "phase",
+                gpu.now().as_ns(),
+                &[("engine", engine_name(opts.symbolic).into())],
+            );
+            let mut symbolic: Option<SymbolicResult> = None;
+            let mut last_err: Option<SimError> = None;
+            let mut attempts = 0usize;
+            let mut used_engine = opts.symbolic;
+            for (i, &engine) in engine_ladder.iter().enumerate() {
+                if i > 0 {
+                    // The failed attempt left its allocations behind; clear
+                    // the device before the fallback engine runs.
+                    gpu.mem.reset();
+                    let action = RecoveryAction::EngineDegraded {
+                        from: engine_name(engine_ladder[i - 1]).to_string(),
+                        to: engine_name(engine).to_string(),
+                    };
+                    trace_recovery(trace, gpu.now().as_ns(), Phase::Symbolic, &action);
+                    recovery.record(Phase::Symbolic, action);
+                }
+                attempts += 1;
+                // Partial state only replays on the rung that cut it.
+                let rung_resume = sym_partial
+                    .filter(|(tag, _)| *tag == checkpoint::engine_tag(engine))
+                    .map(|(_, r)| r);
+                let mut hook_storage;
+                let hook: Option<&mut ChunkHook<'_>> = match session.as_deref_mut() {
+                    Some(sess) => {
+                        let slot = &ckpt_err;
+                        hook_storage = move |p: &ChunkProgress| -> Result<(), SimError> {
+                            if !p.iters_done.is_multiple_of(every) {
+                                return Ok(());
+                            }
+                            let payload =
+                                CheckpointSession::symbolic_partial_payload(engine, &p.to_resume());
+                            hooked_cut(sess, gpu, trace, slot, PhaseMark::SymbolicPartial, payload)
+                        };
+                        Some(&mut hook_storage)
+                    }
+                    None => None,
+                };
+                match run_symbolic(
+                    gpu,
+                    &matrix,
+                    engine,
+                    &mut report,
+                    &mut recovery,
+                    trace,
+                    rung_resume,
+                    hook,
+                ) {
+                    Ok(result) => {
+                        symbolic = Some(result);
+                        used_engine = engine;
+                        break;
+                    }
+                    Err(e) => {
+                        if let Some(ce) = ckpt_err.borrow_mut().take() {
+                            return Err(ce);
+                        }
+                        if matches!(e, SimError::Crashed { .. }) {
+                            // An injected kill is terminal by design: no
+                            // ladder degrades around it — a later run
+                            // resumes from the last durable snapshot.
+                            return Err(e.into());
+                        }
+                        last_err = Some(e);
+                    }
+                }
             }
-        }
-        report.phase_stats.symbolic = gpu.stats().since(&sym_before);
-        trace.span_end(
-            "phase.symbolic",
-            "phase",
-            gpu.now().as_ns(),
-            &[
-                ("engine", engine_name(used_engine).into()),
-                ("attempts", attempts.into()),
-                ("ok", symbolic.is_some().into()),
-            ],
-        );
-        let Some(symbolic) = symbolic else {
-            let last = last_err.unwrap_or(SimError::BadLaunch("no symbolic engine ran".into()));
-            return Err(ladder_exhausted(Phase::Symbolic, attempts, last));
+            report.phase_stats.symbolic = gpu.stats().since(&sym_before);
+            trace.span_end(
+                "phase.symbolic",
+                "phase",
+                gpu.now().as_ns(),
+                &[
+                    ("engine", engine_name(used_engine).into()),
+                    ("attempts", attempts.into()),
+                    ("ok", symbolic.is_some().into()),
+                ],
+            );
+            let Some(symbolic) = symbolic else {
+                let last = last_err.unwrap_or(SimError::BadLaunch("no symbolic engine ran".into()));
+                return Err(ladder_exhausted(Phase::Symbolic, attempts, last));
+            };
+            if let Some(sess) = session.as_deref_mut() {
+                sess.set_symbolic(&symbolic, report.chunk_size, report.symbolic_iterations);
+                sess.note_recovery(&recovery);
+                sess.cut(gpu, trace, PhaseMark::Symbolic, None)?;
+            }
+            symbolic
         };
         report.fill_nnz = symbolic.fill_nnz();
         report.new_fill_ins = symbolic.new_fill_ins(&matrix);
 
-        // 3. Levelization (GPU, dynamic parallelism).
-        let lvl_before = gpu.stats();
-        trace.span_begin("phase.levelize", "phase", gpu.now().as_ns(), &[]);
-        let dep = DepGraph::build(&symbolic.filled);
-        let lvl = levelize_gpu_traced(gpu, &dep, trace).map_err(|e| match e {
-            SimError::OutOfMemory { .. } => GpluError::DeviceOom {
-                phase: Phase::Levelize,
-                attempts: 1,
-            },
-            other => GpluError::Sim(other),
-        })?;
-        report.levelize = lvl.time;
-        report.n_levels = lvl.levels.n_levels();
-        report.max_level_width = lvl.levels.max_width();
-        trace.span_end(
-            "phase.levelize",
-            "phase",
-            gpu.now().as_ns(),
-            &[
-                ("levels", report.n_levels.into()),
-                ("max_width", report.max_level_width.into()),
-            ],
-        );
-        report.phase_stats.levelize = gpu.stats().since(&lvl_before);
+        // 3. Levelization (GPU, dynamic parallelism) — replayed from the
+        // snapshot when available ([`Levels::from_level_of`] rebuilds the
+        // groups deterministically).
+        let levels: Levels = if let Some(lv) = resume_state.as_ref().and_then(|r| r.levels()) {
+            report.n_levels = lv.n_levels();
+            report.max_level_width = lv.max_width();
+            lv
+        } else {
+            let lvl_before = gpu.stats();
+            trace.span_begin("phase.levelize", "phase", gpu.now().as_ns(), &[]);
+            let dep = DepGraph::build(&symbolic.filled);
+            let lvl = levelize_gpu_traced(gpu, &dep, trace).map_err(|e| match e {
+                SimError::OutOfMemory { .. } => GpluError::DeviceOom {
+                    phase: Phase::Levelize,
+                    attempts: 1,
+                },
+                other => GpluError::from(other),
+            })?;
+            report.levelize = lvl.time;
+            report.n_levels = lvl.levels.n_levels();
+            report.max_level_width = lvl.levels.max_width();
+            trace.span_end(
+                "phase.levelize",
+                "phase",
+                gpu.now().as_ns(),
+                &[
+                    ("levels", report.n_levels.into()),
+                    ("max_width", report.max_level_width.into()),
+                ],
+            );
+            report.phase_stats.levelize = gpu.stats().since(&lvl_before);
+            if let Some(sess) = session.as_deref_mut() {
+                sess.set_levels(&lvl.levels.level_of);
+                sess.note_recovery(&recovery);
+                sess.cut(gpu, trace, PhaseMark::Levelized, None)?;
+            }
+            lvl.levels
+        };
 
         // 4. Numeric factorization (GPU), format per the paper's
         // criterion unless forced, with format degradation: the dense
         // engine's O(n) column buffers are the memory-hungry rung; on
         // device failure fall back to the buffer-free merge-join CSC
         // kernel. (Forced Sparse/SparseMerge are already the conservative
-        // formats and run as requested.)
+        // formats and run as requested.) A partial snapshot replays the
+        // completed-level watermark and value store on the format that
+        // cut it.
         let mut pattern = csr_to_csc(&symbolic.filled);
         // Auto follows the paper's *switch* criterion but lands on the
         // merge-join kernel — same CSC residency, strictly less location
@@ -385,6 +556,7 @@ impl LuFactorization {
             gpu.now().as_ns(),
             &[("format", format_name(opts.format).into())],
         );
+        let mut num_partial = resume_state.as_ref().and_then(|r| r.numeric.clone());
         let mut repair_attempted = false;
         let (numeric, used_format) = 'numeric: loop {
             let mut last_err: Option<SimError> = None;
@@ -400,20 +572,64 @@ impl LuFactorization {
                     recovery.record(Phase::Numeric, action);
                 }
                 attempts += 1;
+                let rung_resume = num_partial
+                    .as_ref()
+                    .filter(|(tag, _)| *tag == checkpoint::format_tag(format))
+                    .map(|(_, r)| r);
+                let mut hook_storage;
+                let hook: Option<&mut LevelHook<'_>> = match session.as_deref_mut() {
+                    Some(sess) => {
+                        let slot = &ckpt_err;
+                        hook_storage = move |p: &LevelProgress<'_>| -> Result<(), SimError> {
+                            let done = p.level + 1;
+                            if !done.is_multiple_of(every) && done != p.n_levels {
+                                return Ok(());
+                            }
+                            let vals: Vec<f64> = (0..p.vals.len()).map(|k| p.vals.get(k)).collect();
+                            let state = NumericResume {
+                                start_level: done,
+                                vals,
+                                mode_mix: p.mode_mix,
+                                probes: p.probes,
+                                merge_steps: p.merge_steps,
+                                batches: p.batches,
+                            };
+                            let payload =
+                                CheckpointSession::numeric_partial_payload(format, &state);
+                            hooked_cut(sess, gpu, trace, slot, PhaseMark::NumericPartial, payload)
+                        };
+                        Some(&mut hook_storage)
+                    }
+                    None => None,
+                };
                 let run = match format {
                     NumericFormat::Dense => {
-                        factorize_gpu_dense_traced(gpu, &pattern, &lvl.levels, trace)
+                        factorize_gpu_dense_run(gpu, &pattern, &levels, trace, rung_resume, hook)
                     }
-                    NumericFormat::Sparse => {
-                        factorize_gpu_sparse_traced(gpu, &pattern, &lvl.levels, None, trace)
-                    }
+                    NumericFormat::Sparse => factorize_gpu_sparse_run(
+                        gpu,
+                        &pattern,
+                        &levels,
+                        None,
+                        trace,
+                        rung_resume,
+                        hook,
+                    ),
                     NumericFormat::Auto | NumericFormat::SparseMerge => {
-                        factorize_gpu_merge_traced(gpu, &pattern, &lvl.levels, trace)
+                        factorize_gpu_merge_run(gpu, &pattern, &levels, trace, rung_resume, hook)
                     }
                 };
                 match run {
                     Ok(out) => break 'numeric (out, format),
-                    Err(NumericError::Sim(e)) => last_err = Some(e),
+                    Err(NumericError::Sim(e)) => {
+                        if let Some(ce) = ckpt_err.borrow_mut().take() {
+                            return Err(ce);
+                        }
+                        if matches!(e, SimError::Crashed { .. }) {
+                            return Err(e.into());
+                        }
+                        last_err = Some(e);
+                    }
                     Err(NumericError::SingularPivot { col, level }) => {
                         // A pivot cancelled to zero mid-elimination. The
                         // structure is unchanged, so the symbolic result
@@ -431,6 +647,21 @@ impl LuFactorization {
                             trace_recovery(trace, gpu.now().as_ns(), Phase::Numeric, &action);
                             recovery.record(Phase::Numeric, action);
                             report.repaired_diagonals += 1;
+                            // Any mid-level snapshot predates the repair;
+                            // restart the numeric phase fresh and make the
+                            // repaired matrix the durable one.
+                            num_partial = None;
+                            if let Some(sess) = session.as_deref_mut() {
+                                sess.set_preprocess(&PreState {
+                                    matrix: matrix.clone(),
+                                    p_row: p_row.clone(),
+                                    p_col: p_col.clone(),
+                                    repaired: report.repaired_diagonals,
+                                    time_ns: report.preprocess.as_ns(),
+                                });
+                                sess.note_recovery(&recovery);
+                                sess.cut(gpu, trace, PhaseMark::Levelized, None)?;
+                            }
                             continue 'numeric;
                         }
                         return Err(GpluError::SingularPivot { col, level });
@@ -465,7 +696,7 @@ impl LuFactorization {
             preprocessed: matrix,
             p_row,
             p_col,
-            levels: lvl.levels,
+            levels,
             report,
         })
     }
@@ -909,6 +1140,98 @@ mod tests {
         assert!(f.report.repaired_diagonals >= 1);
         // The factors reconstruct the *repaired* matrix.
         assert!(residual_probe(&f.preprocessed, &f.lu, 2) < 1e-9);
+    }
+
+    fn ckpt_tempdir() -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static N: AtomicU64 = AtomicU64::new(0);
+        let d = std::env::temp_dir().join(format!(
+            "gplu-pipeline-ckpt-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn checkpointed_run_matches_plain_run_bitwise() {
+        let a = random_dominant(200, 4.0, 110);
+        let gpu = gpu_for(&a);
+        let plain = LuFactorization::compute(&gpu, &a, &LuOptions::default()).expect("plain ok");
+
+        let dir = ckpt_tempdir();
+        let gpu2 = gpu_for(&a);
+        let ckpt = CheckpointOptions::new(&dir).every(2);
+        let f =
+            LuFactorization::compute_checkpointed(&gpu2, &a, &LuOptions::default(), &ckpt, &NOOP)
+                .expect("checkpointed ok");
+        assert_eq!(
+            plain.lu.vals, f.lu.vals,
+            "checkpointing must not perturb values"
+        );
+        assert_eq!(plain.lu.row_idx, f.lu.row_idx);
+        assert!(
+            gpu2.stats().crash_points > 0,
+            "checkpointed runs must expose crash points"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crash_then_resume_is_bit_identical() {
+        let a = random_dominant(200, 4.0, 111);
+        let gpu = gpu_for(&a);
+        let reference = LuFactorization::compute(&gpu, &a, &LuOptions::default()).expect("ref ok");
+
+        let dir = ckpt_tempdir();
+        let opts = LuOptions::default();
+        let ckpt = CheckpointOptions::new(&dir).every(2);
+        // Kill the run at its third crash point (mid-pipeline) ...
+        let gpu_crash = faulted_gpu_for(&a, FaultPlan::new().crash_at(3));
+        let err =
+            LuFactorization::compute_checkpointed(&gpu_crash, &a, &opts, &ckpt, &NOOP).unwrap_err();
+        assert!(matches!(err, GpluError::Crashed { ordinal: 3 }), "{err:?}");
+
+        // ... then resume on a fresh device and finish.
+        let gpu_resume = gpu_for(&a);
+        let resumed = LuFactorization::compute_checkpointed(
+            &gpu_resume,
+            &a,
+            &opts,
+            &ckpt.clone().resume(true),
+            &NOOP,
+        )
+        .expect("resume ok");
+        assert_eq!(
+            reference.lu.vals, resumed.lu.vals,
+            "bit-identical after resume"
+        );
+        assert_eq!(reference.lu.row_idx, resumed.lu.row_idx);
+        assert_eq!(reference.lu.col_ptr, resumed.lu.col_ptr);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_against_the_wrong_matrix_is_typed() {
+        let a = random_dominant(120, 4.0, 112);
+        let dir = ckpt_tempdir();
+        let ckpt = CheckpointOptions::new(&dir).every(2);
+        let gpu = gpu_for(&a);
+        LuFactorization::compute_checkpointed(&gpu, &a, &LuOptions::default(), &ckpt, &NOOP)
+            .expect("ok");
+        let b = random_dominant(120, 4.0, 113);
+        let gpu2 = gpu_for(&b);
+        let err = LuFactorization::compute_checkpointed(
+            &gpu2,
+            &b,
+            &LuOptions::default(),
+            &ckpt.resume(true),
+            &NOOP,
+        )
+        .unwrap_err();
+        assert!(matches!(err, GpluError::CheckpointMismatch(_)), "{err:?}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -304,6 +304,47 @@ mod tests {
     }
 
     #[test]
+    fn empty_run_produces_a_valid_report() {
+        // A run that failed before the first span — or one traced through
+        // the no-op sink — still exports a well-formed report: schema
+        // stamp, zeroed phases, empty levels/recovery arrays.
+        let run = RunReport::new(0, 0, PhaseReport::default(), &[]);
+        assert!(run.levels.is_empty());
+        let doc = gplu_trace::json::parse(&run.to_json_string()).expect("valid json");
+        assert_eq!(
+            doc.get("schema_version").and_then(JsonValue::as_u64),
+            Some(SCHEMA_VERSION)
+        );
+        let levels = doc
+            .get("levels")
+            .and_then(JsonValue::as_arr)
+            .expect("levels array");
+        assert!(levels.is_empty());
+        let recovery = doc
+            .get("recovery")
+            .and_then(JsonValue::as_arr)
+            .expect("recovery array");
+        assert!(recovery.is_empty());
+        assert_eq!(
+            doc.get("phases")
+                .and_then(|p| p.get("total_ns"))
+                .and_then(JsonValue::as_f64),
+            Some(0.0)
+        );
+
+        // Dangling Begin spans (aborted numeric phase) never produce
+        // phantom level records.
+        let dangling = [TraceEvent {
+            name: "numeric.level",
+            cat: "level",
+            kind: EventKind::Begin,
+            ts_ns: 4.0,
+            attrs: vec![("level", 0u64.into())],
+        }];
+        assert!(extract_levels(&dangling).is_empty());
+    }
+
+    #[test]
     fn json_totals_match_phase_report() {
         let report = PhaseReport {
             preprocess: SimTime::from_us(1.0),

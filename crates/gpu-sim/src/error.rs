@@ -29,6 +29,14 @@ pub enum SimError {
     },
     /// Kernel grid configuration violates device limits.
     BadLaunch(String),
+    /// The process was killed at an injected crash point (fault plan
+    /// `crash:at=N`). Unlike every other fault this one is terminal:
+    /// recovery ladders must not degrade around it — the pipeline dies
+    /// and a later run resumes from the last durable checkpoint.
+    Crashed {
+        /// Crash-point ordinal (1-based) the kill fired on.
+        ordinal: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -54,6 +62,9 @@ impl fmt::Display for SimError {
                 )
             }
             SimError::BadLaunch(msg) => write!(f, "bad kernel launch: {msg}"),
+            SimError::Crashed { ordinal } => {
+                write!(f, "process killed at injected crash point #{ordinal}")
+            }
         }
     }
 }

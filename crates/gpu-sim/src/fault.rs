@@ -22,6 +22,12 @@
 //! * **BadLaunch** — the Nth launch of a *named* kernel fails with
 //!   [`SimError::BadLaunch`] before any block runs (`"*"` matches every
 //!   kernel). Transient or persistent, as above.
+//! * **Crash** — the Nth *crash point* kills the run with
+//!   [`SimError::Crashed`]. Crash points are passed by the pipeline at
+//!   checkpoint sites (immediately before and after each durable write),
+//!   so `crash:at=N` models process death at every possible durability
+//!   boundary. Crashes are terminal: recovery ladders do not degrade
+//!   around them — a later run resumes from the last valid checkpoint.
 //!
 //! Plans come from the builder API, from a compact spec string
 //! (`FaultPlan::parse("oom:alloc=3,badlaunch:numeric_dense=1")`, also read
@@ -79,6 +85,7 @@ pub struct FaultPlan {
     oom: Vec<OomFault>,
     squeezes: Vec<SqueezeFault>,
     launches: Vec<LaunchFault>,
+    crashes: Vec<u64>,
 }
 
 impl FaultPlan {
@@ -89,7 +96,10 @@ impl FaultPlan {
 
     /// True when the plan schedules no faults at all.
     pub fn is_empty(&self) -> bool {
-        self.oom.is_empty() && self.squeezes.is_empty() && self.launches.is_empty()
+        self.oom.is_empty()
+            && self.squeezes.is_empty()
+            && self.launches.is_empty()
+            && self.crashes.is_empty()
     }
 
     /// Fails the `nth` allocation (1-based) once; the retry succeeds.
@@ -139,9 +149,20 @@ impl FaultPlan {
         self
     }
 
+    /// Kills the run at the `nth` crash point (1-based).
+    pub fn crash_at(mut self, nth: u64) -> Self {
+        self.crashes.push(nth);
+        self
+    }
+
     /// Scheduled OOM faults.
     pub fn oom_faults(&self) -> &[OomFault] {
         &self.oom
+    }
+
+    /// Scheduled crash-point ordinals.
+    pub fn crash_faults(&self) -> &[u64] {
+        &self.crashes
     }
 
     /// Scheduled capacity squeezes.
@@ -159,6 +180,7 @@ impl FaultPlan {
     /// * `oom:alloc=N[:persistent]` — OOM on the Nth allocation,
     /// * `squeeze:alloc=N:K` — shrink capacity to K% at the Nth allocation,
     /// * `badlaunch:KERNEL=N[:persistent]` — fail the Nth launch of KERNEL,
+    /// * `crash:at=N` — kill the run at the Nth checkpoint crash point,
     /// * `seed:S` — expand a seeded schedule (see [`FaultPlan::from_seed`]).
     ///
     /// Example: `oom:alloc=3,badlaunch:numeric_dense=1,squeeze:alloc=4:50`.
@@ -213,6 +235,22 @@ impl FaultPlan {
                         }
                     }
                 }
+                "crash" => {
+                    let body = parts
+                        .next()
+                        .ok_or_else(|| format!("'{item}': expected at=N"))?;
+                    let (key, nth) = body
+                        .split_once('=')
+                        .ok_or_else(|| format!("'{item}': expected at=N"))?;
+                    if key != "at" {
+                        return Err(format!("'{item}': unknown trigger '{key}' (expected at)"));
+                    }
+                    let nth = parse_positive(nth, item)?;
+                    if parts.next().is_some() {
+                        return Err(format!("'{item}': crash takes no modifier"));
+                    }
+                    plan = plan.crash_at(nth);
+                }
                 "seed" => {
                     let seed = parts
                         .next()
@@ -223,11 +261,12 @@ impl FaultPlan {
                     plan.oom.extend(seeded.oom);
                     plan.squeezes.extend(seeded.squeezes);
                     plan.launches.extend(seeded.launches);
+                    plan.crashes.extend(seeded.crashes);
                 }
                 other => {
                     return Err(format!(
                         "'{item}': unknown fault kind '{other}' \
-                         (expected oom, squeeze, badlaunch or seed)"
+                         (expected oom, squeeze, badlaunch, crash or seed)"
                     ));
                 }
             }
@@ -335,6 +374,7 @@ pub struct FaultInjector {
     injected_oom: AtomicU64,
     injected_launches: AtomicU64,
     injected_squeezes: AtomicU64,
+    injected_crashes: AtomicU64,
 }
 
 impl FaultInjector {
@@ -347,6 +387,7 @@ impl FaultInjector {
             injected_oom: AtomicU64::new(0),
             injected_launches: AtomicU64::new(0),
             injected_squeezes: AtomicU64::new(0),
+            injected_crashes: AtomicU64::new(0),
         }
     }
 
@@ -417,6 +458,17 @@ impl FaultInjector {
         }
     }
 
+    /// Decides whether the crash point with the given (1-based) ordinal
+    /// kills the run. The ordinal itself is counted by the GPU so that
+    /// runs without an injector still number their crash points.
+    pub(crate) fn on_crash_point(&self, ordinal: u64) -> bool {
+        let hit = self.plan.crashes.contains(&ordinal);
+        if hit {
+            self.injected_crashes.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
     /// Injected OOM failures so far.
     pub fn injected_oom(&self) -> u64 {
         self.injected_oom.load(Ordering::Relaxed)
@@ -430,6 +482,11 @@ impl FaultInjector {
     /// Capacity squeezes applied so far.
     pub fn injected_squeezes(&self) -> u64 {
         self.injected_squeezes.load(Ordering::Relaxed)
+    }
+
+    /// Injected crashes so far (0 or 1 per run in practice).
+    pub fn injected_crashes(&self) -> u64 {
+        self.injected_crashes.load(Ordering::Relaxed)
     }
 }
 
@@ -515,6 +572,31 @@ mod tests {
             FaultPlan::parse("seed:42").expect("ok"),
             FaultPlan::from_seed(42)
         );
+    }
+
+    #[test]
+    fn crash_parse_builder_and_injector_agree() {
+        let parsed = FaultPlan::parse("crash:at=3, oom:alloc=1").expect("valid spec");
+        let built = FaultPlan::new().crash_at(3).oom_on_alloc(1);
+        assert_eq!(parsed, built);
+        assert_eq!(built.crash_faults(), &[3]);
+        assert!(!FaultPlan::new().crash_at(1).is_empty());
+
+        let inj = FaultInjector::new(FaultPlan::new().crash_at(2));
+        assert!(!inj.on_crash_point(1));
+        assert!(inj.on_crash_point(2));
+        assert!(!inj.on_crash_point(3));
+        assert_eq!(inj.injected_crashes(), 1);
+
+        for bad in [
+            "crash",
+            "crash:at",
+            "crash:at=0",
+            "crash:alloc=1",
+            "crash:at=1:persistent",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "'{bad}' should be rejected");
+        }
     }
 
     #[test]

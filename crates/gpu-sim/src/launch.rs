@@ -73,6 +73,7 @@ struct GpuState {
     d2h_bytes: u64,
     xfer_time_ns: f64,
     prefetch_time_ns: f64,
+    crash_points: u64,
 }
 
 /// A simulated GPU: configuration, cost model, device memory, unified
@@ -369,16 +370,38 @@ impl Gpu {
         })
     }
 
+    /// Passes a *crash point*: a numbered site where an injected
+    /// `crash:at=N` fault may kill the run with [`SimError::Crashed`].
+    /// The pipeline places crash points around durable checkpoint writes;
+    /// ordinals are counted even without a fault plan, so a clean run's
+    /// [`GpuStatsSnapshot::crash_points`] enumerates every ordinal a chaos
+    /// suite can target.
+    pub fn crash_point(&self) -> Result<(), SimError> {
+        let ordinal = {
+            let mut s = self.state.lock();
+            s.crash_points += 1;
+            s.crash_points
+        };
+        if let Some(inj) = &self.faults {
+            if inj.on_crash_point(ordinal) {
+                return Err(SimError::Crashed { ordinal });
+            }
+        }
+        Ok(())
+    }
+
     /// Statistics snapshot (difference snapshots for phase accounting).
     pub fn stats(&self) -> GpuStatsSnapshot {
-        let (injected_oom, injected_launch_faults, injected_squeezes) = match &self.faults {
-            Some(f) => (
-                f.injected_oom(),
-                f.injected_launches(),
-                f.injected_squeezes(),
-            ),
-            None => (0, 0, 0),
-        };
+        let (injected_oom, injected_launch_faults, injected_squeezes, injected_crashes) =
+            match &self.faults {
+                Some(f) => (
+                    f.injected_oom(),
+                    f.injected_launches(),
+                    f.injected_squeezes(),
+                    f.injected_crashes(),
+                ),
+                None => (0, 0, 0, 0),
+            };
         let s = self.state.lock();
         GpuStatsSnapshot {
             now: SimTime::from_ns(s.now_ns),
@@ -394,6 +417,8 @@ impl Gpu {
             injected_oom,
             injected_launch_faults,
             injected_squeezes,
+            injected_crashes,
+            crash_points: s.crash_points,
         }
     }
 }
@@ -606,6 +631,33 @@ mod tests {
         assert_eq!(s.injected_faults(), 2);
         let d = s.since(&mid);
         assert_eq!((d.injected_oom, d.injected_squeezes), (0, 1));
+    }
+
+    #[test]
+    fn crash_points_count_and_fire_on_ordinal() {
+        // Without a plan: crash points are numbered but never fire.
+        let clean = gpu();
+        for _ in 0..3 {
+            clean.crash_point().expect("no plan, no crash");
+        }
+        assert_eq!(clean.stats().crash_points, 3);
+        assert_eq!(clean.stats().injected_crashes, 0);
+
+        // With crash:at=2: the second crash point kills the run.
+        let g = Gpu::with_fault_plan(
+            GpuConfig::v100(),
+            CostModel::default(),
+            FaultPlan::new().crash_at(2),
+        );
+        assert!(g.crash_point().is_ok());
+        assert_eq!(
+            g.crash_point(),
+            Err(SimError::Crashed { ordinal: 2 }),
+            "second crash point fires"
+        );
+        assert!(g.crash_point().is_ok(), "exact ordinal only");
+        let s = g.stats();
+        assert_eq!((s.crash_points, s.injected_crashes), (3, 1));
     }
 
     #[test]

@@ -32,6 +32,12 @@ pub struct GpuStatsSnapshot {
     pub injected_launch_faults: u64,
     /// Injected capacity squeezes applied (fault plan).
     pub injected_squeezes: u64,
+    /// Injected crashes fired (fault plan `crash:at=N`).
+    pub injected_crashes: u64,
+    /// Crash points passed so far — the number of sites an injected crash
+    /// could have fired at. A chaos suite reads this off a clean run to
+    /// enumerate every ordinal worth targeting.
+    pub crash_points: u64,
 }
 
 impl GpuStatsSnapshot {
@@ -59,6 +65,10 @@ impl GpuStatsSnapshot {
             injected_squeezes: self
                 .injected_squeezes
                 .saturating_sub(earlier.injected_squeezes),
+            injected_crashes: self
+                .injected_crashes
+                .saturating_sub(earlier.injected_crashes),
+            crash_points: self.crash_points.saturating_sub(earlier.crash_points),
         }
     }
 

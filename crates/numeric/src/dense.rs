@@ -16,6 +16,7 @@ use crate::modes::{classify_level_cached, launch_shape, LevelType, ModeMix};
 use crate::outcome::{
     column_cost_estimate_cached, process_column, AccessDiscipline, NumericOutcome, PivotCache,
 };
+use crate::resume::{LevelHook, LevelProgress, NumericResume};
 use crate::values::ValueStore;
 use gplu_schedule::Levels;
 use gplu_sim::{BlockCtx, Gpu, SimError};
@@ -45,6 +46,19 @@ pub fn factorize_gpu_dense_traced(
     levels: &Levels,
     trace: &dyn TraceSink,
 ) -> Result<NumericOutcome, NumericError> {
+    factorize_gpu_dense_run(gpu, pattern, levels, trace, None, None)
+}
+
+/// Full-control entry point: [`factorize_gpu_dense_traced`] plus optional
+/// level-granular resume state and a per-level checkpoint hook.
+pub fn factorize_gpu_dense_run(
+    gpu: &Gpu,
+    pattern: &Csc,
+    levels: &Levels,
+    trace: &dyn TraceSink,
+    resume: Option<&NumericResume>,
+    mut hook: Option<&mut LevelHook<'_>>,
+) -> Result<NumericOutcome, NumericError> {
     let n = pattern.n_cols();
     let before = gpu.stats();
 
@@ -65,13 +79,24 @@ pub fn factorize_gpu_dense_traced(
         }));
     }
 
-    let vals = ValueStore::new(&pattern.vals);
+    if let Some(r) = resume {
+        r.check(pattern.nnz(), levels.groups.len())
+            .map_err(NumericError::Input)?;
+    }
+    let start_level = resume.map_or(0, |r| r.start_level);
+    let vals = match resume {
+        Some(r) => ValueStore::new(&r.vals),
+        None => ValueStore::new(&pattern.vals),
+    };
     let cache = PivotCache::build(pattern);
-    let mut mix = ModeMix::default();
-    let mut batches = 0u64;
+    let mut mix = resume.map_or_else(ModeMix::default, |r| r.mode_mix);
+    let mut batches = resume.map_or(0u64, |r| r.batches);
     let error: Mutex<Option<SparseError>> = Mutex::new(None);
 
     for (li, cols) in levels.groups.iter().enumerate() {
+        if li < start_level {
+            continue; // already durable in the resumed value store
+        }
         let t = classify_level_cached(pattern, &cache, cols);
         match t {
             LevelType::A => mix.a += 1,
@@ -146,6 +171,17 @@ pub fn factorize_gpu_dense_traced(
         );
         if let Some(e) = error.lock().take() {
             return Err(NumericError::from_sparse_at_level(e, li));
+        }
+        if let Some(h) = hook.as_mut() {
+            h(&LevelProgress {
+                level: li,
+                n_levels: levels.groups.len(),
+                vals: &vals,
+                mode_mix: mix,
+                probes: 0,
+                merge_steps: 0,
+                batches,
+            })?;
         }
     }
 

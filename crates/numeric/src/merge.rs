@@ -21,6 +21,7 @@ use crate::modes::{classify_level_cached, launch_shape, LevelType, ModeMix};
 use crate::outcome::{
     column_cost_estimate_cached, process_column, AccessDiscipline, NumericOutcome, PivotCache,
 };
+use crate::resume::{LevelHook, LevelProgress, NumericResume};
 use crate::values::ValueStore;
 use gplu_schedule::Levels;
 use gplu_sim::{BlockCtx, Gpu};
@@ -47,6 +48,19 @@ pub fn factorize_gpu_merge_traced(
     levels: &Levels,
     trace: &dyn TraceSink,
 ) -> Result<NumericOutcome, NumericError> {
+    factorize_gpu_merge_run(gpu, pattern, levels, trace, None, None)
+}
+
+/// Full-control entry point: [`factorize_gpu_merge_traced`] plus optional
+/// level-granular resume state and a per-level checkpoint hook.
+pub fn factorize_gpu_merge_run(
+    gpu: &Gpu,
+    pattern: &Csc,
+    levels: &Levels,
+    trace: &dyn TraceSink,
+    resume: Option<&NumericResume>,
+    mut hook: Option<&mut LevelHook<'_>>,
+) -> Result<NumericOutcome, NumericError> {
     let n = pattern.n_cols();
     let before = gpu.stats();
 
@@ -55,13 +69,24 @@ pub fn factorize_gpu_merge_traced(
     gpu.h2d(csc_bytes);
     let lvl_dev = gpu.mem.alloc(n as u64 * 4)?;
 
-    let vals = ValueStore::new(&pattern.vals);
+    if let Some(r) = resume {
+        r.check(pattern.nnz(), levels.groups.len())
+            .map_err(NumericError::Input)?;
+    }
+    let start_level = resume.map_or(0, |r| r.start_level);
+    let vals = match resume {
+        Some(r) => ValueStore::new(&r.vals),
+        None => ValueStore::new(&pattern.vals),
+    };
     let cache = PivotCache::build(pattern);
-    let mut mix = ModeMix::default();
-    let total_merge_steps = AtomicU64::new(0);
+    let mut mix = resume.map_or_else(ModeMix::default, |r| r.mode_mix);
+    let total_merge_steps = AtomicU64::new(resume.map_or(0, |r| r.merge_steps));
     let error: Mutex<Option<SparseError>> = Mutex::new(None);
 
     for (li, cols) in levels.groups.iter().enumerate() {
+        if li < start_level {
+            continue; // already durable in the resumed value store
+        }
         let t = classify_level_cached(pattern, &cache, cols);
         match t {
             LevelType::A => mix.a += 1,
@@ -125,6 +150,17 @@ pub fn factorize_gpu_merge_traced(
         );
         if let Some(e) = error.lock().take() {
             return Err(NumericError::from_sparse_at_level(e, li));
+        }
+        if let Some(h) = hook.as_mut() {
+            h(&LevelProgress {
+                level: li,
+                n_levels: levels.groups.len(),
+                vals: &vals,
+                mode_mix: mix,
+                probes: 0,
+                merge_steps: total_merge_steps.load(Ordering::Relaxed),
+                batches: 0,
+            })?;
         }
     }
 

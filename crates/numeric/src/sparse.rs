@@ -14,6 +14,7 @@ use crate::modes::{classify_level_cached, launch_shape, LevelType, ModeMix};
 use crate::outcome::{
     column_cost_estimate_cached, process_column, AccessDiscipline, NumericOutcome, PivotCache,
 };
+use crate::resume::{LevelHook, LevelProgress, NumericResume};
 use crate::values::ValueStore;
 use gplu_schedule::Levels;
 use gplu_sim::{BlockCtx, Gpu};
@@ -60,6 +61,21 @@ pub fn factorize_gpu_sparse_traced(
     force: Option<LevelType>,
     trace: &dyn TraceSink,
 ) -> Result<NumericOutcome, NumericError> {
+    factorize_gpu_sparse_run(gpu, pattern, levels, force, trace, None, None)
+}
+
+/// Full-control entry point: [`factorize_gpu_sparse_traced`] plus optional
+/// level-granular resume state and a per-level checkpoint hook.
+#[allow(clippy::too_many_arguments)]
+pub fn factorize_gpu_sparse_run(
+    gpu: &Gpu,
+    pattern: &Csc,
+    levels: &Levels,
+    force: Option<LevelType>,
+    trace: &dyn TraceSink,
+    resume: Option<&NumericResume>,
+    mut hook: Option<&mut LevelHook<'_>>,
+) -> Result<NumericOutcome, NumericError> {
     let n = pattern.n_cols();
     let before = gpu.stats();
 
@@ -68,13 +84,24 @@ pub fn factorize_gpu_sparse_traced(
     gpu.h2d(csc_bytes);
     let lvl_dev = gpu.mem.alloc(n as u64 * 4)?;
 
-    let vals = ValueStore::new(&pattern.vals);
+    if let Some(r) = resume {
+        r.check(pattern.nnz(), levels.groups.len())
+            .map_err(NumericError::Input)?;
+    }
+    let start_level = resume.map_or(0, |r| r.start_level);
+    let vals = match resume {
+        Some(r) => ValueStore::new(&r.vals),
+        None => ValueStore::new(&pattern.vals),
+    };
     let cache = PivotCache::build(pattern);
-    let mut mix = ModeMix::default();
-    let total_probes = AtomicU64::new(0);
+    let mut mix = resume.map_or_else(ModeMix::default, |r| r.mode_mix);
+    let total_probes = AtomicU64::new(resume.map_or(0, |r| r.probes));
     let error: Mutex<Option<SparseError>> = Mutex::new(None);
 
     for (li, cols) in levels.groups.iter().enumerate() {
+        if li < start_level {
+            continue; // already durable in the resumed value store
+        }
         let t = force.unwrap_or_else(|| classify_level_cached(pattern, &cache, cols));
         match t {
             LevelType::A => mix.a += 1,
@@ -145,6 +172,17 @@ pub fn factorize_gpu_sparse_traced(
         );
         if let Some(e) = error.lock().take() {
             return Err(NumericError::from_sparse_at_level(e, li));
+        }
+        if let Some(h) = hook.as_mut() {
+            h(&LevelProgress {
+                level: li,
+                n_levels: levels.groups.len(),
+                vals: &vals,
+                mode_mix: mix,
+                probes: total_probes.load(Ordering::Relaxed),
+                merge_steps: 0,
+                batches: 0,
+            })?;
         }
     }
 

@@ -19,10 +19,12 @@
 use crate::fill2::fill2_row;
 use crate::ooc::{charge_row, row_state_bytes, with_oom_backoff, WorkspacePool};
 use crate::result::{SymbolicMetrics, SymbolicResult};
+use crate::resume::{ChunkHook, ChunkProgress, SymbolicResume};
 use crossbeam::queue::SegQueue;
 use gplu_sim::{BlockCtx, Gpu, GpuStatsSnapshot, SimError, SimTime};
 use gplu_sparse::{Csr, Idx};
 use gplu_trace::{TraceSink, NOOP};
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 /// The two-part split chosen by the prepass.
@@ -147,8 +149,30 @@ pub fn symbolic_ooc_dynamic_traced(
     a: &Csr,
     trace: &dyn TraceSink,
 ) -> Result<DynamicOutcome, SimError> {
+    symbolic_ooc_dynamic_run(gpu, a, trace, None, None)
+}
+
+/// Full-control entry point: [`symbolic_ooc_dynamic_traced`] plus optional
+/// chunk-granular resume state and a per-chunk checkpoint hook (both apply
+/// to the counting stage; the storing stage recomputes from the counts).
+pub fn symbolic_ooc_dynamic_run(
+    gpu: &Gpu,
+    a: &Csr,
+    trace: &dyn TraceSink,
+    resume: Option<&SymbolicResume>,
+    mut hook: Option<&mut ChunkHook<'_>>,
+) -> Result<DynamicOutcome, SimError> {
     let n = a.n_rows();
     let before = gpu.stats();
+
+    if let Some(r) = resume {
+        r.check(n, false).map_err(SimError::BadLaunch)?;
+        if r.rows_done > 0 && r.split.is_none() {
+            return Err(SimError::BadLaunch(
+                "resume state lacks the prepass split its watermark depends on".into(),
+            ));
+        }
+    }
 
     let a_bytes = (n as u64 + 1 + a.nnz() as u64) * 4;
     let a_dev = gpu.mem.alloc(a_bytes)?;
@@ -156,7 +180,10 @@ pub fn symbolic_ooc_dynamic_traced(
     let counts_dev = gpu.mem.alloc(n as u64 * 4)?;
 
     let pool = WorkspacePool::new(n);
-    let split = plan_split(gpu, a, &pool)?;
+    let split = match resume.and_then(|r| r.split) {
+        Some(s) => s,
+        None => plan_split(gpu, a, &pool)?,
+    };
     trace.instant(
         "symbolic.split",
         "chunk",
@@ -176,14 +203,25 @@ pub fn symbolic_ooc_dynamic_traced(
         });
     }
 
-    let fill_counts: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
-    let agg = [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)];
-    let overflowed: SegQueue<u32> = SegQueue::new();
+    let fill_counts: Vec<AtomicU32> = match resume {
+        Some(r) => r.fill_counts.iter().map(|&c| AtomicU32::new(c)).collect(),
+        None => (0..n).map(|_| AtomicU32::new(0)).collect(),
+    };
+    let agg = [
+        AtomicU64::new(resume.map_or(0, |r| r.agg_steps)),
+        AtomicU64::new(resume.map_or(0, |r| r.agg_edges)),
+        AtomicU64::new(resume.map_or(0, |r| r.agg_frontiers)),
+    ];
+    // A mutexed vec (not a lock-free queue) so the per-chunk hook can
+    // snapshot the overflow set without draining it.
+    let overflowed: Mutex<Vec<u32>> =
+        Mutex::new(resume.map_or_else(Vec::new, |r| r.overflow_rows.clone()));
     let collected: SegQueue<(u32, Vec<Idx>)> = SegQueue::new();
     let mut patterns: Vec<Vec<Idx>> = vec![Vec::new(); n];
-    let mut num_iterations = 0usize;
+    let count_watermark = resume.map_or(0, |r| r.rows_done);
+    let mut num_iterations = resume.map_or(0, |r| r.iters_done);
     let mut overflow_rows = 0usize;
-    let mut oom_backoffs = 0usize;
+    let mut oom_backoffs = resume.map_or(0, |r| r.oom_backoffs);
     let mut streamed_output = false;
 
     // Two stages (count, then store); within each, part 1 with its large
@@ -218,7 +256,7 @@ pub fn symbolic_ooc_dynamic_traced(
             if capped && m.max_queue > split.frontier_cap {
                 // Shrunken queues overflowed: discard and re-run this
                 // row with full-size state.
-                overflowed.push(src);
+                overflowed.lock().push(src);
                 return;
             }
             if store {
@@ -240,6 +278,13 @@ pub fn symbolic_ooc_dynamic_traced(
             (0..split.n1, split.chunk1, true),
             (split.n1..n, split.chunk2, false),
         ] {
+            // Counting resumes past the watermark; storing always re-runs
+            // in full (it is recomputed from the durable counts).
+            let range = if store {
+                range
+            } else {
+                range.start.max(count_watermark)..range.end
+            };
             if range.is_empty() {
                 continue;
             }
@@ -258,7 +303,6 @@ pub fn symbolic_ooc_dynamic_traced(
                     })?;
                 oom_backoffs += backoffs;
                 let iters = range.len().div_ceil(eff_chunk);
-                num_iterations += iters;
                 for iter in 0..iters {
                     let start = range.start + iter * eff_chunk;
                     let rows = eff_chunk.min(range.end - start);
@@ -276,6 +320,27 @@ pub fn symbolic_ooc_dynamic_traced(
                         body((start + b) as u32, capped, ctx);
                     })?;
                     trace.span_end("symbolic.chunk", "chunk", gpu.now().as_ns(), &[]);
+                    num_iterations += 1;
+                    if let Some(h) = hook.as_mut() {
+                        h(&ChunkProgress {
+                            rows_done: start + rows,
+                            n_rows: n,
+                            iters_done: num_iterations,
+                            chunk: eff_chunk,
+                            oom_backoffs,
+                            fill_counts: fill_counts
+                                .iter()
+                                .map(|c| c.load(Ordering::Relaxed))
+                                .collect(),
+                            frontiers: Vec::new(),
+                            agg_steps: agg[0].load(Ordering::Relaxed),
+                            agg_edges: agg[1].load(Ordering::Relaxed),
+                            agg_frontiers: agg[2].load(Ordering::Relaxed),
+                            per_iter_max_frontier: Vec::new(),
+                            split: Some(split),
+                            overflow_rows: overflowed.lock().clone(),
+                        })?;
+                    }
                 }
                 gpu.mem.free(state_dev)?;
             } else {
@@ -346,7 +411,7 @@ pub fn symbolic_ooc_dynamic_traced(
         }
 
         // Re-run overflowed part-1 rows with full-size state.
-        let mut retry: Vec<u32> = std::iter::from_fn(|| overflowed.pop()).collect();
+        let mut retry: Vec<u32> = std::mem::take(&mut *overflowed.lock());
         retry.sort_unstable();
         if !store {
             overflow_rows += retry.len();
@@ -426,8 +491,8 @@ pub fn symbolic_ooc_dynamic_traced(
         }
     }
 
-    // The overflow queue is drained per stage; anything left means a bug.
-    debug_assert!(overflowed.pop().is_none());
+    // The overflow list is drained per stage; anything left means a bug.
+    debug_assert!(overflowed.lock().is_empty());
     gpu.mem.free(counts_dev)?;
     gpu.mem.free(a_dev)?;
 

@@ -39,12 +39,16 @@ pub mod multi;
 pub mod ooc;
 pub mod reference;
 pub mod result;
+pub mod resume;
 pub mod um;
 
 pub use cpu::symbolic_cpu;
-pub use dynamic::{symbolic_ooc_dynamic, symbolic_ooc_dynamic_traced, DynamicSplit};
+pub use dynamic::{
+    symbolic_ooc_dynamic, symbolic_ooc_dynamic_run, symbolic_ooc_dynamic_traced, DynamicSplit,
+};
 pub use fill2::{fill2_row, Fill2Workspace, RowMetrics};
 pub use multi::{symbolic_multi_gpu, MultiGpuOutcome, Partition};
-pub use ooc::{symbolic_ooc, symbolic_ooc_traced, OocOutcome};
+pub use ooc::{symbolic_ooc, symbolic_ooc_run, symbolic_ooc_traced, OocOutcome};
 pub use result::SymbolicResult;
+pub use resume::{ChunkHook, ChunkProgress, SymbolicResume};
 pub use um::{symbolic_um, symbolic_um_traced, UmMode, UmOutcome};

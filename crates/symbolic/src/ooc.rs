@@ -23,6 +23,7 @@
 
 use crate::fill2::{fill2_row, Fill2Workspace, RowMetrics};
 use crate::result::{SymbolicMetrics, SymbolicResult};
+use crate::resume::{ChunkHook, ChunkProgress, SymbolicResume};
 use crossbeam::queue::SegQueue;
 use gplu_sim::{BlockCtx, Gpu, GpuConfig, GpuStatsSnapshot, SimError, SimTime};
 use gplu_sparse::{Csr, Idx};
@@ -147,8 +148,24 @@ pub fn symbolic_ooc_traced(
     a: &Csr,
     trace: &dyn TraceSink,
 ) -> Result<OocOutcome, SimError> {
+    symbolic_ooc_run(gpu, a, trace, None, None)
+}
+
+/// Full-control entry point: [`symbolic_ooc_traced`] plus optional
+/// chunk-granular resume state and a per-chunk checkpoint hook.
+pub fn symbolic_ooc_run(
+    gpu: &Gpu,
+    a: &Csr,
+    trace: &dyn TraceSink,
+    resume: Option<&SymbolicResume>,
+    mut hook: Option<&mut ChunkHook<'_>>,
+) -> Result<OocOutcome, SimError> {
     let n = a.n_rows();
     let before = gpu.stats();
+
+    if let Some(r) = resume {
+        r.check(n, true).map_err(SimError::BadLaunch)?;
+    }
 
     // The matrix pattern lives on the device for the whole phase
     // (row_ptr + col_idx; symbolic needs no values).
@@ -157,7 +174,10 @@ pub fn symbolic_ooc_traced(
     gpu.h2d(a_bytes);
     let counts_dev = gpu.mem.alloc(n as u64 * 4)?;
 
-    let chunk_hint = chunk_size_for(gpu, n).min(n);
+    let chunk_hint = match resume.filter(|r| r.chunk > 0) {
+        Some(r) => r.chunk.min(n),
+        None => chunk_size_for(gpu, n).min(n),
+    };
     if chunk_hint == 0 {
         return Err(SimError::OutOfMemory {
             requested: row_state_bytes(n),
@@ -165,30 +185,38 @@ pub fn symbolic_ooc_traced(
             capacity: gpu.mem.capacity(),
         });
     }
-    let mut oom_backoffs = 0usize;
+    let mut oom_backoffs = resume.map_or(0, |r| r.oom_backoffs);
     let (state_alloc, chunk, backoffs) = with_oom_backoff(chunk_hint, |rows| {
         gpu.mem.alloc(rows as u64 * row_state_bytes(n))
     })?;
     oom_backoffs += backoffs;
     let mut state_dev = Some(state_alloc);
-    let num_iter = n.div_ceil(chunk);
 
     let pool = WorkspacePool::new(n);
-    let fill_counts: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
-    let frontiers: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
-    let agg_steps = AtomicU64::new(0);
-    let agg_edges = AtomicU64::new(0);
+    let fill_counts: Vec<AtomicU32> = match resume {
+        Some(r) => r.fill_counts.iter().map(|&c| AtomicU32::new(c)).collect(),
+        None => (0..n).map(|_| AtomicU32::new(0)).collect(),
+    };
+    let frontiers: Vec<AtomicU64> = match resume {
+        Some(r) => r.frontiers.iter().map(|&f| AtomicU64::new(f)).collect(),
+        None => (0..n).map(|_| AtomicU64::new(0)).collect(),
+    };
+    let agg_steps = AtomicU64::new(resume.map_or(0, |r| r.agg_steps));
+    let agg_edges = AtomicU64::new(resume.map_or(0, |r| r.agg_edges));
 
     // ---- Stage 1: count nonzeros per filled row (kernel symbolic_1). ----
-    let mut per_iter_max_frontier = Vec::with_capacity(num_iter);
-    for iter in 0..num_iter {
-        let start = iter * chunk;
+    let mut per_iter_max_frontier: Vec<u64> =
+        resume.map_or_else(Vec::new, |r| r.per_iter_max_frontier.clone());
+    let mut iters = resume.map_or(0, |r| r.iters_done);
+    let mut row_start = resume.map_or(0, |r| r.rows_done);
+    while row_start < n {
+        let start = row_start;
         let rows = chunk.min(n - start);
         trace.span_begin(
             "symbolic.chunk",
             "chunk",
             gpu.now().as_ns(),
-            &[("iter", iter.into()), ("rows", rows.into())],
+            &[("iter", iters.into()), ("rows", rows.into())],
         );
         gpu.launch("symbolic_1", rows, 1024, &|b: usize, ctx: &mut BlockCtx| {
             let src = (start + b) as u32;
@@ -209,12 +237,38 @@ pub fn symbolic_ooc_traced(
             "chunk",
             gpu.now().as_ns(),
             &[
-                ("iter", iter.into()),
+                ("iter", iters.into()),
                 ("rows", rows.into()),
                 ("max_frontier", max_frontier.into()),
             ],
         );
+        iters += 1;
+        row_start += rows;
+        if let Some(h) = hook.as_mut() {
+            h(&ChunkProgress {
+                rows_done: row_start,
+                n_rows: n,
+                iters_done: iters,
+                chunk,
+                oom_backoffs,
+                fill_counts: fill_counts
+                    .iter()
+                    .map(|c| c.load(Ordering::Relaxed))
+                    .collect(),
+                frontiers: frontiers
+                    .iter()
+                    .map(|f| f.load(Ordering::Relaxed))
+                    .collect(),
+                agg_steps: agg_steps.load(Ordering::Relaxed),
+                agg_edges: agg_edges.load(Ordering::Relaxed),
+                agg_frontiers: 0,
+                per_iter_max_frontier: per_iter_max_frontier.clone(),
+                split: None,
+                overflow_rows: Vec::new(),
+            })?;
+        }
     }
+    let num_iter = iters;
 
     // ---- Device prefix sum over fill_count (line 7). ----
     gpu.launch(

@@ -23,7 +23,9 @@ const TID: u64 = 1;
 /// the final timestamp, so the output is always balanced.
 pub fn chrome_trace(events: &[TraceEvent]) -> String {
     let mut ordered: Vec<&TraceEvent> = events.iter().collect();
-    ordered.sort_by(|a, b| a.ts_ns.partial_cmp(&b.ts_ns).expect("finite timestamps"));
+    // total_cmp: a NaN timestamp from a hostile or truncated event log
+    // sorts last instead of panicking the exporter.
+    ordered.sort_by(|a, b| a.ts_ns.total_cmp(&b.ts_ns));
 
     let mut trace_events: Vec<JsonValue> = ordered.iter().map(|e| chrome_event(e)).collect();
 
@@ -119,6 +121,51 @@ mod tests {
             ts_ns,
             attrs: vec![],
         }
+    }
+
+    #[test]
+    fn empty_run_exports_a_valid_empty_trace() {
+        // A zero-span run (factorization failed before the first event,
+        // or tracing was enabled on a no-op path) must still produce a
+        // well-formed document, not panic or emit garbage.
+        let doc = parse(&chrome_trace(&[])).expect("valid json");
+        let list = doc
+            .get("traceEvents")
+            .and_then(JsonValue::as_arr)
+            .expect("traceEvents array");
+        assert!(list.is_empty());
+    }
+
+    #[test]
+    fn non_finite_timestamps_do_not_panic_the_exporter() {
+        // A truncated or hand-edited event log can carry NaN timestamps;
+        // the exporter sorts them deterministically instead of panicking.
+        let events = vec![
+            ev("a", EventKind::Begin, f64::NAN),
+            ev("a", EventKind::End, 5.0),
+            ev("b", EventKind::Instant, f64::INFINITY),
+        ];
+        let doc = parse(&chrome_trace(&events)).expect("valid json");
+        let list = doc
+            .get("traceEvents")
+            .and_then(JsonValue::as_arr)
+            .expect("traceEvents array");
+        // NaN sorts last, so the Begin lands after its End and the
+        // balancer closes it with a synthetic E: 3 events in, 4 out.
+        assert_eq!(list.len(), 4);
+        let begins = list
+            .iter()
+            .filter(|e| e.get("ph").and_then(JsonValue::as_str) == Some("B"))
+            .count();
+        let ends = list
+            .iter()
+            .filter(|e| e.get("ph").and_then(JsonValue::as_str) == Some("E"))
+            .count();
+        // Every Begin got closed (the stray input End passes through).
+        assert!(
+            begins <= ends,
+            "some Begin was left open: {begins} B, {ends} E"
+        );
     }
 
     #[test]

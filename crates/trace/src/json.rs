@@ -255,14 +255,22 @@ impl std::fmt::Display for JsonError {
 
 impl std::error::Error for JsonError {}
 
+/// Maximum container nesting the parser accepts. The recursive-descent
+/// parser uses one stack frame per level, so a hostile
+/// `[[[[…]]]]` document would otherwise overflow the thread stack;
+/// past this depth it returns a typed [`JsonError`] instead. Far above
+/// anything the workspace emits (reports nest ~4 deep).
+pub const MAX_DEPTH: usize = 512;
+
 /// Parses a complete JSON document (trailing whitespace allowed, nothing
 /// else). Minimal by design: it accepts exactly the constructs the
 /// workspace emits (and standard JSON in general), and rejects garbage
-/// with an offset.
+/// with an offset. Containers nested deeper than [`MAX_DEPTH`] are a
+/// typed error, not a stack overflow.
 pub fn parse(input: &str) -> Result<JsonValue, JsonError> {
     let bytes = input.as_bytes();
     let mut pos = 0usize;
-    let value = parse_value(bytes, &mut pos)?;
+    let value = parse_value(bytes, &mut pos, 0)?;
     skip_ws(bytes, &mut pos);
     if pos != bytes.len() {
         return Err(err("trailing data", pos));
@@ -292,12 +300,15 @@ fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), JsonError> {
     }
 }
 
-fn parse_value(b: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
+fn parse_value(b: &[u8], pos: &mut usize, depth: usize) -> Result<JsonValue, JsonError> {
     skip_ws(b, pos);
+    if depth > MAX_DEPTH {
+        return Err(err("nesting too deep", *pos));
+    }
     match b.get(*pos) {
         None => Err(err("unexpected end of input", *pos)),
-        Some(b'{') => parse_obj(b, pos),
-        Some(b'[') => parse_arr(b, pos),
+        Some(b'{') => parse_obj(b, pos, depth),
+        Some(b'[') => parse_arr(b, pos, depth),
         Some(b'"') => Ok(JsonValue::Str(parse_string(b, pos)?)),
         Some(b't') => parse_lit(b, pos, "true", JsonValue::Bool(true)),
         Some(b'f') => parse_lit(b, pos, "false", JsonValue::Bool(false)),
@@ -379,7 +390,7 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, JsonError> {
     }
 }
 
-fn parse_arr(b: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
+fn parse_arr(b: &[u8], pos: &mut usize, depth: usize) -> Result<JsonValue, JsonError> {
     expect(b, pos, b'[')?;
     let mut items = Vec::new();
     skip_ws(b, pos);
@@ -388,7 +399,7 @@ fn parse_arr(b: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
         return Ok(JsonValue::Arr(items));
     }
     loop {
-        items.push(parse_value(b, pos)?);
+        items.push(parse_value(b, pos, depth + 1)?);
         skip_ws(b, pos);
         match b.get(*pos) {
             Some(b',') => *pos += 1,
@@ -401,7 +412,7 @@ fn parse_arr(b: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
     }
 }
 
-fn parse_obj(b: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
+fn parse_obj(b: &[u8], pos: &mut usize, depth: usize) -> Result<JsonValue, JsonError> {
     expect(b, pos, b'{')?;
     let mut fields = Vec::new();
     skip_ws(b, pos);
@@ -414,7 +425,7 @@ fn parse_obj(b: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
         let key = parse_string(b, pos)?;
         skip_ws(b, pos);
         expect(b, pos, b':')?;
-        let value = parse_value(b, pos)?;
+        let value = parse_value(b, pos, depth + 1)?;
         fields.push((key, value));
         skip_ws(b, pos);
         match b.get(*pos) {

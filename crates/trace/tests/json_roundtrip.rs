@@ -1,0 +1,136 @@
+//! Property coverage for the hand-rolled JSON layer: everything the
+//! writer can emit, the parser must read back **exactly** — arbitrary
+//! escape-heavy strings, number edge cases, and randomly-shaped value
+//! trees — and hostile nesting depth is a typed error, not a stack
+//! overflow.
+
+use gplu_trace::json::{parse, JsonValue, MAX_DEPTH};
+use proptest::prelude::*;
+
+/// Characters chosen to stress every escape path in the writer: the
+/// two mandatory escapes, the shorthand control escapes, raw control
+/// bytes (forced through `\u00xx`), multi-byte UTF-8, and plain ASCII.
+const CHAR_POOL: &[char] = &[
+    '"', '\\', '/', '\n', '\r', '\t', '\u{8}', '\u{c}', '\u{0}', '\u{1}', '\u{1f}', ' ', 'a', 'Z',
+    '0', '{', '}', '[', ']', ':', ',', 'é', 'ß', '中', '🦀', '\u{fffd}', '\u{2028}', '\u{e000}',
+];
+
+fn arb_string(rng: &mut TestRng, max_len: usize) -> String {
+    let len = rng.below(max_len as u64 + 1) as usize;
+    (0..len)
+        .map(|_| CHAR_POOL[rng.below(CHAR_POOL.len() as u64) as usize])
+        .collect()
+}
+
+/// A random value tree. `budget` bounds total nodes, so the shape (and
+/// the nesting) varies case to case without blowing up.
+fn arb_value(rng: &mut TestRng, budget: &mut u32) -> JsonValue {
+    *budget = budget.saturating_sub(1);
+    let leaf_only = *budget == 0;
+    match rng.below(if leaf_only { 5 } else { 7 }) {
+        0 => JsonValue::Null,
+        1 => JsonValue::Bool(rng.below(2) == 0),
+        2 => JsonValue::Num(rng.below(1 << 53) as f64 - (1u64 << 52) as f64),
+        3 => JsonValue::Num(rng.next_f64() * 1e12 - 5e11),
+        4 => JsonValue::Str(arb_string(rng, 12)),
+        5 => {
+            let n = rng.below(4);
+            JsonValue::Arr((0..n).map(|_| arb_value(rng, budget)).collect())
+        }
+        _ => {
+            let n = rng.below(4);
+            JsonValue::Obj(
+                (0..n)
+                    .map(|i| {
+                        (
+                            format!("{}-{i}", arb_string(rng, 6)),
+                            arb_value(rng, budget),
+                        )
+                    })
+                    .collect(),
+            )
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn escape_heavy_strings_round_trip(
+        s in Just(()).prop_perturb(|(), mut rng| arb_string(&mut rng, 40)),
+    ) {
+        let v = JsonValue::Str(s.clone());
+        for text in [v.to_compact(), v.to_pretty()] {
+            let back = parse(&text)
+                .map_err(|e| TestCaseError::fail(format!("{e} in {text:?}")))?;
+            prop_assert_eq!(back.as_str(), Some(s.as_str()), "through {:?}", text);
+        }
+    }
+
+    #[test]
+    fn finite_numbers_round_trip_bit_exactly(
+        bits in 0u64..=u64::MAX,
+        small in -1000i64..1000,
+        exp in 0u32..616,
+    ) {
+        // Three regimes: arbitrary bit patterns (subnormals, extremes),
+        // small integers, and powers of ten across the exponent range.
+        let candidates = [
+            f64::from_bits(bits),
+            small as f64,
+            format!("1e{}", exp as i64 - 308).parse::<f64>().expect("valid"),
+        ];
+        for x in candidates.into_iter().filter(|x| x.is_finite()) {
+            let text = JsonValue::Num(x).to_compact();
+            let back = parse(&text)
+                .map_err(|e| TestCaseError::fail(format!("{e} in {text:?}")))?
+                .as_f64()
+                .ok_or_else(|| TestCaseError::fail(format!("non-number from {text:?}")))?;
+            prop_assert_eq!(
+                back.to_bits(), x.to_bits(),
+                "{} -> {:?} -> {}", x, text, back
+            );
+        }
+    }
+
+    #[test]
+    fn arbitrary_value_trees_round_trip(
+        v in Just(()).prop_perturb(|(), mut rng| arb_value(&mut rng, &mut 40)),
+    ) {
+        for text in [v.to_compact(), v.to_pretty()] {
+            let back = parse(&text)
+                .map_err(|e| TestCaseError::fail(format!("{e} in {text:?}")))?;
+            prop_assert_eq!(&back, &v, "through {:?}", text);
+        }
+    }
+
+    #[test]
+    fn nesting_below_the_limit_parses_above_it_errors(
+        depth in 1usize..80,
+    ) {
+        // Shallow nesting always works…
+        let doc = format!("{}0{}", "[".repeat(depth), "]".repeat(depth));
+        prop_assert!(parse(&doc).is_ok(), "depth {} rejected", depth);
+        // …and the same shape past MAX_DEPTH is a typed error.
+        let deep = MAX_DEPTH + depth;
+        let doc = format!("{}0{}", "[".repeat(deep), "]".repeat(deep));
+        let err = parse(&doc).expect_err("over-deep document must be rejected");
+        prop_assert!(err.msg.contains("nesting"), "got: {}", err);
+    }
+}
+
+#[test]
+fn pathological_depth_is_an_error_not_a_crash() {
+    // An unclosed million-bracket prefix: the overflow guard must fire
+    // long before the recursion does.
+    let doc = "[".repeat(1_000_000);
+    let err = parse(&doc).expect_err("must be rejected");
+    assert!(err.msg.contains("nesting"), "got: {err}");
+
+    // Mixed object/array nesting counts against the same budget.
+    let deep = (MAX_DEPTH / 2) + 300;
+    let doc = format!("{}1{}", r#"{"k":["#.repeat(deep), "]}".repeat(deep));
+    let err = parse(&doc).expect_err("must be rejected");
+    assert!(err.msg.contains("nesting"), "got: {err}");
+}

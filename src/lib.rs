@@ -45,7 +45,8 @@ pub use gplu_symbolic as symbolic;
 /// The types most programs need.
 pub mod prelude {
     pub use gplu_core::{
-        GpluError, LuFactorization, LuOptions, NumericFormat, PhaseReport, SymbolicEngine,
+        CheckpointOptions, GpluError, LuFactorization, LuOptions, NumericFormat, PhaseReport,
+        SymbolicEngine,
     };
     pub use gplu_sim::{CostModel, Gpu, GpuConfig, SimTime};
     pub use gplu_sparse::{Csc, Csr, Permutation};

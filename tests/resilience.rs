@@ -1,0 +1,278 @@
+//! Resilience suite: crash-consistent checkpoint/resume, proven by
+//! killing the pipeline at **every** durability boundary.
+//!
+//! The invariant under test (the checkpoint subsystem's whole contract):
+//!
+//! 1. a clean checkpointed run is **bit-identical** to an uncheckpointed
+//!    one — snapshotting never perturbs the answer;
+//! 2. for every crash-point ordinal `k`, killing the run at `k`
+//!    (`FaultPlan::crash_at`) and then resuming from the surviving
+//!    snapshots reproduces the uninterrupted factors **bit-for-bit**,
+//!    across all four numeric engines;
+//! 3. corrupting every snapshot on disk turns resume into a typed
+//!    [`GpluError::CheckpointCorrupt`] — never a panic, never a silently
+//!    wrong answer;
+//! 4. resuming against a different matrix is a typed
+//!    [`GpluError::CheckpointMismatch`].
+//!
+//! Deterministic: matrices derive from a fixed seed offset by
+//! `GPLU_RESILIENCE_SEED` (the CI seed matrix), so each CI shard explores
+//! a different matrix while every failure reproduces locally by exporting
+//! the same value.
+
+use gplu::prelude::*;
+use gplu::sim::FaultPlan;
+use gplu::sparse::gen::random::random_dominant;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Matrix-seed offset from `GPLU_RESILIENCE_SEED` (default 0).
+fn seed_base() -> u64 {
+    std::env::var("GPLU_RESILIENCE_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Fresh scratch directory per call (no tempfile dependency).
+fn ckpt_dir(tag: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "gplu-resilience-{}-{tag}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn gpu_for(a: &gplu::sparse::Csr) -> Gpu {
+    Gpu::new(GpuConfig::v100_symbolic_profile(a.n_rows(), a.nnz()))
+}
+
+fn gpu_with_plan(a: &gplu::sparse::Csr, plan: FaultPlan) -> Gpu {
+    Gpu::with_fault_plan(
+        GpuConfig::v100_symbolic_profile(a.n_rows(), a.nnz()),
+        CostModel::default(),
+        plan,
+    )
+}
+
+fn assert_factors_equal(got: &LuFactorization, want: &LuFactorization, ctx: &str) {
+    assert_eq!(
+        got.lu.col_ptr, want.lu.col_ptr,
+        "{ctx}: fill pattern (col_ptr) diverged"
+    );
+    assert_eq!(
+        got.lu.row_idx, want.lu.row_idx,
+        "{ctx}: fill pattern (row_idx) diverged"
+    );
+    assert_eq!(got.lu.vals, want.lu.vals, "{ctx}: values diverged bitwise");
+}
+
+const FORMATS: [(NumericFormat, &str); 4] = [
+    (NumericFormat::Dense, "dense"),
+    (NumericFormat::Sparse, "sparse"),
+    (NumericFormat::SparseMerge, "merge"),
+    (NumericFormat::Auto, "auto"),
+];
+
+/// The tentpole invariant: crash at every ordinal, resume, compare bits —
+/// for each of the four numeric engines.
+#[test]
+fn crash_at_every_ordinal_then_resume_is_bit_identical() {
+    let a = random_dominant(120, 4.0, 7 + seed_base());
+    for (format, tag) in FORMATS {
+        let opts = LuOptions {
+            format,
+            ..Default::default()
+        };
+
+        // Uncheckpointed reference.
+        let reference = LuFactorization::compute(&gpu_for(&a), &a, &opts)
+            .unwrap_or_else(|e| panic!("[{tag}] clean run failed: {e}"));
+
+        // Clean checkpointed run: bit-identical, and its crash-point count
+        // enumerates every durability boundary a kill could land on.
+        let dir = ckpt_dir(&format!("clean-{tag}"));
+        let ckpt = CheckpointOptions::new(&dir).every(2);
+        let gpu = gpu_for(&a);
+        let f = LuFactorization::compute_checkpointed(&gpu, &a, &opts, &ckpt, &gplu_trace::NOOP)
+            .unwrap_or_else(|e| panic!("[{tag}] checkpointed run failed: {e}"));
+        assert_factors_equal(&f, &reference, &format!("[{tag}] checkpointed vs plain"));
+        let n_ordinals = gpu.stats().crash_points;
+        assert!(
+            n_ordinals >= 4,
+            "[{tag}] expected several crash points, got {n_ordinals}"
+        );
+
+        for k in 1..=n_ordinals {
+            let dir = ckpt_dir(&format!("crash-{tag}-{k}"));
+            let ckpt = CheckpointOptions::new(&dir).every(2);
+
+            // Kill the run at ordinal k.
+            let gpu = gpu_with_plan(&a, FaultPlan::new().crash_at(k));
+            let err =
+                LuFactorization::compute_checkpointed(&gpu, &a, &opts, &ckpt, &gplu_trace::NOOP)
+                    .expect_err("crash plan must kill the run");
+            assert_eq!(
+                err,
+                GpluError::Crashed { ordinal: k },
+                "[{tag}] crash at ordinal {k} surfaced as the wrong error"
+            );
+
+            // Resume on a fresh, fault-free device.
+            let resumed = LuFactorization::compute_checkpointed(
+                &gpu_for(&a),
+                &a,
+                &opts,
+                &CheckpointOptions::new(&dir).every(2).resume(true),
+                &gplu_trace::NOOP,
+            )
+            .unwrap_or_else(|e| panic!("[{tag}] resume after crash at {k} failed: {e}"));
+            assert_factors_equal(
+                &resumed,
+                &reference,
+                &format!("[{tag}] resume after crash at ordinal {k}"),
+            );
+        }
+    }
+}
+
+/// Crash mid-numeric-phase, resume, and verify the factors actually solve
+/// the system — end-to-end, not just bitwise.
+#[test]
+fn resumed_factors_solve_the_system() {
+    let a = random_dominant(150, 4.0, 11 + seed_base());
+    let dir = ckpt_dir("solve");
+    let ckpt = CheckpointOptions::new(&dir).every(2);
+    let opts = LuOptions::default();
+
+    // Find a late ordinal (inside the numeric phase) by counting first.
+    let probe = gpu_for(&a);
+    LuFactorization::compute_checkpointed(
+        &probe,
+        &a,
+        &opts,
+        &CheckpointOptions::new(ckpt_dir("solve-probe")).every(2),
+        &gplu_trace::NOOP,
+    )
+    .expect("probe run");
+    let late = probe.stats().crash_points.saturating_sub(1).max(1);
+
+    let gpu = gpu_with_plan(&a, FaultPlan::new().crash_at(late));
+    LuFactorization::compute_checkpointed(&gpu, &a, &opts, &ckpt, &gplu_trace::NOOP)
+        .expect_err("crash");
+    let f = LuFactorization::compute_checkpointed(
+        &gpu_for(&a),
+        &a,
+        &opts,
+        &CheckpointOptions::new(&dir).every(2).resume(true),
+        &gplu_trace::NOOP,
+    )
+    .expect("resume");
+
+    let x_true = vec![1.0; a.n_rows()];
+    let b = a.spmv(&x_true);
+    let x = f.solve(&b).expect("solve");
+    assert!(
+        gplu::sparse::verify::check_solution(&a, &x, &b, 1e-8),
+        "resumed factorization does not solve the original system"
+    );
+}
+
+/// Corrupting every snapshot on disk must surface as
+/// [`GpluError::CheckpointCorrupt`] on resume — typed, no panic, and
+/// never a silently wrong factorization.
+#[test]
+fn corrupted_snapshots_are_a_typed_error() {
+    let a = random_dominant(100, 4.0, 23 + seed_base());
+    let dir = ckpt_dir("corrupt");
+    let opts = LuOptions::default();
+    LuFactorization::compute_checkpointed(
+        &gpu_for(&a),
+        &a,
+        &opts,
+        &CheckpointOptions::new(&dir).every(2),
+        &gplu_trace::NOOP,
+    )
+    .expect("checkpointed run");
+
+    // Flip one byte deep in every snapshot (past the header so the file
+    // still looks like a checkpoint — the checksum must catch it).
+    let mut flipped = 0;
+    for entry in std::fs::read_dir(&dir).expect("read dir") {
+        let path = entry.expect("entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("ckpt") {
+            continue;
+        }
+        let mut bytes = std::fs::read(&path).expect("read snapshot");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&path, bytes).expect("write corrupted snapshot");
+        flipped += 1;
+    }
+    assert!(flipped > 0, "no snapshots found to corrupt");
+
+    let err = LuFactorization::compute_checkpointed(
+        &gpu_for(&a),
+        &a,
+        &opts,
+        &CheckpointOptions::new(&dir).every(2).resume(true),
+        &gplu_trace::NOOP,
+    )
+    .expect_err("resume from corrupted snapshots must fail");
+    assert!(
+        matches!(err, GpluError::CheckpointCorrupt(_)),
+        "expected CheckpointCorrupt, got {err:?}"
+    );
+}
+
+/// Resuming someone else's checkpoint directory is a typed mismatch.
+#[test]
+fn resume_with_mismatched_matrix_is_a_typed_error() {
+    let a = random_dominant(90, 4.0, 31 + seed_base());
+    let b = random_dominant(90, 4.0, 32 + seed_base());
+    let dir = ckpt_dir("mismatch");
+    let opts = LuOptions::default();
+    LuFactorization::compute_checkpointed(
+        &gpu_for(&a),
+        &a,
+        &opts,
+        &CheckpointOptions::new(&dir).every(2),
+        &gplu_trace::NOOP,
+    )
+    .expect("checkpointed run");
+
+    let err = LuFactorization::compute_checkpointed(
+        &gpu_for(&b),
+        &b,
+        &opts,
+        &CheckpointOptions::new(&dir).every(2).resume(true),
+        &gplu_trace::NOOP,
+    )
+    .expect_err("resume against the wrong matrix must fail");
+    assert!(
+        matches!(err, GpluError::CheckpointMismatch(_)),
+        "expected CheckpointMismatch, got {err:?}"
+    );
+}
+
+/// A cadence of zero can never cut a snapshot; the options reject it as a
+/// typed configuration error before any work runs.
+#[test]
+fn zero_cadence_is_rejected() {
+    let a = random_dominant(60, 4.0, 41 + seed_base());
+    let err = LuFactorization::compute_checkpointed(
+        &gpu_for(&a),
+        &a,
+        &LuOptions::default(),
+        &CheckpointOptions::new(ckpt_dir("zero")).every(0),
+        &gplu_trace::NOOP,
+    )
+    .expect_err("cadence 0 must be rejected");
+    assert!(
+        matches!(err, GpluError::Checkpoint(_)),
+        "expected Checkpoint config error, got {err:?}"
+    );
+}
