@@ -3,6 +3,7 @@
 //! ```text
 //! telemetry_check <report.json> [trace.json]
 //! telemetry_check --manifest <checkpoint-dir>
+//! telemetry_check --service <service-report.json> [trace.json]
 //! ```
 //!
 //! Checks that a `--report-json` file is schema-versioned, internally
@@ -11,8 +12,11 @@
 //! trace. With `--manifest`, validates a `--checkpoint-dir` instead:
 //! the manifest parses, every listed snapshot exists with the advertised
 //! size and whole-file hash, every snapshot passes its own structural
-//! checks, and the latest-valid-wins load succeeds. Exits non-zero with
-//! a message on the first violation.
+//! checks, and the latest-valid-wins load succeeds. With `--service`,
+//! validates a `gplu serve --stress --service-report` file: schema
+//! version, all sections present, job totals consistent, hit rate in
+//! range, percentiles ordered. Exits non-zero with a message on the
+//! first violation.
 
 use gplu_checkpoint::{xxh64, CheckpointStore, Snapshot};
 use gplu_trace::{json, JsonValue};
@@ -127,6 +131,93 @@ fn check_trace(doc: &JsonValue) -> Result<String, String> {
     Ok(format!("trace ok: {} events, {spans} spans", events.len()))
 }
 
+fn check_service(doc: &JsonValue) -> Result<String, String> {
+    let version = doc
+        .get("service_schema_version")
+        .and_then(JsonValue::as_u64)
+        .ok_or("service report: service_schema_version missing")?;
+    if version != 1 {
+        return Err(format!(
+            "service report: unknown service_schema_version {version}"
+        ));
+    }
+
+    for section in ["jobs", "cache", "latency", "queue", "faults"] {
+        if doc.get(section).is_none() {
+            return Err(format!("service report: {section} section missing"));
+        }
+    }
+
+    let jobs = doc.get("jobs").unwrap();
+    let field = |obj: &JsonValue, section: &str, key: &str| {
+        obj.get(key)
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("service report: {section}.{key} missing"))
+    };
+    let submitted = field(jobs, "jobs", "submitted")?;
+    let completed = field(jobs, "jobs", "completed")?;
+    let failed = field(jobs, "jobs", "failed")?;
+    let cancelled = field(jobs, "jobs", "cancelled")?;
+    let deadline = field(jobs, "jobs", "deadline_dropped")?;
+    let resolved = completed + failed + cancelled + deadline;
+    if resolved > submitted {
+        return Err(format!(
+            "service report: {resolved} jobs resolved but only {submitted} submitted"
+        ));
+    }
+    let by_tier = field(jobs, "jobs", "cold")?
+        + field(jobs, "jobs", "warm")?
+        + field(jobs, "jobs", "cached_solve")?;
+    if (by_tier - completed).abs() > 1e-9 {
+        return Err(format!(
+            "service report: tier counts sum to {by_tier}, not the {completed} completed jobs"
+        ));
+    }
+
+    let cache = doc.get("cache").unwrap();
+    let rate = field(cache, "cache", "hot_hit_rate")?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(format!("service report: hot_hit_rate {rate} outside 0..1"));
+    }
+    let used = field(cache, "cache", "used_bytes")?;
+    let budget = field(cache, "cache", "budget_bytes")?;
+    if used > budget {
+        return Err(format!(
+            "service report: cache used_bytes {used} exceeds budget_bytes {budget}"
+        ));
+    }
+
+    let latency = doc.get("latency").unwrap();
+    for (p50, p95) in [("sim_p50_ns", "sim_p95_ns"), ("wall_p50_ns", "wall_p95_ns")] {
+        let lo = field(latency, "latency", p50)?;
+        let hi = field(latency, "latency", p95)?;
+        if lo > hi {
+            return Err(format!(
+                "service report: latency.{p50} {lo} exceeds {p95} {hi}"
+            ));
+        }
+    }
+
+    let queue = doc.get("queue").unwrap();
+    let cap = field(queue, "queue", "capacity")?;
+    let depth = field(queue, "queue", "max_depth")?;
+    field(queue, "queue", "rejections")?;
+    if depth > cap {
+        return Err(format!(
+            "service report: queue max_depth {depth} exceeds capacity {cap}"
+        ));
+    }
+
+    let faults = doc.get("faults").unwrap();
+    field(faults, "faults", "injected")?;
+    field(faults, "faults", "jobs_recovered")?;
+
+    Ok(format!(
+        "service report ok: schema v{version}, {submitted} submitted, \
+         {completed} completed, hot hit rate {rate:.3}"
+    ))
+}
+
 /// Validates a checkpoint directory: manifest ↔ files ↔ checksums ↔
 /// structural snapshot decode, plus the latest-valid-wins load the
 /// pipeline itself would perform on `--resume`.
@@ -195,16 +286,33 @@ fn main() -> ExitCode {
             Err(msg) => fail(&format!("{dir}: {msg}")),
         };
     }
+    if args.first().map(String::as_str) == Some("--service") {
+        let Some(report_path) = args.get(1) else {
+            return fail("usage: telemetry_check --service <service-report.json> [trace.json]");
+        };
+        let checks: Vec<(&String, Check)> = match args.get(2) {
+            Some(trace_path) => vec![(report_path, check_service), (trace_path, check_trace)],
+            None => vec![(report_path, check_service)],
+        };
+        return run_checks(checks);
+    }
     let Some(report_path) = args.first() else {
-        return fail("usage: telemetry_check <report.json> [trace.json] | --manifest <dir>");
+        return fail(
+            "usage: telemetry_check <report.json> [trace.json] | --manifest <dir> | \
+             --service <service-report.json> [trace.json]",
+        );
     };
 
-    type Check = fn(&JsonValue) -> Result<String, String>;
     let checks: Vec<(&String, Check)> = match args.get(1) {
         Some(trace_path) => vec![(report_path, check_report), (trace_path, check_trace)],
         None => vec![(report_path, check_report)],
     };
+    run_checks(checks)
+}
 
+type Check = fn(&JsonValue) -> Result<String, String>;
+
+fn run_checks(checks: Vec<(&String, Check)>) -> ExitCode {
     for (path, check) in checks {
         let text = match std::fs::read_to_string(path) {
             Ok(t) => t,

@@ -5,6 +5,9 @@ use gplu_core::{
     CheckpointOptions, GpluError, LuFactorization, LuOptions, NumericFormat, RunReport,
     SymbolicEngine,
 };
+use gplu_server::{
+    generate_workload, JobHandle, ServiceConfig, ServiceReport, SolverService, WorkloadParams,
+};
 use gplu_sim::{CostModel, FaultPlan, Gpu, GpuConfig};
 use gplu_sparse::convert::coo_to_csr;
 use gplu_sparse::gen::{circuit, mesh, planar};
@@ -12,8 +15,10 @@ use gplu_sparse::io::{read_matrix_market_file, write_matrix_market_file};
 use gplu_sparse::ordering::OrderingKind;
 use gplu_sparse::{Coo, Csr, SparseError};
 use gplu_trace::{chrome_trace, metrics_text, Recorder, NOOP};
+use std::collections::VecDeque;
 use std::fmt;
 use std::io::Write;
+use std::sync::Arc;
 
 /// Usage text shared by `--help` and usage errors.
 pub const USAGE: &str = "\
@@ -24,6 +29,7 @@ commands:
   factorize <matrix.mtx> [options]
   solve <matrix.mtx> [options] [--gpu-solve]
   gen <circuit|mesh|planar> <n> <nnz_per_row> <out.mtx> [seed]
+  serve --stress [serve options]
 
 options:
   --ordering amd|rcm|natural    fill-reducing ordering (default amd)
@@ -58,6 +64,31 @@ options:
                                 report (phase timings, per-level records,
                                 GPU counters, recovery log)
   --metrics                     print span histograms and counters to stdout
+
+serve options (the solver service is in-process; `--stress` replays a
+seeded synthetic workload against it and reports what happened):
+  --jobs <N>                    workload size (default 500)
+  --workers <N>                 worker threads (default 4)
+  --seed <S>                    workload seed; the whole job mix is a pure
+                                function of it (default 1)
+  --queue-cap <N>               bounded admission-queue capacity; overflow
+                                is typed backpressure (default 64)
+  --cache-budget <MiB>          pattern-keyed factor-cache budget
+                                (default 64)
+  --hot-patterns <N>            distinct hot patterns in the mix (default 3)
+  --hot-n <N> / --cold-n <N>    matrix dimensions of the hot / cold
+                                segments (defaults 300 / 200)
+  --fault-every <N>             give every Nth job a seeded fault plan
+                                (default 0 = no chaos)
+  --fault-plan <spec>           use this plan (same grammar as factorize)
+                                for the faulted jobs instead of seeded
+                                ones; implies --fault-every 7 when unset
+  --service-report <path>       write the versioned service-report JSON
+                                (validated by telemetry_check --service)
+  --trace-out <path>            write the wall-clock Chrome trace of the
+                                service run (queue depth, per-job spans)
+  --min-hot-hit-rate <F>        exit nonzero unless the hot-segment cache
+                                hit rate reaches F (0..1)
 ";
 
 /// CLI error type.
@@ -71,6 +102,8 @@ pub enum CliError {
     Pipeline(GpluError),
     /// Output failure.
     Io(std::io::Error),
+    /// A run-level acceptance check failed (e.g. `--min-hot-hit-rate`).
+    Check(String),
 }
 
 impl fmt::Display for CliError {
@@ -80,6 +113,7 @@ impl fmt::Display for CliError {
             CliError::Sparse(e) => write!(f, "{e}"),
             CliError::Pipeline(e) => write!(f, "{e}"),
             CliError::Io(e) => write!(f, "{e}"),
+            CliError::Check(m) => write!(f, "check failed: {m}"),
         }
     }
 }
@@ -245,6 +279,204 @@ pub fn parse_options(args: &[String]) -> Result<RunOptions, CliError> {
         None => None,
     };
     Ok(opts)
+}
+
+/// Parsed `serve` options: the workload shape, the service knobs, and the
+/// stress driver's output/check settings.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// `--stress` given (required; bare `serve` is a usage error because
+    /// the service is in-process — there is no listener to run).
+    pub stress: bool,
+    /// Synthetic workload shape.
+    pub workload: WorkloadParams,
+    /// Worker pool / queue / cache knobs.
+    pub service: ServiceConfig,
+    /// Replaces the seeded per-job fault plans with this one.
+    pub fault_plan: Option<FaultPlan>,
+    /// Write the service-report JSON here.
+    pub service_report: Option<String>,
+    /// Write the wall-clock Chrome trace here.
+    pub trace_out: Option<String>,
+    /// Fail the run when the hot-segment hit rate lands below this.
+    pub min_hot_hit_rate: Option<f64>,
+}
+
+/// Parses the flags of the `serve` subcommand.
+pub fn parse_serve_options(args: &[String]) -> Result<ServeOptions, CliError> {
+    let mut o = ServeOptions {
+        stress: false,
+        workload: WorkloadParams::default(),
+        service: ServiceConfig::default(),
+        fault_plan: None,
+        service_report: None,
+        trace_out: None,
+        min_hot_hit_rate: None,
+    };
+    let mut fault_every_set = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))
+        };
+        fn int(flag: &str, v: String) -> Result<usize, CliError> {
+            v.parse()
+                .map_err(|_| CliError::Usage(format!("{flag} takes an integer")))
+        }
+        match a.as_str() {
+            "--stress" => o.stress = true,
+            "--jobs" => o.workload.jobs = int("--jobs", value("--jobs")?)?,
+            "--workers" => o.service.workers = int("--workers", value("--workers")?)?.max(1),
+            "--seed" => o.workload.seed = int("--seed", value("--seed")?)? as u64,
+            "--queue-cap" => {
+                o.service.queue_cap = int("--queue-cap", value("--queue-cap")?)?.max(1);
+            }
+            "--cache-budget" => {
+                o.service.cache_budget_bytes =
+                    (int("--cache-budget", value("--cache-budget")?)? as u64) << 20;
+            }
+            "--hot-patterns" => {
+                o.workload.hot_patterns = int("--hot-patterns", value("--hot-patterns")?)?.max(1);
+            }
+            "--hot-n" => o.workload.hot_n = int("--hot-n", value("--hot-n")?)?,
+            "--cold-n" => o.workload.cold_n = int("--cold-n", value("--cold-n")?)?,
+            "--fault-every" => {
+                o.workload.fault_every = int("--fault-every", value("--fault-every")?)?;
+                fault_every_set = true;
+            }
+            "--fault-plan" => {
+                let spec = value("--fault-plan")?;
+                o.fault_plan = Some(
+                    FaultPlan::parse(&spec)
+                        .map_err(|e| CliError::Usage(format!("--fault-plan: {e}")))?,
+                );
+            }
+            "--service-report" => o.service_report = Some(value("--service-report")?),
+            "--trace-out" => o.trace_out = Some(value("--trace-out")?),
+            "--min-hot-hit-rate" => {
+                let f: f64 = value("--min-hot-hit-rate")?.parse().map_err(|_| {
+                    CliError::Usage("--min-hot-hit-rate takes a number in 0..1".into())
+                })?;
+                if !(0.0..=1.0).contains(&f) {
+                    return Err(CliError::Usage(
+                        "--min-hot-hit-rate takes a number in 0..1".into(),
+                    ));
+                }
+                o.min_hot_hit_rate = Some(f);
+            }
+            other => return Err(CliError::Usage(format!("unknown serve flag '{other}'"))),
+        }
+    }
+    if !o.stress {
+        return Err(CliError::Usage(
+            "serve needs --stress: the solver service is in-process (no network \
+             listener); the stress driver replays a seeded workload against it"
+                .into(),
+        ));
+    }
+    if o.fault_plan.is_some() && !fault_every_set {
+        o.workload.fault_every = 7;
+    }
+    Ok(o)
+}
+
+/// Replays the seeded workload against a fresh service, printing the
+/// service summary and writing the requested artifacts.
+fn run_serve(o: &ServeOptions, out: &mut dyn Write) -> Result<(), CliError> {
+    let mut jobs = generate_workload(&o.workload);
+    if let Some(plan) = &o.fault_plan {
+        for j in jobs.iter_mut().filter(|j| j.fault.is_some()) {
+            j.fault = Some(plan.clone());
+        }
+    }
+    writeln!(
+        out,
+        "serve --stress: {} jobs ({} hot patterns, seed {}), {} workers, \
+         queue {} slots, cache {} MiB",
+        jobs.len(),
+        o.workload.hot_patterns,
+        o.workload.seed,
+        o.service.workers,
+        o.service.queue_cap,
+        o.service.cache_budget_bytes >> 20,
+    )?;
+    let recorder = o.trace_out.as_ref().map(|_| Arc::new(Recorder::new()));
+    let svc = match &recorder {
+        Some(rec) => SolverService::start_traced(o.service.clone(), Arc::clone(rec)),
+        None => SolverService::start(o.service.clone()),
+    };
+
+    let mut pending: VecDeque<JobHandle> = VecDeque::new();
+    let mut failures: Vec<(u64, GpluError)> = Vec::new();
+    for spec in jobs {
+        loop {
+            match svc.submit(spec.clone()) {
+                Ok(h) => {
+                    pending.push_back(h);
+                    break;
+                }
+                Err(GpluError::QueueFull { .. }) => {
+                    // Backpressure: drain the oldest in-flight job before
+                    // retrying, so the driver never busy-spins the queue.
+                    match pending.pop_front() {
+                        Some(h) => {
+                            let id = h.id();
+                            if let Err(e) = h.wait() {
+                                failures.push((id, e));
+                            }
+                        }
+                        None => std::thread::yield_now(),
+                    }
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+    for h in pending {
+        let id = h.id();
+        if let Err(e) = h.wait() {
+            failures.push((id, e));
+        }
+    }
+
+    let report = ServiceReport::capture(&svc);
+    svc.shutdown();
+    writeln!(out, "{}", report.summary())?;
+    for (id, e) in &failures {
+        writeln!(out, "job {id} failed: {e}")?;
+    }
+    if let Some(path) = &o.service_report {
+        std::fs::write(path, report.to_json().to_pretty())?;
+        writeln!(out, "service report: {path}")?;
+    }
+    if let (Some(path), Some(rec)) = (&o.trace_out, &recorder) {
+        let events = rec.events();
+        std::fs::write(path, chrome_trace(&events))?;
+        writeln!(out, "trace: {path} ({} events)", events.len())?;
+    }
+    if let Some(min) = o.min_hot_hit_rate {
+        let rate = report.stats.hot_hit_rate();
+        if rate < min {
+            return Err(CliError::Check(format!(
+                "hot-pattern cache hit rate {rate:.3} below required {min:.3}"
+            )));
+        }
+    }
+    // Under fault injection a job may legitimately exhaust its recovery
+    // ladder (e.g. a seeded *persistent* OOM) — that is a typed failure,
+    // not a panic, and the run is still healthy. Without chaos, any
+    // failure is a real regression.
+    let chaos = o.workload.fault_every > 0 || o.fault_plan.is_some();
+    if !failures.is_empty() && !chaos {
+        return Err(CliError::Check(format!(
+            "{} of {} jobs failed without fault injection",
+            failures.len(),
+            report.stats.submitted
+        )));
+    }
+    Ok(())
 }
 
 fn load(path: &str) -> Result<Csr, CliError> {
@@ -471,6 +703,10 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
                 a.nnz()
             )?;
             Ok(())
+        }
+        Some("serve") => {
+            let opts = parse_serve_options(&args[1..])?;
+            run_serve(&opts, out)
         }
         Some("--help") | Some("-h") | None => {
             writeln!(out, "{USAGE}")?;
@@ -768,5 +1004,157 @@ mod tests {
         let out = run_str(&["--help"]).expect("help");
         assert!(out.contains("factorize"));
         assert!(out.contains("--ordering"));
+        assert!(out.contains("serve --stress"));
+    }
+
+    #[test]
+    fn serve_flags_parse_with_defaults_and_overrides() {
+        let o = parse_serve_options(&["--stress".to_string()]).expect("parses");
+        assert_eq!(o.workload.jobs, 500);
+        assert_eq!(o.service.workers, 4);
+        assert!(o.fault_plan.is_none());
+
+        let o = parse_serve_options(
+            &[
+                "--stress",
+                "--jobs",
+                "50",
+                "--workers",
+                "2",
+                "--seed",
+                "9",
+                "--queue-cap",
+                "16",
+                "--cache-budget",
+                "8",
+                "--hot-patterns",
+                "2",
+                "--min-hot-hit-rate",
+                "0.8",
+            ]
+            .map(String::from),
+        )
+        .expect("parses");
+        assert_eq!(o.workload.jobs, 50);
+        assert_eq!(o.workload.seed, 9);
+        assert_eq!(o.service.workers, 2);
+        assert_eq!(o.service.queue_cap, 16);
+        assert_eq!(o.service.cache_budget_bytes, 8 << 20);
+        assert_eq!(o.workload.hot_patterns, 2);
+        assert_eq!(o.min_hot_hit_rate, Some(0.8));
+
+        // A custom plan without a cadence implies one, so the chaos
+        // actually reaches the workload.
+        let o = parse_serve_options(&["--stress", "--fault-plan", "seed:3"].map(String::from))
+            .expect("parses");
+        assert!(o.fault_plan.is_some());
+        assert_eq!(o.workload.fault_every, 7);
+    }
+
+    #[test]
+    fn serve_without_stress_or_with_bad_flags_is_a_usage_error() {
+        for bad in [
+            vec!["serve"],
+            vec!["serve", "--jobs", "10"],
+            vec!["serve", "--stress", "--jobs", "wat"],
+            vec!["serve", "--stress", "--min-hot-hit-rate", "1.5"],
+            vec!["serve", "--stress", "--listen"],
+        ] {
+            let args: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
+            assert!(
+                matches!(run(&args, &mut Vec::new()), Err(CliError::Usage(_))),
+                "expected usage error for {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn serve_stress_runs_reports_and_writes_artifacts() {
+        use gplu_trace::{json, JsonValue};
+
+        let report_path = tmp("serve-report.json");
+        let trace_path = tmp("serve-trace.json");
+        let out = run_str(&[
+            "serve",
+            "--stress",
+            "--jobs",
+            "40",
+            "--workers",
+            "2",
+            "--seed",
+            "7",
+            "--hot-patterns",
+            "2",
+            "--hot-n",
+            "120",
+            "--cold-n",
+            "80",
+            "--fault-every",
+            "9",
+            "--service-report",
+            &report_path,
+            "--trace-out",
+            &trace_path,
+            "--min-hot-hit-rate",
+            "0.5",
+        ])
+        .expect("stress run");
+        assert!(out.contains("hot hit rate"), "got: {out}");
+        assert!(out.contains("service report: "), "got: {out}");
+        assert!(out.contains("trace: "), "got: {out}");
+
+        let report = json::parse(&std::fs::read_to_string(&report_path).expect("report file"))
+            .expect("report parses");
+        assert_eq!(
+            report
+                .get("service_schema_version")
+                .and_then(JsonValue::as_u64),
+            Some(1)
+        );
+        let jobs = report.get("jobs").expect("jobs section");
+        assert_eq!(jobs.get("submitted").and_then(JsonValue::as_u64), Some(40));
+        let completed = jobs.get("completed").and_then(JsonValue::as_u64).unwrap();
+        let failed = jobs.get("failed").and_then(JsonValue::as_u64).unwrap();
+        assert_eq!(completed + failed, 40, "every job resolves");
+        let faults = report.get("faults").expect("faults section");
+        assert!(
+            faults.get("injected").and_then(JsonValue::as_u64) > Some(0),
+            "fault cadence 9 over 40 jobs must inject something"
+        );
+
+        let trace = json::parse(&std::fs::read_to_string(&trace_path).expect("trace file"))
+            .expect("trace parses");
+        let events = trace
+            .get("traceEvents")
+            .and_then(JsonValue::as_arr)
+            .expect("traceEvents");
+        assert!(!events.is_empty());
+    }
+
+    #[test]
+    fn serve_stress_enforces_the_hit_rate_floor() {
+        // All-cold traffic (hot fraction comes from the workload mix; with
+        // one job per pattern nothing can hit) against an impossible floor.
+        let err = run_str(&[
+            "serve",
+            "--stress",
+            "--jobs",
+            "6",
+            "--workers",
+            "1",
+            "--hot-patterns",
+            "6",
+            "--hot-n",
+            "60",
+            "--cold-n",
+            "50",
+            "--min-hot-hit-rate",
+            "1.0",
+        ])
+        .unwrap_err();
+        assert!(
+            matches!(err, CliError::Check(_)),
+            "expected a check failure, got {err}"
+        );
     }
 }

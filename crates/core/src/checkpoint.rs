@@ -56,6 +56,10 @@ const WRITE_NS_PER_BYTE: f64 = 0.05;
 
 /// Seed for the matrix fingerprint hash.
 const MATRIX_FP_SEED: u64 = 0x6770_6c75_6d61_7478; // "gplumatx"
+/// Seed for the structure-only pattern fingerprint hash. Distinct from
+/// [`MATRIX_FP_SEED`] so a pattern key can never collide with a content
+/// key even for an all-zero value array.
+const PATTERN_FP_SEED: u64 = 0x6770_6c75_7061_7474; // "gplupatt"
 /// Seed for the options fingerprint hash.
 const OPTS_FP_SEED: u64 = 0x6770_6c75_6f70_7473; // "gpluopts"
 
@@ -172,6 +176,20 @@ pub(crate) fn format_tag(f: NumericFormat) -> u8 {
         NumericFormat::SparseMerge => 2,
         NumericFormat::Auto => 255,
     }
+}
+
+/// Structural fingerprint of the input matrix: dimensions and sparsity
+/// pattern only, values excluded. Every member of a refactorization
+/// family (one circuit, many timesteps of drifting values) maps to the
+/// same key — this is the pattern key of the solver service's factor
+/// cache, where [`matrix_fingerprint`] would defeat reuse entirely.
+pub fn pattern_fingerprint(a: &Csr) -> u64 {
+    let mut e = Enc::new();
+    e.u64(a.n_rows() as u64);
+    e.u64(a.n_cols() as u64);
+    e.vec_usize(&a.row_ptr);
+    e.vec_u32(&a.col_idx);
+    xxh64(&e.into_bytes(), PATTERN_FP_SEED)
 }
 
 /// Content fingerprint of the input matrix (structure + values).
@@ -901,6 +919,32 @@ mod tests {
         }
         let c = gplu_sparse::convert::coo_to_csr(&coo);
         assert_ne!(fp, matrix_fingerprint(&c), "structure change must show");
+    }
+
+    #[test]
+    fn pattern_fingerprint_ignores_values_but_not_structure() {
+        let a = small();
+        let fp = pattern_fingerprint(&a);
+        let mut drifted = small();
+        for v in &mut drifted.vals {
+            *v *= 1.5;
+        }
+        assert_eq!(
+            fp,
+            pattern_fingerprint(&drifted),
+            "value drift keeps the pattern key"
+        );
+        assert_ne!(
+            fp,
+            matrix_fingerprint(&a),
+            "pattern and content keys live in different hash domains"
+        );
+        let mut coo = gplu_sparse::Coo::new(3, 3);
+        for (i, j, v) in [(0, 0, 4.0), (1, 1, 5.0), (2, 2, 6.0)] {
+            coo.push(i, j, v);
+        }
+        let diag = gplu_sparse::convert::coo_to_csr(&coo);
+        assert_ne!(fp, pattern_fingerprint(&diag), "structure change must show");
     }
 
     #[test]

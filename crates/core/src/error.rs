@@ -64,6 +64,24 @@ pub enum GpluError {
     /// Checkpoint configuration or I/O failure (bad flag combination,
     /// unwritable directory, failed write).
     Checkpoint(String),
+    /// The solver service's bounded admission queue is full — the typed
+    /// backpressure signal: resubmit later or shed load upstream.
+    QueueFull {
+        /// Jobs queued when admission was refused.
+        depth: usize,
+        /// The queue's configured capacity.
+        cap: usize,
+    },
+    /// A queued job's deadline passed before a worker could start it; the
+    /// job was dropped without running.
+    DeadlineExceeded {
+        /// How long the job waited, in wall-clock nanoseconds.
+        waited_ns: u64,
+        /// The deadline it missed, in wall-clock nanoseconds.
+        deadline_ns: u64,
+    },
+    /// The job was cancelled by its submitter before a worker started it.
+    Cancelled,
 }
 
 impl fmt::Display for GpluError {
@@ -96,6 +114,20 @@ impl fmt::Display for GpluError {
             GpluError::CheckpointCorrupt(msg) => write!(f, "checkpoint corrupt: {msg}"),
             GpluError::CheckpointMismatch(msg) => write!(f, "checkpoint mismatch: {msg}"),
             GpluError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
+            GpluError::QueueFull { depth, cap } => {
+                write!(
+                    f,
+                    "service queue full ({depth} of {cap} slots) — backpressure"
+                )
+            }
+            GpluError::DeadlineExceeded {
+                waited_ns,
+                deadline_ns,
+            } => write!(
+                f,
+                "deadline exceeded: waited {waited_ns} ns against a {deadline_ns} ns deadline"
+            ),
+            GpluError::Cancelled => write!(f, "job cancelled before execution"),
         }
     }
 }
@@ -183,5 +215,25 @@ mod tests {
             level: usize::MAX,
         };
         assert!(!e.to_string().contains("level"));
+    }
+
+    #[test]
+    fn service_variants_display_their_context() {
+        let e = GpluError::QueueFull { depth: 64, cap: 64 };
+        assert!(e.to_string().contains("64 of 64"));
+        assert!(e.to_string().contains("backpressure"));
+        let e = GpluError::DeadlineExceeded {
+            waited_ns: 5_000,
+            deadline_ns: 1_000,
+        };
+        assert!(e.to_string().contains("5000 ns"));
+        assert!(e.to_string().contains("1000 ns deadline"));
+        assert!(GpluError::Cancelled.to_string().contains("cancelled"));
+        // The service variants must stay comparable for test assertions.
+        assert_eq!(GpluError::Cancelled, GpluError::Cancelled);
+        assert_ne!(
+            GpluError::QueueFull { depth: 1, cap: 2 },
+            GpluError::QueueFull { depth: 2, cap: 2 }
+        );
     }
 }

@@ -38,15 +38,18 @@ pub mod error;
 pub mod pipeline;
 pub mod preprocess;
 pub mod recovery;
+pub mod refactor;
 pub mod report;
 pub mod telemetry;
 
 pub use checkpoint::{
-    matrix_fingerprint, CheckpointOptions, CheckpointSession, PhaseMark, ResumeState,
+    matrix_fingerprint, pattern_fingerprint, CheckpointOptions, CheckpointSession, PhaseMark,
+    ResumeState,
 };
 pub use error::GpluError;
 pub use pipeline::{LuFactorization, LuOptions, NumericFormat, SymbolicEngine};
 pub use preprocess::{preprocess, PreprocessOptions, PreprocessOutcome};
 pub use recovery::{Phase, RecoveryAction, RecoveryEvent, RecoveryLog};
+pub use refactor::RefactorPlan;
 pub use report::{PhaseReport, PhaseStats};
 pub use telemetry::{extract_levels, LevelRecord, RunReport, SCHEMA_VERSION};

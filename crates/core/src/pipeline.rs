@@ -103,7 +103,7 @@ pub struct LuFactorization {
 /// Maps a ladder's terminal failure onto the structured error surface:
 /// a single-rung OOM becomes [`GpluError::DeviceOom`]; a multi-rung
 /// exhaustion becomes [`GpluError::RecoveryExhausted`].
-fn ladder_exhausted(phase: Phase, attempts: usize, last: SimError) -> GpluError {
+pub(crate) fn ladder_exhausted(phase: Phase, attempts: usize, last: SimError) -> GpluError {
     if attempts > 1 {
         GpluError::RecoveryExhausted {
             phase,
@@ -129,7 +129,7 @@ fn engine_name(engine: SymbolicEngine) -> &'static str {
 }
 
 /// Static display name for the numeric format.
-fn format_name(format: NumericFormat) -> &'static str {
+pub(crate) fn format_name(format: NumericFormat) -> &'static str {
     match format {
         NumericFormat::Auto => "Auto",
         NumericFormat::Dense => "Dense",
@@ -140,7 +140,12 @@ fn format_name(format: NumericFormat) -> &'static str {
 
 /// Emits a `recovery` instant alongside a [`RecoveryLog::record`] call.
 /// The owned attribute strings are only built when the sink is live.
-fn trace_recovery(trace: &dyn TraceSink, ts_ns: f64, phase: Phase, action: &RecoveryAction) {
+pub(crate) fn trace_recovery(
+    trace: &dyn TraceSink,
+    ts_ns: f64,
+    phase: Phase,
+    action: &RecoveryAction,
+) {
     if trace.enabled() {
         trace.instant(
             "recovery",
@@ -244,7 +249,7 @@ fn hooked_cut(
 /// pattern (CSC) and the pre-processed matrix (CSR) — the late analogue
 /// of pre-processing's `repair_diagonal`, applied when a pivot cancels
 /// to zero during elimination.
-fn bump_diag(matrix: &mut Csr, pattern: &mut Csc, col: usize, value: f64) -> bool {
+pub(crate) fn bump_diag(matrix: &mut Csr, pattern: &mut Csc, col: usize, value: f64) -> bool {
     let (pos, _) = pattern.find_in_col(col, col);
     let Some(pos) = pos else { return false };
     pattern.vals[pos] = value;
@@ -734,6 +739,39 @@ impl LuFactorization {
             .map(|i| out.x[self.p_col.apply(i)])
             .collect();
         Ok((x, out.time))
+    }
+
+    /// Solves `A X = B` for many right-hand sides with one batched
+    /// level-scheduled launch sequence per sweep — the amortized variant
+    /// of [`LuFactorization::solve_on_gpu`] for transient simulation and
+    /// multi-source analyses. Returns one solution per input plus the
+    /// simulated time of the whole batch (strictly less than the sum of
+    /// per-RHS solves: launch latency is paid once per level, not once
+    /// per level per RHS).
+    pub fn solve_many_on_gpu(
+        &self,
+        gpu: &Gpu,
+        plan: &gplu_numeric::TriSolvePlan,
+        bs: &[Vec<Val>],
+    ) -> Result<(Vec<Vec<Val>>, gplu_sim::SimTime), GpluError> {
+        let n = self.preprocessed.n_rows();
+        for b in bs {
+            if b.len() != n {
+                return Err(GpluError::Input(format!(
+                    "rhs length {} != n {}",
+                    b.len(),
+                    n
+                )));
+            }
+        }
+        let permuted: Vec<Vec<Val>> = bs.iter().map(|b| self.p_row.permute_vec(b)).collect();
+        let out = gplu_numeric::solve_gpu_batch(gpu, &self.lu, plan, &permuted)?;
+        let xs = out
+            .xs
+            .iter()
+            .map(|y| (0..y.len()).map(|i| y[self.p_col.apply(i)]).collect())
+            .collect();
+        Ok((xs, out.time))
     }
 
     /// Solves `A x = b` with `steps` rounds of iterative refinement:

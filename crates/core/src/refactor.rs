@@ -1,0 +1,581 @@
+//! The refactorization fast path — the circuit-simulation workload the
+//! paper (and GLU 3.0 before it) is built around.
+//!
+//! In SPICE-style transient analysis the same sparsity pattern is
+//! factorized thousands of times with drifting values. Pre-processing,
+//! symbolic factorization and levelization are *pattern-only* work:
+//! [`RefactorPlan`] captures their outputs once — permutations, the
+//! filled CSC pattern, the level schedule, the numeric phase's
+//! [`PivotCache`], and the value-scatter maps that replay pre-processing's
+//! diagonal repair — so every later timestep runs only a host value
+//! scatter plus the numeric kernels. [`RefactorPlan::refactorize`] is
+//! bit-identical to a cold [`LuFactorization::compute`] of the same
+//! `(pattern, values)` pair — every engine applies the same arithmetic in
+//! the same order — but it is *not* priced like one: the warm path runs
+//! the merge engine directly on the plan's sorted-CSC artifacts and
+//! tail-launches the captured level schedule device-side (the paper's
+//! Algorithm 5), the specialization real refactorization engines
+//! (cuSOLVER/cuDSS) apply after analysis. Late singular-pivot repair is
+//! replayed exactly as on the cold path.
+
+use crate::checkpoint::pattern_fingerprint;
+use crate::error::GpluError;
+use crate::pipeline::{
+    bump_diag, format_name, ladder_exhausted, trace_recovery, LuFactorization, LuOptions,
+    NumericFormat,
+};
+use crate::recovery::{Phase, RecoveryAction, RecoveryLog};
+use crate::report::PhaseReport;
+use gplu_numeric::{
+    factorize_gpu_dense_run_cached, factorize_gpu_merge_run_cached,
+    factorize_gpu_sparse_run_cached, NumericError, PivotCache,
+};
+use gplu_schedule::Levels;
+use gplu_sim::{Gpu, SimError, SimTime};
+use gplu_sparse::{Csc, Csr, Permutation};
+use gplu_trace::{TraceSink, NOOP};
+
+/// Everything pattern-only that a repeat factorization can reuse.
+///
+/// Built once from a completed [`LuFactorization`] (plus the original
+/// *unpermuted* input it came from) by [`LuFactorization::refactor_plan`];
+/// afterwards [`RefactorPlan::refactorize`] accepts any matrix with the
+/// same sparsity pattern and produces its factors without re-running
+/// pre-processing, symbolic factorization or levelization.
+#[derive(Debug, Clone)]
+pub struct RefactorPlan {
+    /// Structure-only fingerprint of the input pattern; every
+    /// `refactorize` call is checked against it.
+    pattern_fp: u64,
+    p_row: Permutation,
+    p_col: Permutation,
+    /// Pre-processed matrix template: structure reused, values rewritten
+    /// per refactorization.
+    pre: Csr,
+    /// Filled (post-symbolic) CSC pattern template.
+    lu_pattern: Csc,
+    levels: Levels,
+    pivot: PivotCache,
+    /// Input entry `k` → its position in `pre.vals` (after permutation).
+    scatter_pre: Vec<usize>,
+    /// Row `i` → position of the diagonal entry in `pre.vals` (always
+    /// present: pre-processing completes the diagonal).
+    pre_diag: Vec<usize>,
+    /// `pre.vals` position → position in `lu_pattern.vals` (the filled
+    /// pattern is a superset; fill-in slots start at 0.0).
+    pre_to_csc: Vec<usize>,
+    format: NumericFormat,
+    repair_value: f64,
+    repair_singular: bool,
+}
+
+impl RefactorPlan {
+    /// The pattern key this plan serves (the factor-cache key).
+    pub fn pattern_fp(&self) -> u64 {
+        self.pattern_fp
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.pre.n_rows()
+    }
+
+    /// Level schedule reused by every refactorization.
+    pub fn levels(&self) -> &Levels {
+        &self.levels
+    }
+
+    /// Approximate host-memory footprint of the plan (the quantity a
+    /// factor cache budgets against): the CSC/CSR structure clones, the
+    /// schedule, the pivot cache and the scatter maps.
+    pub fn approx_bytes(&self) -> u64 {
+        let n = self.pre.n_rows() as u64;
+        let pre_nnz = self.pre.nnz() as u64;
+        let lu_nnz = self.lu_pattern.nnz() as u64;
+        // CSR template (ptr 8B, idx 4B, val 8B) + CSC template + levels
+        // (level_of u32 + grouped u32) + pivot cache (2 usize per column)
+        // + scatter maps (usize each).
+        (n + 1) * 8
+            + pre_nnz * 12
+            + (n + 1) * 8
+            + lu_nnz * 12
+            + n * 8
+            + n * 16
+            + (self.scatter_pre.len() as u64 + n + pre_nnz) * 8
+    }
+
+    /// Factorizes `a` — same pattern, new values — reusing every
+    /// pattern-only artifact in the plan. See [`RefactorPlan::refactorize_traced`].
+    pub fn refactorize(&self, gpu: &Gpu, a: &Csr) -> Result<LuFactorization, GpluError> {
+        self.refactorize_traced(gpu, a, &NOOP)
+    }
+
+    /// [`RefactorPlan::refactorize`] with telemetry. Only a
+    /// `phase.numeric` span is emitted — there *is* no symbolic or
+    /// levelize phase on the warm path, and traces are the observable
+    /// proof of that (see `examples/circuit_transient.rs`).
+    pub fn refactorize_traced(
+        &self,
+        gpu: &Gpu,
+        a: &Csr,
+        trace: &dyn TraceSink,
+    ) -> Result<LuFactorization, GpluError> {
+        if pattern_fingerprint(a) != self.pattern_fp {
+            return Err(GpluError::Input(format!(
+                "refactorize pattern mismatch: plan was built for pattern {:#018x}, \
+                 input hashes to {:#018x} — run a cold factorization instead",
+                self.pattern_fp,
+                pattern_fingerprint(a)
+            )));
+        }
+        let mut report = PhaseReport::default();
+        let mut recovery = RecoveryLog::default();
+
+        // 1. Host value scatter — the only pre-processing the warm path
+        // does. Replays permutation and both diagonal-repair rules
+        // (structural completion and zero replacement) through the
+        // precomputed maps, so the result is exactly what `preprocess`
+        // would have produced for these values.
+        let mut matrix = self.pre.clone();
+        matrix.vals.iter_mut().for_each(|v| *v = 0.0);
+        for (k, &pos) in self.scatter_pre.iter().enumerate() {
+            matrix.vals[pos] = a.vals[k];
+        }
+        let mut repaired = 0usize;
+        for &dpos in &self.pre_diag {
+            if matrix.vals[dpos] == 0.0 {
+                matrix.vals[dpos] = self.repair_value;
+                repaired += 1;
+            }
+        }
+        let mut pattern = self.lu_pattern.clone();
+        pattern.vals.iter_mut().for_each(|v| *v = 0.0);
+        for (k, &pos) in self.pre_to_csc.iter().enumerate() {
+            pattern.vals[pos] = matrix.vals[k];
+        }
+        // Two passes over the input entries plus the diagonal sweep.
+        let scatter_time = SimTime::from_ns(
+            gpu.cost()
+                .cpu_parallel_ns(2 * a.nnz() as u64 + a.n_rows() as u64),
+        );
+        gpu.advance(scatter_time);
+        report.preprocess = scatter_time;
+        report.repaired_diagonals = repaired;
+        report.fill_nnz = self.lu_pattern.nnz();
+        report.new_fill_ins = self.lu_pattern.nnz() - self.pre.nnz();
+        report.n_levels = self.levels.n_levels();
+        report.max_level_width = self.levels.max_width();
+
+        // 2. Numeric factorization with the plan's PivotCache passed
+        // through so no structural pass repeats. Under `Auto`, the warm
+        // path does NOT replay the cold pipeline's format heuristic: the
+        // plan already holds the merge engine's entire working set (the
+        // sorted filled CSC pattern plus the pivot index), so it runs the
+        // merge engine directly and tail-launches the captured level
+        // schedule device-side (Algorithm 5) — the same specialization
+        // real refactorization engines apply (cuSOLVER/cuDSS refactor
+        // through a fixed path captured at analysis time, skipping the
+        // cold path's per-column dense buffers). All engines apply
+        // bit-identical arithmetic — the formats differ only in access
+        // cost — so the bit-for-bit contract with the cold pipeline is
+        // unaffected. Explicitly forced formats are replayed as forced
+        // (degradation and late pivot repair included).
+        let format_ladder: &[NumericFormat] = match self.format {
+            NumericFormat::Auto => &[NumericFormat::SparseMerge],
+            NumericFormat::Dense => &[NumericFormat::Dense, NumericFormat::SparseMerge],
+            NumericFormat::Sparse => &[NumericFormat::Sparse],
+            NumericFormat::SparseMerge => &[NumericFormat::SparseMerge],
+        };
+        let num_before = gpu.stats();
+        trace.span_begin(
+            "phase.numeric",
+            "phase",
+            gpu.now().as_ns(),
+            &[
+                ("format", format_name(self.format).into()),
+                ("refactorize", true.into()),
+            ],
+        );
+        let mut repair_attempted = false;
+        let (numeric, used_format) = 'numeric: loop {
+            let mut last_err: Option<SimError> = None;
+            let mut attempts = 0usize;
+            for (i, &format) in format_ladder.iter().enumerate() {
+                if i > 0 {
+                    gpu.mem.reset();
+                    let action = RecoveryAction::FormatDegraded {
+                        from: format_name(format_ladder[i - 1]).to_string(),
+                        to: format_name(format).to_string(),
+                    };
+                    trace_recovery(trace, gpu.now().as_ns(), Phase::Numeric, &action);
+                    recovery.record(Phase::Numeric, action);
+                }
+                attempts += 1;
+                let run = match format {
+                    NumericFormat::Dense => factorize_gpu_dense_run_cached(
+                        gpu,
+                        &pattern,
+                        &self.levels,
+                        trace,
+                        None,
+                        None,
+                        Some(&self.pivot),
+                    ),
+                    NumericFormat::Sparse => factorize_gpu_sparse_run_cached(
+                        gpu,
+                        &pattern,
+                        &self.levels,
+                        None,
+                        trace,
+                        None,
+                        None,
+                        Some(&self.pivot),
+                    ),
+                    NumericFormat::Auto | NumericFormat::SparseMerge => {
+                        factorize_gpu_merge_run_cached(
+                            gpu,
+                            &pattern,
+                            &self.levels,
+                            trace,
+                            None,
+                            None,
+                            Some(&self.pivot),
+                        )
+                    }
+                };
+                match run {
+                    Ok(out) => break 'numeric (out, format),
+                    Err(NumericError::Sim(e)) => {
+                        if matches!(e, SimError::Crashed { .. }) {
+                            return Err(e.into());
+                        }
+                        last_err = Some(e);
+                    }
+                    Err(NumericError::SingularPivot { col, level }) => {
+                        let value = self.repair_value;
+                        if self.repair_singular
+                            && !repair_attempted
+                            && bump_diag(&mut matrix, &mut pattern, col, value)
+                        {
+                            repair_attempted = true;
+                            gpu.mem.reset();
+                            let action = RecoveryAction::PivotRepaired { col, value };
+                            trace_recovery(trace, gpu.now().as_ns(), Phase::Numeric, &action);
+                            recovery.record(Phase::Numeric, action);
+                            report.repaired_diagonals += 1;
+                            continue 'numeric;
+                        }
+                        return Err(GpluError::SingularPivot { col, level });
+                    }
+                    Err(NumericError::Input(msg)) => return Err(GpluError::Input(msg)),
+                }
+            }
+            let last = last_err.unwrap_or(SimError::BadLaunch("no numeric format ran".into()));
+            return Err(ladder_exhausted(Phase::Numeric, attempts, last));
+        };
+        report.numeric = numeric.time;
+        report.mode_mix = (numeric.mode_mix.a, numeric.mode_mix.b, numeric.mode_mix.c);
+        report.m_limit = numeric.m_limit;
+        report.probes = numeric.probes;
+        report.merge_steps = numeric.merge_steps;
+        trace.span_end(
+            "phase.numeric",
+            "phase",
+            gpu.now().as_ns(),
+            &[
+                ("format", format_name(used_format).into()),
+                ("mode_a", numeric.mode_mix.a.into()),
+                ("mode_b", numeric.mode_mix.b.into()),
+                ("mode_c", numeric.mode_mix.c.into()),
+            ],
+        );
+        report.phase_stats.numeric = gpu.stats().since(&num_before);
+        report.recovery = recovery;
+
+        Ok(LuFactorization {
+            lu: numeric.lu,
+            preprocessed: matrix,
+            p_row: self.p_row.clone(),
+            p_col: self.p_col.clone(),
+            levels: self.levels.clone(),
+            report,
+        })
+    }
+}
+
+impl LuFactorization {
+    /// Captures this factorization's pattern-only artifacts into a
+    /// [`RefactorPlan`] for the matrix `a` it was computed from.
+    ///
+    /// `a` must be the *original, unpermuted* input and `opts` the options
+    /// the factorization ran with: the plan records where each input entry
+    /// lands after permutation and diagonal repair, and which numeric
+    /// format ladder to replay. Returns [`GpluError::Input`] if `a` is
+    /// inconsistent with the factorization (wrong shape, or an entry that
+    /// does not map into the pre-processed pattern).
+    pub fn refactor_plan(&self, a: &Csr, opts: &LuOptions) -> Result<RefactorPlan, GpluError> {
+        let n = self.preprocessed.n_rows();
+        if a.n_rows() != n || a.n_cols() != n {
+            return Err(GpluError::Input(format!(
+                "refactor_plan input is {}x{}, factorization is {n}x{n}",
+                a.n_rows(),
+                a.n_cols()
+            )));
+        }
+        let pre = &self.preprocessed;
+
+        // Input entry k → its slot in the pre-processed matrix.
+        let mut scatter_pre = Vec::with_capacity(a.nnz());
+        for i in 0..n {
+            let ni = self.p_row.apply(i);
+            for k in a.row_ptr[i]..a.row_ptr[i + 1] {
+                let nj = self.p_col.apply(a.col_idx[k] as usize) as u32;
+                let row = &pre.col_idx[pre.row_ptr[ni]..pre.row_ptr[ni + 1]];
+                let pos = row.binary_search(&nj).map_err(|_| {
+                    GpluError::Input(format!(
+                        "entry ({i},{}) of the input has no slot in the \
+                         pre-processed pattern — not the matrix this \
+                         factorization came from",
+                        a.col_idx[k]
+                    ))
+                })?;
+                scatter_pre.push(pre.row_ptr[ni] + pos);
+            }
+        }
+
+        // Diagonal slot per row (pre-processing completes the diagonal).
+        let mut pre_diag = Vec::with_capacity(n);
+        for i in 0..n {
+            let row = &pre.col_idx[pre.row_ptr[i]..pre.row_ptr[i + 1]];
+            let pos = row.binary_search(&(i as u32)).map_err(|_| {
+                GpluError::Input(format!("pre-processed matrix is missing diagonal {i}"))
+            })?;
+            pre_diag.push(pre.row_ptr[i] + pos);
+        }
+
+        // Pre-processed entry → filled-CSC slot (fill-in slots stay 0.0,
+        // exactly as the symbolic phase leaves them).
+        let mut pre_to_csc = Vec::with_capacity(pre.nnz());
+        for i in 0..n {
+            for k in pre.row_ptr[i]..pre.row_ptr[i + 1] {
+                let j = pre.col_idx[k] as usize;
+                let (pos, _) = self.lu.find_in_col(i, j);
+                let pos = pos.ok_or_else(|| {
+                    GpluError::Input(format!(
+                        "pre-processed entry ({i},{j}) is missing from the filled pattern"
+                    ))
+                })?;
+                pre_to_csc.push(pos);
+            }
+        }
+
+        Ok(RefactorPlan {
+            pattern_fp: pattern_fingerprint(a),
+            p_row: self.p_row.clone(),
+            p_col: self.p_col.clone(),
+            pre: self.preprocessed.clone(),
+            lu_pattern: self.lu.clone(),
+            levels: self.levels.clone(),
+            pivot: PivotCache::build(&self.lu),
+            scatter_pre,
+            pre_diag,
+            pre_to_csc,
+            format: opts.format,
+            repair_value: opts.preprocess.repair_value,
+            repair_singular: opts.preprocess.repair_singular,
+        })
+    }
+
+    /// One-shot refactorization: build the plan and run it. Callers with
+    /// repeat traffic should hold the [`RefactorPlan`] (or use
+    /// `gplu-server`'s factor cache) so plan construction is amortized.
+    pub fn refactorize(&self, gpu: &Gpu, a: &Csr) -> Result<LuFactorization, GpluError> {
+        // The plan's option-dependent knobs (format ladder, repair) are
+        // re-derived from defaults here; use `refactor_plan` to carry
+        // non-default options.
+        self.refactor_plan(a, &LuOptions::default())?
+            .refactorize(gpu, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preprocess::PreprocessOptions;
+    use gplu_sim::GpuConfig;
+    use gplu_sparse::gen::circuit::{circuit, CircuitParams};
+    use gplu_sparse::gen::random::{banded_dominant, random_dominant};
+    use gplu_sparse::verify::check_solution;
+    use gplu_trace::Recorder;
+
+    fn gpu_for(a: &Csr) -> Gpu {
+        Gpu::new(GpuConfig::v100_symbolic_profile(a.n_rows(), a.nnz()))
+    }
+
+    /// Same pattern, new values, deterministic drift.
+    fn drift(a: &Csr, round: u64) -> Csr {
+        let mut b = a.clone();
+        for (k, v) in b.vals.iter_mut().enumerate() {
+            let wob = ((k as u64)
+                .wrapping_mul(0x9e37_79b9)
+                .wrapping_add(round * 7919)
+                % 97) as f64;
+            *v *= 1.0 + wob / 1000.0;
+        }
+        b
+    }
+
+    #[test]
+    fn warm_refactorize_is_bit_identical_to_cold() {
+        let a = circuit(&CircuitParams {
+            n: 400,
+            seed: 31,
+            ..Default::default()
+        });
+        let opts = LuOptions::default();
+        let gpu = gpu_for(&a);
+        let f0 = LuFactorization::compute(&gpu, &a, &opts).expect("cold ok");
+        let plan = f0.refactor_plan(&a, &opts).expect("plan ok");
+        for round in 1..4 {
+            let a2 = drift(&a, round);
+            let cold = LuFactorization::compute(&gpu_for(&a2), &a2, &opts).expect("cold ok");
+            let warm = plan.refactorize(&gpu_for(&a2), &a2).expect("warm ok");
+            assert_eq!(cold.lu.vals, warm.lu.vals, "round {round}: bits must match");
+            assert_eq!(cold.lu.row_idx, warm.lu.row_idx);
+            assert_eq!(
+                cold.preprocessed.vals, warm.preprocessed.vals,
+                "scatter must replay pre-processing exactly"
+            );
+        }
+    }
+
+    #[test]
+    fn refactorize_skips_symbolic_and_levelize() {
+        let a = random_dominant(200, 4.0, 32);
+        let gpu = gpu_for(&a);
+        let f0 = LuFactorization::compute(&gpu, &a, &LuOptions::default()).expect("cold ok");
+        let plan = f0
+            .refactor_plan(&a, &LuOptions::default())
+            .expect("plan ok");
+        let rec = Recorder::new();
+        let a2 = drift(&a, 1);
+        let warm = plan
+            .refactorize_traced(&gpu_for(&a2), &a2, &rec)
+            .expect("warm ok");
+        let events = rec.into_events();
+        assert!(
+            events
+                .iter()
+                .all(|e| e.name != "phase.symbolic" && e.name != "phase.levelize"),
+            "warm path must not run pattern phases"
+        );
+        assert!(events.iter().any(|e| e.name == "phase.numeric"));
+        assert_eq!(warm.report.symbolic, SimTime::ZERO);
+        assert_eq!(warm.report.levelize, SimTime::ZERO);
+        assert!(warm.report.numeric.as_ns() > 0.0);
+        // The whole point: warm total strictly under cold total.
+        assert!(warm.report.total() < f0.report.total());
+    }
+
+    #[test]
+    fn refactorize_replays_diagonal_repair() {
+        use gplu_sparse::gen::planar::{planar, PlanarParams};
+        let a = planar(&PlanarParams {
+            side: 12,
+            tri_prob: 0.4,
+            missing_diag_fraction: 0.4,
+            seed: 33,
+        });
+        let opts = LuOptions::default();
+        let f0 = LuFactorization::compute(&gpu_for(&a), &a, &opts).expect("cold ok");
+        assert!(f0.report.repaired_diagonals > 0, "test needs repairs");
+        let plan = f0.refactor_plan(&a, &opts).expect("plan ok");
+        let a2 = drift(&a, 2);
+        let cold = LuFactorization::compute(&gpu_for(&a2), &a2, &opts).expect("cold ok");
+        let warm = plan.refactorize(&gpu_for(&a2), &a2).expect("warm ok");
+        assert_eq!(cold.lu.vals, warm.lu.vals);
+        assert_eq!(
+            cold.report.repaired_diagonals,
+            warm.report.repaired_diagonals
+        );
+    }
+
+    #[test]
+    fn refactorize_repairs_singular_pivots_like_the_cold_path() {
+        // Factorize a well-conditioned matrix, then refactorize with
+        // values that cancel a pivot mid-elimination.
+        let mut coo = gplu_sparse::Coo::new(2, 2);
+        for i in 0..2 {
+            for j in 0..2 {
+                coo.push(i, j, if i == j { 2.0 } else { 1.0 });
+            }
+        }
+        let a = gplu_sparse::convert::coo_to_csr(&coo);
+        let opts = LuOptions {
+            preprocess: PreprocessOptions {
+                repair_singular: true,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let f0 = LuFactorization::compute(&gpu_for(&a), &a, &opts).expect("cold ok");
+        let plan = f0.refactor_plan(&a, &opts).expect("plan ok");
+
+        let mut sing = a.clone();
+        sing.vals.iter_mut().for_each(|v| *v = 1.0); // rank-1: pivot 1 cancels
+        let cold = LuFactorization::compute(&gpu_for(&sing), &sing, &opts).expect("cold repairs");
+        let warm = plan
+            .refactorize(&gpu_for(&sing), &sing)
+            .expect("warm repairs");
+        assert_eq!(cold.lu.vals, warm.lu.vals);
+        assert!(warm
+            .report
+            .recovery
+            .events()
+            .iter()
+            .any(|e| matches!(e.action, RecoveryAction::PivotRepaired { .. })));
+    }
+
+    #[test]
+    fn pattern_mismatch_is_a_typed_error() {
+        let a = random_dominant(100, 4.0, 34);
+        let f0 = LuFactorization::compute(&gpu_for(&a), &a, &LuOptions::default()).expect("ok");
+        let plan = f0
+            .refactor_plan(&a, &LuOptions::default())
+            .expect("plan ok");
+        let other = random_dominant(100, 4.0, 35);
+        let err = plan.refactorize(&gpu_for(&other), &other).unwrap_err();
+        assert!(
+            matches!(err, GpluError::Input(ref m) if m.contains("pattern mismatch")),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn refactorized_factors_solve_the_new_system() {
+        let a = banded_dominant(300, 5, 36);
+        let gpu = gpu_for(&a);
+        let f0 = LuFactorization::compute(&gpu, &a, &LuOptions::default()).expect("cold ok");
+        let plan = f0
+            .refactor_plan(&a, &LuOptions::default())
+            .expect("plan ok");
+        let a2 = drift(&a, 3);
+        let warm = plan.refactorize(&gpu_for(&a2), &a2).expect("warm ok");
+        let x_true = vec![1.5; 300];
+        let b = a2.spmv(&x_true);
+        let x = warm.solve(&b).expect("solve ok");
+        assert!(check_solution(&a2, &x, &b, 1e-8));
+    }
+
+    #[test]
+    fn plan_reports_a_plausible_memory_footprint() {
+        let a = random_dominant(150, 4.0, 37);
+        let f0 = LuFactorization::compute(&gpu_for(&a), &a, &LuOptions::default()).expect("ok");
+        let plan = f0
+            .refactor_plan(&a, &LuOptions::default())
+            .expect("plan ok");
+        let bytes = plan.approx_bytes();
+        assert!(bytes > (a.nnz() * 12) as u64, "must cover the structures");
+        assert!(bytes < 100 * 1024 * 1024, "and stay sane: {bytes}");
+    }
+}

@@ -57,7 +57,29 @@ pub fn factorize_gpu_dense_run(
     levels: &Levels,
     trace: &dyn TraceSink,
     resume: Option<&NumericResume>,
+    hook: Option<&mut LevelHook<'_>>,
+) -> Result<NumericOutcome, NumericError> {
+    factorize_gpu_dense_run_cached(gpu, pattern, levels, trace, resume, hook, None)
+}
+
+/// [`factorize_gpu_dense_run`] with an optional prebuilt [`PivotCache`]
+/// (the pattern-keyed refactorization fast path: the cache is pattern-only,
+/// so a service factorizing the same pattern repeatedly builds it once).
+///
+/// Unlike the sorted-CSC engines, the dense format cannot replay a
+/// captured schedule device-side: every M-capped batch allocates and frees
+/// its dense column buffers, which is host work between launches — so even
+/// warm runs keep host launches here. (This is one reason the
+/// refactorization path prefers the merge format.)
+#[allow(clippy::too_many_arguments)]
+pub fn factorize_gpu_dense_run_cached(
+    gpu: &Gpu,
+    pattern: &Csc,
+    levels: &Levels,
+    trace: &dyn TraceSink,
+    resume: Option<&NumericResume>,
     mut hook: Option<&mut LevelHook<'_>>,
+    pivot: Option<&PivotCache>,
 ) -> Result<NumericOutcome, NumericError> {
     let n = pattern.n_cols();
     let before = gpu.stats();
@@ -88,7 +110,14 @@ pub fn factorize_gpu_dense_run(
         Some(r) => ValueStore::new(&r.vals),
         None => ValueStore::new(&pattern.vals),
     };
-    let cache = PivotCache::build(pattern);
+    let cache_storage;
+    let cache = match pivot {
+        Some(c) => c,
+        None => {
+            cache_storage = PivotCache::build(pattern);
+            &cache_storage
+        }
+    };
     let mut mix = resume.map_or_else(ModeMix::default, |r| r.mode_mix);
     let mut batches = resume.map_or(0u64, |r| r.batches);
     let error: Mutex<Option<SparseError>> = Mutex::new(None);
@@ -97,7 +126,7 @@ pub fn factorize_gpu_dense_run(
         if li < start_level {
             continue; // already durable in the resumed value store
         }
-        let t = classify_level_cached(pattern, &cache, cols);
+        let t = classify_level_cached(pattern, cache, cols);
         match t {
             LevelType::A => mix.a += 1,
             LevelType::B => mix.b += 1,
@@ -118,7 +147,7 @@ pub fn factorize_gpu_dense_run(
             // all of its cooperating stripes.
             let items_of: Vec<u64> = batch
                 .iter()
-                .map(|&j| column_cost_estimate_cached(pattern, &cache, j as usize).1)
+                .map(|&j| column_cost_estimate_cached(pattern, cache, j as usize).1)
                 .collect();
             let buffers = gpu.mem.alloc(batch.len() as u64 * col_bytes)?;
             gpu.launch_capped(
@@ -149,7 +178,7 @@ pub fn factorize_gpu_dense_run(
                     ctx.mem((items * 8 + 4 * n as u64) / stripes as u64);
                     if stripe == 0 {
                         if let Err(e) =
-                            process_column(pattern, &vals, col, AccessDiscipline::Dense, &cache)
+                            process_column(pattern, &vals, col, AccessDiscipline::Dense, cache)
                         {
                             error.lock().get_or_insert(e);
                         }

@@ -54,15 +54,21 @@ pub mod sparse;
 pub mod trisolve;
 pub mod values;
 
-pub use dense::{factorize_gpu_dense, factorize_gpu_dense_run, factorize_gpu_dense_traced};
+pub use dense::{
+    factorize_gpu_dense, factorize_gpu_dense_run, factorize_gpu_dense_run_cached,
+    factorize_gpu_dense_traced,
+};
 pub use error::NumericError;
-pub use merge::{factorize_gpu_merge, factorize_gpu_merge_run, factorize_gpu_merge_traced};
+pub use merge::{
+    factorize_gpu_merge, factorize_gpu_merge_run, factorize_gpu_merge_run_cached,
+    factorize_gpu_merge_traced,
+};
 pub use modes::{classify_level, classify_level_cached, classify_schedule, LevelType, ModeMix};
 pub use outcome::{AccessDiscipline, NumericOutcome, PivotCache};
 pub use resume::{LevelHook, LevelProgress, NumericResume};
 pub use seq::factorize_seq;
 pub use sparse::{
     factorize_gpu_sparse, factorize_gpu_sparse_forced, factorize_gpu_sparse_run,
-    factorize_gpu_sparse_traced,
+    factorize_gpu_sparse_run_cached, factorize_gpu_sparse_traced,
 };
-pub use trisolve::{solve_gpu, TriSolveOutcome, TriSolvePlan};
+pub use trisolve::{solve_gpu, solve_gpu_batch, BatchSolveOutcome, TriSolveOutcome, TriSolvePlan};

@@ -59,7 +59,31 @@ pub fn factorize_gpu_merge_run(
     levels: &Levels,
     trace: &dyn TraceSink,
     resume: Option<&NumericResume>,
+    hook: Option<&mut LevelHook<'_>>,
+) -> Result<NumericOutcome, NumericError> {
+    factorize_gpu_merge_run_cached(gpu, pattern, levels, trace, resume, hook, None)
+}
+
+/// [`factorize_gpu_merge_run`] with an optional prebuilt [`PivotCache`]
+/// (the pattern-keyed refactorization fast path: the cache is pattern-only,
+/// so a service factorizing the same pattern repeatedly builds it once).
+///
+/// A supplied cache also marks the run as a **captured-schedule replay**:
+/// the level sequence was already executed once, so the host does not need
+/// to orchestrate it level by level. The first executed level is
+/// host-launched as the kick-off; every later level is tail-launched from
+/// the device (the paper's Algorithm 5 dynamic-parallelism discipline),
+/// paying [`gplu_sim::CostModel::device_launch_ns`] instead of
+/// [`gplu_sim::CostModel::host_launch_ns`] — on deep, narrow schedules the
+/// host launch overhead *is* the numeric phase, and this removes it.
+pub fn factorize_gpu_merge_run_cached(
+    gpu: &Gpu,
+    pattern: &Csc,
+    levels: &Levels,
+    trace: &dyn TraceSink,
+    resume: Option<&NumericResume>,
     mut hook: Option<&mut LevelHook<'_>>,
+    pivot: Option<&PivotCache>,
 ) -> Result<NumericOutcome, NumericError> {
     let n = pattern.n_cols();
     let before = gpu.stats();
@@ -78,16 +102,28 @@ pub fn factorize_gpu_merge_run(
         Some(r) => ValueStore::new(&r.vals),
         None => ValueStore::new(&pattern.vals),
     };
-    let cache = PivotCache::build(pattern);
+    let cache_storage;
+    let cache = match pivot {
+        Some(c) => c,
+        None => {
+            cache_storage = PivotCache::build(pattern);
+            &cache_storage
+        }
+    };
     let mut mix = resume.map_or_else(ModeMix::default, |r| r.mode_mix);
     let total_merge_steps = AtomicU64::new(resume.map_or(0, |r| r.merge_steps));
     let error: Mutex<Option<SparseError>> = Mutex::new(None);
+    // Captured-schedule replay (prebuilt pivot cache ⇒ the schedule already
+    // ran once): the host kicks off the first level, every later level is
+    // tail-launched device-side, Algorithm-5 style.
+    let replay = pivot.is_some();
+    let mut kicked_off = false;
 
     for (li, cols) in levels.groups.iter().enumerate() {
         if li < start_level {
             continue; // already durable in the resumed value store
         }
-        let t = classify_level_cached(pattern, &cache, cols);
+        let t = classify_level_cached(pattern, cache, cols);
         match t {
             LevelType::A => mix.a += 1,
             LevelType::B => mix.b += 1,
@@ -105,35 +141,37 @@ pub fn factorize_gpu_merge_run(
         // of its cooperating stripes (type C runs 64 per column).
         let items_of: Vec<u64> = cols
             .iter()
-            .map(|&j| column_cost_estimate_cached(pattern, &cache, j as usize).1)
+            .map(|&j| column_cost_estimate_cached(pattern, cache, j as usize).1)
             .collect();
-        gpu.launch(
-            "numeric_merge",
-            cols.len() * stripes,
-            threads,
-            &|b: usize, ctx: &mut BlockCtx| {
-                let col = cols[b / stripes] as usize;
-                let stripe = b % stripes;
-                let items = items_of[b / stripes];
-                // Streaming traffic only: the merge cursors advance once per
-                // touched entry, so the whole update is the item stream at the
-                // structured flop rate — no probe surcharge, and the same
-                // value-stream bytes as the binary-search engine (the index
-                // bytes the cursor walk touches ride the same cache lines).
-                ctx.bulk_flops(3, items / stripes as u64);
-                ctx.mem(items * 8 / stripes as u64);
-                if stripe == 0 {
-                    match process_column(pattern, &vals, col, AccessDiscipline::Merge, &cache) {
-                        Ok(c) => {
-                            total_merge_steps.fetch_add(c.merge_steps, Ordering::Relaxed);
-                        }
-                        Err(e) => {
-                            error.lock().get_or_insert(e);
-                        }
+        let kernel = |b: usize, ctx: &mut BlockCtx| {
+            let col = cols[b / stripes] as usize;
+            let stripe = b % stripes;
+            let items = items_of[b / stripes];
+            // Streaming traffic only: the merge cursors advance once per
+            // touched entry, so the whole update is the item stream at the
+            // structured flop rate — no probe surcharge, and the same
+            // value-stream bytes as the binary-search engine (the index
+            // bytes the cursor walk touches ride the same cache lines).
+            ctx.bulk_flops(3, items / stripes as u64);
+            ctx.mem(items * 8 / stripes as u64);
+            if stripe == 0 {
+                match process_column(pattern, &vals, col, AccessDiscipline::Merge, cache) {
+                    Ok(c) => {
+                        total_merge_steps.fetch_add(c.merge_steps, Ordering::Relaxed);
+                    }
+                    Err(e) => {
+                        error.lock().get_or_insert(e);
                     }
                 }
-            },
-        )?;
+            }
+        };
+        let grid = cols.len() * stripes;
+        if replay && kicked_off {
+            gpu.launch_device("numeric_merge", grid, threads, &kernel)?;
+        } else {
+            gpu.launch("numeric_merge", grid, threads, &kernel)?;
+        }
+        kicked_off = true;
         trace.span_end(
             "numeric.level",
             "level",

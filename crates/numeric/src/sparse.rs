@@ -74,7 +74,29 @@ pub fn factorize_gpu_sparse_run(
     force: Option<LevelType>,
     trace: &dyn TraceSink,
     resume: Option<&NumericResume>,
+    hook: Option<&mut LevelHook<'_>>,
+) -> Result<NumericOutcome, NumericError> {
+    factorize_gpu_sparse_run_cached(gpu, pattern, levels, force, trace, resume, hook, None)
+}
+
+/// [`factorize_gpu_sparse_run`] with an optional prebuilt [`PivotCache`]
+/// (the pattern-keyed refactorization fast path: the cache is pattern-only,
+/// so a service factorizing the same pattern repeatedly builds it once).
+///
+/// A supplied cache also marks the run as a captured-schedule replay:
+/// levels after the host-launched kick-off are tail-launched device-side
+/// (Algorithm 5), exactly as in
+/// [`crate::merge::factorize_gpu_merge_run_cached`].
+#[allow(clippy::too_many_arguments)]
+pub fn factorize_gpu_sparse_run_cached(
+    gpu: &Gpu,
+    pattern: &Csc,
+    levels: &Levels,
+    force: Option<LevelType>,
+    trace: &dyn TraceSink,
+    resume: Option<&NumericResume>,
     mut hook: Option<&mut LevelHook<'_>>,
+    pivot: Option<&PivotCache>,
 ) -> Result<NumericOutcome, NumericError> {
     let n = pattern.n_cols();
     let before = gpu.stats();
@@ -93,16 +115,28 @@ pub fn factorize_gpu_sparse_run(
         Some(r) => ValueStore::new(&r.vals),
         None => ValueStore::new(&pattern.vals),
     };
-    let cache = PivotCache::build(pattern);
+    let cache_storage;
+    let cache = match pivot {
+        Some(c) => c,
+        None => {
+            cache_storage = PivotCache::build(pattern);
+            &cache_storage
+        }
+    };
     let mut mix = resume.map_or_else(ModeMix::default, |r| r.mode_mix);
     let total_probes = AtomicU64::new(resume.map_or(0, |r| r.probes));
     let error: Mutex<Option<SparseError>> = Mutex::new(None);
+    // Captured-schedule replay (prebuilt pivot cache ⇒ the schedule already
+    // ran once): the host kicks off the first level, every later level is
+    // tail-launched device-side, Algorithm-5 style.
+    let replay = pivot.is_some();
+    let mut kicked_off = false;
 
     for (li, cols) in levels.groups.iter().enumerate() {
         if li < start_level {
             continue; // already durable in the resumed value store
         }
-        let t = force.unwrap_or_else(|| classify_level_cached(pattern, &cache, cols));
+        let t = force.unwrap_or_else(|| classify_level_cached(pattern, cache, cols));
         match t {
             LevelType::A => mix.a += 1,
             LevelType::B => mix.b += 1,
@@ -120,42 +154,38 @@ pub fn factorize_gpu_sparse_run(
         // of its cooperating stripes (type C runs 64 per column).
         let items_of: Vec<u64> = cols
             .iter()
-            .map(|&j| column_cost_estimate_cached(pattern, &cache, j as usize).1)
+            .map(|&j| column_cost_estimate_cached(pattern, cache, j as usize).1)
             .collect();
-        gpu.launch(
-            "numeric_sparse",
-            cols.len() * stripes,
-            threads,
-            &|b: usize, ctx: &mut BlockCtx| {
-                let col = cols[b / stripes] as usize;
-                let stripe = b % stripes;
-                let items = items_of[b / stripes];
-                // Each located access pays log2(col_nnz) probes at the reduced
-                // probe weight, on top of the item itself (all at the
-                // structured flop rate; the chain-free right-looking charge,
-                // as in the dense engine).
-                let nnz_col = (pattern.col_ptr[col + 1] - pattern.col_ptr[col]).max(1) as u64;
-                let probe_items = gpu.cost().probe_flop_items(items, nnz_col);
-                ctx.bulk_flops(3, (items + probe_items) / stripes as u64);
-                ctx.mem(items * 8 / stripes as u64);
-                if stripe == 0 {
-                    match process_column(
-                        pattern,
-                        &vals,
-                        col,
-                        AccessDiscipline::BinarySearch,
-                        &cache,
-                    ) {
-                        Ok(c) => {
-                            total_probes.fetch_add(c.probes, Ordering::Relaxed);
-                        }
-                        Err(e) => {
-                            error.lock().get_or_insert(e);
-                        }
+        let kernel = |b: usize, ctx: &mut BlockCtx| {
+            let col = cols[b / stripes] as usize;
+            let stripe = b % stripes;
+            let items = items_of[b / stripes];
+            // Each located access pays log2(col_nnz) probes at the reduced
+            // probe weight, on top of the item itself (all at the
+            // structured flop rate; the chain-free right-looking charge,
+            // as in the dense engine).
+            let nnz_col = (pattern.col_ptr[col + 1] - pattern.col_ptr[col]).max(1) as u64;
+            let probe_items = gpu.cost().probe_flop_items(items, nnz_col);
+            ctx.bulk_flops(3, (items + probe_items) / stripes as u64);
+            ctx.mem(items * 8 / stripes as u64);
+            if stripe == 0 {
+                match process_column(pattern, &vals, col, AccessDiscipline::BinarySearch, cache) {
+                    Ok(c) => {
+                        total_probes.fetch_add(c.probes, Ordering::Relaxed);
+                    }
+                    Err(e) => {
+                        error.lock().get_or_insert(e);
                     }
                 }
-            },
-        )?;
+            }
+        };
+        let grid = cols.len() * stripes;
+        if replay && kicked_off {
+            gpu.launch_device("numeric_sparse", grid, threads, &kernel)?;
+        } else {
+            gpu.launch("numeric_sparse", grid, threads, &kernel)?;
+        }
+        kicked_off = true;
         trace.span_end(
             "numeric.level",
             "level",

@@ -12,39 +12,77 @@
 //! side updates — the level-scheduled GPU solve of the sparse-triangular
 //! literature the paper cites (Liu et al. \[28\] pursue the
 //! synchronisation-free variant of the same schedule).
+//!
+//! Everything pattern-only lives in [`TriSolvePlan`]: the two wavefront
+//! schedules *and* the per-column diagonal/`L`-segment positions the
+//! sweeps consult on every solve. Building the plan costs one pass over
+//! the factor; each subsequent solve is search-free (the
+//! circuit-simulation pattern: one plan, many right-hand sides). For the
+//! many-rhs case itself, [`solve_gpu_batch`] runs one kernel launch per
+//! level across *all* right-hand sides, amortizing the fixed launch
+//! latency that dominates the deep, narrow levels of triangular factors.
 
 use crate::error::NumericError;
 use crate::values::ValueStore;
 use gplu_schedule::Levels;
 use gplu_sim::{BlockCtx, Gpu, GpuStatsSnapshot, SimTime};
 use gplu_sparse::{Csc, SparseError, Val};
+use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Precomputed level schedules for both triangles of a combined factor.
+/// Global count of [`TriSolvePlan`] constructions, for regression tests
+/// that pin down plan amortization (a cached pattern must build its plan
+/// exactly once, no matter how many solves it serves).
+static PLAN_BUILDS: AtomicU64 = AtomicU64::new(0);
+
+/// Precomputed pattern-only solve state for a combined factor: the level
+/// schedules of both triangles plus the per-column structural positions
+/// every sweep needs.
 ///
 /// Building the plan costs one pass over the factor; it is reused across
 /// every right-hand side (the circuit-simulation pattern: one plan, many
-/// solves).
+/// solves). No per-solve work re-derives pattern facts: the backward
+/// sweep's pivot lookup and the forward sweep's `L`-segment start are
+/// `O(1)` array reads out of this plan.
 #[derive(Debug, Clone)]
 pub struct TriSolvePlan {
     /// Wavefronts of the forward (unit-L) solve.
     pub l_levels: Levels,
     /// Wavefronts of the backward (U) solve.
     pub u_levels: Levels,
+    /// Position of the diagonal entry `(j, j)` in column `j`, or
+    /// `usize::MAX` when structurally absent (reported as
+    /// [`SparseError::ZeroDiagonal`] at solve time).
+    diag_pos: Vec<usize>,
+    /// `lower_bound_after(j, j)`: first position in column `j` whose row
+    /// exceeds `j` (start of the `L` segment).
+    lower_start: Vec<usize>,
 }
 
 impl TriSolvePlan {
-    /// Builds the schedules from the combined factor (unit-diagonal `L`
-    /// strictly below, `U` on and above the diagonal).
+    /// Builds the schedules and position tables from the combined factor
+    /// (unit-diagonal `L` strictly below, `U` on and above the diagonal).
     pub fn new(lu: &Csc) -> TriSolvePlan {
+        PLAN_BUILDS.fetch_add(1, Ordering::Relaxed);
         let n = lu.n_cols();
+        // One structural pass: the diagonal position and L-segment start
+        // of every column, shared by both schedule constructions below and
+        // by every subsequent solve.
+        let mut diag_pos = vec![usize::MAX; n];
+        let mut lower_start = vec![0usize; n];
+        for j in 0..n {
+            let lb = lu.lower_bound_after(j, j);
+            lower_start[j] = lb;
+            if lb > lu.col_ptr[j] && lu.row_idx[lb - 1] as usize == j {
+                diag_pos[j] = lb - 1;
+            }
+        }
         // Forward solve: column j's updates touch rows > j where L has
         // entries, so x_j depends on every t < j with L(j, t) != 0 — the
         // longest-path recurrence over the L pattern (edges ascend).
         let mut l_level = vec![0u32; n];
         let mut u_level = vec![0u32; n];
         for t in 0..n {
-            let start = lu.lower_bound_after(t, t);
-            for k in start..lu.col_ptr[t + 1] {
+            for k in lower_start[t]..lu.col_ptr[t + 1] {
                 let j = lu.row_idx[k] as usize;
                 l_level[j] = l_level[j].max(l_level[t] + 1);
             }
@@ -53,8 +91,7 @@ impl TriSolvePlan {
         // column terms, column j of U updates rows i < j, so the
         // dependency points downward; sweep columns descending.
         for t in (0..n).rev() {
-            let diag = lu.lower_bound_after(t, t);
-            for k in lu.col_ptr[t]..diag {
+            for k in lu.col_ptr[t]..lower_start[t] {
                 let i = lu.row_idx[k] as usize;
                 if i < t {
                     u_level[i] = u_level[i].max(u_level[t] + 1);
@@ -64,7 +101,45 @@ impl TriSolvePlan {
         TriSolvePlan {
             l_levels: Levels::from_level_of(l_level),
             u_levels: Levels::from_level_of(u_level),
+            diag_pos,
+            lower_start,
         }
+    }
+
+    /// Position of the diagonal entry of column `j`, if structurally
+    /// present.
+    #[inline]
+    pub fn diag(&self, j: usize) -> Option<usize> {
+        let p = self.diag_pos[j];
+        (p != usize::MAX).then_some(p)
+    }
+
+    /// First position in column `j` whose row index exceeds `j` (the
+    /// start of the `L` segment).
+    #[inline]
+    pub fn lower_start(&self, j: usize) -> usize {
+        self.lower_start[j]
+    }
+
+    /// Number of columns covered by the plan.
+    pub fn n_cols(&self) -> usize {
+        self.diag_pos.len()
+    }
+
+    /// Estimated host-memory footprint of the plan (the quantity a factor
+    /// cache charges against its device-model budget).
+    pub fn approx_bytes(&self) -> u64 {
+        let levels = |l: &Levels| {
+            (l.level_of.len() * 4 + l.groups.iter().map(Vec::len).sum::<usize>() * 4) as u64
+        };
+        levels(&self.l_levels) + levels(&self.u_levels) + (self.diag_pos.len() as u64) * 16
+    }
+
+    /// Total [`TriSolvePlan`] constructions since process start (a
+    /// monotone global counter; take deltas around the region under
+    /// test).
+    pub fn builds_total() -> u64 {
+        PLAN_BUILDS.load(Ordering::Relaxed)
     }
 }
 
@@ -79,6 +154,19 @@ pub struct TriSolveOutcome {
     pub l_levels: usize,
     /// Levels of the backward sweep.
     pub u_levels: usize,
+    /// GPU statistics delta.
+    pub stats: GpuStatsSnapshot,
+}
+
+/// Outcome of a batched multi-rhs GPU triangular solve.
+#[derive(Debug, Clone)]
+pub struct BatchSolveOutcome {
+    /// One solution per input right-hand side, in order.
+    pub xs: Vec<Vec<Val>>,
+    /// Simulated time of the whole batch.
+    pub time: SimTime,
+    /// Kernel launches issued (one per level per sweep — *not* per rhs).
+    pub launches: u64,
     /// GPU statistics delta.
     pub stats: GpuStatsSnapshot,
 }
@@ -98,6 +186,12 @@ pub fn solve_gpu(
             b.len()
         )));
     }
+    if plan.n_cols() != n {
+        return Err(NumericError::Input(format!(
+            "plan covers {} columns, matrix has {n}",
+            plan.n_cols()
+        )));
+    }
     let before = gpu.stats();
 
     // The factor is assumed device-resident (it just came out of numeric
@@ -115,16 +209,7 @@ pub fn solve_gpu(
             256,
             &|blk: usize, ctx: &mut BlockCtx| {
                 let j = cols[blk] as usize;
-                let yj = y.get(j);
-                let start = lu.lower_bound_after(j, j);
-                let end = lu.col_ptr[j + 1];
-                ctx.bulk_flops(1, (end - start) as u64);
-                ctx.mem((end - start) as u64 * 12);
-                if yj != 0.0 {
-                    for k in start..end {
-                        y.fetch_add(lu.row_idx[k] as usize, -lu.vals[k] * yj);
-                    }
-                }
+                forward_column(lu, plan, &y, j, ctx);
             },
         )?;
     }
@@ -139,29 +224,8 @@ pub fn solve_gpu(
             256,
             &|blk: usize, ctx: &mut BlockCtx| {
                 let j = cols[blk] as usize;
-                let (diag_pos, probes) = lu.find_in_col(j, j);
-                let Some(diag_pos) = diag_pos else {
-                    error
-                        .lock()
-                        .get_or_insert(SparseError::ZeroDiagonal { row: j });
-                    return;
-                };
-                let pivot = lu.vals[diag_pos];
-                if pivot == 0.0 || !pivot.is_finite() {
-                    error
-                        .lock()
-                        .get_or_insert(SparseError::ZeroPivot { col: j });
-                    return;
-                }
-                let xj = y.get(j) / pivot;
-                y.set(j, xj);
-                let ups = diag_pos - lu.col_ptr[j];
-                ctx.bulk_flops(1, ups as u64 + probes as u64);
-                ctx.mem(ups as u64 * 12);
-                if xj != 0.0 {
-                    for k in lu.col_ptr[j]..diag_pos {
-                        y.fetch_add(lu.row_idx[k] as usize, -lu.vals[k] * xj);
-                    }
+                if let Err(e) = backward_column(lu, plan, &y, j, ctx) {
+                    error.lock().get_or_insert(e);
                 }
             },
         )?;
@@ -180,6 +244,135 @@ pub fn solve_gpu(
         u_levels: plan.u_levels.n_levels(),
         stats,
     })
+}
+
+/// Solves `(L·U) X = B` for a whole batch of right-hand sides with one
+/// kernel launch per level per sweep: block `(c, r)` of the launch grid
+/// applies column `cols[c]` to right-hand side `r`. The per-level fixed
+/// launch latency — the dominant cost of the deep, narrow wavefronts of
+/// triangular factors — is paid once per level instead of once per level
+/// *per rhs*.
+pub fn solve_gpu_batch(
+    gpu: &Gpu,
+    lu: &Csc,
+    plan: &TriSolvePlan,
+    bs: &[Vec<Val>],
+) -> Result<BatchSolveOutcome, NumericError> {
+    let n = lu.n_cols();
+    if bs.is_empty() {
+        return Err(NumericError::Input("empty rhs batch".into()));
+    }
+    for (r, b) in bs.iter().enumerate() {
+        if b.len() != n {
+            return Err(NumericError::Input(format!(
+                "rhs {r} length {} does not match matrix dimension {n}",
+                b.len()
+            )));
+        }
+    }
+    if plan.n_cols() != n {
+        return Err(NumericError::Input(format!(
+            "plan covers {} columns, matrix has {n}",
+            plan.n_cols()
+        )));
+    }
+    let nrhs = bs.len();
+    let before = gpu.stats();
+
+    let x_dev = gpu.mem.alloc((nrhs * n) as u64 * 8)?;
+    gpu.h2d((nrhs * n) as u64 * 8);
+
+    let ys: Vec<ValueStore> = bs.iter().map(|b| ValueStore::new(b)).collect();
+    let mut launches = 0u64;
+    for cols in &plan.l_levels.groups {
+        gpu.launch_device(
+            "trisolve_l",
+            cols.len() * nrhs,
+            256,
+            &|blk: usize, ctx: &mut BlockCtx| {
+                let j = cols[blk / nrhs] as usize;
+                forward_column(lu, plan, &ys[blk % nrhs], j, ctx);
+            },
+        )?;
+        launches += 1;
+    }
+
+    let error = parking_lot::Mutex::new(None::<SparseError>);
+    for cols in &plan.u_levels.groups {
+        gpu.launch_device(
+            "trisolve_u",
+            cols.len() * nrhs,
+            256,
+            &|blk: usize, ctx: &mut BlockCtx| {
+                let j = cols[blk / nrhs] as usize;
+                if let Err(e) = backward_column(lu, plan, &ys[blk % nrhs], j, ctx) {
+                    error.lock().get_or_insert(e);
+                }
+            },
+        )?;
+        launches += 1;
+        if let Some(e) = error.lock().take() {
+            return Err(NumericError::from_sparse_at_level(e, usize::MAX));
+        }
+    }
+
+    gpu.d2h((nrhs * n) as u64 * 8);
+    gpu.mem.free(x_dev)?;
+    let stats = gpu.stats().since(&before);
+    Ok(BatchSolveOutcome {
+        xs: ys.into_iter().map(ValueStore::into_vec).collect(),
+        time: stats.now,
+        launches,
+        stats,
+    })
+}
+
+/// One forward-sweep column: `y_i -= L(i, j) · y_j` for the rows below
+/// the diagonal. The `L`-segment bounds come from the plan — no
+/// per-solve pattern search.
+#[inline]
+fn forward_column(lu: &Csc, plan: &TriSolvePlan, y: &ValueStore, j: usize, ctx: &mut BlockCtx) {
+    let yj = y.get(j);
+    let start = plan.lower_start[j];
+    let end = lu.col_ptr[j + 1];
+    ctx.bulk_flops(1, (end - start) as u64);
+    ctx.mem((end - start) as u64 * 12);
+    if yj != 0.0 {
+        for k in start..end {
+            y.fetch_add(lu.row_idx[k] as usize, -lu.vals[k] * yj);
+        }
+    }
+}
+
+/// One backward-sweep column: divide by the pivot (position read from
+/// the plan — the binary search of the pre-plan implementation is gone),
+/// then push `x_j`'s contribution up through `U`'s column.
+#[inline]
+fn backward_column(
+    lu: &Csc,
+    plan: &TriSolvePlan,
+    y: &ValueStore,
+    j: usize,
+    ctx: &mut BlockCtx,
+) -> Result<(), SparseError> {
+    let Some(diag_pos) = plan.diag(j) else {
+        return Err(SparseError::ZeroDiagonal { row: j });
+    };
+    let pivot = lu.vals[diag_pos];
+    if pivot == 0.0 || !pivot.is_finite() {
+        return Err(SparseError::ZeroPivot { col: j });
+    }
+    let xj = y.get(j) / pivot;
+    y.set(j, xj);
+    let ups = diag_pos - lu.col_ptr[j];
+    ctx.bulk_flops(1, ups as u64);
+    ctx.mem(ups as u64 * 12);
+    if xj != 0.0 {
+        for k in lu.col_ptr[j]..diag_pos {
+            y.fetch_add(lu.row_idx[k] as usize, -lu.vals[k] * xj);
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -254,6 +447,18 @@ mod tests {
     }
 
     #[test]
+    fn plan_hoists_pattern_positions() {
+        let a = random_dominant(120, 4.0, 98);
+        let lu = factor(&a);
+        let plan = TriSolvePlan::new(&lu);
+        for j in 0..120 {
+            assert_eq!(plan.lower_start(j), lu.lower_bound_after(j, j));
+            assert_eq!(plan.diag(j), lu.find_in_col(j, j).0);
+        }
+        assert!(plan.approx_bytes() > 0);
+    }
+
+    #[test]
     fn plan_reuse_across_many_rhs() {
         let a = random_dominant(120, 4.0, 94);
         let lu = factor(&a);
@@ -273,6 +478,74 @@ mod tests {
     }
 
     #[test]
+    fn batch_matches_per_rhs_solves_bitwise() {
+        let a = random_dominant(150, 4.0, 99);
+        let lu = factor(&a);
+        let plan = TriSolvePlan::new(&lu);
+        let bs: Vec<Vec<f64>> = (0..5u64)
+            .map(|s| {
+                (0..150)
+                    .map(|i| ((i as u64 * 31 + s) % 11) as f64 - 5.0)
+                    .collect()
+            })
+            .collect();
+        let gpu_b = Gpu::new(GpuConfig::v100());
+        let batch = solve_gpu_batch(&gpu_b, &lu, &plan, &bs).expect("batch solve");
+        assert_eq!(batch.xs.len(), 5);
+        for (r, b) in bs.iter().enumerate() {
+            let gpu_s = Gpu::new(GpuConfig::v100());
+            let single = solve_gpu(&gpu_s, &lu, &plan, b).expect("single solve");
+            assert_eq!(batch.xs[r], single.x, "rhs {r} must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn batch_amortizes_launch_latency() {
+        let a = banded_dominant(400, 4, 100);
+        let lu = factor(&a);
+        let plan = TriSolvePlan::new(&lu);
+        let nrhs = 8;
+        let bs: Vec<Vec<f64>> = (0..nrhs)
+            .map(|s| a.spmv(&vec![1.0 + s as f64; 400]))
+            .collect();
+        let gpu_b = Gpu::new(GpuConfig::v100());
+        let batch = solve_gpu_batch(&gpu_b, &lu, &plan, &bs).expect("batch");
+        let gpu_s = Gpu::new(GpuConfig::v100());
+        let mut serial = SimTime::ZERO;
+        for b in &bs {
+            serial += solve_gpu(&gpu_s, &lu, &plan, b).expect("single").time;
+        }
+        assert!(
+            batch.time < serial,
+            "batched {} must beat {} serial solves at {}",
+            batch.time,
+            nrhs,
+            serial
+        );
+        assert_eq!(
+            batch.launches as usize,
+            plan.l_levels.n_levels() + plan.u_levels.n_levels(),
+            "one launch per level per sweep"
+        );
+    }
+
+    #[test]
+    fn batch_rejects_bad_inputs() {
+        let a = random_dominant(40, 3.0, 96);
+        let lu = factor(&a);
+        let plan = TriSolvePlan::new(&lu);
+        let gpu = Gpu::new(GpuConfig::v100());
+        assert!(matches!(
+            solve_gpu_batch(&gpu, &lu, &plan, &[]).unwrap_err(),
+            NumericError::Input(_)
+        ));
+        assert!(matches!(
+            solve_gpu_batch(&gpu, &lu, &plan, &[vec![1.0; 7]]).unwrap_err(),
+            NumericError::Input(_)
+        ));
+    }
+
+    #[test]
     fn frees_device_memory() {
         let a = random_dominant(80, 3.0, 95);
         let lu = factor(&a);
@@ -280,6 +553,7 @@ mod tests {
         let gpu = Gpu::new(GpuConfig::v100());
         let b = vec![1.0; 80];
         solve_gpu(&gpu, &lu, &plan, &b).expect("gpu solve");
+        solve_gpu_batch(&gpu, &lu, &plan, &[b.clone(), b]).expect("batch solve");
         assert_eq!(gpu.mem.used_bytes(), 0);
     }
 

@@ -1,0 +1,317 @@
+//! The pattern-keyed factor cache.
+//!
+//! Key: the structure-only XXH64 fingerprint from
+//! [`gplu_core::pattern_fingerprint`]. Value: every pattern-only artifact
+//! a repeat factorization reuses — the [`RefactorPlan`] (permutations,
+//! filled pattern, level schedule, pivot cache, value-scatter maps) and
+//! the batched [`TriSolvePlan`] — plus the most recent factors keyed by
+//! the *content* fingerprint, so a byte-identical resubmission skips the
+//! numeric kernels entirely.
+//!
+//! Memory accounting rides the simulator's own arena: the cache owns a
+//! [`DeviceMemory`] of the configured budget and backs every entry with a
+//! real allocation in it. Insertion evicts least-recently-used entries
+//! until the allocation fits; an entry larger than the whole budget is
+//! simply not cached. Entries are handed out as `Arc`s, so eviction frees
+//! the *budget* immediately but the artifacts live until the last
+//! in-flight job drops its reference — eviction can never corrupt a
+//! running refactorization (asserted in `tests/service.rs`).
+
+use gplu_core::{LuFactorization, RefactorPlan};
+use gplu_numeric::TriSolvePlan;
+use gplu_sim::{DeviceAlloc, DeviceMemory};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One cached pattern: the reusable plans plus the latest factors.
+#[derive(Debug)]
+pub struct CachedFactor {
+    /// The refactorization fast path for this pattern.
+    pub plan: RefactorPlan,
+    /// Batched triangular-solve schedule for this pattern's factors.
+    pub solve: TriSolvePlan,
+    /// Most recent factors, keyed by the value fingerprint that produced
+    /// them ([`gplu_core::matrix_fingerprint`]).
+    latest: Mutex<Option<(u64, Arc<LuFactorization>)>>,
+}
+
+impl CachedFactor {
+    /// A fresh entry with no factors yet.
+    pub fn new(plan: RefactorPlan, solve: TriSolvePlan) -> Self {
+        CachedFactor {
+            plan,
+            solve,
+            latest: Mutex::new(None),
+        }
+    }
+
+    /// The factors for exactly these values, if they are the ones most
+    /// recently produced for this pattern.
+    pub fn latest_for(&self, value_fp: u64) -> Option<Arc<LuFactorization>> {
+        let guard = self.latest.lock().unwrap();
+        guard
+            .as_ref()
+            .filter(|(fp, _)| *fp == value_fp)
+            .map(|(_, f)| Arc::clone(f))
+    }
+
+    /// Publishes the factors produced for `value_fp`.
+    pub fn store_latest(&self, value_fp: u64, f: Arc<LuFactorization>) {
+        *self.latest.lock().unwrap() = Some((value_fp, f));
+    }
+
+    /// Bytes this entry charges against the cache budget.
+    pub fn approx_bytes(&self) -> u64 {
+        self.plan.approx_bytes() + self.solve.approx_bytes()
+    }
+}
+
+#[derive(Debug)]
+struct Slot {
+    entry: Arc<CachedFactor>,
+    alloc: DeviceAlloc,
+    stamp: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    map: HashMap<u64, Slot>,
+    tick: u64,
+}
+
+/// Monotone counters the service report exposes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Pattern lookups that found an entry.
+    pub hits: u64,
+    /// Pattern lookups that found nothing.
+    pub misses: u64,
+    /// Entries inserted (== plans built *and cached*).
+    pub insertions: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Entries too large for the whole budget, served uncached.
+    pub oversize_skipped: u64,
+}
+
+/// LRU pattern cache budgeted against a simulated device-memory arena.
+#[derive(Debug)]
+pub struct FactorCache {
+    inner: Mutex<Inner>,
+    mem: DeviceMemory,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+    oversize_skipped: AtomicU64,
+}
+
+impl FactorCache {
+    /// A cache with `budget_bytes` of accounting capacity.
+    pub fn new(budget_bytes: u64) -> Self {
+        FactorCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                tick: 0,
+            }),
+            mem: DeviceMemory::new(budget_bytes),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            oversize_skipped: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up a pattern and bumps its recency.
+    pub fn lookup(&self, pattern_fp: u64) -> Option<Arc<CachedFactor>> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(&pattern_fp) {
+            Some(slot) => {
+                slot.stamp = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&slot.entry))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts an entry, evicting LRU patterns until its allocation fits.
+    ///
+    /// Returns the shared handle either way; when the entry exceeds the
+    /// entire budget it is returned uncached (the job still completes —
+    /// the cache only ever trades memory for speed, never correctness).
+    /// If another worker raced the same pattern in, the existing entry
+    /// wins and the new one is dropped.
+    pub fn insert(&self, pattern_fp: u64, entry: CachedFactor) -> Arc<CachedFactor> {
+        let bytes = entry.approx_bytes().max(1);
+        let entry = Arc::new(entry);
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(slot) = inner.map.get(&pattern_fp) {
+            // Lost a cold-miss race: both workers built plans, first
+            // insertion wins so every later job shares one entry.
+            return Arc::clone(&slot.entry);
+        }
+        loop {
+            match self.mem.alloc(bytes) {
+                Ok(alloc) => {
+                    inner.tick += 1;
+                    let stamp = inner.tick;
+                    inner.map.insert(
+                        pattern_fp,
+                        Slot {
+                            entry: Arc::clone(&entry),
+                            alloc,
+                            stamp,
+                        },
+                    );
+                    self.insertions.fetch_add(1, Ordering::Relaxed);
+                    return entry;
+                }
+                Err(_) => {
+                    let lru = inner
+                        .map
+                        .iter()
+                        .min_by_key(|(_, s)| s.stamp)
+                        .map(|(fp, _)| *fp);
+                    match lru {
+                        Some(fp) => {
+                            // The Arc keeps the evicted artifacts alive for
+                            // any job already holding them; only the budget
+                            // is released here.
+                            let slot = inner.map.remove(&fp).expect("lru key present");
+                            self.mem.free(slot.alloc).expect("cache alloc valid");
+                            self.evictions.fetch_add(1, Ordering::Relaxed);
+                        }
+                        None => {
+                            self.oversize_skipped.fetch_add(1, Ordering::Relaxed);
+                            return entry;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Cached patterns right now.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Budget bytes currently charged.
+    pub fn used_bytes(&self) -> u64 {
+        self.mem.used_bytes()
+    }
+
+    /// Configured budget.
+    pub fn capacity(&self) -> u64 {
+        self.mem.capacity()
+    }
+
+    /// Monotone counter snapshot.
+    pub fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            oversize_skipped: self.oversize_skipped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gplu_core::{LuFactorization, LuOptions};
+    use gplu_sim::{Gpu, GpuConfig};
+    use gplu_sparse::gen::random::random_dominant;
+    use gplu_sparse::Csr;
+
+    fn entry_for(a: &Csr) -> CachedFactor {
+        let gpu = Gpu::new(GpuConfig::v100_symbolic_profile(a.n_rows(), a.nnz()));
+        let f = LuFactorization::compute(&gpu, a, &LuOptions::default()).expect("ok");
+        let plan = f.refactor_plan(a, &LuOptions::default()).expect("plan");
+        let solve = TriSolvePlan::new(&f.lu);
+        CachedFactor::new(plan, solve)
+    }
+
+    #[test]
+    fn lookup_miss_then_hit() {
+        let a = random_dominant(60, 3.0, 1);
+        let fp = gplu_core::pattern_fingerprint(&a);
+        let cache = FactorCache::new(64 << 20);
+        assert!(cache.lookup(fp).is_none());
+        cache.insert(fp, entry_for(&a));
+        assert!(cache.lookup(fp).is_some());
+        let c = cache.counters();
+        assert_eq!((c.hits, c.misses, c.insertions), (1, 1, 1));
+        assert!(cache.used_bytes() > 0);
+    }
+
+    #[test]
+    fn lru_eviction_respects_the_budget() {
+        let mats: Vec<Csr> = (0..4).map(|s| random_dominant(60, 3.0, 10 + s)).collect();
+        let one = entry_for(&mats[0]).approx_bytes();
+        // Room for about two entries.
+        let cache = FactorCache::new(one * 2 + one / 2);
+        for m in &mats {
+            cache.insert(gplu_core::pattern_fingerprint(m), entry_for(m));
+        }
+        assert!(cache.len() < 4, "budget must force eviction");
+        assert!(cache.counters().evictions > 0);
+        assert!(cache.used_bytes() <= cache.capacity());
+        // Most recently inserted pattern survives.
+        assert!(cache
+            .lookup(gplu_core::pattern_fingerprint(&mats[3]))
+            .is_some());
+    }
+
+    #[test]
+    fn oversize_entries_are_served_uncached() {
+        let a = random_dominant(60, 3.0, 20);
+        let cache = FactorCache::new(16); // comically small
+        let arc = cache.insert(gplu_core::pattern_fingerprint(&a), entry_for(&a));
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.counters().oversize_skipped, 1);
+        // The handle still works.
+        assert!(arc.plan.n() == 60);
+    }
+
+    #[test]
+    fn evicted_entries_stay_alive_for_holders() {
+        let a = random_dominant(60, 3.0, 30);
+        let b = random_dominant(60, 3.0, 31);
+        let one = entry_for(&a).approx_bytes();
+        let cache = FactorCache::new(one + one / 4); // exactly one fits
+        let held = cache.insert(gplu_core::pattern_fingerprint(&a), entry_for(&a));
+        cache.insert(gplu_core::pattern_fingerprint(&b), entry_for(&b));
+        assert!(cache.lookup(gplu_core::pattern_fingerprint(&a)).is_none());
+        // The evicted plan still refactorizes correctly.
+        let gpu = Gpu::new(GpuConfig::v100_symbolic_profile(a.n_rows(), a.nnz()));
+        assert!(held.plan.refactorize(&gpu, &a).is_ok());
+    }
+
+    #[test]
+    fn insert_race_keeps_the_first_entry() {
+        let a = random_dominant(60, 3.0, 40);
+        let fp = gplu_core::pattern_fingerprint(&a);
+        let cache = FactorCache::new(64 << 20);
+        let first = cache.insert(fp, entry_for(&a));
+        let second = cache.insert(fp, entry_for(&a));
+        assert!(Arc::ptr_eq(&first, &second), "first insertion wins");
+        assert_eq!(cache.counters().insertions, 1);
+        assert_eq!(cache.len(), 1);
+    }
+}

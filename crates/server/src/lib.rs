@@ -1,0 +1,48 @@
+//! # gplu-server
+//!
+//! A multi-tenant, in-process solver service over the `gplu` pipeline —
+//! the ROADMAP's "serving heavy traffic" north star made concrete on the
+//! simulated GPU.
+//!
+//! Clients submit factorize / refactorize / solve jobs onto a **bounded
+//! queue** ([`SolverService::submit`] returns the typed backpressure
+//! error [`gplu_core::GpluError::QueueFull`] when it is full); a worker
+//! pool drains the queue, one simulated GPU per job. The service's
+//! leverage is the **pattern-keyed factor cache** ([`FactorCache`]): the
+//! circuit-simulation traffic the paper targets factorizes the same
+//! sparsity pattern thousands of times with drifting values, so the
+//! pattern-only artifacts — permutations, filled pattern, level schedule,
+//! pivot cache, triangular-solve plan — are computed once per pattern
+//! (on the cold miss) and every later job runs only the
+//! [`gplu_core::RefactorPlan`] fast path, or, when even the values match
+//! a previous job, no factorization at all.
+//!
+//! Three execution tiers, cheapest first:
+//!
+//! | tier | pattern | values | work |
+//! |---|---|---|---|
+//! | [`ExecTier::CachedSolve`] | hit | hit | reuse factors, solve only |
+//! | [`ExecTier::Warm`] | hit | miss | value scatter + numeric kernels |
+//! | [`ExecTier::Cold`] | miss | — | full pipeline + plan build |
+//!
+//! The cache is budgeted against a [`gplu_sim::DeviceMemory`] arena and
+//! evicts least-recently-used patterns; entries are `Arc`-shared, so an
+//! eviction can never corrupt a job that already holds the entry.
+//!
+//! Everything composes with the existing subsystems rather than
+//! bypassing them: per-job fault plans run the PR-2 recovery ladder
+//! inside the worker, service-level spans/counters flow through
+//! `gplu-trace`, and [`ServiceReport`] emits the `RunReport`-style JSON
+//! that `telemetry_check --service` validates.
+
+pub mod cache;
+pub mod job;
+pub mod report;
+pub mod service;
+pub mod workload;
+
+pub use cache::{CacheCounters, CachedFactor, FactorCache};
+pub use job::{ExecTier, JobHandle, JobKind, JobResult, JobSpec};
+pub use report::{percentile, ServiceReport, SERVICE_SCHEMA_VERSION};
+pub use service::{ServiceConfig, SolverService, StatsSnapshot};
+pub use workload::{generate_workload, WorkloadParams};

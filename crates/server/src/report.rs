@@ -1,0 +1,200 @@
+//! The service report: the `RunReport`-style JSON summary of a service
+//! run, validated by `telemetry_check --service`.
+
+use crate::cache::CacheCounters;
+use crate::service::{SolverService, StatsSnapshot};
+use gplu_trace::json::JsonValue;
+
+/// Version tag of the service-report JSON schema.
+pub const SERVICE_SCHEMA_VERSION: u64 = 1;
+
+/// Linear-interpolation percentile over an unsorted sample (ns). `p` in
+/// `[0, 100]`; returns 0.0 for an empty sample.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut s = samples.to_vec();
+    s.sort_by(f64::total_cmp);
+    let rank = (p / 100.0) * (s.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        s[lo]
+    } else {
+        let frac = rank - lo as f64;
+        s[lo] * (1.0 - frac) + s[hi] * frac
+    }
+}
+
+/// Everything the stress subcommand reports about a service run.
+#[derive(Debug, Clone)]
+pub struct ServiceReport {
+    /// Counter snapshot at report time.
+    pub stats: StatsSnapshot,
+    /// Cache counters at report time.
+    pub cache: CacheCounters,
+    /// Patterns resident in the cache.
+    pub cache_entries: usize,
+    /// Cache budget bytes charged.
+    pub cache_used_bytes: u64,
+    /// Configured cache budget.
+    pub cache_budget_bytes: u64,
+    /// Queue capacity.
+    pub queue_cap: usize,
+}
+
+impl ServiceReport {
+    /// Snapshots a running service.
+    pub fn capture(svc: &SolverService) -> Self {
+        ServiceReport {
+            stats: svc.stats(),
+            cache: svc.cache_counters(),
+            cache_entries: svc.cache().len(),
+            cache_used_bytes: svc.cache().used_bytes(),
+            cache_budget_bytes: svc.cache_budget(),
+            queue_cap: svc.queue_cap(),
+        }
+    }
+
+    /// The JSON document (`service_schema_version` 1).
+    pub fn to_json(&self) -> JsonValue {
+        let s = &self.stats;
+        JsonValue::obj()
+            .set("service_schema_version", SERVICE_SCHEMA_VERSION)
+            .set(
+                "jobs",
+                JsonValue::obj()
+                    .set("submitted", s.submitted)
+                    .set("completed", s.completed)
+                    .set("failed", s.failed)
+                    .set("cancelled", s.cancelled)
+                    .set("deadline_dropped", s.deadline_dropped)
+                    .set("cold", s.cold)
+                    .set("warm", s.warm)
+                    .set("cached_solve", s.cached_solve),
+            )
+            .set(
+                "cache",
+                JsonValue::obj()
+                    .set("budget_bytes", self.cache_budget_bytes)
+                    .set("used_bytes", self.cache_used_bytes)
+                    .set("entries", self.cache_entries)
+                    .set("hits", self.cache.hits)
+                    .set("misses", self.cache.misses)
+                    .set("insertions", self.cache.insertions)
+                    .set("evictions", self.cache.evictions)
+                    .set("oversize_skipped", self.cache.oversize_skipped)
+                    .set("plans_built", s.plans_built)
+                    .set("hot_jobs", s.hot_jobs)
+                    .set("hot_hits", s.hot_hits)
+                    .set("hot_hit_rate", s.hot_hit_rate()),
+            )
+            .set(
+                "latency",
+                JsonValue::obj()
+                    .set("sim_p50_ns", percentile(&s.sim_ns, 50.0))
+                    .set("sim_p95_ns", percentile(&s.sim_ns, 95.0))
+                    .set("wall_p50_ns", percentile(&s.wall_ns, 50.0))
+                    .set("wall_p95_ns", percentile(&s.wall_ns, 95.0)),
+            )
+            .set(
+                "queue",
+                JsonValue::obj()
+                    .set("capacity", self.queue_cap)
+                    .set("max_depth", s.max_depth)
+                    .set("rejections", s.rejected),
+            )
+            .set(
+                "faults",
+                JsonValue::obj()
+                    .set("injected", s.injected_faults)
+                    .set("jobs_recovered", s.jobs_recovered),
+            )
+    }
+
+    /// One-paragraph human summary.
+    pub fn summary(&self) -> String {
+        let s = &self.stats;
+        format!(
+            "jobs: {} completed ({} cold / {} warm / {} cached), {} failed, \
+             {} rejected, {} cancelled, {} past deadline | hot hit rate {:.1}% \
+             ({}/{}) | cache: {} patterns, {}/{} bytes, {} evictions | \
+             sim p50 {:.0} ns p95 {:.0} ns | faults injected {} (recovered {} jobs)",
+            s.completed,
+            s.cold,
+            s.warm,
+            s.cached_solve,
+            s.failed,
+            s.rejected,
+            s.cancelled,
+            s.deadline_dropped,
+            s.hot_hit_rate() * 100.0,
+            s.hot_hits,
+            s.hot_jobs,
+            self.cache_entries,
+            self.cache_used_bytes,
+            self.cache_budget_bytes,
+            self.cache.evictions,
+            percentile(&s.sim_ns, 50.0),
+            percentile(&s.sim_ns, 95.0),
+            s.injected_faults,
+            s.jobs_recovered,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = vec![10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&v, 0.0), 10.0);
+        assert_eq!(percentile(&v, 100.0), 40.0);
+        assert_eq!(percentile(&v, 50.0), 25.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.0], 95.0), 7.0);
+    }
+
+    #[test]
+    fn report_json_has_the_schema_sections() {
+        let report = ServiceReport {
+            stats: StatsSnapshot {
+                submitted: 3,
+                completed: 3,
+                cold: 1,
+                warm: 2,
+                hot_jobs: 2,
+                hot_hits: 2,
+                sim_ns: vec![100.0, 200.0, 300.0],
+                wall_ns: vec![1000.0, 2000.0, 3000.0],
+                ..Default::default()
+            },
+            cache: CacheCounters::default(),
+            cache_entries: 1,
+            cache_used_bytes: 4096,
+            cache_budget_bytes: 1 << 20,
+            queue_cap: 64,
+        };
+        let doc = report.to_json();
+        assert_eq!(
+            doc.get("service_schema_version")
+                .and_then(JsonValue::as_u64),
+            Some(SERVICE_SCHEMA_VERSION)
+        );
+        for section in ["jobs", "cache", "latency", "queue", "faults"] {
+            assert!(doc.get(section).is_some(), "missing {section}");
+        }
+        let parsed = gplu_trace::json::parse(&doc.to_pretty()).expect("round-trips");
+        assert_eq!(
+            parsed
+                .get("cache")
+                .and_then(|c| c.get("hot_hit_rate"))
+                .and_then(JsonValue::as_f64),
+            Some(1.0)
+        );
+        assert!(!report.summary().is_empty());
+    }
+}

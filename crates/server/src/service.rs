@@ -1,0 +1,698 @@
+//! The solver service: bounded admission queue, worker pool, tiered
+//! execution against the factor cache.
+
+use crate::cache::{CacheCounters, CachedFactor, FactorCache};
+use crate::job::{ExecTier, JobHandle, JobKind, JobResult, JobSpec, QueuedJob};
+use gplu_core::{matrix_fingerprint, pattern_fingerprint, GpluError, LuFactorization};
+use gplu_numeric::TriSolvePlan;
+use gplu_sim::{CostModel, Gpu, GpuConfig};
+use gplu_trace::{Recorder, TraceSink, NOOP};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Instant;
+
+/// Service knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads draining the queue.
+    pub workers: usize,
+    /// Bounded queue capacity; submissions past it are rejected with
+    /// [`GpluError::QueueFull`].
+    pub queue_cap: usize,
+    /// Factor-cache budget in bytes (see [`FactorCache`]).
+    pub cache_budget_bytes: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 4,
+            queue_cap: 64,
+            cache_budget_bytes: 64 << 20,
+        }
+    }
+}
+
+/// Wall-clock source producing strictly increasing f64 nanosecond stamps
+/// across threads, so the service-level trace stays a valid (sortable)
+/// Chrome timeline no matter how workers interleave.
+#[derive(Debug)]
+struct WallClock {
+    origin: Instant,
+    last: Mutex<f64>,
+}
+
+impl WallClock {
+    fn new() -> Self {
+        WallClock {
+            origin: Instant::now(),
+            last: Mutex::new(0.0),
+        }
+    }
+
+    fn now(&self) -> f64 {
+        let t = self.origin.elapsed().as_nanos() as f64;
+        let mut last = self.last.lock().unwrap();
+        let v = if t > *last { t } else { *last + 1.0 };
+        *last = v;
+        v
+    }
+}
+
+/// Monotone service counters (atomics — read with [`SolverService::stats`]).
+#[derive(Debug, Default)]
+struct ServiceStats {
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    cancelled: AtomicU64,
+    deadline_dropped: AtomicU64,
+    cold: AtomicU64,
+    warm: AtomicU64,
+    cached_solve: AtomicU64,
+    hot_jobs: AtomicU64,
+    hot_hits: AtomicU64,
+    plans_built: AtomicU64,
+    injected_faults: AtomicU64,
+    jobs_recovered: AtomicU64,
+    max_depth: AtomicU64,
+    // Completed-job latencies for the percentile report.
+    sim_ns: Mutex<Vec<f64>>,
+    wall_ns: Mutex<Vec<f64>>,
+}
+
+/// Point-in-time view of the service counters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StatsSnapshot {
+    /// Jobs accepted onto the queue.
+    pub submitted: u64,
+    /// Submissions refused with queue-full backpressure.
+    pub rejected: u64,
+    /// Jobs that returned a result.
+    pub completed: u64,
+    /// Jobs that returned a typed error (after recovery exhausted).
+    pub failed: u64,
+    /// Jobs cancelled before a worker started them.
+    pub cancelled: u64,
+    /// Jobs dropped because their deadline passed while queued.
+    pub deadline_dropped: u64,
+    /// Jobs served cold / warm / from cached factors.
+    pub cold: u64,
+    /// Pattern hit, value miss: refactorization fast path.
+    pub warm: u64,
+    /// Pattern and value hit: factors reused outright.
+    pub cached_solve: u64,
+    /// Jobs flagged as hot-pattern traffic.
+    pub hot_jobs: u64,
+    /// Hot jobs served warm or from cached factors.
+    pub hot_hits: u64,
+    /// RefactorPlan + TriSolvePlan constructions (== cold misses that
+    /// built pattern artifacts; the regression bound for "a plan is built
+    /// exactly once per cached pattern").
+    pub plans_built: u64,
+    /// Faults injected across all job GPUs.
+    pub injected_faults: u64,
+    /// Jobs whose recovery ladder recorded at least one action.
+    pub jobs_recovered: u64,
+    /// Deepest the queue ever got.
+    pub max_depth: u64,
+    /// Per-job simulated latencies (ns), completion order.
+    pub sim_ns: Vec<f64>,
+    /// Per-job wall latencies (ns), completion order.
+    pub wall_ns: Vec<f64>,
+}
+
+impl StatsSnapshot {
+    /// Cache hit rate over the hot-pattern segment (1.0 when no hot jobs).
+    pub fn hot_hit_rate(&self) -> f64 {
+        if self.hot_jobs == 0 {
+            1.0
+        } else {
+            self.hot_hits as f64 / self.hot_jobs as f64
+        }
+    }
+}
+
+struct Shared {
+    queue: Mutex<VecDeque<QueuedJob>>,
+    cv: Condvar,
+    shutdown: AtomicBool,
+    cap: usize,
+    cache: FactorCache,
+    stats: ServiceStats,
+    clock: WallClock,
+    trace: Option<Arc<Recorder>>,
+}
+
+impl Shared {
+    fn sink(&self) -> &dyn TraceSink {
+        match &self.trace {
+            Some(r) => r.as_ref(),
+            None => &NOOP,
+        }
+    }
+}
+
+/// The in-process solver service. Dropping it shuts the pool down
+/// (pending jobs are dropped as cancelled).
+pub struct SolverService {
+    shared: Arc<Shared>,
+    workers: Vec<thread::JoinHandle<()>>,
+    next_id: AtomicU64,
+}
+
+impl SolverService {
+    /// Starts the worker pool with no service-level tracing.
+    pub fn start(cfg: ServiceConfig) -> Self {
+        Self::start_inner(cfg, None)
+    }
+
+    /// Starts the worker pool with service-level spans and counters
+    /// recorded into `rec` (wall-clock timeline: one `service.job` span
+    /// per job, `service.queue_depth` counter samples, `service.reject`
+    /// instants).
+    pub fn start_traced(cfg: ServiceConfig, rec: Arc<Recorder>) -> Self {
+        Self::start_inner(cfg, Some(rec))
+    }
+
+    fn start_inner(cfg: ServiceConfig, trace: Option<Arc<Recorder>>) -> Self {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            cap: cfg.queue_cap.max(1),
+            cache: FactorCache::new(cfg.cache_budget_bytes),
+            stats: ServiceStats::default(),
+            clock: WallClock::new(),
+            trace,
+        });
+        let workers = (0..cfg.workers.max(1))
+            .map(|_| {
+                let sh = Arc::clone(&shared);
+                thread::spawn(move || worker_loop(&sh))
+            })
+            .collect();
+        SolverService {
+            shared,
+            workers,
+            next_id: AtomicU64::new(0),
+        }
+    }
+
+    /// Submits a job. Returns [`GpluError::QueueFull`] when the bounded
+    /// queue is at capacity — the backpressure signal; the caller decides
+    /// whether to retry, shed, or wait on an outstanding handle.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, GpluError> {
+        let sh = &self.shared;
+        let mut q = sh.queue.lock().unwrap();
+        if q.len() >= sh.cap {
+            sh.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            drop(q);
+            let sink = sh.sink();
+            if sink.enabled() {
+                sink.instant("service.reject", "service", sh.clock.now(), &[]);
+            }
+            return Err(GpluError::QueueFull {
+                depth: sh.cap,
+                cap: sh.cap,
+            });
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = mpsc::channel();
+        let cancelled = Arc::new(AtomicBool::new(false));
+        if spec.hot {
+            sh.stats.hot_jobs.fetch_add(1, Ordering::Relaxed);
+        }
+        q.push_back(QueuedJob {
+            id,
+            spec,
+            tx,
+            cancelled: Arc::clone(&cancelled),
+            enqueued: Instant::now(),
+        });
+        let depth = q.len() as u64;
+        sh.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        sh.stats.max_depth.fetch_max(depth, Ordering::Relaxed);
+        drop(q);
+        sh.cv.notify_one();
+        sh.sink().counter(
+            "service.queue_depth",
+            "service",
+            sh.clock.now(),
+            depth as f64,
+        );
+        Ok(JobHandle { id, rx, cancelled })
+    }
+
+    /// Jobs waiting right now.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.lock().unwrap().len()
+    }
+
+    /// The factor cache (for inspection and tests).
+    pub fn cache(&self) -> &FactorCache {
+        &self.shared.cache
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> StatsSnapshot {
+        let s = &self.shared.stats;
+        StatsSnapshot {
+            submitted: s.submitted.load(Ordering::Relaxed),
+            rejected: s.rejected.load(Ordering::Relaxed),
+            completed: s.completed.load(Ordering::Relaxed),
+            failed: s.failed.load(Ordering::Relaxed),
+            cancelled: s.cancelled.load(Ordering::Relaxed),
+            deadline_dropped: s.deadline_dropped.load(Ordering::Relaxed),
+            cold: s.cold.load(Ordering::Relaxed),
+            warm: s.warm.load(Ordering::Relaxed),
+            cached_solve: s.cached_solve.load(Ordering::Relaxed),
+            hot_jobs: s.hot_jobs.load(Ordering::Relaxed),
+            hot_hits: s.hot_hits.load(Ordering::Relaxed),
+            plans_built: s.plans_built.load(Ordering::Relaxed),
+            injected_faults: s.injected_faults.load(Ordering::Relaxed),
+            jobs_recovered: s.jobs_recovered.load(Ordering::Relaxed),
+            max_depth: s.max_depth.load(Ordering::Relaxed),
+            sim_ns: s.sim_ns.lock().unwrap().clone(),
+            wall_ns: s.wall_ns.lock().unwrap().clone(),
+        }
+    }
+
+    /// Cache counter snapshot.
+    pub fn cache_counters(&self) -> CacheCounters {
+        self.shared.cache.counters()
+    }
+
+    /// Queue capacity.
+    pub fn queue_cap(&self) -> usize {
+        self.shared.cap
+    }
+
+    /// Cache budget in bytes.
+    pub fn cache_budget(&self) -> u64 {
+        self.shared.cache.capacity()
+    }
+
+    /// Stops accepting progress and joins the workers. Jobs still queued
+    /// are dropped; their handles resolve to [`GpluError::Cancelled`].
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.cv.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        // Dropping the queued jobs drops their senders; waiting handles
+        // observe the hangup as Cancelled.
+        self.shared.queue.lock().unwrap().clear();
+    }
+}
+
+impl Drop for SolverService {
+    fn drop(&mut self) {
+        if !self.workers.is_empty() {
+            self.shutdown_inner();
+        }
+    }
+}
+
+fn worker_loop(sh: &Shared) {
+    loop {
+        let job = {
+            let mut q = sh.queue.lock().unwrap();
+            loop {
+                if let Some(j) = q.pop_front() {
+                    break j;
+                }
+                if sh.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                q = sh.cv.wait(q).unwrap();
+            }
+        };
+        let depth = sh.queue.lock().unwrap().len() as f64;
+        sh.sink()
+            .counter("service.queue_depth", "service", sh.clock.now(), depth);
+        process(sh, job);
+    }
+}
+
+fn process(sh: &Shared, job: QueuedJob) {
+    let start = sh.clock.now();
+    if job.cancelled.load(Ordering::SeqCst) {
+        sh.stats.cancelled.fetch_add(1, Ordering::Relaxed);
+        let _ = job.tx.send(Err(GpluError::Cancelled));
+        return;
+    }
+    let waited_ns = job.enqueued.elapsed().as_nanos() as u64;
+    if let Some(deadline_ns) = job.spec.deadline_ns {
+        if waited_ns > deadline_ns {
+            sh.stats.deadline_dropped.fetch_add(1, Ordering::Relaxed);
+            let _ = job.tx.send(Err(GpluError::DeadlineExceeded {
+                waited_ns,
+                deadline_ns,
+            }));
+            return;
+        }
+    }
+
+    let outcome = execute(sh, &job);
+
+    let end = sh.clock.now();
+    let sink = sh.sink();
+    if sink.enabled() {
+        // The span pair is emitted at completion so concurrent workers
+        // never interleave half-open spans; timestamps still cover the
+        // real execution window (chrome export sorts by ts).
+        let tier = match &outcome {
+            Ok(r) => r.tier.label(),
+            Err(_) => "error",
+        };
+        sink.span_begin(
+            "service.job",
+            "service",
+            start,
+            &[
+                ("job", job.id.into()),
+                ("kind", job.spec.kind.label().into()),
+                ("hot", job.spec.hot.into()),
+            ],
+        );
+        sink.span_end(
+            "service.job",
+            "service",
+            end,
+            &[("job", job.id.into()), ("tier", tier.into())],
+        );
+    }
+
+    match outcome {
+        Ok(mut r) => {
+            r.wall_ns = job.enqueued.elapsed().as_nanos() as u64;
+            match r.tier {
+                ExecTier::Cold => sh.stats.cold.fetch_add(1, Ordering::Relaxed),
+                ExecTier::Warm => sh.stats.warm.fetch_add(1, Ordering::Relaxed),
+                ExecTier::CachedSolve => sh.stats.cached_solve.fetch_add(1, Ordering::Relaxed),
+            };
+            if job.spec.hot && r.tier != ExecTier::Cold {
+                sh.stats.hot_hits.fetch_add(1, Ordering::Relaxed);
+            }
+            if r.recovery_events > 0 {
+                sh.stats.jobs_recovered.fetch_add(1, Ordering::Relaxed);
+            }
+            sh.stats.completed.fetch_add(1, Ordering::Relaxed);
+            sh.stats.sim_ns.lock().unwrap().push(r.sim_ns);
+            sh.stats.wall_ns.lock().unwrap().push(r.wall_ns as f64);
+            let _ = job.tx.send(Ok(r));
+        }
+        Err(e) => {
+            sh.stats.failed.fetch_add(1, Ordering::Relaxed);
+            let _ = job.tx.send(Err(e));
+        }
+    }
+}
+
+/// Runs the job on a fresh simulated GPU through the cheapest available
+/// tier. All pipeline-level tracing goes to a per-job sink (the service
+/// recorder keeps wall-clock time; mixing the two timebases would
+/// corrupt the timeline).
+fn execute(sh: &Shared, job: &QueuedJob) -> Result<JobResult, GpluError> {
+    let spec = &job.spec;
+    let a = &spec.matrix;
+    let mut cfg = GpuConfig::v100_symbolic_profile(a.n_rows(), a.nnz());
+    if let Some(mem) = spec.mem_override {
+        cfg = cfg.with_memory(mem);
+    }
+    let gpu = match &spec.fault {
+        Some(plan) => Gpu::with_fault_plan(cfg, CostModel::default(), plan.clone()),
+        None => Gpu::new(cfg),
+    };
+
+    let fp = pattern_fingerprint(a);
+    let value_fp = matrix_fingerprint(a);
+    let outcome = execute_tiers(sh, job, &gpu, fp, value_fp);
+    // Chaos accounting holds whether or not the job survived its faults:
+    // an unrecoverable injection still shows up in the service report.
+    sh.stats
+        .injected_faults
+        .fetch_add(gpu.stats().injected_faults(), Ordering::Relaxed);
+    outcome
+}
+
+fn execute_tiers(
+    sh: &Shared,
+    job: &QueuedJob,
+    gpu: &Gpu,
+    fp: u64,
+    value_fp: u64,
+) -> Result<JobResult, GpluError> {
+    let spec = &job.spec;
+    let a = &spec.matrix;
+    let (tier, entry, factors) = match sh.cache.lookup(fp) {
+        Some(entry) => match entry.latest_for(value_fp) {
+            Some(f) => (ExecTier::CachedSolve, Some(entry), f),
+            None => {
+                let f = Arc::new(entry.plan.refactorize(gpu, a)?);
+                entry.store_latest(value_fp, Arc::clone(&f));
+                (ExecTier::Warm, Some(entry), f)
+            }
+        },
+        None => {
+            let f = Arc::new(LuFactorization::compute(gpu, a, &spec.opts)?);
+            // Build the pattern artifacts once and publish them. A plan
+            // build can only fail on inconsistent inputs — in that case
+            // the job still succeeds, it just stays uncacheable.
+            let entry = f.refactor_plan(a, &spec.opts).ok().map(|plan| {
+                sh.stats.plans_built.fetch_add(1, Ordering::Relaxed);
+                let cached = CachedFactor::new(plan, TriSolvePlan::new(&f.lu));
+                cached.store_latest(value_fp, Arc::clone(&f));
+                sh.cache.insert(fp, cached)
+            });
+            (ExecTier::Cold, entry, f)
+        }
+    };
+
+    let mut sim_ns = match tier {
+        // Factorization work this job actually ran on its GPU.
+        ExecTier::Cold | ExecTier::Warm => factors.report.total().as_ns(),
+        ExecTier::CachedSolve => 0.0,
+    };
+    let solutions = match &spec.kind {
+        JobKind::Solve { rhs } => {
+            let plan_storage;
+            let plan = match &entry {
+                Some(e) => &e.solve,
+                None => {
+                    plan_storage = TriSolvePlan::new(&factors.lu);
+                    &plan_storage
+                }
+            };
+            let (xs, t) = factors.solve_many_on_gpu(gpu, plan, rhs)?;
+            sim_ns += t.as_ns();
+            Some(xs)
+        }
+        _ => None,
+    };
+
+    Ok(JobResult {
+        id: job.id,
+        tier,
+        injected_faults: gpu.stats().injected_faults(),
+        recovery_events: factors.report.recovery.events().len(),
+        factorization: factors,
+        solutions,
+        sim_ns,
+        wall_ns: 0, // filled by the caller with the submit→done window
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobKind;
+    use gplu_sparse::gen::random::random_dominant;
+
+    #[test]
+    fn factorize_then_refactorize_then_cached() {
+        let svc = SolverService::start(ServiceConfig {
+            workers: 1,
+            ..Default::default()
+        });
+        let a = random_dominant(80, 4.0, 50);
+        let r1 = svc
+            .submit(JobSpec::new(a.clone(), JobKind::Factorize))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(r1.tier, ExecTier::Cold);
+        let mut a2 = a.clone();
+        a2.vals.iter_mut().for_each(|v| *v *= 1.25);
+        let r2 = svc
+            .submit(JobSpec::new(a2.clone(), JobKind::Refactorize))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(r2.tier, ExecTier::Warm);
+        let r3 = svc
+            .submit(JobSpec::new(a2, JobKind::Refactorize))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(r3.tier, ExecTier::CachedSolve);
+        let stats = svc.stats();
+        assert_eq!(stats.plans_built, 1, "one pattern, one plan build");
+        assert_eq!((stats.cold, stats.warm, stats.cached_solve), (1, 1, 1));
+        svc.shutdown();
+    }
+
+    #[test]
+    fn solve_jobs_return_solutions() {
+        let svc = SolverService::start(ServiceConfig {
+            workers: 2,
+            ..Default::default()
+        });
+        let a = random_dominant(60, 4.0, 51);
+        let x_true = vec![1.0; 60];
+        let b = a.spmv(&x_true);
+        let r = svc
+            .submit(JobSpec::new(
+                a.clone(),
+                JobKind::Solve {
+                    rhs: vec![b.clone(), b.clone()],
+                },
+            ))
+            .unwrap()
+            .wait()
+            .unwrap();
+        let xs = r.solutions.expect("solutions");
+        assert_eq!(xs.len(), 2);
+        assert!(gplu_sparse::verify::check_solution(&a, &xs[0], &b, 1e-8));
+        assert!(r.sim_ns > 0.0);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn queue_full_is_typed_backpressure() {
+        // No workers can drain fast enough to matter: capacity 1, and the
+        // first job occupies the only worker long enough for the probe.
+        let svc = SolverService::start(ServiceConfig {
+            workers: 1,
+            queue_cap: 1,
+            ..Default::default()
+        });
+        let big = random_dominant(300, 5.0, 52);
+        let small = random_dominant(40, 3.0, 53);
+        let h1 = svc.submit(JobSpec::new(big, JobKind::Factorize)).unwrap();
+        // Fill the single queue slot, then overflow it. The worker may
+        // steal the first queued job at any moment, so retry the fill.
+        let mut rejected = None;
+        let mut pending = Vec::new();
+        for _ in 0..200 {
+            match svc.submit(JobSpec::new(small.clone(), JobKind::Factorize)) {
+                Ok(h) => pending.push(h),
+                Err(e) => {
+                    rejected = Some(e);
+                    break;
+                }
+            }
+        }
+        let e = rejected.expect("bounded queue must reject eventually");
+        assert!(matches!(e, GpluError::QueueFull { cap: 1, .. }), "got {e}");
+        assert!(svc.stats().rejected >= 1);
+        h1.wait().unwrap();
+        for h in pending {
+            let _ = h.wait();
+        }
+        svc.shutdown();
+    }
+
+    #[test]
+    fn cancelled_and_deadline_jobs_are_typed() {
+        // One worker pinned on a big job; the queued ones get cancelled
+        // or time out before it finishes.
+        let svc = SolverService::start(ServiceConfig {
+            workers: 1,
+            queue_cap: 8,
+            ..Default::default()
+        });
+        let big = random_dominant(400, 5.0, 54);
+        let small = random_dominant(30, 3.0, 55);
+        let h_big = svc.submit(JobSpec::new(big, JobKind::Factorize)).unwrap();
+        let h_cancel = svc
+            .submit(JobSpec::new(small.clone(), JobKind::Factorize))
+            .unwrap();
+        h_cancel.cancel();
+        let h_late = svc
+            .submit(JobSpec::new(small, JobKind::Factorize).with_deadline_ns(1))
+            .unwrap();
+        assert!(matches!(h_cancel.wait(), Err(GpluError::Cancelled)));
+        assert!(matches!(
+            h_late.wait(),
+            Err(GpluError::DeadlineExceeded { .. })
+        ));
+        h_big.wait().unwrap();
+        let stats = svc.stats();
+        assert_eq!(stats.cancelled, 1);
+        assert_eq!(stats.deadline_dropped, 1);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn traced_service_emits_a_valid_wall_clock_timeline() {
+        let rec = Arc::new(Recorder::new());
+        let svc = SolverService::start_traced(
+            ServiceConfig {
+                workers: 2,
+                ..Default::default()
+            },
+            Arc::clone(&rec),
+        );
+        let a = random_dominant(60, 4.0, 56);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                svc.submit(JobSpec::new(a.clone(), JobKind::Refactorize).hot())
+                    .unwrap()
+            })
+            .collect();
+        for h in handles {
+            h.wait().unwrap();
+        }
+        svc.shutdown();
+        let events = rec.events();
+        let jobs = events.iter().filter(|e| e.name == "service.job").count();
+        assert_eq!(jobs, 8, "4 jobs × B+E");
+        assert!(events.iter().any(|e| e.name == "service.queue_depth"));
+        // The chrome export must be renderable (sorted, balanced).
+        let chrome = gplu_trace::chrome_trace(&events);
+        assert!(chrome.contains("service.job"));
+    }
+
+    #[test]
+    fn worker_races_on_one_pattern_build_one_plan() {
+        let svc = SolverService::start(ServiceConfig {
+            workers: 4,
+            ..Default::default()
+        });
+        let a = random_dominant(100, 4.0, 57);
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                svc.submit(JobSpec::new(a.clone(), JobKind::Refactorize))
+                    .unwrap()
+            })
+            .collect();
+        for h in handles {
+            h.wait().unwrap();
+        }
+        // Several workers may lose the cold-miss race and each build a
+        // plan, but the cache keeps exactly one entry for the pattern.
+        assert_eq!(svc.cache().len(), 1);
+        assert!(svc.cache_counters().insertions >= 1);
+        svc.shutdown();
+    }
+}

@@ -1,0 +1,202 @@
+//! Seeded synthetic workloads for the stress subcommand and the
+//! concurrency suite: a mix of *hot* circuit-transient traffic (few
+//! patterns, drifting values — the paper's refactorization workload) and
+//! *cold* one-off patterns (mesh / banded / random), with optional
+//! per-job fault injection.
+
+use crate::job::{JobKind, JobSpec};
+use gplu_sim::FaultPlan;
+use gplu_sparse::gen::circuit::{circuit, CircuitParams};
+use gplu_sparse::gen::mesh::{mesh, MeshParams};
+use gplu_sparse::gen::random::{banded_dominant, random_dominant};
+use gplu_sparse::Csr;
+
+/// Workload shape.
+#[derive(Debug, Clone)]
+pub struct WorkloadParams {
+    /// Total jobs.
+    pub jobs: usize,
+    /// Distinct hot circuit patterns.
+    pub hot_patterns: usize,
+    /// Fraction of jobs drawn from the hot segment.
+    pub hot_fraction: f64,
+    /// Distinct value versions per hot pattern: the drift cycles, so
+    /// repeats occur and the cached-solve tier gets traffic.
+    pub value_versions: usize,
+    /// Fraction of hot jobs submitted as [`JobKind::Solve`].
+    pub solve_fraction: f64,
+    /// Every `fault_every`-th job carries a seeded [`FaultPlan`]
+    /// (0 disables injection).
+    pub fault_every: usize,
+    /// Matrix dimension of the hot circuit patterns.
+    pub hot_n: usize,
+    /// Matrix dimension scale of the cold patterns.
+    pub cold_n: usize,
+    /// Master seed; the whole job list is a pure function of it.
+    pub seed: u64,
+}
+
+impl Default for WorkloadParams {
+    fn default() -> Self {
+        WorkloadParams {
+            jobs: 500,
+            hot_patterns: 3,
+            hot_fraction: 0.7,
+            value_versions: 8,
+            solve_fraction: 0.15,
+            fault_every: 0,
+            hot_n: 300,
+            cold_n: 200,
+            seed: 1,
+        }
+    }
+}
+
+/// SplitMix64 — the repo-wide convention for deterministic test streams.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Applies deterministic value drift `version` to a base pattern —
+/// same structure, different values.
+fn drift_values(base: &Csr, version: u64) -> Csr {
+    if version == 0 {
+        return base.clone();
+    }
+    let mut m = base.clone();
+    for (k, v) in m.vals.iter_mut().enumerate() {
+        let wob = ((k as u64)
+            .wrapping_mul(0x9e37_79b9)
+            .wrapping_add(version.wrapping_mul(7919))
+            % 97) as f64;
+        *v *= 1.0 + wob / 1000.0;
+    }
+    m
+}
+
+/// Generates the job list. Deterministic in `params` (same seed → same
+/// matrices, same kinds, same fault plans, same order).
+pub fn generate_workload(params: &WorkloadParams) -> Vec<JobSpec> {
+    let mut rng = params.seed ^ 0x5e55_1011_c0de_1234;
+    let hot_bases: Vec<Csr> = (0..params.hot_patterns.max(1))
+        .map(|k| {
+            circuit(&CircuitParams {
+                n: params.hot_n + k * 32,
+                nnz_per_row: 6.0,
+                seed: params.seed.wrapping_mul(1000).wrapping_add(k as u64),
+                ..Default::default()
+            })
+        })
+        .collect();
+
+    let mut jobs = Vec::with_capacity(params.jobs);
+    let mut cold_seq = 0u64;
+    for i in 0..params.jobs {
+        let r = splitmix(&mut rng);
+        let is_hot = (r % 1000) as f64 / 1000.0 < params.hot_fraction;
+        let mut spec = if is_hot {
+            let pattern = (splitmix(&mut rng) as usize) % hot_bases.len();
+            let version = splitmix(&mut rng) % params.value_versions.max(1) as u64;
+            let matrix = drift_values(&hot_bases[pattern], version);
+            let solve = (splitmix(&mut rng) % 1000) as f64 / 1000.0 < params.solve_fraction;
+            let kind = if solve {
+                let n = matrix.n_rows();
+                let x: Vec<f64> = (0..n).map(|j| 1.0 + (j % 7) as f64 / 10.0).collect();
+                JobKind::Solve {
+                    rhs: vec![matrix.spmv(&x)],
+                }
+            } else {
+                JobKind::Refactorize
+            };
+            JobSpec::new(matrix, kind).hot()
+        } else {
+            cold_seq += 1;
+            let s = params.seed.wrapping_mul(77).wrapping_add(cold_seq);
+            let n = params.cold_n + (splitmix(&mut rng) as usize % 64);
+            let matrix = match cold_seq % 3 {
+                0 => mesh(&MeshParams {
+                    nx: (n as f64).sqrt() as usize + 2,
+                    ny: (n as f64).sqrt() as usize + 2,
+                    nz: 1,
+                    dof: 1,
+                    keep: 0.9,
+                    seed: s,
+                }),
+                1 => banded_dominant(n, 4, s),
+                _ => random_dominant(n, 4.0, s),
+            };
+            JobSpec::new(matrix, JobKind::Factorize)
+        };
+        if params.fault_every > 0 && (i + 1) % params.fault_every == 0 {
+            spec = spec.with_fault(FaultPlan::from_seed(
+                params.seed.wrapping_mul(31).wrapping_add(i as u64),
+            ));
+        }
+        jobs.push(spec);
+    }
+    jobs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gplu_core::pattern_fingerprint;
+    use std::collections::HashSet;
+
+    #[test]
+    fn workload_is_deterministic() {
+        let p = WorkloadParams {
+            jobs: 40,
+            ..Default::default()
+        };
+        let a = generate_workload(&p);
+        let b = generate_workload(&p);
+        assert_eq!(a.len(), 40);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.matrix.vals, y.matrix.vals);
+            assert_eq!(x.hot, y.hot);
+            assert_eq!(x.fault.is_some(), y.fault.is_some());
+        }
+    }
+
+    #[test]
+    fn hot_jobs_share_few_patterns_and_cold_jobs_do_not() {
+        let p = WorkloadParams {
+            jobs: 120,
+            hot_patterns: 3,
+            ..Default::default()
+        };
+        let jobs = generate_workload(&p);
+        let hot_fps: HashSet<u64> = jobs
+            .iter()
+            .filter(|j| j.hot)
+            .map(|j| pattern_fingerprint(&j.matrix))
+            .collect();
+        assert_eq!(hot_fps.len(), 3, "hot traffic reuses the base patterns");
+        let cold: Vec<u64> = jobs
+            .iter()
+            .filter(|j| !j.hot)
+            .map(|j| pattern_fingerprint(&j.matrix))
+            .collect();
+        let cold_unique: HashSet<u64> = cold.iter().copied().collect();
+        assert_eq!(cold.len(), cold_unique.len(), "cold patterns are one-offs");
+        let hot_count = jobs.iter().filter(|j| j.hot).count();
+        assert!(hot_count > jobs.len() / 2, "mix must be hot-dominated");
+    }
+
+    #[test]
+    fn fault_injection_marks_every_nth_job() {
+        let p = WorkloadParams {
+            jobs: 30,
+            fault_every: 3,
+            ..Default::default()
+        };
+        let jobs = generate_workload(&p);
+        let faulted = jobs.iter().filter(|j| j.fault.is_some()).count();
+        assert_eq!(faulted, 10);
+    }
+}

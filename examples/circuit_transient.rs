@@ -3,23 +3,20 @@
 //! times as device operating points move).
 //!
 //! The key property this exercises: the symbolic factorization (and the
-//! level schedule) depend only on the *pattern*, so they run **once**;
-//! each timestep then re-runs only the numeric phase on updated values —
-//! which is why accelerating numeric factorization (and keeping the whole
-//! pipeline on the GPU) matters so much for circuit simulation.
+//! level schedule) depend only on the *pattern*, so they run **once** —
+//! captured in a [`RefactorPlan`] — and each timestep re-runs only the
+//! value scatter plus the numeric kernels on the fixed pattern. The trace
+//! proves it: warm steps emit no `phase.symbolic` or `phase.levelize`
+//! spans at all.
 //!
 //! ```sh
 //! cargo run --release --example circuit_transient
 //! ```
 
-use gplu::numeric::factorize_gpu_sparse;
 use gplu::prelude::*;
-use gplu::schedule::{levelize_gpu, DepGraph};
-use gplu::sparse::convert::csr_to_csc;
 use gplu::sparse::gen::circuit::{circuit, CircuitParams};
-use gplu::sparse::triangular::solve_lu;
 use gplu::sparse::verify::check_solution;
-use gplu::symbolic::symbolic_ooc_dynamic;
+use gplu::trace::Recorder;
 
 fn main() {
     // A post-layout circuit-style conductance matrix.
@@ -36,64 +33,69 @@ fn main() {
         a.density()
     );
 
+    // Cold factorization ONCE: preprocess + symbolic + levelize + numeric.
+    let opts = LuOptions::default();
     let gpu = Gpu::new(GpuConfig::v100_symbolic_profile(n, a.nnz()));
-
-    // Pre-process + symbolic + levelize ONCE (pattern-only work).
-    let pre = gplu::core::preprocess(&a, &gplu::core::PreprocessOptions::default(), gpu.cost())
-        .expect("preprocess");
-    let sym = symbolic_ooc_dynamic(&gpu, &pre.matrix).expect("symbolic");
-    let dep = DepGraph::build(&sym.result.filled);
-    let lvl = levelize_gpu(&gpu, &dep).expect("levelize");
-    let setup_time = gpu.now();
+    let cold = LuFactorization::compute(&gpu, &a, &opts).expect("cold factorization");
+    let cold_time = cold.report.total();
     println!(
-        "one-time setup: fill {} (+{}), {} levels — simulated {}",
-        sym.result.fill_nnz(),
-        sym.result.new_fill_ins(&pre.matrix),
-        lvl.levels.n_levels(),
-        setup_time,
+        "cold factorization: fill {} nnz, {} levels — simulated {cold_time}",
+        cold.lu.nnz(),
+        cold.report.n_levels,
     );
+
+    // Capture every pattern-only artifact (permutations, filled pattern,
+    // level schedule, pivot index, value-scatter maps) into the plan.
+    let plan = cold.refactor_plan(&a, &opts).expect("refactor plan");
 
     // Transient loop: the matrix values drift (device conductances change
     // with the operating point), the PATTERN stays fixed, and only the
-    // numeric phase re-runs.
+    // warm path runs: value scatter + numeric kernels.
     let timesteps = 10;
-    let pattern = csr_to_csc(&sym.result.filled);
-    let mut numeric_total = SimTime::ZERO;
+    let mut warm_total = SimTime::ZERO;
     for step in 0..timesteps {
         // Perturb the values on the fixed pattern (keep dominance).
-        let mut current = pattern.clone();
-        let drift = 1.0 + 0.02 * step as f64;
-        for v in current.vals.iter_mut() {
-            *v *= drift;
-        }
-
-        let t0 = gpu.now();
-        let out = factorize_gpu_sparse(&gpu, &current, &lvl.levels).expect("numeric");
-        numeric_total += gpu.now() - t0;
-
-        // Solve for the node voltages at this step.
-        let b: Vec<f64> = (0..n)
-            .map(|i| if i % 97 == 0 { 1e-3 } else { 0.0 })
-            .collect();
-        let b_perm = pre.p_row.permute_vec(&b);
-        let y = solve_lu(&out.lu, &b_perm).expect("solve");
-        let x: Vec<f64> = (0..n).map(|i| y[pre.p_col.apply(i)]).collect();
-
-        // Verify against the drifted matrix in original ordering.
         let mut a_step = a.clone();
+        let drift = 1.0 + 0.02 * step as f64;
         for v in a_step.vals.iter_mut() {
             *v *= drift;
         }
+
+        let rec = Recorder::new();
+        let gpu_step = Gpu::new(GpuConfig::v100_symbolic_profile(n, a.nnz()));
+        let f = plan
+            .refactorize_traced(&gpu_step, &a_step, &rec)
+            .expect("warm refactorization");
+        warm_total += f.report.total();
+
+        // The trace is the proof that warm steps skip the pattern phases.
+        let events = rec.into_events();
+        assert!(
+            !events
+                .iter()
+                .any(|e| e.name == "phase.symbolic" || e.name == "phase.levelize"),
+            "step {step}: a warm step must not re-run symbolic/levelize"
+        );
+
+        // Solve for the node voltages at this step and verify against the
+        // drifted matrix in the original ordering.
+        let b: Vec<f64> = (0..n)
+            .map(|i| if i % 97 == 0 { 1e-3 } else { 0.0 })
+            .collect();
+        let x = f.solve(&b).expect("solve");
         assert!(
             check_solution(&a_step, &x, &b, 1e-8),
             "step {step}: solve check failed"
         );
     }
+    let per_step = warm_total / timesteps as f64;
     println!(
-        "{timesteps} transient steps: numeric-only re-factorization, simulated {} total \
-         ({} per step — vs {} one-time setup)",
-        numeric_total,
-        numeric_total / timesteps as f64,
-        setup_time,
+        "{timesteps} transient steps on the warm path: simulated {warm_total} total \
+         ({per_step} per step — {:.1}x faster than the {cold_time} cold factorization)",
+        cold_time.as_ns() / per_step.as_ns(),
+    );
+    assert!(
+        per_step < cold_time,
+        "warm refactorization must beat the cold pipeline"
     );
 }

@@ -38,16 +38,19 @@ pub use gplu_baseline as baseline;
 pub use gplu_core as core;
 pub use gplu_numeric as numeric;
 pub use gplu_schedule as schedule;
+pub use gplu_server as server;
 pub use gplu_sim as sim;
 pub use gplu_sparse as sparse;
 pub use gplu_symbolic as symbolic;
+pub use gplu_trace as trace;
 
 /// The types most programs need.
 pub mod prelude {
     pub use gplu_core::{
         CheckpointOptions, GpluError, LuFactorization, LuOptions, NumericFormat, PhaseReport,
-        SymbolicEngine,
+        RefactorPlan, SymbolicEngine,
     };
+    pub use gplu_server::{JobKind, JobSpec, ServiceConfig, SolverService};
     pub use gplu_sim::{CostModel, Gpu, GpuConfig, SimTime};
     pub use gplu_sparse::{Csc, Csr, Permutation};
 }

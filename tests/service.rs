@@ -1,0 +1,319 @@
+//! Service equivalence suite: the `gplu-server` solver service must be a
+//! *transparent* accelerator.
+//!
+//! The contract, in order of importance:
+//!
+//! 1. **bit-identity** — whatever tier serves a job (cold, warm
+//!    refactorization, cached factors), the factor values are
+//!    bit-identical to a single-threaded cold [`LuFactorization::compute`]
+//!    of the same `(pattern, values)` pair;
+//! 2. **eviction safety** — an LRU eviction under a starved cache budget
+//!    never corrupts a job in flight (entries are `Arc`-shared);
+//! 3. **typed degradation** — backpressure, deadlines and cancellation
+//!    surface as [`GpluError::QueueFull`] / [`GpluError::DeadlineExceeded`]
+//!    / [`GpluError::Cancelled`], never as panics or hangs;
+//! 4. **accounting** — plan construction happens once per distinct hot
+//!    pattern, and the service report's sections stay self-consistent.
+
+use gplu::prelude::*;
+use gplu::server::{generate_workload, ExecTier, JobHandle, ServiceReport, WorkloadParams};
+use gplu::sparse::gen::circuit::{circuit, CircuitParams};
+use gplu::sparse::gen::random::random_dominant;
+use gplu::sparse::verify::check_solution;
+use gplu::sparse::Csr;
+use gplu::trace::JsonValue;
+
+/// Deterministic value drift on a fixed pattern (the service workload's
+/// perturbation shape).
+fn drift(base: &Csr, version: u64) -> Csr {
+    let mut m = base.clone();
+    for (k, v) in m.vals.iter_mut().enumerate() {
+        let wob = ((k as u64)
+            .wrapping_mul(0x9e37_79b9)
+            .wrapping_add(version.wrapping_mul(7919))
+            % 97) as f64;
+        *v *= 1.0 + wob / 1000.0;
+    }
+    m
+}
+
+/// Single-threaded cold reference for one `(pattern, values)` pair.
+fn cold_reference(a: &Csr) -> LuFactorization {
+    let gpu = Gpu::new(GpuConfig::v100_symbolic_profile(a.n_rows(), a.nnz()));
+    LuFactorization::compute(&gpu, a, &LuOptions::default()).expect("cold reference")
+}
+
+#[test]
+fn every_tier_is_bit_identical_to_a_cold_factorization() {
+    // 3 hot patterns x 4 value versions, with version 0 submitted twice so
+    // the duplicate lands on the cached-factors tier.
+    let patterns: Vec<Csr> = (0..3u64)
+        .map(|s| {
+            circuit(&CircuitParams {
+                n: 250,
+                nnz_per_row: 6.0,
+                seed: 40 + s,
+                ..Default::default()
+            })
+        })
+        .collect();
+
+    let svc = SolverService::start(ServiceConfig::default());
+    // Prime each pattern with a completed cold job first: concurrent
+    // same-pattern cold misses each build a plan (first insert wins, the
+    // rest are discarded), which is safe but makes `plans_built`
+    // nondeterministic. After priming, every later job must hit.
+    let mut tiers = Vec::new();
+    let mut handles: Vec<(usize, u64, JobHandle)> = Vec::new();
+    for (pi, base) in patterns.iter().enumerate() {
+        let h = svc
+            .submit(JobSpec::new(drift(base, 0), JobKind::Factorize).hot())
+            .expect("submit");
+        handles.push((pi, 0, h));
+    }
+    for (pi, version, h) in handles.drain(..) {
+        let r = h.wait().expect("priming job completes");
+        let reference = cold_reference(&drift(&patterns[pi], version));
+        assert_eq!(reference.lu.vals, r.factorization.lu.vals);
+        tiers.push(r.tier);
+    }
+    for (pi, base) in patterns.iter().enumerate() {
+        for version in [1u64, 2, 3, 0] {
+            let a = drift(base, version);
+            let h = svc
+                .submit(JobSpec::new(a, JobKind::Factorize).hot())
+                .expect("submit");
+            handles.push((pi, version, h));
+        }
+    }
+
+    for (pi, version, h) in handles {
+        let r = h.wait().expect("job completes");
+        let reference = cold_reference(&drift(&patterns[pi], version));
+        assert_eq!(
+            reference.lu.vals, r.factorization.lu.vals,
+            "pattern {pi} v{version} served {:?}: factors must be bit-identical \
+             to the single-threaded cold pipeline",
+            r.tier
+        );
+        tiers.push(r.tier);
+    }
+
+    // The mix must actually exercise the cache, not just pass trivially.
+    assert!(tiers.contains(&ExecTier::Warm), "no warm job ran");
+    assert!(
+        tiers.contains(&ExecTier::CachedSolve),
+        "duplicate submissions must be served from cached factors"
+    );
+    let stats = svc.stats();
+    assert_eq!(
+        stats.plans_built,
+        patterns.len() as u64,
+        "exactly one plan per distinct pattern"
+    );
+    svc.shutdown();
+}
+
+#[test]
+fn eviction_under_a_starved_budget_never_corrupts_results() {
+    // Budget fits roughly one entry, so the 4 interleaved patterns evict
+    // each other constantly while their jobs are still in flight.
+    let patterns: Vec<Csr> = (0..4u64)
+        .map(|s| random_dominant(200, 4.0, 50 + s))
+        .collect();
+    let plan_bytes = {
+        let f = cold_reference(&patterns[0]);
+        f.refactor_plan(&patterns[0], &LuOptions::default())
+            .expect("plan")
+            .approx_bytes()
+    };
+    let svc = SolverService::start(ServiceConfig {
+        workers: 4,
+        queue_cap: 64,
+        cache_budget_bytes: plan_bytes + plan_bytes / 2,
+    });
+
+    let mut handles = Vec::new();
+    for round in 0..3u64 {
+        for (pi, base) in patterns.iter().enumerate() {
+            let a = drift(base, round);
+            let h = svc
+                .submit(JobSpec::new(a, JobKind::Factorize).hot())
+                .expect("submit");
+            handles.push((pi, round, h));
+        }
+    }
+    for (pi, round, h) in handles {
+        let r = h.wait().expect("job completes despite evictions");
+        let reference = cold_reference(&drift(&patterns[pi], round));
+        assert_eq!(
+            reference.lu.vals, r.factorization.lu.vals,
+            "pattern {pi} round {round}: eviction must never corrupt a result"
+        );
+    }
+    let counters = svc.cache_counters();
+    assert!(
+        counters.evictions > 0,
+        "budget was sized to force evictions, got none (insertions {})",
+        counters.insertions
+    );
+    assert!(
+        svc.cache().used_bytes() <= svc.cache_budget(),
+        "cache must stay within budget"
+    );
+    svc.shutdown();
+}
+
+#[test]
+fn backpressure_deadlines_and_cancellation_are_typed() {
+    // One worker, one queue slot: the first (slow) job occupies the
+    // worker, the second fills the queue, the third must bounce.
+    let svc = SolverService::start(ServiceConfig {
+        workers: 1,
+        queue_cap: 1,
+        cache_budget_bytes: 16 << 20,
+    });
+    let slow = random_dominant(700, 6.0, 60);
+    let running = svc
+        .submit(JobSpec::new(slow.clone(), JobKind::Factorize))
+        .expect("first job");
+
+    let small = random_dominant(60, 3.0, 61);
+    let mut queued = None;
+    let mut saw_queue_full = false;
+    for _ in 0..200 {
+        match svc.submit(JobSpec::new(small.clone(), JobKind::Factorize)) {
+            Ok(h) if queued.is_none() => queued = Some(h),
+            Ok(h) => {
+                // The worker drained the queue mid-test; keep the newest
+                // handle so shutdown stays clean, and keep probing.
+                let _ = queued.replace(h).map(|old| old.wait());
+            }
+            Err(GpluError::QueueFull { depth, cap }) => {
+                assert_eq!(cap, 1);
+                assert!(depth >= 1);
+                saw_queue_full = true;
+                break;
+            }
+            Err(e) => panic!("unexpected submit error: {e}"),
+        }
+    }
+    assert!(saw_queue_full, "a 1-slot queue must reject under load");
+
+    // A zero deadline has always expired by the time a worker dequeues.
+    let dead = svc.submit(JobSpec::new(small.clone(), JobKind::Factorize).with_deadline_ns(0));
+    if let Ok(h) = dead {
+        match h.wait() {
+            Err(GpluError::DeadlineExceeded { .. }) => {}
+            other => panic!("zero-deadline job must be dropped, got {other:?}"),
+        }
+    }
+
+    let _ = running.wait();
+    if let Some(h) = queued {
+        let _ = h.wait();
+    }
+
+    // Cancellation: occupy the worker again, cancel a queued job.
+    let running = svc
+        .submit(JobSpec::new(slow, JobKind::Factorize))
+        .expect("slow job");
+    if let Ok(victim) = svc.submit(JobSpec::new(small, JobKind::Factorize)) {
+        victim.cancel();
+        match victim.wait() {
+            Err(GpluError::Cancelled) => {}
+            // Lost the race: the worker started it before the flag landed.
+            Ok(_) => {}
+            Err(e) => panic!("cancelled job must not fail with {e}"),
+        }
+    }
+    let _ = running.wait();
+
+    let stats = svc.stats();
+    assert!(stats.rejected > 0, "rejections must be counted");
+    svc.shutdown();
+}
+
+#[test]
+fn solve_jobs_return_checked_solutions_from_every_tier() {
+    let base = circuit(&CircuitParams {
+        n: 220,
+        nnz_per_row: 6.0,
+        seed: 70,
+        ..Default::default()
+    });
+    let svc = SolverService::start(ServiceConfig::default());
+    // Same pattern three times: cold, warm, cached.
+    for version in [0u64, 1, 1] {
+        let a = drift(&base, version);
+        let rhs: Vec<Vec<f64>> = (0..3)
+            .map(|r| a.spmv(&vec![1.0 + r as f64; a.n_rows()]))
+            .collect();
+        let h = svc
+            .submit(JobSpec::new(a.clone(), JobKind::Solve { rhs: rhs.clone() }).hot())
+            .expect("submit");
+        let r = h.wait().expect("solve job");
+        let xs = r.solutions.expect("solve jobs return solutions");
+        assert_eq!(xs.len(), rhs.len());
+        for (x, b) in xs.iter().zip(&rhs) {
+            assert!(
+                check_solution(&a, x, b, 1e-8),
+                "tier {:?} solution must satisfy the submitted system",
+                r.tier
+            );
+        }
+    }
+    let stats = svc.stats();
+    assert_eq!(stats.completed, 3);
+    assert!(stats.cached_solve >= 1, "the duplicate values must hit");
+    svc.shutdown();
+}
+
+#[test]
+fn stress_workload_sustains_the_hit_rate_and_a_consistent_report() {
+    let specs = generate_workload(&WorkloadParams {
+        jobs: 60,
+        hot_patterns: 4,
+        hot_fraction: 0.8,
+        value_versions: 5,
+        solve_fraction: 0.3,
+        fault_every: 0,
+        hot_n: 150,
+        cold_n: 100,
+        seed: 99,
+    });
+    let svc = SolverService::start(ServiceConfig::default());
+    let handles: Vec<JobHandle> = specs
+        .into_iter()
+        .map(|s| svc.submit(s).expect("cap 64 fits the drained queue"))
+        .collect();
+    for h in handles {
+        h.wait().expect("fault-free workload must complete");
+    }
+
+    let report = ServiceReport::capture(&svc);
+    let stats = &report.stats;
+    assert_eq!(stats.completed, 60);
+    assert_eq!(
+        stats.cold + stats.warm + stats.cached_solve,
+        stats.completed
+    );
+    assert!(
+        stats.hot_hit_rate() >= 0.8,
+        "hot traffic must mostly hit the cache, got {:.3}",
+        stats.hot_hit_rate()
+    );
+
+    // The exported JSON must carry every section telemetry_check expects.
+    let doc = report.to_json();
+    for section in ["jobs", "cache", "latency", "queue", "faults"] {
+        assert!(doc.get(section).is_some(), "report must have {section}");
+    }
+    assert_eq!(
+        doc.get("jobs")
+            .and_then(|j| j.get("completed"))
+            .and_then(JsonValue::as_u64),
+        Some(60)
+    );
+    svc.shutdown();
+}
