@@ -32,7 +32,7 @@ fn check_report(doc: &JsonValue) -> Result<String, String> {
         .get("schema_version")
         .and_then(JsonValue::as_u64)
         .ok_or("report: schema_version missing")?;
-    if version != 1 {
+    if !(1..=2).contains(&version) {
         return Err(format!("report: unknown schema_version {version}"));
     }
 
@@ -60,11 +60,39 @@ fn check_report(doc: &JsonValue) -> Result<String, String> {
     if levels.is_empty() {
         return Err("report: no per-level records".into());
     }
+    let mut gemm_tile_sum = 0.0f64;
     for (i, l) in levels.iter().enumerate() {
         for key in ["level", "width", "duration_ns"] {
             if l.get(key).and_then(JsonValue::as_f64).is_none() {
                 return Err(format!("report: levels[{i}].{key} missing"));
             }
+        }
+        // Schema v2 blocked-engine counters are optional per level, but when
+        // present they must be coherent: a level reporting blocks must carry
+        // a mean width of at least one column.
+        if let Some(blocks) = l.get("blocks").and_then(JsonValue::as_f64) {
+            let mean = l.get("mean_block_width").and_then(JsonValue::as_f64);
+            if blocks > 0.0 && mean.is_none_or(|w| w < 1.0) {
+                return Err(format!(
+                    "report: levels[{i}] reports {blocks} blocks but mean_block_width {mean:?}"
+                ));
+            }
+        }
+        gemm_tile_sum += l
+            .get("gemm_tiles")
+            .and_then(JsonValue::as_f64)
+            .unwrap_or(0.0);
+    }
+    if version >= 2 {
+        let total_tiles = doc
+            .get("numeric")
+            .and_then(|n| n.get("gemm_tiles"))
+            .and_then(JsonValue::as_f64)
+            .ok_or("report: numeric.gemm_tiles missing (schema v2)")?;
+        if gemm_tile_sum > total_tiles {
+            return Err(format!(
+                "report: per-level gemm_tiles sum {gemm_tile_sum} exceeds numeric total {total_tiles}"
+            ));
         }
     }
 

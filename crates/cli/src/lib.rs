@@ -35,10 +35,17 @@ options:
   --ordering amd|rcm|natural    fill-reducing ordering (default amd)
   --engine ooc|dynamic|um|um-prefetch
                                 symbolic engine (default dynamic)
-  --format auto|dense|sparse|merge
+  --format auto|dense|sparse|merge|blocked
                                 numeric format (default auto: dense until the
                                 paper's switch criterion fires, then merge-join
-                                CSC; 'sparse' forces binary-search CSC)
+                                CSC — or supernode-blocked CSC when the fill
+                                density crosses the BLAS-3 crossover; 'sparse'
+                                forces binary-search CSC, 'blocked' forces the
+                                supernode-blocked kernel)
+  --block-threshold <sim>       minimum adjacent-column pattern similarity
+                                (Jaccard, 0..1) for the supernode blocking
+                                pass to chain two columns (default 0.6; used
+                                by --format blocked and the auto crossover)
   --mem <MiB>                   device memory (default: out-of-core profile)
   --repair-singular             patch pivots that cancel to zero with the
                                 repair value and retry the numeric phase once
@@ -83,6 +90,11 @@ seeded synthetic workload against it and reports what happened):
   --fault-plan <spec>           use this plan (same grammar as factorize)
                                 for the faulted jobs instead of seeded
                                 ones; implies --fault-every 7 when unset
+  --format auto|dense|sparse|merge|blocked
+                                numeric format forced onto every generated
+                                job (default auto)
+  --block-threshold <sim>       blocking-pass similarity threshold applied
+                                to every generated job (0..1, default 0.6)
   --service-report <path>       write the versioned service-report JSON
                                 (validated by telemetry_check --service)
   --trace-out <path>            write the wall-clock Chrome trace of the
@@ -167,6 +179,18 @@ impl RunOptions {
     }
 }
 
+fn parse_block_threshold(v: String) -> Result<f64, CliError> {
+    let sim: f64 = v
+        .parse()
+        .map_err(|_| CliError::Usage("--block-threshold takes a number in 0..1".into()))?;
+    if !(0.0..=1.0).contains(&sim) {
+        return Err(CliError::Usage(
+            "--block-threshold takes a number in 0..1".into(),
+        ));
+    }
+    Ok(sim)
+}
+
 /// Parses the option flags shared by `factorize` and `solve`.
 pub fn parse_options(args: &[String]) -> Result<RunOptions, CliError> {
     let mut opts = RunOptions {
@@ -216,8 +240,12 @@ pub fn parse_options(args: &[String]) -> Result<RunOptions, CliError> {
                     "dense" => NumericFormat::Dense,
                     "sparse" => NumericFormat::Sparse,
                     "merge" => NumericFormat::SparseMerge,
+                    "blocked" => NumericFormat::SparseBlocked,
                     other => return Err(CliError::Usage(format!("unknown format '{other}'"))),
                 };
+            }
+            "--block-threshold" => {
+                opts.lu.block_threshold = parse_block_threshold(value("--block-threshold")?)?;
             }
             "--mem" => {
                 let mib: u64 = value("--mem")?
@@ -294,6 +322,11 @@ pub struct ServeOptions {
     pub service: ServiceConfig,
     /// Replaces the seeded per-job fault plans with this one.
     pub fault_plan: Option<FaultPlan>,
+    /// Numeric format forced onto every generated job (`--format`).
+    pub format: Option<NumericFormat>,
+    /// Blocking-pass similarity threshold applied to every generated job
+    /// (`--block-threshold`).
+    pub block_threshold: Option<f64>,
     /// Write the service-report JSON here.
     pub service_report: Option<String>,
     /// Write the wall-clock Chrome trace here.
@@ -309,6 +342,8 @@ pub fn parse_serve_options(args: &[String]) -> Result<ServeOptions, CliError> {
         workload: WorkloadParams::default(),
         service: ServiceConfig::default(),
         fault_plan: None,
+        format: None,
+        block_threshold: None,
         service_report: None,
         trace_out: None,
         min_hot_hit_rate: None,
@@ -353,6 +388,19 @@ pub fn parse_serve_options(args: &[String]) -> Result<ServeOptions, CliError> {
                         .map_err(|e| CliError::Usage(format!("--fault-plan: {e}")))?,
                 );
             }
+            "--format" => {
+                o.format = Some(match value("--format")?.as_str() {
+                    "auto" => NumericFormat::Auto,
+                    "dense" => NumericFormat::Dense,
+                    "sparse" => NumericFormat::Sparse,
+                    "merge" => NumericFormat::SparseMerge,
+                    "blocked" => NumericFormat::SparseBlocked,
+                    other => return Err(CliError::Usage(format!("unknown format '{other}'"))),
+                });
+            }
+            "--block-threshold" => {
+                o.block_threshold = Some(parse_block_threshold(value("--block-threshold")?)?);
+            }
             "--service-report" => o.service_report = Some(value("--service-report")?),
             "--trace-out" => o.trace_out = Some(value("--trace-out")?),
             "--min-hot-hit-rate" => {
@@ -389,6 +437,16 @@ fn run_serve(o: &ServeOptions, out: &mut dyn Write) -> Result<(), CliError> {
     if let Some(plan) = &o.fault_plan {
         for j in jobs.iter_mut().filter(|j| j.fault.is_some()) {
             j.fault = Some(plan.clone());
+        }
+    }
+    if let Some(format) = o.format {
+        for j in &mut jobs {
+            j.opts.format = format;
+        }
+    }
+    if let Some(sim) = o.block_threshold {
+        for j in &mut jobs {
+            j.opts.block_threshold = sim;
         }
     }
     writeln!(
@@ -617,6 +675,12 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
                     "sorted-CSC format, {} binary-search probes",
                     f.report.probes
                 )?;
+            } else if f.report.gemm_tiles > 0 {
+                writeln!(
+                    out,
+                    "sorted-CSC format, supernode-blocked access, {} gemm tiles, {} merge steps",
+                    f.report.gemm_tiles, f.report.merge_steps
+                )?;
             } else {
                 writeln!(
                     out,
@@ -802,6 +866,36 @@ mod tests {
     }
 
     #[test]
+    fn blocked_format_flag_parses_and_reports() {
+        let o = parse_options(&["--format", "blocked"].map(String::from)).expect("parses");
+        assert_eq!(o.lu.format, NumericFormat::SparseBlocked);
+        assert_eq!(o.lu.block_threshold, 0.6);
+
+        // Planar fill is dense enough for the blocking pass to find
+        // supernodes, so the forced-blocked run reports its BLAS-3 tiles.
+        let path = tmp("blocked.mtx");
+        run_str(&["gen", "planar", "900", "5", &path]).expect("gen");
+        let out = run_str(&["factorize", &path, "--format", "blocked"]).expect("factorize");
+        assert!(out.contains("supernode-blocked access"), "got: {out}");
+        assert!(out.contains("gemm tiles"), "got: {out}");
+    }
+
+    #[test]
+    fn block_threshold_flag_parses_and_validates() {
+        let o = parse_options(&["--block-threshold", "0.45"].map(String::from)).expect("parses");
+        assert_eq!(o.lu.block_threshold, 0.45);
+        for bad in ["1.5", "-0.1", "wat"] {
+            assert!(
+                matches!(
+                    parse_options(&["--block-threshold".into(), bad.into()]),
+                    Err(CliError::Usage(_))
+                ),
+                "'{bad}' must be rejected"
+            );
+        }
+    }
+
+    #[test]
     fn fault_plan_flag_parses_and_reports_recovery() {
         let o = parse_options(&["--fault-plan", "oom:alloc=3,seed:0"].map(String::from))
             .expect("parses");
@@ -865,7 +959,7 @@ mod tests {
             .expect("report parses");
         assert_eq!(
             report.get("schema_version").and_then(JsonValue::as_u64),
-            Some(1)
+            Some(2)
         );
         let levels = report
             .get("levels")
@@ -1049,6 +1143,20 @@ mod tests {
             .expect("parses");
         assert!(o.fault_plan.is_some());
         assert_eq!(o.workload.fault_every, 7);
+
+        let o = parse_serve_options(
+            &[
+                "--stress",
+                "--format",
+                "blocked",
+                "--block-threshold",
+                "0.7",
+            ]
+            .map(String::from),
+        )
+        .expect("parses");
+        assert_eq!(o.format, Some(NumericFormat::SparseBlocked));
+        assert_eq!(o.block_threshold, Some(0.7));
     }
 
     #[test]

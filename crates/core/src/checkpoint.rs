@@ -174,6 +174,7 @@ pub(crate) fn format_tag(f: NumericFormat) -> u8 {
         NumericFormat::Dense => 0,
         NumericFormat::Sparse => 1,
         NumericFormat::SparseMerge => 2,
+        NumericFormat::SparseBlocked => 3,
         NumericFormat::Auto => 255,
     }
 }
@@ -449,6 +450,7 @@ fn encode_numeric(format: u8, r: &NumericResume) -> Vec<u8> {
     e.u64(r.probes);
     e.u64(r.merge_steps);
     e.u64(r.batches);
+    e.u64(r.gemm_tiles);
     e.into_bytes()
 }
 
@@ -463,6 +465,7 @@ fn decode_numeric(b: &[u8]) -> Result<(u8, NumericResume), GpluError> {
     let probes = d.u64("num.probes").map_err(corrupt_ck)?;
     let merge_steps = d.u64("num.merge_steps").map_err(corrupt_ck)?;
     let batches = d.u64("num.batches").map_err(corrupt_ck)?;
+    let gemm_tiles = d.u64("num.gemm_tiles").map_err(corrupt_ck)?;
     expect_drained(&d, "NUMERIC")?;
     Ok((
         format,
@@ -473,6 +476,7 @@ fn decode_numeric(b: &[u8]) -> Result<(u8, NumericResume), GpluError> {
             probes,
             merge_steps,
             batches,
+            gemm_tiles,
         },
     ))
 }
@@ -1024,13 +1028,17 @@ mod tests {
             probes: 7,
             merge_steps: 11,
             batches: 4,
+            gemm_tiles: 13,
         };
         let (tag, q) = decode_numeric(&encode_numeric(2, &r)).unwrap();
         assert_eq!(tag, 2);
         assert_eq!(q.start_level, 3);
         assert_eq!(q.vals, r.vals);
         assert_eq!(q.mode_mix, r.mode_mix);
-        assert_eq!((q.probes, q.merge_steps, q.batches), (7, 11, 4));
+        assert_eq!(
+            (q.probes, q.merge_steps, q.batches, q.gemm_tiles),
+            (7, 11, 4, 13)
+        );
 
         let lo = vec![0u32, 1, 0, 2];
         assert_eq!(decode_levels(&encode_levels(&lo)).unwrap(), lo);

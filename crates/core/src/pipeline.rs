@@ -14,8 +14,9 @@ use crate::preprocess::{preprocess, PreprocessOptions, PreprocessOutcome};
 use crate::recovery::{Phase, RecoveryAction, RecoveryLog};
 use crate::report::PhaseReport;
 use gplu_numeric::{
-    factorize_gpu_dense_run, factorize_gpu_merge_run, factorize_gpu_sparse_run, LevelHook,
-    LevelProgress, NumericError, NumericResume,
+    factorize_gpu_blocked_run, factorize_gpu_dense_run, factorize_gpu_merge_run,
+    factorize_gpu_sparse_run, BlockPlan, LevelHook, LevelProgress, NumericError, NumericResume,
+    PivotCache, DEFAULT_BLOCK_THRESHOLD,
 };
 use gplu_schedule::{levelize_gpu_traced, DepGraph, Levels};
 use gplu_sim::{Gpu, SimError, SimTime};
@@ -47,11 +48,16 @@ pub enum SymbolicEngine {
 /// Numeric-format selection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum NumericFormat {
-    /// The paper's criterion decides *when* to leave the dense format
-    /// (`n > L/(TB_max · sizeof(dtype))`); when it fires, the pipeline
-    /// runs the merge-join CSC kernel — the streaming refinement of
-    /// Algorithm 6 (use [`NumericFormat::Sparse`] to force the paper's
-    /// binary-search access verbatim).
+    /// Two chained criteria decide the format. The paper's switch
+    /// criterion decides *when* to leave the dense format
+    /// (`n > L/(TB_max · sizeof(dtype))`); once it fires, the cost
+    /// model's BLAS-3 crossover ([`gplu_sim::CostModel::blocked_crossover`])
+    /// decides *which* CSC kernel runs: when the filled pattern is dense
+    /// enough (fill density and mean supernode width both above the
+    /// crossover), the supernode-blocked kernel; otherwise the plain
+    /// merge-join kernel — the streaming refinement of Algorithm 6 (use
+    /// [`NumericFormat::Sparse`] to force the paper's binary-search
+    /// access verbatim).
     #[default]
     Auto,
     /// Force the dense-column format (the GLU 3.0 discipline).
@@ -60,10 +66,15 @@ pub enum NumericFormat {
     Sparse,
     /// Force the sorted-CSC merge-join format (`O(nnz)` access).
     SparseMerge,
+    /// Force the supernode-blocked merge format: adjacent columns with
+    /// near-identical filled patterns are grouped into irregular blocks
+    /// whose updates are priced as tiled BLAS-3 traffic. Degrades to
+    /// [`NumericFormat::SparseMerge`] on device failure.
+    SparseBlocked,
 }
 
 /// End-to-end pipeline options.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct LuOptions {
     /// Pre-processing configuration.
     pub preprocess: PreprocessOptions,
@@ -71,6 +82,22 @@ pub struct LuOptions {
     pub symbolic: SymbolicEngine,
     /// Numeric format.
     pub format: NumericFormat,
+    /// Minimum adjacent-column pattern similarity (Jaccard, in `[0, 1]`)
+    /// for the supernode blocking pass to chain two columns into one
+    /// block. Used by [`NumericFormat::SparseBlocked`] and the
+    /// [`NumericFormat::Auto`] crossover probe.
+    pub block_threshold: f64,
+}
+
+impl Default for LuOptions {
+    fn default() -> Self {
+        LuOptions {
+            preprocess: PreprocessOptions::default(),
+            symbolic: SymbolicEngine::default(),
+            format: NumericFormat::default(),
+            block_threshold: DEFAULT_BLOCK_THRESHOLD,
+        }
+    }
 }
 
 impl LuOptions {
@@ -135,7 +162,39 @@ pub(crate) fn format_name(format: NumericFormat) -> &'static str {
         NumericFormat::Dense => "Dense",
         NumericFormat::Sparse => "Sparse",
         NumericFormat::SparseMerge => "SparseMerge",
+        NumericFormat::SparseBlocked => "SparseBlocked",
     }
+}
+
+/// Runs the supernode blocking pass over the filled pattern: one
+/// structural sweep comparing adjacent columns' sub-diagonal row sets
+/// (host-side, like levelization's dependency-graph build), traced as its
+/// own `phase.block_detect` span so warm paths can prove they skipped it.
+fn detect_block_plan(gpu: &Gpu, pattern: &Csc, threshold: f64, trace: &dyn TraceSink) -> BlockPlan {
+    trace.span_begin(
+        "phase.block_detect",
+        "phase",
+        gpu.now().as_ns(),
+        &[("threshold", threshold.into())],
+    );
+    let cache = PivotCache::build(pattern);
+    let plan = BlockPlan::detect(pattern, &cache, threshold);
+    // The pivot-cache build and the similarity walk each touch every
+    // stored row index once.
+    gpu.advance(SimTime::from_ns(gpu.cost().cpu_parallel_ns(
+        2 * pattern.nnz() as u64 + pattern.n_cols() as u64,
+    )));
+    trace.span_end(
+        "phase.block_detect",
+        "phase",
+        gpu.now().as_ns(),
+        &[
+            ("blocks", (plan.n_blocks() as u64).into()),
+            ("blocked_cols", (plan.blocked_cols() as u64).into()),
+            ("mean_block_width", plan.mean_width().into()),
+        ],
+    );
+    plan
 }
 
 /// Emits a `recovery` instant alongside a [`RecoveryLog::record`] call.
@@ -539,13 +598,28 @@ impl LuFactorization {
         // completed-level watermark and value store on the format that
         // cut it.
         let mut pattern = csr_to_csc(&symbolic.filled);
-        // Auto follows the paper's *switch* criterion but lands on the
-        // merge-join kernel — same CSC residency, strictly less location
-        // work than binary search.
+        // Auto follows the paper's *switch* criterion to CSC residency,
+        // then the cost model's BLAS-3 crossover picks between the plain
+        // merge-join kernel and the supernode-blocked variant: blocking
+        // only pays when the filled pattern is dense enough that adjacent
+        // columns share their row sets (mesh/Delaunay-class fill), so the
+        // crossover gates on measured fill density and the detected mean
+        // supernode width.
+        let mut block_plan: Option<BlockPlan> = None;
         let format_ladder: &[NumericFormat] = match opts.format {
             NumericFormat::Auto => {
                 if gpu.config().should_use_sparse_format(matrix.n_rows()) {
-                    &[NumericFormat::SparseMerge]
+                    let plan = detect_block_plan(gpu, &pattern, opts.block_threshold, trace);
+                    let fill_density = pattern.nnz() as f64 / pattern.n_cols().max(1) as f64;
+                    if gpu
+                        .cost()
+                        .blocked_crossover(fill_density, plan.mean_width())
+                    {
+                        block_plan = Some(plan);
+                        &[NumericFormat::SparseBlocked, NumericFormat::SparseMerge]
+                    } else {
+                        &[NumericFormat::SparseMerge]
+                    }
                 } else {
                     &[NumericFormat::Dense, NumericFormat::SparseMerge]
                 }
@@ -553,6 +627,15 @@ impl LuFactorization {
             NumericFormat::Dense => &[NumericFormat::Dense, NumericFormat::SparseMerge],
             NumericFormat::Sparse => &[NumericFormat::Sparse],
             NumericFormat::SparseMerge => &[NumericFormat::SparseMerge],
+            NumericFormat::SparseBlocked => {
+                block_plan = Some(detect_block_plan(
+                    gpu,
+                    &pattern,
+                    opts.block_threshold,
+                    trace,
+                ));
+                &[NumericFormat::SparseBlocked, NumericFormat::SparseMerge]
+            }
         };
         let num_before = gpu.stats();
         trace.span_begin(
@@ -598,6 +681,7 @@ impl LuFactorization {
                                 probes: p.probes,
                                 merge_steps: p.merge_steps,
                                 batches: p.batches,
+                                gemm_tiles: p.gemm_tiles,
                             };
                             let payload =
                                 CheckpointSession::numeric_partial_payload(format, &state);
@@ -616,6 +700,15 @@ impl LuFactorization {
                         &pattern,
                         &levels,
                         None,
+                        trace,
+                        rung_resume,
+                        hook,
+                    ),
+                    NumericFormat::SparseBlocked => factorize_gpu_blocked_run(
+                        gpu,
+                        &pattern,
+                        &levels,
+                        block_plan.as_ref().expect("blocked rung carries a plan"),
                         trace,
                         rung_resume,
                         hook,
@@ -682,6 +775,7 @@ impl LuFactorization {
         report.m_limit = numeric.m_limit;
         report.probes = numeric.probes;
         report.merge_steps = numeric.merge_steps;
+        report.gemm_tiles = numeric.gemm_tiles;
         trace.span_end(
             "phase.numeric",
             "phase",

@@ -27,8 +27,9 @@ use crate::pipeline::{
 use crate::recovery::{Phase, RecoveryAction, RecoveryLog};
 use crate::report::PhaseReport;
 use gplu_numeric::{
-    factorize_gpu_dense_run_cached, factorize_gpu_merge_run_cached,
-    factorize_gpu_sparse_run_cached, NumericError, PivotCache,
+    factorize_gpu_blocked_run_cached, factorize_gpu_dense_run_cached,
+    factorize_gpu_merge_run_cached, factorize_gpu_sparse_run_cached, BlockPlan, NumericError,
+    PivotCache,
 };
 use gplu_schedule::Levels;
 use gplu_sim::{Gpu, SimError, SimTime};
@@ -64,6 +65,11 @@ pub struct RefactorPlan {
     /// `pre.vals` position → position in `lu_pattern.vals` (the filled
     /// pattern is a superset; fill-in slots start at 0.0).
     pre_to_csc: Vec<usize>,
+    /// Supernode blocking plan, captured when the plan's format is
+    /// [`NumericFormat::SparseBlocked`] — warm refactorizations replay it
+    /// without re-scanning the pattern (the blocking pass is
+    /// pattern-only, exactly like the pivot cache).
+    block_plan: Option<BlockPlan>,
     format: NumericFormat,
     repair_value: f64,
     repair_singular: bool,
@@ -102,6 +108,7 @@ impl RefactorPlan {
             + n * 8
             + n * 16
             + (self.scatter_pre.len() as u64 + n + pre_nnz) * 8
+            + self.block_plan.as_ref().map_or(0, BlockPlan::approx_bytes)
     }
 
     /// Factorizes `a` — same pattern, new values — reusing every
@@ -185,6 +192,9 @@ impl RefactorPlan {
             NumericFormat::Dense => &[NumericFormat::Dense, NumericFormat::SparseMerge],
             NumericFormat::Sparse => &[NumericFormat::Sparse],
             NumericFormat::SparseMerge => &[NumericFormat::SparseMerge],
+            NumericFormat::SparseBlocked => {
+                &[NumericFormat::SparseBlocked, NumericFormat::SparseMerge]
+            }
         };
         let num_before = gpu.stats();
         trace.span_begin(
@@ -226,6 +236,18 @@ impl RefactorPlan {
                         &pattern,
                         &self.levels,
                         None,
+                        trace,
+                        None,
+                        None,
+                        Some(&self.pivot),
+                    ),
+                    NumericFormat::SparseBlocked => factorize_gpu_blocked_run_cached(
+                        gpu,
+                        &pattern,
+                        &self.levels,
+                        self.block_plan
+                            .as_ref()
+                            .expect("SparseBlocked plan captures its blocking pass"),
                         trace,
                         None,
                         None,
@@ -278,6 +300,7 @@ impl RefactorPlan {
         report.m_limit = numeric.m_limit;
         report.probes = numeric.probes;
         report.merge_steps = numeric.merge_steps;
+        report.gemm_tiles = numeric.gemm_tiles;
         trace.span_end(
             "phase.numeric",
             "phase",
@@ -369,6 +392,11 @@ impl LuFactorization {
             }
         }
 
+        let pivot = PivotCache::build(&self.lu);
+        // The blocking pass is pattern-only, so a forced-blocked plan
+        // captures it here once; every warm refactorization replays it.
+        let block_plan = (opts.format == NumericFormat::SparseBlocked)
+            .then(|| BlockPlan::detect(&self.lu, &pivot, opts.block_threshold));
         Ok(RefactorPlan {
             pattern_fp: pattern_fingerprint(a),
             p_row: self.p_row.clone(),
@@ -376,10 +404,11 @@ impl LuFactorization {
             pre: self.preprocessed.clone(),
             lu_pattern: self.lu.clone(),
             levels: self.levels.clone(),
-            pivot: PivotCache::build(&self.lu),
+            pivot,
             scatter_pre,
             pre_diag,
             pre_to_csc,
+            block_plan,
             format: opts.format,
             repair_value: opts.preprocess.repair_value,
             repair_singular: opts.preprocess.repair_singular,

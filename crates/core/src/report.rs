@@ -52,6 +52,8 @@ pub struct PhaseReport {
     pub probes: u64,
     /// Merge-join destination-cursor advances, when the merge engine ran.
     pub merge_steps: u64,
+    /// BLAS-3 update tiles, when the supernode-blocked engine ran.
+    pub gemm_tiles: u64,
     /// Diagonal entries repaired during pre-processing.
     pub repaired_diagonals: usize,
     /// Per-phase GPU statistics deltas (snapshot differences taken at the
@@ -102,6 +104,9 @@ impl PhaseReport {
         }
         if self.merge_steps > 0 {
             s.push_str(&format!(" | merge {}", self.merge_steps));
+        }
+        if self.gemm_tiles > 0 {
+            s.push_str(&format!(" | gemm tiles {}", self.gemm_tiles));
         }
         if !self.recovery.is_empty() {
             s.push_str(&format!(" | recovery: {}", self.recovery.summary()));

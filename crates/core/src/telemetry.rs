@@ -7,7 +7,7 @@
 //!
 //! ```text
 //! {
-//!   "schema_version": 1,
+//!   "schema_version": 2,
 //!   "matrix":  { "n": u64, "nnz": u64 },
 //!   "phases":  { "preprocess_ns": f64, "symbolic_ns": f64,
 //!                "levelize_ns": f64, "numeric_ns": f64,
@@ -17,7 +17,7 @@
 //!   "schedule": { "n_levels": u64, "max_level_width": u64 },
 //!   "numeric":  { "mode_a": u64, "mode_b": u64, "mode_c": u64,
 //!                 "m_limit": u64|null, "probes": u64,
-//!                 "merge_steps": u64 },
+//!                 "merge_steps": u64, "gemm_tiles": u64 },
 //!   "fill":     { "nnz": u64, "new_fill_ins": u64,
 //!                 "repaired_diagonals": u64 },
 //!   "gpu": { "<phase>": { "kernels_host": u64, "kernels_device": u64,
@@ -27,7 +27,8 @@
 //!                         "prefetch_time_ns": f64 }, ... },
 //!   "levels": [ { "level": u64, "width": u64, "mode": "A"|"B"|"C",
 //!                 "duration_ns": f64, "probes": u64?, "merge_steps": u64?,
-//!                 "batches": u64? }, ... ],
+//!                 "batches": u64?, "blocks": u64?,
+//!                 "mean_block_width": f64?, "gemm_tiles": u64? }, ... ],
 //!   "recovery": [ { "phase": str, "action": str }, ... ]
 //! }
 //! ```
@@ -41,8 +42,10 @@ use gplu_sim::GpuStatsSnapshot;
 use gplu_trace::{AttrValue, EventKind, JsonValue, TraceEvent};
 
 /// Version stamp written into every report; bump on breaking layout
-/// changes.
-pub const SCHEMA_VERSION: u64 = 1;
+/// changes. Version 2 added the blocked-engine counters
+/// (`numeric.gemm_tiles` plus the per-level `blocks`,
+/// `mean_block_width` and `gemm_tiles` fields).
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// One schedule level as the numeric engine ran it, reconstructed from a
 /// `numeric.level` Begin/End span pair.
@@ -58,10 +61,18 @@ pub struct LevelRecord {
     pub duration_ns: f64,
     /// Binary-search probes this level issued (binary-search engine only).
     pub probes: Option<u64>,
-    /// Merge-cursor advances this level issued (merge engine only).
+    /// Merge-cursor advances this level issued (merge and blocked
+    /// engines).
     pub merge_steps: Option<u64>,
     /// Dense-format launch batches (dense engine only).
     pub batches: Option<u64>,
+    /// Distinct supernode blocks touched (blocked engine only).
+    pub blocks: Option<u64>,
+    /// Mean supernode width across the level's columns (blocked engine
+    /// only).
+    pub mean_block_width: Option<f64>,
+    /// BLAS-3 update tiles this level executed (blocked engine only).
+    pub gemm_tiles: Option<u64>,
 }
 
 /// Extracts per-level records from recorded events by pairing each
@@ -98,6 +109,9 @@ pub fn extract_levels(events: &[TraceEvent]) -> Vec<LevelRecord> {
                     probes: attr_u64("probes"),
                     merge_steps: attr_u64("merge_steps"),
                     batches: attr_u64("batches"),
+                    blocks: attr_u64("blocks"),
+                    mean_block_width: e.attr("mean_block_width").and_then(AttrValue::as_f64),
+                    gemm_tiles: attr_u64("gemm_tiles"),
                 });
             }
             _ => {}
@@ -188,7 +202,8 @@ impl RunReport {
                     .set("mode_c", r.mode_mix.2)
                     .set("m_limit", r.m_limit)
                     .set("probes", r.probes)
-                    .set("merge_steps", r.merge_steps),
+                    .set("merge_steps", r.merge_steps)
+                    .set("gemm_tiles", r.gemm_tiles),
             )
             .set(
                 "fill",
@@ -235,6 +250,15 @@ fn level_json(l: &LevelRecord) -> JsonValue {
     }
     if let Some(b) = l.batches {
         out = out.set("batches", b);
+    }
+    if let Some(b) = l.blocks {
+        out = out.set("blocks", b);
+    }
+    if let Some(w) = l.mean_block_width {
+        out = out.set("mean_block_width", w);
+    }
+    if let Some(g) = l.gemm_tiles {
+        out = out.set("gemm_tiles", g);
     }
     out
 }

@@ -27,6 +27,15 @@ pub struct CostModel {
     /// pipeline-saturated, an order of magnitude cheaper than the
     /// irregular traversal items above.
     pub flop_item_ns: f64,
+    /// Per-item cost of a multiply–add inside a *tiled dense block
+    /// update* (BLAS-3). A `TILE_WIDTH`-tiled GEMM keeps its operands in
+    /// shared memory/registers across the whole tile, so the FMA pipeline
+    /// runs without the per-element load/issue slack the streaming
+    /// `flop_item_ns` rate still pays: V100 sustains ~7 TFLOP/s fp64 GEMM
+    /// vs ~2–2.5 TFLOP/s on streamed sparse updates, a ~3× rate gap. The
+    /// blocked numeric engine charges supernode-member columns at this
+    /// rate.
+    pub gemm_flop_ns: f64,
     /// Fixed cost of one intra-block step (barrier + frontier bookkeeping);
     /// dominates when frontiers are tiny, which is what makes sparse
     /// matrices GPU-unfriendly (paper §4.2).
@@ -82,6 +91,7 @@ impl Default for CostModel {
             device_launch_ns: 600.0,
             block_item_ns: 0.25,
             flop_item_ns: 0.15,
+            gemm_flop_ns: 0.05,
             block_step_ns: 50.0,
             hbm_ns_per_byte: 1.0 / 900.0e9 * 1e9,
             pcie_ns_per_byte: 1.0 / 12.0e9 * 1e9,
@@ -124,6 +134,39 @@ impl CostModel {
     pub fn probe_flop_items(&self, items: u64, nnz_col: u64) -> u64 {
         let log_nnz = 64 - u64::leading_zeros(nnz_col.max(1)) as u64;
         (items as f64 * log_nnz as f64 * self.probe_weight) as u64
+    }
+
+    /// Device-memory traffic of `items` update entries applied through a
+    /// width-`width` supernode block's tiled kernel, in bytes.
+    ///
+    /// A streaming column update re-reads its source segment per column:
+    /// `items · 8` bytes. A supernode of `width` adjacent columns shares
+    /// (by construction — their filled patterns match) one source tile
+    /// across all members, so the tile load is amortized: each member's
+    /// share is `⌈items·8 / width⌉`. The destination writes stay (they are
+    /// distinct entries), but tiles make them coalesced store bursts, which
+    /// the HBM bound already prices per byte — so the amortized figure is
+    /// the whole story.
+    pub fn tiled_mem_bytes(&self, items: u64, width: u64) -> u64 {
+        (items * 8).div_ceil(width.max(1))
+    }
+
+    /// The Auto-format crossover between the merge and blocked engines.
+    ///
+    /// The blocked engine wins when enough columns sit inside supernode
+    /// blocks for the gemm-rate flops and the width-amortized tile bytes
+    /// to outweigh the `block_detect` scan: empirically (see
+    /// BENCH_blocked_numeric.json) that happens once the mean supernode
+    /// width clears ~1.8 columns *and* the fill is dense enough
+    /// (≥ 20 nnz/col after fill) for the update streams — not launch
+    /// overhead — to dominate the numeric phase. Planar/delaunay-class
+    /// fill patterns clear both bars (density ≥ 200, width ~1.9, a
+    /// 1.8× replay-path win at n=8000); circuit and mesh fill fails the
+    /// width bar, and banded patterns (width ~32 but density ~16) sit
+    /// under the density floor — their deep level chains are launch-bound,
+    /// so blocked pricing gains nothing there.
+    pub fn blocked_crossover(&self, fill_density: f64, mean_block_width: f64) -> bool {
+        mean_block_width >= 1.8 && fill_density >= 20.0
     }
 
     /// Scales the *fixed latencies* (kernel-launch overheads and the PCIe
@@ -170,6 +213,10 @@ mod tests {
         assert!(c.hbm_ns_per_byte < c.pcie_ns_per_byte / 10.0);
         // Dynamic parallelism must beat host launches (the Alg. 5 premise).
         assert!(c.device_launch_ns < c.host_launch_ns / 2.0);
+        // Tiled GEMM must beat the streamed flop rate (the BLAS-3 premise)
+        // but stay above the theoretical peak-fp64 floor (~0.01 ns/FMA).
+        assert!(c.gemm_flop_ns < c.flop_item_ns / 2.0);
+        assert!(c.gemm_flop_ns > 0.01);
         // Fault service per byte sits below PCIe per byte (populating a
         // block is cheaper than transferring it) but is far from free —
         // the Table 3 tax on on-demand paging of device-created scratch.
@@ -196,6 +243,34 @@ mod tests {
         assert!(c.probe_flop_items(1000, 1 << 20) > c.probe_flop_items(1000, 1 << 10));
         // …and an empty column is clamped, not a panic.
         assert_eq!(c.probe_flop_items(0, 0), 0);
+    }
+
+    #[test]
+    fn tiled_bytes_amortize_by_width() {
+        let c = CostModel::default();
+        // A singleton "block" is plain streaming traffic.
+        assert_eq!(c.tiled_mem_bytes(1000, 1), 8000);
+        // Width-8 supernode: the shared source tile divides the bytes.
+        assert_eq!(c.tiled_mem_bytes(1000, 8), 1000);
+        // Rounds up, never to zero while items remain; width 0 is clamped.
+        assert_eq!(c.tiled_mem_bytes(3, 8), 3);
+        assert_eq!(c.tiled_mem_bytes(5, 0), 40);
+    }
+
+    #[test]
+    fn blocked_crossover_needs_width_and_density() {
+        let c = CostModel::default();
+        // Dense fill + wide supernodes: blocked wins.
+        assert!(c.blocked_crossover(25.0, 3.0));
+        // Circuit-like: sparse fill, near-singleton blocks.
+        assert!(!c.blocked_crossover(6.0, 1.1));
+        // Width without density (tiny banded) or density without width
+        // (random fill with unaligned patterns) both stay on merge.
+        assert!(!c.blocked_crossover(4.0, 4.0));
+        assert!(!c.blocked_crossover(30.0, 1.2));
+        // Band-8 fill: full-width supernodes, but the launch-bound level
+        // chain keeps it under the density floor.
+        assert!(!c.blocked_crossover(16.5, 31.8));
     }
 
     #[test]

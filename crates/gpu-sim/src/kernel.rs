@@ -129,6 +129,19 @@ impl<'a> BlockCtx<'a> {
             + items as f64 * self.cost.flop_item_ns / self.width_factor();
     }
 
+    /// Bulk-charges `steps` parallel steps spanning `items` of *tiled
+    /// dense block-update* work (BLAS-3 multiply–add tiles), priced at the
+    /// pipelined GEMM rate — cheaper still than the streamed
+    /// [`BlockCtx::bulk_flops`] rate. The blocked numeric engine reports
+    /// supernode-member columns through this.
+    #[inline]
+    pub fn bulk_gemm(&mut self, steps: u64, items: u64) {
+        self.steps += steps;
+        self.items += items;
+        self.compute_ns += steps as f64 * self.cost.block_step_ns
+            + items as f64 * self.cost.gemm_flop_ns / self.width_factor();
+    }
+
     /// `ops` of strictly serial (single-thread) work.
     #[inline]
     pub fn serial(&mut self, ops: u64) {
@@ -219,6 +232,20 @@ mod tests {
         a.work(1000);
         b.serial(1000);
         assert!(b.compute_ns > 5.0 * a.compute_ns);
+    }
+
+    #[test]
+    fn gemm_rate_undercuts_flop_rate() {
+        let cost = CostModel::default();
+        let mut flops = BlockCtx::new(&cost, None, 1024);
+        let mut gemm = BlockCtx::new(&cost, None, 1024);
+        flops.bulk_flops(3, 10_000);
+        gemm.bulk_gemm(3, 10_000);
+        assert!(gemm.compute_ns < flops.compute_ns);
+        // Same step latency: the gap is purely the per-item rate.
+        let gap = (flops.compute_ns - gemm.compute_ns)
+            - 10_000.0 * (cost.flop_item_ns - cost.gemm_flop_ns);
+        assert!(gap.abs() < 1e-9);
     }
 
     #[test]

@@ -10,19 +10,143 @@
 //! the sparse format avoids. For the huge matrices of Table 4, `M` drops
 //! below `TB_max` and the device runs block-starved — the deficiency the
 //! binary-search CSC format removes.
+//!
+//! The level-loop scaffolding lives in [`crate::engine::run_levels`]; this
+//! module contributes only the [`DenseEngine`] kernel and its M-capped
+//! batching.
 
+use crate::engine::{run_levels, EngineCounters, LevelRun, NumericEngine};
 use crate::error::NumericError;
-use crate::modes::{classify_level_cached, launch_shape, LevelType, ModeMix};
-use crate::outcome::{
-    column_cost_estimate_cached, process_column, AccessDiscipline, NumericOutcome, PivotCache,
-};
-use crate::resume::{LevelHook, LevelProgress, NumericResume};
-use crate::values::ValueStore;
+use crate::outcome::{process_column, AccessDiscipline, NumericOutcome, PivotCache};
+use crate::resume::{LevelHook, NumericResume};
 use gplu_schedule::Levels;
 use gplu_sim::{BlockCtx, Gpu, SimError};
-use gplu_sparse::{Csc, SparseError};
-use gplu_trace::{TraceSink, NOOP};
-use parking_lot::Mutex;
+use gplu_sparse::Csc;
+use gplu_trace::{AttrValue, TraceSink, NOOP};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The dense-column numeric engine: direct row indexing into `O(n)`
+/// scatter buffers, with concurrency capped at the paper's `M`.
+pub(crate) struct DenseEngine {
+    m_limit: usize,
+    col_bytes: u64,
+    batches: AtomicU64,
+}
+
+impl DenseEngine {
+    pub(crate) fn new() -> DenseEngine {
+        DenseEngine {
+            m_limit: 0,
+            col_bytes: 0,
+            batches: AtomicU64::new(0),
+        }
+    }
+}
+
+impl NumericEngine for DenseEngine {
+    fn kernel_name(&self) -> &'static str {
+        "numeric_dense"
+    }
+
+    fn seed(&mut self, resume: &NumericResume) {
+        self.batches.store(resume.batches, Ordering::Relaxed);
+    }
+
+    // Every M-capped batch allocates and frees its dense column buffers —
+    // host work between launches — so even warm runs keep host launches.
+    // (This is one reason the refactorization path prefers sorted CSC.)
+    fn device_replay(&self) -> bool {
+        false
+    }
+
+    fn begin(&mut self, gpu: &Gpu, pattern: &Csc) -> Result<(), NumericError> {
+        // The paper's M: how many O(n) dense buffers fit in what remains
+        // after the CSC structure and level numbers are resident.
+        self.col_bytes = pattern.n_cols() as u64 * gpu.config().data_bytes;
+        self.m_limit = (gpu.mem.free_bytes() / self.col_bytes) as usize;
+        if self.m_limit == 0 {
+            return Err(NumericError::Sim(SimError::OutOfMemory {
+                requested: self.col_bytes,
+                free: gpu.mem.free_bytes(),
+                capacity: gpu.mem.capacity(),
+            }));
+        }
+        Ok(())
+    }
+
+    fn run_level(&self, run: &LevelRun<'_>) -> Result<(), SimError> {
+        let n = run.pattern.n_cols();
+        let stripes = run.stripes;
+        let m = self.m_limit.max(1);
+        // Level split into batches of at most M concurrent dense buffers.
+        for (chunk, batch) in run.cols.chunks(m).enumerate() {
+            self.batches.fetch_add(1, Ordering::Relaxed);
+            let base = chunk * m;
+            let buffers = run.gpu.mem.alloc(batch.len() as u64 * self.col_bytes)?;
+            run.gpu.launch_capped(
+                self.kernel_name(),
+                batch.len() * stripes,
+                run.threads,
+                self.m_limit,
+                &|b: usize, ctx: &mut BlockCtx| {
+                    let col = batch[b / stripes] as usize;
+                    let stripe = b % stripes;
+                    // Each column's work (updates + scatter/gather + the O(n)
+                    // dense-buffer traffic the paper charges per column) is
+                    // split across its cooperating stripes; stripe 0 performs
+                    // the functional arithmetic, co-stripes charge their share
+                    // of the cost from the structure alone. Right-looking
+                    // execution has no per-target dependency chain, so a
+                    // column costs a few block-wide steps plus its share of
+                    // the (structured, flop-rate) update stream.
+                    let items = run.items_of[base + b / stripes];
+                    let nnz_col = (run.pattern.col_ptr[col + 1] - run.pattern.col_ptr[col]) as u64;
+                    // Structured update stream at the flop rate…
+                    ctx.bulk_flops(3, (items + 2 * nnz_col) / stripes as u64);
+                    // …plus the O(n) dense-buffer traffic (clear + scatter +
+                    // gather of an `n`-length vector): uncoalesced
+                    // read-modify-write, charged at the irregular rate — the
+                    // per-column tax the sparse format avoids entirely.
+                    ctx.work(4 * n as u64 / stripes as u64);
+                    ctx.mem((items * 8 + 4 * n as u64) / stripes as u64);
+                    if stripe == 0 {
+                        if let Err(e) = process_column(
+                            run.pattern,
+                            run.vals,
+                            col,
+                            AccessDiscipline::Dense,
+                            run.cache,
+                        ) {
+                            run.error.lock().get_or_insert(e);
+                        }
+                    }
+                },
+            )?;
+            run.gpu.mem.free(buffers)?;
+        }
+        Ok(())
+    }
+
+    fn counters(&self) -> EngineCounters {
+        EngineCounters {
+            batches: self.batches.load(Ordering::Relaxed),
+            ..EngineCounters::default()
+        }
+    }
+
+    fn level_attrs(
+        &self,
+        _run: &LevelRun<'_>,
+        delta: &EngineCounters,
+        attrs: &mut Vec<(&'static str, AttrValue)>,
+    ) {
+        attrs.push(("batches", delta.batches.into()));
+    }
+
+    fn finish(&self, out: &mut NumericOutcome) {
+        out.m_limit = Some(self.m_limit);
+    }
+}
 
 /// Factorizes the filled matrix in the dense-column format.
 ///
@@ -71,171 +195,26 @@ pub fn factorize_gpu_dense_run(
 /// its dense column buffers, which is host work between launches — so even
 /// warm runs keep host launches here. (This is one reason the
 /// refactorization path prefers the merge format.)
-#[allow(clippy::too_many_arguments)]
 pub fn factorize_gpu_dense_run_cached(
     gpu: &Gpu,
     pattern: &Csc,
     levels: &Levels,
     trace: &dyn TraceSink,
     resume: Option<&NumericResume>,
-    mut hook: Option<&mut LevelHook<'_>>,
+    hook: Option<&mut LevelHook<'_>>,
     pivot: Option<&PivotCache>,
 ) -> Result<NumericOutcome, NumericError> {
-    let n = pattern.n_cols();
-    let before = gpu.stats();
-
-    // Resident: the CSC structure + values (float) + level numbers.
-    let csc_bytes = ((n + 1) as u64 + 2 * pattern.nnz() as u64) * 4;
-    let csc_dev = gpu.mem.alloc(csc_bytes)?;
-    gpu.h2d(csc_bytes);
-    let lvl_dev = gpu.mem.alloc(n as u64 * 4)?;
-
-    // The paper's M: how many O(n) dense buffers fit in what remains.
-    let col_bytes = n as u64 * gpu.config().data_bytes;
-    let m_limit = (gpu.mem.free_bytes() / col_bytes) as usize;
-    if m_limit == 0 {
-        return Err(NumericError::Sim(SimError::OutOfMemory {
-            requested: col_bytes,
-            free: gpu.mem.free_bytes(),
-            capacity: gpu.mem.capacity(),
-        }));
-    }
-
-    if let Some(r) = resume {
-        r.check(pattern.nnz(), levels.groups.len())
-            .map_err(NumericError::Input)?;
-    }
-    let start_level = resume.map_or(0, |r| r.start_level);
-    let vals = match resume {
-        Some(r) => ValueStore::new(&r.vals),
-        None => ValueStore::new(&pattern.vals),
-    };
-    let cache_storage;
-    let cache = match pivot {
-        Some(c) => c,
-        None => {
-            cache_storage = PivotCache::build(pattern);
-            &cache_storage
-        }
-    };
-    let mut mix = resume.map_or_else(ModeMix::default, |r| r.mode_mix);
-    let mut batches = resume.map_or(0u64, |r| r.batches);
-    let error: Mutex<Option<SparseError>> = Mutex::new(None);
-
-    for (li, cols) in levels.groups.iter().enumerate() {
-        if li < start_level {
-            continue; // already durable in the resumed value store
-        }
-        let t = classify_level_cached(pattern, cache, cols);
-        match t {
-            LevelType::A => mix.a += 1,
-            LevelType::B => mix.b += 1,
-            LevelType::C => mix.c += 1,
-        }
-        let (threads, stripes) = launch_shape(t);
-        let batches_before = batches;
-        trace.span_begin(
-            "numeric.level",
-            "level",
-            gpu.now().as_ns(),
-            &[("level", li.into()), ("width", cols.len().into())],
-        );
-        // Level split into batches of at most M concurrent dense buffers.
-        for batch in cols.chunks(m_limit.max(1)) {
-            batches += 1;
-            // Hoisted: one structural cost estimate per column, shared by
-            // all of its cooperating stripes.
-            let items_of: Vec<u64> = batch
-                .iter()
-                .map(|&j| column_cost_estimate_cached(pattern, cache, j as usize).1)
-                .collect();
-            let buffers = gpu.mem.alloc(batch.len() as u64 * col_bytes)?;
-            gpu.launch_capped(
-                "numeric_dense",
-                batch.len() * stripes,
-                threads,
-                m_limit,
-                &|b: usize, ctx: &mut BlockCtx| {
-                    let col = batch[b / stripes] as usize;
-                    let stripe = b % stripes;
-                    // Each column's work (updates + scatter/gather + the O(n)
-                    // dense-buffer traffic the paper charges per column) is
-                    // split across its cooperating stripes; stripe 0 performs
-                    // the functional arithmetic, co-stripes charge their share
-                    // of the cost from the structure alone. Right-looking
-                    // execution has no per-target dependency chain, so a
-                    // column costs a few block-wide steps plus its share of
-                    // the (structured, flop-rate) update stream.
-                    let items = items_of[b / stripes];
-                    let nnz_col = (pattern.col_ptr[col + 1] - pattern.col_ptr[col]) as u64;
-                    // Structured update stream at the flop rate…
-                    ctx.bulk_flops(3, (items + 2 * nnz_col) / stripes as u64);
-                    // …plus the O(n) dense-buffer traffic (clear + scatter +
-                    // gather of an `n`-length vector): uncoalesced
-                    // read-modify-write, charged at the irregular rate — the
-                    // per-column tax the sparse format avoids entirely.
-                    ctx.work(4 * n as u64 / stripes as u64);
-                    ctx.mem((items * 8 + 4 * n as u64) / stripes as u64);
-                    if stripe == 0 {
-                        if let Err(e) =
-                            process_column(pattern, &vals, col, AccessDiscipline::Dense, cache)
-                        {
-                            error.lock().get_or_insert(e);
-                        }
-                    }
-                },
-            )?;
-            gpu.mem.free(buffers)?;
-        }
-        trace.span_end(
-            "numeric.level",
-            "level",
-            gpu.now().as_ns(),
-            &[
-                ("level", li.into()),
-                ("width", cols.len().into()),
-                ("mode", t.letter().into()),
-                ("batches", (batches - batches_before).into()),
-            ],
-        );
-        if let Some(e) = error.lock().take() {
-            return Err(NumericError::from_sparse_at_level(e, li));
-        }
-        if let Some(h) = hook.as_mut() {
-            h(&LevelProgress {
-                level: li,
-                n_levels: levels.groups.len(),
-                vals: &vals,
-                mode_mix: mix,
-                probes: 0,
-                merge_steps: 0,
-                batches,
-            })?;
-        }
-    }
-
-    gpu.mem.free(lvl_dev)?;
-    gpu.d2h(pattern.nnz() as u64 * 4); // factored values back to host
-    gpu.mem.free(csc_dev)?;
-
-    let lu = Csc::from_parts_unchecked(
-        pattern.n_rows(),
-        n,
-        pattern.col_ptr.clone(),
-        pattern.row_idx.clone(),
-        vals.into_vec(),
-    );
-    let stats = gpu.stats().since(&before);
-    Ok(NumericOutcome {
-        lu,
-        time: stats.now,
-        stats,
-        mode_mix: mix,
-        m_limit: Some(m_limit),
-        batches,
-        probes: 0,
-        merge_steps: 0,
-    })
+    let mut engine = DenseEngine::new();
+    run_levels(
+        &mut engine,
+        gpu,
+        pattern,
+        levels,
+        trace,
+        resume,
+        hook,
+        pivot,
+    )
 }
 
 #[cfg(test)]

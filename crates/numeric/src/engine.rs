@@ -1,0 +1,307 @@
+//! The unified [`NumericEngine`] trait and the shared level-loop driver.
+//!
+//! Every GPU numeric engine runs the same scaffolding: stage the CSC
+//! structure and level numbers on the device, seed the value store
+//! (optionally from a resume cut), walk the level schedule classifying
+//! each level into a GLU 3.0 kernel mode, launch one kernel per level
+//! (host-launched cold, tail-launched on captured-schedule replays),
+//! wrap each level in a `numeric.level` trace span, feed the checkpoint
+//! hook after every level barrier, and assemble a [`NumericOutcome`].
+//! That scaffolding used to be copied into `dense.rs`, `sparse.rs` and
+//! `merge.rs` verbatim; it now lives once in [`run_levels`], and each
+//! engine implements only what actually differs — its kernel body, its
+//! counters, and its per-level telemetry attributes.
+//!
+//! The sequential reference ([`crate::seq`]) is the host-side
+//! instantiation of the same interface: it runs the identical kernel
+//! core ([`crate::outcome::process_column`]) column by column with no
+//! device, which is why all engines agree bit-for-bit.
+
+use crate::error::NumericError;
+use crate::modes::{classify_level_cached, launch_shape, LevelType, ModeMix};
+use crate::outcome::{column_cost_estimate_cached, NumericOutcome, PivotCache};
+use crate::resume::{LevelHook, LevelProgress, NumericResume};
+use crate::values::ValueStore;
+use gplu_schedule::Levels;
+use gplu_sim::{Gpu, Kernel, SimError};
+use gplu_sparse::{Csc, SparseError};
+use gplu_trace::{AttrValue, TraceSink};
+use parking_lot::Mutex;
+
+/// Counter totals an engine accumulates over a run. Each engine drives a
+/// subset and leaves the rest at zero; the driver threads the whole set
+/// through hooks, spans and the outcome so checkpoint/resume and
+/// telemetry never special-case an engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineCounters {
+    /// Binary-search probes (the binary-search engine).
+    pub probes: u64,
+    /// Destination-cursor advances (the merge and blocked engines).
+    pub merge_steps: u64,
+    /// M-capped kernel batches (the dense engine).
+    pub batches: u64,
+    /// BLAS-3 update tiles executed (the blocked engine).
+    pub gemm_tiles: u64,
+}
+
+impl EngineCounters {
+    /// Component-wise `self - before` (counters are monotone).
+    pub fn delta(&self, before: &EngineCounters) -> EngineCounters {
+        EngineCounters {
+            probes: self.probes - before.probes,
+            merge_steps: self.merge_steps - before.merge_steps,
+            batches: self.batches - before.batches,
+            gemm_tiles: self.gemm_tiles - before.gemm_tiles,
+        }
+    }
+}
+
+/// Everything one level's execution needs, handed to
+/// [`NumericEngine::run_level`] by the driver.
+pub struct LevelRun<'a> {
+    /// The device.
+    pub gpu: &'a Gpu,
+    /// The filled pattern (sorted CSC).
+    pub pattern: &'a Csc,
+    /// Pivot/segment positions for every column.
+    pub cache: &'a PivotCache,
+    /// The shared value store.
+    pub vals: &'a ValueStore,
+    /// First kernel-core error raised by any column of this level.
+    pub error: &'a Mutex<Option<SparseError>>,
+    /// Index of the level in the schedule.
+    pub level: usize,
+    /// The level's columns.
+    pub cols: &'a [gplu_sparse::Idx],
+    /// The level's GLU 3.0 kernel mode.
+    pub mode: LevelType,
+    /// Threads per block for this mode.
+    pub threads: usize,
+    /// Blocks cooperating per column (type C row-striping).
+    pub stripes: usize,
+    /// Hoisted per-column structural item counts (index parallel to
+    /// `cols`), shared by all of a column's cooperating stripes.
+    pub items_of: &'a [u64],
+    /// True when this level is tail-launched device-side (captured-
+    /// schedule replay, Algorithm 5).
+    tail_launch: bool,
+}
+
+impl LevelRun<'_> {
+    /// Grid size of this level's launch.
+    pub fn grid(&self) -> usize {
+        self.cols.len() * self.stripes
+    }
+
+    /// Launches the level's kernel: host-launched normally, tail-launched
+    /// from the device on a captured-schedule replay.
+    pub fn launch<K: Kernel>(&self, name: &str, kernel: &K) -> Result<(), SimError> {
+        if self.tail_launch {
+            self.gpu
+                .launch_device(name, self.grid(), self.threads, kernel)?;
+        } else {
+            self.gpu.launch(name, self.grid(), self.threads, kernel)?;
+        }
+        Ok(())
+    }
+}
+
+/// One GPU numeric engine: the per-level kernel and its counters. The
+/// level iteration, launch accounting, fault surface, resume cuts and
+/// trace spans are owned by [`run_levels`].
+pub trait NumericEngine: Sync {
+    /// Kernel name — launch accounting and fault plans key off this.
+    fn kernel_name(&self) -> &'static str;
+
+    /// Seeds the engine's counters from a resume cut.
+    fn seed(&mut self, _resume: &NumericResume) {}
+
+    /// Whether a captured-schedule replay may tail-launch this engine's
+    /// levels device-side. The dense engine says no: its per-batch buffer
+    /// alloc/free is host work between launches.
+    fn device_replay(&self) -> bool {
+        true
+    }
+
+    /// One-time setup after the CSC structure and level numbers are
+    /// resident on the device (the dense engine sizes its `M` from the
+    /// remaining free memory here).
+    fn begin(&mut self, _gpu: &Gpu, _pattern: &Csc) -> Result<(), NumericError> {
+        Ok(())
+    }
+
+    /// Classifies one level into a kernel mode. The binary-search
+    /// engine's forced-mode ablation overrides this.
+    fn classify(&self, pattern: &Csc, cache: &PivotCache, cols: &[gplu_sparse::Idx]) -> LevelType {
+        classify_level_cached(pattern, cache, cols)
+    }
+
+    /// Executes one level (prices and launches its kernel).
+    fn run_level(&self, run: &LevelRun<'_>) -> Result<(), SimError>;
+
+    /// Counter totals accumulated so far.
+    fn counters(&self) -> EngineCounters;
+
+    /// Appends engine-specific attributes to the level's span-end event;
+    /// `delta` is this level's counter contribution.
+    fn level_attrs(
+        &self,
+        run: &LevelRun<'_>,
+        delta: &EngineCounters,
+        attrs: &mut Vec<(&'static str, AttrValue)>,
+    );
+
+    /// Stamps engine-specific outcome fields (the dense engine's `M`).
+    fn finish(&self, _out: &mut NumericOutcome) {}
+}
+
+/// Runs `engine` over the level schedule — the scaffolding every GPU
+/// numeric engine shares.
+///
+/// A supplied `pivot` cache marks the run as a **captured-schedule
+/// replay** (the pattern-keyed refactorization fast path): the host kicks
+/// off the first executed level, and — when the engine permits
+/// ([`NumericEngine::device_replay`]) — every later level is tail-launched
+/// from the device (the paper's Algorithm 5 dynamic-parallelism
+/// discipline), paying [`gplu_sim::CostModel::device_launch_ns`] instead
+/// of [`gplu_sim::CostModel::host_launch_ns`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_levels<E: NumericEngine>(
+    engine: &mut E,
+    gpu: &Gpu,
+    pattern: &Csc,
+    levels: &Levels,
+    trace: &dyn TraceSink,
+    resume: Option<&NumericResume>,
+    mut hook: Option<&mut LevelHook<'_>>,
+    pivot: Option<&PivotCache>,
+) -> Result<NumericOutcome, NumericError> {
+    let n = pattern.n_cols();
+    let before = gpu.stats();
+
+    // Resident: the CSC structure + values (float) + level numbers.
+    let csc_bytes = ((n + 1) as u64 + 2 * pattern.nnz() as u64) * 4;
+    let csc_dev = gpu.mem.alloc(csc_bytes)?;
+    gpu.h2d(csc_bytes);
+    let lvl_dev = gpu.mem.alloc(n as u64 * 4)?;
+
+    if let Some(r) = resume {
+        r.check(pattern.nnz(), levels.groups.len())
+            .map_err(NumericError::Input)?;
+        engine.seed(r);
+    }
+    engine.begin(gpu, pattern)?;
+
+    let start_level = resume.map_or(0, |r| r.start_level);
+    let vals = match resume {
+        Some(r) => ValueStore::new(&r.vals),
+        None => ValueStore::new(&pattern.vals),
+    };
+    let cache_storage;
+    let cache = match pivot {
+        Some(c) => c,
+        None => {
+            cache_storage = PivotCache::build(pattern);
+            &cache_storage
+        }
+    };
+    let mut mix = resume.map_or_else(ModeMix::default, |r| r.mode_mix);
+    let error: Mutex<Option<SparseError>> = Mutex::new(None);
+    let replay = pivot.is_some() && engine.device_replay();
+    let mut kicked_off = false;
+
+    for (li, cols) in levels.groups.iter().enumerate() {
+        if li < start_level {
+            continue; // already durable in the resumed value store
+        }
+        let t = engine.classify(pattern, cache, cols);
+        match t {
+            LevelType::A => mix.a += 1,
+            LevelType::B => mix.b += 1,
+            LevelType::C => mix.c += 1,
+        }
+        let (threads, stripes) = launch_shape(t);
+        let counters_before = engine.counters();
+        trace.span_begin(
+            "numeric.level",
+            "level",
+            gpu.now().as_ns(),
+            &[("level", li.into()), ("width", cols.len().into())],
+        );
+        // Hoisted: one structural cost estimate per column, shared by all
+        // of its cooperating stripes (type C runs 64 per column).
+        let items_of: Vec<u64> = cols
+            .iter()
+            .map(|&j| column_cost_estimate_cached(pattern, cache, j as usize).1)
+            .collect();
+        let run = LevelRun {
+            gpu,
+            pattern,
+            cache,
+            vals: &vals,
+            error: &error,
+            level: li,
+            cols,
+            mode: t,
+            threads,
+            stripes,
+            items_of: &items_of,
+            tail_launch: replay && kicked_off,
+        };
+        engine.run_level(&run)?;
+        kicked_off = true;
+        if trace.enabled() {
+            let delta = engine.counters().delta(&counters_before);
+            let mut attrs: Vec<(&'static str, AttrValue)> = vec![
+                ("level", li.into()),
+                ("width", cols.len().into()),
+                ("mode", t.letter().into()),
+            ];
+            engine.level_attrs(&run, &delta, &mut attrs);
+            trace.span_end("numeric.level", "level", gpu.now().as_ns(), &attrs);
+        }
+        if let Some(e) = error.lock().take() {
+            return Err(NumericError::from_sparse_at_level(e, li));
+        }
+        if let Some(h) = hook.as_mut() {
+            let c = engine.counters();
+            h(&LevelProgress {
+                level: li,
+                n_levels: levels.groups.len(),
+                vals: &vals,
+                mode_mix: mix,
+                probes: c.probes,
+                merge_steps: c.merge_steps,
+                batches: c.batches,
+                gemm_tiles: c.gemm_tiles,
+            })?;
+        }
+    }
+
+    gpu.mem.free(lvl_dev)?;
+    gpu.d2h(pattern.nnz() as u64 * 4); // factored values back to host
+    gpu.mem.free(csc_dev)?;
+
+    let lu = Csc::from_parts_unchecked(
+        pattern.n_rows(),
+        n,
+        pattern.col_ptr.clone(),
+        pattern.row_idx.clone(),
+        vals.into_vec(),
+    );
+    let stats = gpu.stats().since(&before);
+    let c = engine.counters();
+    let mut out = NumericOutcome {
+        lu,
+        time: stats.now,
+        stats,
+        mode_mix: mix,
+        m_limit: None,
+        batches: c.batches,
+        probes: c.probes,
+        merge_steps: c.merge_steps,
+        gemm_tiles: c.gemm_tiles,
+    };
+    engine.finish(&mut out);
+    Ok(out)
+}

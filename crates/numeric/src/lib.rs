@@ -29,12 +29,24 @@
 //! * **merge format** ([`merge`]): sorted CSC like [`sparse`], but update
 //!   targets are located by a two-pointer merge-join of the (sorted)
 //!   source segment and destination column — `O(nnz)` total instead of
-//!   `O(nnz · log nnz)`, with no probe surcharge.
+//!   `O(nnz · log nnz)`, with no probe surcharge,
+//! * **blocked format** ([`blocked`]): sorted CSC with merge-join access,
+//!   plus a post-symbolic blocking pass that groups adjacent columns with
+//!   near-identical filled patterns into irregular supernode blocks whose
+//!   updates are priced as tiled BLAS-3 traffic.
 //!
-//! The three access patterns share one kernel core,
+//! All access patterns share one kernel core,
 //! [`outcome::process_column`], parameterized by
 //! [`outcome::AccessDiscipline`]; per-factorization pivot/segment
 //! positions are precomputed once in an [`outcome::PivotCache`].
+//!
+//! The engines themselves implement one interface: the
+//! [`engine::NumericEngine`] trait owns only the per-level kernel and its
+//! counters, while [`engine::run_levels`] owns the level-loop scaffolding
+//! they all share (device staging, level classification, launch/tail-launch
+//! accounting, trace spans, resume cuts, checkpoint hooks). The sequential
+//! reference ([`seq`]) is the host-side instantiation of the same kernel
+//! core, which is why all five agree bit-for-bit.
 //!
 //! GLU 3.0's three level types (Section 2.2) are classified in [`modes`]
 //! and map to block/thread shapes per level.
@@ -43,7 +55,9 @@
 //! concurrent blocks can functionally write their own columns while
 //! reading finished ones — the level barrier provides the happens-before.
 
+pub mod blocked;
 pub mod dense;
+pub mod engine;
 pub mod error;
 pub mod merge;
 pub mod modes;
@@ -54,10 +68,15 @@ pub mod sparse;
 pub mod trisolve;
 pub mod values;
 
+pub use blocked::{
+    factorize_gpu_blocked, factorize_gpu_blocked_run, factorize_gpu_blocked_run_cached,
+    factorize_gpu_blocked_traced, BlockPlan, DEFAULT_BLOCK_THRESHOLD, TILE_WIDTH,
+};
 pub use dense::{
     factorize_gpu_dense, factorize_gpu_dense_run, factorize_gpu_dense_run_cached,
     factorize_gpu_dense_traced,
 };
+pub use engine::{run_levels, EngineCounters, LevelRun, NumericEngine};
 pub use error::NumericError;
 pub use merge::{
     factorize_gpu_merge, factorize_gpu_merge_run, factorize_gpu_merge_run_cached,

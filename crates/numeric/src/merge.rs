@@ -15,20 +15,92 @@
 //! [`gplu_sim::CostModel::probe_flop_items`] on top). Like the
 //! binary-search engine it needs no per-column dense buffers, so all
 //! `TB_max` blocks stay resident regardless of `n`.
+//!
+//! The level-loop scaffolding lives in [`crate::engine::run_levels`]; this
+//! module contributes only the [`MergeEngine`] kernel.
 
+use crate::engine::{run_levels, EngineCounters, LevelRun, NumericEngine};
 use crate::error::NumericError;
-use crate::modes::{classify_level_cached, launch_shape, LevelType, ModeMix};
-use crate::outcome::{
-    column_cost_estimate_cached, process_column, AccessDiscipline, NumericOutcome, PivotCache,
-};
-use crate::resume::{LevelHook, LevelProgress, NumericResume};
-use crate::values::ValueStore;
+use crate::outcome::{process_column, AccessDiscipline, NumericOutcome, PivotCache};
+use crate::resume::{LevelHook, NumericResume};
 use gplu_schedule::Levels;
-use gplu_sim::{BlockCtx, Gpu};
-use gplu_sparse::{Csc, SparseError};
-use gplu_trace::{TraceSink, NOOP};
-use parking_lot::Mutex;
+use gplu_sim::{BlockCtx, Gpu, SimError};
+use gplu_sparse::Csc;
+use gplu_trace::{AttrValue, TraceSink, NOOP};
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The merge-join numeric engine: streaming two-pointer update location,
+/// priced as the pure item stream.
+pub(crate) struct MergeEngine {
+    steps: AtomicU64,
+}
+
+impl MergeEngine {
+    pub(crate) fn new() -> MergeEngine {
+        MergeEngine {
+            steps: AtomicU64::new(0),
+        }
+    }
+}
+
+impl NumericEngine for MergeEngine {
+    fn kernel_name(&self) -> &'static str {
+        "numeric_merge"
+    }
+
+    fn seed(&mut self, resume: &NumericResume) {
+        self.steps.store(resume.merge_steps, Ordering::Relaxed);
+    }
+
+    fn run_level(&self, run: &LevelRun<'_>) -> Result<(), SimError> {
+        let stripes = run.stripes;
+        let kernel = |b: usize, ctx: &mut BlockCtx| {
+            let col = run.cols[b / stripes] as usize;
+            let stripe = b % stripes;
+            let items = run.items_of[b / stripes];
+            // Streaming traffic only: the merge cursors advance once per
+            // touched entry, so the whole update is the item stream at the
+            // structured flop rate — no probe surcharge, and the same
+            // value-stream bytes as the binary-search engine (the index
+            // bytes the cursor walk touches ride the same cache lines).
+            ctx.bulk_flops(3, items / stripes as u64);
+            ctx.mem(items * 8 / stripes as u64);
+            if stripe == 0 {
+                match process_column(
+                    run.pattern,
+                    run.vals,
+                    col,
+                    AccessDiscipline::Merge,
+                    run.cache,
+                ) {
+                    Ok(c) => {
+                        self.steps.fetch_add(c.merge_steps, Ordering::Relaxed);
+                    }
+                    Err(e) => {
+                        run.error.lock().get_or_insert(e);
+                    }
+                }
+            }
+        };
+        run.launch(self.kernel_name(), &kernel)
+    }
+
+    fn counters(&self) -> EngineCounters {
+        EngineCounters {
+            merge_steps: self.steps.load(Ordering::Relaxed),
+            ..EngineCounters::default()
+        }
+    }
+
+    fn level_attrs(
+        &self,
+        _run: &LevelRun<'_>,
+        delta: &EngineCounters,
+        attrs: &mut Vec<(&'static str, AttrValue)>,
+    ) {
+        attrs.push(("merge_steps", delta.merge_steps.into()));
+    }
+}
 
 /// Factorizes the filled matrix in sorted CSC with merge-join access.
 pub fn factorize_gpu_merge(
@@ -82,148 +154,20 @@ pub fn factorize_gpu_merge_run_cached(
     levels: &Levels,
     trace: &dyn TraceSink,
     resume: Option<&NumericResume>,
-    mut hook: Option<&mut LevelHook<'_>>,
+    hook: Option<&mut LevelHook<'_>>,
     pivot: Option<&PivotCache>,
 ) -> Result<NumericOutcome, NumericError> {
-    let n = pattern.n_cols();
-    let before = gpu.stats();
-
-    let csc_bytes = ((n + 1) as u64 + 2 * pattern.nnz() as u64) * 4;
-    let csc_dev = gpu.mem.alloc(csc_bytes)?;
-    gpu.h2d(csc_bytes);
-    let lvl_dev = gpu.mem.alloc(n as u64 * 4)?;
-
-    if let Some(r) = resume {
-        r.check(pattern.nnz(), levels.groups.len())
-            .map_err(NumericError::Input)?;
-    }
-    let start_level = resume.map_or(0, |r| r.start_level);
-    let vals = match resume {
-        Some(r) => ValueStore::new(&r.vals),
-        None => ValueStore::new(&pattern.vals),
-    };
-    let cache_storage;
-    let cache = match pivot {
-        Some(c) => c,
-        None => {
-            cache_storage = PivotCache::build(pattern);
-            &cache_storage
-        }
-    };
-    let mut mix = resume.map_or_else(ModeMix::default, |r| r.mode_mix);
-    let total_merge_steps = AtomicU64::new(resume.map_or(0, |r| r.merge_steps));
-    let error: Mutex<Option<SparseError>> = Mutex::new(None);
-    // Captured-schedule replay (prebuilt pivot cache ⇒ the schedule already
-    // ran once): the host kicks off the first level, every later level is
-    // tail-launched device-side, Algorithm-5 style.
-    let replay = pivot.is_some();
-    let mut kicked_off = false;
-
-    for (li, cols) in levels.groups.iter().enumerate() {
-        if li < start_level {
-            continue; // already durable in the resumed value store
-        }
-        let t = classify_level_cached(pattern, cache, cols);
-        match t {
-            LevelType::A => mix.a += 1,
-            LevelType::B => mix.b += 1,
-            LevelType::C => mix.c += 1,
-        }
-        let (threads, stripes) = launch_shape(t);
-        let steps_before = total_merge_steps.load(Ordering::Relaxed);
-        trace.span_begin(
-            "numeric.level",
-            "level",
-            gpu.now().as_ns(),
-            &[("level", li.into()), ("width", cols.len().into())],
-        );
-        // Hoisted: one structural cost estimate per column, shared by all
-        // of its cooperating stripes (type C runs 64 per column).
-        let items_of: Vec<u64> = cols
-            .iter()
-            .map(|&j| column_cost_estimate_cached(pattern, cache, j as usize).1)
-            .collect();
-        let kernel = |b: usize, ctx: &mut BlockCtx| {
-            let col = cols[b / stripes] as usize;
-            let stripe = b % stripes;
-            let items = items_of[b / stripes];
-            // Streaming traffic only: the merge cursors advance once per
-            // touched entry, so the whole update is the item stream at the
-            // structured flop rate — no probe surcharge, and the same
-            // value-stream bytes as the binary-search engine (the index
-            // bytes the cursor walk touches ride the same cache lines).
-            ctx.bulk_flops(3, items / stripes as u64);
-            ctx.mem(items * 8 / stripes as u64);
-            if stripe == 0 {
-                match process_column(pattern, &vals, col, AccessDiscipline::Merge, cache) {
-                    Ok(c) => {
-                        total_merge_steps.fetch_add(c.merge_steps, Ordering::Relaxed);
-                    }
-                    Err(e) => {
-                        error.lock().get_or_insert(e);
-                    }
-                }
-            }
-        };
-        let grid = cols.len() * stripes;
-        if replay && kicked_off {
-            gpu.launch_device("numeric_merge", grid, threads, &kernel)?;
-        } else {
-            gpu.launch("numeric_merge", grid, threads, &kernel)?;
-        }
-        kicked_off = true;
-        trace.span_end(
-            "numeric.level",
-            "level",
-            gpu.now().as_ns(),
-            &[
-                ("level", li.into()),
-                ("width", cols.len().into()),
-                ("mode", t.letter().into()),
-                (
-                    "merge_steps",
-                    (total_merge_steps.load(Ordering::Relaxed) - steps_before).into(),
-                ),
-            ],
-        );
-        if let Some(e) = error.lock().take() {
-            return Err(NumericError::from_sparse_at_level(e, li));
-        }
-        if let Some(h) = hook.as_mut() {
-            h(&LevelProgress {
-                level: li,
-                n_levels: levels.groups.len(),
-                vals: &vals,
-                mode_mix: mix,
-                probes: 0,
-                merge_steps: total_merge_steps.load(Ordering::Relaxed),
-                batches: 0,
-            })?;
-        }
-    }
-
-    gpu.mem.free(lvl_dev)?;
-    gpu.d2h(pattern.nnz() as u64 * 4);
-    gpu.mem.free(csc_dev)?;
-
-    let lu = Csc::from_parts_unchecked(
-        pattern.n_rows(),
-        n,
-        pattern.col_ptr.clone(),
-        pattern.row_idx.clone(),
-        vals.into_vec(),
-    );
-    let stats = gpu.stats().since(&before);
-    Ok(NumericOutcome {
-        lu,
-        time: stats.now,
-        stats,
-        mode_mix: mix,
-        m_limit: None,
-        batches: 0,
-        probes: 0,
-        merge_steps: total_merge_steps.load(Ordering::Relaxed),
-    })
+    let mut engine = MergeEngine::new();
+    run_levels(
+        &mut engine,
+        gpu,
+        pattern,
+        levels,
+        trace,
+        resume,
+        hook,
+        pivot,
+    )
 }
 
 #[cfg(test)]

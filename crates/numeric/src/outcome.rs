@@ -28,6 +28,9 @@ pub struct NumericOutcome {
     /// Merge format only: total two-pointer advances of the destination
     /// cursor (the streaming analog of `probes`).
     pub merge_steps: u64,
+    /// Blocked format only: total BLAS-3 update tiles executed by the
+    /// supernode block kernels.
+    pub gemm_tiles: u64,
 }
 
 /// How a numeric kernel locates the update targets inside a destination

@@ -8,7 +8,7 @@
 //! **bit-identical** factors — the invariant the crash/resume chaos suite
 //! asserts.
 //!
-//! All three engines accept an optional [`NumericResume`] (skip levels
+//! All GPU engines accept an optional [`NumericResume`] (skip levels
 //! below the watermark, seed the value store and counters) and an
 //! optional [`LevelHook`] invoked after every completed level. The hook
 //! is where the pipeline cuts snapshots; it returns a [`SimError`] to
@@ -34,6 +34,8 @@ pub struct NumericResume {
     pub merge_steps: u64,
     /// M-capped batches accumulated (dense engine).
     pub batches: u64,
+    /// BLAS-3 update tiles accumulated (blocked engine).
+    pub gemm_tiles: u64,
 }
 
 /// Progress handed to the [`LevelHook`] after each completed level.
@@ -53,6 +55,8 @@ pub struct LevelProgress<'a> {
     pub merge_steps: u64,
     /// Batches so far (dense engine; 0 elsewhere).
     pub batches: u64,
+    /// BLAS-3 tiles so far (blocked engine; 0 elsewhere).
+    pub gemm_tiles: u64,
 }
 
 /// Per-level callback. Returning an error aborts the factorization with

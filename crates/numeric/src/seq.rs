@@ -1,11 +1,17 @@
 //! Sequential numeric factorization — the exact-arithmetic reference the
-//! GPU variants are verified against, and the functional core they share.
+//! GPU variants are verified against.
 //!
-//! Operates in place on the CSC value array of the filled matrix. The
-//! update order (dependency columns ascending, then division) is byte-for-
-//! byte the order the parallel versions apply per column, so results are
-//! bit-identical across all engines.
+//! This is the host-side instantiation of the unified engine interface:
+//! it runs the *same* kernel core as every GPU engine
+//! ([`crate::outcome::process_column`], merge discipline) one column at a
+//! time in column order — exactly the serialization every level schedule
+//! reduces to. The update order inside a column (dependency columns
+//! ascending, then division) is therefore byte-for-byte what the parallel
+//! engines apply, so results are bit-identical across all engines by
+//! construction rather than by parallel-to-sequential transliteration.
 
+use crate::outcome::{process_column, AccessDiscipline, PivotCache};
+use crate::values::ValueStore;
 use gplu_sparse::{Csc, SparseError};
 
 /// Factorizes the filled matrix sequentially: on return `lu` holds the
@@ -16,62 +22,12 @@ use gplu_sparse::{Csc, SparseError};
 /// factorization) — a missing fill position would silently drop an update,
 /// which is why the symbolic phase must precede this one.
 pub fn factorize_seq(lu: &mut Csc) -> Result<(), SparseError> {
-    let n = lu.n_cols();
-    for j in 0..n {
-        factorize_column_seq(lu, j)?;
+    let cache = PivotCache::build(lu);
+    let vals = ValueStore::new(&lu.vals);
+    for j in 0..lu.n_cols() {
+        process_column(lu, &vals, j, AccessDiscipline::Merge, &cache)?;
     }
-    Ok(())
-}
-
-/// Processes one column (gather updates from finished columns, then
-/// divide) — the per-column work every engine performs.
-fn factorize_column_seq(lu: &mut Csc, j: usize) -> Result<(), SparseError> {
-    let (start, end) = (lu.col_ptr[j], lu.col_ptr[j + 1]);
-    // Dependency columns: entries of column j strictly above the diagonal
-    // (the U part), ascending — each must already be final.
-    for k in start..end {
-        let t = lu.row_idx[k] as usize;
-        if t >= j {
-            break;
-        }
-        let u_tj = lu.vals[k];
-        if u_tj == 0.0 {
-            continue;
-        }
-        // As(i, j) -= As(i, t) * As(t, j) for every i > t in column t.
-        let t_lower = lu.lower_bound_after(t, t);
-        let t_end = lu.col_ptr[t + 1];
-        // Merge the L part of column t into column j's tail: both row
-        // lists ascend, so a two-pointer merge touches each entry once.
-        let mut dst = k + 1;
-        for src in t_lower..t_end {
-            let i = lu.row_idx[src];
-            while dst < end && lu.row_idx[dst] < i {
-                dst += 1;
-            }
-            // A row present in L(:, t) but absent in column j would be a
-            // symbolic-phase bug: Theorem 1 closes the pattern over
-            // exactly these (i, t, j) paths.
-            debug_assert!(
-                dst < end && lu.row_idx[dst] == i,
-                "missing fill position ({i}, {j})"
-            );
-            if dst < end && lu.row_idx[dst] == i {
-                lu.vals[dst] -= lu.vals[src] * u_tj;
-                dst += 1;
-            }
-        }
-    }
-    // Division: As(i, j) /= As(j, j) for i > j.
-    let (diag_pos, _) = lu.find_in_col(j, j);
-    let diag_pos = diag_pos.ok_or(SparseError::ZeroDiagonal { row: j })?;
-    let pivot = lu.vals[diag_pos];
-    if pivot == 0.0 || !pivot.is_finite() {
-        return Err(SparseError::ZeroPivot { col: j });
-    }
-    for k in (diag_pos + 1)..end {
-        lu.vals[k] /= pivot;
-    }
+    lu.vals = vals.into_vec();
     Ok(())
 }
 

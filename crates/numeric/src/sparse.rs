@@ -8,19 +8,20 @@
 //! within its column (the ascending `row_idx` makes Algorithm 6 exact);
 //! the probe count is charged by the cost model at a reduced per-probe
 //! weight (the upper levels of the search tree stay cache-resident).
+//!
+//! The level-loop scaffolding lives in [`crate::engine::run_levels`]; this
+//! module contributes only the [`SparseEngine`] kernel and the forced-mode
+//! ablation knob.
 
+use crate::engine::{run_levels, EngineCounters, LevelRun, NumericEngine};
 use crate::error::NumericError;
-use crate::modes::{classify_level_cached, launch_shape, LevelType, ModeMix};
-use crate::outcome::{
-    column_cost_estimate_cached, process_column, AccessDiscipline, NumericOutcome, PivotCache,
-};
-use crate::resume::{LevelHook, LevelProgress, NumericResume};
-use crate::values::ValueStore;
+use crate::modes::{classify_level_cached, LevelType};
+use crate::outcome::{process_column, AccessDiscipline, NumericOutcome, PivotCache};
+use crate::resume::{LevelHook, NumericResume};
 use gplu_schedule::Levels;
-use gplu_sim::{BlockCtx, Gpu};
-use gplu_sparse::{Csc, SparseError};
-use gplu_trace::{TraceSink, NOOP};
-use parking_lot::Mutex;
+use gplu_sim::{BlockCtx, Gpu, SimError};
+use gplu_sparse::Csc;
+use gplu_trace::{AttrValue, TraceSink, NOOP};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Fraction of a full work-item each binary-search probe costs (probes hit
@@ -29,6 +30,87 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// `probe_weight` knob; the kernel charges through
 /// [`gplu_sim::CostModel::probe_flop_items`].
 pub const PROBE_WEIGHT: f64 = 0.12;
+
+/// The binary-search numeric engine (Algorithm 6), with GLU 3.0's
+/// forced-mode ablation knob.
+pub(crate) struct SparseEngine {
+    force: Option<LevelType>,
+    probes: AtomicU64,
+}
+
+impl SparseEngine {
+    pub(crate) fn new(force: Option<LevelType>) -> SparseEngine {
+        SparseEngine {
+            force,
+            probes: AtomicU64::new(0),
+        }
+    }
+}
+
+impl NumericEngine for SparseEngine {
+    fn kernel_name(&self) -> &'static str {
+        "numeric_sparse"
+    }
+
+    fn seed(&mut self, resume: &NumericResume) {
+        self.probes.store(resume.probes, Ordering::Relaxed);
+    }
+
+    fn classify(&self, pattern: &Csc, cache: &PivotCache, cols: &[gplu_sparse::Idx]) -> LevelType {
+        self.force
+            .unwrap_or_else(|| classify_level_cached(pattern, cache, cols))
+    }
+
+    fn run_level(&self, run: &LevelRun<'_>) -> Result<(), SimError> {
+        let stripes = run.stripes;
+        let kernel = |b: usize, ctx: &mut BlockCtx| {
+            let col = run.cols[b / stripes] as usize;
+            let stripe = b % stripes;
+            let items = run.items_of[b / stripes];
+            // Each located access pays log2(col_nnz) probes at the reduced
+            // probe weight, on top of the item itself (all at the
+            // structured flop rate; the chain-free right-looking charge,
+            // as in the dense engine).
+            let nnz_col = (run.pattern.col_ptr[col + 1] - run.pattern.col_ptr[col]).max(1) as u64;
+            let probe_items = run.gpu.cost().probe_flop_items(items, nnz_col);
+            ctx.bulk_flops(3, (items + probe_items) / stripes as u64);
+            ctx.mem(items * 8 / stripes as u64);
+            if stripe == 0 {
+                match process_column(
+                    run.pattern,
+                    run.vals,
+                    col,
+                    AccessDiscipline::BinarySearch,
+                    run.cache,
+                ) {
+                    Ok(c) => {
+                        self.probes.fetch_add(c.probes, Ordering::Relaxed);
+                    }
+                    Err(e) => {
+                        run.error.lock().get_or_insert(e);
+                    }
+                }
+            }
+        };
+        run.launch(self.kernel_name(), &kernel)
+    }
+
+    fn counters(&self) -> EngineCounters {
+        EngineCounters {
+            probes: self.probes.load(Ordering::Relaxed),
+            ..EngineCounters::default()
+        }
+    }
+
+    fn level_attrs(
+        &self,
+        _run: &LevelRun<'_>,
+        delta: &EngineCounters,
+        attrs: &mut Vec<(&'static str, AttrValue)>,
+    ) {
+        attrs.push(("probes", delta.probes.into()));
+    }
+}
 
 /// Factorizes the filled matrix in the sorted-CSC format (Algorithm 6).
 pub fn factorize_gpu_sparse(
@@ -95,149 +177,20 @@ pub fn factorize_gpu_sparse_run_cached(
     force: Option<LevelType>,
     trace: &dyn TraceSink,
     resume: Option<&NumericResume>,
-    mut hook: Option<&mut LevelHook<'_>>,
+    hook: Option<&mut LevelHook<'_>>,
     pivot: Option<&PivotCache>,
 ) -> Result<NumericOutcome, NumericError> {
-    let n = pattern.n_cols();
-    let before = gpu.stats();
-
-    let csc_bytes = ((n + 1) as u64 + 2 * pattern.nnz() as u64) * 4;
-    let csc_dev = gpu.mem.alloc(csc_bytes)?;
-    gpu.h2d(csc_bytes);
-    let lvl_dev = gpu.mem.alloc(n as u64 * 4)?;
-
-    if let Some(r) = resume {
-        r.check(pattern.nnz(), levels.groups.len())
-            .map_err(NumericError::Input)?;
-    }
-    let start_level = resume.map_or(0, |r| r.start_level);
-    let vals = match resume {
-        Some(r) => ValueStore::new(&r.vals),
-        None => ValueStore::new(&pattern.vals),
-    };
-    let cache_storage;
-    let cache = match pivot {
-        Some(c) => c,
-        None => {
-            cache_storage = PivotCache::build(pattern);
-            &cache_storage
-        }
-    };
-    let mut mix = resume.map_or_else(ModeMix::default, |r| r.mode_mix);
-    let total_probes = AtomicU64::new(resume.map_or(0, |r| r.probes));
-    let error: Mutex<Option<SparseError>> = Mutex::new(None);
-    // Captured-schedule replay (prebuilt pivot cache ⇒ the schedule already
-    // ran once): the host kicks off the first level, every later level is
-    // tail-launched device-side, Algorithm-5 style.
-    let replay = pivot.is_some();
-    let mut kicked_off = false;
-
-    for (li, cols) in levels.groups.iter().enumerate() {
-        if li < start_level {
-            continue; // already durable in the resumed value store
-        }
-        let t = force.unwrap_or_else(|| classify_level_cached(pattern, cache, cols));
-        match t {
-            LevelType::A => mix.a += 1,
-            LevelType::B => mix.b += 1,
-            LevelType::C => mix.c += 1,
-        }
-        let (threads, stripes) = launch_shape(t);
-        let probes_before = total_probes.load(Ordering::Relaxed);
-        trace.span_begin(
-            "numeric.level",
-            "level",
-            gpu.now().as_ns(),
-            &[("level", li.into()), ("width", cols.len().into())],
-        );
-        // Hoisted: one structural cost estimate per column, shared by all
-        // of its cooperating stripes (type C runs 64 per column).
-        let items_of: Vec<u64> = cols
-            .iter()
-            .map(|&j| column_cost_estimate_cached(pattern, cache, j as usize).1)
-            .collect();
-        let kernel = |b: usize, ctx: &mut BlockCtx| {
-            let col = cols[b / stripes] as usize;
-            let stripe = b % stripes;
-            let items = items_of[b / stripes];
-            // Each located access pays log2(col_nnz) probes at the reduced
-            // probe weight, on top of the item itself (all at the
-            // structured flop rate; the chain-free right-looking charge,
-            // as in the dense engine).
-            let nnz_col = (pattern.col_ptr[col + 1] - pattern.col_ptr[col]).max(1) as u64;
-            let probe_items = gpu.cost().probe_flop_items(items, nnz_col);
-            ctx.bulk_flops(3, (items + probe_items) / stripes as u64);
-            ctx.mem(items * 8 / stripes as u64);
-            if stripe == 0 {
-                match process_column(pattern, &vals, col, AccessDiscipline::BinarySearch, cache) {
-                    Ok(c) => {
-                        total_probes.fetch_add(c.probes, Ordering::Relaxed);
-                    }
-                    Err(e) => {
-                        error.lock().get_or_insert(e);
-                    }
-                }
-            }
-        };
-        let grid = cols.len() * stripes;
-        if replay && kicked_off {
-            gpu.launch_device("numeric_sparse", grid, threads, &kernel)?;
-        } else {
-            gpu.launch("numeric_sparse", grid, threads, &kernel)?;
-        }
-        kicked_off = true;
-        trace.span_end(
-            "numeric.level",
-            "level",
-            gpu.now().as_ns(),
-            &[
-                ("level", li.into()),
-                ("width", cols.len().into()),
-                ("mode", t.letter().into()),
-                (
-                    "probes",
-                    (total_probes.load(Ordering::Relaxed) - probes_before).into(),
-                ),
-            ],
-        );
-        if let Some(e) = error.lock().take() {
-            return Err(NumericError::from_sparse_at_level(e, li));
-        }
-        if let Some(h) = hook.as_mut() {
-            h(&LevelProgress {
-                level: li,
-                n_levels: levels.groups.len(),
-                vals: &vals,
-                mode_mix: mix,
-                probes: total_probes.load(Ordering::Relaxed),
-                merge_steps: 0,
-                batches: 0,
-            })?;
-        }
-    }
-
-    gpu.mem.free(lvl_dev)?;
-    gpu.d2h(pattern.nnz() as u64 * 4);
-    gpu.mem.free(csc_dev)?;
-
-    let lu = Csc::from_parts_unchecked(
-        pattern.n_rows(),
-        n,
-        pattern.col_ptr.clone(),
-        pattern.row_idx.clone(),
-        vals.into_vec(),
-    );
-    let stats = gpu.stats().since(&before);
-    Ok(NumericOutcome {
-        lu,
-        time: stats.now,
-        stats,
-        mode_mix: mix,
-        m_limit: None,
-        batches: 0,
-        probes: total_probes.load(Ordering::Relaxed),
-        merge_steps: 0,
-    })
+    let mut engine = SparseEngine::new(force);
+    run_levels(
+        &mut engine,
+        gpu,
+        pattern,
+        levels,
+        trace,
+        resume,
+        hook,
+        pivot,
+    )
 }
 
 #[cfg(test)]

@@ -34,6 +34,16 @@ impl AttrValue {
         }
     }
 
+    /// The value as `f64`, widening integer variants.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            AttrValue::F64(v) => Some(v),
+            AttrValue::U64(v) => Some(v as f64),
+            AttrValue::I64(v) => Some(v as f64),
+            _ => None,
+        }
+    }
+
     /// The value as a string slice, when it is one.
     pub fn as_str(&self) -> Option<&str> {
         match self {

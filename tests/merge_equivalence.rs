@@ -1,21 +1,26 @@
-//! Property-based equivalence of the merge-join numeric kernel: across
-//! random, mesh and circuit generators, the merge engine must produce
-//! factors **bit-identical** to the sequential reference and to the
-//! binary-search CSC engine (all three apply the same updates in the same
-//! order — the disciplines differ only in how positions are located).
+//! Property-based equivalence of every numeric engine: across random,
+//! banded, mesh and circuit generators, the merge-join, binary-search and
+//! supernode-blocked engines must all produce factors **bit-identical**
+//! to the sequential reference (every engine applies the same updates in
+//! the same order — the disciplines differ only in how positions are
+//! located and how the traffic is priced).
 
-use gplu::numeric::{factorize_gpu_merge, factorize_gpu_sparse, factorize_seq};
+use gplu::numeric::{
+    factorize_gpu_blocked, factorize_gpu_blocked_traced, factorize_gpu_merge, factorize_gpu_sparse,
+    factorize_seq, BlockPlan, PivotCache, DEFAULT_BLOCK_THRESHOLD,
+};
 use gplu::prelude::*;
 use gplu::schedule::{levelize_cpu, DepGraph};
 use gplu::sparse::convert::csr_to_csc;
 use gplu::sparse::gen::{circuit, mesh, random};
 use gplu::sparse::Csr;
 use gplu::symbolic::symbolic_cpu;
+use gplu_trace::NOOP;
 use proptest::prelude::*;
 
-/// Runs symbolic + levelization, then both GPU engines and the sequential
-/// reference, asserting bitwise agreement of all three factors.
-fn assert_merge_equivalent(a: &Csr, label: &str) -> Result<(), TestCaseError> {
+/// Runs symbolic + levelization, then every GPU engine and the sequential
+/// reference, asserting bitwise agreement of all factors.
+fn assert_engines_equivalent(a: &Csr, label: &str) -> Result<(), TestCaseError> {
     let sym = symbolic_cpu(a, &CostModel::default());
     let pattern = csr_to_csc(&sym.result.filled);
     let levels = levelize_cpu(&DepGraph::build(&sym.result.filled), &CostModel::default()).levels;
@@ -27,6 +32,13 @@ fn assert_merge_equivalent(a: &Csr, label: &str) -> Result<(), TestCaseError> {
         .expect("merge engine ok");
     let bsearch = factorize_gpu_sparse(&Gpu::new(GpuConfig::v100()), &pattern, &levels)
         .expect("binary-search engine ok");
+    let blocked = factorize_gpu_blocked(
+        &Gpu::new(GpuConfig::v100()),
+        &pattern,
+        &levels,
+        DEFAULT_BLOCK_THRESHOLD,
+    )
+    .expect("blocked engine ok");
 
     prop_assert_eq!(&merge.lu.vals, &seq.vals, "{}: merge != seq", label);
     prop_assert_eq!(
@@ -35,7 +47,20 @@ fn assert_merge_equivalent(a: &Csr, label: &str) -> Result<(), TestCaseError> {
         "{}: merge != bsearch",
         label
     );
+    prop_assert_eq!(
+        &merge.lu.vals,
+        &blocked.lu.vals,
+        "{}: merge != blocked",
+        label
+    );
     prop_assert_eq!(merge.probes, 0, "{}: merge must not probe", label);
+    prop_assert_eq!(blocked.probes, 0, "{}: blocked must not probe", label);
+    prop_assert_eq!(
+        blocked.merge_steps,
+        merge.merge_steps,
+        "{}: blocked walks the same merge cursor",
+        label
+    );
     Ok(())
 }
 
@@ -43,37 +68,37 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
     #[test]
-    fn merge_matches_seq_and_bsearch_on_random(
+    fn engines_match_seq_on_random(
         n in 20usize..120,
         density in 2.0f64..6.0,
         seed in 0u64..500,
     ) {
         let a = random::random_dominant(n, density, seed);
-        assert_merge_equivalent(&a, "random")?;
+        assert_engines_equivalent(&a, "random")?;
     }
 
     #[test]
-    fn merge_matches_seq_and_bsearch_on_banded(
+    fn engines_match_seq_on_banded(
         n in 20usize..150,
         band in 2usize..8,
         seed in 0u64..500,
     ) {
         let a = random::banded_dominant(n, band, seed);
-        assert_merge_equivalent(&a, "banded")?;
+        assert_engines_equivalent(&a, "banded")?;
     }
 
     #[test]
-    fn merge_matches_seq_and_bsearch_on_mesh(
+    fn engines_match_seq_on_mesh(
         n in 25usize..120,
         density in 3.0f64..6.0,
         seed in 0u64..500,
     ) {
         let a = mesh::mesh(&mesh::MeshParams::for_target(n, density, seed));
-        assert_merge_equivalent(&a, "mesh")?;
+        assert_engines_equivalent(&a, "mesh")?;
     }
 
     #[test]
-    fn merge_matches_seq_and_bsearch_on_circuit(
+    fn engines_match_seq_on_circuit(
         n in 30usize..150,
         nnz_per_row in 3.0f64..7.0,
         seed in 0u64..500,
@@ -84,7 +109,7 @@ proptest! {
             seed,
             ..Default::default()
         });
-        assert_merge_equivalent(&a, "circuit")?;
+        assert_engines_equivalent(&a, "circuit")?;
     }
 }
 
@@ -114,4 +139,68 @@ fn merge_through_the_pipeline_is_bit_identical_too() {
     assert_eq!(merge.lu.vals, bsearch.lu.vals);
     assert!(merge.report.merge_steps > 0);
     assert!(bsearch.report.probes > 0);
+}
+
+#[test]
+fn blocked_through_the_pipeline_is_bit_identical_too() {
+    // End-to-end: the forced SparseBlocked pipeline format against
+    // SparseMerge — bit-identical values, BLAS-3 tiles actually counted.
+    let a = random::banded_dominant(300, 8, 77);
+    let gpu = || Gpu::new(GpuConfig::v100_symbolic_profile(a.n_rows(), a.nnz()));
+    let blocked = LuFactorization::compute(
+        &gpu(),
+        &a,
+        &LuOptions {
+            format: NumericFormat::SparseBlocked,
+            ..Default::default()
+        },
+    )
+    .expect("blocked pipeline ok");
+    let merge = LuFactorization::compute(
+        &gpu(),
+        &a,
+        &LuOptions {
+            format: NumericFormat::SparseMerge,
+            ..Default::default()
+        },
+    )
+    .expect("merge pipeline ok");
+    assert_eq!(blocked.lu.vals, merge.lu.vals);
+    assert!(
+        blocked.report.gemm_tiles > 0,
+        "band-8 fill must form blocks"
+    );
+    assert_eq!(merge.report.gemm_tiles, 0);
+}
+
+#[test]
+fn zero_blocks_degenerates_to_merge_exactly() {
+    // A plan with no supernodes must reproduce the merge engine exactly:
+    // same values, same cursor walk, same simulated time, no tiles.
+    let a = random::random_dominant(150, 3.0, 9);
+    let sym = symbolic_cpu(&a, &CostModel::default());
+    let pattern = csr_to_csc(&sym.result.filled);
+    let levels = levelize_cpu(&DepGraph::build(&sym.result.filled), &CostModel::default()).levels;
+
+    let cache = PivotCache::build(&pattern);
+    // An unreachable threshold (Jaccard never exceeds 1) forces the
+    // degenerate all-singleton plan.
+    let plan = BlockPlan::detect(&pattern, &cache, 1.1);
+    assert_eq!(plan.n_blocks(), 0);
+
+    let blocked = factorize_gpu_blocked_traced(
+        &Gpu::new(GpuConfig::v100()),
+        &pattern,
+        &levels,
+        &plan,
+        &NOOP,
+    )
+    .expect("blocked engine ok");
+    let merge = factorize_gpu_merge(&Gpu::new(GpuConfig::v100()), &pattern, &levels)
+        .expect("merge engine ok");
+
+    assert_eq!(blocked.lu.vals, merge.lu.vals);
+    assert_eq!(blocked.merge_steps, merge.merge_steps);
+    assert_eq!(blocked.gemm_tiles, 0);
+    assert_eq!(blocked.time, merge.time);
 }

@@ -8,7 +8,7 @@
 //! 2. for every crash-point ordinal `k`, killing the run at `k`
 //!    (`FaultPlan::crash_at`) and then resuming from the surviving
 //!    snapshots reproduces the uninterrupted factors **bit-for-bit**,
-//!    across all four numeric engines;
+//!    across all five numeric formats;
 //! 3. corrupting every snapshot on disk turns resume into a typed
 //!    [`GpluError::CheckpointCorrupt`] — never a panic, never a silently
 //!    wrong answer;
@@ -70,15 +70,16 @@ fn assert_factors_equal(got: &LuFactorization, want: &LuFactorization, ctx: &str
     assert_eq!(got.lu.vals, want.lu.vals, "{ctx}: values diverged bitwise");
 }
 
-const FORMATS: [(NumericFormat, &str); 4] = [
+const FORMATS: [(NumericFormat, &str); 5] = [
     (NumericFormat::Dense, "dense"),
     (NumericFormat::Sparse, "sparse"),
     (NumericFormat::SparseMerge, "merge"),
+    (NumericFormat::SparseBlocked, "blocked"),
     (NumericFormat::Auto, "auto"),
 ];
 
 /// The tentpole invariant: crash at every ordinal, resume, compare bits —
-/// for each of the four numeric engines.
+/// for each of the five numeric formats.
 #[test]
 fn crash_at_every_ordinal_then_resume_is_bit_identical() {
     let a = random_dominant(120, 4.0, 7 + seed_base());
@@ -178,6 +179,57 @@ fn resumed_factors_solve_the_system() {
     assert!(
         gplu::sparse::verify::check_solution(&a, &x, &b, 1e-8),
         "resumed factorization does not solve the original system"
+    );
+}
+
+/// The blocked engine crash-resumed from a mid-numeric-level snapshot:
+/// bit-identical factors *and* an intact BLAS-3 tile count, proving the
+/// `gemm_tiles` counter round-trips through the resume codec instead of
+/// restarting from zero.
+#[test]
+fn blocked_resumes_mid_level_with_intact_tile_count() {
+    use gplu::sparse::gen::random::banded_dominant;
+
+    // Band 8 fill keeps adjacent columns similar, so supernodes form and
+    // the run actually accumulates gemm tiles worth preserving.
+    let a = banded_dominant(150, 8, 13 + seed_base());
+    let opts = LuOptions {
+        format: NumericFormat::SparseBlocked,
+        ..Default::default()
+    };
+    let reference = LuFactorization::compute(&gpu_for(&a), &a, &opts).expect("clean blocked run");
+    assert!(reference.report.gemm_tiles > 0, "blocks must form");
+
+    // Find a late ordinal (inside the numeric phase) by counting first.
+    let probe = gpu_for(&a);
+    LuFactorization::compute_checkpointed(
+        &probe,
+        &a,
+        &opts,
+        &CheckpointOptions::new(ckpt_dir("blocked-probe")).every(2),
+        &gplu_trace::NOOP,
+    )
+    .expect("probe run");
+    let late = probe.stats().crash_points.saturating_sub(1).max(1);
+
+    let dir = ckpt_dir("blocked-crash");
+    let ckpt = CheckpointOptions::new(&dir).every(2);
+    let gpu = gpu_with_plan(&a, FaultPlan::new().crash_at(late));
+    LuFactorization::compute_checkpointed(&gpu, &a, &opts, &ckpt, &gplu_trace::NOOP)
+        .expect_err("crash plan must kill the run");
+
+    let resumed = LuFactorization::compute_checkpointed(
+        &gpu_for(&a),
+        &a,
+        &opts,
+        &CheckpointOptions::new(&dir).every(2).resume(true),
+        &gplu_trace::NOOP,
+    )
+    .expect("resume");
+    assert_factors_equal(&resumed, &reference, "blocked mid-level resume");
+    assert_eq!(
+        resumed.report.gemm_tiles, reference.report.gemm_tiles,
+        "resumed tile count must match the uninterrupted run"
     );
 }
 
