@@ -31,7 +31,7 @@ use gplu_bench::{geomean, Table};
 use gplu_numeric::outcome::column_cost_estimate_cached;
 use gplu_numeric::{
     factorize_gpu_blocked_run_cached, factorize_gpu_merge_run_cached, BlockPlan, NumericOutcome,
-    PivotCache, DEFAULT_BLOCK_THRESHOLD,
+    PivotCache, PivotRule, DEFAULT_BLOCK_THRESHOLD,
 };
 use gplu_schedule::{levelize_cpu, DepGraph, Levels};
 use gplu_sim::{CostModel, Gpu, GpuConfig};
@@ -171,8 +171,17 @@ fn main() {
         let (blas3_bytes, streaming_bytes) = byte_split(&pattern, &cache, &plan, &cost);
 
         let mg = measure(reps, |gpu| {
-            factorize_gpu_merge_run_cached(gpu, &pattern, &levels, &NOOP, None, None, Some(&cache))
-                .expect("merge ok")
+            factorize_gpu_merge_run_cached(
+                gpu,
+                &pattern,
+                &levels,
+                &NOOP,
+                None,
+                None,
+                Some(&cache),
+                PivotRule::Exact,
+            )
+            .expect("merge ok")
         });
         let bk = measure(reps, |gpu| {
             factorize_gpu_blocked_run_cached(
@@ -184,6 +193,7 @@ fn main() {
                 None,
                 None,
                 Some(&cache),
+                PivotRule::Exact,
             )
             .expect("blocked ok")
         });

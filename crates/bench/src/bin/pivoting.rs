@@ -1,0 +1,221 @@
+//! Cost and payoff of the robustness ladder: what threshold pivoting and
+//! the residual gate charge on polite (diagonally dominant) traffic, and
+//! what they buy on the adversarial hard corpus.
+//!
+//! Two experiments:
+//!
+//! * **overhead** — the dominant families under `NoPivot` vs
+//!   `Threshold{tau=0.1}`: the discovery pre-pass finds nothing to swap,
+//!   so its cost (plus the gate's probe solves) is pure overhead and must
+//!   stay small (the acceptance bar is < 10% wall regression);
+//! * **payoff** — every [`HardKind`] family under each policy, classified
+//!   into the three-state contract (gate pass / recovered / typed
+//!   rejection). No-pivot LU should be rejected by the gate on much of
+//!   this corpus; threshold pivoting should convert those rejections into
+//!   verified factorizations.
+//!
+//! Writes `BENCH_pivoting.json` and prints two tables.
+//!
+//! Usage: `pivoting [--reps N]` (default 5 repetitions per configuration)
+
+use gplu_bench::Table;
+use gplu_core::{GpluError, LuFactorization, LuOptions};
+use gplu_numeric::{PivotPolicy, DEFAULT_PIVOT_TAU};
+use gplu_sim::{Gpu, GpuConfig};
+use gplu_sparse::gen::hard::HardKind;
+use gplu_sparse::gen::{circuit, mesh, random};
+use gplu_sparse::Csr;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const THRESHOLD: PivotPolicy = PivotPolicy::Threshold {
+    tau: DEFAULT_PIVOT_TAU,
+};
+
+fn reps_from_args() -> usize {
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        if a == "--reps" {
+            return it.next().and_then(|v| v.parse().ok()).unwrap_or(5);
+        }
+    }
+    5
+}
+
+fn gpu_for(a: &Csr) -> Gpu {
+    Gpu::new(GpuConfig::v100_symbolic_profile(a.n_rows(), a.nnz()))
+}
+
+struct Measured {
+    wall_ms_median: f64,
+    sim_ns: f64,
+    swaps: u64,
+    result: Result<LuFactorization, GpluError>,
+}
+
+fn measure(a: &Csr, opts: &LuOptions, reps: usize) -> Measured {
+    let mut walls: Vec<f64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            let _ = LuFactorization::compute(&gpu_for(a), a, opts);
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    walls.sort_by(|x, y| x.partial_cmp(y).expect("finite timings"));
+    let result = LuFactorization::compute(&gpu_for(a), a, opts);
+    let (sim_ns, swaps) = match &result {
+        Ok(f) => (f.report.total().as_ns(), f.report.pivot_swaps as u64),
+        Err(_) => (0.0, 0),
+    };
+    Measured {
+        wall_ms_median: walls[walls.len() / 2],
+        sim_ns,
+        swaps,
+        result,
+    }
+}
+
+/// Three-state classification of a pipeline outcome on hard traffic.
+fn state(m: &Measured) -> &'static str {
+    match &m.result {
+        Ok(f) if f.report.recovery.is_empty() => "gate-pass",
+        Ok(_) => "recovered",
+        Err(_) => "rejected",
+    }
+}
+
+fn main() {
+    let reps = reps_from_args();
+    println!("pivoting cost/payoff: NoPivot vs Threshold(tau={DEFAULT_PIVOT_TAU}) ({reps} reps)\n");
+
+    // ---- Overhead on polite traffic ------------------------------------
+    let dominant: Vec<(&str, Csr)> = vec![
+        (
+            "circuit",
+            circuit::circuit(&circuit::CircuitParams {
+                n: 1500,
+                nnz_per_row: 6.0,
+                seed: 21,
+                ..Default::default()
+            }),
+        ),
+        (
+            "mesh",
+            mesh::mesh(&mesh::MeshParams::for_target(1500, 5.0, 22)),
+        ),
+        ("banded", random::banded_dominant(1500, 8, 23)),
+        ("random", random::random_dominant(1500, 5.0, 24)),
+    ];
+
+    let mut t = Table::new([
+        "matrix", "n", "np wall", "th wall", "overhead", "np sim", "th sim", "swaps",
+    ]);
+    let mut overhead_rows = String::new();
+    let mut worst_overhead: f64 = 0.0;
+    for (name, a) in &dominant {
+        let np = measure(a, &LuOptions::default(), reps);
+        let th = measure(a, &LuOptions::default().with_pivot(THRESHOLD), reps);
+        assert!(
+            np.result.is_ok() && th.result.is_ok(),
+            "{name}: dominant corpus must pass"
+        );
+        let overhead = th.wall_ms_median / np.wall_ms_median - 1.0;
+        worst_overhead = worst_overhead.max(overhead);
+        t.row([
+            name.to_string(),
+            a.n_rows().to_string(),
+            format!("{:.2} ms", np.wall_ms_median),
+            format!("{:.2} ms", th.wall_ms_median),
+            format!("{:+.1}%", overhead * 100.0),
+            format!("{:.2} ms", np.sim_ns / 1e6),
+            format!("{:.2} ms", th.sim_ns / 1e6),
+            th.swaps.to_string(),
+        ]);
+        if !overhead_rows.is_empty() {
+            overhead_rows.push(',');
+        }
+        write!(
+            overhead_rows,
+            "\n    {{\"name\": \"{name}\", \"n\": {}, \
+             \"nopivot\": {{\"wall_ms_median\": {:.4}, \"sim_time_ns\": {:.1}}}, \
+             \"threshold\": {{\"wall_ms_median\": {:.4}, \"sim_time_ns\": {:.1}, \
+             \"swaps\": {}}}, \"wall_overhead\": {overhead:.4}}}",
+            a.n_rows(),
+            np.wall_ms_median,
+            np.sim_ns,
+            th.wall_ms_median,
+            th.sim_ns,
+            th.swaps,
+        )
+        .expect("string write");
+    }
+    t.print();
+    println!(
+        "\nworst-case wall overhead on dominant traffic: {:+.1}%\n",
+        worst_overhead * 100.0
+    );
+
+    // ---- Payoff on the hard corpus -------------------------------------
+    let policies: [(&str, LuOptions); 4] = [
+        ("nopivot", LuOptions::default()),
+        (
+            "static",
+            LuOptions::default().with_pivot(PivotPolicy::Static { threshold: 1e-8 }),
+        ),
+        ("threshold", LuOptions::default().with_pivot(THRESHOLD)),
+        ("escalate", {
+            let mut o = LuOptions::default();
+            o.gate.escalate = true;
+            o
+        }),
+    ];
+    let seeds = [41u64, 42, 43];
+    let mut t = Table::new(["family", "policy", "pass", "recovered", "rejected", "swaps"]);
+    let mut hard_rows = String::new();
+    for kind in HardKind::ALL {
+        for (pname, opts) in &policies {
+            let (mut pass, mut rec, mut rej, mut swaps) = (0u32, 0u32, 0u32, 0u64);
+            for &seed in &seeds {
+                let a = kind.generate(400, seed);
+                let m = measure(&a, opts, 1);
+                match state(&m) {
+                    "gate-pass" => pass += 1,
+                    "recovered" => rec += 1,
+                    _ => rej += 1,
+                }
+                swaps += m.swaps;
+            }
+            t.row([
+                kind.name().to_string(),
+                pname.to_string(),
+                pass.to_string(),
+                rec.to_string(),
+                rej.to_string(),
+                swaps.to_string(),
+            ]);
+            if !hard_rows.is_empty() {
+                hard_rows.push(',');
+            }
+            write!(
+                hard_rows,
+                "\n    {{\"family\": \"{}\", \"policy\": \"{pname}\", \"instances\": {}, \
+                 \"gate_pass\": {pass}, \"recovered\": {rec}, \"rejected\": {rej}, \
+                 \"swaps\": {swaps}}}",
+                kind.name(),
+                seeds.len(),
+            )
+            .expect("string write");
+        }
+    }
+    t.print();
+
+    let json = format!(
+        "{{\n  \"bench\": \"pivoting\",\n  \"reps\": {reps},\n  \
+         \"tau\": {DEFAULT_PIVOT_TAU},\n  \
+         \"dominant_overhead\": [{overhead_rows}\n  ],\n  \
+         \"worst_wall_overhead\": {worst_overhead:.4},\n  \
+         \"hard_corpus\": [{hard_rows}\n  ]\n}}\n"
+    );
+    std::fs::write("BENCH_pivoting.json", &json).expect("write BENCH_pivoting.json");
+    println!("\nwrote BENCH_pivoting.json");
+}

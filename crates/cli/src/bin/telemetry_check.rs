@@ -170,7 +170,7 @@ fn check_service(doc: &JsonValue) -> Result<String, String> {
         ));
     }
 
-    for section in ["jobs", "cache", "latency", "queue", "faults"] {
+    for section in ["jobs", "cache", "latency", "queue", "faults", "robustness"] {
         if doc.get(section).is_none() {
             return Err(format!("service report: {section} section missing"));
         }
@@ -239,6 +239,19 @@ fn check_service(doc: &JsonValue) -> Result<String, String> {
     let faults = doc.get("faults").unwrap();
     field(faults, "faults", "injected")?;
     field(faults, "faults", "jobs_recovered")?;
+
+    let rob = doc.get("robustness").unwrap();
+    let gate_failures = field(rob, "robustness", "gate_failures")?;
+    field(rob, "robustness", "quarantine_rejected")?;
+    let quarantined = field(rob, "robustness", "quarantined_patterns")?;
+    // Every quarantined pattern took at least one recorded strike, so the
+    // counters can never invert.
+    if quarantined > gate_failures {
+        return Err(format!(
+            "service report: {quarantined} quarantined patterns but only \
+             {gate_failures} gate failures"
+        ));
+    }
 
     Ok(format!(
         "service report ok: schema v{version}, {submitted} submitted, \

@@ -2,14 +2,15 @@
 //! command logic is unit-testable without spawning processes).
 
 use gplu_core::{
-    CheckpointOptions, GpluError, LuFactorization, LuOptions, NumericFormat, RunReport,
-    SymbolicEngine,
+    CheckpointOptions, GpluError, LuFactorization, LuOptions, NumericFormat, PivotPolicy,
+    RunReport, SymbolicEngine, DEFAULT_PIVOT_TAU,
 };
 use gplu_server::{
     generate_workload, JobHandle, ServiceConfig, ServiceReport, SolverService, WorkloadParams,
 };
 use gplu_sim::{CostModel, FaultPlan, Gpu, GpuConfig};
 use gplu_sparse::convert::coo_to_csr;
+use gplu_sparse::gen::hard::HardKind;
 use gplu_sparse::gen::{circuit, mesh, planar};
 use gplu_sparse::io::{read_matrix_market_file, write_matrix_market_file};
 use gplu_sparse::ordering::OrderingKind;
@@ -28,7 +29,9 @@ commands:
   info <matrix.mtx>
   factorize <matrix.mtx> [options]
   solve <matrix.mtx> [options] [--gpu-solve]
-  gen <circuit|mesh|planar> <n> <nnz_per_row> <out.mtx> [seed]
+  gen <family> <n> <nnz_per_row> <out.mtx> [seed]
+      families: circuit, mesh, planar (dominant); near-singular, graded,
+      zero-diag, sign-alternating (adversarial; nnz_per_row ignored)
   serve --stress [serve options]
 
 options:
@@ -47,6 +50,24 @@ options:
                                 pass to chain two columns (default 0.6; used
                                 by --format blocked and the auto crossover)
   --mem <MiB>                   device memory (default: out-of-core profile)
+  --pivot none|static|threshold pivoting policy (default none): 'static'
+                                perturbs tiny pivots up to a floor at
+                                division time, 'threshold' runs the host
+                                discovery pre-pass and swaps rows whose
+                                pivot falls below tau times the column max
+  --pivot-tau <F>               threshold-pivoting relative tolerance in
+                                0..1 (default 0.1; implies --pivot
+                                threshold when that flag is unset)
+  --static-floor <F>            static-perturbation pivot floor (default
+                                1e-8; requires --pivot static)
+  --gate-threshold <F>          residual acceptance gate: reject factors
+                                whose relative residual exceeds F
+                                (default 1e-6)
+  --no-gate                     skip the residual gate entirely (accept
+                                whatever the numeric phase produced)
+  --escalate                    on gate failure, retry under progressively
+                                stronger pivoting (threshold -> partial ->
+                                static floor) before rejecting
   --repair-singular             patch pivots that cancel to zero with the
                                 repair value and retry the numeric phase once
   --fault-plan <spec>           inject deterministic device faults; spec is a
@@ -90,6 +111,13 @@ seeded synthetic workload against it and reports what happened):
   --fault-plan <spec>           use this plan (same grammar as factorize)
                                 for the faulted jobs instead of seeded
                                 ones; implies --fault-every 7 when unset
+  --hard-fraction <F>           fraction of jobs drawn from the adversarial
+                                hard corpus (ill-conditioned patterns
+                                resubmitted with drifting values; 0..1,
+                                default 0 = none)
+  --quarantine-strikes <N>      numeric rejections on one pattern before
+                                the service fast-rejects it (default 2,
+                                0 disables quarantine)
   --format auto|dense|sparse|merge|blocked
                                 numeric format forced onto every generated
                                 job (default auto)
@@ -209,6 +237,11 @@ pub fn parse_options(args: &[String]) -> Result<RunOptions, CliError> {
     let mut ckpt_dir: Option<String> = None;
     let mut ckpt_every: Option<usize> = None;
     let mut resume = false;
+    let mut pivot_kind: Option<String> = None;
+    let mut pivot_tau: Option<f64> = None;
+    let mut static_floor: Option<f64> = None;
+    let mut no_gate = false;
+    let mut escalate = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut value = |flag: &str| {
@@ -254,6 +287,48 @@ pub fn parse_options(args: &[String]) -> Result<RunOptions, CliError> {
                 opts.mem = Some(mib << 20);
             }
             "--gpu-solve" => opts.gpu_solve = true,
+            "--pivot" => {
+                let kind = value("--pivot")?;
+                match kind.as_str() {
+                    "none" | "static" | "threshold" => pivot_kind = Some(kind),
+                    other => {
+                        return Err(CliError::Usage(format!("unknown pivot policy '{other}'")))
+                    }
+                }
+            }
+            "--pivot-tau" => {
+                let tau: f64 = value("--pivot-tau")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--pivot-tau takes a number in 0..1".into()))?;
+                if !(tau > 0.0 && tau <= 1.0) {
+                    return Err(CliError::Usage("--pivot-tau takes a number in 0..1".into()));
+                }
+                pivot_tau = Some(tau);
+            }
+            "--static-floor" => {
+                let floor: f64 = value("--static-floor")?.parse().map_err(|_| {
+                    CliError::Usage("--static-floor takes a positive number".into())
+                })?;
+                if !(floor > 0.0 && floor.is_finite()) {
+                    return Err(CliError::Usage(
+                        "--static-floor takes a positive number".into(),
+                    ));
+                }
+                static_floor = Some(floor);
+            }
+            "--gate-threshold" => {
+                let t: f64 = value("--gate-threshold")?.parse().map_err(|_| {
+                    CliError::Usage("--gate-threshold takes a positive number".into())
+                })?;
+                if !(t > 0.0 && t.is_finite()) {
+                    return Err(CliError::Usage(
+                        "--gate-threshold takes a positive number".into(),
+                    ));
+                }
+                opts.lu.gate.threshold = t;
+            }
+            "--no-gate" => no_gate = true,
+            "--escalate" => escalate = true,
             "--checkpoint-dir" => ckpt_dir = Some(value("--checkpoint-dir")?),
             "--checkpoint-every" => {
                 let n: usize = value("--checkpoint-every")?.parse().map_err(|_| {
@@ -282,6 +357,62 @@ pub fn parse_options(args: &[String]) -> Result<RunOptions, CliError> {
             other => return Err(CliError::Usage(format!("unknown flag '{other}'"))),
         }
     }
+    // Pivoting flags are validated as a unit so conflicting combinations
+    // are typed usage errors, never silently dropped knobs.
+    opts.lu.pivot = match pivot_kind.as_deref() {
+        Some("none") => {
+            if pivot_tau.is_some() || static_floor.is_some() {
+                return Err(CliError::Usage(
+                    "--pivot none conflicts with --pivot-tau / --static-floor".into(),
+                ));
+            }
+            PivotPolicy::NoPivot
+        }
+        Some("static") => {
+            if pivot_tau.is_some() {
+                return Err(CliError::Usage(
+                    "--pivot-tau belongs to --pivot threshold, not static".into(),
+                ));
+            }
+            PivotPolicy::Static {
+                threshold: static_floor.unwrap_or(1e-8),
+            }
+        }
+        Some("threshold") => {
+            if static_floor.is_some() {
+                return Err(CliError::Usage(
+                    "--static-floor belongs to --pivot static, not threshold".into(),
+                ));
+            }
+            PivotPolicy::Threshold {
+                tau: pivot_tau.unwrap_or(DEFAULT_PIVOT_TAU),
+            }
+        }
+        Some(_) => unreachable!("parser rejected unknown policies"),
+        // Bare --pivot-tau implies threshold pivoting; a bare
+        // --static-floor has nothing to attach to.
+        None => match (pivot_tau, static_floor) {
+            (Some(tau), None) => PivotPolicy::Threshold { tau },
+            (None, Some(_)) => {
+                return Err(CliError::Usage(
+                    "--static-floor requires --pivot static".into(),
+                ));
+            }
+            (Some(_), Some(_)) => {
+                return Err(CliError::Usage(
+                    "--pivot-tau conflicts with --static-floor (pick one policy)".into(),
+                ));
+            }
+            (None, None) => opts.lu.pivot,
+        },
+    };
+    if no_gate && escalate {
+        return Err(CliError::Usage(
+            "--escalate needs the residual gate; drop --no-gate".into(),
+        ));
+    }
+    opts.lu.gate.enabled = !no_gate;
+    opts.lu.gate.escalate = escalate;
     if opts.fault_plan.is_none() {
         opts.fault_plan = FaultPlan::from_env()
             .map_err(|e| CliError::Usage(format!("{}: {e}", gplu_sim::FAULT_PLAN_ENV)))?;
@@ -381,6 +512,21 @@ pub fn parse_serve_options(args: &[String]) -> Result<ServeOptions, CliError> {
                 o.workload.fault_every = int("--fault-every", value("--fault-every")?)?;
                 fault_every_set = true;
             }
+            "--hard-fraction" => {
+                let f: f64 = value("--hard-fraction")?.parse().map_err(|_| {
+                    CliError::Usage("--hard-fraction takes a number in 0..1".into())
+                })?;
+                if !(0.0..=1.0).contains(&f) {
+                    return Err(CliError::Usage(
+                        "--hard-fraction takes a number in 0..1".into(),
+                    ));
+                }
+                o.workload.hard_fraction = f;
+            }
+            "--quarantine-strikes" => {
+                o.service.quarantine_strikes =
+                    int("--quarantine-strikes", value("--quarantine-strikes")?)? as u32;
+            }
             "--fault-plan" => {
                 let spec = value("--fault-plan")?;
                 o.fault_plan = Some(
@@ -460,6 +606,14 @@ fn run_serve(o: &ServeOptions, out: &mut dyn Write) -> Result<(), CliError> {
         o.service.queue_cap,
         o.service.cache_budget_bytes >> 20,
     )?;
+    if o.workload.hard_fraction > 0.0 {
+        writeln!(
+            out,
+            "hard traffic: {:.0}% adversarial jobs, quarantine after {} strike(s)",
+            o.workload.hard_fraction * 100.0,
+            o.service.quarantine_strikes,
+        )?;
+    }
     let recorder = o.trace_out.as_ref().map(|_| Arc::new(Recorder::new()));
     let svc = match &recorder {
         Some(rec) => SolverService::start_traced(o.service.clone(), Arc::clone(rec)),
@@ -502,8 +656,11 @@ fn run_serve(o: &ServeOptions, out: &mut dyn Write) -> Result<(), CliError> {
     let report = ServiceReport::capture(&svc);
     svc.shutdown();
     writeln!(out, "{}", report.summary())?;
-    for (id, e) in &failures {
+    for (id, e) in failures.iter().take(10) {
         writeln!(out, "job {id} failed: {e}")?;
+    }
+    if failures.len() > 10 {
+        writeln!(out, "... and {} more failed jobs", failures.len() - 10)?;
     }
     if let Some(path) = &o.service_report {
         std::fs::write(path, report.to_json().to_pretty())?;
@@ -523,10 +680,12 @@ fn run_serve(o: &ServeOptions, out: &mut dyn Write) -> Result<(), CliError> {
         }
     }
     // Under fault injection a job may legitimately exhaust its recovery
-    // ladder (e.g. a seeded *persistent* OOM) — that is a typed failure,
-    // not a panic, and the run is still healthy. Without chaos, any
-    // failure is a real regression.
-    let chaos = o.workload.fault_every > 0 || o.fault_plan.is_some();
+    // ladder (e.g. a seeded *persistent* OOM), and under hard traffic the
+    // residual gate / quarantine *should* reject jobs — those are typed
+    // failures, not panics, and the run is still healthy. Without chaos,
+    // any failure is a real regression.
+    let chaos =
+        o.workload.fault_every > 0 || o.fault_plan.is_some() || o.workload.hard_fraction > 0.0;
     if !failures.is_empty() && !chaos {
         return Err(CliError::Check(format!(
             "{} of {} jobs failed without fault injection",
@@ -750,6 +909,13 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
                 }),
                 "mesh" => mesh::mesh(&mesh::MeshParams::for_target(n, density, seed)),
                 "planar" => planar::planar(&planar::PlanarParams::for_target(n, density, seed)),
+                // The adversarial families fix their own structure; the
+                // density argument is accepted for command symmetry but
+                // unused.
+                "near-singular" => HardKind::NearSingular.generate(n, seed),
+                "graded" => HardKind::Graded.generate(n, seed),
+                "zero-diag" => HardKind::ZeroDiag.generate(n, seed),
+                "sign-alternating" => HardKind::SignAlternating.generate(n, seed),
                 other => return Err(CliError::Usage(format!("unknown family '{other}'"))),
             };
             let mut coo = Coo::with_capacity(a.n_rows(), a.n_cols(), a.nnz());
@@ -1060,6 +1226,110 @@ mod tests {
     }
 
     #[test]
+    fn pivot_and_gate_flags_parse_and_validate() {
+        // Defaults: no pivoting, gate on, no escalation.
+        let o = parse_options(&[]).expect("parses");
+        assert_eq!(o.lu.pivot, PivotPolicy::NoPivot);
+        assert!(o.lu.gate.enabled);
+        assert!(!o.lu.gate.escalate);
+
+        let o = parse_options(&["--pivot", "threshold"].map(String::from)).expect("parses");
+        assert_eq!(
+            o.lu.pivot,
+            PivotPolicy::Threshold {
+                tau: DEFAULT_PIVOT_TAU
+            }
+        );
+
+        // A bare --pivot-tau implies threshold pivoting.
+        let o = parse_options(&["--pivot-tau", "0.5"].map(String::from)).expect("parses");
+        assert_eq!(o.lu.pivot, PivotPolicy::Threshold { tau: 0.5 });
+
+        let o = parse_options(&["--pivot", "static", "--static-floor", "1e-6"].map(String::from))
+            .expect("parses");
+        assert_eq!(o.lu.pivot, PivotPolicy::Static { threshold: 1e-6 });
+
+        let o = parse_options(
+            &["--gate-threshold", "1e-9", "--escalate", "--pivot", "none"].map(String::from),
+        )
+        .expect("parses");
+        assert_eq!(o.lu.gate.threshold, 1e-9);
+        assert!(o.lu.gate.escalate);
+        assert_eq!(o.lu.pivot, PivotPolicy::NoPivot);
+
+        let o = parse_options(&["--no-gate".to_string()]).expect("parses");
+        assert!(!o.lu.gate.enabled);
+
+        // Every conflicting or malformed combination is a typed usage
+        // error, never a silently dropped knob.
+        for bad in [
+            vec!["--pivot", "partial"],
+            vec!["--pivot"],
+            vec!["--pivot-tau", "0"],
+            vec!["--pivot-tau", "1.5"],
+            vec!["--pivot-tau", "wat"],
+            vec!["--pivot", "none", "--pivot-tau", "0.2"],
+            vec!["--pivot", "static", "--pivot-tau", "0.2"],
+            vec!["--pivot", "threshold", "--static-floor", "1e-8"],
+            vec!["--static-floor", "1e-8"],
+            vec!["--pivot-tau", "0.2", "--static-floor", "1e-8"],
+            vec!["--static-floor", "-1.0", "--pivot", "static"],
+            vec!["--gate-threshold", "0"],
+            vec!["--gate-threshold", "wat"],
+            vec!["--no-gate", "--escalate"],
+        ] {
+            let args: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
+            assert!(
+                matches!(parse_options(&args), Err(CliError::Usage(_))),
+                "expected usage error for {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn hard_families_generate_and_threshold_pivoting_recovers_them() {
+        let path = tmp("hard.mtx");
+        run_str(&["gen", "near-singular", "200", "6", &path, "5"]).expect("gen");
+        let out = run_str(&["info", &path]).expect("info");
+        assert!(out.contains("200 x 200"));
+
+        // No-pivot either passes the gate or is refused typed — and
+        // threshold pivoting must turn this family into a verified run.
+        match run_str(&["factorize", &path]) {
+            Ok(out) => assert!(out.contains("total simulated time"), "got: {out}"),
+            Err(CliError::Pipeline(
+                GpluError::NumericallySingular { .. } | GpluError::SingularPivot { .. },
+            )) => {}
+            Err(e) => panic!("no-pivot on hard traffic must fail typed, got {e}"),
+        }
+        let out =
+            run_str(&["factorize", &path, "--pivot", "threshold"]).expect("threshold recovers");
+        assert!(out.contains("pivot swaps"), "got: {out}");
+
+        for family in ["graded", "zero-diag", "sign-alternating"] {
+            let p = tmp(&format!("hard-{family}.mtx"));
+            run_str(&["gen", family, "120", "6", &p]).expect("gen");
+            assert!(run_str(&["info", &p]).is_ok(), "{family} round-trips");
+        }
+    }
+
+    #[test]
+    fn threshold_pivoting_runs_from_the_command_line() {
+        let path = tmp("pivot.mtx");
+        run_str(&["gen", "circuit", "300", "5", &path]).expect("gen");
+        let out = run_str(&["factorize", &path, "--pivot", "threshold"]).expect("factorize");
+        assert!(out.contains("total simulated time"), "got: {out}");
+        let out = run_str(&["solve", &path, "--pivot", "threshold", "--escalate"]).expect("solve");
+        let err: f64 = out
+            .lines()
+            .find(|l| l.contains("max error"))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse().ok())
+            .expect("error line");
+        assert!(err < 1e-6, "solve error {err}");
+    }
+
+    #[test]
     fn corrupt_matrix_file_is_a_typed_error() {
         let path = tmp("nan.mtx");
         std::fs::write(
@@ -1157,6 +1427,77 @@ mod tests {
         .expect("parses");
         assert_eq!(o.format, Some(NumericFormat::SparseBlocked));
         assert_eq!(o.block_threshold, Some(0.7));
+
+        let o = parse_serve_options(
+            &[
+                "--stress",
+                "--hard-fraction",
+                "0.25",
+                "--quarantine-strikes",
+                "3",
+            ]
+            .map(String::from),
+        )
+        .expect("parses");
+        assert_eq!(o.workload.hard_fraction, 0.25);
+        assert_eq!(o.service.quarantine_strikes, 3);
+        for bad in [
+            vec!["--stress", "--hard-fraction", "1.5"],
+            vec!["--stress", "--hard-fraction", "wat"],
+            vec!["--stress", "--quarantine-strikes", "wat"],
+        ] {
+            let args: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
+            assert!(
+                matches!(parse_serve_options(&args), Err(CliError::Usage(_))),
+                "expected usage error for {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn serve_stress_with_hard_traffic_reports_the_quarantine() {
+        use gplu_trace::{json, JsonValue};
+
+        let report_path = tmp("serve-hard-report.json");
+        let out = run_str(&[
+            "serve",
+            "--stress",
+            "--jobs",
+            "60",
+            "--workers",
+            "2",
+            "--seed",
+            "11",
+            "--hot-n",
+            "100",
+            "--cold-n",
+            "64",
+            "--hard-fraction",
+            "0.4",
+            "--service-report",
+            &report_path,
+        ])
+        .expect("hard-traffic stress run must not be a driver failure");
+        assert!(out.contains("hard traffic: 40%"), "got: {out}");
+        assert!(out.contains("gate failures"), "got: {out}");
+
+        let report = json::parse(&std::fs::read_to_string(&report_path).expect("report file"))
+            .expect("report parses");
+        let rob = report.get("robustness").expect("robustness section");
+        // Adversarial jobs either pass the gate after recovery or land as
+        // typed rejections; the counters must be present either way.
+        assert!(rob
+            .get("gate_failures")
+            .and_then(JsonValue::as_u64)
+            .is_some());
+        assert!(rob
+            .get("quarantined_patterns")
+            .and_then(JsonValue::as_u64)
+            .is_some());
+        let jobs = report.get("jobs").expect("jobs section");
+        let completed = jobs.get("completed").and_then(JsonValue::as_u64).unwrap();
+        let failed = jobs.get("failed").and_then(JsonValue::as_u64).unwrap();
+        assert_eq!(completed + failed, 60, "every job resolves");
     }
 
     #[test]

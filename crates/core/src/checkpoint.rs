@@ -527,10 +527,34 @@ fn encode_recovery(log: &RecoveryLog) -> Vec<u8> {
                 e.str(from);
                 e.str(to);
             }
-            RecoveryAction::PivotRepaired { col, value } => {
+            RecoveryAction::PivotRepaired {
+                col,
+                value,
+                magnitude,
+            } => {
                 e.u8(4);
                 e.u64(*col as u64);
                 e.f64(*value);
+                e.f64(*magnitude);
+            }
+            RecoveryAction::PivotEscalated { from, to } => {
+                e.u8(5);
+                e.str(from);
+                e.str(to);
+            }
+            RecoveryAction::PivotPerturbed { cols, max_delta } => {
+                e.u8(6);
+                e.u64(*cols as u64);
+                e.f64(*max_delta);
+            }
+            RecoveryAction::PatternExpanded { added, rounds } => {
+                e.u8(7);
+                e.u64(*added as u64);
+                e.u64(*rounds as u64);
+            }
+            RecoveryAction::Resymbolic { abandoned } => {
+                e.u8(8);
+                e.u64(*abandoned as u64);
             }
         }
     }
@@ -560,6 +584,22 @@ fn decode_recovery(b: &[u8]) -> Result<RecoveryLog, GpluError> {
             4 => RecoveryAction::PivotRepaired {
                 col: d.u64("rec.col").map_err(corrupt_ck)? as usize,
                 value: d.f64("rec.value").map_err(corrupt_ck)?,
+                magnitude: d.f64("rec.magnitude").map_err(corrupt_ck)?,
+            },
+            5 => RecoveryAction::PivotEscalated {
+                from: d.str("rec.from").map_err(corrupt_ck)?,
+                to: d.str("rec.to").map_err(corrupt_ck)?,
+            },
+            6 => RecoveryAction::PivotPerturbed {
+                cols: d.u64("rec.cols").map_err(corrupt_ck)? as usize,
+                max_delta: d.f64("rec.max_delta").map_err(corrupt_ck)?,
+            },
+            7 => RecoveryAction::PatternExpanded {
+                added: d.u64("rec.added").map_err(corrupt_ck)? as usize,
+                rounds: d.u64("rec.rounds").map_err(corrupt_ck)? as usize,
+            },
+            8 => RecoveryAction::Resymbolic {
+                abandoned: d.u64("rec.abandoned").map_err(corrupt_ck)? as usize,
             },
             other => return Err(corrupt(format!("unknown recovery action tag {other}"))),
         };
@@ -1074,7 +1114,33 @@ mod tests {
             RecoveryAction::PivotRepaired {
                 col: 5,
                 value: 1e-8,
+                magnitude: 3e-9,
             },
+        );
+        log.record(
+            Phase::Numeric,
+            RecoveryAction::PivotEscalated {
+                from: "none".into(),
+                to: "threshold(tau=0.1)".into(),
+            },
+        );
+        log.record(
+            Phase::Numeric,
+            RecoveryAction::PivotPerturbed {
+                cols: 3,
+                max_delta: 2e-7,
+            },
+        );
+        log.record(
+            Phase::Symbolic,
+            RecoveryAction::PatternExpanded {
+                added: 17,
+                rounds: 2,
+            },
+        );
+        log.record(
+            Phase::Symbolic,
+            RecoveryAction::Resymbolic { abandoned: 400 },
         );
         let decoded = decode_recovery(&encode_recovery(&log)).unwrap();
         assert_eq!(decoded.len(), log.len());
@@ -1086,9 +1152,29 @@ mod tests {
                 final_chunk: 64
             }
         ));
+        assert!(matches!(
+            &evs[4].action,
+            RecoveryAction::PivotRepaired { col: 5, value, magnitude }
+                if *value == 1e-8 && *magnitude == 3e-9
+        ));
         assert!(
-            matches!(&evs[4].action, RecoveryAction::PivotRepaired { col: 5, value } if *value == 1e-8)
+            matches!(&evs[5].action, RecoveryAction::PivotEscalated { to, .. } if to.contains("tau=0.1"))
         );
+        assert!(matches!(
+            &evs[6].action,
+            RecoveryAction::PivotPerturbed { cols: 3, max_delta } if *max_delta == 2e-7
+        ));
+        assert!(matches!(
+            evs[7].action,
+            RecoveryAction::PatternExpanded {
+                added: 17,
+                rounds: 2
+            }
+        ));
+        assert!(matches!(
+            evs[8].action,
+            RecoveryAction::Resymbolic { abandoned: 400 }
+        ));
     }
 
     #[test]

@@ -38,6 +38,30 @@ pub enum GpluError {
         /// outside a level schedule, e.g. in a triangular solve).
         level: usize,
     },
+    /// The factorization could not pass the residual acceptance gate (or
+    /// kept producing singular pivots) after every rung of the pivoting
+    /// escalation ladder. This is the "no wrong answers" rejection: the
+    /// factors were computed but failed verification, and the pipeline
+    /// refuses to return them.
+    NumericallySingular {
+        /// Best relative residual achieved across the ladder
+        /// (`f64::INFINITY` when every attempt died before the gate).
+        residual: f64,
+        /// The gate threshold the residual had to clear.
+        threshold: f64,
+        /// Number of ladder rungs attempted.
+        attempts: usize,
+    },
+    /// A warm refactorization's new values no longer satisfy the
+    /// threshold-pivoting row order captured in its plan. Replaying the
+    /// plan would apply a stale pivot sequence, so the caller must run a
+    /// cold factorization (and may rebuild the plan from it).
+    StalePivotOrder {
+        /// First column whose threshold winner differs from the plan's.
+        col: usize,
+        /// The threshold the captured order no longer clears.
+        tau: f64,
+    },
     /// Every rung of the recovery ladder for `phase` failed; `last` is
     /// the final rung's error.
     RecoveryExhausted {
@@ -82,6 +106,16 @@ pub enum GpluError {
     },
     /// The job was cancelled by its submitter before a worker started it.
     Cancelled,
+    /// The solver service has quarantined this job's sparsity pattern:
+    /// earlier jobs on the same pattern kept failing numeric acceptance,
+    /// so the service fast-rejects it without burning GPU time. Submit
+    /// with stronger pivoting options or a repaired matrix to retry.
+    Quarantined {
+        /// Structure-only fingerprint of the quarantined pattern.
+        pattern_fp: u64,
+        /// Numeric rejections recorded against the pattern.
+        strikes: u32,
+    },
 }
 
 impl fmt::Display for GpluError {
@@ -100,6 +134,20 @@ impl fmt::Display for GpluError {
             GpluError::SingularPivot { col, level } => {
                 write!(f, "singular pivot in column {col} (level {level})")
             }
+            GpluError::NumericallySingular {
+                residual,
+                threshold,
+                attempts,
+            } => write!(
+                f,
+                "numerically singular: residual {residual:.3e} failed the {threshold:.1e} \
+                 acceptance gate after {attempts} pivoting attempt(s)"
+            ),
+            GpluError::StalePivotOrder { col, tau } => write!(
+                f,
+                "stale pivot order: column {col} no longer clears the plan's \
+                 pivot threshold (tau={tau}) — run a cold factorization"
+            ),
             GpluError::RecoveryExhausted {
                 phase,
                 attempts,
@@ -128,6 +176,13 @@ impl fmt::Display for GpluError {
                 "deadline exceeded: waited {waited_ns} ns against a {deadline_ns} ns deadline"
             ),
             GpluError::Cancelled => write!(f, "job cancelled before execution"),
+            GpluError::Quarantined {
+                pattern_fp,
+                strikes,
+            } => write!(
+                f,
+                "pattern {pattern_fp:#018x} is quarantined after {strikes} numeric rejection(s)"
+            ),
         }
     }
 }
@@ -215,6 +270,18 @@ mod tests {
             level: usize::MAX,
         };
         assert!(!e.to_string().contains("level"));
+        let e = GpluError::NumericallySingular {
+            residual: 0.37,
+            threshold: 1e-6,
+            attempts: 4,
+        };
+        assert!(e.to_string().contains("3.700e-1"));
+        assert!(e.to_string().contains("1.0e-6"));
+        assert!(e.to_string().contains("4 pivoting attempt"));
+        let e = GpluError::StalePivotOrder { col: 12, tau: 0.1 };
+        assert!(e.to_string().contains("column 12"));
+        assert!(e.to_string().contains("tau=0.1"));
+        assert!(e.to_string().contains("cold factorization"));
     }
 
     #[test]
@@ -229,6 +296,12 @@ mod tests {
         assert!(e.to_string().contains("5000 ns"));
         assert!(e.to_string().contains("1000 ns deadline"));
         assert!(GpluError::Cancelled.to_string().contains("cancelled"));
+        let e = GpluError::Quarantined {
+            pattern_fp: 0xabcd,
+            strikes: 3,
+        };
+        assert!(e.to_string().contains("0x000000000000abcd"));
+        assert!(e.to_string().contains("3 numeric rejection"));
         // The service variants must stay comparable for test assertions.
         assert_eq!(GpluError::Cancelled, GpluError::Cancelled);
         assert_ne!(

@@ -47,7 +47,8 @@ pub use checkpoint::{
     ResumeState,
 };
 pub use error::GpluError;
-pub use pipeline::{LuFactorization, LuOptions, NumericFormat, SymbolicEngine};
+pub use gplu_numeric::{PivotPolicy, DEFAULT_PIVOT_TAU};
+pub use pipeline::{LuFactorization, LuOptions, NumericFormat, ResidualGate, SymbolicEngine};
 pub use preprocess::{preprocess, PreprocessOptions, PreprocessOutcome};
 pub use recovery::{Phase, RecoveryAction, RecoveryEvent, RecoveryLog};
 pub use refactor::RefactorPlan;

@@ -14,19 +14,22 @@ use crate::preprocess::{preprocess, PreprocessOptions, PreprocessOutcome};
 use crate::recovery::{Phase, RecoveryAction, RecoveryLog};
 use crate::report::PhaseReport;
 use gplu_numeric::{
-    factorize_gpu_blocked_run, factorize_gpu_dense_run, factorize_gpu_merge_run,
-    factorize_gpu_sparse_run, BlockPlan, LevelHook, LevelProgress, NumericError, NumericResume,
-    PivotCache, DEFAULT_BLOCK_THRESHOLD,
+    discover_pivots, factorize_gpu_blocked_run_cached, factorize_gpu_dense_run_cached,
+    factorize_gpu_merge_run_cached, factorize_gpu_sparse_run_cached, BlockPlan, LevelHook,
+    LevelProgress, NumericError, NumericResume, PivotCache, PivotPolicy, PivotRule,
+    DEFAULT_BLOCK_THRESHOLD, DEFAULT_PIVOT_TAU,
 };
 use gplu_schedule::{levelize_gpu_traced, DepGraph, Levels};
 use gplu_sim::{Gpu, SimError, SimTime};
 use gplu_sparse::convert::csr_to_csc;
 use gplu_sparse::ordering::OrderingKind;
+use gplu_sparse::perm::permute_csr;
 use gplu_sparse::triangular::solve_lu;
-use gplu_sparse::{Csc, Csr, Permutation, Val};
+use gplu_sparse::verify::residual_probe;
+use gplu_sparse::{Csc, Csr, Permutation, SparseError, Val};
 use gplu_symbolic::{
-    symbolic_ooc_dynamic_run, symbolic_ooc_run, symbolic_um_traced, ChunkHook, ChunkProgress,
-    SymbolicResult, SymbolicResume, UmMode,
+    expand_fill, symbolic_ooc_dynamic_run, symbolic_ooc_run, symbolic_um_traced, ChunkHook,
+    ChunkProgress, SymbolicResult, SymbolicResume, UmMode,
 };
 use gplu_trace::{AttrValue, TraceSink, NOOP};
 use std::cell::RefCell;
@@ -73,6 +76,39 @@ pub enum NumericFormat {
     SparseBlocked,
 }
 
+/// Residual-based acceptance gate: after factorization the pipeline
+/// solves against probe right-hand sides and accepts only when the
+/// relative residual clears `threshold`. A failing gate either escalates
+/// the pivoting policy (when [`ResidualGate::escalate`] is set) or
+/// rejects with [`GpluError::NumericallySingular`] — the pipeline never
+/// silently returns garbage factors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResidualGate {
+    /// Run the gate at all. Off, the pipeline accepts whatever the
+    /// numeric phase produced (the historical behavior).
+    pub enabled: bool,
+    /// Largest acceptable relative residual.
+    pub threshold: f64,
+    /// Probe right-hand sides (the max residual across them is gated).
+    pub probes: usize,
+    /// On gate failure, retry under progressively stronger pivoting
+    /// (threshold pivoting at the default tau, then full partial
+    /// pivoting, then a static perturbation floor) instead of rejecting
+    /// immediately. Every escalation lands in the recovery log.
+    pub escalate: bool,
+}
+
+impl Default for ResidualGate {
+    fn default() -> Self {
+        ResidualGate {
+            enabled: true,
+            threshold: 1e-6,
+            probes: 2,
+            escalate: false,
+        }
+    }
+}
+
 /// End-to-end pipeline options.
 #[derive(Debug, Clone)]
 pub struct LuOptions {
@@ -87,6 +123,11 @@ pub struct LuOptions {
     /// block. Used by [`NumericFormat::SparseBlocked`] and the
     /// [`NumericFormat::Auto`] crossover probe.
     pub block_threshold: f64,
+    /// How small and zero pivots are handled (none / static perturbation
+    /// / threshold pivoting with a host discovery pre-pass).
+    pub pivot: PivotPolicy,
+    /// Post-factorization residual acceptance gate.
+    pub gate: ResidualGate,
 }
 
 impl Default for LuOptions {
@@ -96,6 +137,8 @@ impl Default for LuOptions {
             symbolic: SymbolicEngine::default(),
             format: NumericFormat::default(),
             block_threshold: DEFAULT_BLOCK_THRESHOLD,
+            pivot: PivotPolicy::default(),
+            gate: ResidualGate::default(),
         }
     }
 }
@@ -105,6 +148,22 @@ impl LuOptions {
     pub fn with_ordering(mut self, kind: OrderingKind) -> Self {
         self.preprocess.ordering = kind;
         self
+    }
+
+    /// Options with a specific pivoting policy (convenience).
+    pub fn with_pivot(mut self, pivot: PivotPolicy) -> Self {
+        self.pivot = pivot;
+        self
+    }
+}
+
+/// Human-readable pivot policy description for recovery events and trace
+/// attributes.
+pub(crate) fn policy_desc(p: PivotPolicy) -> String {
+    match p {
+        PivotPolicy::NoPivot => "none".into(),
+        PivotPolicy::Static { threshold } => format!("static({threshold:.1e})"),
+        PivotPolicy::Threshold { tau } => format!("threshold(tau={tau})"),
     }
 }
 
@@ -307,19 +366,39 @@ fn hooked_cut(
 /// Overwrites the diagonal value of column `col` in both the factorized
 /// pattern (CSC) and the pre-processed matrix (CSR) — the late analogue
 /// of pre-processing's `repair_diagonal`, applied when a pivot cancels
-/// to zero during elimination.
-pub(crate) fn bump_diag(matrix: &mut Csr, pattern: &mut Csc, col: usize, value: f64) -> bool {
+/// to zero during elimination. Returns the previous matrix diagonal so
+/// the caller can record the perturbation magnitude.
+pub(crate) fn bump_diag(
+    matrix: &mut Csr,
+    pattern: &mut Csc,
+    col: usize,
+    value: f64,
+) -> Option<f64> {
     let (pos, _) = pattern.find_in_col(col, col);
-    let Some(pos) = pos else { return false };
+    let pos = pos?;
     pattern.vals[pos] = value;
     for k in matrix.row_ptr[col]..matrix.row_ptr[col + 1] {
         if matrix.col_idx[k] as usize == col {
+            let old = matrix.vals[k];
             matrix.vals[k] = value;
-            return true;
+            return Some(old);
         }
     }
     // The pre-processed matrix always carries a full diagonal; reaching
     // here means the inputs are inconsistent.
+    None
+}
+
+/// Adds `delta` onto the stored diagonal of row `col` — mirroring an
+/// engine-level static pivot clamp into the input so the matrix and its
+/// factors agree exactly.
+pub(crate) fn add_to_diag(matrix: &mut Csr, col: usize, delta: f64) -> bool {
+    for k in matrix.row_ptr[col]..matrix.row_ptr[col + 1] {
+        if matrix.col_idx[k] as usize == col {
+            matrix.vals[k] += delta;
+            return true;
+        }
+    }
     false
 }
 
@@ -367,6 +446,14 @@ impl LuFactorization {
         Self::compute_inner(gpu, a, opts, Some(&mut session), trace)
     }
 
+    /// The residual-gated escalation loop around [`Self::compute_once`]:
+    /// runs the user's pivoting policy, measures the factors against the
+    /// acceptance gate, and — when [`ResidualGate::escalate`] is set —
+    /// climbs the ladder (threshold pivoting at the default tau → full
+    /// partial pivoting → static perturbation floor) until a rung passes
+    /// or every rung is spent, in which case the typed
+    /// [`GpluError::NumericallySingular`] rejection is returned. Never a
+    /// silently wrong answer.
     fn compute_inner(
         gpu: &Gpu,
         a: &Csr,
@@ -374,8 +461,108 @@ impl LuFactorization {
         mut session: Option<&mut CheckpointSession>,
         trace: &dyn TraceSink,
     ) -> Result<Self, GpluError> {
+        let mut rungs: Vec<PivotPolicy> = vec![opts.pivot];
+        if opts.gate.enabled && opts.gate.escalate {
+            match opts.pivot {
+                PivotPolicy::NoPivot | PivotPolicy::Static { .. } => {
+                    rungs.push(PivotPolicy::Threshold {
+                        tau: DEFAULT_PIVOT_TAU,
+                    });
+                    rungs.push(PivotPolicy::Threshold { tau: 1.0 });
+                }
+                PivotPolicy::Threshold { tau } if tau < 1.0 => {
+                    rungs.push(PivotPolicy::Threshold { tau: 1.0 });
+                }
+                PivotPolicy::Threshold { .. } => {}
+            }
+            // Last constructive rung: clamp every surviving small pivot
+            // to a floor scaled by the matrix norm. The factors then
+            // exactly factor the correspondingly bumped matrix, with the
+            // deltas mirrored into it and logged.
+            let floor = (a.frobenius_norm() * 1e-8).max(f64::MIN_POSITIVE);
+            rungs.push(PivotPolicy::Static { threshold: floor });
+        }
+
+        let total = rungs.len();
+        let mut best_residual = f64::INFINITY;
+        for (i, &policy) in rungs.iter().enumerate() {
+            let mut seed = RecoveryLog::default();
+            if i > 0 {
+                let action = RecoveryAction::PivotEscalated {
+                    from: policy_desc(rungs[i - 1]),
+                    to: policy_desc(policy),
+                };
+                trace_recovery(trace, gpu.now().as_ns(), Phase::Numeric, &action);
+                seed.record(Phase::Numeric, action);
+            }
+            // Durability covers only the first attempt: an escalated
+            // retry runs under a different policy, so a partial snapshot
+            // from the failed rung must not replay into it.
+            let sess = if i == 0 { session.take() } else { None };
+            match Self::compute_once(gpu, a, opts, policy, sess, trace, seed) {
+                Ok(mut f) => {
+                    if !opts.gate.enabled {
+                        return Ok(f);
+                    }
+                    let r = residual_probe(&f.preprocessed, &f.lu, opts.gate.probes.max(1));
+                    f.report.residual = Some(r);
+                    let pass = r.is_finite() && r <= opts.gate.threshold;
+                    if trace.enabled() {
+                        trace.instant(
+                            "numeric.residual_gate",
+                            "verify",
+                            gpu.now().as_ns(),
+                            &[
+                                ("residual", r.into()),
+                                ("threshold", opts.gate.threshold.into()),
+                                ("pass", pass.into()),
+                                ("policy", AttrValue::Str(policy_desc(policy))),
+                            ],
+                        );
+                    }
+                    if pass {
+                        return Ok(f);
+                    }
+                    best_residual = best_residual.min(r);
+                }
+                Err(e @ GpluError::Crashed { .. }) => return Err(e),
+                Err(e) => {
+                    // Only pivot-class failures are worth escalating;
+                    // device and input failures have their own ladders
+                    // and their own types.
+                    let escalatable = matches!(
+                        e,
+                        GpluError::SingularPivot { .. }
+                            | GpluError::Sparse(SparseError::ZeroPivot { .. })
+                            | GpluError::Sparse(SparseError::ZeroDiagonal { .. })
+                    );
+                    if !escalatable || i + 1 == total {
+                        return Err(e);
+                    }
+                }
+            }
+        }
+        Err(GpluError::NumericallySingular {
+            residual: best_residual,
+            threshold: opts.gate.threshold,
+            attempts: total,
+        })
+    }
+
+    /// One full pipeline pass under a fixed pivoting policy. The caller
+    /// ([`Self::compute_inner`]) owns gating and escalation;
+    /// `seed_recovery` carries any escalation events that led here.
+    fn compute_once(
+        gpu: &Gpu,
+        a: &Csr,
+        opts: &LuOptions,
+        policy: PivotPolicy,
+        mut session: Option<&mut CheckpointSession>,
+        trace: &dyn TraceSink,
+        seed_recovery: RecoveryLog,
+    ) -> Result<Self, GpluError> {
         let mut report = PhaseReport::default();
-        let mut recovery = RecoveryLog::default();
+        let mut recovery = seed_recovery;
         let every = session.as_ref().map_or(usize::MAX, |s| s.every());
         // Checkpoint I/O failures inside engine hooks land here (see
         // `hooked_cut`); the ladders rethrow them instead of degrading.
@@ -394,7 +581,7 @@ impl LuFactorization {
         // 1. Pre-processing (host) — replayed from the snapshot on
         // resume (every snapshot carries it, including any later
         // diagonal repairs).
-        let (mut matrix, p_row, p_col) = if let Some(r) = &resume_state {
+        let (mut matrix, mut p_row, p_col) = if let Some(r) = &resume_state {
             let pre = &r.pre;
             report.preprocess = SimTime::from_ns(pre.time_ns);
             report.repaired_diagonals = pre.repaired;
@@ -438,7 +625,9 @@ impl LuFactorization {
         // on-demand paging cannot run out of device capacity. A snapshot
         // past this phase replays the filled pattern instead; a partial
         // snapshot replays the chunk watermark on the engine that cut it.
-        let symbolic = if let Some(done) = resume_state.as_ref().and_then(|r| r.symbolic.as_ref()) {
+        let mut symbolic = if let Some(done) =
+            resume_state.as_ref().and_then(|r| r.symbolic.as_ref())
+        {
             report.chunk_size = done.chunk_size;
             report.symbolic_iterations = done.iterations;
             done.result.clone()
@@ -547,6 +736,105 @@ impl LuFactorization {
             }
             symbolic
         };
+
+        // 2b. Threshold-pivot discovery (host pre-pass): the
+        // level-scheduled engines cannot pivot at runtime, so under the
+        // threshold policy a sequential Gilbert–Peierls sweep picks the
+        // row permutation *before* levelization. On dominant traffic the
+        // diagonal clears tau everywhere, swaps == 0, and every
+        // downstream artifact is untouched (the fast path the pivoting
+        // benchmark measures).
+        if let PivotPolicy::Threshold { tau } = policy {
+            trace.span_begin(
+                "phase.pivot_discovery",
+                "phase",
+                gpu.now().as_ns(),
+                &[("tau", tau.into())],
+            );
+            let disc = discover_pivots(&matrix, tau).map_err(|e| match e {
+                SparseError::ZeroPivot { col } => GpluError::SingularPivot {
+                    col,
+                    level: usize::MAX,
+                },
+                other => GpluError::Sparse(other),
+            });
+            if let Ok(d) = &disc {
+                gpu.advance(SimTime::from_ns(gpu.cost().pivot_discovery_ns(d.flops)));
+            }
+            trace.span_end(
+                "phase.pivot_discovery",
+                "phase",
+                gpu.now().as_ns(),
+                &[
+                    (
+                        "swaps",
+                        (disc.as_ref().map_or(0, |d| d.swaps) as u64).into(),
+                    ),
+                    ("ok", disc.is_ok().into()),
+                ],
+            );
+            let disc = disc?;
+            report.pivot_swaps = disc.swaps;
+            if disc.swaps > 0 {
+                let p_pivot = Permutation::from_forward(disc.pinv).map_err(|e| {
+                    GpluError::Input(format!("pivot discovery produced a non-bijective map: {e}"))
+                })?;
+                let id = Permutation::identity(matrix.n_cols());
+                matrix = permute_csr(&matrix, &p_pivot, &id);
+                p_row = p_row.then(&p_pivot);
+                // The predicted fill no longer covers the permuted rows;
+                // grow it in place (bounded), or re-run symbolic from
+                // scratch when the in-place closure blows its budget.
+                let filled_perm = permute_csr(&symbolic.filled, &p_pivot, &id);
+                trace.span_begin("numeric.pattern_expand", "phase", gpu.now().as_ns(), &[]);
+                let budget = 4 * filled_perm.nnz() + 256;
+                let expansion = expand_fill(&filled_perm, budget);
+                gpu.advance(SimTime::from_ns(
+                    gpu.cost()
+                        .pattern_expand_ns((filled_perm.nnz() + expansion.added) as u64),
+                ));
+                trace.span_end(
+                    "numeric.pattern_expand",
+                    "phase",
+                    gpu.now().as_ns(),
+                    &[
+                        ("added", (expansion.added as u64).into()),
+                        ("rounds", (expansion.rounds as u64).into()),
+                        ("closed", expansion.closed.into()),
+                    ],
+                );
+                if expansion.closed {
+                    report.pattern_expanded = expansion.added;
+                    let action = RecoveryAction::PatternExpanded {
+                        added: expansion.added,
+                        rounds: expansion.rounds,
+                    };
+                    trace_recovery(trace, gpu.now().as_ns(), Phase::Symbolic, &action);
+                    recovery.record(Phase::Symbolic, action);
+                    symbolic.filled = expansion.filled;
+                } else {
+                    let action = RecoveryAction::Resymbolic {
+                        abandoned: expansion.added,
+                    };
+                    trace_recovery(trace, gpu.now().as_ns(), Phase::Symbolic, &action);
+                    recovery.record(Phase::Symbolic, action);
+                    // Unified memory cannot run out of device capacity,
+                    // making it the safe engine for the fallback pass.
+                    let prev = report.symbolic;
+                    symbolic = run_symbolic(
+                        gpu,
+                        &matrix,
+                        SymbolicEngine::UmPrefetch,
+                        &mut report,
+                        &mut recovery,
+                        trace,
+                        None,
+                        None,
+                    )?;
+                    report.symbolic = prev + report.symbolic;
+                }
+            }
+        }
         report.fill_nnz = symbolic.fill_nnz();
         report.new_fill_ins = symbolic.new_fill_ins(&matrix);
 
@@ -646,6 +934,13 @@ impl LuFactorization {
         );
         let mut num_partial = resume_state.as_ref().and_then(|r| r.numeric.clone());
         let mut repair_attempted = false;
+        // Static perturbation acts inside the engines at division time;
+        // every other policy factorizes exactly (threshold pivoting
+        // already moved its swaps into the row permutation above).
+        let rule = match policy {
+            PivotPolicy::Static { threshold } => PivotRule::Perturb { threshold },
+            _ => PivotRule::Exact,
+        };
         let (numeric, used_format) = 'numeric: loop {
             let mut last_err: Option<SimError> = None;
             let mut attempts = 0usize;
@@ -692,10 +987,17 @@ impl LuFactorization {
                     None => None,
                 };
                 let run = match format {
-                    NumericFormat::Dense => {
-                        factorize_gpu_dense_run(gpu, &pattern, &levels, trace, rung_resume, hook)
-                    }
-                    NumericFormat::Sparse => factorize_gpu_sparse_run(
+                    NumericFormat::Dense => factorize_gpu_dense_run_cached(
+                        gpu,
+                        &pattern,
+                        &levels,
+                        trace,
+                        rung_resume,
+                        hook,
+                        None,
+                        rule,
+                    ),
+                    NumericFormat::Sparse => factorize_gpu_sparse_run_cached(
                         gpu,
                         &pattern,
                         &levels,
@@ -703,8 +1005,10 @@ impl LuFactorization {
                         trace,
                         rung_resume,
                         hook,
+                        None,
+                        rule,
                     ),
-                    NumericFormat::SparseBlocked => factorize_gpu_blocked_run(
+                    NumericFormat::SparseBlocked => factorize_gpu_blocked_run_cached(
                         gpu,
                         &pattern,
                         &levels,
@@ -712,9 +1016,20 @@ impl LuFactorization {
                         trace,
                         rung_resume,
                         hook,
+                        None,
+                        rule,
                     ),
                     NumericFormat::Auto | NumericFormat::SparseMerge => {
-                        factorize_gpu_merge_run(gpu, &pattern, &levels, trace, rung_resume, hook)
+                        factorize_gpu_merge_run_cached(
+                            gpu,
+                            &pattern,
+                            &levels,
+                            trace,
+                            rung_resume,
+                            hook,
+                            None,
+                            rule,
+                        )
                     }
                 };
                 match run {
@@ -735,13 +1050,19 @@ impl LuFactorization {
                         // (the paper's Table 4 constant) and retry the
                         // numeric ladder once.
                         let value = opts.preprocess.repair_value;
-                        if opts.preprocess.repair_singular
-                            && !repair_attempted
-                            && bump_diag(&mut matrix, &mut pattern, col, value)
-                        {
+                        let old = if opts.preprocess.repair_singular && !repair_attempted {
+                            bump_diag(&mut matrix, &mut pattern, col, value)
+                        } else {
+                            None
+                        };
+                        if let Some(old) = old {
                             repair_attempted = true;
                             gpu.mem.reset();
-                            let action = RecoveryAction::PivotRepaired { col, value };
+                            let action = RecoveryAction::PivotRepaired {
+                                col,
+                                value,
+                                magnitude: (value - old).abs(),
+                            };
                             trace_recovery(trace, gpu.now().as_ns(), Phase::Numeric, &action);
                             recovery.record(Phase::Numeric, action);
                             report.repaired_diagonals += 1;
@@ -788,6 +1109,22 @@ impl LuFactorization {
             ],
         );
         report.phase_stats.numeric = gpu.stats().since(&num_before);
+        if !numeric.perturbations.is_empty() {
+            // The factors exactly factor the bumped matrix; mirror the
+            // clamp deltas into the preprocessed diagonal so residuals
+            // and solves target the system the factors represent.
+            let mut max_delta = 0.0f64;
+            for &(col, delta) in &numeric.perturbations {
+                add_to_diag(&mut matrix, col, delta);
+                max_delta = max_delta.max(delta.abs());
+            }
+            let action = RecoveryAction::PivotPerturbed {
+                cols: numeric.perturbations.len(),
+                max_delta,
+            };
+            trace_recovery(trace, gpu.now().as_ns(), Phase::Numeric, &action);
+            recovery.record(Phase::Numeric, action);
+        }
         report.recovery = recovery;
 
         Ok(LuFactorization {
@@ -1379,5 +1716,149 @@ mod tests {
         let f = LuFactorization::compute(&gpu, &a, &LuOptions::default()).expect("ok");
         assert!(f.report.repaired_diagonals > 0);
         assert!(residual_probe(&f.preprocessed, &f.lu, 3) < 1e-9);
+    }
+
+    #[test]
+    fn threshold_pivoting_swaps_rows_and_passes_the_gate() {
+        let a = gplu_sparse::gen::hard::near_singular(150, 5);
+        let opts = LuOptions::default().with_pivot(PivotPolicy::Threshold {
+            tau: DEFAULT_PIVOT_TAU,
+        });
+        let gpu = gpu_for(&a);
+        let f = LuFactorization::compute(&gpu, &a, &opts).expect("threshold survives");
+        assert!(f.report.pivot_swaps > 0, "near-singular rows must swap");
+        let r = f.report.residual.expect("gate ran");
+        assert!(r <= opts.gate.threshold, "gate must pass: {r:e}");
+        // Factors solve the *original* system through the composed p_row.
+        let x_true = vec![1.0; 150];
+        let b = a.spmv(&x_true);
+        let x = f.solve(&b).expect("solve ok");
+        assert!(check_solution(&a, &x, &b, 1e-6));
+    }
+
+    #[test]
+    fn nopivot_on_adversarial_values_is_rejected_not_wrong() {
+        // Without pivoting the tiny diagonals blow up element growth; the
+        // gate must convert that into a typed rejection, never a silently
+        // garbage factorization.
+        let a = gplu_sparse::gen::hard::near_singular(150, 6);
+        let opts = LuOptions::default(); // NoPivot, gate on, no escalation
+        let gpu = gpu_for(&a);
+        match LuFactorization::compute(&gpu, &a, &opts) {
+            Ok(f) => {
+                let r = f.report.residual.expect("gate ran");
+                assert!(r <= opts.gate.threshold, "accepted factors must verify");
+            }
+            Err(GpluError::NumericallySingular {
+                residual,
+                threshold,
+                attempts,
+            }) => {
+                assert!(residual > threshold);
+                assert_eq!(attempts, 1, "no escalation requested");
+            }
+            Err(GpluError::SingularPivot { .. }) => {}
+            Err(e) => panic!("unexpected error class: {e}"),
+        }
+    }
+
+    #[test]
+    fn escalation_ladder_recovers_nopivot_traffic() {
+        let a = gplu_sparse::gen::hard::near_singular(150, 6);
+        let mut opts = LuOptions::default();
+        opts.gate.escalate = true;
+        let gpu = gpu_for(&a);
+        let f = LuFactorization::compute(&gpu, &a, &opts).expect("ladder recovers");
+        let r = f.report.residual.expect("gate ran");
+        assert!(
+            r <= opts.gate.threshold,
+            "accepted factors must verify: {r:e}"
+        );
+        assert!(
+            f.report
+                .recovery
+                .events()
+                .iter()
+                .any(|e| matches!(e.action, RecoveryAction::PivotEscalated { .. })),
+            "escalation must be logged: {}",
+            f.report.recovery.summary()
+        );
+    }
+
+    #[test]
+    fn static_perturbation_mirrors_deltas_and_verifies() {
+        // Rank-1 matrix: the second pivot cancels to exactly zero. Static
+        // pivoting clamps it, mirrors the delta into the preprocessed
+        // diagonal, and the gate accepts the bumped system.
+        let mut coo = gplu_sparse::Coo::new(3, 3);
+        for i in 0..3 {
+            for j in 0..3 {
+                coo.push(i, j, 1.0);
+            }
+        }
+        let a = gplu_sparse::convert::coo_to_csr(&coo);
+        let opts = LuOptions::default().with_pivot(PivotPolicy::Static { threshold: 1e-8 });
+        let gpu = gpu_for(&a);
+        let f = LuFactorization::compute(&gpu, &a, &opts).expect("static pivoting survives");
+        assert!(
+            f.report
+                .recovery
+                .events()
+                .iter()
+                .any(|e| matches!(e.action, RecoveryAction::PivotPerturbed { .. })),
+            "clamps must be logged: {}",
+            f.report.recovery.summary()
+        );
+        // The mirrored matrix and the factors agree exactly.
+        assert!(residual_probe(&f.preprocessed, &f.lu, 3) <= opts.gate.threshold);
+    }
+
+    #[test]
+    fn all_formats_agree_bitwise_under_each_policy() {
+        let a = gplu_sparse::gen::hard::graded(120, 8, 7);
+        for policy in [
+            PivotPolicy::NoPivot,
+            PivotPolicy::Static { threshold: 1e-10 },
+            PivotPolicy::Threshold {
+                tau: DEFAULT_PIVOT_TAU,
+            },
+        ] {
+            let mut factors = Vec::new();
+            for format in [
+                NumericFormat::Dense,
+                NumericFormat::Sparse,
+                NumericFormat::SparseMerge,
+                NumericFormat::SparseBlocked,
+            ] {
+                let opts = LuOptions {
+                    format,
+                    pivot: policy,
+                    ..Default::default()
+                };
+                let f = LuFactorization::compute(&gpu_for(&a), &a, &opts)
+                    .unwrap_or_else(|e| panic!("{format:?}/{policy:?}: {e}"));
+                factors.push(f.lu);
+            }
+            for other in &factors[1..] {
+                assert_eq!(
+                    factors[0].vals, other.vals,
+                    "formats must agree bitwise under {policy:?}"
+                );
+                assert_eq!(factors[0].row_idx, other.row_idx);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_diag_family_recovers_via_structural_repair() {
+        // Structurally missing diagonals are repaired by preprocessing
+        // (planar-style), then threshold pivoting handles the values.
+        let a = gplu_sparse::gen::hard::zero_diag(150, 8);
+        let opts = LuOptions::default().with_pivot(PivotPolicy::Threshold {
+            tau: DEFAULT_PIVOT_TAU,
+        });
+        let f = LuFactorization::compute(&gpu_for(&a), &a, &opts).expect("recovers");
+        assert!(f.report.repaired_diagonals > 0, "repair must fire");
+        assert!(f.report.residual.expect("gate ran") <= opts.gate.threshold);
     }
 }

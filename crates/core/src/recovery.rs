@@ -76,6 +76,40 @@ pub enum RecoveryAction {
         col: usize,
         /// Value written onto the diagonal.
         value: f64,
+        /// Magnitude of the perturbation: `|value - old_diagonal|` (the
+        /// full `|value|` when the diagonal was structurally absent).
+        magnitude: f64,
+    },
+    /// The residual gate (or a singular pivot) rejected an attempt and
+    /// the pivoting policy was escalated to the next ladder rung.
+    PivotEscalated {
+        /// Policy that produced the rejected attempt.
+        from: String,
+        /// Policy the retry runs under.
+        to: String,
+    },
+    /// Static pivot perturbation clamped small pivots at division time;
+    /// the factors exactly factor the correspondingly bumped matrix.
+    PivotPerturbed {
+        /// Number of columns whose pivot was clamped.
+        cols: usize,
+        /// Largest clamp delta applied.
+        max_delta: f64,
+    },
+    /// Threshold pivoting permuted rows and the predicted fill pattern
+    /// was grown in place to cover the new row order.
+    PatternExpanded {
+        /// Structural entries inserted.
+        added: usize,
+        /// Deepest per-column repair cascade.
+        rounds: usize,
+    },
+    /// In-place expansion blew its budget and the symbolic phase was
+    /// re-run from scratch on the permuted matrix — the last rung before
+    /// rejection.
+    Resymbolic {
+        /// Entries the abandoned in-place expansion had inserted.
+        abandoned: usize,
     },
 }
 
@@ -93,8 +127,36 @@ impl fmt::Display for RecoveryAction {
             RecoveryAction::FormatDegraded { from, to } => {
                 write!(f, "format degraded {from} -> {to}")
             }
-            RecoveryAction::PivotRepaired { col, value } => {
-                write!(f, "pivot repaired at column {col} (value {value})")
+            RecoveryAction::PivotRepaired {
+                col,
+                value,
+                magnitude,
+            } => {
+                write!(
+                    f,
+                    "pivot repaired at column {col} (value {value}, perturbation {magnitude:.3e})"
+                )
+            }
+            RecoveryAction::PivotEscalated { from, to } => {
+                write!(f, "pivoting escalated {from} -> {to}")
+            }
+            RecoveryAction::PivotPerturbed { cols, max_delta } => {
+                write!(
+                    f,
+                    "static perturbation clamped {cols} pivot(s) (max delta {max_delta:.3e})"
+                )
+            }
+            RecoveryAction::PatternExpanded { added, rounds } => {
+                write!(
+                    f,
+                    "pattern expanded in place: +{added} entries in {rounds} round(s)"
+                )
+            }
+            RecoveryAction::Resymbolic { abandoned } => {
+                write!(
+                    f,
+                    "full re-symbolic pass (in-place expansion abandoned after +{abandoned})"
+                )
             }
         }
     }
@@ -155,6 +217,16 @@ impl RecoveryLog {
         })
     }
 
+    /// Number of diagonals patched by singular-pivot repair — each one a
+    /// deliberate perturbation of the input whose magnitude is recorded
+    /// on the event.
+    pub fn repaired_pivots(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.action, RecoveryAction::PivotRepaired { .. }))
+            .count()
+    }
+
     /// One-line summary for logs and the CLI.
     pub fn summary(&self) -> String {
         if self.events.is_empty() {
@@ -210,6 +282,52 @@ mod tests {
         );
         log.record(Phase::Symbolic, RecoveryAction::StreamedOutput);
         assert!(!log.degraded());
+    }
+
+    #[test]
+    fn robustness_actions_display_and_count() {
+        let mut log = RecoveryLog::default();
+        log.record(
+            Phase::Numeric,
+            RecoveryAction::PivotRepaired {
+                col: 3,
+                value: 1.0,
+                magnitude: 1.0,
+            },
+        );
+        log.record(
+            Phase::Numeric,
+            RecoveryAction::PivotEscalated {
+                from: "none".into(),
+                to: "threshold(tau=0.1)".into(),
+            },
+        );
+        log.record(
+            Phase::Numeric,
+            RecoveryAction::PivotPerturbed {
+                cols: 2,
+                max_delta: 1e-8,
+            },
+        );
+        log.record(
+            Phase::Symbolic,
+            RecoveryAction::PatternExpanded {
+                added: 40,
+                rounds: 2,
+            },
+        );
+        log.record(
+            Phase::Symbolic,
+            RecoveryAction::Resymbolic { abandoned: 900 },
+        );
+        assert_eq!(log.repaired_pivots(), 1);
+        assert!(!log.degraded(), "robustness actions are not degradations");
+        let s = log.summary();
+        assert!(s.contains("perturbation 1.000e0"));
+        assert!(s.contains("escalated none -> threshold(tau=0.1)"));
+        assert!(s.contains("clamped 2 pivot(s)"));
+        assert!(s.contains("+40 entries in 2 round(s)"));
+        assert!(s.contains("re-symbolic"));
     }
 
     #[test]

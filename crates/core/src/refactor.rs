@@ -21,19 +21,20 @@
 use crate::checkpoint::pattern_fingerprint;
 use crate::error::GpluError;
 use crate::pipeline::{
-    bump_diag, format_name, ladder_exhausted, trace_recovery, LuFactorization, LuOptions,
-    NumericFormat,
+    add_to_diag, bump_diag, format_name, ladder_exhausted, trace_recovery, LuFactorization,
+    LuOptions, NumericFormat, ResidualGate,
 };
 use crate::recovery::{Phase, RecoveryAction, RecoveryLog};
 use crate::report::PhaseReport;
 use gplu_numeric::{
-    factorize_gpu_blocked_run_cached, factorize_gpu_dense_run_cached,
+    discover_pivots, factorize_gpu_blocked_run_cached, factorize_gpu_dense_run_cached,
     factorize_gpu_merge_run_cached, factorize_gpu_sparse_run_cached, BlockPlan, NumericError,
-    PivotCache,
+    PivotCache, PivotPolicy, PivotRule,
 };
 use gplu_schedule::Levels;
 use gplu_sim::{Gpu, SimError, SimTime};
-use gplu_sparse::{Csc, Csr, Permutation};
+use gplu_sparse::verify::residual_probe;
+use gplu_sparse::{Csc, Csr, Permutation, SparseError};
 use gplu_trace::{TraceSink, NOOP};
 
 /// Everything pattern-only that a repeat factorization can reuse.
@@ -73,6 +74,14 @@ pub struct RefactorPlan {
     format: NumericFormat,
     repair_value: f64,
     repair_singular: bool,
+    /// Pivoting policy the cold factorization ran with. A `Threshold`
+    /// plan's permutations already bake in the discovered row order, so
+    /// every warm call re-validates that order against the new values and
+    /// rejects with [`GpluError::StalePivotOrder`] on drift — the warm
+    /// path never escalates and never replays a stale pivot sequence.
+    pivot_policy: PivotPolicy,
+    /// Residual acceptance gate replayed on every warm factorization.
+    gate: ResidualGate,
 }
 
 impl RefactorPlan {
@@ -173,6 +182,36 @@ impl RefactorPlan {
         report.n_levels = self.levels.n_levels();
         report.max_level_width = self.levels.max_width();
 
+        // 1b. Threshold plans captured a value-dependent row order (it is
+        // baked into `p_row` and every pattern artifact). Re-run the host
+        // discovery pre-pass on the scattered matrix: if the new values
+        // still elect the same pivots the discovery returns the identity
+        // (zero swaps) and the plan replays bit-identically; if they
+        // elect different pivots the plan is stale and replaying it would
+        // silently factor with the wrong rows on the diagonal — reject
+        // with a typed error instead.
+        if let PivotPolicy::Threshold { tau } = self.pivot_policy {
+            let disc = discover_pivots(&matrix, tau).map_err(|e| match e {
+                SparseError::ZeroPivot { col } => GpluError::SingularPivot {
+                    col,
+                    level: usize::MAX,
+                },
+                other => GpluError::Sparse(other),
+            })?;
+            let disc_time = SimTime::from_ns(gpu.cost().pivot_discovery_ns(disc.flops));
+            gpu.advance(disc_time);
+            report.preprocess += disc_time;
+            if disc.swaps > 0 {
+                let col = disc
+                    .pinv
+                    .iter()
+                    .enumerate()
+                    .find(|&(i, &p)| p as usize != i)
+                    .map_or(0, |(i, _)| i);
+                return Err(GpluError::StalePivotOrder { col, tau });
+            }
+        }
+
         // 2. Numeric factorization with the plan's PivotCache passed
         // through so no structural pass repeats. Under `Auto`, the warm
         // path does NOT replay the cold pipeline's format heuristic: the
@@ -195,6 +234,10 @@ impl RefactorPlan {
             NumericFormat::SparseBlocked => {
                 &[NumericFormat::SparseBlocked, NumericFormat::SparseMerge]
             }
+        };
+        let rule = match self.pivot_policy {
+            PivotPolicy::Static { threshold } => PivotRule::Perturb { threshold },
+            _ => PivotRule::Exact,
         };
         let num_before = gpu.stats();
         trace.span_begin(
@@ -230,6 +273,7 @@ impl RefactorPlan {
                         None,
                         None,
                         Some(&self.pivot),
+                        rule,
                     ),
                     NumericFormat::Sparse => factorize_gpu_sparse_run_cached(
                         gpu,
@@ -240,6 +284,7 @@ impl RefactorPlan {
                         None,
                         None,
                         Some(&self.pivot),
+                        rule,
                     ),
                     NumericFormat::SparseBlocked => factorize_gpu_blocked_run_cached(
                         gpu,
@@ -252,6 +297,7 @@ impl RefactorPlan {
                         None,
                         None,
                         Some(&self.pivot),
+                        rule,
                     ),
                     NumericFormat::Auto | NumericFormat::SparseMerge => {
                         factorize_gpu_merge_run_cached(
@@ -262,6 +308,7 @@ impl RefactorPlan {
                             None,
                             None,
                             Some(&self.pivot),
+                            rule,
                         )
                     }
                 };
@@ -275,13 +322,19 @@ impl RefactorPlan {
                     }
                     Err(NumericError::SingularPivot { col, level }) => {
                         let value = self.repair_value;
-                        if self.repair_singular
-                            && !repair_attempted
-                            && bump_diag(&mut matrix, &mut pattern, col, value)
-                        {
+                        let old = if self.repair_singular && !repair_attempted {
+                            bump_diag(&mut matrix, &mut pattern, col, value)
+                        } else {
+                            None
+                        };
+                        if let Some(old) = old {
                             repair_attempted = true;
                             gpu.mem.reset();
-                            let action = RecoveryAction::PivotRepaired { col, value };
+                            let action = RecoveryAction::PivotRepaired {
+                                col,
+                                value,
+                                magnitude: (value - old).abs(),
+                            };
                             trace_recovery(trace, gpu.now().as_ns(), Phase::Numeric, &action);
                             recovery.record(Phase::Numeric, action);
                             report.repaired_diagonals += 1;
@@ -313,16 +366,66 @@ impl RefactorPlan {
             ],
         );
         report.phase_stats.numeric = gpu.stats().since(&num_before);
+        if !numeric.perturbations.is_empty() {
+            // Mirror engine-level static clamps into the scattered matrix
+            // so the factors exactly factor what residuals are measured
+            // against (same contract as the cold path).
+            let mut max_delta = 0.0f64;
+            for &(col, delta) in &numeric.perturbations {
+                add_to_diag(&mut matrix, col, delta);
+                max_delta = max_delta.max(delta.abs());
+            }
+            let action = RecoveryAction::PivotPerturbed {
+                cols: numeric.perturbations.len(),
+                max_delta,
+            };
+            trace_recovery(trace, gpu.now().as_ns(), Phase::Numeric, &action);
+            recovery.record(Phase::Numeric, action);
+        }
         report.recovery = recovery;
 
-        Ok(LuFactorization {
+        let f = LuFactorization {
             lu: numeric.lu,
             preprocessed: matrix,
             p_row: self.p_row.clone(),
             p_col: self.p_col.clone(),
             levels: self.levels.clone(),
             report,
-        })
+        };
+
+        // 3. Residual acceptance gate — the warm path runs the same gate
+        // as the cold pipeline but never escalates: a failing warm
+        // factorization is rejected typed (the caller falls back to a
+        // cold factorization, which owns the ladder).
+        if self.gate.enabled {
+            let r = residual_probe(&f.preprocessed, &f.lu, self.gate.probes.max(1));
+            let pass = r.is_finite() && r <= self.gate.threshold;
+            if trace.enabled() {
+                trace.instant(
+                    "numeric.residual_gate",
+                    "verify",
+                    gpu.now().as_ns(),
+                    &[
+                        ("residual", r.into()),
+                        ("threshold", self.gate.threshold.into()),
+                        ("pass", pass.into()),
+                        ("refactorize", true.into()),
+                    ],
+                );
+            }
+            if !pass {
+                return Err(GpluError::NumericallySingular {
+                    residual: r,
+                    threshold: self.gate.threshold,
+                    attempts: 1,
+                });
+            }
+            let mut f = f;
+            f.report.residual = Some(r);
+            return Ok(f);
+        }
+
+        Ok(f)
     }
 }
 
@@ -412,6 +515,8 @@ impl LuFactorization {
             format: opts.format,
             repair_value: opts.preprocess.repair_value,
             repair_singular: opts.preprocess.repair_singular,
+            pivot_policy: opts.pivot,
+            gate: opts.gate,
         })
     }
 
@@ -594,6 +699,81 @@ mod tests {
         let b = a2.spmv(&x_true);
         let x = warm.solve(&b).expect("solve ok");
         assert!(check_solution(&a2, &x, &b, 1e-8));
+    }
+
+    #[test]
+    fn warm_gate_rejects_adversarial_values_typed() {
+        let a = random_dominant(150, 4.0, 40);
+        let opts = LuOptions::default();
+        let f0 = LuFactorization::compute(&gpu_for(&a), &a, &opts).expect("cold ok");
+        let plan = f0.refactor_plan(&a, &opts).expect("plan ok");
+
+        // Same pattern, crushed diagonal: catastrophic growth under the
+        // plan's NoPivot replay. The warm path must reject typed or
+        // return factors that verify — never silent garbage.
+        let mut evil = a.clone();
+        for i in 0..evil.n_rows() {
+            for k in evil.row_ptr[i]..evil.row_ptr[i + 1] {
+                if evil.col_idx[k] as usize == i {
+                    evil.vals[k] = 1e-14;
+                }
+            }
+        }
+        match plan.refactorize(&gpu_for(&evil), &evil) {
+            Ok(f) => {
+                let r = f.report.residual.expect("gate ran");
+                assert!(r <= plan.gate.threshold, "accepted factors must verify");
+            }
+            Err(GpluError::NumericallySingular {
+                residual,
+                threshold,
+                attempts,
+            }) => {
+                assert!(residual > threshold);
+                assert_eq!(attempts, 1, "warm path never escalates");
+            }
+            Err(GpluError::SingularPivot { .. }) => {}
+            Err(e) => panic!("unexpected error class: {e}"),
+        }
+    }
+
+    #[test]
+    fn threshold_plan_replays_same_order_and_rejects_drift() {
+        use gplu_numeric::{PivotPolicy, DEFAULT_PIVOT_TAU};
+        // Full 3x3 pattern whose column-0 pivot choice is value-driven:
+        // a00 = 0.01 fails the threshold test against a10 = 1.0, so the
+        // cold factorization swaps rows 0 and 1.
+        let build = |a00: f64, a10: f64| {
+            let vals = [[a00, 1.0, 2.0], [a10, 1.0, 1.0], [0.5, 2.0, 1.0]];
+            let mut coo = gplu_sparse::Coo::new(3, 3);
+            for (i, row) in vals.iter().enumerate() {
+                for (j, &v) in row.iter().enumerate() {
+                    coo.push(i, j, v);
+                }
+            }
+            gplu_sparse::convert::coo_to_csr(&coo)
+        };
+        let a = build(0.01, 1.0);
+        let opts = LuOptions::default().with_pivot(PivotPolicy::Threshold {
+            tau: DEFAULT_PIVOT_TAU,
+        });
+        let f0 = LuFactorization::compute(&gpu_for(&a), &a, &opts).expect("cold ok");
+        assert!(f0.report.pivot_swaps > 0, "test needs a value-driven swap");
+        let plan = f0.refactor_plan(&a, &opts).expect("plan ok");
+
+        // Unchanged values: the captured order re-validates and the warm
+        // path replays bit-identically.
+        let warm = plan.refactorize(&gpu_for(&a), &a).expect("warm ok");
+        assert_eq!(warm.lu.vals, f0.lu.vals);
+
+        // Values that elect the *other* pivot row: typed rejection, never
+        // a replay under the stale order.
+        let flipped = build(1.0, 0.01);
+        let err = plan.refactorize(&gpu_for(&flipped), &flipped).unwrap_err();
+        assert!(
+            matches!(err, GpluError::StalePivotOrder { .. }),
+            "got {err}"
+        );
     }
 
     #[test]

@@ -56,6 +56,14 @@ pub struct PhaseReport {
     pub gemm_tiles: u64,
     /// Diagonal entries repaired during pre-processing.
     pub repaired_diagonals: usize,
+    /// Columns whose pivot row deviates from the natural diagonal
+    /// (threshold pivoting only; 0 on the no-swap fast path).
+    pub pivot_swaps: usize,
+    /// Structural entries added by dynamic symbolic expansion after a
+    /// pivot permutation.
+    pub pattern_expanded: usize,
+    /// Relative residual measured by the acceptance gate, when it ran.
+    pub residual: Option<f64>,
     /// Per-phase GPU statistics deltas (snapshot differences taken at the
     /// phase boundaries by the pipeline).
     pub phase_stats: PhaseStats,
@@ -108,6 +116,19 @@ impl PhaseReport {
         if self.gemm_tiles > 0 {
             s.push_str(&format!(" | gemm tiles {}", self.gemm_tiles));
         }
+        if self.pivot_swaps > 0 {
+            s.push_str(&format!(" | pivot swaps {}", self.pivot_swaps));
+        }
+        if self.pattern_expanded > 0 {
+            s.push_str(&format!(" | pattern +{}", self.pattern_expanded));
+        }
+        if let Some(r) = self.residual {
+            s.push_str(&format!(" | residual {r:.2e}"));
+        }
+        let repaired = self.recovery.repaired_pivots();
+        if repaired > 0 {
+            s.push_str(&format!(" | repaired pivots {repaired}"));
+        }
         if !self.recovery.is_empty() {
             s.push_str(&format!(" | recovery: {}", self.recovery.summary()));
         }
@@ -143,11 +164,15 @@ mod tests {
         assert!(s.contains("sym") && s.contains("num") && s.contains("42"));
         // A clean run with no engine counters stays terse.
         assert!(!s.contains("probes") && !s.contains("merge") && !s.contains("recovery"));
+        assert!(!s.contains("pivot") && !s.contains("residual"));
 
         // Engine counters and recovery show up exactly when present.
         let mut busy = PhaseReport {
             probes: 7,
             merge_steps: 9,
+            pivot_swaps: 3,
+            pattern_expanded: 11,
+            residual: Some(2.5e-12),
             ..Default::default()
         };
         busy.recovery.record(
@@ -157,9 +182,21 @@ mod tests {
                 to: "SparseMerge".into(),
             },
         );
+        busy.recovery.record(
+            Phase::Numeric,
+            RecoveryAction::PivotRepaired {
+                col: 0,
+                value: 1.0,
+                magnitude: 1.0,
+            },
+        );
         let s = busy.summary();
         assert!(s.contains("probes 7"), "{s}");
         assert!(s.contains("merge 9"), "{s}");
+        assert!(s.contains("pivot swaps 3"), "{s}");
+        assert!(s.contains("pattern +11"), "{s}");
+        assert!(s.contains("residual 2.50e-12"), "{s}");
+        assert!(s.contains("repaired pivots 1"), "{s}");
         assert!(
             s.contains("recovery:") && s.contains("Dense -> SparseMerge"),
             "{s}"

@@ -123,6 +123,22 @@ impl CostModel {
         self.pcie_latency_ns + bytes as f64 * self.pcie_ns_per_byte
     }
 
+    /// Time for the host-side threshold-pivot discovery pre-pass: a
+    /// *sequential* Gilbert–Peierls sweep, so it pays the single-thread
+    /// item rate — the price of pivoting the level-scheduled engines
+    /// cannot pay themselves.
+    pub fn pivot_discovery_ns(&self, flops: u64) -> f64 {
+        flops as f64 * self.cpu_item_ns
+    }
+
+    /// Time for dynamic symbolic expansion: `items` structural
+    /// insert-or-probe operations on the host, priced at the parallel CPU
+    /// rate (column repairs are independent across the dependency
+    /// frontier, like the CPU symbolic baseline).
+    pub fn pattern_expand_ns(&self, items: u64) -> f64 {
+        self.cpu_parallel_ns(items)
+    }
+
     /// Flop-equivalent surcharge for locating `items` update targets by
     /// per-element binary search in a destination column of `nnz_col`
     /// stored entries (Algorithm 6): `items · ⌈log2(nnz_col)⌉ ·

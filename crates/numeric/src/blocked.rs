@@ -29,7 +29,9 @@
 
 use crate::engine::{run_levels, EngineCounters, LevelRun, NumericEngine};
 use crate::error::NumericError;
-use crate::outcome::{process_column, AccessDiscipline, NumericOutcome, PivotCache};
+use crate::outcome::{
+    process_column_with, AccessDiscipline, NumericOutcome, PivotCache, PivotRule,
+};
 use crate::resume::{LevelHook, NumericResume};
 use gplu_schedule::Levels;
 use gplu_sim::{BlockCtx, Gpu, SimError};
@@ -241,15 +243,19 @@ impl NumericEngine for BlockedEngine<'_> {
                     self.tiles
                         .fetch_add(gemm_tiles_of(items), Ordering::Relaxed);
                 }
-                match process_column(
+                match process_column_with(
                     run.pattern,
                     run.vals,
                     col,
                     AccessDiscipline::Merge,
                     run.cache,
+                    run.rule,
                 ) {
-                    Ok(c) => {
+                    Ok((c, perturb)) => {
                         self.steps.fetch_add(c.merge_steps, Ordering::Relaxed);
+                        if let Some(delta) = perturb {
+                            run.perturbs.lock().push((col, delta));
+                        }
                     }
                     Err(e) => {
                         run.error.lock().get_or_insert(e);
@@ -330,7 +336,17 @@ pub fn factorize_gpu_blocked_run(
     resume: Option<&NumericResume>,
     hook: Option<&mut LevelHook<'_>>,
 ) -> Result<NumericOutcome, NumericError> {
-    factorize_gpu_blocked_run_cached(gpu, pattern, levels, plan, trace, resume, hook, None)
+    factorize_gpu_blocked_run_cached(
+        gpu,
+        pattern,
+        levels,
+        plan,
+        trace,
+        resume,
+        hook,
+        None,
+        PivotRule::Exact,
+    )
 }
 
 /// [`factorize_gpu_blocked_run`] with an optional prebuilt [`PivotCache`].
@@ -348,6 +364,7 @@ pub fn factorize_gpu_blocked_run_cached(
     resume: Option<&NumericResume>,
     hook: Option<&mut LevelHook<'_>>,
     pivot: Option<&PivotCache>,
+    rule: PivotRule,
 ) -> Result<NumericOutcome, NumericError> {
     let mut engine = BlockedEngine::new(plan);
     run_levels(
@@ -359,6 +376,7 @@ pub fn factorize_gpu_blocked_run_cached(
         resume,
         hook,
         pivot,
+        rule,
     )
 }
 

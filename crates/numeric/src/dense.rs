@@ -17,7 +17,9 @@
 
 use crate::engine::{run_levels, EngineCounters, LevelRun, NumericEngine};
 use crate::error::NumericError;
-use crate::outcome::{process_column, AccessDiscipline, NumericOutcome, PivotCache};
+use crate::outcome::{
+    process_column_with, AccessDiscipline, NumericOutcome, PivotCache, PivotRule,
+};
 use crate::resume::{LevelHook, NumericResume};
 use gplu_schedule::Levels;
 use gplu_sim::{BlockCtx, Gpu, SimError};
@@ -110,14 +112,21 @@ impl NumericEngine for DenseEngine {
                     ctx.work(4 * n as u64 / stripes as u64);
                     ctx.mem((items * 8 + 4 * n as u64) / stripes as u64);
                     if stripe == 0 {
-                        if let Err(e) = process_column(
+                        match process_column_with(
                             run.pattern,
                             run.vals,
                             col,
                             AccessDiscipline::Dense,
                             run.cache,
+                            run.rule,
                         ) {
-                            run.error.lock().get_or_insert(e);
+                            Ok((_, Some(delta))) => {
+                                run.perturbs.lock().push((col, delta));
+                            }
+                            Ok(_) => {}
+                            Err(e) => {
+                                run.error.lock().get_or_insert(e);
+                            }
                         }
                     }
                 },
@@ -183,7 +192,16 @@ pub fn factorize_gpu_dense_run(
     resume: Option<&NumericResume>,
     hook: Option<&mut LevelHook<'_>>,
 ) -> Result<NumericOutcome, NumericError> {
-    factorize_gpu_dense_run_cached(gpu, pattern, levels, trace, resume, hook, None)
+    factorize_gpu_dense_run_cached(
+        gpu,
+        pattern,
+        levels,
+        trace,
+        resume,
+        hook,
+        None,
+        PivotRule::Exact,
+    )
 }
 
 /// [`factorize_gpu_dense_run`] with an optional prebuilt [`PivotCache`]
@@ -195,6 +213,7 @@ pub fn factorize_gpu_dense_run(
 /// its dense column buffers, which is host work between launches — so even
 /// warm runs keep host launches here. (This is one reason the
 /// refactorization path prefers the merge format.)
+#[allow(clippy::too_many_arguments)]
 pub fn factorize_gpu_dense_run_cached(
     gpu: &Gpu,
     pattern: &Csc,
@@ -203,6 +222,7 @@ pub fn factorize_gpu_dense_run_cached(
     resume: Option<&NumericResume>,
     hook: Option<&mut LevelHook<'_>>,
     pivot: Option<&PivotCache>,
+    rule: PivotRule,
 ) -> Result<NumericOutcome, NumericError> {
     let mut engine = DenseEngine::new();
     run_levels(
@@ -214,6 +234,7 @@ pub fn factorize_gpu_dense_run_cached(
         resume,
         hook,
         pivot,
+        rule,
     )
 }
 

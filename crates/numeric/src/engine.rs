@@ -19,7 +19,7 @@
 
 use crate::error::NumericError;
 use crate::modes::{classify_level_cached, launch_shape, LevelType, ModeMix};
-use crate::outcome::{column_cost_estimate_cached, NumericOutcome, PivotCache};
+use crate::outcome::{column_cost_estimate_cached, NumericOutcome, PivotCache, PivotRule};
 use crate::resume::{LevelHook, LevelProgress, NumericResume};
 use crate::values::ValueStore;
 use gplu_schedule::Levels;
@@ -82,6 +82,12 @@ pub struct LevelRun<'a> {
     /// Hoisted per-column structural item counts (index parallel to
     /// `cols`), shared by all of a column's cooperating stripes.
     pub items_of: &'a [u64],
+    /// Engine-level pivot rule ([`PivotRule::Exact`] or static
+    /// perturbation), applied by the kernel core at division time.
+    pub rule: PivotRule,
+    /// Static-perturbation deltas recorded by this run's kernel cores as
+    /// `(col, delta)`; the driver sorts them into the outcome.
+    pub perturbs: &'a Mutex<Vec<(usize, f64)>>,
     /// True when this level is tail-launched device-side (captured-
     /// schedule replay, Algorithm 5).
     tail_launch: bool,
@@ -175,6 +181,7 @@ pub fn run_levels<E: NumericEngine>(
     resume: Option<&NumericResume>,
     mut hook: Option<&mut LevelHook<'_>>,
     pivot: Option<&PivotCache>,
+    rule: PivotRule,
 ) -> Result<NumericOutcome, NumericError> {
     let n = pattern.n_cols();
     let before = gpu.stats();
@@ -207,6 +214,7 @@ pub fn run_levels<E: NumericEngine>(
     };
     let mut mix = resume.map_or_else(ModeMix::default, |r| r.mode_mix);
     let error: Mutex<Option<SparseError>> = Mutex::new(None);
+    let perturbs: Mutex<Vec<(usize, f64)>> = Mutex::new(Vec::new());
     let replay = pivot.is_some() && engine.device_replay();
     let mut kicked_off = false;
 
@@ -246,6 +254,8 @@ pub fn run_levels<E: NumericEngine>(
             threads,
             stripes,
             items_of: &items_of,
+            rule,
+            perturbs: &perturbs,
             tail_launch: replay && kicked_off,
         };
         engine.run_level(&run)?;
@@ -291,6 +301,10 @@ pub fn run_levels<E: NumericEngine>(
     );
     let stats = gpu.stats().since(&before);
     let c = engine.counters();
+    // Deterministic artifact: levels run in order, but within a level the
+    // recording order is the launch's block order — sort by column.
+    let mut perturbations = perturbs.into_inner();
+    perturbations.sort_unstable_by_key(|&(col, _)| col);
     let mut out = NumericOutcome {
         lu,
         time: stats.now,
@@ -301,6 +315,7 @@ pub fn run_levels<E: NumericEngine>(
         probes: c.probes,
         merge_steps: c.merge_steps,
         gemm_tiles: c.gemm_tiles,
+        perturbations,
     };
     engine.finish(&mut out);
     Ok(out)

@@ -62,6 +62,7 @@ pub mod error;
 pub mod merge;
 pub mod modes;
 pub mod outcome;
+pub mod pivoting;
 pub mod resume;
 pub mod seq;
 pub mod sparse;
@@ -83,9 +84,10 @@ pub use merge::{
     factorize_gpu_merge_traced,
 };
 pub use modes::{classify_level, classify_level_cached, classify_schedule, LevelType, ModeMix};
-pub use outcome::{AccessDiscipline, NumericOutcome, PivotCache};
+pub use outcome::{AccessDiscipline, NumericOutcome, PivotCache, PivotRule};
+pub use pivoting::{discover_pivots, PivotDiscovery, PivotPolicy, DEFAULT_PIVOT_TAU};
 pub use resume::{LevelHook, LevelProgress, NumericResume};
-pub use seq::factorize_seq;
+pub use seq::{factorize_seq, factorize_seq_rule};
 pub use sparse::{
     factorize_gpu_sparse, factorize_gpu_sparse_forced, factorize_gpu_sparse_run,
     factorize_gpu_sparse_run_cached, factorize_gpu_sparse_traced,

@@ -21,7 +21,9 @@
 
 use crate::engine::{run_levels, EngineCounters, LevelRun, NumericEngine};
 use crate::error::NumericError;
-use crate::outcome::{process_column, AccessDiscipline, NumericOutcome, PivotCache};
+use crate::outcome::{
+    process_column_with, AccessDiscipline, NumericOutcome, PivotCache, PivotRule,
+};
 use crate::resume::{LevelHook, NumericResume};
 use gplu_schedule::Levels;
 use gplu_sim::{BlockCtx, Gpu, SimError};
@@ -66,15 +68,19 @@ impl NumericEngine for MergeEngine {
             ctx.bulk_flops(3, items / stripes as u64);
             ctx.mem(items * 8 / stripes as u64);
             if stripe == 0 {
-                match process_column(
+                match process_column_with(
                     run.pattern,
                     run.vals,
                     col,
                     AccessDiscipline::Merge,
                     run.cache,
+                    run.rule,
                 ) {
-                    Ok(c) => {
+                    Ok((c, perturb)) => {
                         self.steps.fetch_add(c.merge_steps, Ordering::Relaxed);
+                        if let Some(delta) = perturb {
+                            run.perturbs.lock().push((col, delta));
+                        }
                     }
                     Err(e) => {
                         run.error.lock().get_or_insert(e);
@@ -133,7 +139,16 @@ pub fn factorize_gpu_merge_run(
     resume: Option<&NumericResume>,
     hook: Option<&mut LevelHook<'_>>,
 ) -> Result<NumericOutcome, NumericError> {
-    factorize_gpu_merge_run_cached(gpu, pattern, levels, trace, resume, hook, None)
+    factorize_gpu_merge_run_cached(
+        gpu,
+        pattern,
+        levels,
+        trace,
+        resume,
+        hook,
+        None,
+        PivotRule::Exact,
+    )
 }
 
 /// [`factorize_gpu_merge_run`] with an optional prebuilt [`PivotCache`]
@@ -148,6 +163,7 @@ pub fn factorize_gpu_merge_run(
 /// paying [`gplu_sim::CostModel::device_launch_ns`] instead of
 /// [`gplu_sim::CostModel::host_launch_ns`] — on deep, narrow schedules the
 /// host launch overhead *is* the numeric phase, and this removes it.
+#[allow(clippy::too_many_arguments)]
 pub fn factorize_gpu_merge_run_cached(
     gpu: &Gpu,
     pattern: &Csc,
@@ -156,6 +172,7 @@ pub fn factorize_gpu_merge_run_cached(
     resume: Option<&NumericResume>,
     hook: Option<&mut LevelHook<'_>>,
     pivot: Option<&PivotCache>,
+    rule: PivotRule,
 ) -> Result<NumericOutcome, NumericError> {
     let mut engine = MergeEngine::new();
     run_levels(
@@ -167,6 +184,7 @@ pub fn factorize_gpu_merge_run_cached(
         resume,
         hook,
         pivot,
+        rule,
     )
 }
 

@@ -31,6 +31,13 @@ pub struct NumericOutcome {
     /// Blocked format only: total BLAS-3 update tiles executed by the
     /// supernode block kernels.
     pub gemm_tiles: u64,
+    /// Static-pivoting deltas applied at division time, as
+    /// `(col, delta)` sorted by column — empty unless the run used
+    /// [`PivotRule::Perturb`] and a pivot actually fell below the floor.
+    /// The factors exactly factor the input with each `a_jj` bumped by
+    /// its delta, so callers mirror these into the matrix before any
+    /// residual check.
+    pub perturbations: Vec<(usize, f64)>,
 }
 
 /// How a numeric kernel locates the update targets inside a destination
@@ -115,6 +122,58 @@ impl PivotCache {
     }
 }
 
+/// Engine-level pivot handling, derived from the pipeline's
+/// `PivotPolicy` and threaded through [`crate::engine::run_levels`] into
+/// every kernel core call.
+///
+/// Only the *static* policy acts at this layer: a column's pivot value is
+/// final before its division step (the level barrier guarantees every
+/// update has been applied), so clamping a tiny pivot at division time is
+/// deterministic, independent of the access discipline, and identical
+/// across all five engines — the bit-identity contract survives.
+/// Threshold pivoting, by contrast, is a host-side *pre-pass*
+/// ([`crate::pivoting::discover_pivots`]) that permutes the artifacts
+/// before any engine runs; at this layer it looks like [`PivotRule::Exact`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum PivotRule {
+    /// Reject zero/non-finite pivots with [`SparseError::ZeroPivot`]
+    /// (the historical behavior; also what threshold-pivoted runs use).
+    #[default]
+    Exact,
+    /// Static perturbation: a pivot with `|pivot| < threshold` is replaced
+    /// by `±threshold` (keeping its sign; `+threshold` for an exact zero)
+    /// before the division. Equivalent to bumping the input diagonal
+    /// `a_jj` by the same delta, so the factors exactly factor the
+    /// perturbed matrix.
+    Perturb {
+        /// The magnitude floor below which pivots are clamped.
+        threshold: f64,
+    },
+}
+
+impl PivotRule {
+    /// Applies the rule to a finished pivot value: returns the value to
+    /// divide by and the delta added to it (`None` when untouched).
+    #[inline]
+    pub fn apply(self, pivot: f64) -> (f64, Option<f64>) {
+        match self {
+            PivotRule::Exact => (pivot, None),
+            PivotRule::Perturb { threshold } => {
+                if pivot.is_finite() && pivot.abs() < threshold {
+                    let clamped = if pivot == 0.0 {
+                        threshold
+                    } else {
+                        pivot.signum() * threshold
+                    };
+                    (clamped, Some(clamped - pivot))
+                } else {
+                    (pivot, None)
+                }
+            }
+        }
+    }
+}
+
 /// Operation counts of one column's factorization, for cost charging.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ColCosts {
@@ -149,6 +208,22 @@ pub fn process_column(
     discipline: AccessDiscipline,
     cache: &PivotCache,
 ) -> Result<ColCosts, SparseError> {
+    process_column_with(pattern, vals, j, discipline, cache, PivotRule::Exact).map(|(c, _)| c)
+}
+
+/// [`process_column`] with an explicit [`PivotRule`]. Returns the column's
+/// costs plus the static-perturbation delta applied to the pivot, if any;
+/// the perturbed pivot is written back into the value store so the factor
+/// is self-consistent (it exactly factors the input with `a_jj` bumped by
+/// the delta).
+pub fn process_column_with(
+    pattern: &Csc,
+    vals: &ValueStore,
+    j: usize,
+    discipline: AccessDiscipline,
+    cache: &PivotCache,
+    rule: PivotRule,
+) -> Result<(ColCosts, Option<f64>), SparseError> {
     let mut costs = ColCosts::default();
     let (start, end) = (pattern.col_ptr[j], pattern.col_ptr[j + 1]);
     costs.nnz = (end - start) as u64;
@@ -225,16 +300,22 @@ pub fn process_column(
     }
 
     // Division by the pivot — position served by the cache, not a search.
+    // The pivot value is final here (the level barrier ordered every
+    // update before this call), so the static-perturbation rule applies
+    // deterministically regardless of engine or access discipline.
     let diag_pos = cache.diag(j).ok_or(SparseError::ZeroDiagonal { row: j })?;
-    let pivot = vals.get(diag_pos);
+    let (pivot, perturbed) = rule.apply(vals.get(diag_pos));
     if pivot == 0.0 || !pivot.is_finite() {
         return Err(SparseError::ZeroPivot { col: j });
+    }
+    if perturbed.is_some() {
+        vals.set(diag_pos, pivot);
     }
     for k in (diag_pos + 1)..end {
         costs.items += 1;
         vals.set(k, vals.get(k) / pivot);
     }
-    Ok(costs)
+    Ok((costs, perturbed))
 }
 
 /// Structural cost estimate of a column's factorization: `(deps, items)`
@@ -414,6 +495,49 @@ mod tests {
                 "col {j}"
             );
         }
+    }
+
+    #[test]
+    fn perturb_rule_clamps_tiny_pivots_and_keeps_sign() {
+        let rule = PivotRule::Perturb { threshold: 1e-3 };
+        assert_eq!(rule.apply(5.0), (5.0, None));
+        assert_eq!(rule.apply(-5.0), (-5.0, None));
+        let (p, d) = rule.apply(0.0);
+        assert_eq!(p, 1e-3);
+        assert_eq!(d, Some(1e-3));
+        let (p, d) = rule.apply(1e-6);
+        assert_eq!(p, 1e-3);
+        assert_eq!(d, Some(1e-3 - 1e-6));
+        let (p, d) = rule.apply(-1e-6);
+        assert_eq!(p, -1e-3);
+        assert_eq!(d, Some(-1e-3 + 1e-6));
+        // Non-finite pivots are never masked by a perturbation.
+        assert_eq!(rule.apply(f64::NAN).1, None);
+    }
+
+    #[test]
+    fn perturb_rule_survives_exact_zero_pivot() {
+        // [[1,1],[1,1]] cancels to an exact zero pivot in column 1; the
+        // perturb rule must clamp it instead of erroring, and the clamped
+        // value must land in the store.
+        let mut coo = gplu_sparse::Coo::new(2, 2);
+        for i in 0..2 {
+            for j in 0..2 {
+                coo.push(i, j, 1.0);
+            }
+        }
+        let a = gplu_sparse::convert::coo_to_csr(&coo);
+        let pattern = filled(&a);
+        let cache = PivotCache::build(&pattern);
+        let vals = ValueStore::new(&pattern.vals);
+        let rule = PivotRule::Perturb { threshold: 1e-8 };
+        for j in 0..2 {
+            process_column_with(&pattern, &vals, j, AccessDiscipline::Merge, &cache, rule)
+                .expect("perturbed column factorizes");
+        }
+        let got = vals.into_vec();
+        let diag1 = cache.diag(1).expect("diagonal present");
+        assert_eq!(got[diag1], 1e-8, "clamped pivot written back");
     }
 
     #[test]

@@ -1,0 +1,304 @@
+//! Pivot policies and the host-side threshold-pivot discovery pre-pass.
+//!
+//! The level-scheduled GPU engines cannot pivot at runtime: swapping rows
+//! mid-factorization would invalidate the level schedule (and with it the
+//! cross-engine bit-identity contract), which is why the GLU family —
+//! and this reproduction — push stability handling out of the numeric
+//! kernels. This module supplies the two policies that close the gap for
+//! ill-conditioned traffic:
+//!
+//! * **Static perturbation** acts *inside* the engines, at the one point
+//!   where it is order-independent: a column's pivot value is final before
+//!   its division step, so clamping `|pivot| < threshold` there
+//!   ([`crate::outcome::PivotRule::Perturb`]) is deterministic and
+//!   identical across all five engines. The applied deltas are reported in
+//!   [`crate::NumericOutcome::perturbations`] so the caller can mirror
+//!   them into the input diagonal (the factors exactly factor the bumped
+//!   matrix) and judge the result with a residual gate.
+//!
+//! * **Threshold pivoting** runs *before* the engines as a sequential
+//!   host pre-pass ([`discover_pivots`]): a Gilbert–Peierls left-looking
+//!   factorization with threshold partial pivoting over the preprocessed
+//!   matrix, producing a row permutation. The engines then factorize the
+//!   permuted matrix with no pivoting at all — same artifacts, same level
+//!   schedule discipline, bit-identical across engines. When the chosen
+//!   pivot order deviates from the natural diagonal the predicted fill
+//!   pattern no longer covers the factorization; the symbolic expansion
+//!   pass (gplu-symbolic) repairs the pattern before levelization.
+//!
+//! The discovery pass performs the same eliminations the engines will
+//! (dependency columns ascending, one subtract per target), so the pivot
+//! values it inspects are the values the engines will divide by — if
+//! discovery succeeds, the engines will not trip a zero pivot on the
+//! permuted system.
+
+use gplu_sparse::convert::csr_to_csc;
+use gplu_sparse::{Csr, Idx, SparseError};
+
+/// Default threshold-pivoting relative tolerance: a diagonal pivot is kept
+/// unless it is smaller than `tau` times the largest candidate in its
+/// column. `0.1` is the classical partial-threshold compromise (markowitz
+/// solvers ship the same default): strong enough to cap element growth,
+/// loose enough to keep the natural diagonal — and the predicted fill
+/// pattern — on well-conditioned traffic.
+pub const DEFAULT_PIVOT_TAU: f64 = 0.1;
+
+/// How the factorization handles small or zero pivots.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum PivotPolicy {
+    /// No pivoting (the paper's convention): a zero pivot is a typed
+    /// error, optionally patched by `--repair-singular`.
+    #[default]
+    NoPivot,
+    /// Static perturbation: pivots with magnitude below `threshold` are
+    /// clamped to `±threshold` at division time, inside the engines.
+    Static {
+        /// The magnitude floor below which pivots are clamped.
+        threshold: f64,
+    },
+    /// Threshold partial pivoting: a host pre-pass picks a row
+    /// permutation keeping the diagonal pivot only when
+    /// `|pivot| ≥ tau · max|candidate|`, and the engines factorize the
+    /// permuted system.
+    Threshold {
+        /// Relative pivot tolerance in `(0, 1]`; `1.0` is full partial
+        /// pivoting.
+        tau: f64,
+    },
+}
+
+impl PivotPolicy {
+    /// Short stable name for telemetry, recovery events and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PivotPolicy::NoPivot => "none",
+            PivotPolicy::Static { .. } => "static",
+            PivotPolicy::Threshold { .. } => "threshold",
+        }
+    }
+}
+
+/// Result of the threshold-pivot discovery pre-pass.
+#[derive(Debug, Clone)]
+pub struct PivotDiscovery {
+    /// Forward row map: original (preprocessed) row → pivot position.
+    /// Feed to `Permutation::from_forward` to permute the matrix.
+    pub pinv: Vec<Idx>,
+    /// Number of columns whose chosen pivot row differs from the natural
+    /// diagonal. Zero means the permutation is the identity and every
+    /// downstream artifact is unchanged — the no-swap fast path.
+    pub swaps: usize,
+    /// Elimination flops the pass performed, for host-cost pricing.
+    pub flops: u64,
+}
+
+/// Runs Gilbert–Peierls left-looking LU with threshold partial pivoting
+/// over `a` (the preprocessed matrix) and returns the row permutation it
+/// chose. `tau ∈ (0, 1]`: the natural diagonal row is kept whenever
+/// `|x_jj| ≥ tau · max|x_candidates|`, so on diagonally dominant traffic
+/// the result is the identity and `swaps == 0`.
+///
+/// Errors with [`SparseError::ZeroPivot`] when a column has no usable
+/// pivot at all (exact numerical singularity) — no permutation can save
+/// such a matrix, and the caller's recovery ladder takes over.
+pub fn discover_pivots(a: &Csr, tau: f64) -> Result<PivotDiscovery, SparseError> {
+    let n = a.n_rows();
+    let acsc = csr_to_csc(a);
+    // perm[t] = original row assigned to pivot position t.
+    let mut perm = vec![usize::MAX; n];
+    let mut pinv = vec![usize::MAX; n];
+    // L columns by pivot position: (original row, multiplier), rows
+    // unassigned at build time.
+    let mut lcols: Vec<Vec<(Idx, f64)>> = vec![Vec::new(); n];
+    // Dense accumulator for the active column + occupancy worklist.
+    let mut x = vec![0.0f64; n];
+    let mut in_col = vec![false; n];
+    let mut touched: Vec<usize> = Vec::new();
+    let mut swaps = 0usize;
+    let mut flops = 0u64;
+
+    for j in 0..n {
+        for (i, v) in acsc.col_iter(j) {
+            x[i] = v;
+            if !in_col[i] {
+                in_col[i] = true;
+                touched.push(i);
+            }
+        }
+        // Left-looking elimination in ascending pivot order — the same
+        // update order (and the same arithmetic) the engines apply.
+        for t in 0..j {
+            let u_tj = x[perm[t]];
+            if u_tj == 0.0 {
+                continue;
+            }
+            for &(i, lv) in &lcols[t] {
+                let i = i as usize;
+                if !in_col[i] {
+                    in_col[i] = true;
+                    touched.push(i);
+                }
+                x[i] -= lv * u_tj;
+                flops += 1;
+            }
+        }
+        // Pivot selection among rows not yet assigned to earlier pivots.
+        let mut best = usize::MAX;
+        let mut best_mag = 0.0f64;
+        for &i in &touched {
+            if pinv[i] == usize::MAX {
+                let m = x[i].abs();
+                if m > best_mag || (m == best_mag && m > 0.0 && i < best) {
+                    best_mag = m;
+                    best = i;
+                }
+            }
+        }
+        if best == usize::MAX || best_mag == 0.0 || !best_mag.is_finite() {
+            return Err(SparseError::ZeroPivot { col: j });
+        }
+        // Keep the natural diagonal when it clears the threshold — that
+        // preserves the predicted fill pattern; otherwise swap to the
+        // largest candidate.
+        let diag_ok = pinv[j] == usize::MAX && x[j].abs() >= tau * best_mag && x[j] != 0.0;
+        let chosen = if diag_ok { j } else { best };
+        if chosen != j {
+            swaps += 1;
+        }
+        perm[j] = chosen;
+        pinv[chosen] = j;
+        let piv = x[chosen];
+        let mut lcol = Vec::new();
+        for &i in &touched {
+            if pinv[i] == usize::MAX && x[i] != 0.0 {
+                lcol.push((i as Idx, x[i] / piv));
+                flops += 1;
+            }
+        }
+        lcols[j] = lcol;
+        for &i in &touched {
+            x[i] = 0.0;
+            in_col[i] = false;
+        }
+        touched.clear();
+    }
+
+    Ok(PivotDiscovery {
+        pinv: pinv.iter().map(|&p| p as Idx).collect(),
+        swaps,
+        flops: flops + n as u64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gplu_sparse::convert::coo_to_csr;
+    use gplu_sparse::gen::random::{banded_dominant, random_dominant};
+    use gplu_sparse::perm::permute_csr;
+    use gplu_sparse::{Coo, Permutation};
+
+    #[test]
+    fn dominant_matrix_needs_no_swaps() {
+        for seed in [1, 2, 3] {
+            let a = random_dominant(120, 4.0, seed);
+            let d = discover_pivots(&a, DEFAULT_PIVOT_TAU).expect("dominant factorizes");
+            assert_eq!(d.swaps, 0, "seed {seed}: dominant diagonal must hold");
+            for (r, &p) in d.pinv.iter().enumerate() {
+                assert_eq!(p as usize, r, "identity pinv");
+            }
+            assert!(d.flops > 0);
+        }
+    }
+
+    #[test]
+    fn tiny_diagonal_forces_a_swap() {
+        // [[eps, 1], [1, 1]]: the natural pivot eps fails tau=0.1 against
+        // candidate 1.0, so rows must swap.
+        let mut coo = Coo::new(2, 2);
+        coo.push(0, 0, 1e-14);
+        coo.push(0, 1, 1.0);
+        coo.push(1, 0, 1.0);
+        coo.push(1, 1, 1.0);
+        let a = coo_to_csr(&coo);
+        let d = discover_pivots(&a, DEFAULT_PIVOT_TAU).expect("pivotable");
+        // A transposition deviates from the natural diagonal in both of
+        // its columns, so it counts as two swaps.
+        assert_eq!(d.swaps, 2);
+        assert_eq!(d.pinv, vec![1, 0], "rows exchanged");
+    }
+
+    #[test]
+    fn exact_cancellation_survives_via_swap() {
+        // [[1,1],[1,1]] has U(1,1) = 0 without pivoting — the matrix is
+        // genuinely singular, so even discovery must reject it.
+        let mut coo = Coo::new(2, 2);
+        for i in 0..2 {
+            for j in 0..2 {
+                coo.push(i, j, 1.0);
+            }
+        }
+        let a = coo_to_csr(&coo);
+        assert!(matches!(
+            discover_pivots(&a, DEFAULT_PIVOT_TAU),
+            Err(SparseError::ZeroPivot { col: 1 })
+        ));
+
+        // But [[1,1,0],[1,1,1],[0,1,1]] is nonsingular and only needs the
+        // swap: column 1 cancels on the diagonal yet row 2 offers 1.0.
+        let mut coo = Coo::new(3, 3);
+        for (i, j, v) in [
+            (0, 0, 1.0),
+            (0, 1, 1.0),
+            (1, 0, 1.0),
+            (1, 1, 1.0),
+            (1, 2, 1.0),
+            (2, 1, 1.0),
+            (2, 2, 1.0),
+        ] {
+            coo.push(i, j, v);
+        }
+        let a = coo_to_csr(&coo);
+        let d = discover_pivots(&a, DEFAULT_PIVOT_TAU).expect("swap saves it");
+        assert!(d.swaps > 0);
+    }
+
+    #[test]
+    fn permuted_system_factorizes_without_pivoting() {
+        // The permutation discovery returns must make plain no-pivot LU
+        // succeed on the permuted matrix (oracle: dense LU).
+        let mut coo = Coo::new(4, 4);
+        for (i, j, v) in [
+            (0, 0, 1e-13),
+            (0, 1, 2.0),
+            (0, 3, 1.0),
+            (1, 0, 3.0),
+            (1, 1, 1.0),
+            (1, 2, 0.5),
+            (2, 1, 1.0),
+            (2, 2, 4.0),
+            (3, 0, 1.0),
+            (3, 3, 2.0),
+        ] {
+            coo.push(i, j, v);
+        }
+        let a = coo_to_csr(&coo);
+        let d = discover_pivots(&a, DEFAULT_PIVOT_TAU).expect("pivotable");
+        assert!(d.swaps > 0);
+        let p = Permutation::from_forward(d.pinv.clone()).expect("bijection");
+        let b = permute_csr(&a, &p, &Permutation::identity(4));
+        let dense = gplu_sparse::convert::csr_to_dense(&b);
+        dense
+            .lu_no_pivot()
+            .expect("permuted system is factorizable");
+    }
+
+    #[test]
+    fn full_partial_pivoting_at_tau_one() {
+        let a = banded_dominant(60, 3, 9);
+        // tau = 1.0 keeps the diagonal only when it ties the max — the
+        // dominant diagonal always does.
+        let d = discover_pivots(&a, 1.0).expect("ok");
+        assert_eq!(d.swaps, 0);
+    }
+}

@@ -10,7 +10,7 @@
 //! engines apply, so results are bit-identical across all engines by
 //! construction rather than by parallel-to-sequential transliteration.
 
-use crate::outcome::{process_column, AccessDiscipline, PivotCache};
+use crate::outcome::{process_column_with, AccessDiscipline, PivotCache, PivotRule};
 use crate::values::ValueStore;
 use gplu_sparse::{Csc, SparseError};
 
@@ -22,13 +22,26 @@ use gplu_sparse::{Csc, SparseError};
 /// factorization) — a missing fill position would silently drop an update,
 /// which is why the symbolic phase must precede this one.
 pub fn factorize_seq(lu: &mut Csc) -> Result<(), SparseError> {
+    factorize_seq_rule(lu, PivotRule::Exact).map(|_| ())
+}
+
+/// [`factorize_seq`] under an explicit engine-level [`PivotRule`]; returns
+/// the static-perturbation deltas applied, as `(col, delta)` in column
+/// order. The reference for verifying that every GPU engine applies the
+/// same rule at the same point.
+pub fn factorize_seq_rule(lu: &mut Csc, rule: PivotRule) -> Result<Vec<(usize, f64)>, SparseError> {
     let cache = PivotCache::build(lu);
     let vals = ValueStore::new(&lu.vals);
+    let mut perturbs = Vec::new();
     for j in 0..lu.n_cols() {
-        process_column(lu, &vals, j, AccessDiscipline::Merge, &cache)?;
+        let (_, perturb) =
+            process_column_with(lu, &vals, j, AccessDiscipline::Merge, &cache, rule)?;
+        if let Some(delta) = perturb {
+            perturbs.push((j, delta));
+        }
     }
     lu.vals = vals.into_vec();
-    Ok(())
+    Ok(perturbs)
 }
 
 #[cfg(test)]

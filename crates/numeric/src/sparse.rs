@@ -16,7 +16,9 @@
 use crate::engine::{run_levels, EngineCounters, LevelRun, NumericEngine};
 use crate::error::NumericError;
 use crate::modes::{classify_level_cached, LevelType};
-use crate::outcome::{process_column, AccessDiscipline, NumericOutcome, PivotCache};
+use crate::outcome::{
+    process_column_with, AccessDiscipline, NumericOutcome, PivotCache, PivotRule,
+};
 use crate::resume::{LevelHook, NumericResume};
 use gplu_schedule::Levels;
 use gplu_sim::{BlockCtx, Gpu, SimError};
@@ -76,15 +78,19 @@ impl NumericEngine for SparseEngine {
             ctx.bulk_flops(3, (items + probe_items) / stripes as u64);
             ctx.mem(items * 8 / stripes as u64);
             if stripe == 0 {
-                match process_column(
+                match process_column_with(
                     run.pattern,
                     run.vals,
                     col,
                     AccessDiscipline::BinarySearch,
                     run.cache,
+                    run.rule,
                 ) {
-                    Ok(c) => {
+                    Ok((c, perturb)) => {
                         self.probes.fetch_add(c.probes, Ordering::Relaxed);
+                        if let Some(delta) = perturb {
+                            run.perturbs.lock().push((col, delta));
+                        }
                     }
                     Err(e) => {
                         run.error.lock().get_or_insert(e);
@@ -158,7 +164,17 @@ pub fn factorize_gpu_sparse_run(
     resume: Option<&NumericResume>,
     hook: Option<&mut LevelHook<'_>>,
 ) -> Result<NumericOutcome, NumericError> {
-    factorize_gpu_sparse_run_cached(gpu, pattern, levels, force, trace, resume, hook, None)
+    factorize_gpu_sparse_run_cached(
+        gpu,
+        pattern,
+        levels,
+        force,
+        trace,
+        resume,
+        hook,
+        None,
+        PivotRule::Exact,
+    )
 }
 
 /// [`factorize_gpu_sparse_run`] with an optional prebuilt [`PivotCache`]
@@ -179,6 +195,7 @@ pub fn factorize_gpu_sparse_run_cached(
     resume: Option<&NumericResume>,
     hook: Option<&mut LevelHook<'_>>,
     pivot: Option<&PivotCache>,
+    rule: PivotRule,
 ) -> Result<NumericOutcome, NumericError> {
     let mut engine = SparseEngine::new(force);
     run_levels(
@@ -190,6 +207,7 @@ pub fn factorize_gpu_sparse_run_cached(
         resume,
         hook,
         pivot,
+        rule,
     )
 }
 

@@ -199,6 +199,23 @@ impl FactorCache {
         }
     }
 
+    /// Drops a pattern's entry and releases its budget (used when the
+    /// residual gate rejects factors produced from a cached plan — the
+    /// artifacts are suspect for the pattern's current traffic). In-flight
+    /// holders keep their `Arc`s; only the cache forgets. Returns whether
+    /// an entry was present.
+    pub fn remove(&self, pattern_fp: u64) -> bool {
+        let mut inner = self.inner.lock().unwrap();
+        match inner.map.remove(&pattern_fp) {
+            Some(slot) => {
+                self.mem.free(slot.alloc).expect("cache alloc valid");
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Cached patterns right now.
     pub fn len(&self) -> usize {
         self.inner.lock().unwrap().map.len()

@@ -111,6 +111,13 @@ impl ServiceReport {
                     .set("injected", s.injected_faults)
                     .set("jobs_recovered", s.jobs_recovered),
             )
+            .set(
+                "robustness",
+                JsonValue::obj()
+                    .set("gate_failures", s.gate_failures)
+                    .set("quarantine_rejected", s.quarantine_rejected)
+                    .set("quarantined_patterns", s.quarantined_patterns),
+            )
     }
 
     /// One-paragraph human summary.
@@ -120,7 +127,8 @@ impl ServiceReport {
             "jobs: {} completed ({} cold / {} warm / {} cached), {} failed, \
              {} rejected, {} cancelled, {} past deadline | hot hit rate {:.1}% \
              ({}/{}) | cache: {} patterns, {}/{} bytes, {} evictions | \
-             sim p50 {:.0} ns p95 {:.0} ns | faults injected {} (recovered {} jobs)",
+             sim p50 {:.0} ns p95 {:.0} ns | faults injected {} (recovered {} jobs) | \
+             gate failures {} ({} patterns quarantined, {} fast-rejected)",
             s.completed,
             s.cold,
             s.warm,
@@ -140,6 +148,9 @@ impl ServiceReport {
             percentile(&s.sim_ns, 95.0),
             s.injected_faults,
             s.jobs_recovered,
+            s.gate_failures,
+            s.quarantined_patterns,
+            s.quarantine_rejected,
         )
     }
 }
@@ -184,7 +195,7 @@ mod tests {
                 .and_then(JsonValue::as_u64),
             Some(SERVICE_SCHEMA_VERSION)
         );
-        for section in ["jobs", "cache", "latency", "queue", "faults"] {
+        for section in ["jobs", "cache", "latency", "queue", "faults", "robustness"] {
             assert!(doc.get(section).is_some(), "missing {section}");
         }
         let parsed = gplu_trace::json::parse(&doc.to_pretty()).expect("round-trips");

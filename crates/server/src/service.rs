@@ -7,7 +7,7 @@ use gplu_core::{matrix_fingerprint, pattern_fingerprint, GpluError, LuFactorizat
 use gplu_numeric::TriSolvePlan;
 use gplu_sim::{CostModel, Gpu, GpuConfig};
 use gplu_trace::{Recorder, TraceSink, NOOP};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread;
@@ -23,6 +23,11 @@ pub struct ServiceConfig {
     pub queue_cap: usize,
     /// Factor-cache budget in bytes (see [`FactorCache`]).
     pub cache_budget_bytes: u64,
+    /// Numeric rejections (failed residual gate, unrepaired singular
+    /// pivot, stale pivot order) a pattern may accumulate before the
+    /// service quarantines it and fast-rejects further jobs on it with
+    /// [`GpluError::Quarantined`]. 0 disables quarantine.
+    pub quarantine_strikes: u32,
 }
 
 impl Default for ServiceConfig {
@@ -31,6 +36,7 @@ impl Default for ServiceConfig {
             workers: 4,
             queue_cap: 64,
             cache_budget_bytes: 64 << 20,
+            quarantine_strikes: 2,
         }
     }
 }
@@ -78,6 +84,8 @@ struct ServiceStats {
     plans_built: AtomicU64,
     injected_faults: AtomicU64,
     jobs_recovered: AtomicU64,
+    gate_failures: AtomicU64,
+    quarantine_rejected: AtomicU64,
     max_depth: AtomicU64,
     // Completed-job latencies for the percentile report.
     sim_ns: Mutex<Vec<f64>>,
@@ -117,6 +125,14 @@ pub struct StatsSnapshot {
     pub injected_faults: u64,
     /// Jobs whose recovery ladder recorded at least one action.
     pub jobs_recovered: u64,
+    /// Jobs rejected by numeric acceptance (residual gate, unrepaired
+    /// singular pivot, stale pivot order) — each one a strike against
+    /// its pattern.
+    pub gate_failures: u64,
+    /// Jobs fast-rejected because their pattern was quarantined.
+    pub quarantine_rejected: u64,
+    /// Patterns currently at or past the quarantine strike limit.
+    pub quarantined_patterns: u64,
     /// Deepest the queue ever got.
     pub max_depth: u64,
     /// Per-job simulated latencies (ns), completion order.
@@ -145,6 +161,10 @@ struct Shared {
     stats: ServiceStats,
     clock: WallClock,
     trace: Option<Arc<Recorder>>,
+    /// Numeric-rejection strikes per pattern fingerprint; a pattern at or
+    /// past `strike_limit` is quarantined.
+    strikes: Mutex<HashMap<u64, u32>>,
+    strike_limit: u32,
 }
 
 impl Shared {
@@ -188,6 +208,8 @@ impl SolverService {
             stats: ServiceStats::default(),
             clock: WallClock::new(),
             trace,
+            strikes: Mutex::new(HashMap::new()),
+            strike_limit: cfg.quarantine_strikes,
         });
         let workers = (0..cfg.workers.max(1))
             .map(|_| {
@@ -275,6 +297,19 @@ impl SolverService {
             plans_built: s.plans_built.load(Ordering::Relaxed),
             injected_faults: s.injected_faults.load(Ordering::Relaxed),
             jobs_recovered: s.jobs_recovered.load(Ordering::Relaxed),
+            gate_failures: s.gate_failures.load(Ordering::Relaxed),
+            quarantine_rejected: s.quarantine_rejected.load(Ordering::Relaxed),
+            quarantined_patterns: if self.shared.strike_limit == 0 {
+                0
+            } else {
+                self.shared
+                    .strikes
+                    .lock()
+                    .unwrap()
+                    .values()
+                    .filter(|&&s| s >= self.shared.strike_limit)
+                    .count() as u64
+            },
             max_depth: s.max_depth.load(Ordering::Relaxed),
             sim_ns: s.sim_ns.lock().unwrap().clone(),
             wall_ns: s.wall_ns.lock().unwrap().clone(),
@@ -425,6 +460,30 @@ fn process(sh: &Shared, job: QueuedJob) {
 fn execute(sh: &Shared, job: &QueuedJob) -> Result<JobResult, GpluError> {
     let spec = &job.spec;
     let a = &spec.matrix;
+    let fp = pattern_fingerprint(a);
+
+    // Quarantine fast path: a pattern that keeps failing numeric
+    // acceptance is rejected before any GPU work is scheduled for it.
+    if sh.strike_limit > 0 {
+        let strikes = *sh.strikes.lock().unwrap().get(&fp).unwrap_or(&0);
+        if strikes >= sh.strike_limit {
+            sh.stats.quarantine_rejected.fetch_add(1, Ordering::Relaxed);
+            let sink = sh.sink();
+            if sink.enabled() {
+                sink.instant(
+                    "service.quarantine_reject",
+                    "service",
+                    sh.clock.now(),
+                    &[("strikes", (strikes as u64).into())],
+                );
+            }
+            return Err(GpluError::Quarantined {
+                pattern_fp: fp,
+                strikes,
+            });
+        }
+    }
+
     let mut cfg = GpuConfig::v100_symbolic_profile(a.n_rows(), a.nnz());
     if let Some(mem) = spec.mem_override {
         cfg = cfg.with_memory(mem);
@@ -434,7 +493,6 @@ fn execute(sh: &Shared, job: &QueuedJob) -> Result<JobResult, GpluError> {
         None => Gpu::new(cfg),
     };
 
-    let fp = pattern_fingerprint(a);
     let value_fp = matrix_fingerprint(a);
     let outcome = execute_tiers(sh, job, &gpu, fp, value_fp);
     // Chaos accounting holds whether or not the job survived its faults:
@@ -442,6 +500,22 @@ fn execute(sh: &Shared, job: &QueuedJob) -> Result<JobResult, GpluError> {
     sh.stats
         .injected_faults
         .fetch_add(gpu.stats().injected_faults(), Ordering::Relaxed);
+
+    // Numeric rejections are strikes against the pattern: the cached
+    // plan (if any) is suspect for this traffic and is evicted, and a
+    // pattern at the strike limit is quarantined outright.
+    if sh.strike_limit > 0 {
+        if let Err(
+            GpluError::NumericallySingular { .. }
+            | GpluError::SingularPivot { .. }
+            | GpluError::StalePivotOrder { .. },
+        ) = &outcome
+        {
+            sh.stats.gate_failures.fetch_add(1, Ordering::Relaxed);
+            sh.cache.remove(fp);
+            *sh.strikes.lock().unwrap().entry(fp).or_insert(0) += 1;
+        }
+    }
     outcome
 }
 
@@ -671,6 +745,99 @@ mod tests {
         // The chrome export must be renderable (sorted, balanced).
         let chrome = gplu_trace::chrome_trace(&events);
         assert!(chrome.contains("service.job"));
+    }
+
+    #[test]
+    fn numeric_rejections_strike_and_quarantine_the_pattern() {
+        let svc = SolverService::start(ServiceConfig {
+            workers: 1,
+            quarantine_strikes: 2,
+            ..Default::default()
+        });
+        // Full 2x2 pattern: good values factorize; all-ones values make
+        // the second pivot cancel to exactly zero mid-elimination.
+        let build = |d: f64| {
+            let mut coo = gplu_sparse::Coo::new(2, 2);
+            for i in 0..2 {
+                for j in 0..2 {
+                    coo.push(i, j, if i == j { d } else { 1.0 });
+                }
+            }
+            gplu_sparse::convert::coo_to_csr(&coo)
+        };
+        let good = build(2.0);
+        let bad = build(1.0);
+
+        svc.submit(JobSpec::new(good.clone(), JobKind::Factorize))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(svc.cache().len(), 1);
+
+        // Strike 1 (warm path): typed singular rejection, and the now
+        // suspect cache entry is evicted.
+        let e = svc
+            .submit(JobSpec::new(bad.clone(), JobKind::Factorize))
+            .unwrap()
+            .wait()
+            .unwrap_err();
+        assert!(matches!(e, GpluError::SingularPivot { .. }), "got {e}");
+        assert_eq!(svc.cache().len(), 0, "suspect entry must be evicted");
+
+        // Strike 2 (cold path, nothing cached): singular again.
+        let e = svc
+            .submit(JobSpec::new(bad.clone(), JobKind::Factorize))
+            .unwrap()
+            .wait()
+            .unwrap_err();
+        assert!(matches!(e, GpluError::SingularPivot { .. }), "got {e}");
+
+        // At the limit the pattern is quarantined — even good values are
+        // fast-rejected, because quarantine is pattern-keyed.
+        let e = svc
+            .submit(JobSpec::new(good, JobKind::Factorize))
+            .unwrap()
+            .wait()
+            .unwrap_err();
+        assert!(
+            matches!(e, GpluError::Quarantined { strikes: 2, .. }),
+            "got {e}"
+        );
+
+        let stats = svc.stats();
+        assert_eq!(stats.gate_failures, 2);
+        assert_eq!(stats.quarantine_rejected, 1);
+        assert_eq!(stats.quarantined_patterns, 1);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn quarantine_disabled_keeps_retrying() {
+        let svc = SolverService::start(ServiceConfig {
+            workers: 1,
+            quarantine_strikes: 0,
+            ..Default::default()
+        });
+        let mut coo = gplu_sparse::Coo::new(2, 2);
+        for i in 0..2 {
+            for j in 0..2 {
+                coo.push(i, j, 1.0);
+            }
+        }
+        let bad = gplu_sparse::convert::coo_to_csr(&coo);
+        for _ in 0..4 {
+            let e = svc
+                .submit(JobSpec::new(bad.clone(), JobKind::Factorize))
+                .unwrap()
+                .wait()
+                .unwrap_err();
+            assert!(
+                matches!(e, GpluError::SingularPivot { .. }),
+                "never Quarantined when disabled: {e}"
+            );
+        }
+        assert_eq!(svc.stats().quarantine_rejected, 0);
+        svc.shutdown();
     }
 
     #[test]

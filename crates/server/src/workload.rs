@@ -7,6 +7,7 @@
 use crate::job::{JobKind, JobSpec};
 use gplu_sim::FaultPlan;
 use gplu_sparse::gen::circuit::{circuit, CircuitParams};
+use gplu_sparse::gen::hard::HardKind;
 use gplu_sparse::gen::mesh::{mesh, MeshParams};
 use gplu_sparse::gen::random::{banded_dominant, random_dominant};
 use gplu_sparse::Csr;
@@ -25,6 +26,11 @@ pub struct WorkloadParams {
     pub value_versions: usize,
     /// Fraction of hot jobs submitted as [`JobKind::Solve`].
     pub solve_fraction: f64,
+    /// Fraction of jobs drawn from the adversarial hard corpus
+    /// ([`gplu_sparse::gen::hard`]): a small pool of ill-conditioned
+    /// patterns resubmitted with drifting values, so the service's
+    /// residual gate and pattern quarantine get real traffic. 0 disables.
+    pub hard_fraction: f64,
     /// Every `fault_every`-th job carries a seeded [`FaultPlan`]
     /// (0 disables injection).
     pub fault_every: usize,
@@ -44,6 +50,7 @@ impl Default for WorkloadParams {
             hot_fraction: 0.7,
             value_versions: 8,
             solve_fraction: 0.15,
+            hard_fraction: 0.0,
             fault_every: 0,
             hot_n: 300,
             cold_n: 200,
@@ -93,12 +100,34 @@ pub fn generate_workload(params: &WorkloadParams) -> Vec<JobSpec> {
         })
         .collect();
 
+    // Adversarial pool: one base per hard family, sized off the cold
+    // dimension. Hard traffic reuses these patterns with value drift so
+    // the service's strike/quarantine machinery sees repeats.
+    let hard_bases: Vec<Csr> = HardKind::ALL
+        .iter()
+        .map(|k| {
+            k.generate(
+                params.cold_n.max(16),
+                params.seed.wrapping_mul(271).wrapping_add(17),
+            )
+        })
+        .collect();
+
     let mut jobs = Vec::with_capacity(params.jobs);
     let mut cold_seq = 0u64;
     for i in 0..params.jobs {
         let r = splitmix(&mut rng);
-        let is_hot = (r % 1000) as f64 / 1000.0 < params.hot_fraction;
-        let mut spec = if is_hot {
+        // Short-circuit keeps the rng stream (and thus every existing
+        // seeded workload) byte-identical when hard traffic is disabled.
+        let is_hard = params.hard_fraction > 0.0
+            && (splitmix(&mut rng) % 1000) as f64 / 1000.0 < params.hard_fraction;
+        let is_hot = !is_hard && (r % 1000) as f64 / 1000.0 < params.hot_fraction;
+        let mut spec = if is_hard {
+            let pattern = (splitmix(&mut rng) as usize) % hard_bases.len();
+            let version = splitmix(&mut rng) % params.value_versions.max(1) as u64;
+            let matrix = drift_values(&hard_bases[pattern], version);
+            JobSpec::new(matrix, JobKind::Factorize)
+        } else if is_hot {
             let pattern = (splitmix(&mut rng) as usize) % hot_bases.len();
             let version = splitmix(&mut rng) % params.value_versions.max(1) as u64;
             let matrix = drift_values(&hot_bases[pattern], version);
@@ -186,6 +215,51 @@ mod tests {
         assert_eq!(cold.len(), cold_unique.len(), "cold patterns are one-offs");
         let hot_count = jobs.iter().filter(|j| j.hot).count();
         assert!(hot_count > jobs.len() / 2, "mix must be hot-dominated");
+    }
+
+    #[test]
+    fn hard_traffic_reuses_a_small_adversarial_pool() {
+        let p = WorkloadParams {
+            jobs: 200,
+            hard_fraction: 0.3,
+            cold_n: 64,
+            ..Default::default()
+        };
+        let jobs = generate_workload(&p);
+        // Hard jobs are cold-marked Factorize jobs whose patterns come
+        // from the 4-family pool — few distinct fingerprints, many jobs.
+        let hot_fps: HashSet<u64> = jobs
+            .iter()
+            .filter(|j| j.hot)
+            .map(|j| pattern_fingerprint(&j.matrix))
+            .collect();
+        let nonhot_fp_counts: std::collections::HashMap<u64, usize> = jobs
+            .iter()
+            .filter(|j| !j.hot)
+            .map(|j| pattern_fingerprint(&j.matrix))
+            .fold(std::collections::HashMap::new(), |mut m, fp| {
+                *m.entry(fp).or_insert(0) += 1;
+                m
+            });
+        let repeated: Vec<_> = nonhot_fp_counts
+            .iter()
+            .filter(|(fp, &c)| c > 1 && !hot_fps.contains(fp))
+            .collect();
+        assert!(
+            (1..=4).contains(&repeated.len()),
+            "hard pool must be small and reused: {} repeated patterns",
+            repeated.len()
+        );
+        let hard_jobs: usize = repeated.iter().map(|(_, &c)| c).sum();
+        assert!(
+            hard_jobs > 20,
+            "30% of 200 jobs should be hard, got {hard_jobs}"
+        );
+        // Determinism holds with hard traffic enabled.
+        let again = generate_workload(&p);
+        for (x, y) in jobs.iter().zip(&again) {
+            assert_eq!(x.matrix.vals, y.matrix.vals);
+        }
     }
 
     #[test]

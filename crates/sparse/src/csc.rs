@@ -74,7 +74,13 @@ impl Csc {
             }
             let col = &row_idx[col_ptr[j]..col_ptr[j + 1]];
             for w in col.windows(2) {
-                if w[0] >= w[1] {
+                if w[0] == w[1] {
+                    return Err(SparseError::DuplicateEntry {
+                        row: w[1] as usize,
+                        col: j,
+                    });
+                }
+                if w[0] > w[1] {
                     return Err(SparseError::UnsortedIndices { major: j });
                 }
             }
@@ -271,10 +277,10 @@ mod tests {
             Err(SparseError::NonFiniteValue { row: 2, col: 0 })
         );
         let mut b = sample();
-        b.row_idx[0] = 2; // column 0 becomes [2, 2]: no longer ascending
+        b.row_idx[0] = 2; // column 0 becomes [2, 2]: a duplicate entry
         assert!(matches!(
             b.validate(),
-            Err(SparseError::UnsortedIndices { major: 0 })
+            Err(SparseError::DuplicateEntry { row: 2, col: 0 })
         ));
     }
 
@@ -311,6 +317,14 @@ mod tests {
         assert!(matches!(
             Csc::new(3, 1, vec![0, 2], vec![2, 0], vec![1.0, 1.0]),
             Err(SparseError::UnsortedIndices { major: 0 })
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicate_row_in_column() {
+        assert!(matches!(
+            Csc::new(3, 1, vec![0, 2], vec![1, 1], vec![1.0, 1.0]),
+            Err(SparseError::DuplicateEntry { row: 1, col: 0 })
         ));
     }
 

@@ -79,7 +79,13 @@ impl Csr {
             }
             let row = &col_idx[row_ptr[i]..row_ptr[i + 1]];
             for w in row.windows(2) {
-                if w[0] >= w[1] {
+                if w[0] == w[1] {
+                    return Err(SparseError::DuplicateEntry {
+                        row: i,
+                        col: w[1] as usize,
+                    });
+                }
+                if w[0] > w[1] {
                     return Err(SparseError::UnsortedIndices { major: i });
                 }
             }
@@ -293,10 +299,20 @@ mod tests {
             Csr::new(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 1.0]),
             Err(SparseError::UnsortedIndices { major: 0 })
         ));
-        // Duplicate column index is also "not strictly ascending".
+    }
+
+    #[test]
+    fn rejects_duplicate_column_in_row() {
+        // A repeated column index within a row is a distinct defect from
+        // disorder: it would make binary-search access and value updates
+        // ambiguous, so it gets its own typed error.
         assert!(matches!(
             Csr::new(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 1.0]),
-            Err(SparseError::UnsortedIndices { major: 0 })
+            Err(SparseError::DuplicateEntry { row: 0, col: 1 })
+        ));
+        assert!(matches!(
+            Csr::new(3, 3, vec![0, 1, 4, 4], vec![0, 0, 2, 2], vec![1.0; 4]),
+            Err(SparseError::DuplicateEntry { row: 1, col: 2 })
         ));
     }
 
@@ -324,10 +340,10 @@ mod tests {
     #[test]
     fn validate_recatches_structural_corruption() {
         let mut a = sample();
-        a.col_idx[0] = 2; // row 0 becomes [2, 2]: no longer ascending
+        a.col_idx[0] = 2; // row 0 becomes [2, 2]: a duplicate entry
         assert!(matches!(
             a.validate(),
-            Err(SparseError::UnsortedIndices { major: 0 })
+            Err(SparseError::DuplicateEntry { row: 0, col: 2 })
         ));
     }
 

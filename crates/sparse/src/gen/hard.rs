@@ -1,0 +1,283 @@
+//! Ill-conditioned generators — the adversarial counterpart of the
+//! dominant families.
+//!
+//! Every other generator in this module tree deliberately produces
+//! diagonally dominant values so no-pivot LU succeeds (the GLU-family
+//! assumption the paper inherits). Real solver traffic is not so polite:
+//! circuit matrices arrive with tiny conductances on the diagonal, graded
+//! meshes span many orders of magnitude, and netlist extraction sometimes
+//! drops diagonal entries entirely. This family reproduces those failure
+//! shapes on purpose, to drive the robustness ladder (threshold pivoting,
+//! static perturbation, residual gating) through its paces:
+//!
+//! * [`near_singular`] — dominant everywhere except a sprinkle of rows
+//!   whose diagonal is ~1e-13 of the row weight: no-pivot LU divides by
+//!   them and the element growth destroys the residual; threshold
+//!   pivoting swaps them away.
+//! * [`graded`] — two-sided geometric scaling `D_r · A · D_c` with
+//!   opposing gradings: entries span `10^decades`, row dominance is gone,
+//!   and pivots shrink steadily down the diagonal.
+//! * [`zero_diag`] — structurally missing diagonals on a matrix whose
+//!   cyclic coupling guarantees a transversal exists, so row exchange
+//!   recovers what no-pivot LU rejects outright.
+//! * [`sign_alternating`] — circuit-like pattern with alternating-sign
+//!   near-unit couplings and weak diagonals: eliminations nearly cancel,
+//!   amplifying growth without pivoting.
+//!
+//! All generators are deterministic in `seed`. None promises
+//! well-posedness — a draw can be numerically singular, and downstream
+//! must answer with a typed rejection rather than a silently wrong
+//! factorization. That contract is exactly what the chaos suite checks.
+
+use super::{draw_val, rng};
+use crate::{convert, Coo, Csr};
+use rand::Rng;
+
+/// The adversarial families, for suite-style iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HardKind {
+    /// A few near-zero diagonal rows in an otherwise dominant matrix.
+    NearSingular,
+    /// Two-sided geometric grading spanning many decades.
+    Graded,
+    /// Structurally missing diagonal entries.
+    ZeroDiag,
+    /// Alternating-sign couplings with weak diagonals.
+    SignAlternating,
+}
+
+impl HardKind {
+    /// Every family, in a stable order.
+    pub const ALL: [HardKind; 4] = [
+        HardKind::NearSingular,
+        HardKind::Graded,
+        HardKind::ZeroDiag,
+        HardKind::SignAlternating,
+    ];
+
+    /// Short stable name for reports and telemetry.
+    pub fn name(&self) -> &'static str {
+        match self {
+            HardKind::NearSingular => "near_singular",
+            HardKind::Graded => "graded",
+            HardKind::ZeroDiag => "zero_diag",
+            HardKind::SignAlternating => "sign_alternating",
+        }
+    }
+
+    /// Generates an `n × n` instance of this family.
+    pub fn generate(&self, n: usize, seed: u64) -> Csr {
+        match self {
+            HardKind::NearSingular => near_singular(n, seed),
+            HardKind::Graded => graded(n, 8, seed),
+            HardKind::ZeroDiag => zero_diag(n, seed),
+            HardKind::SignAlternating => sign_alternating(n, seed),
+        }
+    }
+}
+
+/// Off-diagonal skeleton shared by the family: a cyclic chain (so a full
+/// transversal always exists), a local band, and a few long-range edges.
+fn skeleton(n: usize, seed: u64) -> (Coo, Vec<f64>) {
+    let mut r = rng(seed);
+    let mut coo = Coo::with_capacity(n, n, 4 * n);
+    let mut row_abs = vec![0.0f64; n];
+    let push = |coo: &mut Coo, row_abs: &mut Vec<f64>, i: usize, j: usize, v: f64| {
+        if i != j {
+            coo.push(i, j, v);
+            row_abs[i] += v.abs();
+        }
+    };
+    for i in 0..n {
+        // Cyclic coupling: row i always reaches column (i+1) mod n.
+        let v = draw_val(&mut r);
+        push(&mut coo, &mut row_abs, i, (i + 1) % n, v);
+        // Local band.
+        for _ in 0..2 {
+            let off = r.gen_range(1..=4usize);
+            let j = (i + n - off) % n;
+            push(&mut coo, &mut row_abs, i, j, draw_val(&mut r));
+        }
+        // Occasional long-range feedback.
+        if r.gen_bool(0.25) {
+            let j = r.gen_range(0..n);
+            push(&mut coo, &mut row_abs, i, j, draw_val(&mut r));
+        }
+    }
+    (coo, row_abs)
+}
+
+/// Dominant matrix except for `~n/16` rows whose diagonal is ~1e-13 of
+/// the row weight — small enough that dividing by it wrecks the factors,
+/// large enough to be structurally present.
+pub fn near_singular(n: usize, seed: u64) -> Csr {
+    assert!(n >= 4, "near_singular needs n >= 4");
+    let (mut coo, row_abs) = skeleton(n, seed);
+    let mut r = rng(seed ^ 0x9E37_79B9);
+    let weak = (n / 16).max(1);
+    let mut is_weak = vec![false; n];
+    let mut placed = 0;
+    while placed < weak {
+        let i = r.gen_range(0..n);
+        if !is_weak[i] {
+            is_weak[i] = true;
+            placed += 1;
+        }
+    }
+    for (i, &dom) in row_abs.iter().enumerate() {
+        let d = if is_weak[i] {
+            (dom + 1.0) * 1e-13
+        } else {
+            dom + 1.0
+        };
+        coo.push(i, i, d);
+    }
+    convert::coo_to_csr(&coo)
+}
+
+/// Two-sided geometric grading: dominant base `A`, returned as
+/// `D_r · A · D_c` where the row scaling decays over `decades` orders of
+/// magnitude top-to-bottom and the column scaling grows by the same —
+/// entries span `10^decades` and row dominance is destroyed.
+pub fn graded(n: usize, decades: u32, seed: u64) -> Csr {
+    assert!(n >= 2, "graded needs n >= 2");
+    let (mut coo, row_abs) = skeleton(n, seed);
+    for (i, &dom) in row_abs.iter().enumerate() {
+        coo.push(i, i, dom + 1.0);
+    }
+    let g = decades as f64;
+    let scale = |k: usize| 10f64.powf(-g * k as f64 / n as f64);
+    let mut out = Coo::with_capacity(n, n, coo.nnz());
+    for (i, j, v) in coo.iter() {
+        out.push(i, j, v * scale(i) / scale(j));
+    }
+    convert::coo_to_csr(&out)
+}
+
+/// Dominant matrix with `~n/12` diagonal entries structurally removed.
+/// The cyclic chain in the skeleton guarantees a transversal exists, so a
+/// row permutation (threshold pivoting, or the preprocess transversal)
+/// can always restore a usable diagonal.
+pub fn zero_diag(n: usize, seed: u64) -> Csr {
+    assert!(n >= 4, "zero_diag needs n >= 4");
+    let (mut coo, row_abs) = skeleton(n, seed);
+    let mut r = rng(seed ^ 0x5DEE_CE66);
+    let holes = (n / 12).max(1);
+    let mut is_hole = vec![false; n];
+    let mut placed = 0;
+    while placed < holes {
+        let i = r.gen_range(0..n);
+        if !is_hole[i] {
+            is_hole[i] = true;
+            placed += 1;
+        }
+    }
+    for (i, &dom) in row_abs.iter().enumerate() {
+        if !is_hole[i] {
+            coo.push(i, i, dom + 1.0);
+        }
+    }
+    convert::coo_to_csr(&coo)
+}
+
+/// Circuit-like alternating-sign couplings near ±1 with weak diagonals:
+/// updates nearly cancel, so no-pivot elimination suffers severe element
+/// growth that threshold pivoting suppresses.
+pub fn sign_alternating(n: usize, seed: u64) -> Csr {
+    assert!(n >= 2, "sign_alternating needs n >= 2");
+    let mut r = rng(seed);
+    let mut coo = Coo::with_capacity(n, n, 4 * n);
+    let mut row_cnt = vec![0usize; n];
+    for (i, cnt) in row_cnt.iter_mut().enumerate() {
+        let targets = [(i + 1) % n, (i + n - 1) % n, r.gen_range(0..n)];
+        for j in targets {
+            if i != j {
+                // Alternating checkerboard sign, magnitude jittered off
+                // exactly 1 so draws are not trivially rank-deficient.
+                let sign = if (i + j) % 2 == 0 { 1.0 } else { -1.0 };
+                let v = sign * (1.0 + 0.01 * r.gen_range(-1.0..1.0f64));
+                coo.push(i, j, v);
+                *cnt += 1;
+            }
+        }
+    }
+    for (i, &cnt) in row_cnt.iter().enumerate() {
+        // Weak diagonal: an order of magnitude below the row couplings.
+        let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
+        coo.push(i, i, sign * 0.1 * cnt.max(1) as f64);
+    }
+    convert::coo_to_csr(&coo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        for kind in HardKind::ALL {
+            let a = kind.generate(64, 7);
+            let b = kind.generate(64, 7);
+            assert_eq!(a.col_idx, b.col_idx, "{}", kind.name());
+            assert_eq!(a.vals, b.vals, "{}", kind.name());
+            let c = kind.generate(64, 8);
+            assert_ne!(a.vals, c.vals, "{} must vary with seed", kind.name());
+        }
+    }
+
+    #[test]
+    fn near_singular_has_tiny_diagonals() {
+        let a = near_singular(96, 3);
+        assert!(a.has_full_diagonal());
+        let tiny = (0..96)
+            .filter(|&i| a.get(i, i).expect("diag").abs() < 1e-9)
+            .count();
+        assert!(tiny >= 1, "want at least one near-zero diagonal");
+        assert!(tiny < 96, "most rows stay dominant");
+    }
+
+    #[test]
+    fn graded_spans_decades() {
+        let a = graded(128, 8, 4);
+        let mags: Vec<f64> = a
+            .vals
+            .iter()
+            .map(|v| v.abs())
+            .filter(|&m| m > 0.0)
+            .collect();
+        let max = mags.iter().cloned().fold(0.0f64, f64::max);
+        let min = mags.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(
+            max / min > 1e6,
+            "grading must span many decades, got ratio {}",
+            max / min
+        );
+    }
+
+    #[test]
+    fn zero_diag_has_structural_holes_but_a_transversal() {
+        let a = zero_diag(120, 5);
+        assert!(!a.has_full_diagonal());
+        let holes = (0..120).filter(|&i| a.get(i, i).is_none()).count();
+        assert!((1..=120 / 6).contains(&holes));
+        // The cyclic chain guarantees (i, i+1 mod n) exists everywhere.
+        for i in 0..120 {
+            assert!(a.get(i, (i + 1) % 120).is_some(), "chain edge {i} missing");
+        }
+    }
+
+    #[test]
+    fn sign_alternating_diagonals_are_weak() {
+        let a = sign_alternating(80, 6);
+        assert!(a.has_full_diagonal());
+        for i in 0..80 {
+            let d = a.get(i, i).expect("diag").abs();
+            let off: f64 = a
+                .row_iter(i)
+                .filter(|&(j, _)| j != i)
+                .map(|(_, v)| v.abs())
+                .sum();
+            assert!(d < off, "row {i}: diagonal {d} must be dominated by {off}");
+        }
+    }
+}

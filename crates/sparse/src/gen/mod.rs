@@ -16,6 +16,9 @@
 //! * [`planar`] — planar triangulation-like graphs with *missing diagonals*
 //!   (hugetrace, delaunay_n24, hugebubbles analogs of Table 4),
 //! * [`random`] — plain uniform sparsity for tests and property checks,
+//! * [`hard`] — deliberately ill-conditioned families (near-singular,
+//!   graded, missing-diagonal, sign-alternating) for the robustness
+//!   ladder and the chaos suites,
 //! * [`suite`] — the named paper suites at a configurable scale.
 //!
 //! All generators produce diagonally dominant values (except `planar`,
@@ -23,6 +26,7 @@
 //! without pivoting succeeds, matching the GLU-family assumption.
 
 pub mod circuit;
+pub mod hard;
 pub mod mesh;
 pub mod planar;
 pub mod random;

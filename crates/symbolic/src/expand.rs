@@ -1,0 +1,261 @@
+//! Dynamic symbolic expansion — in-place pattern repair after a pivot
+//! permutation.
+//!
+//! When threshold-pivot discovery (gplu-numeric) chooses a row order that
+//! deviates from the natural diagonal, the fill pattern predicted for the
+//! *unpermuted* matrix no longer covers the factorization of the permuted
+//! one: left-looking updates would land on structurally missing positions
+//! (`MissingFill`). Rather than discarding the symbolic investment and
+//! re-running the full fill pass, this module grows the affected columns
+//! in place.
+//!
+//! The input is the predicted filled matrix with its **rows permuted** by
+//! the discovered pivot order (original `A` entries carried along, fills
+//! as explicit zeros). Its pattern is a superset of the permuted `A`'s
+//! pattern, so the left-looking closure of it is a superset of the true
+//! fill of the permuted system — completing the closure is sufficient for
+//! every engine to factorize without `MissingFill`.
+//!
+//! Closure rule (exactly the engines' access contract): for every column
+//! `j` and every dependency entry `(t, j)` with `t < j`, each sub-diagonal
+//! row of column `t` must also be present in column `j`. Columns are
+//! repaired in ascending order; because column `t < j` is already final
+//! when `j` is processed, a single outer pass with a per-column inner
+//! fixpoint (new sub-diagonal deps discovered while repairing `j` are
+//! replayed until quiescent) reaches the full closure.
+//!
+//! The pass is *bounded*: the permuted old fill can close to far more
+//! entries than a fresh symbolic pass on the permuted matrix would
+//! predict. The caller supplies a budget of added entries; when the
+//! closure blows past it the outcome reports `closed == false` and the
+//! caller falls back to a full re-symbolic pass — the last rung before
+//! rejection on the recovery ladder.
+
+use gplu_sparse::convert::coo_to_csr;
+use gplu_sparse::{Coo, Csr, Idx, Val};
+
+/// Result of a bounded in-place pattern expansion.
+#[derive(Debug)]
+pub struct ExpandOutcome {
+    /// The expanded filled matrix: input entries in place, inserted
+    /// positions as explicit zeros. Only meaningful when `closed`.
+    pub filled: Csr,
+    /// Number of structural entries inserted (including repaired
+    /// diagonals).
+    pub added: usize,
+    /// Maximum number of inner fixpoint passes any single column needed —
+    /// how deep the swap-induced fill cascaded.
+    pub rounds: usize,
+    /// Whether the closure completed within `budget`. When false the
+    /// pattern is unusable and the caller must re-run symbolic
+    /// factorization on the permuted matrix.
+    pub closed: bool,
+}
+
+/// Inserts `row` into the sorted column `col` as an explicit zero if
+/// absent; returns whether an insertion happened.
+fn insert_zero(col: &mut Vec<(Idx, Val)>, row: Idx) -> bool {
+    match col.binary_search_by_key(&row, |&(r, _)| r) {
+        Ok(_) => false,
+        Err(pos) => {
+            col.insert(pos, (row, 0.0));
+            true
+        }
+    }
+}
+
+/// Completes the left-looking closure of `filled_perm` (the row-permuted
+/// predicted fill), inserting at most `budget` explicit-zero entries.
+///
+/// On dominant traffic — where discovery keeps the natural diagonal and
+/// the caller passes the unpermuted fill — the input is already closed
+/// and the pass returns it unchanged with `added == 0`.
+pub fn expand_fill(filled_perm: &Csr, budget: usize) -> ExpandOutcome {
+    let n = filled_perm.n_rows();
+    debug_assert_eq!(n, filled_perm.n_cols(), "square systems only");
+
+    // Column-wise working form; rows arrive ascending because the CSR is
+    // scanned in row order.
+    let mut cols: Vec<Vec<(Idx, Val)>> = vec![Vec::new(); n];
+    for i in 0..n {
+        for (j, v) in filled_perm.row_iter(i) {
+            cols[j].push((i as Idx, v));
+        }
+    }
+
+    let mut added = 0usize;
+    let mut rounds = 0usize;
+    let mut closed = true;
+
+    'outer: for j in 0..n {
+        let (left, right) = cols.split_at_mut(j);
+        let colj = &mut right[0];
+        // The engines address every pivot through the diagonal slot; make
+        // sure it exists structurally (its value is repaired numerically).
+        if insert_zero(colj, j as Idx) {
+            added += 1;
+        }
+        let mut pass = 0usize;
+        loop {
+            let mut grew = false;
+            // Snapshot the dependency prefix: insertions below may extend
+            // it, which the next pass picks up.
+            let deps: Vec<usize> = colj
+                .iter()
+                .map(|&(r, _)| r as usize)
+                .take_while(|&r| r < j)
+                .collect();
+            for t in deps {
+                for &(r, _) in &left[t] {
+                    if (r as usize) > t && insert_zero(colj, r) {
+                        added += 1;
+                        grew = true;
+                    }
+                }
+            }
+            if !grew {
+                break;
+            }
+            pass += 1;
+            rounds = rounds.max(pass);
+            if added > budget {
+                closed = false;
+                break 'outer;
+            }
+        }
+    }
+
+    let mut coo = Coo::new(n, n);
+    for (j, col) in cols.iter().enumerate() {
+        for &(i, v) in col {
+            coo.push(i as usize, j, v);
+        }
+    }
+    ExpandOutcome {
+        filled: coo_to_csr(&coo),
+        added,
+        rounds,
+        closed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::symbolic_cpu;
+    use crate::reference::fill_by_elimination;
+    use gplu_sim::CostModel;
+    use gplu_sparse::gen::random::{banded_dominant, random_dominant};
+    use gplu_sparse::perm::permute_csr;
+    use gplu_sparse::Permutation;
+
+    fn filled_of(a: &Csr) -> Csr {
+        symbolic_cpu(a, &CostModel::default()).result.filled
+    }
+
+    /// The engines' access contract the expansion must establish.
+    fn assert_closed(f: &Csr) {
+        let n = f.n_rows();
+        let mut cols: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for i in 0..n {
+            for &j in f.row_cols(i) {
+                cols[j as usize].push(i);
+            }
+        }
+        for j in 0..n {
+            assert!(cols[j].contains(&j), "diagonal ({j},{j}) missing");
+            let deps: Vec<usize> = cols[j].iter().copied().filter(|&t| t < j).collect();
+            for t in deps {
+                for &r in &cols[t] {
+                    if r > t {
+                        assert!(cols[j].contains(&r), "dep ({t},{j}) needs target ({r},{j})");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn already_closed_pattern_is_untouched() {
+        for seed in [11, 12] {
+            let a = random_dominant(80, 3.0, seed);
+            let f = filled_of(&a);
+            let out = expand_fill(&f, f.nnz());
+            assert!(out.closed);
+            assert_eq!(out.added, 0, "symbolic fill is already a closure");
+            assert_eq!(out.rounds, 0);
+            assert_eq!(out.filled.nnz(), f.nnz());
+            assert_closed(&out.filled);
+        }
+    }
+
+    #[test]
+    fn repairs_swap_induced_fill() {
+        // Permute rows of a predicted fill by a few transpositions — the
+        // situation after threshold pivoting rejects some diagonals — and
+        // check the expansion restores the engines' closure invariant and
+        // covers the true fill of the permuted matrix.
+        let a = banded_dominant(60, 3, 21);
+        let f = filled_of(&a);
+        let n = f.n_rows();
+        let mut fwd: Vec<Idx> = (0..n as Idx).collect();
+        fwd.swap(3, 17);
+        fwd.swap(30, 31);
+        fwd.swap(44, 58);
+        let p = Permutation::from_forward(fwd).expect("bijection");
+        let fp = permute_csr(&f, &p, &Permutation::identity(n));
+        let out = expand_fill(&fp, fp.nnz() * 8);
+        assert!(out.closed, "small swaps close within budget");
+        assert!(out.added > 0, "row swaps must introduce new positions");
+        assert_closed(&out.filled);
+
+        // Superset of the minimal fill of the permuted matrix: every true
+        // fill position has a slot.
+        let ap = permute_csr(&a, &p, &Permutation::identity(n));
+        let oracle = fill_by_elimination(&ap);
+        for (i, row) in oracle.iter().enumerate() {
+            for &j in row {
+                assert!(
+                    out.filled.get(i, j as usize).is_some(),
+                    "oracle fill ({i},{j}) missing from expansion"
+                );
+            }
+        }
+
+        // Original values rode along; fills are explicit zeros.
+        for i in 0..n {
+            for (j, v) in ap.row_iter(i) {
+                if v != 0.0 {
+                    assert_eq!(out.filled.get(i, j), Some(v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blown_budget_reports_unclosed() {
+        let a = random_dominant(80, 2.0, 22);
+        let f = filled_of(&a);
+        let n = f.n_rows();
+        // Reverse the rows — maximal deviation, massive induced fill.
+        let fwd: Vec<Idx> = (0..n as Idx).rev().collect();
+        let p = Permutation::from_forward(fwd).expect("bijection");
+        let fp = permute_csr(&f, &p, &Permutation::identity(n));
+        let out = expand_fill(&fp, 8);
+        assert!(!out.closed, "budget of 8 entries cannot absorb a reversal");
+        assert!(out.added > 8);
+    }
+
+    #[test]
+    fn inserts_missing_diagonal() {
+        let mut coo = Coo::new(3, 3);
+        for (i, j, v) in [(0, 0, 2.0), (0, 1, 1.0), (1, 0, 1.0), (2, 2, 3.0)] {
+            coo.push(i, j, v);
+        }
+        let f = coo_to_csr(&coo);
+        let out = expand_fill(&f, 16);
+        assert!(out.closed);
+        assert_eq!(out.filled.get(1, 1), Some(0.0), "diagonal slot repaired");
+        assert_closed(&out.filled);
+    }
+}

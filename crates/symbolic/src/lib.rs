@@ -33,6 +33,7 @@
 
 pub mod cpu;
 pub mod dynamic;
+pub mod expand;
 pub mod fill2;
 pub mod frontier;
 pub mod multi;
@@ -46,6 +47,7 @@ pub use cpu::symbolic_cpu;
 pub use dynamic::{
     symbolic_ooc_dynamic, symbolic_ooc_dynamic_run, symbolic_ooc_dynamic_traced, DynamicSplit,
 };
+pub use expand::{expand_fill, ExpandOutcome};
 pub use fill2::{fill2_row, Fill2Workspace, RowMetrics};
 pub use multi::{symbolic_multi_gpu, MultiGpuOutcome, Partition};
 pub use ooc::{symbolic_ooc, symbolic_ooc_run, symbolic_ooc_traced, OocOutcome};

@@ -48,7 +48,7 @@ pub use gplu_trace as trace;
 pub mod prelude {
     pub use gplu_core::{
         CheckpointOptions, GpluError, LuFactorization, LuOptions, NumericFormat, PhaseReport,
-        RefactorPlan, SymbolicEngine,
+        PivotPolicy, RefactorPlan, ResidualGate, SymbolicEngine,
     };
     pub use gplu_server::{JobKind, JobSpec, ServiceConfig, SolverService};
     pub use gplu_sim::{CostModel, Gpu, GpuConfig, SimTime};

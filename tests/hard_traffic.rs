@@ -1,0 +1,256 @@
+//! Hard-traffic chaos suite: the adversarial corpus from
+//! [`gplu::sparse::gen::hard`] driven through the full pipeline under the
+//! pivoting policies.
+//!
+//! The robustness contract is that every job terminates in **exactly one**
+//! of three states — and never in a fourth, silent-wrong-answer state:
+//!
+//! 1. **gate pass** — `Ok`, and the returned factors independently
+//!    reproduce the residual the acceptance gate saw (re-verified here
+//!    from scratch against the preprocessed system);
+//! 2. **recovered** — `Ok` with a non-empty recovery log (pivot repairs /
+//!    perturbations / escalations), and the factors *still* verify;
+//! 3. **typed rejection** — a [`GpluError::NumericallySingular`],
+//!    [`GpluError::SingularPivot`], or structural sparse error; never a
+//!    panic, never a device/crash error dressed up as a numeric one.
+//!
+//! Every case is deterministic: inputs derive from the case index, and
+//! `GPLU_CHAOS_SEED` (the CI seed matrix) offsets the matrix seeds so each
+//! CI shard explores a different slice of the corpus.
+
+use gplu::core::DEFAULT_PIVOT_TAU;
+use gplu::prelude::*;
+use gplu::sparse::gen::hard::HardKind;
+use gplu::sparse::gen::random::random_dominant;
+use gplu::sparse::verify::{check_solution, residual_probe};
+use proptest::prelude::*;
+
+/// Seed offset from `GPLU_CHAOS_SEED` (default 0), so CI shards explore
+/// disjoint corpus slices without code changes.
+fn seed_base() -> u64 {
+    std::env::var("GPLU_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+fn gpu_for(a: &gplu::sparse::Csr) -> Gpu {
+    Gpu::new(GpuConfig::v100_symbolic_profile(a.n_rows(), a.nnz()))
+}
+
+/// Both sides of the acceptance criterion: no pivoting (the GLU-family
+/// assumption) and threshold pivoting at the default tau.
+const POLICIES: [PivotPolicy; 2] = [
+    PivotPolicy::NoPivot,
+    PivotPolicy::Threshold {
+        tau: DEFAULT_PIVOT_TAU,
+    },
+];
+
+/// Classifies an outcome against the three-state contract, panicking on
+/// anything outside it. Returns the state for distribution assertions.
+fn assert_contract(result: Result<LuFactorization, GpluError>, ctx: &str) -> &'static str {
+    match result {
+        Ok(f) => {
+            // Accepted factors must verify from scratch — this is the
+            // "zero silent wrong answers" half of the contract. The gate
+            // ran with its default 2 probes; re-running the same
+            // deterministic probe reproduces the number it gated on.
+            let r = residual_probe(&f.preprocessed, &f.lu, 2);
+            assert!(
+                r <= ResidualGate::default().threshold,
+                "{ctx}: accepted factors re-verify at residual {r:.3e}"
+            );
+            if let Some(gated) = f.report.residual {
+                assert!(
+                    (gated - r).abs() <= 1e-12 * r.max(1.0),
+                    "{ctx}: reported residual {gated:.3e} != re-probed {r:.3e}"
+                );
+            }
+            if f.report.recovery.is_empty() {
+                "gate-pass"
+            } else {
+                "recovered"
+            }
+        }
+        Err(
+            e @ (GpluError::NumericallySingular { .. }
+            | GpluError::SingularPivot { .. }
+            | GpluError::Sparse(_)),
+        ) => {
+            assert!(!e.to_string().is_empty());
+            "rejected"
+        }
+        Err(other) => panic!("{ctx}: outside the three-state contract: {other}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // 256 cases x 2 policies = 512 seeded schedules per shard.
+    #[test]
+    fn hard_corpus_terminates_in_one_of_three_states(
+        kind_idx in 0usize..4,
+        n in 40usize..140,
+        mseed in 0u64..10_000,
+    ) {
+        let kind = HardKind::ALL[kind_idx];
+        let a = kind.generate(n, mseed.wrapping_add(seed_base().wrapping_mul(1_000_003)));
+        for policy in POLICIES {
+            let opts = LuOptions::default().with_pivot(policy);
+            let ctx = format!("{} n={n} seed={mseed} policy={policy:?}", kind.name());
+            let state =
+                assert_contract(LuFactorization::compute(&gpu_for(&a), &a, &opts), &ctx);
+            prop_assert!(
+                ["gate-pass", "recovered", "rejected"].contains(&state),
+                "unknown state {state}"
+            );
+        }
+    }
+
+    // The escalation ladder turns NoPivot rejections into recoveries (or
+    // keeps them typed) — it must never invent a fourth state either.
+    #[test]
+    fn escalation_ladder_stays_inside_the_contract(
+        kind_idx in 0usize..4,
+        n in 40usize..120,
+        mseed in 0u64..10_000,
+    ) {
+        let kind = HardKind::ALL[kind_idx];
+        let a = kind.generate(n, mseed.wrapping_add(seed_base().wrapping_mul(1_000_003)));
+        let mut opts = LuOptions::default();
+        opts.gate.escalate = true;
+        let ctx = format!("{} n={n} seed={mseed} escalating", kind.name());
+        match LuFactorization::compute(&gpu_for(&a), &a, &opts) {
+            Ok(f) => {
+                let r = residual_probe(&f.preprocessed, &f.lu, 2);
+                prop_assert!(
+                    r <= opts.gate.threshold,
+                    "{}: ladder-accepted factors re-verify at {r:.3e}", ctx
+                );
+            }
+            Err(e @ (GpluError::NumericallySingular { .. }
+                | GpluError::SingularPivot { .. }
+                | GpluError::Sparse(_))) => {
+                // The ladder climbed before giving up: the typed rejection
+                // reports how many rungs were tried.
+                if let GpluError::NumericallySingular { attempts, .. } = e {
+                    prop_assert!(attempts >= 1, "{}: zero attempts reported", ctx);
+                }
+            }
+            Err(other) => prop_assert!(false, "{}: untyped failure {other}", ctx),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Satellite: a RefactorPlan captured under threshold pivoting replays
+    // bit-identically on same-pattern values, and stays correct under
+    // uniform value drift (threshold comparisons are scale-invariant, so
+    // the captured row order cannot go stale).
+    #[test]
+    fn threshold_plans_replay_bit_identically_and_survive_uniform_drift(
+        n in 60usize..140,
+        mseed in 0u64..10_000,
+        scale_k in 1u32..9,
+    ) {
+        let a = random_dominant(n, 4.0, mseed.wrapping_add(seed_base()));
+        let opts = LuOptions::default().with_pivot(PivotPolicy::Threshold {
+            tau: DEFAULT_PIVOT_TAU,
+        });
+        let cold = LuFactorization::compute(&gpu_for(&a), &a, &opts)
+            .expect("dominant cold run succeeds");
+        let plan = cold.refactor_plan(&a, &opts).expect("plan");
+
+        // Same values: the warm path must reproduce the cold factors bit
+        // for bit (same kernels, same schedule, same pivot order).
+        let warm = plan.refactorize(&gpu_for(&a), &a).expect("replay");
+        prop_assert_eq!(&warm.lu.vals, &cold.lu.vals, "replay drifted");
+        prop_assert_eq!(&warm.lu.col_ptr, &cold.lu.col_ptr, "pattern drifted");
+
+        // Uniform scaling preserves every tau comparison, so the captured
+        // order stays valid and the warm factors still solve the system.
+        let c = 10f64.powi(scale_k as i32 - 4);
+        let mut b = a.clone();
+        for v in &mut b.vals {
+            *v *= c;
+        }
+        let warm = plan.refactorize(&gpu_for(&b), &b).expect("scaled replay");
+        let x_true = vec![1.0; n];
+        let rhs = b.spmv(&x_true);
+        let x = warm.solve(&rhs).expect("solve");
+        prop_assert!(
+            check_solution(&b, &x, &rhs, 1e-6),
+            "scaled replay produced a wrong solution (c={c})"
+        );
+    }
+}
+
+/// All five numeric formats produce bit-identical factors under each
+/// pivoting policy on the hard corpus — the engines share one kernel
+/// core, so robustness features cannot fork their answers.
+#[test]
+fn all_five_formats_agree_bitwise_under_each_policy_on_hard_traffic() {
+    const FORMATS: [NumericFormat; 5] = [
+        NumericFormat::Auto,
+        NumericFormat::Dense,
+        NumericFormat::Sparse,
+        NumericFormat::SparseMerge,
+        NumericFormat::SparseBlocked,
+    ];
+    let policies = [
+        PivotPolicy::NoPivot,
+        PivotPolicy::Static { threshold: 1e-8 },
+        PivotPolicy::Threshold {
+            tau: DEFAULT_PIVOT_TAU,
+        },
+    ];
+    for kind in HardKind::ALL {
+        let a = kind.generate(120, 31 + seed_base());
+        for policy in policies {
+            let mut results = Vec::new();
+            for format in FORMATS {
+                let opts = LuOptions {
+                    format,
+                    ..LuOptions::default().with_pivot(policy)
+                };
+                results.push((format, LuFactorization::compute(&gpu_for(&a), &a, &opts)));
+            }
+            let (ref_fmt, reference) = &results[0];
+            for (format, r) in &results[1..] {
+                match (reference, r) {
+                    (Ok(want), Ok(got)) => {
+                        assert_eq!(
+                            &want.lu.vals,
+                            &got.lu.vals,
+                            "{}: {format:?} disagrees with {ref_fmt:?} under {policy:?}",
+                            kind.name()
+                        );
+                        assert_eq!(
+                            want.lu.col_ptr,
+                            got.lu.col_ptr,
+                            "{}: {format:?} pattern differs under {policy:?}",
+                            kind.name()
+                        );
+                    }
+                    (Err(want), Err(got)) => assert_eq!(
+                        std::mem::discriminant(want),
+                        std::mem::discriminant(got),
+                        "{}: {format:?} fails differently ({got}) than {ref_fmt:?} ({want})",
+                        kind.name()
+                    ),
+                    (want, got) => panic!(
+                        "{}: {format:?} and {ref_fmt:?} split Ok/Err under {policy:?}: \
+                         {:?} vs {:?}",
+                        kind.name(),
+                        want.as_ref().map(|_| "ok").map_err(|e| e.to_string()),
+                        got.as_ref().map(|_| "ok").map_err(|e| e.to_string()),
+                    ),
+                }
+            }
+        }
+    }
+}

@@ -208,6 +208,7 @@ fn eviction_under_a_starved_budget_never_corrupts_results() {
         workers: 4,
         queue_cap: 64,
         cache_budget_bytes: plan_bytes + plan_bytes / 2,
+        ..Default::default()
     });
 
     let mut handles = Vec::new();
@@ -249,6 +250,7 @@ fn backpressure_deadlines_and_cancellation_are_typed() {
         workers: 1,
         queue_cap: 1,
         cache_budget_bytes: 16 << 20,
+        ..Default::default()
     });
     let slow = random_dominant(700, 6.0, 60);
     let running = svc
@@ -354,6 +356,7 @@ fn stress_workload_sustains_the_hit_rate_and_a_consistent_report() {
         hot_fraction: 0.8,
         value_versions: 5,
         solve_fraction: 0.3,
+        hard_fraction: 0.0,
         fault_every: 0,
         hot_n: 150,
         cold_n: 100,
