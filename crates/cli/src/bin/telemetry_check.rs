@@ -4,6 +4,7 @@
 //! telemetry_check <report.json> [trace.json]
 //! telemetry_check --manifest <checkpoint-dir>
 //! telemetry_check --service <service-report.json> [trace.json]
+//! telemetry_check --slo <service-report.json> [trace.json]
 //! ```
 //!
 //! Checks that a `--report-json` file is schema-versioned, internally
@@ -15,11 +16,19 @@
 //! checks, and the latest-valid-wins load succeeds. With `--service`,
 //! validates a `gplu serve --stress --service-report` file: schema
 //! version, all sections present, job totals consistent, hit rate in
-//! range, percentiles ordered. Exits non-zero with a message on the
-//! first violation.
+//! range, percentiles ordered — plus, for schema v2, that the
+//! observability sections (metrics registry, SLO verdict, drift table)
+//! are structurally sound when present. `--slo` is the CI gate: all the
+//! `--service` checks, and additionally the report MUST carry the
+//! observability sections, the SLO verdict must be `pass`, and no
+//! cost-model span kind may be drift-flagged.
+//!
+//! Every failure message names the first failing location as a JSON
+//! pointer (`/latency/sim_p95_ns`), and the caller prefixes the file
+//! path — so CI logs point straight at the offending field.
 
 use gplu_checkpoint::{xxh64, CheckpointStore, Snapshot};
-use gplu_trace::{json, JsonValue};
+use gplu_trace::{json, JsonValue, MetricsRegistry};
 use std::process::ExitCode;
 
 fn fail(msg: &str) -> ExitCode {
@@ -27,44 +36,57 @@ fn fail(msg: &str) -> ExitCode {
     ExitCode::FAILURE
 }
 
+/// Walks a JSON pointer (object keys and array indices, `/a/b/0/c`).
+fn lookup<'a>(doc: &'a JsonValue, ptr: &str) -> Option<&'a JsonValue> {
+    ptr.split('/')
+        .filter(|s| !s.is_empty())
+        .try_fold(doc, |d, key| match d {
+            JsonValue::Arr(items) => key.parse::<usize>().ok().and_then(|i| items.get(i)),
+            _ => d.get(key),
+        })
+}
+
+/// A required numeric field, failure message = its JSON pointer.
+fn num_at(doc: &JsonValue, ptr: &str) -> Result<f64, String> {
+    lookup(doc, ptr)
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| format!("{ptr}: missing or not a number"))
+}
+
+/// A required section, failure message = its JSON pointer.
+fn section_at<'a>(doc: &'a JsonValue, ptr: &str) -> Result<&'a JsonValue, String> {
+    lookup(doc, ptr).ok_or_else(|| format!("{ptr}: section missing"))
+}
+
 fn check_report(doc: &JsonValue) -> Result<String, String> {
-    let version = doc
-        .get("schema_version")
-        .and_then(JsonValue::as_u64)
-        .ok_or("report: schema_version missing")?;
+    let version = num_at(doc, "/schema_version")? as u64;
     if !(1..=2).contains(&version) {
-        return Err(format!("report: unknown schema_version {version}"));
+        return Err(format!("/schema_version: unknown version {version}"));
     }
 
-    let phases = doc.get("phases").ok_or("report: phases missing")?;
-    let get = |key: &str| {
-        phases
-            .get(key)
-            .and_then(JsonValue::as_f64)
-            .ok_or_else(|| format!("report: phases.{key} missing"))
-    };
-    let total = get("total_ns")?;
-    let sum =
-        get("preprocess_ns")? + get("symbolic_ns")? + get("levelize_ns")? + get("numeric_ns")?;
+    let total = num_at(doc, "/phases/total_ns")?;
+    let sum = num_at(doc, "/phases/preprocess_ns")?
+        + num_at(doc, "/phases/symbolic_ns")?
+        + num_at(doc, "/phases/levelize_ns")?
+        + num_at(doc, "/phases/numeric_ns")?;
     if (total - sum).abs() > 1e-9 {
         return Err(format!(
-            "report: total_ns {total} != phase sum {sum} (diff {})",
+            "/phases/total_ns: {total} != phase sum {sum} (diff {})",
             (total - sum).abs()
         ));
     }
 
-    let levels = doc
-        .get("levels")
-        .and_then(JsonValue::as_arr)
-        .ok_or("report: levels missing")?;
+    let levels = section_at(doc, "/levels")?
+        .as_arr()
+        .ok_or("/levels: not an array")?;
     if levels.is_empty() {
-        return Err("report: no per-level records".into());
+        return Err("/levels: no per-level records".into());
     }
     let mut gemm_tile_sum = 0.0f64;
     for (i, l) in levels.iter().enumerate() {
         for key in ["level", "width", "duration_ns"] {
             if l.get(key).and_then(JsonValue::as_f64).is_none() {
-                return Err(format!("report: levels[{i}].{key} missing"));
+                return Err(format!("/levels/{i}/{key}: missing or not a number"));
             }
         }
         // Schema v2 blocked-engine counters are optional per level, but when
@@ -74,7 +96,7 @@ fn check_report(doc: &JsonValue) -> Result<String, String> {
             let mean = l.get("mean_block_width").and_then(JsonValue::as_f64);
             if blocks > 0.0 && mean.is_none_or(|w| w < 1.0) {
                 return Err(format!(
-                    "report: levels[{i}] reports {blocks} blocks but mean_block_width {mean:?}"
+                    "/levels/{i}/mean_block_width: {blocks} blocks but width {mean:?}"
                 ));
             }
         }
@@ -84,22 +106,16 @@ fn check_report(doc: &JsonValue) -> Result<String, String> {
             .unwrap_or(0.0);
     }
     if version >= 2 {
-        let total_tiles = doc
-            .get("numeric")
-            .and_then(|n| n.get("gemm_tiles"))
-            .and_then(JsonValue::as_f64)
-            .ok_or("report: numeric.gemm_tiles missing (schema v2)")?;
+        let total_tiles = num_at(doc, "/numeric/gemm_tiles")?;
         if gemm_tile_sum > total_tiles {
             return Err(format!(
-                "report: per-level gemm_tiles sum {gemm_tile_sum} exceeds numeric total {total_tiles}"
+                "/numeric/gemm_tiles: per-level sum {gemm_tile_sum} exceeds total {total_tiles}"
             ));
         }
     }
 
     for section in ["matrix", "symbolic", "schedule", "numeric", "fill", "gpu"] {
-        if doc.get(section).is_none() {
-            return Err(format!("report: {section} section missing"));
-        }
+        section_at(doc, &format!("/{section}"))?;
     }
 
     Ok(format!(
@@ -109,12 +125,11 @@ fn check_report(doc: &JsonValue) -> Result<String, String> {
 }
 
 fn check_trace(doc: &JsonValue) -> Result<String, String> {
-    let events = doc
-        .get("traceEvents")
-        .and_then(JsonValue::as_arr)
-        .ok_or("trace: traceEvents missing")?;
+    let events = section_at(doc, "/traceEvents")?
+        .as_arr()
+        .ok_or("/traceEvents: not an array")?;
     if events.is_empty() {
-        return Err("trace: no events".into());
+        return Err("/traceEvents: no events".into());
     }
 
     let mut last_ts = f64::NEG_INFINITY;
@@ -124,138 +139,216 @@ fn check_trace(doc: &JsonValue) -> Result<String, String> {
         let ts = e
             .get("ts")
             .and_then(JsonValue::as_f64)
-            .ok_or_else(|| format!("trace: events[{i}].ts missing"))?;
+            .ok_or_else(|| format!("/traceEvents/{i}/ts: missing"))?;
         if ts < last_ts {
-            return Err(format!(
-                "trace: ts decreases at event {i} ({ts} < {last_ts})"
-            ));
+            return Err(format!("/traceEvents/{i}/ts: decreases ({ts} < {last_ts})"));
         }
         last_ts = ts;
         let name = e
             .get("name")
             .and_then(JsonValue::as_str)
-            .ok_or_else(|| format!("trace: events[{i}].name missing"))?;
+            .ok_or_else(|| format!("/traceEvents/{i}/name: missing"))?;
         match e.get("ph").and_then(JsonValue::as_str) {
             Some("B") => open.push(name),
             Some("E") => {
                 let j = open
                     .iter()
                     .rposition(|n| *n == name)
-                    .ok_or_else(|| format!("trace: unmatched E for '{name}' at event {i}"))?;
+                    .ok_or_else(|| format!("/traceEvents/{i}/ph: unmatched E for '{name}'"))?;
                 open.remove(j);
                 spans += 1;
             }
             Some(_) => {}
-            None => return Err(format!("trace: events[{i}].ph missing")),
+            None => return Err(format!("/traceEvents/{i}/ph: missing")),
         }
     }
     if !open.is_empty() {
-        return Err(format!("trace: {} spans left open: {open:?}", open.len()));
+        return Err(format!(
+            "/traceEvents: {} spans left open: {open:?}",
+            open.len()
+        ));
     }
     if spans == 0 {
-        return Err("trace: no complete spans".into());
+        return Err("/traceEvents: no complete spans".into());
     }
 
     Ok(format!("trace ok: {} events, {spans} spans", events.len()))
 }
 
+/// Structural checks on the v2 observability sections, applied to
+/// whichever of them are present.
+fn check_observability_sections(doc: &JsonValue) -> Result<(), String> {
+    if let Some(metrics) = doc.get("metrics") {
+        MetricsRegistry::from_json(metrics).map_err(|e| format!("/metrics: {e}"))?;
+    }
+    if let Some(slo) = doc.get("slo") {
+        let p50 = num_at(slo, "/sim_p50_ns").map_err(|e| format!("/slo{e}"))?;
+        let p95 = num_at(slo, "/sim_p95_ns").map_err(|e| format!("/slo{e}"))?;
+        let p99 = num_at(slo, "/sim_p99_ns").map_err(|e| format!("/slo{e}"))?;
+        if !(p50 <= p95 && p95 <= p99) {
+            return Err(format!(
+                "/slo/sim_p95_ns: quantiles not ordered (p50 {p50}, p95 {p95}, p99 {p99})"
+            ));
+        }
+        let rate = num_at(slo, "/hot_hit_rate").map_err(|e| format!("/slo{e}"))?;
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(format!("/slo/hot_hit_rate: {rate} outside 0..1"));
+        }
+        if lookup(slo, "/pass").and_then(JsonValue::as_bool).is_none() {
+            return Err("/slo/pass: missing or not a bool".into());
+        }
+    }
+    if let Some(drift) = doc.get("drift") {
+        let kinds = section_at(drift, "/kinds")
+            .map_err(|e| format!("/drift{e}"))?
+            .as_arr()
+            .ok_or("/drift/kinds: not an array")?;
+        for (i, row) in kinds.iter().enumerate() {
+            if row.get("kind").and_then(JsonValue::as_str).is_none() {
+                return Err(format!("/drift/kinds/{i}/kind: missing"));
+            }
+            for key in [
+                "samples",
+                "predicted_ns",
+                "observed_ns",
+                "geomean_ratio",
+                "drift",
+            ] {
+                num_at(row, &format!("/{key}")).map_err(|e| format!("/drift/kinds/{i}{e}"))?;
+            }
+            if row.get("flagged").and_then(JsonValue::as_bool).is_none() {
+                return Err(format!("/drift/kinds/{i}/flagged: missing or not a bool"));
+            }
+        }
+    }
+    Ok(())
+}
+
 fn check_service(doc: &JsonValue) -> Result<String, String> {
-    let version = doc
-        .get("service_schema_version")
-        .and_then(JsonValue::as_u64)
-        .ok_or("service report: service_schema_version missing")?;
-    if version != 1 {
+    let version = num_at(doc, "/service_schema_version")? as u64;
+    if !(1..=2).contains(&version) {
         return Err(format!(
-            "service report: unknown service_schema_version {version}"
+            "/service_schema_version: unknown version {version}"
         ));
     }
 
     for section in ["jobs", "cache", "latency", "queue", "faults", "robustness"] {
-        if doc.get(section).is_none() {
-            return Err(format!("service report: {section} section missing"));
-        }
+        section_at(doc, &format!("/{section}"))?;
     }
 
-    let jobs = doc.get("jobs").unwrap();
-    let field = |obj: &JsonValue, section: &str, key: &str| {
-        obj.get(key)
-            .and_then(JsonValue::as_f64)
-            .ok_or_else(|| format!("service report: {section}.{key} missing"))
-    };
-    let submitted = field(jobs, "jobs", "submitted")?;
-    let completed = field(jobs, "jobs", "completed")?;
-    let failed = field(jobs, "jobs", "failed")?;
-    let cancelled = field(jobs, "jobs", "cancelled")?;
-    let deadline = field(jobs, "jobs", "deadline_dropped")?;
+    let submitted = num_at(doc, "/jobs/submitted")?;
+    let completed = num_at(doc, "/jobs/completed")?;
+    let failed = num_at(doc, "/jobs/failed")?;
+    let cancelled = num_at(doc, "/jobs/cancelled")?;
+    let deadline = num_at(doc, "/jobs/deadline_dropped")?;
     let resolved = completed + failed + cancelled + deadline;
     if resolved > submitted {
         return Err(format!(
-            "service report: {resolved} jobs resolved but only {submitted} submitted"
+            "/jobs/submitted: {resolved} jobs resolved but only {submitted} submitted"
         ));
     }
-    let by_tier = field(jobs, "jobs", "cold")?
-        + field(jobs, "jobs", "warm")?
-        + field(jobs, "jobs", "cached_solve")?;
+    let by_tier = num_at(doc, "/jobs/cold")?
+        + num_at(doc, "/jobs/warm")?
+        + num_at(doc, "/jobs/cached_solve")?;
     if (by_tier - completed).abs() > 1e-9 {
         return Err(format!(
-            "service report: tier counts sum to {by_tier}, not the {completed} completed jobs"
+            "/jobs/completed: tier counts sum to {by_tier}, not the {completed} completed jobs"
         ));
     }
 
-    let cache = doc.get("cache").unwrap();
-    let rate = field(cache, "cache", "hot_hit_rate")?;
+    let rate = num_at(doc, "/cache/hot_hit_rate")?;
     if !(0.0..=1.0).contains(&rate) {
-        return Err(format!("service report: hot_hit_rate {rate} outside 0..1"));
+        return Err(format!("/cache/hot_hit_rate: {rate} outside 0..1"));
     }
-    let used = field(cache, "cache", "used_bytes")?;
-    let budget = field(cache, "cache", "budget_bytes")?;
+    let used = num_at(doc, "/cache/used_bytes")?;
+    let budget = num_at(doc, "/cache/budget_bytes")?;
     if used > budget {
         return Err(format!(
-            "service report: cache used_bytes {used} exceeds budget_bytes {budget}"
+            "/cache/used_bytes: {used} exceeds budget_bytes {budget}"
         ));
     }
 
-    let latency = doc.get("latency").unwrap();
-    for (p50, p95) in [("sim_p50_ns", "sim_p95_ns"), ("wall_p50_ns", "wall_p95_ns")] {
-        let lo = field(latency, "latency", p50)?;
-        let hi = field(latency, "latency", p95)?;
+    for (p50, p95) in [
+        ("/latency/sim_p50_ns", "/latency/sim_p95_ns"),
+        ("/latency/wall_p50_ns", "/latency/wall_p95_ns"),
+    ] {
+        let lo = num_at(doc, p50)?;
+        let hi = num_at(doc, p95)?;
         if lo > hi {
-            return Err(format!(
-                "service report: latency.{p50} {lo} exceeds {p95} {hi}"
-            ));
+            return Err(format!("{p50}: {lo} exceeds {p95} {hi}"));
         }
     }
 
-    let queue = doc.get("queue").unwrap();
-    let cap = field(queue, "queue", "capacity")?;
-    let depth = field(queue, "queue", "max_depth")?;
-    field(queue, "queue", "rejections")?;
+    let cap = num_at(doc, "/queue/capacity")?;
+    let depth = num_at(doc, "/queue/max_depth")?;
+    num_at(doc, "/queue/rejections")?;
     if depth > cap {
-        return Err(format!(
-            "service report: queue max_depth {depth} exceeds capacity {cap}"
-        ));
+        return Err(format!("/queue/max_depth: {depth} exceeds capacity {cap}"));
     }
 
-    let faults = doc.get("faults").unwrap();
-    field(faults, "faults", "injected")?;
-    field(faults, "faults", "jobs_recovered")?;
+    num_at(doc, "/faults/injected")?;
+    num_at(doc, "/faults/jobs_recovered")?;
 
-    let rob = doc.get("robustness").unwrap();
-    let gate_failures = field(rob, "robustness", "gate_failures")?;
-    field(rob, "robustness", "quarantine_rejected")?;
-    let quarantined = field(rob, "robustness", "quarantined_patterns")?;
+    let gate_failures = num_at(doc, "/robustness/gate_failures")?;
+    num_at(doc, "/robustness/quarantine_rejected")?;
+    let quarantined = num_at(doc, "/robustness/quarantined_patterns")?;
     // Every quarantined pattern took at least one recorded strike, so the
     // counters can never invert.
     if quarantined > gate_failures {
         return Err(format!(
-            "service report: {quarantined} quarantined patterns but only \
+            "/robustness/quarantined_patterns: {quarantined} quarantined but only \
              {gate_failures} gate failures"
         ));
     }
 
+    check_observability_sections(doc)?;
+
     Ok(format!(
         "service report ok: schema v{version}, {submitted} submitted, \
          {completed} completed, hot hit rate {rate:.3}"
+    ))
+}
+
+/// The SLO/drift CI gate: all `--service` checks, plus the observability
+/// sections are mandatory, the SLO verdict must pass, and no span kind
+/// may be drift-flagged.
+fn check_slo(doc: &JsonValue) -> Result<String, String> {
+    let base = check_service(doc)?;
+    let version = num_at(doc, "/service_schema_version")? as u64;
+    if version < 2 {
+        return Err(format!(
+            "/service_schema_version: --slo needs schema v2 observability sections, got v{version}"
+        ));
+    }
+    for section in ["metrics", "tenants", "slo", "drift"] {
+        section_at(doc, &format!("/{section}"))?;
+    }
+    let pass = lookup(doc, "/slo/pass")
+        .and_then(JsonValue::as_bool)
+        .ok_or("/slo/pass: missing or not a bool")?;
+    if !pass {
+        let first = lookup(doc, "/slo/violations/0")
+            .and_then(JsonValue::as_str)
+            .unwrap_or("unspecified violation");
+        return Err(format!("/slo/pass: false ({first})"));
+    }
+    let kinds = lookup(doc, "/drift/kinds")
+        .and_then(JsonValue::as_arr)
+        .ok_or("/drift/kinds: not an array")?;
+    for (i, row) in kinds.iter().enumerate() {
+        if row.get("flagged") == Some(&JsonValue::Bool(true)) {
+            let kind = row.get("kind").and_then(JsonValue::as_str).unwrap_or("?");
+            let drift = row.get("drift").and_then(JsonValue::as_f64).unwrap_or(0.0);
+            return Err(format!(
+                "/drift/kinds/{i}/flagged: cost model drifted {:.1}% on span kind `{kind}`",
+                drift * 100.0
+            ));
+        }
+    }
+    let samples = num_at(doc, "/slo/samples")?;
+    Ok(format!(
+        "{base}; slo pass over {samples} windowed jobs, {} drift kinds in calibration",
+        kinds.len()
     ))
 }
 
@@ -327,20 +420,28 @@ fn main() -> ExitCode {
             Err(msg) => fail(&format!("{dir}: {msg}")),
         };
     }
-    if args.first().map(String::as_str) == Some("--service") {
+    if let Some(mode @ ("--service" | "--slo")) = args.first().map(String::as_str) {
+        let service_check: Check = if mode == "--slo" {
+            check_slo
+        } else {
+            check_service
+        };
         let Some(report_path) = args.get(1) else {
-            return fail("usage: telemetry_check --service <service-report.json> [trace.json]");
+            return fail(&format!(
+                "usage: telemetry_check {mode} <service-report.json> [trace.json]"
+            ));
         };
         let checks: Vec<(&String, Check)> = match args.get(2) {
-            Some(trace_path) => vec![(report_path, check_service), (trace_path, check_trace)],
-            None => vec![(report_path, check_service)],
+            Some(trace_path) => vec![(report_path, service_check), (trace_path, check_trace)],
+            None => vec![(report_path, service_check)],
         };
         return run_checks(checks);
     }
     let Some(report_path) = args.first() else {
         return fail(
             "usage: telemetry_check <report.json> [trace.json] | --manifest <dir> | \
-             --service <service-report.json> [trace.json]",
+             --service <service-report.json> [trace.json] | \
+             --slo <service-report.json> [trace.json]",
         );
     };
 

@@ -6,7 +6,8 @@ use gplu_core::{
     RunReport, SymbolicEngine, DEFAULT_PIVOT_TAU,
 };
 use gplu_server::{
-    generate_workload, JobHandle, ServiceConfig, ServiceReport, SolverService, WorkloadParams,
+    generate_workload, JobHandle, ServiceConfig, ServiceReport, SloSpec, SolverService,
+    WorkloadParams,
 };
 use gplu_sim::{CostModel, FaultPlan, Gpu, GpuConfig};
 use gplu_sparse::convert::coo_to_csr;
@@ -129,6 +130,17 @@ seeded synthetic workload against it and reports what happened):
                                 service run (queue depth, per-job spans)
   --min-hot-hit-rate <F>        exit nonzero unless the hot-segment cache
                                 hit rate reaches F (0..1)
+  --metrics-out <path>          write the live metrics-registry text
+                                exposition (per-tenant/per-tier latency
+                                histograms, gauges, counters)
+  --slo <spec>                  evaluate the sliding-window SLO and exit
+                                nonzero on violation; spec is key=value
+                                pairs: sim_p50_ns / sim_p95_ns /
+                                sim_p99_ns / wall_p95_ns ceilings,
+                                hit_rate floor, window size — e.g.
+                                --slo sim_p95_ns=2.5e9,hit_rate=0.8
+  --tenants <N>                 tenants the workload spreads jobs across
+                                (default 4)
 ";
 
 /// CLI error type.
@@ -464,6 +476,11 @@ pub struct ServeOptions {
     pub trace_out: Option<String>,
     /// Fail the run when the hot-segment hit rate lands below this.
     pub min_hot_hit_rate: Option<f64>,
+    /// Write the metrics-registry text exposition here.
+    pub metrics_out: Option<String>,
+    /// Evaluate this SLO spec against the sliding window; violations
+    /// fail the run.
+    pub slo: Option<SloSpec>,
 }
 
 /// Parses the flags of the `serve` subcommand.
@@ -478,6 +495,8 @@ pub fn parse_serve_options(args: &[String]) -> Result<ServeOptions, CliError> {
         service_report: None,
         trace_out: None,
         min_hot_hit_rate: None,
+        metrics_out: None,
+        slo: None,
     };
     let mut fault_every_set = false;
     let mut it = args.iter();
@@ -549,6 +568,11 @@ pub fn parse_serve_options(args: &[String]) -> Result<ServeOptions, CliError> {
             }
             "--service-report" => o.service_report = Some(value("--service-report")?),
             "--trace-out" => o.trace_out = Some(value("--trace-out")?),
+            "--metrics-out" => o.metrics_out = Some(value("--metrics-out")?),
+            "--slo" => {
+                o.slo = Some(SloSpec::parse(&value("--slo")?).map_err(CliError::Usage)?);
+            }
+            "--tenants" => o.workload.tenants = int("--tenants", value("--tenants")?)?.max(1),
             "--min-hot-hit-rate" => {
                 let f: f64 = value("--min-hot-hit-rate")?.parse().map_err(|_| {
                     CliError::Usage("--min-hot-hit-rate takes a number in 0..1".into())
@@ -653,7 +677,8 @@ fn run_serve(o: &ServeOptions, out: &mut dyn Write) -> Result<(), CliError> {
         }
     }
 
-    let report = ServiceReport::capture(&svc);
+    let report = ServiceReport::capture_with_slo(&svc, o.slo.as_ref());
+    let metrics_text = svc.observability().map(|obs| obs.registry().to_text());
     svc.shutdown();
     writeln!(out, "{}", report.summary())?;
     for (id, e) in failures.iter().take(10) {
@@ -666,10 +691,39 @@ fn run_serve(o: &ServeOptions, out: &mut dyn Write) -> Result<(), CliError> {
         std::fs::write(path, report.to_json().to_pretty())?;
         writeln!(out, "service report: {path}")?;
     }
+    if let Some(path) = &o.metrics_out {
+        match &metrics_text {
+            Some(text) => {
+                std::fs::write(path, text)?;
+                writeln!(out, "metrics: {path}")?;
+            }
+            None => {
+                return Err(CliError::Usage(
+                    "--metrics-out needs a service with observability on".into(),
+                ));
+            }
+        }
+    }
     if let (Some(path), Some(rec)) = (&o.trace_out, &recorder) {
         let events = rec.events();
         std::fs::write(path, chrome_trace(&events))?;
         writeln!(out, "trace: {path} ({} events)", events.len())?;
+    }
+    if o.slo.is_some() {
+        match &report.slo_eval {
+            Some(slo) if !slo.pass() => {
+                return Err(CliError::Check(format!(
+                    "slo violated: {}",
+                    slo.violations.join("; ")
+                )));
+            }
+            Some(_) => {}
+            None => {
+                return Err(CliError::Usage(
+                    "--slo needs a service with observability on".into(),
+                ));
+            }
+        }
     }
     if let Some(min) = o.min_hot_hit_rate {
         let rate = report.stats.hot_hit_rate();
@@ -1558,8 +1612,14 @@ mod tests {
             report
                 .get("service_schema_version")
                 .and_then(JsonValue::as_u64),
-            Some(1)
+            Some(2)
         );
+        for section in ["metrics", "tenants", "slo", "drift"] {
+            assert!(
+                report.get(section).is_some(),
+                "v2 observability section {section} missing"
+            );
+        }
         let jobs = report.get("jobs").expect("jobs section");
         assert_eq!(jobs.get("submitted").and_then(JsonValue::as_u64), Some(40));
         let completed = jobs.get("completed").and_then(JsonValue::as_u64).unwrap();

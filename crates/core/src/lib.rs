@@ -34,6 +34,7 @@
 //! ```
 
 pub mod checkpoint;
+pub mod drift;
 pub mod error;
 pub mod pipeline;
 pub mod preprocess;
@@ -46,6 +47,7 @@ pub use checkpoint::{
     matrix_fingerprint, pattern_fingerprint, CheckpointOptions, CheckpointSession, PhaseMark,
     ResumeState,
 };
+pub use drift::{DriftProfiler, DriftRow, DriftTable, DRIFT_FLAG_THRESHOLD};
 pub use error::GpluError;
 pub use gplu_numeric::{PivotPolicy, DEFAULT_PIVOT_TAU};
 pub use pipeline::{LuFactorization, LuOptions, NumericFormat, ResidualGate, SymbolicEngine};

@@ -1158,6 +1158,18 @@ impl LuFactorization {
         plan: &gplu_numeric::TriSolvePlan,
         b: &[Val],
     ) -> Result<(Vec<Val>, gplu_sim::SimTime), GpluError> {
+        self.solve_on_gpu_traced(gpu, plan, b, &NOOP)
+    }
+
+    /// [`LuFactorization::solve_on_gpu`] with telemetry (`trisolve` drift
+    /// samples for the cost-model profiler).
+    pub fn solve_on_gpu_traced(
+        &self,
+        gpu: &Gpu,
+        plan: &gplu_numeric::TriSolvePlan,
+        b: &[Val],
+        trace: &dyn TraceSink,
+    ) -> Result<(Vec<Val>, gplu_sim::SimTime), GpluError> {
         if b.len() != self.preprocessed.n_rows() {
             return Err(GpluError::Input(format!(
                 "rhs length {} != n {}",
@@ -1165,7 +1177,8 @@ impl LuFactorization {
                 self.preprocessed.n_rows()
             )));
         }
-        let out = gplu_numeric::solve_gpu(gpu, &self.lu, plan, &self.p_row.permute_vec(b))?;
+        let out =
+            gplu_numeric::solve_gpu_traced(gpu, &self.lu, plan, &self.p_row.permute_vec(b), trace)?;
         let x = (0..out.x.len())
             .map(|i| out.x[self.p_col.apply(i)])
             .collect();
@@ -1185,6 +1198,18 @@ impl LuFactorization {
         plan: &gplu_numeric::TriSolvePlan,
         bs: &[Vec<Val>],
     ) -> Result<(Vec<Vec<Val>>, gplu_sim::SimTime), GpluError> {
+        self.solve_many_on_gpu_traced(gpu, plan, bs, &NOOP)
+    }
+
+    /// [`LuFactorization::solve_many_on_gpu`] with telemetry (`trisolve`
+    /// drift samples for the cost-model profiler).
+    pub fn solve_many_on_gpu_traced(
+        &self,
+        gpu: &Gpu,
+        plan: &gplu_numeric::TriSolvePlan,
+        bs: &[Vec<Val>],
+        trace: &dyn TraceSink,
+    ) -> Result<(Vec<Vec<Val>>, gplu_sim::SimTime), GpluError> {
         let n = self.preprocessed.n_rows();
         for b in bs {
             if b.len() != n {
@@ -1196,7 +1221,7 @@ impl LuFactorization {
             }
         }
         let permuted: Vec<Vec<Val>> = bs.iter().map(|b| self.p_row.permute_vec(b)).collect();
-        let out = gplu_numeric::solve_gpu_batch(gpu, &self.lu, plan, &permuted)?;
+        let out = gplu_numeric::solve_gpu_batch_traced(gpu, &self.lu, plan, &permuted, trace)?;
         let xs = out
             .xs
             .iter()

@@ -64,6 +64,14 @@ pub struct KernelReport {
 #[derive(Debug, Default)]
 struct GpuState {
     now_ns: f64,
+    /// The analytic ("roofline") clock: what the cost model *predicts*
+    /// each operation should take, accumulated alongside the scheduled
+    /// clock. Exact-cost operations (transfers, prefetches, `advance`,
+    /// empty launches) charge identically to `now_ns`; kernel launches
+    /// charge the ideal-packing bound instead of the greedy
+    /// list-scheduling makespan. The gap between the two clocks over a
+    /// span is the *cost-model drift* the profiler in `gplu-core` tracks.
+    analytic_ns: f64,
     kernels_host: u64,
     kernels_device: u64,
     kernel_time_ns: f64,
@@ -143,10 +151,22 @@ impl Gpu {
         SimTime::from_ns(self.state.lock().now_ns)
     }
 
+    /// One consistent reading of both clocks, `(scheduled_ns,
+    /// analytic_ns)`: the scheduled clock (what [`Gpu::now`] reports) and
+    /// the analytic roofline clock the cost model predicts. Span-level
+    /// deltas of the pair feed the drift profiler; taking both under one
+    /// lock keeps a delta self-consistent even with concurrent callers.
+    pub fn clocks(&self) -> (f64, f64) {
+        let s = self.state.lock();
+        (s.now_ns, s.analytic_ns)
+    }
+
     /// Advances the clock by host-side work priced externally (e.g. the
     /// CPU share of a hybrid phase).
     pub fn advance(&self, t: SimTime) {
-        self.state.lock().now_ns += t.as_ns();
+        let mut s = self.state.lock();
+        s.now_ns += t.as_ns();
+        s.analytic_ns += t.as_ns();
     }
 
     /// Explicit host→device transfer of `bytes`.
@@ -156,6 +176,7 @@ impl Gpu {
         s.h2d_bytes += bytes;
         s.xfer_time_ns += t.as_ns();
         s.now_ns += t.as_ns();
+        s.analytic_ns += t.as_ns();
         t
     }
 
@@ -166,6 +187,7 @@ impl Gpu {
         s.d2h_bytes += bytes;
         s.xfer_time_ns += t.as_ns();
         s.now_ns += t.as_ns();
+        s.analytic_ns += t.as_ns();
         t
     }
 
@@ -183,6 +205,7 @@ impl Gpu {
         let mut s = self.state.lock();
         s.prefetch_time_ns += t.as_ns();
         s.now_ns += t.as_ns();
+        s.analytic_ns += t.as_ns();
         t
     }
 
@@ -308,6 +331,7 @@ impl Gpu {
                 LaunchKind::Device => s.kernels_device += 1,
             }
             s.now_ns += launch_ns;
+            s.analytic_ns += launch_ns;
             s.kernel_time_ns += launch_ns;
             return Ok(KernelReport {
                 name: name.into(),
@@ -348,12 +372,23 @@ impl Gpu {
         let fault_groups: u64 = per_block.iter().map(|p| p.3).sum();
 
         let total_ns = launch_ns + compute_ns.max(bw_ns) + fault_ns;
+        // The analytic clock charges the roofline bound the cost model
+        // predicts without running the list scheduler: perfect packing of
+        // the per-block times onto `concurrency` slots (the critical
+        // block or the work/width bound, whichever dominates), under the
+        // same launch + bandwidth + fault terms. Divergence between this
+        // and `total_ns` is scheduling/quantization drift.
+        let max_block_ns = per_block.iter().map(|p| p.0).fold(0.0, f64::max);
+        let sum_block_ns: f64 = per_block.iter().map(|p| p.0).sum();
+        let ideal_ns = max_block_ns.max(sum_block_ns / concurrency as f64);
+        let analytic_ns = launch_ns + ideal_ns.max(bw_ns) + fault_ns;
         let mut s = self.state.lock();
         match kind {
             LaunchKind::Host => s.kernels_host += 1,
             LaunchKind::Device => s.kernels_device += 1,
         }
         s.now_ns += total_ns;
+        s.analytic_ns += analytic_ns;
         s.kernel_time_ns += total_ns;
         s.fault_time_ns += fault_ns;
         s.fault_groups += fault_groups;

@@ -258,6 +258,7 @@ pub fn run_levels<E: NumericEngine>(
             perturbs: &perturbs,
             tail_launch: replay && kicked_off,
         };
+        let clk0 = trace.enabled().then(|| gpu.clocks());
         engine.run_level(&run)?;
         kicked_off = true;
         if trace.enabled() {
@@ -269,6 +270,30 @@ pub fn run_levels<E: NumericEngine>(
             ];
             engine.level_attrs(&run, &delta, &mut attrs);
             trace.span_end("numeric.level", "level", gpu.now().as_ns(), &attrs);
+            // Predicted-vs-observed sample for the drift profiler: levels
+            // that executed BLAS-3 tiles are priced by the GEMM terms of
+            // the cost model, everything else by the scalar kernel terms —
+            // distinct pricing paths, so they drift independently.
+            if let Some((obs0, pred0)) = clk0 {
+                let (obs1, pred1) = gpu.clocks();
+                if obs1 > obs0 {
+                    let kind = if delta.gemm_tiles > 0 {
+                        "gemm_tile"
+                    } else {
+                        "numeric_level"
+                    };
+                    trace.instant(
+                        "drift.sample",
+                        "drift",
+                        obs1,
+                        &[
+                            ("kind", kind.into()),
+                            ("predicted_ns", AttrValue::F64(pred1 - pred0)),
+                            ("observed_ns", AttrValue::F64(obs1 - obs0)),
+                        ],
+                    );
+                }
+            }
         }
         if let Some(e) = error.lock().take() {
             return Err(NumericError::from_sparse_at_level(e, li));

@@ -92,4 +92,7 @@ pub use sparse::{
     factorize_gpu_sparse, factorize_gpu_sparse_forced, factorize_gpu_sparse_run,
     factorize_gpu_sparse_run_cached, factorize_gpu_sparse_traced,
 };
-pub use trisolve::{solve_gpu, solve_gpu_batch, BatchSolveOutcome, TriSolveOutcome, TriSolvePlan};
+pub use trisolve::{
+    solve_gpu, solve_gpu_batch, solve_gpu_batch_traced, solve_gpu_traced, BatchSolveOutcome,
+    TriSolveOutcome, TriSolvePlan,
+};

@@ -27,6 +27,7 @@ use crate::values::ValueStore;
 use gplu_schedule::Levels;
 use gplu_sim::{BlockCtx, Gpu, GpuStatsSnapshot, SimTime};
 use gplu_sparse::{Csc, SparseError, Val};
+use gplu_trace::{AttrValue, TraceSink, NOOP};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Global count of [`TriSolvePlan`] constructions, for regression tests
@@ -179,6 +180,19 @@ pub fn solve_gpu(
     plan: &TriSolvePlan,
     b: &[Val],
 ) -> Result<TriSolveOutcome, NumericError> {
+    solve_gpu_traced(gpu, lu, plan, b, &NOOP)
+}
+
+/// [`solve_gpu`] with telemetry: one `trisolve` drift sample covering the
+/// whole solve (transfers + both sweeps) for the cost-model drift
+/// profiler.
+pub fn solve_gpu_traced(
+    gpu: &Gpu,
+    lu: &Csc,
+    plan: &TriSolvePlan,
+    b: &[Val],
+    trace: &dyn TraceSink,
+) -> Result<TriSolveOutcome, NumericError> {
     let n = lu.n_cols();
     if b.len() != n {
         return Err(NumericError::Input(format!(
@@ -193,6 +207,7 @@ pub fn solve_gpu(
         )));
     }
     let before = gpu.stats();
+    let clk0 = trace.enabled().then(|| gpu.clocks());
 
     // The factor is assumed device-resident (it just came out of numeric
     // factorization); the rhs crosses the bus.
@@ -236,6 +251,7 @@ pub fn solve_gpu(
 
     gpu.d2h(n as u64 * 8);
     gpu.mem.free(x_dev)?;
+    emit_trisolve_drift(gpu, trace, clk0);
     let stats = gpu.stats().since(&before);
     Ok(TriSolveOutcome {
         x: y.into_vec(),
@@ -258,6 +274,18 @@ pub fn solve_gpu_batch(
     plan: &TriSolvePlan,
     bs: &[Vec<Val>],
 ) -> Result<BatchSolveOutcome, NumericError> {
+    solve_gpu_batch_traced(gpu, lu, plan, bs, &NOOP)
+}
+
+/// [`solve_gpu_batch`] with telemetry: one `trisolve` drift sample
+/// covering the whole batch.
+pub fn solve_gpu_batch_traced(
+    gpu: &Gpu,
+    lu: &Csc,
+    plan: &TriSolvePlan,
+    bs: &[Vec<Val>],
+    trace: &dyn TraceSink,
+) -> Result<BatchSolveOutcome, NumericError> {
     let n = lu.n_cols();
     if bs.is_empty() {
         return Err(NumericError::Input("empty rhs batch".into()));
@@ -278,6 +306,7 @@ pub fn solve_gpu_batch(
     }
     let nrhs = bs.len();
     let before = gpu.stats();
+    let clk0 = trace.enabled().then(|| gpu.clocks());
 
     let x_dev = gpu.mem.alloc((nrhs * n) as u64 * 8)?;
     gpu.h2d((nrhs * n) as u64 * 8);
@@ -318,6 +347,7 @@ pub fn solve_gpu_batch(
 
     gpu.d2h((nrhs * n) as u64 * 8);
     gpu.mem.free(x_dev)?;
+    emit_trisolve_drift(gpu, trace, clk0);
     let stats = gpu.stats().since(&before);
     Ok(BatchSolveOutcome {
         xs: ys.into_iter().map(ValueStore::into_vec).collect(),
@@ -325,6 +355,26 @@ pub fn solve_gpu_batch(
         launches,
         stats,
     })
+}
+
+/// Emits the solve's predicted-vs-observed drift sample when the sink is
+/// live and simulated time actually passed.
+fn emit_trisolve_drift(gpu: &Gpu, trace: &dyn TraceSink, clk0: Option<(f64, f64)>) {
+    if let Some((obs0, pred0)) = clk0 {
+        let (obs1, pred1) = gpu.clocks();
+        if obs1 > obs0 {
+            trace.instant(
+                "drift.sample",
+                "drift",
+                obs1,
+                &[
+                    ("kind", "trisolve".into()),
+                    ("predicted_ns", AttrValue::F64(pred1 - pred0)),
+                    ("observed_ns", AttrValue::F64(obs1 - obs0)),
+                ],
+            );
+        }
+    }
 }
 
 /// One forward-sweep column: `y_i -= L(i, j) · y_j` for the rows below

@@ -57,6 +57,9 @@ pub struct JobSpec {
     pub hot: bool,
     /// Override the simulated device-memory capacity for this job.
     pub mem_override: Option<u64>,
+    /// Tenant this job is attributed to: the service keys its latency
+    /// histograms and SLO breakdowns per tenant.
+    pub tenant: String,
 }
 
 impl JobSpec {
@@ -70,12 +73,19 @@ impl JobSpec {
             deadline_ns: None,
             hot: false,
             mem_override: None,
+            tenant: String::from("default"),
         }
     }
 
     /// Marks this job as hot-pattern traffic.
     pub fn hot(mut self) -> Self {
         self.hot = true;
+        self
+    }
+
+    /// Attributes this job to a tenant.
+    pub fn with_tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = tenant.into();
         self
     }
 
@@ -130,6 +140,11 @@ pub struct JobResult {
     pub sim_ns: f64,
     /// Wall-clock service latency (submit → completion).
     pub wall_ns: u64,
+    /// Wall time spent queued before a worker picked the job up.
+    pub queue_wait_ns: u64,
+    /// Wall time inside the batched triangular solve (0 for non-solve
+    /// jobs); `wall_ns - queue_wait_ns - solve_wall_ns` is execution.
+    pub solve_wall_ns: u64,
     /// Faults injected into this job's GPU.
     pub injected_faults: u64,
     /// Corrective actions the recovery ladder took for this job.

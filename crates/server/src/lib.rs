@@ -37,12 +37,16 @@
 
 pub mod cache;
 pub mod job;
+pub mod observe;
 pub mod report;
 pub mod service;
 pub mod workload;
 
 pub use cache::{CacheCounters, CachedFactor, FactorCache};
 pub use job::{ExecTier, JobHandle, JobKind, JobResult, JobSpec};
+pub use observe::{
+    JobObservation, ServiceObs, SloEval, SloSpec, DEFAULT_SLO_WINDOW, SLO_SCHEMA_VERSION,
+};
 pub use report::{percentile, ServiceReport, SERVICE_SCHEMA_VERSION};
 pub use service::{ServiceConfig, SolverService, StatsSnapshot};
 pub use workload::{generate_workload, WorkloadParams};

@@ -1,12 +1,21 @@
 //! The service report: the `RunReport`-style JSON summary of a service
 //! run, validated by `telemetry_check --service`.
+//!
+//! Schema v2 adds the live-observability sections captured from
+//! [`crate::ServiceObs`] when the service runs with observability on:
+//! `tiers` (per-tier job shares), `metrics` (the full registry
+//! exposition), `tenants` (per-tenant latency quantiles), `slo` (the
+//! sliding-window verdict `telemetry_check --slo` gates on), and
+//! `drift` (the cost-model drift table).
 
 use crate::cache::CacheCounters;
+use crate::observe::{SloEval, SloSpec};
 use crate::service::{SolverService, StatsSnapshot};
+use gplu_core::DriftTable;
 use gplu_trace::json::JsonValue;
 
 /// Version tag of the service-report JSON schema.
-pub const SERVICE_SCHEMA_VERSION: u64 = 1;
+pub const SERVICE_SCHEMA_VERSION: u64 = 2;
 
 /// Linear-interpolation percentile over an unsorted sample (ns). `p` in
 /// `[0, 100]`; returns 0.0 for an empty sample.
@@ -42,11 +51,29 @@ pub struct ServiceReport {
     pub cache_budget_bytes: u64,
     /// Queue capacity.
     pub queue_cap: usize,
+    /// Full metrics-registry snapshot (`None` when observability off).
+    pub metrics: Option<JsonValue>,
+    /// Per-tenant latency quantiles (`None` when observability off).
+    pub tenants: Option<JsonValue>,
+    /// Sliding-window SLO verdict (`None` when observability off).
+    pub slo_eval: Option<SloEval>,
+    /// Cost-model drift table (`None` when observability off).
+    pub drift_table: Option<DriftTable>,
 }
 
 impl ServiceReport {
-    /// Snapshots a running service.
+    /// Snapshots a running service. SLO sections are evaluated against
+    /// the threshold-free default spec (quantiles reported, nothing
+    /// gated); use [`ServiceReport::capture_with_slo`] to gate.
     pub fn capture(svc: &SolverService) -> Self {
+        Self::capture_with_slo(svc, None)
+    }
+
+    /// Snapshots a running service, evaluating the SLO window against
+    /// `spec` when given.
+    pub fn capture_with_slo(svc: &SolverService, spec: Option<&SloSpec>) -> Self {
+        let obs = svc.observability();
+        let default_spec = SloSpec::default();
         ServiceReport {
             stats: svc.stats(),
             cache: svc.cache_counters(),
@@ -54,13 +81,18 @@ impl ServiceReport {
             cache_used_bytes: svc.cache().used_bytes(),
             cache_budget_bytes: svc.cache_budget(),
             queue_cap: svc.queue_cap(),
+            metrics: obs.map(|o| o.registry().to_json()),
+            tenants: obs.map(|o| o.tenants_json()),
+            slo_eval: obs.map(|o| o.slo(spec.unwrap_or(&default_spec))),
+            drift_table: obs.map(|o| o.drift_table()),
         }
     }
 
-    /// The JSON document (`service_schema_version` 1).
+    /// The JSON document (`service_schema_version` 2).
     pub fn to_json(&self) -> JsonValue {
         let s = &self.stats;
-        JsonValue::obj()
+        let completed = s.completed.max(1) as f64;
+        let mut doc = JsonValue::obj()
             .set("service_schema_version", SERVICE_SCHEMA_VERSION)
             .set(
                 "jobs",
@@ -99,6 +131,14 @@ impl ServiceReport {
                     .set("wall_p95_ns", percentile(&s.wall_ns, 95.0)),
             )
             .set(
+                "tiers",
+                JsonValue::obj()
+                    .set("cold_share", s.cold as f64 / completed)
+                    .set("warm_share", s.warm as f64 / completed)
+                    .set("cached_solve_share", s.cached_solve as f64 / completed)
+                    .set("hot_hit_rate", s.hot_hit_rate()),
+            )
+            .set(
                 "queue",
                 JsonValue::obj()
                     .set("capacity", self.queue_cap)
@@ -117,13 +157,27 @@ impl ServiceReport {
                     .set("gate_failures", s.gate_failures)
                     .set("quarantine_rejected", s.quarantine_rejected)
                     .set("quarantined_patterns", s.quarantined_patterns),
-            )
+            );
+        if let Some(metrics) = &self.metrics {
+            doc = doc.set("metrics", metrics.clone());
+        }
+        if let Some(tenants) = &self.tenants {
+            doc = doc.set("tenants", tenants.clone());
+        }
+        if let Some(slo) = &self.slo_eval {
+            doc = doc.set("slo", slo.to_json());
+        }
+        if let Some(drift) = &self.drift_table {
+            doc = doc.set("drift", drift.to_json());
+        }
+        doc
     }
 
-    /// One-paragraph human summary.
+    /// One-paragraph human summary (plus SLO and drift lines when the
+    /// service ran with observability on).
     pub fn summary(&self) -> String {
         let s = &self.stats;
-        format!(
+        let mut out = format!(
             "jobs: {} completed ({} cold / {} warm / {} cached), {} failed, \
              {} rejected, {} cancelled, {} past deadline | hot hit rate {:.1}% \
              ({}/{}) | cache: {} patterns, {}/{} bytes, {} evictions | \
@@ -151,7 +205,16 @@ impl ServiceReport {
             s.gate_failures,
             s.quarantined_patterns,
             s.quarantine_rejected,
-        )
+        );
+        if let Some(slo) = &self.slo_eval {
+            out.push('\n');
+            out.push_str(&slo.summary());
+        }
+        if let Some(drift) = &self.drift_table {
+            out.push('\n');
+            out.push_str(drift.summary().trim_end());
+        }
+        out
     }
 }
 
@@ -188,6 +251,10 @@ mod tests {
             cache_used_bytes: 4096,
             cache_budget_bytes: 1 << 20,
             queue_cap: 64,
+            metrics: None,
+            tenants: None,
+            slo_eval: None,
+            drift_table: None,
         };
         let doc = report.to_json();
         assert_eq!(
@@ -195,8 +262,20 @@ mod tests {
                 .and_then(JsonValue::as_u64),
             Some(SERVICE_SCHEMA_VERSION)
         );
-        for section in ["jobs", "cache", "latency", "queue", "faults", "robustness"] {
+        for section in [
+            "jobs",
+            "cache",
+            "latency",
+            "tiers",
+            "queue",
+            "faults",
+            "robustness",
+        ] {
             assert!(doc.get(section).is_some(), "missing {section}");
+        }
+        // Observability sections are absent when captured without obs.
+        for section in ["metrics", "tenants", "slo", "drift"] {
+            assert!(doc.get(section).is_none(), "unexpected {section}");
         }
         let parsed = gplu_trace::json::parse(&doc.to_pretty()).expect("round-trips");
         assert_eq!(

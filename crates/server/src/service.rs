@@ -3,6 +3,7 @@
 
 use crate::cache::{CacheCounters, CachedFactor, FactorCache};
 use crate::job::{ExecTier, JobHandle, JobKind, JobResult, JobSpec, QueuedJob};
+use crate::observe::{JobObservation, ServiceObs, DEFAULT_SLO_WINDOW, DRIFT_SAMPLE_EVERY};
 use gplu_core::{matrix_fingerprint, pattern_fingerprint, GpluError, LuFactorization};
 use gplu_numeric::TriSolvePlan;
 use gplu_sim::{CostModel, Gpu, GpuConfig};
@@ -28,6 +29,19 @@ pub struct ServiceConfig {
     /// service quarantines it and fast-rejects further jobs on it with
     /// [`GpluError::Quarantined`]. 0 disables quarantine.
     pub quarantine_strikes: u32,
+    /// Live observability (the [`ServiceObs`] layer: metrics registry,
+    /// SLO window, drift profiler). On by default; the `service_slo`
+    /// bench turns it off to measure the registry's overhead against a
+    /// bare service.
+    pub observability: bool,
+    /// Completed jobs the sliding SLO window holds.
+    pub slo_window: usize,
+    /// Drift-profiler sampling period: one in this many pipeline calls
+    /// runs with the profiler as a live trace sink (which makes that
+    /// call emit its full span stream). 1 profiles every call, 0
+    /// disables drift profiling. The default keeps the observability
+    /// layer under the `service_slo` bench's 2% wall-overhead budget.
+    pub drift_sample_every: u64,
 }
 
 impl Default for ServiceConfig {
@@ -37,6 +51,9 @@ impl Default for ServiceConfig {
             queue_cap: 64,
             cache_budget_bytes: 64 << 20,
             quarantine_strikes: 2,
+            observability: true,
+            slo_window: DEFAULT_SLO_WINDOW,
+            drift_sample_every: DRIFT_SAMPLE_EVERY,
         }
     }
 }
@@ -165,12 +182,25 @@ struct Shared {
     /// past `strike_limit` is quarantined.
     strikes: Mutex<HashMap<u64, u32>>,
     strike_limit: u32,
+    /// Live metrics/SLO/drift bundle, when observability is on.
+    obs: Option<Arc<ServiceObs>>,
 }
 
 impl Shared {
     fn sink(&self) -> &dyn TraceSink {
         match &self.trace {
             Some(r) => r.as_ref(),
+            None => &NOOP,
+        }
+    }
+
+    /// The trace sink for the next pipeline call: the drift profiler on
+    /// sampled calls ([`ServiceConfig::drift_sample_every`]), the no-op
+    /// sink otherwise. The service recorder keeps wall time either way;
+    /// sampled calls' `drift.sample` instants feed the cost-model table.
+    fn drift_sink(&self) -> &dyn TraceSink {
+        match &self.obs {
+            Some(o) => o.drift_sink(),
             None => &NOOP,
         }
     }
@@ -210,6 +240,9 @@ impl SolverService {
             trace,
             strikes: Mutex::new(HashMap::new()),
             strike_limit: cfg.quarantine_strikes,
+            obs: cfg
+                .observability
+                .then(|| Arc::new(ServiceObs::new(cfg.slo_window, cfg.drift_sample_every))),
         });
         let workers = (0..cfg.workers.max(1))
             .map(|_| {
@@ -233,6 +266,9 @@ impl SolverService {
         if q.len() >= sh.cap {
             sh.stats.rejected.fetch_add(1, Ordering::Relaxed);
             drop(q);
+            if let Some(o) = &sh.obs {
+                o.on_reject();
+            }
             let sink = sh.sink();
             if sink.enabled() {
                 sink.instant("service.reject", "service", sh.clock.now(), &[]);
@@ -260,6 +296,9 @@ impl SolverService {
         sh.stats.max_depth.fetch_max(depth, Ordering::Relaxed);
         drop(q);
         sh.cv.notify_one();
+        if let Some(o) = &sh.obs {
+            o.on_queue_depth(depth as usize);
+        }
         sh.sink().counter(
             "service.queue_depth",
             "service",
@@ -331,6 +370,12 @@ impl SolverService {
         self.shared.cache.capacity()
     }
 
+    /// The live observability bundle, when the service runs with
+    /// [`ServiceConfig::observability`] on.
+    pub fn observability(&self) -> Option<&Arc<ServiceObs>> {
+        self.shared.obs.as_ref()
+    }
+
     /// Stops accepting progress and joins the workers. Jobs still queued
     /// are dropped; their handles resolve to [`GpluError::Cancelled`].
     pub fn shutdown(mut self) {
@@ -372,6 +417,9 @@ fn worker_loop(sh: &Shared) {
             }
         };
         let depth = sh.queue.lock().unwrap().len() as f64;
+        if let Some(o) = &sh.obs {
+            o.on_queue_depth(depth as usize);
+        }
         sh.sink()
             .counter("service.queue_depth", "service", sh.clock.now(), depth);
         process(sh, job);
@@ -382,6 +430,9 @@ fn process(sh: &Shared, job: QueuedJob) {
     let start = sh.clock.now();
     if job.cancelled.load(Ordering::SeqCst) {
         sh.stats.cancelled.fetch_add(1, Ordering::Relaxed);
+        if let Some(o) = &sh.obs {
+            o.on_cancel();
+        }
         let _ = job.tx.send(Err(GpluError::Cancelled));
         return;
     }
@@ -389,6 +440,9 @@ fn process(sh: &Shared, job: QueuedJob) {
     if let Some(deadline_ns) = job.spec.deadline_ns {
         if waited_ns > deadline_ns {
             sh.stats.deadline_dropped.fetch_add(1, Ordering::Relaxed);
+            if let Some(o) = &sh.obs {
+                o.on_deadline_drop();
+            }
             let _ = job.tx.send(Err(GpluError::DeadlineExceeded {
                 waited_ns,
                 deadline_ns,
@@ -397,18 +451,40 @@ fn process(sh: &Shared, job: QueuedJob) {
         }
     }
 
+    if let Some(o) = &sh.obs {
+        o.on_worker_busy(1);
+    }
     let outcome = execute(sh, &job);
+    if let Some(o) = &sh.obs {
+        o.on_worker_busy(-1);
+    }
 
     let end = sh.clock.now();
     let sink = sh.sink();
     if sink.enabled() {
-        // The span pair is emitted at completion so concurrent workers
+        // Span pairs are emitted at completion so concurrent workers
         // never interleave half-open spans; timestamps still cover the
-        // real execution window (chrome export sorts by ts).
+        // real execution window (chrome export sorts by ts). The job's
+        // queued interval rides along as an explicit `queue_wait`
+        // sub-span (its begin stamp is reconstructed, so it can tie an
+        // existing stamp — chrome sorting doesn't mind).
         let tier = match &outcome {
             Ok(r) => r.tier.label(),
             Err(_) => "error",
         };
+        let queued_at = (start - waited_ns as f64).max(0.0);
+        sink.span_begin(
+            "service.queue_wait",
+            "service",
+            queued_at,
+            &[("job", job.id.into())],
+        );
+        sink.span_end(
+            "service.queue_wait",
+            "service",
+            start,
+            &[("job", job.id.into())],
+        );
         sink.span_begin(
             "service.job",
             "service",
@@ -425,11 +501,24 @@ fn process(sh: &Shared, job: QueuedJob) {
             end,
             &[("job", job.id.into()), ("tier", tier.into())],
         );
+        sink.span_begin(
+            "service.execute",
+            "service",
+            start,
+            &[("job", job.id.into())],
+        );
+        sink.span_end(
+            "service.execute",
+            "service",
+            end,
+            &[("job", job.id.into()), ("tier", tier.into())],
+        );
     }
 
     match outcome {
         Ok(mut r) => {
             r.wall_ns = job.enqueued.elapsed().as_nanos() as u64;
+            r.queue_wait_ns = waited_ns;
             match r.tier {
                 ExecTier::Cold => sh.stats.cold.fetch_add(1, Ordering::Relaxed),
                 ExecTier::Warm => sh.stats.warm.fetch_add(1, Ordering::Relaxed),
@@ -444,10 +533,28 @@ fn process(sh: &Shared, job: QueuedJob) {
             sh.stats.completed.fetch_add(1, Ordering::Relaxed);
             sh.stats.sim_ns.lock().unwrap().push(r.sim_ns);
             sh.stats.wall_ns.lock().unwrap().push(r.wall_ns as f64);
+            if let Some(o) = &sh.obs {
+                o.record_job(&JobObservation {
+                    tenant: &job.spec.tenant,
+                    tier: r.tier,
+                    queue_wait_ns: waited_ns,
+                    execute_ns: ((end - start) as u64).saturating_sub(r.solve_wall_ns),
+                    solve_ns: r.solve_wall_ns,
+                    wall_ns: r.wall_ns,
+                    sim_ns: r.sim_ns,
+                    hot: job.spec.hot,
+                    recovery_events: r.recovery_events,
+                });
+                let c = sh.cache.counters();
+                o.on_cache_state(sh.cache.len(), sh.cache.used_bytes(), c.evictions);
+            }
             let _ = job.tx.send(Ok(r));
         }
         Err(e) => {
             sh.stats.failed.fetch_add(1, Ordering::Relaxed);
+            if let Some(o) = &sh.obs {
+                o.on_failed();
+            }
             let _ = job.tx.send(Err(e));
         }
     }
@@ -468,6 +575,9 @@ fn execute(sh: &Shared, job: &QueuedJob) -> Result<JobResult, GpluError> {
         let strikes = *sh.strikes.lock().unwrap().get(&fp).unwrap_or(&0);
         if strikes >= sh.strike_limit {
             sh.stats.quarantine_rejected.fetch_add(1, Ordering::Relaxed);
+            if let Some(o) = &sh.obs {
+                o.on_quarantine_reject();
+            }
             let sink = sh.sink();
             if sink.enabled() {
                 sink.instant(
@@ -512,6 +622,9 @@ fn execute(sh: &Shared, job: &QueuedJob) -> Result<JobResult, GpluError> {
         ) = &outcome
         {
             sh.stats.gate_failures.fetch_add(1, Ordering::Relaxed);
+            if let Some(o) = &sh.obs {
+                o.on_gate_failure();
+            }
             sh.cache.remove(fp);
             *sh.strikes.lock().unwrap().entry(fp).or_insert(0) += 1;
         }
@@ -532,13 +645,18 @@ fn execute_tiers(
         Some(entry) => match entry.latest_for(value_fp) {
             Some(f) => (ExecTier::CachedSolve, Some(entry), f),
             None => {
-                let f = Arc::new(entry.plan.refactorize(gpu, a)?);
+                let f = Arc::new(entry.plan.refactorize_traced(gpu, a, sh.drift_sink())?);
                 entry.store_latest(value_fp, Arc::clone(&f));
                 (ExecTier::Warm, Some(entry), f)
             }
         },
         None => {
-            let f = Arc::new(LuFactorization::compute(gpu, a, &spec.opts)?);
+            let f = Arc::new(LuFactorization::compute_traced(
+                gpu,
+                a,
+                &spec.opts,
+                sh.drift_sink(),
+            )?);
             // Build the pattern artifacts once and publish them. A plan
             // build can only fail on inconsistent inputs — in that case
             // the job still succeeds, it just stays uncacheable.
@@ -557,6 +675,7 @@ fn execute_tiers(
         ExecTier::Cold | ExecTier::Warm => factors.report.total().as_ns(),
         ExecTier::CachedSolve => 0.0,
     };
+    let mut solve_wall_ns = 0u64;
     let solutions = match &spec.kind {
         JobKind::Solve { rhs } => {
             let plan_storage;
@@ -567,8 +686,21 @@ fn execute_tiers(
                     &plan_storage
                 }
             };
-            let (xs, t) = factors.solve_many_on_gpu(gpu, plan, rhs)?;
+            // The solve sub-span gets its own wall window so per-tenant
+            // histograms can split solve time out of execution time.
+            let track = sh.sink().enabled() || sh.obs.is_some();
+            let t0 = track.then(|| sh.clock.now());
+            let (xs, t) = factors.solve_many_on_gpu_traced(gpu, plan, rhs, sh.drift_sink())?;
             sim_ns += t.as_ns();
+            if let Some(t0) = t0 {
+                let t1 = sh.clock.now();
+                solve_wall_ns = (t1 - t0) as u64;
+                let sink = sh.sink();
+                if sink.enabled() {
+                    sink.span_begin("service.solve", "service", t0, &[("job", job.id.into())]);
+                    sink.span_end("service.solve", "service", t1, &[("job", job.id.into())]);
+                }
+            }
             Some(xs)
         }
         _ => None,
@@ -582,7 +714,9 @@ fn execute_tiers(
         factorization: factors,
         solutions,
         sim_ns,
-        wall_ns: 0, // filled by the caller with the submit→done window
+        wall_ns: 0,       // filled by the caller with the submit→done window
+        queue_wait_ns: 0, // filled by the caller
+        solve_wall_ns,
     })
 }
 
@@ -745,6 +879,153 @@ mod tests {
         // The chrome export must be renderable (sorted, balanced).
         let chrome = gplu_trace::chrome_trace(&events);
         assert!(chrome.contains("service.job"));
+    }
+
+    #[test]
+    fn observability_records_tenants_tiers_slo_and_drift() {
+        use crate::observe::SloSpec;
+        let svc = SolverService::start(ServiceConfig {
+            workers: 2,
+            // Profile every pipeline call so all six jobs feed the
+            // drift table this test asserts on.
+            drift_sample_every: 1,
+            ..Default::default()
+        });
+        let a = random_dominant(80, 4.0, 58);
+        let b = a.spmv(&vec![1.0; 80]);
+        for i in 0..6 {
+            let tenant = if i % 2 == 0 { "acme" } else { "globex" };
+            let kind = if i == 5 {
+                JobKind::Solve {
+                    rhs: vec![b.clone()],
+                }
+            } else {
+                JobKind::Refactorize
+            };
+            svc.submit(JobSpec::new(a.clone(), kind).hot().with_tenant(tenant))
+                .unwrap()
+                .wait()
+                .unwrap();
+        }
+        let obs = svc.observability().expect("observability on by default");
+        let mut tenants = obs.tenants();
+        tenants.sort();
+        assert_eq!(tenants, ["acme", "globex"]);
+        // Latency splits exist per tenant; the solve job put wall time
+        // into the solve histogram.
+        let solve_total: u64 = tenants
+            .iter()
+            .map(|t| {
+                obs.registry()
+                    .find_histogram(&format!("service.solve_ns{{tenant={t}}}"))
+                    .expect("solve histogram")
+                    .sum()
+            })
+            .sum();
+        assert!(solve_total > 0, "solve wall time must be attributed");
+        // Tier histograms: 1 cold + 5 hits of some warm/cached mix.
+        let tier_count: u64 = ["cold", "warm", "cached_solve"]
+            .iter()
+            .filter_map(|t| {
+                obs.registry()
+                    .find_histogram(&format!("service.wall_ns{{tier={t}}}"))
+            })
+            .map(|h| h.count())
+            .sum();
+        assert_eq!(tier_count, 6);
+        // The drift profiler saw the pipeline's samples: a cold
+        // factorize produces symbolic chunks and numeric levels, the
+        // solve produces trisolve samples.
+        let table = obs.drift_table();
+        let kinds: Vec<&str> = table.rows.iter().map(|r| r.kind.as_str()).collect();
+        assert!(
+            kinds.contains(&"numeric_level") || kinds.contains(&"gemm_tile"),
+            "numeric drift samples missing: {kinds:?}"
+        );
+        assert!(kinds.contains(&"trisolve"), "trisolve missing: {kinds:?}");
+        // A generous SLO passes; an impossible one fails with a typed
+        // violation list.
+        let ok = obs.slo(&SloSpec::parse("sim_p95_ns=1e15,hit_rate=0.5").unwrap());
+        assert!(ok.pass(), "violations: {:?}", ok.violations);
+        // p99 reaches the cold job's factorization time; 1 ns can't hold.
+        let bad = obs.slo(&SloSpec::parse("sim_p99_ns=1").unwrap());
+        assert!(!bad.pass());
+        // The captured report carries all four v2 sections.
+        let report = crate::ServiceReport::capture(&svc);
+        let doc = report.to_json();
+        for section in ["metrics", "tenants", "slo", "drift"] {
+            assert!(doc.get(section).is_some(), "missing {section}");
+        }
+        svc.shutdown();
+    }
+
+    #[test]
+    fn observability_off_means_no_registry() {
+        let svc = SolverService::start(ServiceConfig {
+            workers: 1,
+            observability: false,
+            ..Default::default()
+        });
+        let a = random_dominant(40, 4.0, 59);
+        svc.submit(JobSpec::new(a, JobKind::Factorize))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(svc.observability().is_none());
+        let doc = crate::ServiceReport::capture(&svc).to_json();
+        assert!(doc.get("metrics").is_none());
+        assert!(doc.get("slo").is_none());
+        svc.shutdown();
+    }
+
+    #[test]
+    fn traced_service_splits_queue_wait_execute_and_solve_spans() {
+        let rec = Arc::new(Recorder::new());
+        let svc = SolverService::start_traced(
+            ServiceConfig {
+                workers: 1,
+                ..Default::default()
+            },
+            Arc::clone(&rec),
+        );
+        let a = random_dominant(60, 4.0, 60);
+        let b = a.spmv(&vec![1.0; 60]);
+        svc.submit(JobSpec::new(
+            a.clone(),
+            JobKind::Solve {
+                rhs: vec![b.clone()],
+            },
+        ))
+        .unwrap()
+        .wait()
+        .unwrap();
+        svc.shutdown();
+        let events = rec.events();
+        for name in [
+            "service.queue_wait",
+            "service.job",
+            "service.execute",
+            "service.solve",
+        ] {
+            let n = events.iter().filter(|e| e.name == name).count();
+            assert_eq!(n, 2, "{name} must be one balanced B+E pair, got {n}");
+        }
+        // Sub-spans nest inside the job window.
+        let ts = |name: &str| -> Vec<f64> {
+            events
+                .iter()
+                .filter(|e| e.name == name)
+                .map(|e| e.ts_ns)
+                .collect()
+        };
+        let job = ts("service.job");
+        let solve = ts("service.solve");
+        assert!(job[0] <= solve[0] && solve[1] <= job[1], "solve inside job");
+        let qw = ts("service.queue_wait");
+        assert!(
+            qw[1] <= job[0] + 1.0,
+            "queue_wait ends where the job starts"
+        );
     }
 
     #[test]

@@ -34,6 +34,10 @@ pub struct WorkloadParams {
     /// Every `fault_every`-th job carries a seeded [`FaultPlan`]
     /// (0 disables injection).
     pub fault_every: usize,
+    /// Distinct tenants the jobs are spread across (round-robin-free:
+    /// assignment is drawn from its own seeded stream so adding tenants
+    /// never perturbs the matrix/kind/fault stream).
+    pub tenants: usize,
     /// Matrix dimension of the hot circuit patterns.
     pub hot_n: usize,
     /// Matrix dimension scale of the cold patterns.
@@ -52,6 +56,7 @@ impl Default for WorkloadParams {
             solve_fraction: 0.15,
             hard_fraction: 0.0,
             fault_every: 0,
+            tenants: 4,
             hot_n: 300,
             cold_n: 200,
             seed: 1,
@@ -89,6 +94,10 @@ fn drift_values(base: &Csr, version: u64) -> Csr {
 /// matrices, same kinds, same fault plans, same order).
 pub fn generate_workload(params: &WorkloadParams) -> Vec<JobSpec> {
     let mut rng = params.seed ^ 0x5e55_1011_c0de_1234;
+    // Tenant assignment draws from its own derived stream: the main
+    // stream stays byte-identical to pre-tenant workloads, so every
+    // seeded test and CI gate keeps its exact matrices and fault plans.
+    let mut tenant_rng = params.seed ^ 0x7e4a_47a6_7e4a_47a6;
     let hot_bases: Vec<Csr> = (0..params.hot_patterns.max(1))
         .map(|k| {
             circuit(&CircuitParams {
@@ -165,7 +174,8 @@ pub fn generate_workload(params: &WorkloadParams) -> Vec<JobSpec> {
                 params.seed.wrapping_mul(31).wrapping_add(i as u64),
             ));
         }
-        jobs.push(spec);
+        let tenant = splitmix(&mut tenant_rng) % params.tenants.max(1) as u64;
+        jobs.push(spec.with_tenant(format!("t{tenant}")));
     }
     jobs
 }
@@ -259,6 +269,29 @@ mod tests {
         let again = generate_workload(&p);
         for (x, y) in jobs.iter().zip(&again) {
             assert_eq!(x.matrix.vals, y.matrix.vals);
+        }
+    }
+
+    #[test]
+    fn tenants_spread_without_perturbing_the_job_stream() {
+        let base = WorkloadParams {
+            jobs: 60,
+            ..Default::default()
+        };
+        let a = generate_workload(&base);
+        let tenant_set: HashSet<&str> = a.iter().map(|j| j.tenant.as_str()).collect();
+        assert_eq!(tenant_set.len(), 4, "default 4 tenants all see traffic");
+        // Changing the tenant count must not change any matrix, kind,
+        // hot flag, or fault plan — only the tenant labels.
+        let b = generate_workload(&WorkloadParams {
+            tenants: 1,
+            ..base.clone()
+        });
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.matrix.vals, y.matrix.vals);
+            assert_eq!(x.hot, y.hot);
+            assert_eq!(x.fault.is_some(), y.fault.is_some());
+            assert_eq!(y.tenant, "t0");
         }
     }
 

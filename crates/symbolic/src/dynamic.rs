@@ -23,7 +23,7 @@ use crate::resume::{ChunkHook, ChunkProgress, SymbolicResume};
 use crossbeam::queue::SegQueue;
 use gplu_sim::{BlockCtx, Gpu, GpuStatsSnapshot, SimError, SimTime};
 use gplu_sparse::{Csr, Idx};
-use gplu_trace::{TraceSink, NOOP};
+use gplu_trace::{AttrValue, TraceSink, NOOP};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
@@ -316,10 +316,26 @@ pub fn symbolic_ooc_dynamic_run(
                             ("part", if capped { 1u64.into() } else { 2u64.into() }),
                         ],
                     );
+                    let clk0 = trace.enabled().then(|| gpu.clocks());
                     gpu.launch(stage, rows, 1024, &|b: usize, ctx: &mut BlockCtx| {
                         body((start + b) as u32, capped, ctx);
                     })?;
                     trace.span_end("symbolic.chunk", "chunk", gpu.now().as_ns(), &[]);
+                    if let Some((obs0, pred0)) = clk0 {
+                        let (obs1, pred1) = gpu.clocks();
+                        if obs1 > obs0 {
+                            trace.instant(
+                                "drift.sample",
+                                "drift",
+                                obs1,
+                                &[
+                                    ("kind", "symbolic_chunk".into()),
+                                    ("predicted_ns", AttrValue::F64(pred1 - pred0)),
+                                    ("observed_ns", AttrValue::F64(obs1 - obs0)),
+                                ],
+                            );
+                        }
+                    }
                     num_iterations += 1;
                     if let Some(h) = hook.as_mut() {
                         h(&ChunkProgress {

@@ -27,7 +27,7 @@ use crate::resume::{ChunkHook, ChunkProgress, SymbolicResume};
 use crossbeam::queue::SegQueue;
 use gplu_sim::{BlockCtx, Gpu, GpuConfig, GpuStatsSnapshot, SimError, SimTime};
 use gplu_sparse::{Csr, Idx};
-use gplu_trace::{TraceSink, NOOP};
+use gplu_trace::{AttrValue, TraceSink, NOOP};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 /// Outcome of an out-of-core symbolic run.
@@ -218,6 +218,7 @@ pub fn symbolic_ooc_run(
             gpu.now().as_ns(),
             &[("iter", iters.into()), ("rows", rows.into())],
         );
+        let clk0 = trace.enabled().then(|| gpu.clocks());
         gpu.launch("symbolic_1", rows, 1024, &|b: usize, ctx: &mut BlockCtx| {
             let src = (start + b) as u32;
             let m = pool.with(|ws| fill2_row(a, src, ws, |_| {}));
@@ -242,6 +243,21 @@ pub fn symbolic_ooc_run(
                 ("max_frontier", max_frontier.into()),
             ],
         );
+        if let Some((obs0, pred0)) = clk0 {
+            let (obs1, pred1) = gpu.clocks();
+            if obs1 > obs0 {
+                trace.instant(
+                    "drift.sample",
+                    "drift",
+                    obs1,
+                    &[
+                        ("kind", "symbolic_chunk".into()),
+                        ("predicted_ns", AttrValue::F64(pred1 - pred0)),
+                        ("observed_ns", AttrValue::F64(obs1 - obs0)),
+                    ],
+                );
+            }
+        }
         iters += 1;
         row_start += rows;
         if let Some(h) = hook.as_mut() {

@@ -66,6 +66,14 @@ impl JsonValue {
             .map(|v| v as u64)
     }
 
+    /// The value as a bool, when it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The value as a string slice, when it is one.
     pub fn as_str(&self) -> Option<&str> {
         match self {

@@ -28,6 +28,11 @@
 //! * [`json`] — the hand-rolled JSON value builder + minimal parser shared
 //!   by the exporters, `gplu-core`'s versioned run report, and the
 //!   validation tooling (no serde in the workspace).
+//! * [`registry`] — live metrics for long-running services: a
+//!   [`MetricsRegistry`] of counters, gauges, and mergeable log-linear
+//!   histograms with lossless text/JSON exposition (the post-hoc exporters
+//!   above answer "what happened"; the registry answers "what is
+//!   happening").
 //!
 //! [`SimTime`]: https://docs.rs/gplu-sim
 
@@ -36,6 +41,7 @@ pub mod event;
 pub mod json;
 pub mod metrics;
 pub mod recorder;
+pub mod registry;
 pub mod sink;
 
 pub use chrome::chrome_trace;
@@ -43,4 +49,5 @@ pub use event::{AttrValue, EventKind, TraceEvent};
 pub use json::JsonValue;
 pub use metrics::metrics_text;
 pub use recorder::Recorder;
+pub use registry::{Counter, Gauge, Histogram, MetricsRegistry, METRICS_SCHEMA_VERSION};
 pub use sink::{NoopSink, TraceSink, NOOP};

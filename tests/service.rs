@@ -360,6 +360,7 @@ fn stress_workload_sustains_the_hit_rate_and_a_consistent_report() {
         fault_every: 0,
         hot_n: 150,
         cold_n: 100,
+        tenants: 4,
         seed: 99,
     });
     let svc = SolverService::start(ServiceConfig::default());
