@@ -1,0 +1,221 @@
+//! Tiered-cache latency bench: what each cache tier is worth.
+//!
+//! Runs the same hot pattern set through the four service paths a
+//! restart can land on — cold build, device-tier warm hit, host-tier
+//! rescue (rewarmed restart), disk-tier rescue (cold-memory restart) —
+//! plus the boot-time cost of `--rewarm` itself, and reports per-job
+//! wall latency for each. One worker and sequential submission keep the
+//! tier mix a pure function of the scenario: every job's tier is
+//! asserted, so the bench measures what it claims to. Writes
+//! `BENCH_cache_tiers.json`.
+//!
+//! Usage: `cache_tiers [--patterns N] [--reps N] [--n N]`
+//! (defaults: 6 patterns of n=320, 5 reps)
+
+use gplu_bench::Table;
+use gplu_server::{ExecTier, JobKind, JobSpec, ServiceConfig, SolverService};
+use gplu_sparse::gen::circuit::{circuit, CircuitParams};
+use gplu_sparse::Csr;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn args() -> (usize, usize, usize) {
+    let (mut patterns, mut reps, mut n) = (6usize, 5usize, 320usize);
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let val = |it: &mut dyn Iterator<Item = String>, d: usize| {
+            it.next().and_then(|v| v.parse().ok()).unwrap_or(d).max(1)
+        };
+        match a.as_str() {
+            "--patterns" => patterns = val(&mut it, 6),
+            "--reps" => reps = val(&mut it, 5),
+            "--n" => n = val(&mut it, 320),
+            _ => {}
+        }
+    }
+    (patterns, reps, n)
+}
+
+/// Self-cleaning scratch directory for the disk tier.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let path = std::env::temp_dir().join(format!(
+            "gplu-bench-cache-tiers-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).expect("create scratch dir");
+        TempDir(path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn drift(base: &Csr, version: u64) -> Csr {
+    let mut m = base.clone();
+    for (k, v) in m.vals.iter_mut().enumerate() {
+        let wob = ((k as u64)
+            .wrapping_mul(0x9e37_79b9)
+            .wrapping_add(version.wrapping_mul(7919))
+            % 97) as f64;
+        *v *= 1.0 + wob / 1000.0;
+    }
+    m
+}
+
+fn config(dir: &TempDir, rewarm: bool) -> ServiceConfig {
+    ServiceConfig {
+        workers: 1,
+        cache_dir: Some(dir.0.clone()),
+        rewarm,
+        ..Default::default()
+    }
+}
+
+/// One factorize round over all patterns; returns total wall ns and
+/// asserts every job landed on `want`.
+fn round(svc: &SolverService, patterns: &[Csr], version: u64, want: ExecTier) -> f64 {
+    let mut total = 0.0f64;
+    for (pi, base) in patterns.iter().enumerate() {
+        let a = drift(base, version);
+        let t0 = Instant::now();
+        let r = svc
+            .submit(JobSpec::new(a, JobKind::Factorize).hot())
+            .expect("submit")
+            .wait()
+            .expect("job completes");
+        total += t0.elapsed().as_nanos() as f64;
+        assert_eq!(
+            r.tier, want,
+            "pattern {pi} v{version}: scenario expected {want:?}"
+        );
+    }
+    total
+}
+
+#[derive(Default)]
+struct Samples {
+    cold: Vec<f64>,
+    warm: Vec<f64>,
+    host: Vec<f64>,
+    disk: Vec<f64>,
+    rewarm_boot: Vec<f64>,
+    cold_boot: Vec<f64>,
+}
+
+fn median(xs: &[f64]) -> f64 {
+    let mut s = xs.to_vec();
+    s.sort_by(f64::total_cmp);
+    if s.len() % 2 == 1 {
+        s[s.len() / 2]
+    } else {
+        (s[s.len() / 2 - 1] + s[s.len() / 2]) / 2.0
+    }
+}
+
+fn main() {
+    let (npat, reps, n) = args();
+    println!(
+        "cache_tiers bench: cold vs device vs host vs disk rescue latency, \
+         {npat} patterns (n={n}), {reps} reps\n"
+    );
+
+    let patterns: Vec<Csr> = (0..npat as u64)
+        .map(|s| {
+            circuit(&CircuitParams {
+                n,
+                nnz_per_row: 6.0,
+                seed: 7000 + s,
+                ..Default::default()
+            })
+        })
+        .collect();
+
+    let mut s = Samples::default();
+    for rep in 0..reps {
+        let dir = TempDir::new("run");
+
+        // Cold builds + device-tier warm hits, and the durable seed for
+        // the two restart scenarios below.
+        let svc = SolverService::start(config(&dir, false));
+        s.cold.push(round(&svc, &patterns, 0, ExecTier::Cold));
+        s.warm
+            .push(round(&svc, &patterns, 1 + rep as u64, ExecTier::Warm));
+        assert!(svc.drain(), "plans must be durable before restart");
+        svc.shutdown();
+
+        // Rewarmed restart: boot pays the decode, jobs hit the host tier.
+        let t0 = Instant::now();
+        let svc = SolverService::start(config(&dir, true));
+        s.rewarm_boot.push(t0.elapsed().as_nanos() as f64);
+        s.host
+            .push(round(&svc, &patterns, 10 + rep as u64, ExecTier::WarmHost));
+        svc.shutdown();
+
+        // Cold-memory restart: boot is free, first touches decode from disk.
+        let t0 = Instant::now();
+        let svc = SolverService::start(config(&dir, false));
+        s.cold_boot.push(t0.elapsed().as_nanos() as f64);
+        s.disk
+            .push(round(&svc, &patterns, 20 + rep as u64, ExecTier::WarmDisk));
+        svc.shutdown();
+    }
+
+    let per_job = npat as f64;
+    let (cold, warm, host, disk) = (
+        median(&s.cold) / per_job,
+        median(&s.warm) / per_job,
+        median(&s.host) / per_job,
+        median(&s.disk) / per_job,
+    );
+    let (rewarm_boot, cold_boot) = (median(&s.rewarm_boot), median(&s.cold_boot));
+
+    let mut t = Table::new(["tier", "median ns/job", "vs cold"]);
+    for (name, ns) in [
+        ("cold build", cold),
+        ("device hit (warm)", warm),
+        ("host rescue (warm_host)", host),
+        ("disk rescue (warm_disk)", disk),
+    ] {
+        t.row([
+            name.to_string(),
+            format!("{ns:.0}"),
+            format!("{:.2}x", cold / ns.max(1.0)),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nrewarm boot: {:.1} ms for {npat} plans ({:.1} ms cold boot)",
+        rewarm_boot / 1e6,
+        cold_boot / 1e6
+    );
+    // The tiers must actually be ordered, or the tiering buys nothing:
+    // a disk rescue may cost decode time but must beat a cold rebuild.
+    assert!(
+        disk < cold,
+        "disk rescue ({disk:.0} ns) must beat a cold build ({cold:.0} ns)"
+    );
+
+    let mut json = String::from("{\n  \"bench\": \"cache_tiers\",\n");
+    let _ = write!(
+        json,
+        "  \"patterns\": {npat},\n  \"n\": {n},\n  \"reps\": {reps},\n  \
+         \"median_ns_per_job\": {{\n    \"cold\": {cold:.0},\n    \"warm\": {warm:.0},\n    \
+         \"warm_host\": {host:.0},\n    \"warm_disk\": {disk:.0}\n  }},\n  \
+         \"speedup_vs_cold\": {{\n    \"warm\": {:.3},\n    \"warm_host\": {:.3},\n    \
+         \"warm_disk\": {:.3}\n  }},\n  \"boot_ns\": {{\n    \"rewarm\": {rewarm_boot:.0},\n    \
+         \"cold\": {cold_boot:.0}\n  }}\n}}\n",
+        cold / warm.max(1.0),
+        cold / host.max(1.0),
+        cold / disk.max(1.0),
+    );
+    std::fs::write("BENCH_cache_tiers.json", &json).expect("write BENCH_cache_tiers.json");
+    println!("wrote BENCH_cache_tiers.json");
+}

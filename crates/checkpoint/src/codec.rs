@@ -7,7 +7,7 @@
 //! sparse-matrix structures the pipeline persists.
 
 use crate::snapshot::CheckpointError;
-use gplu_sparse::{Csr, Idx, Permutation};
+use gplu_sparse::{Csc, Csr, Idx, Permutation};
 
 /// Encoder: appends primitives to a growing byte buffer.
 #[derive(Debug, Default)]
@@ -238,6 +238,28 @@ pub fn decode_csr(d: &mut Dec<'_>) -> Result<Csr, CheckpointError> {
     }
     Csr::new(n_rows, n_cols, row_ptr, col_idx, vals)
         .map_err(|e| CheckpointError::Corrupt(format!("decoded CSR invalid: {e}")))
+}
+
+/// Encodes a CSC matrix (dimensions, structure, bit-exact values).
+pub fn encode_csc(e: &mut Enc, a: &Csc) {
+    e.usize(a.n_rows());
+    e.usize(a.n_cols());
+    e.vec_usize(&a.col_ptr);
+    e.vec_u32(&a.row_idx);
+    e.vec_f64(&a.vals);
+}
+
+/// Decodes a CSC matrix through `Csc::new`, which re-validates offsets,
+/// bounds and the sorted-rows invariant — a checksum-passing payload
+/// written by a buggy tool still cannot smuggle in a malformed pattern.
+pub fn decode_csc(d: &mut Dec<'_>) -> Result<Csc, CheckpointError> {
+    let n_rows = d.usize("csc.n_rows")?;
+    let n_cols = d.usize("csc.n_cols")?;
+    let col_ptr = d.vec_usize("csc.col_ptr")?;
+    let row_idx: Vec<Idx> = d.vec_u32("csc.row_idx")?;
+    let vals = d.vec_f64("csc.vals")?;
+    Csc::new(n_rows, n_cols, col_ptr, row_idx, vals)
+        .map_err(|e| CheckpointError::Corrupt(format!("decoded CSC invalid: {e}")))
 }
 
 /// Encodes a permutation (forward map).

@@ -27,10 +27,16 @@
 
 pub mod codec;
 pub mod hash;
+pub mod plan_store;
 pub mod snapshot;
 pub mod store;
 
-pub use codec::{decode_csr, decode_perm, encode_csr, encode_perm, Dec, Enc};
+pub use codec::{
+    decode_csc, decode_csr, decode_perm, encode_csc, encode_csr, encode_perm, Dec, Enc,
+};
 pub use hash::xxh64;
+pub use plan_store::{
+    DiskFaultHook, PlanEntry, PlanStore, PLAN_MANIFEST_FILE, PLAN_MANIFEST_VERSION,
+};
 pub use snapshot::{section, CheckpointError, Snapshot, FORMAT_VERSION, MAGIC};
 pub use store::{CheckpointStore, ManifestEntry, MANIFEST_FILE, MANIFEST_VERSION};

@@ -1,0 +1,445 @@
+//! Fingerprint-keyed persistent store for refactorization plans.
+//!
+//! Where [`crate::store::CheckpointStore`] persists a *sequence* of
+//! pipeline snapshots (latest-valid-wins resume), the [`PlanStore`]
+//! persists a *set* of plan snapshots keyed by pattern fingerprint — the
+//! disk tier of the solver service's factor cache. Each entry is one
+//! snapshot file `plan-<fp:016x>.ckpt` written through the same
+//! tmp/fsync/rename protocol, indexed by a checksummed
+//! `cache-manifest.json` rewritten the same way. A crash mid-write
+//! leaves either the previous entry set or the new one, never a torn
+//! file that could be served as a factor.
+//!
+//! Corruption is per-entry, not per-store: a truncated or bit-flipped
+//! entry fails its checksum on load and surfaces as
+//! [`CheckpointError::Corrupt`] for *that fingerprint only*; the caller
+//! treats it as a cache miss (cold fallback) and the rest of the tier
+//! stays serviceable.
+//!
+//! Deterministic chaos testing hooks in through [`DiskFaultHook`]: the
+//! store consults the hook before every file read/write and surfaces an
+//! injected fault as an ordinary [`CheckpointError::Io`]. The hook trait
+//! lives here (not in `gpu-sim`) so this crate stays dependency-free;
+//! the service adapts its seeded `FaultInjector` onto it.
+
+use crate::hash::xxh64;
+use crate::snapshot::{CheckpointError, Snapshot};
+use crate::store::write_atomic;
+use gplu_trace::{json, JsonValue};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Cache-manifest schema version.
+pub const PLAN_MANIFEST_VERSION: u64 = 1;
+
+/// Manifest file name inside a plan-cache directory.
+pub const PLAN_MANIFEST_FILE: &str = "cache-manifest.json";
+
+/// Deterministic disk-fault injection: the store asks before every file
+/// operation; `true` means "inject a failure here". Implementations must
+/// be cheap and thread-safe — the store may be called from worker and
+/// flusher threads concurrently.
+pub trait DiskFaultHook: Send + Sync {
+    /// Should this read fail?
+    fn on_disk_read(&self) -> bool;
+    /// Should this write fail?
+    fn on_disk_write(&self) -> bool;
+}
+
+/// One cache-manifest entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanEntry {
+    /// Pattern fingerprint the plan is keyed by.
+    pub key: u64,
+    /// File name relative to the cache directory.
+    pub file: String,
+    /// Snapshot size in bytes.
+    pub bytes: u64,
+    /// XXH64 of the whole snapshot file.
+    pub xxh64: u64,
+}
+
+/// A plan-cache directory: the disk tier of the factor cache.
+pub struct PlanStore {
+    dir: PathBuf,
+    faults: Option<Arc<dyn DiskFaultHook>>,
+}
+
+impl std::fmt::Debug for PlanStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanStore")
+            .field("dir", &self.dir)
+            .field("faults", &self.faults.is_some())
+            .finish()
+    }
+}
+
+fn plan_file_name(key: u64) -> String {
+    format!("plan-{key:016x}.ckpt")
+}
+
+fn key_of_file_name(name: &str) -> Option<u64> {
+    let hex = name.strip_prefix("plan-")?.strip_suffix(".ckpt")?;
+    (hex.len() == 16).then(|| u64::from_str_radix(hex, 16).ok())?
+}
+
+fn injected(op: &str) -> CheckpointError {
+    CheckpointError::Io(format!("injected disk {op} fault"))
+}
+
+impl PlanStore {
+    /// Opens (creating if needed) a plan-cache directory.
+    pub fn open(dir: &Path) -> Result<Self, CheckpointError> {
+        fs::create_dir_all(dir)?;
+        Ok(PlanStore {
+            dir: dir.to_path_buf(),
+            faults: None,
+        })
+    }
+
+    /// Attaches a disk-fault hook consulted before every file operation.
+    pub fn with_faults(mut self, hook: Arc<dyn DiskFaultHook>) -> Self {
+        self.faults = Some(hook);
+        self
+    }
+
+    /// The directory this store persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn check_write(&self) -> Result<(), CheckpointError> {
+        match &self.faults {
+            Some(h) if h.on_disk_write() => Err(injected("write")),
+            _ => Ok(()),
+        }
+    }
+
+    fn check_read(&self) -> Result<(), CheckpointError> {
+        match &self.faults {
+            Some(h) if h.on_disk_read() => Err(injected("read")),
+            _ => Ok(()),
+        }
+    }
+
+    /// Durably writes `snap` under `key` and rewrites the manifest.
+    /// Returns the number of snapshot bytes written.
+    pub fn save(&self, key: u64, snap: &Snapshot) -> Result<u64, CheckpointError> {
+        self.check_write()?;
+        let bytes = snap.to_bytes();
+        let path = self.dir.join(plan_file_name(key));
+        write_atomic(&self.dir, &path, &bytes)?;
+        self.rewrite_manifest()?;
+        Ok(bytes.len() as u64)
+    }
+
+    /// Removes the entry for `key` (quarantine eviction reaches the disk
+    /// tier too). Missing entries are fine — removal is idempotent.
+    pub fn remove(&self, key: u64) -> Result<(), CheckpointError> {
+        self.check_write()?;
+        let path = self.dir.join(plan_file_name(key));
+        match fs::remove_file(&path) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+            Err(e) => return Err(e.into()),
+        }
+        self.rewrite_manifest()
+    }
+
+    /// Loads and verifies the entry for `key`.
+    ///
+    /// * `Ok(None)` — no entry for this fingerprint (plain miss).
+    /// * `Ok(Some(snap))` — the entry, checksum-verified.
+    /// * `Err(Corrupt)` — an entry exists but fails verification; the
+    ///   caller falls back to cold and may remove the entry.
+    pub fn load(&self, key: u64) -> Result<Option<Snapshot>, CheckpointError> {
+        self.check_read()?;
+        let path = self.dir.join(plan_file_name(key));
+        let data = match fs::read(&path) {
+            Ok(d) => d,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        if let Some(entry) = self.manifest_entry(key)? {
+            if data.len() as u64 != entry.bytes || xxh64(&data, 0) != entry.xxh64 {
+                return Err(CheckpointError::Corrupt(format!(
+                    "{}: file hash/size disagrees with cache manifest",
+                    entry.file
+                )));
+            }
+        }
+        Snapshot::from_bytes(&data).map(Some)
+    }
+
+    /// Every fingerprint present on disk, from the manifest when it
+    /// parses, otherwise by directory scan (a corrupt manifest must not
+    /// hide intact entries from rewarm).
+    pub fn keys(&self) -> Result<Vec<u64>, CheckpointError> {
+        self.check_read()?;
+        match self.read_manifest() {
+            Ok(Some(entries)) => Ok(entries.into_iter().map(|e| e.key).collect()),
+            Ok(None) | Err(_) => {
+                let mut v = Vec::new();
+                if let Ok(rd) = fs::read_dir(&self.dir) {
+                    for entry in rd.flatten() {
+                        let name = entry.file_name().to_string_lossy().into_owned();
+                        if let Some(key) = key_of_file_name(&name) {
+                            v.push(key);
+                        }
+                    }
+                }
+                v.sort_unstable();
+                Ok(v)
+            }
+        }
+    }
+
+    fn manifest_entry(&self, key: u64) -> Result<Option<PlanEntry>, CheckpointError> {
+        Ok(self
+            .read_manifest()
+            .unwrap_or(None)
+            .and_then(|entries| entries.into_iter().find(|e| e.key == key)))
+    }
+
+    /// Parses the cache manifest. `Ok(None)` when none exists yet.
+    pub fn read_manifest(&self) -> Result<Option<Vec<PlanEntry>>, CheckpointError> {
+        let path = self.dir.join(PLAN_MANIFEST_FILE);
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        let doc = json::parse(&text)
+            .map_err(|e| CheckpointError::Corrupt(format!("{PLAN_MANIFEST_FILE}: {e}")))?;
+        parse_plan_manifest(&doc)
+            .map(Some)
+            .map_err(|e| CheckpointError::Corrupt(format!("{PLAN_MANIFEST_FILE}: {e}")))
+    }
+
+    /// Rebuilds the manifest from the plan files actually on disk — the
+    /// directory is the source of truth, the manifest its durable index.
+    fn rewrite_manifest(&self) -> Result<(), CheckpointError> {
+        let mut entries = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let Some(key) = key_of_file_name(&name) else {
+                continue;
+            };
+            let data = fs::read(entry.path())?;
+            entries.push(PlanEntry {
+                key,
+                file: name,
+                bytes: data.len() as u64,
+                xxh64: xxh64(&data, 0),
+            });
+        }
+        entries.sort_by_key(|e| e.key);
+        let mut doc = String::new();
+        doc.push_str(&format!(
+            "{{\n  \"schema_version\": {PLAN_MANIFEST_VERSION},\n  \"entries\": ["
+        ));
+        for (i, e) in entries.iter().enumerate() {
+            if i > 0 {
+                doc.push(',');
+            }
+            doc.push_str(&format!(
+                "\n    {{\"key\": \"{:016x}\", \"file\": \"{}\", \"bytes\": {}, \
+                 \"xxh64\": \"{:016x}\"}}",
+                e.key, e.file, e.bytes, e.xxh64
+            ));
+        }
+        doc.push_str("\n  ]\n}\n");
+        write_atomic(
+            &self.dir,
+            &self.dir.join(PLAN_MANIFEST_FILE),
+            doc.as_bytes(),
+        )
+    }
+}
+
+fn parse_plan_manifest(doc: &JsonValue) -> Result<Vec<PlanEntry>, String> {
+    let version = doc
+        .get("schema_version")
+        .and_then(JsonValue::as_u64)
+        .ok_or("schema_version missing")?;
+    if version != PLAN_MANIFEST_VERSION {
+        return Err(format!("unknown schema_version {version}"));
+    }
+    let entries = doc
+        .get("entries")
+        .and_then(JsonValue::as_arr)
+        .ok_or("entries missing")?;
+    let mut out = Vec::with_capacity(entries.len());
+    for (i, e) in entries.iter().enumerate() {
+        let key_hex = e
+            .get("key")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("entries[{i}].key missing"))?;
+        let key = u64::from_str_radix(key_hex, 16)
+            .map_err(|_| format!("entries[{i}].key not a hex fingerprint"))?;
+        let file = e
+            .get("file")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("entries[{i}].file missing"))?;
+        if file.contains('/') || file.contains("..") {
+            return Err(format!("entries[{i}].file escapes the directory"));
+        }
+        let bytes = e
+            .get("bytes")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| format!("entries[{i}].bytes missing"))?;
+        let hash = e
+            .get("xxh64")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("entries[{i}].xxh64 missing"))?;
+        let xxh64 = u64::from_str_radix(hash, 16)
+            .map_err(|_| format!("entries[{i}].xxh64 not a hex hash"))?;
+        out.push(PlanEntry {
+            key,
+            file: file.to_string(),
+            bytes,
+            xxh64,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::section;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new() -> Self {
+            static NEXT: AtomicU64 = AtomicU64::new(0);
+            let dir = std::env::temp_dir().join(format!(
+                "gplu-plan-store-test-{}-{}",
+                std::process::id(),
+                NEXT.fetch_add(1, Ordering::Relaxed)
+            ));
+            fs::create_dir_all(&dir).unwrap();
+            TempDir(dir)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn snap(tag: u8) -> Snapshot {
+        let mut s = Snapshot::new();
+        s.add_section(section::PLAN_META, vec![tag; 8]);
+        s.add_section(section::PLAN_BODY, vec![tag; 64]);
+        s
+    }
+
+    #[test]
+    fn save_load_remove_round_trip() {
+        let t = TempDir::new();
+        let store = PlanStore::open(&t.0).unwrap();
+        assert!(store.load(0xABCD).unwrap().is_none());
+        store.save(0xABCD, &snap(1)).unwrap();
+        store.save(0xEF01, &snap(2)).unwrap();
+        let s = store.load(0xABCD).unwrap().expect("entry");
+        assert_eq!(s.section(section::PLAN_META), Some(&[1u8; 8][..]));
+        assert_eq!(store.keys().unwrap(), vec![0xABCD, 0xEF01]);
+        store.remove(0xABCD).unwrap();
+        assert!(store.load(0xABCD).unwrap().is_none());
+        assert_eq!(store.keys().unwrap(), vec![0xEF01]);
+        // Idempotent removal.
+        store.remove(0xABCD).unwrap();
+    }
+
+    #[test]
+    fn corrupt_entry_is_a_per_key_error() {
+        let t = TempDir::new();
+        let store = PlanStore::open(&t.0).unwrap();
+        store.save(7, &snap(1)).unwrap();
+        store.save(8, &snap(2)).unwrap();
+        let p = t.0.join(plan_file_name(7));
+        let mut data = fs::read(&p).unwrap();
+        let last = data.len() - 1;
+        data[last] ^= 0xFF;
+        fs::write(&p, &data).unwrap();
+        assert!(matches!(store.load(7), Err(CheckpointError::Corrupt(_))));
+        // The sibling entry is untouched.
+        assert!(store.load(8).unwrap().is_some());
+    }
+
+    #[test]
+    fn truncated_entry_fails_checksum_at_every_cut() {
+        let t = TempDir::new();
+        let store = PlanStore::open(&t.0).unwrap();
+        store.save(3, &snap(9)).unwrap();
+        let p = t.0.join(plan_file_name(3));
+        let data = fs::read(&p).unwrap();
+        for cut in 0..data.len() {
+            fs::write(&p, &data[..cut]).unwrap();
+            assert!(
+                matches!(store.load(3), Err(CheckpointError::Corrupt(_))),
+                "cut at {cut} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn missing_manifest_still_finds_entries() {
+        let t = TempDir::new();
+        let store = PlanStore::open(&t.0).unwrap();
+        store.save(42, &snap(4)).unwrap();
+        fs::remove_file(t.0.join(PLAN_MANIFEST_FILE)).unwrap();
+        assert_eq!(store.keys().unwrap(), vec![42]);
+        assert!(store.load(42).unwrap().is_some());
+    }
+
+    #[test]
+    fn manifest_rejects_path_escapes() {
+        let doc = json::parse(
+            r#"{"schema_version": 1, "entries": [{"key": "0000000000000001", "file": "../evil.ckpt", "bytes": 1, "xxh64": "00"}]}"#,
+        )
+        .unwrap();
+        assert!(parse_plan_manifest(&doc).is_err());
+    }
+
+    struct EveryNth {
+        reads: AtomicU64,
+        writes: AtomicU64,
+        nth: u64,
+    }
+
+    impl DiskFaultHook for EveryNth {
+        fn on_disk_read(&self) -> bool {
+            self.reads.fetch_add(1, Ordering::Relaxed) + 1 == self.nth
+        }
+        fn on_disk_write(&self) -> bool {
+            self.writes.fetch_add(1, Ordering::Relaxed) + 1 == self.nth
+        }
+    }
+
+    #[test]
+    fn fault_hook_surfaces_as_io_error_and_store_recovers() {
+        let t = TempDir::new();
+        let hook = Arc::new(EveryNth {
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            nth: 1,
+        });
+        let store = PlanStore::open(&t.0).unwrap().with_faults(hook);
+        assert!(matches!(
+            store.save(1, &snap(1)),
+            Err(CheckpointError::Io(_))
+        ));
+        // The injected fault was transient; the next attempt succeeds and
+        // the first failure left nothing torn behind.
+        store.save(1, &snap(1)).unwrap();
+        assert!(matches!(store.load(1), Err(CheckpointError::Io(_))));
+        assert!(store.load(1).unwrap().is_some());
+    }
+}

@@ -50,6 +50,12 @@ pub mod section {
     pub const NUMERIC: u32 = 7;
     /// Serialized recovery log (corrective actions survive restarts).
     pub const RECOVERY: u32 = 8;
+    /// Persisted refactorization-plan metadata: plan schema version,
+    /// pattern fingerprint, format tag.
+    pub const PLAN_META: u32 = 9;
+    /// Persisted refactorization-plan body: permutations, patterns,
+    /// schedule, scatter maps, policies.
+    pub const PLAN_BODY: u32 = 10;
 }
 
 /// Errors from snapshot encoding/decoding and the checkpoint store.

@@ -63,7 +63,7 @@ fn seq_of_file_name(name: &str) -> Option<u64> {
 
 /// Writes `data` to `path` durably: tmp file, fsync, atomic rename,
 /// directory fsync.
-fn write_atomic(dir: &Path, path: &Path, data: &[u8]) -> Result<(), CheckpointError> {
+pub(crate) fn write_atomic(dir: &Path, path: &Path, data: &[u8]) -> Result<(), CheckpointError> {
     let tmp = path.with_extension("tmp");
     {
         let mut f = OpenOptions::new()

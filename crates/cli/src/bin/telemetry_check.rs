@@ -4,7 +4,7 @@
 //! telemetry_check <report.json> [trace.json]
 //! telemetry_check --manifest <checkpoint-dir>
 //! telemetry_check --service <service-report.json> [trace.json]
-//! telemetry_check --slo <service-report.json> [trace.json]
+//! telemetry_check --slo [--min-disk-hit-rate X] <service-report.json> [trace.json]
 //! ```
 //!
 //! Checks that a `--report-json` file is schema-versioned, internally
@@ -21,7 +21,13 @@
 //! are structurally sound when present. `--slo` is the CI gate: all the
 //! `--service` checks, and additionally the report MUST carry the
 //! observability sections, the SLO verdict must be `pass`, and no
-//! cost-model span kind may be drift-flagged.
+//! cost-model span kind may be drift-flagged. Schema v3 adds the tiered
+//! cache sections (`/cache/host`, `/cache/disk`) and the `warm_host` /
+//! `warm_disk` / `load_shed` job counters; `--min-disk-hit-rate X`
+//! additionally gates the restart rescue rate — the fraction of
+//! pattern-building jobs served from the host/disk tiers instead of a
+//! cold symbolic pass — which a rewarmed same-workload rerun should
+//! drive close to 1.0.
 //!
 //! Every failure message names the first failing location as a JSON
 //! pointer (`/latency/sim_p95_ns`), and the caller prefixes the file
@@ -224,9 +230,18 @@ fn check_observability_sections(doc: &JsonValue) -> Result<(), String> {
     Ok(())
 }
 
+/// The fraction of pattern-building jobs rescued by the host/disk cache
+/// tiers instead of paying a cold symbolic pass. Schema v3 only.
+fn disk_rescue_rate(doc: &JsonValue) -> Result<f64, String> {
+    let cold = num_at(doc, "/jobs/cold")?;
+    let host = num_at(doc, "/jobs/warm_host")?;
+    let disk = num_at(doc, "/jobs/warm_disk")?;
+    Ok((host + disk) / (cold + host + disk).max(1.0))
+}
+
 fn check_service(doc: &JsonValue) -> Result<String, String> {
     let version = num_at(doc, "/service_schema_version")? as u64;
-    if !(1..=2).contains(&version) {
+    if !(1..=3).contains(&version) {
         return Err(format!(
             "/service_schema_version: unknown version {version}"
         ));
@@ -247,9 +262,14 @@ fn check_service(doc: &JsonValue) -> Result<String, String> {
             "/jobs/submitted: {resolved} jobs resolved but only {submitted} submitted"
         ));
     }
-    let by_tier = num_at(doc, "/jobs/cold")?
+    // v3 splits the warm tier by rescue provenance; older reports have
+    // no host/disk tiers, so those counters default to zero.
+    let mut by_tier = num_at(doc, "/jobs/cold")?
         + num_at(doc, "/jobs/warm")?
         + num_at(doc, "/jobs/cached_solve")?;
+    if version >= 3 {
+        by_tier += num_at(doc, "/jobs/warm_host")? + num_at(doc, "/jobs/warm_disk")?;
+    }
     if (by_tier - completed).abs() > 1e-9 {
         return Err(format!(
             "/jobs/completed: tier counts sum to {by_tier}, not the {completed} completed jobs"
@@ -266,6 +286,29 @@ fn check_service(doc: &JsonValue) -> Result<String, String> {
         return Err(format!(
             "/cache/used_bytes: {used} exceeds budget_bytes {budget}"
         ));
+    }
+    if version >= 3 {
+        for section in ["cache/host", "cache/disk"] {
+            section_at(doc, &format!("/{section}"))?;
+        }
+        let host_used = num_at(doc, "/cache/host/used_bytes")?;
+        let host_budget = num_at(doc, "/cache/host/budget_bytes")?;
+        if host_used > host_budget {
+            return Err(format!(
+                "/cache/host/used_bytes: {host_used} exceeds budget_bytes {host_budget}"
+            ));
+        }
+        // A report claiming disk rescues must have the disk tier enabled.
+        let disk_hits = num_at(doc, "/cache/disk/hits")?;
+        let enabled = lookup(doc, "/cache/disk/enabled")
+            .and_then(JsonValue::as_bool)
+            .ok_or("/cache/disk/enabled: missing or not a bool")?;
+        if disk_hits > 0.0 && !enabled {
+            return Err(format!(
+                "/cache/disk/hits: {disk_hits} hits reported with the disk tier disabled"
+            ));
+        }
+        num_at(doc, "/jobs/load_shed")?;
     }
 
     for (p50, p95) in [
@@ -311,8 +354,9 @@ fn check_service(doc: &JsonValue) -> Result<String, String> {
 
 /// The SLO/drift CI gate: all `--service` checks, plus the observability
 /// sections are mandatory, the SLO verdict must pass, and no span kind
-/// may be drift-flagged.
-fn check_slo(doc: &JsonValue) -> Result<String, String> {
+/// may be drift-flagged. With `min_disk_hit_rate`, the v3 tiered-cache
+/// rescue rate is gated too (the persistence CI job's warm-restart floor).
+fn check_slo(doc: &JsonValue, min_disk_hit_rate: Option<f64>) -> Result<String, String> {
     let base = check_service(doc)?;
     let version = num_at(doc, "/service_schema_version")? as u64;
     if version < 2 {
@@ -345,9 +389,27 @@ fn check_slo(doc: &JsonValue) -> Result<String, String> {
             ));
         }
     }
+    let mut rescue_note = String::new();
+    if let Some(floor) = min_disk_hit_rate {
+        let version = num_at(doc, "/service_schema_version")? as u64;
+        if version < 3 {
+            return Err(format!(
+                "/service_schema_version: --min-disk-hit-rate needs schema v3 cache tiers, \
+                 got v{version}"
+            ));
+        }
+        let rescue = disk_rescue_rate(doc)?;
+        if rescue < floor {
+            return Err(format!(
+                "/jobs/warm_disk: tier rescue rate {rescue:.3} below the {floor:.3} floor \
+                 (restart did not rewarm)"
+            ));
+        }
+        rescue_note = format!(", tier rescue rate {rescue:.3} >= {floor:.3}");
+    }
     let samples = num_at(doc, "/slo/samples")?;
     Ok(format!(
-        "{base}; slo pass over {samples} windowed jobs, {} drift kinds in calibration",
+        "{base}; slo pass over {samples} windowed jobs, {} drift kinds in calibration{rescue_note}",
         kinds.len()
     ))
 }
@@ -421,18 +483,37 @@ fn main() -> ExitCode {
         };
     }
     if let Some(mode @ ("--service" | "--slo")) = args.first().map(String::as_str) {
+        let mut rest = &args[1..];
+        let mut min_disk_hit_rate = None;
+        if rest.first().map(String::as_str) == Some("--min-disk-hit-rate") {
+            let Some(raw) = rest.get(1) else {
+                return fail("--min-disk-hit-rate needs a value in 0..1");
+            };
+            match raw.parse::<f64>() {
+                Ok(v) if (0.0..=1.0).contains(&v) => min_disk_hit_rate = Some(v),
+                _ => return fail(&format!("--min-disk-hit-rate: `{raw}` is not in 0..1")),
+            }
+            if mode != "--slo" {
+                return fail("--min-disk-hit-rate is only valid with --slo");
+            }
+            rest = &rest[2..];
+        }
         let service_check: Check = if mode == "--slo" {
-            check_slo
+            Box::new(move |doc| check_slo(doc, min_disk_hit_rate))
         } else {
-            check_service
+            Box::new(check_service)
         };
-        let Some(report_path) = args.get(1) else {
+        let Some(report_path) = rest.first() else {
             return fail(&format!(
-                "usage: telemetry_check {mode} <service-report.json> [trace.json]"
+                "usage: telemetry_check {mode} [--min-disk-hit-rate X] \
+                 <service-report.json> [trace.json]"
             ));
         };
-        let checks: Vec<(&String, Check)> = match args.get(2) {
-            Some(trace_path) => vec![(report_path, service_check), (trace_path, check_trace)],
+        let checks: Vec<(&String, Check)> = match rest.get(1) {
+            Some(trace_path) => vec![
+                (report_path, service_check),
+                (trace_path, Box::new(check_trace)),
+            ],
             None => vec![(report_path, service_check)],
         };
         return run_checks(checks);
@@ -446,13 +527,16 @@ fn main() -> ExitCode {
     };
 
     let checks: Vec<(&String, Check)> = match args.get(1) {
-        Some(trace_path) => vec![(report_path, check_report), (trace_path, check_trace)],
-        None => vec![(report_path, check_report)],
+        Some(trace_path) => vec![
+            (report_path, Box::new(check_report) as Check),
+            (trace_path, Box::new(check_trace)),
+        ],
+        None => vec![(report_path, Box::new(check_report) as Check)],
     };
     run_checks(checks)
 }
 
-type Check = fn(&JsonValue) -> Result<String, String>;
+type Check = Box<dyn Fn(&JsonValue) -> Result<String, String>>;
 
 fn run_checks(checks: Vec<(&String, Check)>) -> ExitCode {
     for (path, check) in checks {

@@ -102,8 +102,23 @@ seeded synthetic workload against it and reports what happened):
                                 function of it (default 1)
   --queue-cap <N>               bounded admission-queue capacity; overflow
                                 is typed backpressure (default 64)
-  --cache-budget <MiB>          pattern-keyed factor-cache budget
-                                (default 64)
+  --cache-budget <MiB>          pattern-keyed factor-cache device-tier
+                                budget (default 64)
+  --host-cache-budget <MiB>     host memory tier: plans evicted from the
+                                device tier demote here instead of
+                                dropping (default 64; 0 disables)
+  --cache-dir <dir>             persistent disk cache tier: newly built
+                                plans are persisted write-behind into
+                                <dir> (crash-consistent, checksummed)
+                                and misses consult it before going cold
+  --rewarm                      repopulate the host tier from --cache-dir
+                                before accepting jobs (warm restart;
+                                previously cached patterns skip all
+                                symbolic work)
+  --disk-fault-plan <spec>      inject deterministic disk-tier faults:
+                                comma list of diskfault:read=N
+                                [:persistent], diskfault:write=N
+                                [:persistent] (degraded-mode chaos)
   --hot-patterns <N>            distinct hot patterns in the mix (default 3)
   --hot-n <N> / --cold-n <N>    matrix dimensions of the hot / cold
                                 segments (defaults 300 / 200)
@@ -522,6 +537,21 @@ pub fn parse_serve_options(args: &[String]) -> Result<ServeOptions, CliError> {
                 o.service.cache_budget_bytes =
                     (int("--cache-budget", value("--cache-budget")?)? as u64) << 20;
             }
+            "--host-cache-budget" => {
+                o.service.host_cache_budget_bytes =
+                    (int("--host-cache-budget", value("--host-cache-budget")?)? as u64) << 20;
+            }
+            "--cache-dir" => {
+                o.service.cache_dir = Some(std::path::PathBuf::from(value("--cache-dir")?));
+            }
+            "--rewarm" => o.service.rewarm = true,
+            "--disk-fault-plan" => {
+                let spec = value("--disk-fault-plan")?;
+                o.service.disk_fault_plan = Some(
+                    FaultPlan::parse(&spec)
+                        .map_err(|e| CliError::Usage(format!("--disk-fault-plan: {e}")))?,
+                );
+            }
             "--hot-patterns" => {
                 o.workload.hot_patterns = int("--hot-patterns", value("--hot-patterns")?)?.max(1);
             }
@@ -594,6 +624,16 @@ pub fn parse_serve_options(args: &[String]) -> Result<ServeOptions, CliError> {
                 .into(),
         ));
     }
+    if o.service.rewarm && o.service.cache_dir.is_none() {
+        return Err(CliError::Usage(
+            "--rewarm needs --cache-dir: there is no persistent tier to rewarm from".into(),
+        ));
+    }
+    if o.service.disk_fault_plan.is_some() && o.service.cache_dir.is_none() {
+        return Err(CliError::Usage(
+            "--disk-fault-plan needs --cache-dir: there is no disk tier to fault".into(),
+        ));
+    }
     if o.fault_plan.is_some() && !fault_every_set {
         o.workload.fault_every = 7;
     }
@@ -638,6 +678,20 @@ fn run_serve(o: &ServeOptions, out: &mut dyn Write) -> Result<(), CliError> {
             o.service.quarantine_strikes,
         )?;
     }
+    if let Some(dir) = &o.service.cache_dir {
+        writeln!(
+            out,
+            "disk tier: {} (host tier {} MiB{}{})",
+            dir.display(),
+            o.service.host_cache_budget_bytes >> 20,
+            if o.service.rewarm { ", rewarm" } else { "" },
+            if o.service.disk_fault_plan.is_some() {
+                ", disk faults injected"
+            } else {
+                ""
+            },
+        )?;
+    }
     let recorder = o.trace_out.as_ref().map(|_| Arc::new(Recorder::new()));
     let svc = match &recorder {
         Some(rec) => SolverService::start_traced(o.service.clone(), Arc::clone(rec)),
@@ -646,25 +700,34 @@ fn run_serve(o: &ServeOptions, out: &mut dyn Write) -> Result<(), CliError> {
 
     let mut pending: VecDeque<JobHandle> = VecDeque::new();
     let mut failures: Vec<(u64, GpluError)> = Vec::new();
+    let mut client_shed = 0u64;
     for spec in jobs {
         loop {
-            match svc.submit(spec.clone()) {
+            // Bounded exponential backoff with deterministic jitter
+            // absorbs transient queue-full spikes without the client
+            // treating backpressure as terminal; only when the backoff
+            // budget is exhausted does the driver reclaim a slot by
+            // draining the oldest in-flight job.
+            match svc.submit_with_backoff(spec.clone(), 4) {
                 Ok(h) => {
                     pending.push_back(h);
                     break;
                 }
-                Err(GpluError::QueueFull { .. }) => {
-                    // Backpressure: drain the oldest in-flight job before
-                    // retrying, so the driver never busy-spins the queue.
-                    match pending.pop_front() {
-                        Some(h) => {
-                            let id = h.id();
-                            if let Err(e) = h.wait() {
-                                failures.push((id, e));
-                            }
+                Err(GpluError::QueueFull { .. }) => match pending.pop_front() {
+                    Some(h) => {
+                        let id = h.id();
+                        if let Err(e) = h.wait() {
+                            failures.push((id, e));
                         }
-                        None => std::thread::yield_now(),
                     }
+                    None => std::thread::yield_now(),
+                },
+                Err(GpluError::LoadShed { .. }) => {
+                    // Degraded-mode shedding is the service protecting
+                    // itself — accounted, not an error and not retried
+                    // (retrying shed traffic defeats the shed).
+                    client_shed += 1;
+                    break;
                 }
                 Err(e) => return Err(e.into()),
             }
@@ -675,6 +738,15 @@ fn run_serve(o: &ServeOptions, out: &mut dyn Write) -> Result<(), CliError> {
         if let Err(e) = h.wait() {
             failures.push((id, e));
         }
+    }
+    // Graceful drain-and-flush: every plan built by the run is durable
+    // before the report is captured (no-op without --cache-dir).
+    svc.drain();
+    if client_shed > 0 {
+        writeln!(
+            out,
+            "load shed: {client_shed} best-effort jobs dropped while degraded"
+        )?;
     }
 
     let report = ServiceReport::capture_with_slo(&svc, o.slo.as_ref());
@@ -1612,12 +1684,19 @@ mod tests {
             report
                 .get("service_schema_version")
                 .and_then(JsonValue::as_u64),
-            Some(2)
+            Some(3)
         );
         for section in ["metrics", "tenants", "slo", "drift"] {
             assert!(
                 report.get(section).is_some(),
                 "v2 observability section {section} missing"
+            );
+        }
+        let cache = report.get("cache").expect("cache section");
+        for tier in ["host", "disk"] {
+            assert!(
+                cache.get(tier).is_some(),
+                "v3 cache tier section {tier} missing"
             );
         }
         let jobs = report.get("jobs").expect("jobs section");

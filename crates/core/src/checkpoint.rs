@@ -488,6 +488,7 @@ fn phase_tag(p: Phase) -> u8 {
         Phase::Levelize => 2,
         Phase::Numeric => 3,
         Phase::Solve => 4,
+        Phase::Cache => 5,
     }
 }
 
@@ -498,6 +499,7 @@ fn phase_from_tag(t: u8) -> Result<Phase, GpluError> {
         2 => Phase::Levelize,
         3 => Phase::Numeric,
         4 => Phase::Solve,
+        5 => Phase::Cache,
         other => return Err(corrupt(format!("unknown recovery phase tag {other}"))),
     })
 }
@@ -556,6 +558,11 @@ fn encode_recovery(log: &RecoveryLog) -> Vec<u8> {
                 e.u8(8);
                 e.u64(*abandoned as u64);
             }
+            RecoveryAction::DiskEntryRejected { key, reason } => {
+                e.u8(9);
+                e.u64(*key);
+                e.str(reason);
+            }
         }
     }
     e.into_bytes()
@@ -600,6 +607,10 @@ fn decode_recovery(b: &[u8]) -> Result<RecoveryLog, GpluError> {
             },
             8 => RecoveryAction::Resymbolic {
                 abandoned: d.u64("rec.abandoned").map_err(corrupt_ck)? as usize,
+            },
+            9 => RecoveryAction::DiskEntryRejected {
+                key: d.u64("rec.key").map_err(corrupt_ck)?,
+                reason: d.str("rec.reason").map_err(corrupt_ck)?,
             },
             other => return Err(corrupt(format!("unknown recovery action tag {other}"))),
         };

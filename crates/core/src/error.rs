@@ -106,6 +106,17 @@ pub enum GpluError {
     },
     /// The job was cancelled by its submitter before a worker started it.
     Cancelled,
+    /// The service shed this job at admission: it is running degraded
+    /// (e.g. the persistent cache tier is down) and under queue pressure,
+    /// and the job's tenant is not on the protected list. Distinct from
+    /// [`GpluError::QueueFull`] so clients can tell "retry soon" from
+    /// "reduce load until the degradation clears".
+    LoadShed {
+        /// Tenant whose job was shed.
+        tenant: String,
+        /// Queue depth at the shed decision.
+        depth: usize,
+    },
     /// The solver service has quarantined this job's sparsity pattern:
     /// earlier jobs on the same pattern kept failing numeric acceptance,
     /// so the service fast-rejects it without burning GPU time. Submit
@@ -176,6 +187,11 @@ impl fmt::Display for GpluError {
                 "deadline exceeded: waited {waited_ns} ns against a {deadline_ns} ns deadline"
             ),
             GpluError::Cancelled => write!(f, "job cancelled before execution"),
+            GpluError::LoadShed { tenant, depth } => write!(
+                f,
+                "load shed: tenant `{tenant}` job dropped at queue depth {depth} \
+                 while the service is degraded"
+            ),
             GpluError::Quarantined {
                 pattern_fp,
                 strikes,

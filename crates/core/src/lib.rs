@@ -37,6 +37,7 @@ pub mod checkpoint;
 pub mod drift;
 pub mod error;
 pub mod pipeline;
+pub mod plan_codec;
 pub mod preprocess;
 pub mod recovery;
 pub mod refactor;
@@ -51,6 +52,7 @@ pub use drift::{DriftProfiler, DriftRow, DriftTable, DRIFT_FLAG_THRESHOLD};
 pub use error::GpluError;
 pub use gplu_numeric::{PivotPolicy, DEFAULT_PIVOT_TAU};
 pub use pipeline::{LuFactorization, LuOptions, NumericFormat, ResidualGate, SymbolicEngine};
+pub use plan_codec::{decode_plan, encode_plan, plan_matches, PLAN_SCHEMA_VERSION};
 pub use preprocess::{preprocess, PreprocessOptions, PreprocessOutcome};
 pub use recovery::{Phase, RecoveryAction, RecoveryEvent, RecoveryLog};
 pub use refactor::RefactorPlan;

@@ -24,6 +24,8 @@ pub enum Phase {
     Numeric,
     /// Triangular solve.
     Solve,
+    /// Factor-cache tier management (disk-tier loads and rewarm).
+    Cache,
 }
 
 impl fmt::Display for Phase {
@@ -34,6 +36,7 @@ impl fmt::Display for Phase {
             Phase::Levelize => "levelize",
             Phase::Numeric => "numeric",
             Phase::Solve => "solve",
+            Phase::Cache => "cache",
         };
         f.write_str(s)
     }
@@ -111,6 +114,15 @@ pub enum RecoveryAction {
         /// Entries the abandoned in-place expansion had inserted.
         abandoned: usize,
     },
+    /// A persisted factor-cache entry failed its checksum, schema-version
+    /// or fingerprint validation on load and was rejected; the job fell
+    /// back to a cold factorization (never a wrong answer).
+    DiskEntryRejected {
+        /// Pattern fingerprint the rejected entry was stored under.
+        key: u64,
+        /// Why the entry was refused.
+        reason: String,
+    },
 }
 
 impl fmt::Display for RecoveryAction {
@@ -156,6 +168,12 @@ impl fmt::Display for RecoveryAction {
                 write!(
                     f,
                     "full re-symbolic pass (in-place expansion abandoned after +{abandoned})"
+                )
+            }
+            RecoveryAction::DiskEntryRejected { key, reason } => {
+                write!(
+                    f,
+                    "disk cache entry {key:#018x} rejected ({reason}); cold fallback"
                 )
             }
         }

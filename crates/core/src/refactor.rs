@@ -48,40 +48,40 @@ use gplu_trace::{TraceSink, NOOP};
 pub struct RefactorPlan {
     /// Structure-only fingerprint of the input pattern; every
     /// `refactorize` call is checked against it.
-    pattern_fp: u64,
-    p_row: Permutation,
-    p_col: Permutation,
+    pub(crate) pattern_fp: u64,
+    pub(crate) p_row: Permutation,
+    pub(crate) p_col: Permutation,
     /// Pre-processed matrix template: structure reused, values rewritten
     /// per refactorization.
-    pre: Csr,
+    pub(crate) pre: Csr,
     /// Filled (post-symbolic) CSC pattern template.
-    lu_pattern: Csc,
-    levels: Levels,
-    pivot: PivotCache,
+    pub(crate) lu_pattern: Csc,
+    pub(crate) levels: Levels,
+    pub(crate) pivot: PivotCache,
     /// Input entry `k` → its position in `pre.vals` (after permutation).
-    scatter_pre: Vec<usize>,
+    pub(crate) scatter_pre: Vec<usize>,
     /// Row `i` → position of the diagonal entry in `pre.vals` (always
     /// present: pre-processing completes the diagonal).
-    pre_diag: Vec<usize>,
+    pub(crate) pre_diag: Vec<usize>,
     /// `pre.vals` position → position in `lu_pattern.vals` (the filled
     /// pattern is a superset; fill-in slots start at 0.0).
-    pre_to_csc: Vec<usize>,
+    pub(crate) pre_to_csc: Vec<usize>,
     /// Supernode blocking plan, captured when the plan's format is
     /// [`NumericFormat::SparseBlocked`] — warm refactorizations replay it
     /// without re-scanning the pattern (the blocking pass is
     /// pattern-only, exactly like the pivot cache).
-    block_plan: Option<BlockPlan>,
-    format: NumericFormat,
-    repair_value: f64,
-    repair_singular: bool,
+    pub(crate) block_plan: Option<BlockPlan>,
+    pub(crate) format: NumericFormat,
+    pub(crate) repair_value: f64,
+    pub(crate) repair_singular: bool,
     /// Pivoting policy the cold factorization ran with. A `Threshold`
     /// plan's permutations already bake in the discovered row order, so
     /// every warm call re-validates that order against the new values and
     /// rejects with [`GpluError::StalePivotOrder`] on drift — the warm
     /// path never escalates and never replays a stale pivot sequence.
-    pivot_policy: PivotPolicy,
+    pub(crate) pivot_policy: PivotPolicy,
     /// Residual acceptance gate replayed on every warm factorization.
-    gate: ResidualGate,
+    pub(crate) gate: ResidualGate,
 }
 
 impl RefactorPlan {
@@ -98,6 +98,12 @@ impl RefactorPlan {
     /// Level schedule reused by every refactorization.
     pub fn levels(&self) -> &Levels {
         &self.levels
+    }
+
+    /// The filled (post-symbolic) CSC pattern template. A rewarmed plan
+    /// rebuilds its triangular-solve schedule from this structure.
+    pub fn lu_pattern(&self) -> &Csc {
+        &self.lu_pattern
     }
 
     /// Approximate host-memory footprint of the plan (the quantity a

@@ -75,6 +75,29 @@ pub struct LaunchFault {
     pub persistent: bool,
 }
 
+/// Which side of a disk operation a [`DiskFault`] targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskOp {
+    /// Loading a persisted entry.
+    Read,
+    /// Persisting or removing an entry.
+    Write,
+}
+
+/// A disk-tier I/O failure scheduled by per-op ordinal (1-based).
+///
+/// Read and write ordinals count independently: `diskfault:read=2` fires
+/// on the second disk *read*, however many writes happen in between.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiskFault {
+    /// Which operation stream the fault is scheduled on.
+    pub op: DiskOp,
+    /// Operation ordinal (per stream) the fault fires on.
+    pub nth: u64,
+    /// Transient vs persistent, as for [`OomFault`].
+    pub persistent: bool,
+}
+
 /// A deterministic schedule of injected device faults.
 ///
 /// Immutable once built; attach it to a GPU with
@@ -86,6 +109,7 @@ pub struct FaultPlan {
     squeezes: Vec<SqueezeFault>,
     launches: Vec<LaunchFault>,
     crashes: Vec<u64>,
+    disk: Vec<DiskFault>,
 }
 
 impl FaultPlan {
@@ -100,6 +124,7 @@ impl FaultPlan {
             && self.squeezes.is_empty()
             && self.launches.is_empty()
             && self.crashes.is_empty()
+            && self.disk.is_empty()
     }
 
     /// Fails the `nth` allocation (1-based) once; the retry succeeds.
@@ -155,6 +180,27 @@ impl FaultPlan {
         self
     }
 
+    /// Fails the `nth` disk operation of the given kind once.
+    pub fn disk_fault(mut self, op: DiskOp, nth: u64) -> Self {
+        self.disk.push(DiskFault {
+            op,
+            nth,
+            persistent: false,
+        });
+        self
+    }
+
+    /// Fails every disk operation of the given kind from the `nth` onward
+    /// (the disk tier never recovers — degraded-mode territory).
+    pub fn persistent_disk_fault(mut self, op: DiskOp, nth: u64) -> Self {
+        self.disk.push(DiskFault {
+            op,
+            nth,
+            persistent: true,
+        });
+        self
+    }
+
     /// Scheduled OOM faults.
     pub fn oom_faults(&self) -> &[OomFault] {
         &self.oom
@@ -175,12 +221,19 @@ impl FaultPlan {
         &self.launches
     }
 
+    /// Scheduled disk-tier faults.
+    pub fn disk_faults(&self) -> &[DiskFault] {
+        &self.disk
+    }
+
     /// Parses a comma-separated spec string:
     ///
     /// * `oom:alloc=N[:persistent]` — OOM on the Nth allocation,
     /// * `squeeze:alloc=N:K` — shrink capacity to K% at the Nth allocation,
     /// * `badlaunch:KERNEL=N[:persistent]` — fail the Nth launch of KERNEL,
     /// * `crash:at=N` — kill the run at the Nth checkpoint crash point,
+    /// * `diskfault:read=N[:persistent]` / `diskfault:write=N[:persistent]`
+    ///   — fail the Nth disk-tier read/write,
     /// * `seed:S` — expand a seeded schedule (see [`FaultPlan::from_seed`]).
     ///
     /// Example: `oom:alloc=3,badlaunch:numeric_dense=1,squeeze:alloc=4:50`.
@@ -251,6 +304,31 @@ impl FaultPlan {
                     }
                     plan = plan.crash_at(nth);
                 }
+                "diskfault" => {
+                    let body = parts
+                        .next()
+                        .ok_or_else(|| format!("'{item}': expected read=N or write=N"))?;
+                    let (key, nth) = body
+                        .split_once('=')
+                        .ok_or_else(|| format!("'{item}': expected read=N or write=N"))?;
+                    let op = match key {
+                        "read" => DiskOp::Read,
+                        "write" => DiskOp::Write,
+                        other => {
+                            return Err(format!(
+                                "'{item}': unknown trigger '{other}' (expected read or write)"
+                            ));
+                        }
+                    };
+                    let nth = parse_positive(nth, item)?;
+                    match parts.next() {
+                        None => plan = plan.disk_fault(op, nth),
+                        Some("persistent") => plan = plan.persistent_disk_fault(op, nth),
+                        Some(other) => {
+                            return Err(format!("'{item}': unknown modifier '{other}'"));
+                        }
+                    }
+                }
                 "seed" => {
                     let seed = parts
                         .next()
@@ -262,11 +340,12 @@ impl FaultPlan {
                     plan.squeezes.extend(seeded.squeezes);
                     plan.launches.extend(seeded.launches);
                     plan.crashes.extend(seeded.crashes);
+                    plan.disk.extend(seeded.disk);
                 }
                 other => {
                     return Err(format!(
                         "'{item}': unknown fault kind '{other}' \
-                         (expected oom, squeeze, badlaunch, crash or seed)"
+                         (expected oom, squeeze, badlaunch, crash, diskfault or seed)"
                     ));
                 }
             }
@@ -371,10 +450,13 @@ pub struct FaultInjector {
     plan: FaultPlan,
     allocs: AtomicU64,
     launch_counts: Mutex<HashMap<String, u64>>,
+    disk_reads: AtomicU64,
+    disk_writes: AtomicU64,
     injected_oom: AtomicU64,
     injected_launches: AtomicU64,
     injected_squeezes: AtomicU64,
     injected_crashes: AtomicU64,
+    injected_disk: AtomicU64,
 }
 
 impl FaultInjector {
@@ -384,10 +466,13 @@ impl FaultInjector {
             plan,
             allocs: AtomicU64::new(0),
             launch_counts: Mutex::new(HashMap::new()),
+            disk_reads: AtomicU64::new(0),
+            disk_writes: AtomicU64::new(0),
             injected_oom: AtomicU64::new(0),
             injected_launches: AtomicU64::new(0),
             injected_squeezes: AtomicU64::new(0),
             injected_crashes: AtomicU64::new(0),
+            injected_disk: AtomicU64::new(0),
         }
     }
 
@@ -469,6 +554,32 @@ impl FaultInjector {
         hit
     }
 
+    /// Advances the disk-op ordinal for `op` and reports whether a
+    /// scheduled disk fault fires there. Called by the service's
+    /// disk-tier adapter around every plan-store read/write.
+    pub fn on_disk_op(&self, op: DiskOp) -> bool {
+        if self.plan.disk.is_empty() {
+            return false;
+        }
+        let counter = match op {
+            DiskOp::Read => &self.disk_reads,
+            DiskOp::Write => &self.disk_writes,
+        };
+        let nth = counter.fetch_add(1, Ordering::Relaxed) + 1;
+        let hit = self.plan.disk.iter().any(|f| {
+            f.op == op
+                && if f.persistent {
+                    nth >= f.nth
+                } else {
+                    nth == f.nth
+                }
+        });
+        if hit {
+            self.injected_disk.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
     /// Injected OOM failures so far.
     pub fn injected_oom(&self) -> u64 {
         self.injected_oom.load(Ordering::Relaxed)
@@ -487,6 +598,11 @@ impl FaultInjector {
     /// Injected crashes so far (0 or 1 per run in practice).
     pub fn injected_crashes(&self) -> u64 {
         self.injected_crashes.load(Ordering::Relaxed)
+    }
+
+    /// Injected disk-tier faults so far.
+    pub fn injected_disk(&self) -> u64 {
+        self.injected_disk.load(Ordering::Relaxed)
     }
 }
 
@@ -594,6 +710,37 @@ mod tests {
             "crash:at=0",
             "crash:alloc=1",
             "crash:at=1:persistent",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "'{bad}' should be rejected");
+        }
+    }
+
+    #[test]
+    fn diskfault_parse_builder_and_injector_agree() {
+        let parsed =
+            FaultPlan::parse("diskfault:read=2, diskfault:write=1:persistent").expect("valid");
+        let built = FaultPlan::new()
+            .disk_fault(DiskOp::Read, 2)
+            .persistent_disk_fault(DiskOp::Write, 1);
+        assert_eq!(parsed, built);
+        assert_eq!(built.disk_faults().len(), 2);
+        assert!(!FaultPlan::new().disk_fault(DiskOp::Read, 1).is_empty());
+
+        let inj = FaultInjector::new(built);
+        // Read and write ordinals count independently.
+        assert!(!inj.on_disk_op(DiskOp::Read), "first read is clean");
+        assert!(inj.on_disk_op(DiskOp::Write), "persistent from write #1");
+        assert!(inj.on_disk_op(DiskOp::Read), "second read fires");
+        assert!(!inj.on_disk_op(DiskOp::Read), "transient: third is clean");
+        assert!(inj.on_disk_op(DiskOp::Write), "persistent keeps firing");
+        assert_eq!(inj.injected_disk(), 3);
+
+        for bad in [
+            "diskfault",
+            "diskfault:read",
+            "diskfault:read=0",
+            "diskfault:seek=1",
+            "diskfault:read=1:sometimes",
         ] {
             assert!(FaultPlan::parse(bad).is_err(), "'{bad}' should be rejected");
         }

@@ -50,7 +50,10 @@ pub use clock::SimTime;
 pub use config::GpuConfig;
 pub use cost::CostModel;
 pub use error::SimError;
-pub use fault::{FaultInjector, FaultPlan, LaunchFault, OomFault, SqueezeFault, FAULT_PLAN_ENV};
+pub use fault::{
+    DiskFault, DiskOp, FaultInjector, FaultPlan, LaunchFault, OomFault, SqueezeFault,
+    FAULT_PLAN_ENV,
+};
 pub use kernel::{BlockCtx, Kernel};
 pub use launch::{Exec, Gpu, KernelReport, LaunchKind};
 pub use memory::{DeviceAlloc, DeviceMemory};

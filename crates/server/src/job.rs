@@ -60,6 +60,11 @@ pub struct JobSpec {
     /// Tenant this job is attributed to: the service keys its latency
     /// histograms and SLO breakdowns per tenant.
     pub tenant: String,
+    /// Marks this job sheddable: when the service is degraded (the
+    /// persistent cache tier is down) *and* under queue pressure, jobs
+    /// flagged best-effort are refused at admission with
+    /// [`GpluError::LoadShed`] so protected traffic keeps its capacity.
+    pub best_effort: bool,
 }
 
 impl JobSpec {
@@ -74,6 +79,7 @@ impl JobSpec {
             hot: false,
             mem_override: None,
             tenant: String::from("default"),
+            best_effort: false,
         }
     }
 
@@ -100,6 +106,12 @@ impl JobSpec {
         self.deadline_ns = Some(ns);
         self
     }
+
+    /// Marks this job sheddable under degraded-mode queue pressure.
+    pub fn best_effort(mut self) -> Self {
+        self.best_effort = true;
+        self
+    }
 }
 
 /// Which tier served the job.
@@ -108,8 +120,16 @@ pub enum ExecTier {
     /// Full pipeline: preprocess + symbolic + levelize + numeric, plus
     /// plan construction for the cache.
     Cold,
-    /// Pattern hit: value scatter + numeric kernels only.
+    /// Device-tier pattern hit: value scatter + numeric kernels only.
     Warm,
+    /// Pattern hit rescued from the host memory tier (the plan was
+    /// demoted out of the device arena, or rewarmed at boot) and
+    /// promoted back; numeric kernels still run.
+    WarmHost,
+    /// Pattern hit rescued from the persistent disk tier: the plan was
+    /// deserialized, validated, and promoted; all symbolic work was
+    /// still skipped.
+    WarmDisk,
     /// Pattern *and* value hit: factors reused outright.
     CachedSolve,
 }
@@ -120,6 +140,8 @@ impl ExecTier {
         match self {
             ExecTier::Cold => "cold",
             ExecTier::Warm => "warm",
+            ExecTier::WarmHost => "warm_host",
+            ExecTier::WarmDisk => "warm_disk",
             ExecTier::CachedSolve => "cached_solve",
         }
     }

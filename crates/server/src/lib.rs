@@ -17,17 +17,27 @@
 //! [`gplu_core::RefactorPlan`] fast path, or, when even the values match
 //! a previous job, no factorization at all.
 //!
-//! Three execution tiers, cheapest first:
+//! Five execution tiers, cheapest first:
 //!
 //! | tier | pattern | values | work |
 //! |---|---|---|---|
 //! | [`ExecTier::CachedSolve`] | hit | hit | reuse factors, solve only |
-//! | [`ExecTier::Warm`] | hit | miss | value scatter + numeric kernels |
+//! | [`ExecTier::Warm`] | device hit | miss | value scatter + numeric kernels |
+//! | [`ExecTier::WarmHost`] | host hit | miss | promote + numeric kernels |
+//! | [`ExecTier::WarmDisk`] | disk hit | miss | decode + validate + numeric |
 //! | [`ExecTier::Cold`] | miss | — | full pipeline + plan build |
 //!
-//! The cache is budgeted against a [`gplu_sim::DeviceMemory`] arena and
-//! evicts least-recently-used patterns; entries are `Arc`-shared, so an
-//! eviction can never corrupt a job that already holds the entry.
+//! The cache is **tiered**: the hot set is budgeted against a
+//! [`gplu_sim::DeviceMemory`] arena and evicts least-recently-used
+//! patterns into a separately budgeted host-memory tier; newly built
+//! plans are also persisted write-behind into a crash-consistent
+//! on-disk [`gplu_checkpoint::PlanStore`], so a restarted service
+//! rewarms instead of recomputing symbolic work
+//! ([`ServiceConfig::rewarm`]). Entries are `Arc`-shared, so an
+//! eviction can never corrupt a job that already holds the entry, and a
+//! persisted entry that fails its checksum/schema/fingerprint guards is
+//! rejected with an audit trail — corruption costs time, never
+//! correctness.
 //!
 //! Everything composes with the existing subsystems rather than
 //! bypassing them: per-job fault plans run the PR-2 recovery ladder
@@ -42,7 +52,7 @@ pub mod report;
 pub mod service;
 pub mod workload;
 
-pub use cache::{CacheCounters, CachedFactor, FactorCache};
+pub use cache::{CacheCounters, CacheTier, CachedFactor, FactorCache, DISK_FAILURE_LIMIT};
 pub use job::{ExecTier, JobHandle, JobKind, JobResult, JobSpec};
 pub use observe::{
     JobObservation, ServiceObs, SloEval, SloSpec, DEFAULT_SLO_WINDOW, SLO_SCHEMA_VERSION,

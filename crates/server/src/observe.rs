@@ -345,9 +345,20 @@ fn tier_index(tier: ExecTier) -> usize {
     match tier {
         ExecTier::Cold => 0,
         ExecTier::Warm => 1,
-        ExecTier::CachedSolve => 2,
+        ExecTier::WarmHost => 2,
+        ExecTier::WarmDisk => 3,
+        ExecTier::CachedSolve => 4,
     }
 }
+
+/// Every tier, in [`tier_index`] order.
+const TIERS: [ExecTier; 5] = [
+    ExecTier::Cold,
+    ExecTier::Warm,
+    ExecTier::WarmHost,
+    ExecTier::WarmDisk,
+    ExecTier::CachedSolve,
+];
 
 /// The live observability bundle the service threads through its
 /// workers. See the module docs for the three sub-systems.
@@ -365,14 +376,19 @@ pub struct ServiceObs {
     /// upheld from the caller's side).
     tenant_handles: Mutex<HashMap<String, Arc<TenantHandles>>>,
     /// Per-tier wall/sim handles, indexed by [`tier_index`].
-    tier_wall: [Arc<Histogram>; 3],
-    tier_sim: [Arc<Histogram>; 3],
+    tier_wall: [Arc<Histogram>; 5],
+    tier_sim: [Arc<Histogram>; 5],
     window: SloWindow,
     queue_depth: Arc<Gauge>,
     in_flight: Arc<Gauge>,
     cache_entries: Arc<Gauge>,
     cache_used_bytes: Arc<Gauge>,
     cache_evictions: Arc<Gauge>,
+    host_entries: Arc<Gauge>,
+    host_used_bytes: Arc<Gauge>,
+    /// 1 while the persistent cache tier is in the `down` degraded mode.
+    disk_tier_down: Arc<Gauge>,
+    load_shed: Arc<Counter>,
     completed: Arc<Counter>,
     failed: Arc<Counter>,
     rejected: Arc<Counter>,
@@ -391,8 +407,7 @@ impl ServiceObs {
     pub fn new(slo_window: usize, drift_sample_every: u64) -> ServiceObs {
         let registry = MetricsRegistry::new();
         let tier_hist = |metric: &str| {
-            [ExecTier::Cold, ExecTier::Warm, ExecTier::CachedSolve]
-                .map(|t| registry.histogram(&format!("service.{metric}{{tier={}}}", t.label())))
+            TIERS.map(|t| registry.histogram(&format!("service.{metric}{{tier={}}}", t.label())))
         };
         ServiceObs {
             queue_depth: registry.gauge("service.queue_depth"),
@@ -400,6 +415,10 @@ impl ServiceObs {
             cache_entries: registry.gauge("service.cache_entries"),
             cache_used_bytes: registry.gauge("service.cache_used_bytes"),
             cache_evictions: registry.gauge("service.cache_evictions"),
+            host_entries: registry.gauge("service.cache_host_entries"),
+            host_used_bytes: registry.gauge("service.cache_host_used_bytes"),
+            disk_tier_down: registry.gauge("service.disk_tier_down"),
+            load_shed: registry.counter("service.load_shed"),
             completed: registry.counter("service.completed"),
             failed: registry.counter("service.failed"),
             rejected: registry.counter("service.rejected"),
@@ -502,6 +521,19 @@ impl ServiceObs {
         self.cache_entries.set(entries as i64);
         self.cache_used_bytes.set(used_bytes as i64);
         self.cache_evictions.set(evictions as i64);
+    }
+
+    /// Refreshes the tiered-cache gauges: host-tier residency and the
+    /// disk tier's degraded-mode flag.
+    pub fn on_tier_state(&self, host_entries: usize, host_used_bytes: u64, disk_down: bool) {
+        self.host_entries.set(host_entries as i64);
+        self.host_used_bytes.set(host_used_bytes as i64);
+        self.disk_tier_down.set(i64::from(disk_down));
+    }
+
+    /// A best-effort job was shed at admission under degraded mode.
+    pub fn on_load_shed(&self) {
+        self.load_shed.inc();
     }
 
     /// Folds one completed job into the histograms and the SLO window.

@@ -7,6 +7,12 @@
 //! exposition), `tenants` (per-tenant latency quantiles), `slo` (the
 //! sliding-window verdict `telemetry_check --slo` gates on), and
 //! `drift` (the cost-model drift table).
+//!
+//! Schema v3 adds the tiered-cache surface: `warm_host` / `warm_disk`
+//! job counts and shares, the `cache.host` subsection (budget,
+//! residency, hits, demotions), the `cache.disk` subsection (enabled,
+//! degraded `down` flag, write-behind and rejection counters, rewarm
+//! count), and `jobs.load_shed` for degradation-aware admission.
 
 use crate::cache::CacheCounters;
 use crate::observe::{SloEval, SloSpec};
@@ -15,7 +21,7 @@ use gplu_core::DriftTable;
 use gplu_trace::json::JsonValue;
 
 /// Version tag of the service-report JSON schema.
-pub const SERVICE_SCHEMA_VERSION: u64 = 2;
+pub const SERVICE_SCHEMA_VERSION: u64 = 3;
 
 /// Linear-interpolation percentile over an unsorted sample (ns). `p` in
 /// `[0, 100]`; returns 0.0 for an empty sample.
@@ -49,6 +55,16 @@ pub struct ServiceReport {
     pub cache_used_bytes: u64,
     /// Configured cache budget.
     pub cache_budget_bytes: u64,
+    /// Patterns resident in the host tier.
+    pub host_entries: usize,
+    /// Host-tier bytes charged.
+    pub host_used_bytes: u64,
+    /// Configured host-tier budget (0 = tier disabled).
+    pub host_budget_bytes: u64,
+    /// Whether the service was configured with a persistent tier.
+    pub disk_enabled: bool,
+    /// Whether the persistent tier is in the `down` degraded mode.
+    pub disk_down: bool,
     /// Queue capacity.
     pub queue_cap: usize,
     /// Full metrics-registry snapshot (`None` when observability off).
@@ -80,6 +96,11 @@ impl ServiceReport {
             cache_entries: svc.cache().len(),
             cache_used_bytes: svc.cache().used_bytes(),
             cache_budget_bytes: svc.cache_budget(),
+            host_entries: svc.cache().host_len(),
+            host_used_bytes: svc.cache().host_used_bytes(),
+            host_budget_bytes: svc.cache().host_capacity(),
+            disk_enabled: svc.cache().disk_enabled(),
+            disk_down: svc.cache().disk_down(),
             queue_cap: svc.queue_cap(),
             metrics: obs.map(|o| o.registry().to_json()),
             tenants: obs.map(|o| o.tenants_json()),
@@ -88,7 +109,7 @@ impl ServiceReport {
         }
     }
 
-    /// The JSON document (`service_schema_version` 2).
+    /// The JSON document (`service_schema_version` 3).
     pub fn to_json(&self) -> JsonValue {
         let s = &self.stats;
         let completed = s.completed.max(1) as f64;
@@ -104,7 +125,10 @@ impl ServiceReport {
                     .set("deadline_dropped", s.deadline_dropped)
                     .set("cold", s.cold)
                     .set("warm", s.warm)
-                    .set("cached_solve", s.cached_solve),
+                    .set("warm_host", s.warm_host)
+                    .set("warm_disk", s.warm_disk)
+                    .set("cached_solve", s.cached_solve)
+                    .set("load_shed", s.load_shed),
             )
             .set(
                 "cache",
@@ -120,7 +144,30 @@ impl ServiceReport {
                     .set("plans_built", s.plans_built)
                     .set("hot_jobs", s.hot_jobs)
                     .set("hot_hits", s.hot_hits)
-                    .set("hot_hit_rate", s.hot_hit_rate()),
+                    .set("hot_hit_rate", s.hot_hit_rate())
+                    .set(
+                        "host",
+                        JsonValue::obj()
+                            .set("budget_bytes", self.host_budget_bytes)
+                            .set("used_bytes", self.host_used_bytes)
+                            .set("entries", self.host_entries)
+                            .set("hits", self.cache.host_hits)
+                            .set("demotions", self.cache.demotions)
+                            .set("evictions", self.cache.host_evictions)
+                            .set("promotions", self.cache.promotions),
+                    )
+                    .set(
+                        "disk",
+                        JsonValue::obj()
+                            .set("enabled", self.disk_enabled)
+                            .set("down", self.disk_down)
+                            .set("hits", self.cache.disk_hits)
+                            .set("writes", self.cache.disk_writes)
+                            .set("write_failures", self.cache.disk_write_failures)
+                            .set("read_failures", self.cache.disk_read_failures)
+                            .set("rejects", self.cache.disk_rejects)
+                            .set("rewarmed", self.cache.rewarmed),
+                    ),
             )
             .set(
                 "latency",
@@ -135,6 +182,8 @@ impl ServiceReport {
                 JsonValue::obj()
                     .set("cold_share", s.cold as f64 / completed)
                     .set("warm_share", s.warm as f64 / completed)
+                    .set("warm_host_share", s.warm_host as f64 / completed)
+                    .set("warm_disk_share", s.warm_disk as f64 / completed)
                     .set("cached_solve_share", s.cached_solve as f64 / completed)
                     .set("hot_hit_rate", s.hot_hit_rate()),
             )
@@ -178,17 +227,21 @@ impl ServiceReport {
     pub fn summary(&self) -> String {
         let s = &self.stats;
         let mut out = format!(
-            "jobs: {} completed ({} cold / {} warm / {} cached), {} failed, \
-             {} rejected, {} cancelled, {} past deadline | hot hit rate {:.1}% \
-             ({}/{}) | cache: {} patterns, {}/{} bytes, {} evictions | \
-             sim p50 {:.0} ns p95 {:.0} ns | faults injected {} (recovered {} jobs) | \
+            "jobs: {} completed ({} cold / {} warm / {} host / {} disk / {} cached), \
+             {} failed, {} rejected, {} shed, {} cancelled, {} past deadline | \
+             hot hit rate {:.1}% ({}/{}) | cache: {} patterns, {}/{} bytes, \
+             {} evictions | sim p50 {:.0} ns p95 {:.0} ns | \
+             faults injected {} (recovered {} jobs) | \
              gate failures {} ({} patterns quarantined, {} fast-rejected)",
             s.completed,
             s.cold,
             s.warm,
+            s.warm_host,
+            s.warm_disk,
             s.cached_solve,
             s.failed,
             s.rejected,
+            s.load_shed,
             s.cancelled,
             s.deadline_dropped,
             s.hot_hit_rate() * 100.0,
@@ -206,6 +259,26 @@ impl ServiceReport {
             s.quarantined_patterns,
             s.quarantine_rejected,
         );
+        if self.disk_enabled {
+            out.push_str(&format!(
+                "\ndisk tier: {} | {} writes ({} failed), {} hits, {} rejects, \
+                 {} rewarmed | host tier: {} entries, {}/{} bytes, {} hits",
+                if self.disk_down {
+                    "DOWN (degraded)"
+                } else {
+                    "up"
+                },
+                self.cache.disk_writes,
+                self.cache.disk_write_failures,
+                self.cache.disk_hits,
+                self.cache.disk_rejects,
+                self.cache.rewarmed,
+                self.host_entries,
+                self.host_used_bytes,
+                self.host_budget_bytes,
+                self.cache.host_hits,
+            ));
+        }
         if let Some(slo) = &self.slo_eval {
             out.push('\n');
             out.push_str(&slo.summary());
@@ -250,6 +323,11 @@ mod tests {
             cache_entries: 1,
             cache_used_bytes: 4096,
             cache_budget_bytes: 1 << 20,
+            host_entries: 0,
+            host_used_bytes: 0,
+            host_budget_bytes: 1 << 20,
+            disk_enabled: false,
+            disk_down: false,
             queue_cap: 64,
             metrics: None,
             tenants: None,

@@ -1,18 +1,20 @@
 //! The solver service: bounded admission queue, worker pool, tiered
 //! execution against the factor cache.
 
-use crate::cache::{CacheCounters, CachedFactor, FactorCache};
+use crate::cache::{CacheCounters, CacheTier, CachedFactor, FactorCache};
 use crate::job::{ExecTier, JobHandle, JobKind, JobResult, JobSpec, QueuedJob};
 use crate::observe::{JobObservation, ServiceObs, DEFAULT_SLO_WINDOW, DRIFT_SAMPLE_EVERY};
+use gplu_checkpoint::{DiskFaultHook, PlanStore};
 use gplu_core::{matrix_fingerprint, pattern_fingerprint, GpluError, LuFactorization};
 use gplu_numeric::TriSolvePlan;
-use gplu_sim::{CostModel, Gpu, GpuConfig};
+use gplu_sim::{CostModel, DiskOp, FaultInjector, FaultPlan, Gpu, GpuConfig};
 use gplu_trace::{Recorder, TraceSink, NOOP};
 use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Service knobs.
 #[derive(Debug, Clone)]
@@ -42,6 +44,23 @@ pub struct ServiceConfig {
     /// disables drift profiling. The default keeps the observability
     /// layer under the `service_slo` bench's 2% wall-overhead budget.
     pub drift_sample_every: u64,
+    /// Host-memory cache tier budget in bytes: plans evicted from the
+    /// device arena demote here instead of dropping. 0 disables the
+    /// tier (demoted entries drop, as before the tiering).
+    pub host_cache_budget_bytes: u64,
+    /// Directory for the persistent disk cache tier. `None` (the
+    /// default) runs memory-only. When set, newly built plans are
+    /// persisted write-behind and misses consult the store before
+    /// falling back cold. An unopenable directory degrades to
+    /// memory-only rather than failing startup.
+    pub cache_dir: Option<PathBuf>,
+    /// Repopulate the host tier from `cache_dir` before the workers
+    /// start (crash-consistent warm restart). No-op without `cache_dir`.
+    pub rewarm: bool,
+    /// Fault plan driven through the disk tier's I/O hooks
+    /// (`diskfault:read=N` / `diskfault:write=N` grammar) — the chaos
+    /// knob for degraded-mode tests. Independent of per-job GPU faults.
+    pub disk_fault_plan: Option<FaultPlan>,
 }
 
 impl Default for ServiceConfig {
@@ -54,7 +73,26 @@ impl Default for ServiceConfig {
             observability: true,
             slo_window: DEFAULT_SLO_WINDOW,
             drift_sample_every: DRIFT_SAMPLE_EVERY,
+            host_cache_budget_bytes: 64 << 20,
+            cache_dir: None,
+            rewarm: false,
+            disk_fault_plan: None,
         }
+    }
+}
+
+/// Adapts the simulator's [`FaultInjector`] (which owns the
+/// `diskfault:` grammar and ordinal accounting) onto the checkpoint
+/// crate's [`DiskFaultHook`] so one fault plan drives both layers.
+struct InjectorHook(Arc<FaultInjector>);
+
+impl DiskFaultHook for InjectorHook {
+    fn on_disk_read(&self) -> bool {
+        self.0.on_disk_op(DiskOp::Read)
+    }
+
+    fn on_disk_write(&self) -> bool {
+        self.0.on_disk_op(DiskOp::Write)
     }
 }
 
@@ -95,7 +133,10 @@ struct ServiceStats {
     deadline_dropped: AtomicU64,
     cold: AtomicU64,
     warm: AtomicU64,
+    warm_host: AtomicU64,
+    warm_disk: AtomicU64,
     cached_solve: AtomicU64,
+    load_shed: AtomicU64,
     hot_jobs: AtomicU64,
     hot_hits: AtomicU64,
     plans_built: AtomicU64,
@@ -128,8 +169,16 @@ pub struct StatsSnapshot {
     pub cold: u64,
     /// Pattern hit, value miss: refactorization fast path.
     pub warm: u64,
+    /// Pattern hit rescued from the host memory tier (demoted or
+    /// rewarmed plans promoted back on use).
+    pub warm_host: u64,
+    /// Pattern hit rescued from the persistent disk tier.
+    pub warm_disk: u64,
     /// Pattern and value hit: factors reused outright.
     pub cached_solve: u64,
+    /// Best-effort jobs refused at admission while the service was
+    /// degraded and under queue pressure.
+    pub load_shed: u64,
     /// Jobs flagged as hot-pattern traffic.
     pub hot_jobs: u64,
     /// Hot jobs served warm or from cached factors.
@@ -173,6 +222,9 @@ struct Shared {
     queue: Mutex<VecDeque<QueuedJob>>,
     cv: Condvar,
     shutdown: AtomicBool,
+    /// Jobs currently executing in workers (drain-and-flush watches
+    /// this reach zero alongside an empty queue).
+    in_flight: AtomicU64,
     cap: usize,
     cache: FactorCache,
     stats: ServiceStats,
@@ -229,12 +281,35 @@ impl SolverService {
     }
 
     fn start_inner(cfg: ServiceConfig, trace: Option<Arc<Recorder>>) -> Self {
+        let store = cfg.cache_dir.as_ref().and_then(|dir| {
+            // An unopenable cache dir degrades to memory-only: the
+            // service must come up, and the report's `disk.enabled`
+            // field makes the degradation visible.
+            PlanStore::open(dir)
+                .ok()
+                .map(|s| match &cfg.disk_fault_plan {
+                    Some(plan) => {
+                        let inj = Arc::new(FaultInjector::new(plan.clone()));
+                        s.with_faults(Arc::new(InjectorHook(inj)))
+                    }
+                    None => s,
+                })
+        });
+        let cache =
+            FactorCache::with_tiers(cfg.cache_budget_bytes, cfg.host_cache_budget_bytes, store);
+        if cfg.rewarm {
+            // Before any worker exists: every plan the store yields is
+            // host-resident by the time the first job can miss, so a
+            // previously-hot pattern never recomputes symbolic work.
+            cache.rewarm();
+        }
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::new()),
             cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            in_flight: AtomicU64::new(0),
             cap: cfg.queue_cap.max(1),
-            cache: FactorCache::new(cfg.cache_budget_bytes),
+            cache,
             stats: ServiceStats::default(),
             clock: WallClock::new(),
             trace,
@@ -278,6 +353,28 @@ impl SolverService {
                 cap: sh.cap,
             });
         }
+        // Degradation-aware admission: while the disk tier is down the
+        // service has lost its rescue path (every cache miss past the
+        // memory tiers is a full cold factorization), so under queue
+        // pressure best-effort traffic is shed to keep protected
+        // tenants' latency. The threshold is half the queue: shedding
+        // only begins when backpressure is already building.
+        if spec.best_effort && q.len() * 2 >= sh.cap && sh.cache.disk_down() {
+            let depth = q.len();
+            sh.stats.load_shed.fetch_add(1, Ordering::Relaxed);
+            drop(q);
+            if let Some(o) = &sh.obs {
+                o.on_load_shed();
+            }
+            let sink = sh.sink();
+            if sink.enabled() {
+                sink.instant("service.load_shed", "service", sh.clock.now(), &[]);
+            }
+            return Err(GpluError::LoadShed {
+                tenant: spec.tenant,
+                depth,
+            });
+        }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = mpsc::channel();
         let cancelled = Arc::new(AtomicBool::new(false));
@@ -308,6 +405,37 @@ impl SolverService {
         Ok(JobHandle { id, rx, cancelled })
     }
 
+    /// Submits with bounded retry on [`GpluError::QueueFull`]:
+    /// exponential backoff (200 µs base, doubling, capped) with
+    /// deterministic jitter derived from the job's pattern fingerprint
+    /// and attempt number — no wall-clock randomness, so replays with
+    /// the same workload seed back off identically. Other errors
+    /// (including [`GpluError::LoadShed`]) return immediately: shed
+    /// means *reduce* load, not hammer the queue.
+    pub fn submit_with_backoff(
+        &self,
+        spec: JobSpec,
+        max_retries: u32,
+    ) -> Result<JobHandle, GpluError> {
+        let seed = pattern_fingerprint(&spec.matrix);
+        let mut attempt = 0u32;
+        loop {
+            match self.submit(spec.clone()) {
+                Ok(h) => return Ok(h),
+                Err(e @ GpluError::QueueFull { .. }) => {
+                    if attempt >= max_retries {
+                        return Err(e);
+                    }
+                    let base_us = 200u64 << attempt.min(6);
+                    let jitter_us = splitmix64(seed ^ u64::from(attempt)) % (base_us / 2 + 1);
+                    thread::sleep(Duration::from_micros(base_us + jitter_us));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
     /// Jobs waiting right now.
     pub fn queue_depth(&self) -> usize {
         self.shared.queue.lock().unwrap().len()
@@ -330,7 +458,10 @@ impl SolverService {
             deadline_dropped: s.deadline_dropped.load(Ordering::Relaxed),
             cold: s.cold.load(Ordering::Relaxed),
             warm: s.warm.load(Ordering::Relaxed),
+            warm_host: s.warm_host.load(Ordering::Relaxed),
+            warm_disk: s.warm_disk.load(Ordering::Relaxed),
             cached_solve: s.cached_solve.load(Ordering::Relaxed),
+            load_shed: s.load_shed.load(Ordering::Relaxed),
             hot_jobs: s.hot_jobs.load(Ordering::Relaxed),
             hot_hits: s.hot_hits.load(Ordering::Relaxed),
             plans_built: s.plans_built.load(Ordering::Relaxed),
@@ -376,8 +507,32 @@ impl SolverService {
         self.shared.obs.as_ref()
     }
 
+    /// Blocks until the queue is empty and every worker is idle, then
+    /// flushes the cache's write-behind queue to disk. The graceful
+    /// half of drain-and-flush shutdown: after `drain()` returns, every
+    /// plan built so far is durable (unless the disk tier is down, in
+    /// which case flushing is skipped and `false` is returned).
+    pub fn drain(&self) -> bool {
+        loop {
+            // Both checks under the queue lock: workers register
+            // in-flight before releasing it, so this can't observe a
+            // popped-but-uncounted job.
+            let q = self.shared.queue.lock().unwrap();
+            let idle = q.is_empty() && self.shared.in_flight.load(Ordering::SeqCst) == 0;
+            drop(q);
+            if idle {
+                break;
+            }
+            thread::sleep(Duration::from_millis(1));
+        }
+        self.shared.cache.flush()
+    }
+
     /// Stops accepting progress and joins the workers. Jobs still queued
     /// are dropped; their handles resolve to [`GpluError::Cancelled`].
+    /// Pending write-behind persistence is flushed (graceful shutdown);
+    /// call [`FactorCache::simulate_crash`] on [`SolverService::cache`]
+    /// first to model an unclean exit instead.
     pub fn shutdown(mut self) {
         self.shutdown_inner();
     }
@@ -391,7 +546,18 @@ impl SolverService {
         // Dropping the queued jobs drops their senders; waiting handles
         // observe the hangup as Cancelled.
         self.shared.queue.lock().unwrap().clear();
+        // A no-op without a disk tier; skipped (false) when it is down.
+        self.shared.cache.flush();
     }
+}
+
+/// SplitMix64: the repo's standard seeded mixer, here for backoff
+/// jitter (deterministic in the pattern fingerprint and attempt).
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl Drop for SolverService {
@@ -408,6 +574,10 @@ fn worker_loop(sh: &Shared) {
             let mut q = sh.queue.lock().unwrap();
             loop {
                 if let Some(j) = q.pop_front() {
+                    // Counted under the queue lock so drain() never sees
+                    // "empty queue, zero in flight" while a popped job
+                    // is still in a worker's hand.
+                    sh.in_flight.fetch_add(1, Ordering::SeqCst);
                     break j;
                 }
                 if sh.shutdown.load(Ordering::SeqCst) {
@@ -423,6 +593,7 @@ fn worker_loop(sh: &Shared) {
         sh.sink()
             .counter("service.queue_depth", "service", sh.clock.now(), depth);
         process(sh, job);
+        sh.in_flight.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -522,6 +693,8 @@ fn process(sh: &Shared, job: QueuedJob) {
             match r.tier {
                 ExecTier::Cold => sh.stats.cold.fetch_add(1, Ordering::Relaxed),
                 ExecTier::Warm => sh.stats.warm.fetch_add(1, Ordering::Relaxed),
+                ExecTier::WarmHost => sh.stats.warm_host.fetch_add(1, Ordering::Relaxed),
+                ExecTier::WarmDisk => sh.stats.warm_disk.fetch_add(1, Ordering::Relaxed),
                 ExecTier::CachedSolve => sh.stats.cached_solve.fetch_add(1, Ordering::Relaxed),
             };
             if job.spec.hot && r.tier != ExecTier::Cold {
@@ -547,6 +720,11 @@ fn process(sh: &Shared, job: QueuedJob) {
                 });
                 let c = sh.cache.counters();
                 o.on_cache_state(sh.cache.len(), sh.cache.used_bytes(), c.evictions);
+                o.on_tier_state(
+                    sh.cache.host_len(),
+                    sh.cache.host_used_bytes(),
+                    sh.cache.disk_down(),
+                );
             }
             let _ = job.tx.send(Ok(r));
         }
@@ -641,13 +819,21 @@ fn execute_tiers(
 ) -> Result<JobResult, GpluError> {
     let spec = &job.spec;
     let a = &spec.matrix;
-    let (tier, entry, factors) = match sh.cache.lookup(fp) {
-        Some(entry) => match entry.latest_for(value_fp) {
+    let (tier, entry, factors) = match sh.cache.lookup_tiered(fp) {
+        Some((entry, src)) => match entry.latest_for(value_fp) {
+            // A value hit is CachedSolve regardless of which tier the
+            // entry was rescued from (a demoted entry keeps its latest
+            // factors; disk rescues never have them).
             Some(f) => (ExecTier::CachedSolve, Some(entry), f),
             None => {
                 let f = Arc::new(entry.plan.refactorize_traced(gpu, a, sh.drift_sink())?);
                 entry.store_latest(value_fp, Arc::clone(&f));
-                (ExecTier::Warm, Some(entry), f)
+                let tier = match src {
+                    CacheTier::Device => ExecTier::Warm,
+                    CacheTier::Host => ExecTier::WarmHost,
+                    CacheTier::Disk => ExecTier::WarmDisk,
+                };
+                (tier, Some(entry), f)
             }
         },
         None => {
@@ -672,7 +858,9 @@ fn execute_tiers(
 
     let mut sim_ns = match tier {
         // Factorization work this job actually ran on its GPU.
-        ExecTier::Cold | ExecTier::Warm => factors.report.total().as_ns(),
+        ExecTier::Cold | ExecTier::Warm | ExecTier::WarmHost | ExecTier::WarmDisk => {
+            factors.report.total().as_ns()
+        }
         ExecTier::CachedSolve => 0.0,
     };
     let mut solve_wall_ns = 0u64;

@@ -35,6 +35,7 @@
 //! for the paper-reproduction map.
 
 pub use gplu_baseline as baseline;
+pub use gplu_checkpoint as checkpoint;
 pub use gplu_core as core;
 pub use gplu_numeric as numeric;
 pub use gplu_schedule as schedule;

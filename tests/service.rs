@@ -376,7 +376,7 @@ fn stress_workload_sustains_the_hit_rate_and_a_consistent_report() {
     let stats = &report.stats;
     assert_eq!(stats.completed, 60);
     assert_eq!(
-        stats.cold + stats.warm + stats.cached_solve,
+        stats.cold + stats.warm + stats.warm_host + stats.warm_disk + stats.cached_solve,
         stats.completed
     );
     assert!(
