@@ -27,7 +27,12 @@
 //! additionally gates the restart rescue rate — the fraction of
 //! pattern-building jobs served from the host/disk tiers instead of a
 //! cold symbolic pass — which a rewarmed same-workload rerun should
-//! drive close to 1.0.
+//! drive close to 1.0. Schema v4 adds the `fleet` section (per-device
+//! job/queue/hit-rate accounting from the multi-device scheduler),
+//! validated for ordinal coverage and hit-rate sanity; run reports from
+//! `--devices` runs carry an analogous optional `fleet` object whose
+//! per-device timings and death list are checked against the device
+//! count.
 //!
 //! Every failure message names the first failing location as a JSON
 //! pointer (`/latency/sim_p95_ns`), and the caller prefixes the file
@@ -124,8 +129,64 @@ fn check_report(doc: &JsonValue) -> Result<String, String> {
         section_at(doc, &format!("/{section}"))?;
     }
 
+    // `--devices` runs attach a fleet object; when present it must be
+    // internally consistent with its own device count.
+    let mut fleet_note = String::new();
+    if let Some(fleet) = doc.get("fleet") {
+        let devices = num_at(fleet, "/devices").map_err(|e| format!("/fleet{e}"))? as u64;
+        if devices == 0 {
+            return Err("/fleet/devices: zero devices".into());
+        }
+        let per = section_at(fleet, "/per_device_ns")
+            .map_err(|e| format!("/fleet{e}"))?
+            .as_arr()
+            .ok_or("/fleet/per_device_ns: not an array")?;
+        if per.len() as u64 != devices {
+            return Err(format!(
+                "/fleet/per_device_ns: {} entries for {devices} devices",
+                per.len()
+            ));
+        }
+        let dead = section_at(fleet, "/dead")
+            .map_err(|e| format!("/fleet{e}"))?
+            .as_arr()
+            .ok_or("/fleet/dead: not an array")?;
+        for (i, d) in dead.iter().enumerate() {
+            match d.as_f64() {
+                Some(v) if (v as u64) < devices => {}
+                _ => {
+                    return Err(format!(
+                        "/fleet/dead/{i}: not a device ordinal below {devices}"
+                    ))
+                }
+            }
+        }
+        if dead.len() as u64 >= devices {
+            return Err(format!(
+                "/fleet/dead: all {devices} devices dead yet the run completed"
+            ));
+        }
+        for key in [
+            "resharded_rows",
+            "resharded_cols",
+            "exchanges",
+            "exchange_bytes",
+            "exchange_ns",
+        ] {
+            num_at(fleet, &format!("/{key}")).map_err(|e| format!("/fleet{e}"))?;
+        }
+        // Device deaths without resharded work would mean lost columns.
+        if !dead.is_empty() {
+            let resharded = num_at(fleet, "/resharded_rows")? + num_at(fleet, "/resharded_cols")?;
+            if resharded == 0.0 {
+                return Err("/fleet/resharded_cols: devices died but nothing resharded".into());
+            }
+        }
+        fleet_note = format!(", fleet of {devices} ({} dead)", dead.len());
+    }
+
     Ok(format!(
-        "report ok: schema v{version}, total {total} ns, {} levels",
+        "report ok: schema v{version}, total {total} ns, {} levels{fleet_note}",
         levels.len()
     ))
 }
@@ -241,7 +302,7 @@ fn disk_rescue_rate(doc: &JsonValue) -> Result<f64, String> {
 
 fn check_service(doc: &JsonValue) -> Result<String, String> {
     let version = num_at(doc, "/service_schema_version")? as u64;
-    if !(1..=3).contains(&version) {
+    if !(1..=4).contains(&version) {
         return Err(format!(
             "/service_schema_version: unknown version {version}"
         ));
@@ -342,6 +403,70 @@ fn check_service(doc: &JsonValue) -> Result<String, String> {
             "/robustness/quarantined_patterns: {quarantined} quarantined but only \
              {gate_failures} gate failures"
         ));
+    }
+
+    // v4 adds the fleet scheduler section: per-device placement and hit
+    // accounting that must cover every worker-processed job exactly once.
+    if version >= 4 {
+        let fleet = section_at(doc, "/fleet")?;
+        let devices = num_at(fleet, "/devices").map_err(|e| format!("/fleet{e}"))?;
+        if devices < 1.0 {
+            return Err("/fleet/devices: zero devices".into());
+        }
+        if lookup(fleet, "/degraded")
+            .and_then(JsonValue::as_bool)
+            .is_none()
+        {
+            return Err("/fleet/degraded: missing or not a bool".into());
+        }
+        let per = section_at(fleet, "/per_device")
+            .map_err(|e| format!("/fleet{e}"))?
+            .as_arr()
+            .ok_or("/fleet/per_device: not an array")?;
+        if per.len() as f64 != devices {
+            return Err(format!(
+                "/fleet/per_device: {} entries for {devices} devices",
+                per.len()
+            ));
+        }
+        let mut placed = 0.0f64;
+        for (i, row) in per.iter().enumerate() {
+            for key in [
+                "device",
+                "jobs",
+                "queued",
+                "hot_jobs",
+                "hot_hits",
+                "plan_bytes",
+            ] {
+                num_at(row, &format!("/{key}")).map_err(|e| format!("/fleet/per_device/{i}{e}"))?;
+            }
+            let device_rate =
+                num_at(row, "/hot_hit_rate").map_err(|e| format!("/fleet/per_device/{i}{e}"))?;
+            if !(0.0..=1.0).contains(&device_rate) {
+                return Err(format!(
+                    "/fleet/per_device/{i}/hot_hit_rate: {device_rate} outside 0..1"
+                ));
+            }
+            let hits = num_at(row, "/hot_hits")?;
+            let hot_jobs = num_at(row, "/hot_jobs")?;
+            if hits > hot_jobs {
+                return Err(format!(
+                    "/fleet/per_device/{i}/hot_hits: {hits} exceeds hot_jobs {hot_jobs}"
+                ));
+            }
+            if row.get("dead").and_then(JsonValue::as_bool).is_none() {
+                return Err(format!("/fleet/per_device/{i}/dead: missing or not a bool"));
+            }
+            placed += num_at(row, "/jobs")?;
+        }
+        // A device can only finish jobs that were actually submitted.
+        if placed > submitted {
+            return Err(format!(
+                "/fleet/per_device: devices finished {placed} jobs but only \
+                 {submitted} were submitted"
+            ));
+        }
     }
 
     check_observability_sections(doc)?;

@@ -9,7 +9,7 @@ use gplu_server::{
     generate_workload, JobHandle, ServiceConfig, ServiceReport, SloSpec, SolverService,
     WorkloadParams,
 };
-use gplu_sim::{CostModel, FaultPlan, Gpu, GpuConfig};
+use gplu_sim::{CostModel, DeviceFleet, FaultPlan, Gpu, GpuConfig};
 use gplu_sparse::convert::coo_to_csr;
 use gplu_sparse::gen::hard::HardKind;
 use gplu_sparse::gen::{circuit, mesh, planar};
@@ -51,6 +51,13 @@ options:
                                 pass to chain two columns (default 0.6; used
                                 by --format blocked and the auto crossover)
   --mem <MiB>                   device memory (default: out-of-core profile)
+  --devices <N>                 shard the heavy phases across a fleet of N
+                                simulated devices (default 1). Results are
+                                bit-identical to a single device; only the
+                                simulated makespan changes. Fault plans may
+                                target one device with a dev=K: prefix.
+                                Incompatible with --checkpoint-dir (fleet
+                                runs are cold-run only)
   --pivot none|static|threshold pivoting policy (default none): 'static'
                                 perturbs tiny pivots up to a floor at
                                 division time, 'threshold' runs the host
@@ -134,6 +141,11 @@ seeded synthetic workload against it and reports what happened):
   --quarantine-strikes <N>      numeric rejections on one pattern before
                                 the service fast-rejects it (default 2,
                                 0 disables quarantine)
+  --devices <N>                 schedule jobs across a fleet of N simulated
+                                devices (default 1): patterns route back to
+                                the device holding their cached plan, the
+                                rest go least-loaded, and the report gains
+                                per-device hit rates
   --format auto|dense|sparse|merge|blocked
                                 numeric format forced onto every generated
                                 job (default auto)
@@ -224,6 +236,12 @@ pub struct RunOptions {
     /// Crash-consistent checkpointing (`--checkpoint-dir`,
     /// `--checkpoint-every`, `--resume`), validated as a unit.
     pub checkpoint: Option<CheckpointOptions>,
+    /// Fleet size (`--devices`); 1 runs the classic single-device path.
+    pub devices: usize,
+    /// Per-device fault plans for a fleet run, expanded from the
+    /// `dev=K:`-prefixed `--fault-plan` grammar (only with `--devices`
+    /// above 1).
+    pub fleet_fault_plans: Option<Vec<FaultPlan>>,
 }
 
 impl RunOptions {
@@ -260,7 +278,10 @@ pub fn parse_options(args: &[String]) -> Result<RunOptions, CliError> {
         report_json: None,
         metrics: false,
         checkpoint: None,
+        devices: 1,
+        fleet_fault_plans: None,
     };
+    let mut fault_spec: Option<String> = None;
     let mut ckpt_dir: Option<String> = None;
     let mut ckpt_every: Option<usize> = None;
     let mut resume = false;
@@ -314,6 +335,17 @@ pub fn parse_options(args: &[String]) -> Result<RunOptions, CliError> {
                 opts.mem = Some(mib << 20);
             }
             "--gpu-solve" => opts.gpu_solve = true,
+            "--devices" => {
+                let n: usize = value("--devices")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--devices takes a positive integer".into()))?;
+                if n == 0 {
+                    return Err(CliError::Usage(
+                        "--devices must be at least 1 (who would run the kernels?)".into(),
+                    ));
+                }
+                opts.devices = n;
+            }
             "--pivot" => {
                 let kind = value("--pivot")?;
                 match kind.as_str() {
@@ -374,13 +406,10 @@ pub fn parse_options(args: &[String]) -> Result<RunOptions, CliError> {
             "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
             "--report-json" => opts.report_json = Some(value("--report-json")?),
             "--metrics" => opts.metrics = true,
-            "--fault-plan" => {
-                let spec = value("--fault-plan")?;
-                opts.fault_plan = Some(
-                    FaultPlan::parse(&spec)
-                        .map_err(|e| CliError::Usage(format!("--fault-plan: {e}")))?,
-                );
-            }
+            // Parsed after the loop: the fleet grammar (`dev=K:` device
+            // selectors) is only legal once `--devices` is known, and the
+            // flags may come in either order.
+            "--fault-plan" => fault_spec = Some(value("--fault-plan")?),
             other => return Err(CliError::Usage(format!("unknown flag '{other}'"))),
         }
     }
@@ -440,9 +469,36 @@ pub fn parse_options(args: &[String]) -> Result<RunOptions, CliError> {
     }
     opts.lu.gate.enabled = !no_gate;
     opts.lu.gate.escalate = escalate;
-    if opts.fault_plan.is_none() {
-        opts.fault_plan = FaultPlan::from_env()
-            .map_err(|e| CliError::Usage(format!("{}: {e}", gplu_sim::FAULT_PLAN_ENV)))?;
+    // Fault plans resolve once the fleet size is known: a fleet run
+    // expands the `dev=K:` grammar into per-device plans, a single-device
+    // run keeps the classic single-plan parse (where `dev=` is an error).
+    match fault_spec {
+        Some(spec) if opts.devices > 1 => {
+            opts.fleet_fault_plans = Some(
+                FaultPlan::parse_fleet(&spec, opts.devices)
+                    .map_err(|e| CliError::Usage(format!("--fault-plan: {e}")))?,
+            );
+        }
+        Some(spec) => {
+            opts.fault_plan = Some(
+                FaultPlan::parse(&spec)
+                    .map_err(|e| CliError::Usage(format!("--fault-plan: {e}")))?,
+            );
+        }
+        None if opts.devices > 1 => {
+            if let Ok(spec) = std::env::var(gplu_sim::FAULT_PLAN_ENV) {
+                if !spec.trim().is_empty() {
+                    opts.fleet_fault_plans =
+                        Some(FaultPlan::parse_fleet(&spec, opts.devices).map_err(|e| {
+                            CliError::Usage(format!("{}: {e}", gplu_sim::FAULT_PLAN_ENV))
+                        })?);
+                }
+            }
+        }
+        None => {
+            opts.fault_plan = FaultPlan::from_env()
+                .map_err(|e| CliError::Usage(format!("{}: {e}", gplu_sim::FAULT_PLAN_ENV)))?;
+        }
     }
     opts.checkpoint = match ckpt_dir {
         Some(dir) => {
@@ -464,6 +520,13 @@ pub fn parse_options(args: &[String]) -> Result<RunOptions, CliError> {
         }
         None => None,
     };
+    if opts.devices > 1 && opts.checkpoint.is_some() {
+        return Err(CliError::Usage(
+            "--devices above 1 is incompatible with --checkpoint-dir: fleet runs \
+             are cold-run only (no checkpoint/resume yet)"
+                .into(),
+        ));
+    }
     Ok(opts)
 }
 
@@ -575,6 +638,9 @@ pub fn parse_serve_options(args: &[String]) -> Result<ServeOptions, CliError> {
             "--quarantine-strikes" => {
                 o.service.quarantine_strikes =
                     int("--quarantine-strikes", value("--quarantine-strikes")?)? as u32;
+            }
+            "--devices" => {
+                o.service.devices = int("--devices", value("--devices")?)?.max(1);
             }
             "--fault-plan" => {
                 let spec = value("--fault-plan")?;
@@ -842,6 +908,20 @@ fn gpu_for(a: &Csr, opts: &RunOptions) -> Gpu {
     }
 }
 
+/// Builds the simulated device fleet for a `--devices` run.
+fn fleet_for(a: &Csr, opts: &RunOptions) -> DeviceFleet {
+    let cfg = match opts.mem {
+        Some(bytes) => GpuConfig::v100().with_memory(bytes),
+        None => GpuConfig::v100_symbolic_profile(a.n_rows(), a.nnz()),
+    };
+    match &opts.fleet_fault_plans {
+        Some(plans) => {
+            DeviceFleet::with_fault_plans(opts.devices, cfg, CostModel::default(), plans)
+        }
+        None => DeviceFleet::new(opts.devices, cfg),
+    }
+}
+
 /// Runs the pipeline, recording telemetry when any of `--trace-out`,
 /// `--report-json`, or `--metrics` was given, and writes the requested
 /// artifacts.
@@ -862,20 +942,51 @@ fn compute_with_telemetry(
         Some(ckpt) => LuFactorization::compute_checkpointed(gpu, a, &opts.lu, ckpt, &recorder)?,
         None => LuFactorization::compute_traced(gpu, a, &opts.lu, &recorder)?,
     };
-    let events = recorder.into_events();
+    write_telemetry_artifacts(a, &f, &recorder.into_events(), opts, out)?;
+    Ok(f)
+}
+
+/// The `--devices` twin of [`compute_with_telemetry`]: runs the
+/// fleet-sharded pipeline (checkpointing was already rejected at parse
+/// time) and writes the same artifacts — the run report carries the
+/// `fleet` section with per-device timings and interconnect traffic.
+fn compute_fleet_with_telemetry(
+    fleet: &DeviceFleet,
+    a: &Csr,
+    opts: &RunOptions,
+    out: &mut dyn Write,
+) -> Result<LuFactorization, CliError> {
+    if !opts.wants_telemetry() {
+        return Ok(LuFactorization::compute_fleet(fleet, a, &opts.lu)?);
+    }
+    let recorder = Recorder::new();
+    let f = LuFactorization::compute_fleet_traced(fleet, a, &opts.lu, &recorder)?;
+    write_telemetry_artifacts(a, &f, &recorder.into_events(), opts, out)?;
+    Ok(f)
+}
+
+/// Writes the `--trace-out` / `--report-json` / `--metrics` artifacts
+/// for a recorded run.
+fn write_telemetry_artifacts(
+    a: &Csr,
+    f: &LuFactorization,
+    events: &[gplu_trace::TraceEvent],
+    opts: &RunOptions,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
     if let Some(path) = &opts.trace_out {
-        std::fs::write(path, chrome_trace(&events))?;
+        std::fs::write(path, chrome_trace(events))?;
         writeln!(out, "trace: {path} ({} events)", events.len())?;
     }
     if let Some(path) = &opts.report_json {
-        let report = RunReport::new(a.n_rows(), a.nnz(), f.report.clone(), &events);
+        let report = RunReport::new(a.n_rows(), a.nnz(), f.report.clone(), events);
         std::fs::write(path, report.to_json_string())?;
         writeln!(out, "report: {path}")?;
     }
     if opts.metrics {
-        write!(out, "{}", metrics_text(&events))?;
+        write!(out, "{}", metrics_text(events))?;
     }
-    Ok(f)
+    Ok(())
 }
 
 /// Prints injected-fault counters and the recovery record after a
@@ -892,6 +1003,53 @@ fn report_faults(out: &mut dyn Write, gpu: &Gpu, f: &LuFactorization) -> std::io
     }
     if !f.report.recovery.is_empty() {
         writeln!(out, "recovery: {}", f.report.recovery.summary())?;
+    }
+    Ok(())
+}
+
+/// Fleet-wide fault and interconnect reporting for a `--devices` run:
+/// sums injected faults across every device, then prints the fleet
+/// summary line (per-device makespan share, deaths, exchange traffic).
+fn report_fleet_faults(
+    out: &mut dyn Write,
+    fleet: &DeviceFleet,
+    f: &LuFactorization,
+) -> std::io::Result<()> {
+    let (mut oom, mut launch, mut squeeze) = (0, 0, 0);
+    for gpu in fleet.devices() {
+        let stats = gpu.stats();
+        oom += stats.injected_oom;
+        launch += stats.injected_launch_faults;
+        squeeze += stats.injected_squeezes;
+    }
+    if oom + launch + squeeze > 0 {
+        writeln!(
+            out,
+            "injected faults: {oom} oom, {launch} launch, {squeeze} squeeze"
+        )?;
+    }
+    if !f.report.recovery.is_empty() {
+        writeln!(out, "recovery: {}", f.report.recovery.summary())?;
+    }
+    if let Some(fr) = &f.report.fleet {
+        write!(out, "fleet: {} devices", fr.devices)?;
+        if !fr.dead.is_empty() {
+            write!(out, " ({} died: {:?})", fr.dead.len(), fr.dead)?;
+        }
+        writeln!(
+            out,
+            ", {} exchange legs, {} bytes over interconnect ({:.3} ms)",
+            fr.exchanges,
+            fr.exchange_bytes,
+            fr.exchange_ns / 1.0e6
+        )?;
+        if fr.resharded_rows + fr.resharded_cols > 0 {
+            writeln!(
+                out,
+                "resharded onto survivors: {} symbolic rows, {} numeric columns",
+                fr.resharded_rows, fr.resharded_cols
+            )?;
+        }
     }
     Ok(())
 }
@@ -935,10 +1093,19 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
                 .ok_or_else(|| CliError::Usage("factorize needs a path".into()))?;
             let opts = parse_options(&args[2..])?;
             let a = load(path)?;
-            let gpu = gpu_for(&a, &opts);
-            let f = compute_with_telemetry(&gpu, &a, &opts, out)?;
-            writeln!(out, "{}", f.report.summary())?;
-            report_faults(out, &gpu, &f)?;
+            let f = if opts.devices > 1 {
+                let fleet = fleet_for(&a, &opts);
+                let f = compute_fleet_with_telemetry(&fleet, &a, &opts, out)?;
+                writeln!(out, "{}", f.report.summary())?;
+                report_fleet_faults(out, &fleet, &f)?;
+                f
+            } else {
+                let gpu = gpu_for(&a, &opts);
+                let f = compute_with_telemetry(&gpu, &a, &opts, out)?;
+                writeln!(out, "{}", f.report.summary())?;
+                report_faults(out, &gpu, &f)?;
+                f
+            };
             if let Some(ckpt) = &opts.checkpoint {
                 writeln!(
                     out,
@@ -982,14 +1149,31 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
                 .ok_or_else(|| CliError::Usage("solve needs a path".into()))?;
             let opts = parse_options(&args[2..])?;
             let a = load(path)?;
+            let fleet = (opts.devices > 1).then(|| fleet_for(&a, &opts));
             let gpu = gpu_for(&a, &opts);
-            let f = compute_with_telemetry(&gpu, &a, &opts, out)?;
-            report_faults(out, &gpu, &f)?;
+            let f = match &fleet {
+                Some(fleet) => {
+                    let f = compute_fleet_with_telemetry(fleet, &a, &opts, out)?;
+                    report_fleet_faults(out, fleet, &f)?;
+                    f
+                }
+                None => {
+                    let f = compute_with_telemetry(&gpu, &a, &opts, out)?;
+                    report_faults(out, &gpu, &f)?;
+                    f
+                }
+            };
             let x_true = vec![1.0; a.n_rows()];
             let b = a.spmv(&x_true);
             let x = if opts.gpu_solve {
+                // On a fleet the triangular solve runs on device 0 — the
+                // factors are replicated after the level-barrier exchanges.
+                let solve_gpu = match &fleet {
+                    Some(fleet) => fleet.device(0),
+                    None => &gpu,
+                };
                 let plan = f.solve_plan();
-                let (x, t) = f.solve_on_gpu(&gpu, &plan, &b)?;
+                let (x, t) = f.solve_on_gpu(solve_gpu, &plan, &b)?;
                 writeln!(out, "gpu solve: {t}")?;
                 x
             } else {
@@ -1213,6 +1397,100 @@ mod tests {
         assert!(out.contains("injected faults: 1 oom"), "got: {out}");
         assert!(out.contains("recovery:"), "got: {out}");
         assert!(out.contains("chunk backoff"), "got: {out}");
+    }
+
+    #[test]
+    fn devices_flag_parses_and_validates() {
+        let o = parse_options(&["--devices", "4"].map(String::from)).expect("parses");
+        assert_eq!(o.devices, 4);
+        assert!(o.fleet_fault_plans.is_none());
+
+        assert!(matches!(
+            parse_options(&["--devices".into(), "0".into()]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_options(&["--devices", "2", "--checkpoint-dir", "/tmp/ck"].map(String::from)),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn fleet_fault_plans_route_by_device_prefix() {
+        // Flag order must not matter: the spec is resolved after the loop.
+        for args in [
+            ["--devices", "2", "--fault-plan", "dev=1:oom:alloc=1"],
+            ["--fault-plan", "dev=1:oom:alloc=1", "--devices", "2"],
+        ] {
+            let o = parse_options(&args.map(String::from)).expect("parses");
+            let plans = o.fleet_fault_plans.expect("fleet plans");
+            assert_eq!(plans.len(), 2);
+            assert!(o.fault_plan.is_none());
+        }
+
+        // A device selector without a fleet is meaningless.
+        assert!(matches!(
+            parse_options(&["--fault-plan".into(), "dev=1:oom:alloc=1".into()]),
+            Err(CliError::Usage(_))
+        ));
+        // An out-of-range selector is caught at parse time.
+        assert!(matches!(
+            parse_options(
+                &["--devices", "2", "--fault-plan", "dev=7:oom:alloc=1"].map(String::from)
+            ),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn factorize_and_solve_across_a_fleet_match_the_single_device_run() {
+        let path = tmp("fleet.mtx");
+        run_str(&["gen", "circuit", "400", "6", &path]).expect("gen");
+
+        let single = run_str(&["factorize", &path]).expect("single");
+        let out = run_str(&["factorize", &path, "--devices", "4"]).expect("fleet");
+        assert!(out.contains("fleet: 4 devices"), "got: {out}");
+        assert!(out.contains("exchange legs"), "got: {out}");
+        assert!(out.contains("total simulated time"), "got: {out}");
+        // Bit-identity: everything after "fill" in the summary is a
+        // deterministic counter (fill nnz, probes, pivots); only the
+        // timings before it may differ between fleet sizes.
+        let counters_of = |s: &str| {
+            s.lines()
+                .find_map(|l| l.split_once("| fill "))
+                .map(|(_, tail)| tail.split(" | fleet").next().unwrap().to_owned())
+                .expect("summary line")
+        };
+        assert_eq!(counters_of(&single), counters_of(&out));
+
+        let out = run_str(&["solve", &path, "--devices", "4", "--gpu-solve"]).expect("solve");
+        assert!(out.contains("gpu solve"), "got: {out}");
+        let err: f64 = out
+            .lines()
+            .find(|l| l.contains("max error"))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse().ok())
+            .expect("error line");
+        assert!(err < 1e-8, "solve error {err}");
+    }
+
+    #[test]
+    fn fleet_device_fault_reshards_and_reports() {
+        let path = tmp("fleet-fault.mtx");
+        run_str(&["gen", "circuit", "400", "6", &path]).expect("gen");
+        let out = run_str(&[
+            "factorize",
+            &path,
+            "--devices",
+            "4",
+            "--fault-plan",
+            "dev=2:oom:alloc=1",
+        ])
+        .expect("recovers");
+        assert!(out.contains("injected faults: 1 oom"), "got: {out}");
+        assert!(out.contains("recovery:"), "got: {out}");
+        assert!(out.contains("died: [2]"), "got: {out}");
+        assert!(out.contains("resharded onto survivors"), "got: {out}");
     }
 
     #[test]
@@ -1684,9 +1962,9 @@ mod tests {
             report
                 .get("service_schema_version")
                 .and_then(JsonValue::as_u64),
-            Some(3)
+            Some(4)
         );
-        for section in ["metrics", "tenants", "slo", "drift"] {
+        for section in ["metrics", "tenants", "slo", "drift", "fleet"] {
             assert!(
                 report.get(section).is_some(),
                 "v2 observability section {section} missing"

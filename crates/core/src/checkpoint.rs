@@ -563,6 +563,11 @@ fn encode_recovery(log: &RecoveryLog) -> Vec<u8> {
                 e.u64(*key);
                 e.str(reason);
             }
+            RecoveryAction::DeviceLost { device, resharded } => {
+                e.u8(10);
+                e.u64(*device as u64);
+                e.u64(*resharded as u64);
+            }
         }
     }
     e.into_bytes()
@@ -611,6 +616,10 @@ fn decode_recovery(b: &[u8]) -> Result<RecoveryLog, GpluError> {
             9 => RecoveryAction::DiskEntryRejected {
                 key: d.u64("rec.key").map_err(corrupt_ck)?,
                 reason: d.str("rec.reason").map_err(corrupt_ck)?,
+            },
+            10 => RecoveryAction::DeviceLost {
+                device: d.u64("rec.device").map_err(corrupt_ck)? as usize,
+                resharded: d.u64("rec.resharded").map_err(corrupt_ck)? as usize,
             },
             other => return Err(corrupt(format!("unknown recovery action tag {other}"))),
         };

@@ -36,6 +36,7 @@
 pub mod checkpoint;
 pub mod drift;
 pub mod error;
+pub mod fleet;
 pub mod pipeline;
 pub mod plan_codec;
 pub mod preprocess;
@@ -56,5 +57,5 @@ pub use plan_codec::{decode_plan, encode_plan, plan_matches, PLAN_SCHEMA_VERSION
 pub use preprocess::{preprocess, PreprocessOptions, PreprocessOutcome};
 pub use recovery::{Phase, RecoveryAction, RecoveryEvent, RecoveryLog};
 pub use refactor::RefactorPlan;
-pub use report::{PhaseReport, PhaseStats};
+pub use report::{FleetReport, PhaseReport, PhaseStats};
 pub use telemetry::{extract_levels, LevelRecord, RunReport, SCHEMA_VERSION};

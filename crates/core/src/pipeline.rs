@@ -229,7 +229,12 @@ pub(crate) fn format_name(format: NumericFormat) -> &'static str {
 /// structural sweep comparing adjacent columns' sub-diagonal row sets
 /// (host-side, like levelization's dependency-graph build), traced as its
 /// own `phase.block_detect` span so warm paths can prove they skipped it.
-fn detect_block_plan(gpu: &Gpu, pattern: &Csc, threshold: f64, trace: &dyn TraceSink) -> BlockPlan {
+pub(crate) fn detect_block_plan(
+    gpu: &Gpu,
+    pattern: &Csc,
+    threshold: f64,
+    trace: &dyn TraceSink,
+) -> BlockPlan {
     trace.span_begin(
         "phase.block_detect",
         "phase",

@@ -114,6 +114,15 @@ pub enum RecoveryAction {
         /// Entries the abandoned in-place expansion had inserted.
         abandoned: usize,
     },
+    /// A fleet device died mid-phase (injected OOM or launch fault) and
+    /// its shard of the work was re-run on the surviving devices. The
+    /// result is still bit-identical; only the makespan degrades.
+    DeviceLost {
+        /// Ordinal of the device that died.
+        device: usize,
+        /// Work units (rows or columns) resharded onto survivors.
+        resharded: usize,
+    },
     /// A persisted factor-cache entry failed its checksum, schema-version
     /// or fingerprint validation on load and was rejected; the job fell
     /// back to a cold factorization (never a wrong answer).
@@ -168,6 +177,12 @@ impl fmt::Display for RecoveryAction {
                 write!(
                     f,
                     "full re-symbolic pass (in-place expansion abandoned after +{abandoned})"
+                )
+            }
+            RecoveryAction::DeviceLost { device, resharded } => {
+                write!(
+                    f,
+                    "device {device} lost; {resharded} work unit(s) resharded onto survivors"
                 )
             }
             RecoveryAction::DiskEntryRejected { key, reason } => {

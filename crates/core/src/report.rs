@@ -20,6 +20,31 @@ pub struct PhaseStats {
     pub numeric: GpuStatsSnapshot,
 }
 
+/// Fleet accounting for a multi-device run: who did the work, who died,
+/// and what the interconnect charged. `None` on single-[`gplu_sim::Gpu`]
+/// runs.
+#[derive(Debug, Clone, Default)]
+pub struct FleetReport {
+    /// Devices the fleet was built with.
+    pub devices: usize,
+    /// Devices that died during the run (injected faults); their shards
+    /// were re-run on the survivors.
+    pub dead: Vec<usize>,
+    /// Per-device busy time across the whole run, nanoseconds, indexed by
+    /// device ordinal.
+    pub per_device_ns: Vec<f64>,
+    /// Symbolic source rows re-run on survivors after device deaths.
+    pub resharded_rows: usize,
+    /// Numeric columns re-run on survivors after device deaths.
+    pub resharded_cols: usize,
+    /// Cross-device exchange legs priced on the interconnect.
+    pub exchanges: u64,
+    /// Bytes moved across the interconnect.
+    pub exchange_bytes: u64,
+    /// Simulated time charged to the interconnect (summed over devices).
+    pub exchange_ns: f64,
+}
+
 /// Timing and accounting of one end-to-end factorization.
 #[derive(Debug, Clone, Default)]
 pub struct PhaseReport {
@@ -71,6 +96,8 @@ pub struct PhaseReport {
     /// engine/format degradation, late pivot repair). Empty on a clean
     /// run.
     pub recovery: RecoveryLog,
+    /// Multi-device accounting, set only by the fleet pipeline.
+    pub fleet: Option<FleetReport>,
 }
 
 impl PhaseReport {
@@ -131,6 +158,14 @@ impl PhaseReport {
         }
         if !self.recovery.is_empty() {
             s.push_str(&format!(" | recovery: {}", self.recovery.summary()));
+        }
+        if let Some(fl) = &self.fleet {
+            s.push_str(&format!(
+                " | fleet {}x ({} dead, {} exchange legs)",
+                fl.devices,
+                fl.dead.len(),
+                fl.exchanges
+            ));
         }
         s
     }

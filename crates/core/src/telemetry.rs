@@ -29,7 +29,11 @@
 //!                 "duration_ns": f64, "probes": u64?, "merge_steps": u64?,
 //!                 "batches": u64?, "blocks": u64?,
 //!                 "mean_block_width": f64?, "gemm_tiles": u64? }, ... ],
-//!   "recovery": [ { "phase": str, "action": str }, ... ]
+//!   "recovery": [ { "phase": str, "action": str }, ... ],
+//!   "fleet":   { "devices": u64, "dead": [u64...],
+//!                "per_device_ns": [f64...], "resharded_rows": u64,
+//!                "resharded_cols": u64, "exchanges": u64,
+//!                "exchange_bytes": u64, "exchange_ns": f64 }?   // fleet runs only
 //! }
 //! ```
 //!
@@ -174,7 +178,7 @@ impl RunReport {
             })
             .collect();
 
-        JsonValue::obj()
+        let mut out = JsonValue::obj()
             .set("schema_version", SCHEMA_VERSION)
             .set(
                 "matrix",
@@ -214,7 +218,28 @@ impl RunReport {
             )
             .set("gpu", gpu)
             .set("levels", levels)
-            .set("recovery", recovery)
+            .set("recovery", recovery);
+        if let Some(fl) = &r.fleet {
+            let per_device: Vec<JsonValue> = fl
+                .per_device_ns
+                .iter()
+                .map(|&ns| JsonValue::from(ns))
+                .collect();
+            let dead: Vec<JsonValue> = fl.dead.iter().map(|&d| JsonValue::from(d)).collect();
+            out = out.set(
+                "fleet",
+                JsonValue::obj()
+                    .set("devices", fl.devices)
+                    .set("dead", dead)
+                    .set("per_device_ns", per_device)
+                    .set("resharded_rows", fl.resharded_rows)
+                    .set("resharded_cols", fl.resharded_cols)
+                    .set("exchanges", fl.exchanges)
+                    .set("exchange_bytes", fl.exchange_bytes)
+                    .set("exchange_ns", fl.exchange_ns),
+            );
+        }
+        out
     }
 
     /// The report as pretty-printed JSON text.

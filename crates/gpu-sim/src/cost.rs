@@ -49,6 +49,17 @@ pub struct CostModel {
     /// Fixed per-transfer latency (driver + DMA setup), ~10 µs.
     pub pcie_latency_ns: f64,
 
+    // ---- device <-> device (fleet interconnect) --------------------------
+    /// NVLink 2.0 effective per-direction bandwidth between two V100s:
+    /// 6 bricks × 25 GB/s ≈ 150 GB/s ⇒ 0.00667 ns/byte. Slower than HBM
+    /// (the exchange is still a real cost at level barriers) but an order
+    /// of magnitude faster than staging through PCIe and the host.
+    pub nvlink_ns_per_byte: f64,
+    /// Fixed per-exchange latency on the peer link (doorbell + DMA setup);
+    /// published V100 peer-copy latencies sit around 2 µs, well under the
+    /// host-mediated PCIe setup cost.
+    pub nvlink_latency_ns: f64,
+
     // ---- unified memory ---------------------------------------------------
     /// Fault-group migration block of the UM manager. Volta's UVM tree
     /// prefetcher escalates per-fault migration up to 2 MiB, and the
@@ -96,6 +107,8 @@ impl Default for CostModel {
             hbm_ns_per_byte: 1.0 / 900.0e9 * 1e9,
             pcie_ns_per_byte: 1.0 / 12.0e9 * 1e9,
             pcie_latency_ns: 10_000.0,
+            nvlink_ns_per_byte: 1.0 / 150.0e9 * 1e9,
+            nvlink_latency_ns: 2_000.0,
             um_page_bytes: 2 * 1024 * 1024,
             um_fault_group_ns: 25_000.0,
             um_fault_group_pages: 1,
@@ -121,6 +134,15 @@ impl CostModel {
     /// Time for an explicit PCIe transfer of `bytes`.
     pub fn pcie_transfer_ns(&self, bytes: u64) -> f64 {
         self.pcie_latency_ns + bytes as f64 * self.pcie_ns_per_byte
+    }
+
+    /// Time for a peer-to-peer NVLink exchange of `bytes` between two
+    /// devices of a fleet. Every cross-device exchange (symbolic shard
+    /// merges, numeric boundary-column all-gathers) is charged through
+    /// this helper so the fleet's scaling curves price communication,
+    /// not just compute.
+    pub fn nvlink_transfer_ns(&self, bytes: u64) -> f64 {
+        self.nvlink_latency_ns + bytes as f64 * self.nvlink_ns_per_byte
     }
 
     /// Time for the host-side threshold-pivot discovery pre-pass: a
@@ -201,6 +223,7 @@ impl CostModel {
         self.host_launch_ns /= s;
         self.device_launch_ns /= s;
         self.pcie_latency_ns /= s;
+        self.nvlink_latency_ns /= s;
         self
     }
 
@@ -239,6 +262,13 @@ mod tests {
         let service_per_byte = c.um_fault_group_ns / c.um_page_bytes as f64;
         assert!(service_per_byte < c.pcie_ns_per_byte);
         assert!(service_per_byte > c.pcie_ns_per_byte / 20.0);
+        // The fleet interconnect sits strictly between HBM and PCIe: a
+        // peer exchange is slower than local memory but much faster than
+        // bouncing through the host.
+        assert!(c.nvlink_ns_per_byte > c.hbm_ns_per_byte);
+        assert!(c.nvlink_ns_per_byte < c.pcie_ns_per_byte / 5.0);
+        assert!(c.nvlink_latency_ns < c.pcie_latency_ns / 2.0);
+        assert!(c.nvlink_latency_ns > c.device_launch_ns);
     }
 
     #[test]
@@ -298,5 +328,18 @@ mod tests {
             (big - (c.pcie_latency_ns + 1e9)).abs() / big < 1e-6,
             "12 GB ≈ 1 s"
         );
+    }
+
+    #[test]
+    fn nvlink_transfer_includes_latency_and_beats_pcie() {
+        let c = CostModel::default();
+        assert!(c.nvlink_transfer_ns(0) == c.nvlink_latency_ns);
+        let big = c.nvlink_transfer_ns(150_000_000_000);
+        assert!(
+            (big - (c.nvlink_latency_ns + 1e9)).abs() / big < 1e-6,
+            "150 GB ≈ 1 s"
+        );
+        // For any bulk exchange the peer link must beat the host path.
+        assert!(c.nvlink_transfer_ns(1 << 20) < c.pcie_transfer_ns(1 << 20));
     }
 }

@@ -353,6 +353,50 @@ impl FaultPlan {
         Ok(plan)
     }
 
+    /// Parses a fleet spec: one plan per device of an `devices`-wide
+    /// fleet. Items prefixed `dev=K:` target device `K` only (e.g.
+    /// `dev=2:oom:alloc=3` — kill the third allocation *on device 2*);
+    /// unprefixed items broadcast to every device. Everything after the
+    /// selector uses the ordinary [`FaultPlan::parse`] grammar.
+    ///
+    /// Example: `dev=1:badlaunch:*=1:persistent,squeeze:alloc=2:50` gives
+    /// device 1 a dead launch path while every device (1 included) sees
+    /// the capacity squeeze.
+    pub fn parse_fleet(spec: &str, devices: usize) -> Result<Vec<Self>, String> {
+        let devices = devices.max(1);
+        let mut per: Vec<Vec<&str>> = vec![Vec::new(); devices];
+        for raw in spec.split(',') {
+            let item = raw.trim();
+            if item.is_empty() {
+                continue;
+            }
+            if let Some(rest) = item.strip_prefix("dev=") {
+                let (idx, body) = rest
+                    .split_once(':')
+                    .ok_or_else(|| format!("'{item}': device selector needs dev=K:FAULT"))?;
+                let d = idx
+                    .parse::<usize>()
+                    .map_err(|_| format!("'{item}': device index must be an integer"))?;
+                if d >= devices {
+                    return Err(format!(
+                        "'{item}': device {d} outside fleet of {devices} devices"
+                    ));
+                }
+                if body.trim().is_empty() {
+                    return Err(format!("'{item}': device selector needs dev=K:FAULT"));
+                }
+                per[d].push(body);
+            } else {
+                for dev_items in per.iter_mut() {
+                    dev_items.push(item);
+                }
+            }
+        }
+        per.into_iter()
+            .map(|items| FaultPlan::parse(&items.join(",")))
+            .collect()
+    }
+
     /// Reads a plan from the `GPLU_FAULT_PLAN` environment variable.
     /// `Ok(None)` when the variable is unset or empty.
     pub fn from_env() -> Result<Option<Self>, String> {
@@ -744,6 +788,48 @@ mod tests {
         ] {
             assert!(FaultPlan::parse(bad).is_err(), "'{bad}' should be rejected");
         }
+    }
+
+    #[test]
+    fn fleet_parse_routes_selectors_and_broadcasts() {
+        let plans = FaultPlan::parse_fleet(
+            "dev=2:oom:alloc=3, badlaunch:numeric_merge=1, dev=0:crash:at=1",
+            4,
+        )
+        .expect("valid fleet spec");
+        assert_eq!(plans.len(), 4);
+        // The broadcast launch fault lands everywhere.
+        for p in &plans {
+            assert_eq!(p.launch_faults().len(), 1);
+        }
+        // Selector-targeted faults land only on their device.
+        assert_eq!(plans[0].crash_faults(), &[1]);
+        assert!(plans[1].crash_faults().is_empty());
+        assert_eq!(plans[2].oom_faults().len(), 1);
+        assert!(plans[0].oom_faults().is_empty());
+        assert!(plans[3].oom_faults().is_empty() && plans[3].crash_faults().is_empty());
+    }
+
+    #[test]
+    fn fleet_parse_rejects_bad_selectors() {
+        for bad in [
+            "dev=4:oom:alloc=1", // outside a 4-device fleet
+            "dev=x:oom:alloc=1",
+            "dev=1:",
+            "dev=1",
+            "dev=1:quux:alloc=1",
+        ] {
+            assert!(
+                FaultPlan::parse_fleet(bad, 4).is_err(),
+                "'{bad}' should be rejected"
+            );
+        }
+        // An ordinary single-device spec is a valid broadcast.
+        let plans = FaultPlan::parse_fleet("oom:alloc=2", 2).expect("ok");
+        assert!(plans.iter().all(|p| p.oom_faults().len() == 1));
+        // Empty spec: every device fault-free.
+        let plans = FaultPlan::parse_fleet("", 3).expect("ok");
+        assert!(plans.iter().all(FaultPlan::is_empty));
     }
 
     #[test]

@@ -1,0 +1,428 @@
+//! A fleet of independent simulated devices plus the interconnect that
+//! joins them.
+//!
+//! Every device of a [`DeviceFleet`] owns its *own* memory arena, clock,
+//! statistics and (optionally) fault injector — exactly the isolation a
+//! real multi-GPU node provides. What the fleet adds on top is the part a
+//! single [`Gpu`] cannot model:
+//!
+//! * **cross-device exchange** priced through the NVLink terms of
+//!   [`CostModel`](crate::CostModel) ([`DeviceFleet::exchange`],
+//!   [`DeviceFleet::all_gather`]),
+//! * **barriers** that advance every live clock to the fleet-wide maximum
+//!   (a sharded phase cannot finish before its slowest shard),
+//! * **liveness tracking** ([`DeviceFleet::mark_dead`]) so chaos suites
+//!   can kill one device and callers can reshard onto the survivors.
+//!
+//! Sharded drivers (`gplu-symbolic`'s fleet fill counting, `gplu-numeric`'s
+//! level-partitioned engines) compute values in exactly the same
+//! deterministic host-side code as their single-device counterparts; the
+//! fleet only changes *pricing* — which is what keeps sharded results
+//! bit-identical at every device count.
+
+use crate::clock::SimTime;
+use crate::config::GpuConfig;
+use crate::cost::CostModel;
+use crate::fault::FaultPlan;
+use crate::launch::Gpu;
+use crate::stats::GpuStatsSnapshot;
+use parking_lot::Mutex;
+
+/// Interconnect accounting accumulated across the fleet's lifetime.
+#[derive(Debug, Default, Clone)]
+pub struct InterconnectStats {
+    /// Number of priced cross-device exchanges (point-to-point legs; an
+    /// all-gather over `k` devices counts `k` legs).
+    pub exchanges: u64,
+    /// Total bytes moved across the interconnect.
+    pub bytes: u64,
+    /// Total simulated time charged to exchanges (summed over devices —
+    /// legs on different devices overlap in wall-clock).
+    pub time: SimTime,
+}
+
+/// One device's slice of a fleet statistics snapshot.
+#[derive(Debug, Clone)]
+pub struct FleetDeviceStats {
+    /// Device ordinal within the fleet.
+    pub device: usize,
+    /// Whether the device has been marked dead.
+    pub dead: bool,
+    /// The device's own counters.
+    pub stats: GpuStatsSnapshot,
+    /// Arena bytes currently allocated.
+    pub mem_used: u64,
+    /// Arena high-water mark.
+    pub mem_peak: u64,
+    /// Arena capacity.
+    pub mem_capacity: u64,
+}
+
+/// A consistent reading of the whole fleet.
+#[derive(Debug, Clone)]
+pub struct FleetStats {
+    /// Per-device snapshots, indexed by device ordinal.
+    pub devices: Vec<FleetDeviceStats>,
+    /// Interconnect accounting.
+    pub interconnect: InterconnectStats,
+}
+
+impl FleetStats {
+    /// The fleet-wide makespan: the latest clock among live devices (all
+    /// devices when every one is dead).
+    pub fn makespan(&self) -> SimTime {
+        let fold_max = |iter: &mut dyn Iterator<Item = SimTime>| {
+            iter.fold(None, |acc: Option<SimTime>, t| {
+                Some(acc.map_or(t, |a| a.max(t)))
+            })
+        };
+        let live = fold_max(&mut self.devices.iter().filter(|d| !d.dead).map(|d| d.stats.now));
+        live.or_else(|| fold_max(&mut self.devices.iter().map(|d| d.stats.now)))
+            .unwrap_or(SimTime::ZERO)
+    }
+}
+
+/// `N` independent simulated devices joined by an NVLink-priced
+/// interconnect. See the module docs.
+#[derive(Debug)]
+pub struct DeviceFleet {
+    devices: Vec<Gpu>,
+    dead: Mutex<Vec<bool>>,
+    interconnect: Mutex<InterconnectStats>,
+}
+
+impl DeviceFleet {
+    /// A fleet of `n` identical devices with the default cost model.
+    pub fn new(n: usize, cfg: GpuConfig) -> Self {
+        DeviceFleet::with_cost(n, cfg, CostModel::default())
+    }
+
+    /// A fleet of `n` identical devices with an explicit cost model.
+    pub fn with_cost(n: usize, cfg: GpuConfig, cost: CostModel) -> Self {
+        let n = n.max(1);
+        let devices = (0..n)
+            .map(|_| Gpu::with_cost(cfg.clone(), cost.clone()))
+            .collect();
+        DeviceFleet::from_devices(devices)
+    }
+
+    /// A fleet with one deterministic [`FaultPlan`] per device (see
+    /// [`FaultPlan::parse_fleet`] for the `dev=K:` selector grammar).
+    /// `plans` shorter than `n` leaves the remaining devices fault-free.
+    pub fn with_fault_plans(
+        n: usize,
+        cfg: GpuConfig,
+        cost: CostModel,
+        plans: &[FaultPlan],
+    ) -> Self {
+        let n = n.max(1);
+        let devices = (0..n)
+            .map(|d| {
+                let plan = plans.get(d).cloned().unwrap_or_default();
+                Gpu::with_fault_plan(cfg.clone(), cost.clone(), plan)
+            })
+            .collect();
+        DeviceFleet::from_devices(devices)
+    }
+
+    /// Wraps pre-built devices (heterogeneous configs allowed).
+    pub fn from_devices(devices: Vec<Gpu>) -> Self {
+        assert!(!devices.is_empty(), "a fleet needs at least one device");
+        let n = devices.len();
+        DeviceFleet {
+            devices,
+            dead: Mutex::new(vec![false; n]),
+            interconnect: Mutex::new(InterconnectStats::default()),
+        }
+    }
+
+    /// Number of devices (dead ones included).
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// True only for the degenerate case `from_devices` forbids.
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// The device at ordinal `d`.
+    pub fn device(&self, d: usize) -> &Gpu {
+        &self.devices[d]
+    }
+
+    /// All devices, indexed by ordinal.
+    pub fn devices(&self) -> &[Gpu] {
+        &self.devices
+    }
+
+    /// Marks device `d` dead: it keeps its clock and stats (the work it
+    /// completed before dying stays priced) but drops out of barriers,
+    /// exchanges and [`DeviceFleet::alive`]. Returns `false` if it was
+    /// already dead.
+    pub fn mark_dead(&self, d: usize) -> bool {
+        let mut dead = self.dead.lock();
+        let was = dead[d];
+        dead[d] = true;
+        !was
+    }
+
+    /// Whether device `d` has been marked dead.
+    pub fn is_dead(&self, d: usize) -> bool {
+        self.dead.lock()[d]
+    }
+
+    /// Ordinals of live devices, ascending.
+    pub fn alive(&self) -> Vec<usize> {
+        let dead = self.dead.lock();
+        (0..self.devices.len()).filter(|&d| !dead[d]).collect()
+    }
+
+    /// Number of live devices.
+    pub fn n_alive(&self) -> usize {
+        self.dead.lock().iter().filter(|&&d| !d).count()
+    }
+
+    /// True once any device has been marked dead — the fleet analogue of
+    /// the cache's disk-down degradation signal, feeding admission
+    /// decisions upstream.
+    pub fn degraded(&self) -> bool {
+        self.dead.lock().iter().any(|&d| d)
+    }
+
+    /// Prices one point-to-point exchange of `bytes` from device `from`
+    /// to device `to` over the peer link. Both endpoints' clocks advance
+    /// by the transfer time (the DMA occupies source and destination
+    /// engines alike). A self-exchange is free — the data never leaves
+    /// the arena.
+    pub fn exchange(&self, from: usize, to: usize, bytes: u64) -> SimTime {
+        if from == to {
+            return SimTime::ZERO;
+        }
+        let t = SimTime::from_ns(self.devices[from].cost().nvlink_transfer_ns(bytes));
+        self.devices[from].advance(t);
+        self.devices[to].advance(t);
+        let mut ic = self.interconnect.lock();
+        ic.exchanges += 1;
+        ic.bytes += bytes;
+        ic.time = ic.time + t + t;
+        t
+    }
+
+    /// Prices an **all-gather at a level barrier**: every live device `d`
+    /// contributed `bytes[d]` and must receive everyone else's
+    /// contribution, so it pays one exchange of `total − bytes[d]`; the
+    /// fleet then barriers. With one live device (or one total
+    /// contributor) nothing moves. Returns the post-barrier makespan.
+    pub fn all_gather(&self, bytes: &[u64]) -> SimTime {
+        let alive = self.alive();
+        let total: u64 = alive
+            .iter()
+            .map(|&d| bytes.get(d).copied().unwrap_or(0))
+            .sum();
+        if alive.len() > 1 && total > 0 {
+            let mut ic = self.interconnect.lock();
+            for &d in &alive {
+                let recv = total - bytes.get(d).copied().unwrap_or(0);
+                let t = SimTime::from_ns(self.devices[d].cost().nvlink_transfer_ns(recv));
+                self.devices[d].advance(t);
+                ic.exchanges += 1;
+                ic.bytes += recv;
+                ic.time += t;
+            }
+        }
+        self.barrier()
+    }
+
+    /// Advances every live device's clock to the fleet-wide maximum (a
+    /// synchronization point: no shard proceeds before the slowest).
+    /// Returns the barrier time.
+    pub fn barrier(&self) -> SimTime {
+        let alive = self.alive();
+        let max = alive
+            .iter()
+            .map(|&d| self.devices[d].now())
+            .fold(SimTime::ZERO, SimTime::max);
+        for &d in &alive {
+            let now = self.devices[d].now();
+            if now < max {
+                self.devices[d].advance(SimTime::from_ns(max.as_ns() - now.as_ns()));
+            }
+        }
+        max
+    }
+
+    /// The latest clock among live devices.
+    pub fn makespan(&self) -> SimTime {
+        self.stats().makespan()
+    }
+
+    /// A consistent snapshot of every device plus the interconnect.
+    pub fn stats(&self) -> FleetStats {
+        let dead = self.dead.lock().clone();
+        let devices = self
+            .devices
+            .iter()
+            .enumerate()
+            .map(|(d, gpu)| FleetDeviceStats {
+                device: d,
+                dead: dead[d],
+                stats: gpu.stats(),
+                mem_used: gpu.mem.used_bytes(),
+                mem_peak: gpu.mem.peak_bytes(),
+                mem_capacity: gpu.mem.capacity(),
+            })
+            .collect();
+        FleetStats {
+            devices,
+            interconnect: self.interconnect.lock().clone(),
+        }
+    }
+}
+
+/// Splits `0..n_items` into `parts` contiguous ranges whose lengths differ
+/// by at most one (the first `n_items % parts` ranges get the extra item).
+/// Trailing ranges are empty when `parts > n_items`.
+pub fn split_even(n_items: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    let parts = parts.max(1);
+    let base = n_items / parts;
+    let extra = n_items % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet(n: usize) -> DeviceFleet {
+        DeviceFleet::new(n, GpuConfig::v100())
+    }
+
+    #[test]
+    fn devices_have_independent_clocks_and_arenas() {
+        let f = fleet(3);
+        f.device(0).advance(SimTime::from_ns(1000.0));
+        let a = f.device(1).mem.alloc(4096).expect("alloc ok");
+        assert_eq!(f.device(0).now(), SimTime::from_ns(1000.0));
+        assert_eq!(f.device(1).now(), SimTime::ZERO);
+        assert_eq!(f.device(1).mem.used_bytes(), 4096);
+        assert_eq!(f.device(0).mem.used_bytes(), 0);
+        f.device(1).mem.free(a).expect("free ok");
+    }
+
+    #[test]
+    fn exchange_charges_both_endpoints() {
+        let f = fleet(2);
+        let t = f.exchange(0, 1, 1 << 20);
+        let expect = f.device(0).cost().nvlink_transfer_ns(1 << 20);
+        assert!((t.as_ns() - expect).abs() < 1e-9);
+        assert_eq!(f.device(0).now(), t);
+        assert_eq!(f.device(1).now(), t);
+        let ic = f.stats().interconnect;
+        assert_eq!(ic.exchanges, 1);
+        assert_eq!(ic.bytes, 1 << 20);
+    }
+
+    #[test]
+    fn self_exchange_is_free() {
+        let f = fleet(2);
+        assert_eq!(f.exchange(1, 1, 1 << 30), SimTime::ZERO);
+        assert_eq!(f.stats().interconnect.exchanges, 0);
+    }
+
+    #[test]
+    fn barrier_advances_laggards_to_max() {
+        let f = fleet(3);
+        f.device(2).advance(SimTime::from_ns(5000.0));
+        let m = f.barrier();
+        assert_eq!(m, SimTime::from_ns(5000.0));
+        for d in 0..3 {
+            assert_eq!(f.device(d).now(), m);
+        }
+    }
+
+    #[test]
+    fn all_gather_charges_receives_and_barriers() {
+        let f = fleet(2);
+        let m = f.all_gather(&[1000, 3000]);
+        // Device 0 receives 3000 bytes, device 1 receives 1000; the
+        // barrier pulls both to the slower (device 0) finish.
+        let t0 = f.device(0).cost().nvlink_transfer_ns(3000);
+        assert!((m.as_ns() - t0).abs() < 1e-9);
+        assert_eq!(f.device(0).now(), f.device(1).now());
+        let ic = f.stats().interconnect;
+        assert_eq!(ic.exchanges, 2);
+        assert_eq!(ic.bytes, 4000);
+    }
+
+    #[test]
+    fn single_device_all_gather_moves_nothing() {
+        let f = fleet(1);
+        assert_eq!(f.all_gather(&[1 << 20]), SimTime::ZERO);
+        assert_eq!(f.stats().interconnect.exchanges, 0);
+    }
+
+    #[test]
+    fn dead_devices_drop_out_of_barriers_and_exchange() {
+        let f = fleet(3);
+        f.device(1).advance(SimTime::from_ns(9000.0));
+        assert!(f.mark_dead(1));
+        assert!(!f.mark_dead(1), "second kill is a no-op");
+        assert!(f.degraded());
+        assert_eq!(f.alive(), vec![0, 2]);
+        assert_eq!(f.n_alive(), 2);
+        // The dead device's clock no longer drags the barrier.
+        let m = f.barrier();
+        assert_eq!(m, SimTime::ZERO);
+        // all_gather only prices the survivors.
+        f.all_gather(&[100, 100, 100]);
+        assert_eq!(f.stats().interconnect.exchanges, 2);
+        // Makespan ignores the dead clock too.
+        assert!(f.makespan() < SimTime::from_ns(9000.0));
+    }
+
+    #[test]
+    fn fleet_stats_expose_arena_occupancy() {
+        let f = fleet(2);
+        let a = f.device(1).mem.alloc(1 << 16).expect("alloc ok");
+        let s = f.stats();
+        assert_eq!(s.devices.len(), 2);
+        assert_eq!(s.devices[1].mem_used, 1 << 16);
+        assert_eq!(s.devices[0].mem_used, 0);
+        assert_eq!(s.devices[1].device, 1);
+        f.device(1).mem.free(a).expect("free ok");
+        assert_eq!(f.stats().devices[1].mem_peak, 1 << 16);
+    }
+
+    #[test]
+    fn split_even_covers_and_balances() {
+        let parts = split_even(10, 4);
+        assert_eq!(parts, vec![0..3, 3..6, 6..8, 8..10]);
+        assert_eq!(split_even(2, 4), vec![0..1, 1..2, 2..2, 2..2]);
+        assert_eq!(split_even(0, 3), vec![0..0, 0..0, 0..0]);
+        // Every item lands in exactly one range.
+        let mut seen = [false; 10];
+        for r in split_even(10, 3) {
+            for i in r {
+                assert!(!seen[i]);
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn per_device_fault_plans_are_isolated() {
+        let plans = FaultPlan::parse_fleet("dev=1:oom:alloc=1", 2).expect("parse ok");
+        let f = DeviceFleet::with_fault_plans(2, GpuConfig::v100(), CostModel::default(), &plans);
+        assert!(f.device(0).mem.alloc(16).is_ok(), "device 0 untouched");
+        assert!(f.device(1).mem.alloc(16).is_err(), "device 1 injected");
+    }
+}

@@ -40,6 +40,7 @@ pub mod config;
 pub mod cost;
 pub mod error;
 pub mod fault;
+pub mod fleet;
 pub mod kernel;
 pub mod launch;
 pub mod memory;
@@ -54,6 +55,7 @@ pub use fault::{
     DiskFault, DiskOp, FaultInjector, FaultPlan, LaunchFault, OomFault, SqueezeFault,
     FAULT_PLAN_ENV,
 };
+pub use fleet::{split_even, DeviceFleet, FleetDeviceStats, FleetStats, InterconnectStats};
 pub use kernel::{BlockCtx, Kernel};
 pub use launch::{Exec, Gpu, KernelReport, LaunchKind};
 pub use memory::{DeviceAlloc, DeviceMemory};

@@ -90,7 +90,7 @@ pub struct LevelRun<'a> {
     pub perturbs: &'a Mutex<Vec<(usize, f64)>>,
     /// True when this level is tail-launched device-side (captured-
     /// schedule replay, Algorithm 5).
-    tail_launch: bool,
+    pub(crate) tail_launch: bool,
 }
 
 impl LevelRun<'_> {

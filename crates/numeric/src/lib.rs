@@ -59,6 +59,7 @@ pub mod blocked;
 pub mod dense;
 pub mod engine;
 pub mod error;
+pub mod fleet;
 pub mod merge;
 pub mod modes;
 pub mod outcome;
@@ -79,6 +80,10 @@ pub use dense::{
 };
 pub use engine::{run_levels, EngineCounters, LevelRun, NumericEngine};
 pub use error::NumericError;
+pub use fleet::{
+    factorize_fleet_blocked, factorize_fleet_dense, factorize_fleet_merge, factorize_fleet_sparse,
+    run_levels_fleet, FleetNumericOutcome,
+};
 pub use merge::{
     factorize_gpu_merge, factorize_gpu_merge_run, factorize_gpu_merge_run_cached,
     factorize_gpu_merge_traced,

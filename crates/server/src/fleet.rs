@@ -1,0 +1,290 @@
+//! Fleet scheduling: cache-locality-aware placement of jobs onto the
+//! service's simulated device fleet.
+//!
+//! With [`crate::ServiceConfig::devices`] > 1 the service models a small
+//! fleet of accelerators behind one admission queue. Every accepted job
+//! is *placed* on a device at submission:
+//!
+//! * **Locality first.** A pattern's first cold factorization homes it
+//!   on the device that built its `RefactorPlan`; later jobs on the same
+//!   pattern route back to that home, where the plan is arena-resident —
+//!   a warm hit on any other device would have to re-ship the plan.
+//! * **Least-loaded fallback.** Unknown patterns — and patterns whose
+//!   home device has been marked dead — go to the live device with the
+//!   shallowest logical queue (outstanding placed-but-unfinished jobs),
+//!   which also re-homes the pattern there.
+//!
+//! Placement is accounting, not value computation: results are
+//! bit-identical regardless of which device a job lands on (the same
+//! functional pipeline runs either way), so the scheduler only shapes
+//! latency, cache locality, and the per-device counters the service
+//! report exposes.
+//!
+//! A dead device ([`FleetScheduler::mark_dead`]) drops out of placement
+//! immediately; its homed patterns re-home onto survivors on their next
+//! job (the service-level mirror of the pipeline's mid-phase reshard).
+//! While any device is dead the fleet reports itself
+//! [`FleetScheduler::degraded`], which the admission path folds into its
+//! load-shedding predicate alongside a downed disk tier.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Per-device scheduling cell: the logical queue depth plus the
+/// monotone counters the report summarizes.
+#[derive(Debug, Default)]
+struct DeviceCell {
+    /// Jobs placed on this device and not yet finished (the logical
+    /// per-device queue: waiting + executing).
+    queued: AtomicU64,
+    /// Jobs this device finished (any outcome).
+    jobs: AtomicU64,
+    /// Hot-pattern jobs this device finished.
+    hot_jobs: AtomicU64,
+    /// Hot jobs served warm or from cached factors on this device.
+    hot_hits: AtomicU64,
+    /// Plan bytes homed on this device by cold builds (cumulative; the
+    /// service-level stand-in for arena occupancy).
+    plan_bytes: AtomicU64,
+    dead: AtomicBool,
+}
+
+/// Point-in-time view of one device's scheduling state.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DeviceLoadSnapshot {
+    /// Device ordinal within the fleet.
+    pub device: usize,
+    /// Jobs placed but not yet finished.
+    pub queued: u64,
+    /// Jobs finished on this device.
+    pub jobs: u64,
+    /// Hot jobs finished on this device.
+    pub hot_jobs: u64,
+    /// Hot jobs served warm or cached on this device.
+    pub hot_hits: u64,
+    /// Cumulative plan bytes homed on this device.
+    pub plan_bytes: u64,
+    /// Whether the device is marked dead.
+    pub dead: bool,
+}
+
+impl DeviceLoadSnapshot {
+    /// Cache hit rate over this device's hot segment (1.0 when no hot
+    /// jobs landed here) — same convention as
+    /// [`crate::StatsSnapshot::hot_hit_rate`].
+    pub fn hot_hit_rate(&self) -> f64 {
+        if self.hot_jobs == 0 {
+            1.0
+        } else {
+            self.hot_hits as f64 / self.hot_jobs as f64
+        }
+    }
+}
+
+/// The service's device-fleet scheduler. See the module docs for the
+/// placement policy.
+#[derive(Debug)]
+pub struct FleetScheduler {
+    cells: Vec<DeviceCell>,
+    /// Pattern fingerprint → home device (where its plan was built).
+    homes: Mutex<HashMap<u64, usize>>,
+}
+
+impl FleetScheduler {
+    /// A fleet of `devices` devices (clamped to at least 1).
+    pub fn new(devices: usize) -> FleetScheduler {
+        FleetScheduler {
+            cells: (0..devices.max(1)).map(|_| DeviceCell::default()).collect(),
+            homes: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Fleet size.
+    pub fn devices(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Devices not marked dead.
+    pub fn n_alive(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| !c.dead.load(Ordering::Relaxed))
+            .count()
+    }
+
+    /// True while any device is dead — the fleet half of the service's
+    /// degraded-mode admission predicate.
+    pub fn degraded(&self) -> bool {
+        self.cells.iter().any(|c| c.dead.load(Ordering::Relaxed))
+    }
+
+    /// Marks a device dead; its homed patterns re-home onto survivors
+    /// on their next placement. Returns false for an out-of-range
+    /// ordinal or when this is the last live device (the fleet refuses
+    /// to kill its final executor — jobs must keep landing somewhere).
+    pub fn mark_dead(&self, device: usize) -> bool {
+        let Some(cell) = self.cells.get(device) else {
+            return false;
+        };
+        if !cell.dead.load(Ordering::Relaxed) && self.n_alive() <= 1 {
+            return false;
+        }
+        cell.dead.store(true, Ordering::Relaxed);
+        true
+    }
+
+    /// Whether a device is marked dead (out-of-range reads as dead).
+    pub fn is_dead(&self, device: usize) -> bool {
+        self.cells
+            .get(device)
+            .is_none_or(|c| c.dead.load(Ordering::Relaxed))
+    }
+
+    /// The device a pattern is currently homed on, if any.
+    pub fn home_of(&self, pattern_fp: u64) -> Option<usize> {
+        self.homes
+            .lock()
+            .expect("fleet homes lock")
+            .get(&pattern_fp)
+            .copied()
+    }
+
+    /// Places a job for `pattern_fp`: its live home device when it has
+    /// one, otherwise the live device with the shallowest logical queue
+    /// (which becomes the pattern's new home). Increments the chosen
+    /// device's queue; pair with [`FleetScheduler::finish`].
+    pub fn place(&self, pattern_fp: u64) -> usize {
+        let mut homes = self.homes.lock().expect("fleet homes lock");
+        let device = match homes.get(&pattern_fp) {
+            Some(&d) if !self.is_dead(d) => d,
+            _ => {
+                let d = self.least_loaded();
+                homes.insert(pattern_fp, d);
+                d
+            }
+        };
+        drop(homes);
+        self.cells[device].queued.fetch_add(1, Ordering::Relaxed);
+        device
+    }
+
+    /// The live device with the fewest outstanding jobs (lowest ordinal
+    /// on ties; ignores the dead flag only if every device is dead —
+    /// placement must always land somewhere).
+    fn least_loaded(&self) -> usize {
+        let pick = |require_alive: bool| {
+            self.cells
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| !require_alive || !c.dead.load(Ordering::Relaxed))
+                .min_by_key(|(d, c)| (c.queued.load(Ordering::Relaxed), *d))
+                .map(|(d, _)| d)
+        };
+        pick(true).or_else(|| pick(false)).unwrap_or(0)
+    }
+
+    /// A job placed on `device` finished (any outcome): pops it off the
+    /// logical queue and folds its hot/hit contribution in.
+    pub fn finish(&self, device: usize, hot: bool, hit: bool) {
+        let Some(cell) = self.cells.get(device) else {
+            return;
+        };
+        let q = &cell.queued;
+        // Saturating pop: a cancelled job can race its own placement
+        // accounting during shutdown.
+        let _ = q.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1));
+        cell.jobs.fetch_add(1, Ordering::Relaxed);
+        if hot {
+            cell.hot_jobs.fetch_add(1, Ordering::Relaxed);
+            if hit {
+                cell.hot_hits.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Charges a cold build's plan bytes to the device it homed on.
+    pub fn charge_plan(&self, device: usize, bytes: u64) {
+        if let Some(cell) = self.cells.get(device) {
+            cell.plan_bytes.fetch_add(bytes, Ordering::Relaxed);
+        }
+    }
+
+    /// Per-device snapshot, in device order.
+    pub fn snapshot(&self) -> Vec<DeviceLoadSnapshot> {
+        self.cells
+            .iter()
+            .enumerate()
+            .map(|(device, c)| DeviceLoadSnapshot {
+                device,
+                queued: c.queued.load(Ordering::Relaxed),
+                jobs: c.jobs.load(Ordering::Relaxed),
+                hot_jobs: c.hot_jobs.load(Ordering::Relaxed),
+                hot_hits: c.hot_hits.load(Ordering::Relaxed),
+                plan_bytes: c.plan_bytes.load(Ordering::Relaxed),
+                dead: c.dead.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_is_locality_first_then_least_loaded() {
+        let fleet = FleetScheduler::new(4);
+        // Unknown patterns spread across the shallowest queues.
+        let d0 = fleet.place(100);
+        let d1 = fleet.place(200);
+        assert_ne!(
+            d0, d1,
+            "two fresh patterns must not stack on one idle fleet"
+        );
+        // A known pattern routes home even when its device is busiest.
+        for _ in 0..5 {
+            assert_eq!(fleet.place(100), d0);
+        }
+        assert_eq!(fleet.home_of(100), Some(d0));
+        let snap = fleet.snapshot();
+        assert_eq!(snap[d0].queued, 6);
+    }
+
+    #[test]
+    fn dead_home_reshards_onto_survivors_and_degrades_the_fleet() {
+        let fleet = FleetScheduler::new(3);
+        let home = fleet.place(7);
+        fleet.finish(home, true, true);
+        assert!(!fleet.degraded());
+        assert!(fleet.mark_dead(home));
+        assert!(fleet.degraded());
+        assert_eq!(fleet.n_alive(), 2);
+        let new_home = fleet.place(7);
+        assert_ne!(new_home, home, "dead home must not receive work");
+        assert_eq!(fleet.home_of(7), Some(new_home), "pattern re-homes");
+        // The last live device cannot be killed.
+        let survivors: Vec<usize> = (0..3).filter(|&d| !fleet.is_dead(d)).collect();
+        assert!(fleet.mark_dead(survivors[0]));
+        assert!(!fleet.mark_dead(survivors[1]), "last device must survive");
+        assert_eq!(fleet.n_alive(), 1);
+    }
+
+    #[test]
+    fn finish_accumulates_per_device_hit_rates() {
+        let fleet = FleetScheduler::new(2);
+        let d = fleet.place(1);
+        fleet.finish(d, true, false); // cold hot job
+        let d2 = fleet.place(1);
+        assert_eq!(d2, d);
+        fleet.finish(d, true, true); // warm hot job
+        fleet.charge_plan(d, 4096);
+        let snap = &fleet.snapshot()[d];
+        assert_eq!((snap.hot_jobs, snap.hot_hits), (2, 1));
+        assert_eq!(snap.hot_hit_rate(), 0.5);
+        assert_eq!(snap.plan_bytes, 4096);
+        assert_eq!(snap.queued, 0, "finish pops the logical queue");
+        let other = &fleet.snapshot()[1 - d];
+        assert_eq!(other.hot_hit_rate(), 1.0, "vacuous without hot jobs");
+    }
+}

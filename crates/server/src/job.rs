@@ -154,6 +154,8 @@ pub struct JobResult {
     pub id: u64,
     /// Which tier served it.
     pub tier: ExecTier,
+    /// Fleet device the job ran on (0 for a single-device service).
+    pub device: usize,
     /// The factors (shared with the cache on warm/cached tiers).
     pub factorization: Arc<LuFactorization>,
     /// Solutions, for [`JobKind::Solve`] jobs.
@@ -214,4 +216,7 @@ pub(crate) struct QueuedJob {
     pub tx: mpsc::Sender<Result<JobResult, GpluError>>,
     pub cancelled: Arc<AtomicBool>,
     pub enqueued: std::time::Instant,
+    /// Fleet device the job was placed on at admission (0 for a
+    /// single-device service).
+    pub device: usize,
 }

@@ -39,6 +39,14 @@
 //! rejected with an audit trail — corruption costs time, never
 //! correctness.
 //!
+//! With [`ServiceConfig::devices`] > 1 the service schedules jobs
+//! across a small simulated **device fleet** ([`FleetScheduler`]):
+//! placement is cache-locality-first (a pattern routes back to the
+//! device that built its plan) with a least-loaded fallback, per-device
+//! hit rates feed the service report's `fleet` section, and a dead
+//! device re-homes its patterns onto survivors while degradation-aware
+//! admission sheds best-effort traffic under queue pressure.
+//!
 //! Everything composes with the existing subsystems rather than
 //! bypassing them: per-job fault plans run the PR-2 recovery ladder
 //! inside the worker, service-level spans/counters flow through
@@ -46,6 +54,7 @@
 //! that `telemetry_check --service` validates.
 
 pub mod cache;
+pub mod fleet;
 pub mod job;
 pub mod observe;
 pub mod report;
@@ -53,6 +62,7 @@ pub mod service;
 pub mod workload;
 
 pub use cache::{CacheCounters, CacheTier, CachedFactor, FactorCache, DISK_FAILURE_LIMIT};
+pub use fleet::{DeviceLoadSnapshot, FleetScheduler};
 pub use job::{ExecTier, JobHandle, JobKind, JobResult, JobSpec};
 pub use observe::{
     JobObservation, ServiceObs, SloEval, SloSpec, DEFAULT_SLO_WINDOW, SLO_SCHEMA_VERSION,

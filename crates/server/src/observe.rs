@@ -29,6 +29,7 @@
 //! drift profiler filters events by a pointer-compare before touching
 //! its map.
 
+use crate::fleet::DeviceLoadSnapshot;
 use crate::job::ExecTier;
 use crate::report::percentile;
 use gplu_core::{DriftProfiler, DriftTable, DRIFT_FLAG_THRESHOLD};
@@ -388,6 +389,12 @@ pub struct ServiceObs {
     host_used_bytes: Arc<Gauge>,
     /// 1 while the persistent cache tier is in the `down` degraded mode.
     disk_tier_down: Arc<Gauge>,
+    /// Per-device fleet gauges, indexed by device ordinal: logical
+    /// queue depth, homed plan bytes (the service-level arena-occupancy
+    /// stand-in), and the dead flag.
+    device_queue: Vec<Arc<Gauge>>,
+    device_plan_bytes: Vec<Arc<Gauge>>,
+    device_dead: Vec<Arc<Gauge>>,
     load_shed: Arc<Counter>,
     completed: Arc<Counter>,
     failed: Arc<Counter>,
@@ -401,15 +408,24 @@ pub struct ServiceObs {
 }
 
 impl ServiceObs {
-    /// A fresh bundle with a window of `slo_window` completed jobs and
+    /// A fresh bundle with a window of `slo_window` completed jobs,
     /// drift profiling on one in `drift_sample_every` pipeline calls
-    /// (0 turns the profiler off entirely; 1 profiles every call).
-    pub fn new(slo_window: usize, drift_sample_every: u64) -> ServiceObs {
+    /// (0 turns the profiler off entirely; 1 profiles every call), and
+    /// fleet gauges for `devices` devices.
+    pub fn new(slo_window: usize, drift_sample_every: u64, devices: usize) -> ServiceObs {
         let registry = MetricsRegistry::new();
         let tier_hist = |metric: &str| {
             TIERS.map(|t| registry.histogram(&format!("service.{metric}{{tier={}}}", t.label())))
         };
+        let device_gauge = |metric: &str| {
+            (0..devices.max(1))
+                .map(|d| registry.gauge(&format!("service.{metric}{{device={d}}}")))
+                .collect()
+        };
         ServiceObs {
+            device_queue: device_gauge("device_queue_depth"),
+            device_plan_bytes: device_gauge("device_plan_bytes"),
+            device_dead: device_gauge("device_dead"),
             queue_depth: registry.gauge("service.queue_depth"),
             in_flight: registry.gauge("service.in_flight"),
             cache_entries: registry.gauge("service.cache_entries"),
@@ -536,6 +552,21 @@ impl ServiceObs {
         self.load_shed.inc();
     }
 
+    /// Refreshes the per-device fleet gauges from a scheduler snapshot.
+    pub fn on_fleet_state(&self, snap: &[DeviceLoadSnapshot]) {
+        for s in snap {
+            if let Some(g) = self.device_queue.get(s.device) {
+                g.set(s.queued as i64);
+            }
+            if let Some(g) = self.device_plan_bytes.get(s.device) {
+                g.set(s.plan_bytes as i64);
+            }
+            if let Some(g) = self.device_dead.get(s.device) {
+                g.set(i64::from(s.dead));
+            }
+        }
+    }
+
     /// Folds one completed job into the histograms and the SLO window.
     pub fn record_job(&self, o: &JobObservation<'_>) {
         self.completed.inc();
@@ -646,7 +677,7 @@ mod tests {
 
     #[test]
     fn slo_window_slides_and_gates() {
-        let obs = ServiceObs::new(4, 1);
+        let obs = ServiceObs::new(4, 1, 1);
         // 6 jobs; the window keeps the last 4 (sim 300..=600).
         for i in 1..=6u64 {
             obs.record_job(&JobObservation {
@@ -684,7 +715,7 @@ mod tests {
 
     #[test]
     fn record_job_keys_histograms_by_tenant_and_tier() {
-        let obs = ServiceObs::new(16, 1);
+        let obs = ServiceObs::new(16, 1, 2);
         for (tenant, wall) in [("t0", 100u64), ("t0", 200), ("t1", 400)] {
             obs.record_job(&JobObservation {
                 tenant,

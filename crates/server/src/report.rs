@@ -13,15 +13,22 @@
 //! residency, hits, demotions), the `cache.disk` subsection (enabled,
 //! degraded `down` flag, write-behind and rejection counters, rewarm
 //! count), and `jobs.load_shed` for degradation-aware admission.
+//!
+//! Schema v4 adds the device-fleet section: `fleet.devices`,
+//! `fleet.degraded`, `fleet.dead` (dead device ordinals), and
+//! `fleet.per_device` — one object per device with its job counts,
+//! logical queue depth, homed plan bytes, and hot hit rate, so a fleet
+//! `--min-hot-hit-rate` gate can see *which* device is cold.
 
 use crate::cache::CacheCounters;
+use crate::fleet::DeviceLoadSnapshot;
 use crate::observe::{SloEval, SloSpec};
 use crate::service::{SolverService, StatsSnapshot};
 use gplu_core::DriftTable;
 use gplu_trace::json::JsonValue;
 
 /// Version tag of the service-report JSON schema.
-pub const SERVICE_SCHEMA_VERSION: u64 = 3;
+pub const SERVICE_SCHEMA_VERSION: u64 = 4;
 
 /// Linear-interpolation percentile over an unsorted sample (ns). `p` in
 /// `[0, 100]`; returns 0.0 for an empty sample.
@@ -67,6 +74,9 @@ pub struct ServiceReport {
     pub disk_down: bool,
     /// Queue capacity.
     pub queue_cap: usize,
+    /// Per-device fleet state, in device order (one entry for a
+    /// single-device service).
+    pub fleet: Vec<DeviceLoadSnapshot>,
     /// Full metrics-registry snapshot (`None` when observability off).
     pub metrics: Option<JsonValue>,
     /// Per-tenant latency quantiles (`None` when observability off).
@@ -102,6 +112,7 @@ impl ServiceReport {
             disk_enabled: svc.cache().disk_enabled(),
             disk_down: svc.cache().disk_down(),
             queue_cap: svc.queue_cap(),
+            fleet: svc.fleet().snapshot(),
             metrics: obs.map(|o| o.registry().to_json()),
             tenants: obs.map(|o| o.tenants_json()),
             slo_eval: obs.map(|o| o.slo(spec.unwrap_or(&default_spec))),
@@ -206,7 +217,35 @@ impl ServiceReport {
                     .set("gate_failures", s.gate_failures)
                     .set("quarantine_rejected", s.quarantine_rejected)
                     .set("quarantined_patterns", s.quarantined_patterns),
-            );
+            )
+            .set("fleet", {
+                let dead: Vec<JsonValue> = self
+                    .fleet
+                    .iter()
+                    .filter(|d| d.dead)
+                    .map(|d| JsonValue::from(d.device as u64))
+                    .collect();
+                let per_device: Vec<JsonValue> = self
+                    .fleet
+                    .iter()
+                    .map(|d| {
+                        JsonValue::obj()
+                            .set("device", d.device)
+                            .set("jobs", d.jobs)
+                            .set("queued", d.queued)
+                            .set("hot_jobs", d.hot_jobs)
+                            .set("hot_hits", d.hot_hits)
+                            .set("hot_hit_rate", d.hot_hit_rate())
+                            .set("plan_bytes", d.plan_bytes)
+                            .set("dead", d.dead)
+                    })
+                    .collect();
+                JsonValue::obj()
+                    .set("devices", self.fleet.len())
+                    .set("degraded", self.fleet.iter().any(|d| d.dead))
+                    .set("dead", dead)
+                    .set("per_device", per_device)
+            });
         if let Some(metrics) = &self.metrics {
             doc = doc.set("metrics", metrics.clone());
         }
@@ -279,6 +318,33 @@ impl ServiceReport {
                 self.cache.host_hits,
             ));
         }
+        if self.fleet.len() > 1 {
+            let per: Vec<String> = self
+                .fleet
+                .iter()
+                .map(|d| {
+                    format!(
+                        "d{}{}: {} jobs, hot hit rate {:.1}% ({}/{})",
+                        d.device,
+                        if d.dead { " DEAD" } else { "" },
+                        d.jobs,
+                        d.hot_hit_rate() * 100.0,
+                        d.hot_hits,
+                        d.hot_jobs,
+                    )
+                })
+                .collect();
+            out.push_str(&format!(
+                "\nfleet: {} devices{} | {}",
+                self.fleet.len(),
+                if self.fleet.iter().any(|d| d.dead) {
+                    " (DEGRADED)"
+                } else {
+                    ""
+                },
+                per.join(" | "),
+            ));
+        }
         if let Some(slo) = &self.slo_eval {
             out.push('\n');
             out.push_str(&slo.summary());
@@ -329,6 +395,7 @@ mod tests {
             disk_enabled: false,
             disk_down: false,
             queue_cap: 64,
+            fleet: vec![DeviceLoadSnapshot::default()],
             metrics: None,
             tenants: None,
             slo_eval: None,
@@ -348,6 +415,7 @@ mod tests {
             "queue",
             "faults",
             "robustness",
+            "fleet",
         ] {
             assert!(doc.get(section).is_some(), "missing {section}");
         }

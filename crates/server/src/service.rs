@@ -2,6 +2,7 @@
 //! execution against the factor cache.
 
 use crate::cache::{CacheCounters, CacheTier, CachedFactor, FactorCache};
+use crate::fleet::{DeviceLoadSnapshot, FleetScheduler};
 use crate::job::{ExecTier, JobHandle, JobKind, JobResult, JobSpec, QueuedJob};
 use crate::observe::{JobObservation, ServiceObs, DEFAULT_SLO_WINDOW, DRIFT_SAMPLE_EVERY};
 use gplu_checkpoint::{DiskFaultHook, PlanStore};
@@ -61,6 +62,12 @@ pub struct ServiceConfig {
     /// (`diskfault:read=N` / `diskfault:write=N` grammar) — the chaos
     /// knob for degraded-mode tests. Independent of per-job GPU faults.
     pub disk_fault_plan: Option<FaultPlan>,
+    /// Simulated devices behind the admission queue (clamped to at
+    /// least 1). With more than one, every accepted job is placed on a
+    /// device by the [`FleetScheduler`]: patterns route back to the
+    /// device that built their plan, unknown patterns go least-loaded,
+    /// and a dead device's patterns re-home onto survivors.
+    pub devices: usize,
 }
 
 impl Default for ServiceConfig {
@@ -77,6 +84,7 @@ impl Default for ServiceConfig {
             cache_dir: None,
             rewarm: false,
             disk_fault_plan: None,
+            devices: 1,
         }
     }
 }
@@ -205,6 +213,9 @@ pub struct StatsSnapshot {
     pub sim_ns: Vec<f64>,
     /// Per-job wall latencies (ns), completion order.
     pub wall_ns: Vec<f64>,
+    /// Per-device placement state, in device order (one entry for a
+    /// single-device service).
+    pub devices: Vec<DeviceLoadSnapshot>,
 }
 
 impl StatsSnapshot {
@@ -234,6 +245,9 @@ struct Shared {
     /// past `strike_limit` is quarantined.
     strikes: Mutex<HashMap<u64, u32>>,
     strike_limit: u32,
+    /// Device-fleet placement: locality-first routing plus per-device
+    /// load/hit accounting (trivial for a single-device service).
+    fleet: FleetScheduler,
     /// Live metrics/SLO/drift bundle, when observability is on.
     obs: Option<Arc<ServiceObs>>,
 }
@@ -315,9 +329,14 @@ impl SolverService {
             trace,
             strikes: Mutex::new(HashMap::new()),
             strike_limit: cfg.quarantine_strikes,
-            obs: cfg
-                .observability
-                .then(|| Arc::new(ServiceObs::new(cfg.slo_window, cfg.drift_sample_every))),
+            fleet: FleetScheduler::new(cfg.devices),
+            obs: cfg.observability.then(|| {
+                Arc::new(ServiceObs::new(
+                    cfg.slo_window,
+                    cfg.drift_sample_every,
+                    cfg.devices.max(1),
+                ))
+            }),
         });
         let workers = (0..cfg.workers.max(1))
             .map(|_| {
@@ -355,11 +374,16 @@ impl SolverService {
         }
         // Degradation-aware admission: while the disk tier is down the
         // service has lost its rescue path (every cache miss past the
-        // memory tiers is a full cold factorization), so under queue
-        // pressure best-effort traffic is shed to keep protected
-        // tenants' latency. The threshold is half the queue: shedding
-        // only begins when backpressure is already building.
-        if spec.best_effort && q.len() * 2 >= sh.cap && sh.cache.disk_down() {
+        // memory tiers is a full cold factorization), and while a fleet
+        // device is dead the survivors absorb its share of the load —
+        // either way, under queue pressure best-effort traffic is shed
+        // to keep protected tenants' latency. The threshold is half the
+        // queue: shedding only begins when backpressure is already
+        // building.
+        if spec.best_effort
+            && q.len() * 2 >= sh.cap
+            && (sh.cache.disk_down() || sh.fleet.degraded())
+        {
             let depth = q.len();
             sh.stats.load_shed.fetch_add(1, Ordering::Relaxed);
             drop(q);
@@ -381,12 +405,17 @@ impl SolverService {
         if spec.hot {
             sh.stats.hot_jobs.fetch_add(1, Ordering::Relaxed);
         }
+        // Placement at admission: the device is decided while the
+        // pattern's home (if any) is current, and the per-device
+        // logical queue depth feeds back into later placements.
+        let device = sh.fleet.place(pattern_fingerprint(&spec.matrix));
         q.push_back(QueuedJob {
             id,
             spec,
             tx,
             cancelled: Arc::clone(&cancelled),
             enqueued: Instant::now(),
+            device,
         });
         let depth = q.len() as u64;
         sh.stats.submitted.fetch_add(1, Ordering::Relaxed);
@@ -446,6 +475,25 @@ impl SolverService {
         &self.shared.cache
     }
 
+    /// The device-fleet scheduler (placement inspection and tests).
+    pub fn fleet(&self) -> &FleetScheduler {
+        &self.shared.fleet
+    }
+
+    /// Marks a fleet device dead: it drops out of placement, its homed
+    /// patterns re-home onto survivors, and the fleet reports itself
+    /// degraded to the admission path. Returns false for an
+    /// out-of-range ordinal or the last live device.
+    pub fn mark_device_dead(&self, device: usize) -> bool {
+        let killed = self.shared.fleet.mark_dead(device);
+        if killed {
+            if let Some(o) = &self.shared.obs {
+                o.on_fleet_state(&self.shared.fleet.snapshot());
+            }
+        }
+        killed
+    }
+
     /// Counter snapshot.
     pub fn stats(&self) -> StatsSnapshot {
         let s = &self.shared.stats;
@@ -483,6 +531,7 @@ impl SolverService {
             max_depth: s.max_depth.load(Ordering::Relaxed),
             sim_ns: s.sim_ns.lock().unwrap().clone(),
             wall_ns: s.wall_ns.lock().unwrap().clone(),
+            devices: self.shared.fleet.snapshot(),
         }
     }
 
@@ -601,6 +650,7 @@ fn process(sh: &Shared, job: QueuedJob) {
     let start = sh.clock.now();
     if job.cancelled.load(Ordering::SeqCst) {
         sh.stats.cancelled.fetch_add(1, Ordering::Relaxed);
+        sh.fleet.finish(job.device, job.spec.hot, false);
         if let Some(o) = &sh.obs {
             o.on_cancel();
         }
@@ -611,6 +661,7 @@ fn process(sh: &Shared, job: QueuedJob) {
     if let Some(deadline_ns) = job.spec.deadline_ns {
         if waited_ns > deadline_ns {
             sh.stats.deadline_dropped.fetch_add(1, Ordering::Relaxed);
+            sh.fleet.finish(job.device, job.spec.hot, false);
             if let Some(o) = &sh.obs {
                 o.on_deadline_drop();
             }
@@ -664,6 +715,7 @@ fn process(sh: &Shared, job: QueuedJob) {
                 ("job", job.id.into()),
                 ("kind", job.spec.kind.label().into()),
                 ("hot", job.spec.hot.into()),
+                ("device", (job.device as u64).into()),
             ],
         );
         sink.span_end(
@@ -690,6 +742,8 @@ fn process(sh: &Shared, job: QueuedJob) {
         Ok(mut r) => {
             r.wall_ns = job.enqueued.elapsed().as_nanos() as u64;
             r.queue_wait_ns = waited_ns;
+            sh.fleet
+                .finish(job.device, job.spec.hot, r.tier != ExecTier::Cold);
             match r.tier {
                 ExecTier::Cold => sh.stats.cold.fetch_add(1, Ordering::Relaxed),
                 ExecTier::Warm => sh.stats.warm.fetch_add(1, Ordering::Relaxed),
@@ -725,13 +779,16 @@ fn process(sh: &Shared, job: QueuedJob) {
                     sh.cache.host_used_bytes(),
                     sh.cache.disk_down(),
                 );
+                o.on_fleet_state(&sh.fleet.snapshot());
             }
             let _ = job.tx.send(Ok(r));
         }
         Err(e) => {
             sh.stats.failed.fetch_add(1, Ordering::Relaxed);
+            sh.fleet.finish(job.device, job.spec.hot, false);
             if let Some(o) = &sh.obs {
                 o.on_failed();
+                o.on_fleet_state(&sh.fleet.snapshot());
             }
             let _ = job.tx.send(Err(e));
         }
@@ -850,6 +907,10 @@ fn execute_tiers(
                 sh.stats.plans_built.fetch_add(1, Ordering::Relaxed);
                 let cached = CachedFactor::new(plan, TriSolvePlan::new(&f.lu));
                 cached.store_latest(value_fp, Arc::clone(&f));
+                // The plan now lives where this job ran: charge the
+                // home device's occupancy gauge so locality routing has
+                // something to point at.
+                sh.fleet.charge_plan(job.device, cached.approx_bytes());
                 sh.cache.insert(fp, cached)
             });
             (ExecTier::Cold, entry, f)
@@ -897,6 +958,7 @@ fn execute_tiers(
     Ok(JobResult {
         id: job.id,
         tier,
+        device: job.device,
         injected_faults: gpu.stats().injected_faults(),
         recovery_events: factors.report.recovery.events().len(),
         factorization: factors,
@@ -1306,6 +1368,49 @@ mod tests {
             );
         }
         assert_eq!(svc.stats().quarantine_rejected, 0);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn fleet_routes_hot_patterns_to_their_home_device() {
+        let svc = SolverService::start(ServiceConfig {
+            workers: 1,
+            devices: 4,
+            ..Default::default()
+        });
+        let a = random_dominant(60, 4.0, 61);
+        let r1 = svc
+            .submit(JobSpec::new(a.clone(), JobKind::Factorize))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(r1.tier, ExecTier::Cold);
+        let home = r1.device;
+        // Every later job on the pattern lands where its plan lives.
+        for _ in 0..3 {
+            let r = svc
+                .submit(JobSpec::new(a.clone(), JobKind::Refactorize).hot())
+                .unwrap()
+                .wait()
+                .unwrap();
+            assert_eq!(r.device, home, "locality routing must win");
+            assert_ne!(r.tier, ExecTier::Cold);
+        }
+        let snap = svc.stats().devices;
+        assert_eq!(snap.len(), 4);
+        assert_eq!(snap[home].jobs, 4);
+        assert_eq!(snap[home].hot_hit_rate(), 1.0);
+        assert!(snap[home].plan_bytes > 0, "cold build charges the home");
+        // Killing the home re-homes the pattern onto a survivor.
+        assert!(svc.mark_device_dead(home));
+        assert!(svc.fleet().degraded());
+        let r = svc
+            .submit(JobSpec::new(a, JobKind::Refactorize).hot())
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_ne!(r.device, home, "dead device must not receive work");
+        assert_ne!(r.tier, ExecTier::Cold, "cache survives the re-home");
         svc.shutdown();
     }
 

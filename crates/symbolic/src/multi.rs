@@ -22,7 +22,7 @@
 use crate::fill2::fill2_row;
 use crate::ooc::{charge_row, row_state_bytes, WorkspacePool};
 use crate::result::{SymbolicMetrics, SymbolicResult};
-use gplu_sim::{BlockCtx, Gpu, SimError, SimTime};
+use gplu_sim::{BlockCtx, DeviceFleet, Gpu, SimError, SimTime};
 use gplu_sparse::{Csr, Idx};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
@@ -158,6 +158,242 @@ pub fn symbolic_multi_gpu(
     })
 }
 
+/// Outcome of a fleet symbolic run (the [`DeviceFleet`]-aware variant of
+/// [`MultiGpuOutcome`], with liveness and reshard accounting).
+#[derive(Debug, Clone)]
+pub struct FleetSymbolicOutcome {
+    /// The factorization pattern (identical to single-device).
+    pub result: SymbolicResult,
+    /// Per-device simulated time spent in this phase, indexed by device
+    /// ordinal (zero for devices that were dead on entry).
+    pub per_device: Vec<SimTime>,
+    /// Post-barrier makespan of the phase.
+    pub time: SimTime,
+    /// Parallel efficiency over the devices that did work.
+    pub efficiency: f64,
+    /// Devices that died *during this phase* (their work was resharded).
+    pub died: Vec<usize>,
+    /// Rows re-run on survivors after device deaths.
+    pub resharded_rows: usize,
+}
+
+/// Runs the two-stage out-of-core fill counting sharded by source-row
+/// range across the live devices of `fleet` (GSoFa-style: every device
+/// holds its own copy of `A` and traverses its row slice), then prices
+/// the fill-count all-gather on the interconnect and barriers.
+///
+/// A device failure (injected OOM, launch fault, squeeze-induced OOM)
+/// marks that device dead and reshards its rows round-robin onto the
+/// survivors; the run fails only when a crash is injected
+/// ([`SimError::Crashed`] is terminal by design) or every device dies.
+/// Because each row's traversal is independent and deterministic, the
+/// merged pattern is bit-identical to the single-device engines no matter
+/// how many devices run or die.
+pub fn symbolic_fleet(
+    fleet: &DeviceFleet,
+    a: &Csr,
+    partition: Partition,
+) -> Result<FleetSymbolicOutcome, SimError> {
+    let n = a.n_rows();
+    let before: Vec<_> = fleet.devices().iter().map(|g| g.stats()).collect();
+
+    let fill_counts: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+    // Per-row metric slots (stores, not adds) so re-running a dead
+    // device's rows on a survivor cannot double-count.
+    let row_metrics: Vec<[AtomicU64; 3]> = (0..n).map(|_| Default::default()).collect();
+    let patterns: Vec<parking_lot::Mutex<Vec<Idx>>> = (0..n)
+        .map(|_| parking_lot::Mutex::new(Vec::new()))
+        .collect();
+
+    // Runs both stages over `rows` on one device; idempotent, so a dead
+    // device's slice can simply be re-run elsewhere.
+    let run_rows = |gpu: &Gpu, rows: &[u32]| -> Result<(), SimError> {
+        if rows.is_empty() {
+            return Ok(());
+        }
+        let a_bytes = (n as u64 + 1 + a.nnz() as u64) * 4;
+        let a_dev = gpu.mem.alloc(a_bytes)?;
+        gpu.h2d(a_bytes);
+        let chunk =
+            ((gpu.mem.free_bytes() / row_state_bytes(n)) as usize).clamp(1, rows.len().max(1));
+        let state_dev = gpu.mem.alloc(chunk as u64 * row_state_bytes(n))?;
+        let pool = WorkspacePool::new(n);
+        let mut outcome = Ok(());
+        'stages: for store in [false, true] {
+            let stage = if store {
+                "fleet_symbolic_2"
+            } else {
+                "fleet_symbolic_1"
+            };
+            for batch in rows.chunks(chunk.max(1)) {
+                let launched =
+                    gpu.launch(stage, batch.len(), 1024, &|b: usize, ctx: &mut BlockCtx| {
+                        let src = batch[b];
+                        let mut cols: Vec<Idx> = Vec::new();
+                        let m = pool.with(|ws| {
+                            if store {
+                                fill2_row(a, src, ws, |c| cols.push(c))
+                            } else {
+                                fill2_row(a, src, ws, |_| {})
+                            }
+                        });
+                        charge_row(ctx, &m);
+                        if store {
+                            cols.sort_unstable();
+                            *patterns[src as usize].lock() = cols;
+                        } else {
+                            fill_counts[src as usize].store(m.emitted, Ordering::Relaxed);
+                            row_metrics[src as usize][0].store(m.steps, Ordering::Relaxed);
+                            row_metrics[src as usize][1].store(m.edges, Ordering::Relaxed);
+                            row_metrics[src as usize][2].store(m.frontiers, Ordering::Relaxed);
+                        }
+                    });
+                if let Err(e) = launched {
+                    outcome = Err(e);
+                    break 'stages;
+                }
+            }
+        }
+        // Free the arena even on failure so a later reshard pass (or the
+        // numeric phase) sees a clean device.
+        let my_nnz: u64 = if outcome.is_ok() {
+            rows.iter()
+                .map(|&r| fill_counts[r as usize].load(Ordering::Relaxed) as u64)
+                .sum()
+        } else {
+            0
+        };
+        if my_nnz > 0 {
+            gpu.d2h(my_nnz * 4);
+        }
+        gpu.mem.free(state_dev)?;
+        gpu.mem.free(a_dev)?;
+        outcome
+    };
+
+    let assign_rows = |owners: &[usize]| -> Vec<(usize, Vec<u32>)> {
+        let k = owners.len();
+        owners
+            .iter()
+            .enumerate()
+            .map(|(slot, &d)| {
+                let rows = match partition {
+                    Partition::Blocked => {
+                        let start = slot * n / k;
+                        let end = (slot + 1) * n / k;
+                        (start as u32..end as u32).collect()
+                    }
+                    Partition::Strided => (slot as u32..)
+                        .step_by(k)
+                        .take_while(|&r| (r as usize) < n)
+                        .collect(),
+                };
+                (d, rows)
+            })
+            .collect()
+    };
+
+    let alive = fleet.alive();
+    if alive.is_empty() {
+        return Err(SimError::BadLaunch("no live devices in fleet".into()));
+    }
+    let mut pending = assign_rows(&alive);
+    let mut died = Vec::new();
+    let mut resharded_rows = 0usize;
+    let mut last_err: Option<SimError> = None;
+    while !pending.is_empty() {
+        let mut failed_rows: Vec<u32> = Vec::new();
+        for (d, rows) in pending.drain(..) {
+            match run_rows(fleet.device(d), &rows) {
+                Ok(()) => {}
+                Err(e @ SimError::Crashed { .. }) => return Err(e),
+                Err(e) => {
+                    fleet.mark_dead(d);
+                    died.push(d);
+                    failed_rows.extend(rows);
+                    last_err = Some(e);
+                }
+            }
+        }
+        if failed_rows.is_empty() {
+            break;
+        }
+        let survivors = fleet.alive();
+        if survivors.is_empty() {
+            return Err(last_err.unwrap_or(SimError::BadLaunch(
+                "every fleet device died during symbolic".into(),
+            )));
+        }
+        // Round-robin the dead devices' rows onto the survivors.
+        resharded_rows += failed_rows.len();
+        let mut shards: Vec<(usize, Vec<u32>)> =
+            survivors.iter().map(|&d| (d, Vec::new())).collect();
+        for (i, r) in failed_rows.into_iter().enumerate() {
+            shards[i % survivors.len()].1.push(r);
+        }
+        pending = shards;
+    }
+
+    // GSoFa's count merge: every live device gathers the others' per-row
+    // fill counts (4 bytes per row it does not own) over the peer links,
+    // then the fleet barriers before the host-side pattern merge.
+    let counts_bytes: Vec<u64> = {
+        let mut owned = vec![0u64; fleet.len()];
+        for (slot, &d) in fleet.alive().iter().enumerate() {
+            let k = fleet.n_alive();
+            let rows = match partition {
+                Partition::Blocked => ((slot + 1) * n / k - slot * n / k) as u64,
+                Partition::Strided => n.div_ceil(k).min(n) as u64,
+            };
+            owned[d] = rows * 4;
+        }
+        owned
+    };
+    fleet.all_gather(&counts_bytes);
+
+    let per_device: Vec<SimTime> = fleet
+        .devices()
+        .iter()
+        .zip(&before)
+        .map(|(g, b)| g.stats().since(b).now)
+        .collect();
+    let worked: Vec<SimTime> = fleet
+        .alive()
+        .iter()
+        .map(|&d| per_device[d])
+        .filter(|t| t.as_ns() > 0.0)
+        .collect();
+    let makespan = worked.iter().copied().fold(SimTime::ZERO, SimTime::max);
+    let total: SimTime = worked.iter().copied().sum();
+    let efficiency = if makespan.as_ns() > 0.0 && !worked.is_empty() {
+        total.as_ns() / (worked.len() as f64 * makespan.as_ns())
+    } else {
+        1.0
+    };
+
+    let sum_metric = |i: usize| -> u64 {
+        row_metrics
+            .iter()
+            .map(|m| m[i].load(Ordering::Relaxed))
+            .sum()
+    };
+    let metrics = SymbolicMetrics {
+        steps: sum_metric(0),
+        edges: sum_metric(1),
+        frontiers: sum_metric(2),
+    };
+    let pattern_rows: Vec<Vec<Idx>> = patterns.into_iter().map(|m| m.into_inner()).collect();
+    let result = SymbolicResult::from_patterns(a, pattern_rows, metrics);
+    Ok(FleetSymbolicOutcome {
+        result,
+        per_device,
+        time: makespan,
+        efficiency,
+        died,
+        resharded_rows,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -216,5 +452,77 @@ mod tests {
         let out = symbolic_multi_gpu(&fleet(&a, 3), &a, Partition::Strided).expect("runs");
         assert!(out.efficiency > 0.0 && out.efficiency <= 1.0 + 1e-9);
         assert_eq!(out.per_gpu.len(), 3);
+    }
+
+    fn device_fleet(a: &Csr, k: usize) -> DeviceFleet {
+        DeviceFleet::new(k, GpuConfig::v100_symbolic_profile(a.n_rows(), a.nnz()))
+    }
+
+    #[test]
+    fn fleet_matches_single_device_pattern_at_every_count() {
+        let a = banded_dominant(800, 5, 51);
+        let single = symbolic_ooc(&fleet(&a, 1)[0], &a).expect("single");
+        for k in [1, 2, 4, 8] {
+            for partition in [Partition::Blocked, Partition::Strided] {
+                let f = device_fleet(&a, k);
+                let out = symbolic_fleet(&f, &a, partition).expect("fleet");
+                assert_eq!(
+                    single.result.filled, out.result.filled,
+                    "k={k} {partition:?}"
+                );
+                assert!(out.died.is_empty());
+                assert_eq!(out.resharded_rows, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn fleet_charges_interconnect_for_count_gather() {
+        let a = banded_dominant(600, 4, 55);
+        let f = device_fleet(&a, 4);
+        symbolic_fleet(&f, &a, Partition::Strided).expect("fleet");
+        let ic = f.stats().interconnect;
+        assert_eq!(ic.exchanges, 4, "one gather leg per live device");
+        assert!(ic.bytes > 0);
+        // A single device never touches the interconnect.
+        let f1 = device_fleet(&a, 1);
+        symbolic_fleet(&f1, &a, Partition::Strided).expect("fleet");
+        assert_eq!(f1.stats().interconnect.exchanges, 0);
+    }
+
+    #[test]
+    fn dead_device_reshards_onto_survivors_bit_identically() {
+        let a = banded_dominant(700, 5, 56);
+        let single = symbolic_ooc(&fleet(&a, 1)[0], &a).expect("single");
+        // Device 2's first launch dies persistently: it is marked dead
+        // and its rows re-run on the survivors.
+        let plans =
+            gplu_sim::FaultPlan::parse_fleet("dev=2:badlaunch:*=1:persistent", 4).expect("plans");
+        let f = DeviceFleet::with_fault_plans(
+            4,
+            GpuConfig::v100_symbolic_profile(a.n_rows(), a.nnz()),
+            gplu_sim::CostModel::default(),
+            &plans,
+        );
+        let out = symbolic_fleet(&f, &a, Partition::Strided).expect("fleet survives");
+        assert_eq!(out.died, vec![2]);
+        assert!(out.resharded_rows > 0);
+        assert!(f.is_dead(2));
+        assert_eq!(f.n_alive(), 3);
+        assert_eq!(single.result.filled, out.result.filled, "bit-identical");
+    }
+
+    #[test]
+    fn whole_fleet_death_is_an_error() {
+        let a = banded_dominant(300, 3, 57);
+        let plans = gplu_sim::FaultPlan::parse_fleet("badlaunch:*=1:persistent", 2).expect("plans");
+        let f = DeviceFleet::with_fault_plans(
+            2,
+            GpuConfig::v100_symbolic_profile(a.n_rows(), a.nnz()),
+            gplu_sim::CostModel::default(),
+            &plans,
+        );
+        assert!(symbolic_fleet(&f, &a, Partition::Blocked).is_err());
+        assert_eq!(f.n_alive(), 0);
     }
 }

@@ -52,7 +52,7 @@ pub mod prelude {
         PivotPolicy, RefactorPlan, ResidualGate, SymbolicEngine,
     };
     pub use gplu_server::{JobKind, JobSpec, ServiceConfig, SolverService};
-    pub use gplu_sim::{CostModel, Gpu, GpuConfig, SimTime};
+    pub use gplu_sim::{CostModel, DeviceFleet, FaultPlan, Gpu, GpuConfig, SimTime};
     pub use gplu_sparse::{Csc, Csr, Permutation};
 }
 

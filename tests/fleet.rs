@@ -1,0 +1,263 @@
+//! Multi-device fleet suite: sharded execution must be invisible in the
+//! results.
+//!
+//! The contract:
+//!
+//! 1. **bit-identity** — a `--devices N` run shards symbolic fill
+//!    counting by source-row range and the numeric phase by column range
+//!    per level, but the factor it produces (pattern, permutations, and
+//!    every value bit) is identical to the single-device pipeline for
+//!    every symbolic engine, numeric format, and fleet size;
+//! 2. **fault isolation** — a `dev=K:` fault plan kills exactly that
+//!    device; its shards reshard onto the survivors, the run completes
+//!    bit-identically, and the recovery log records the
+//!    [`RecoveryAction::DeviceLost`];
+//! 3. **locality scheduling** — the service routes a hot pattern back to
+//!    the device that built its plan, so per-device hit rates stay
+//!    meaningful.
+//!
+//! Every case is deterministic: the proptest shim derives inputs from
+//! fixed seeds.
+
+use gplu::core::RecoveryAction;
+use gplu::prelude::*;
+use gplu::server::ExecTier;
+use gplu::sparse::gen::circuit::{circuit, CircuitParams};
+use gplu::sparse::gen::random::{banded_dominant, random_dominant};
+use gplu::sparse::Coo;
+use proptest::prelude::*;
+
+fn gpu_for(a: &Csr) -> Gpu {
+    Gpu::new(GpuConfig::v100_symbolic_profile(a.n_rows(), a.nnz()))
+}
+
+fn fleet_for(a: &Csr, devices: usize) -> DeviceFleet {
+    DeviceFleet::new(
+        devices,
+        GpuConfig::v100_symbolic_profile(a.n_rows(), a.nnz()),
+    )
+}
+
+/// Block-diagonal matrix of independent banded chains — wide levels, so
+/// every device's shard is non-empty.
+fn block_banded(blocks: usize, m: usize, band: usize, seed: u64) -> Csr {
+    let n = blocks * m;
+    let mut coo = Coo::new(n, n);
+    for b in 0..blocks {
+        let base = b * m;
+        let block = banded_dominant(m, band, seed.wrapping_add(b as u64));
+        for i in 0..m {
+            for (j, v) in block.row_iter(i) {
+                coo.push(base + i, base + j, v);
+            }
+        }
+    }
+    gplu::sparse::gen::assemble_dominant(coo, 1.0)
+}
+
+fn assert_bit_identical(single: &LuFactorization, fleet: &LuFactorization, label: &str) {
+    assert_eq!(single.lu.col_ptr, fleet.lu.col_ptr, "{label}: fill pattern");
+    assert_eq!(single.lu.row_idx, fleet.lu.row_idx, "{label}: fill pattern");
+    let identical = single
+        .lu
+        .vals
+        .iter()
+        .zip(&fleet.lu.vals)
+        .all(|(x, y)| x.to_bits() == y.to_bits());
+    assert!(identical, "{label}: factor values diverged");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Core invariant: sharding is a pricing concern, never a numerical
+    /// one — any engine x format x fleet size reproduces the
+    /// single-device bits.
+    #[test]
+    fn fleet_is_bit_identical_for_every_engine_and_count(
+        seed in 0u64..1000,
+        n in 80usize..240,
+        devices_idx in 0usize..4,
+        engine_idx in 0usize..4,
+        format_idx in 0usize..5,
+    ) {
+        let devices = [1usize, 2, 4, 8][devices_idx];
+        let engine = [
+            SymbolicEngine::Ooc,
+            SymbolicEngine::OocDynamic,
+            SymbolicEngine::UmNoPrefetch,
+            SymbolicEngine::UmPrefetch,
+        ][engine_idx];
+        let format = [
+            NumericFormat::Auto,
+            NumericFormat::Dense,
+            NumericFormat::Sparse,
+            NumericFormat::SparseMerge,
+            NumericFormat::SparseBlocked,
+        ][format_idx];
+        let a = random_dominant(n, 4.0, seed);
+        let opts = LuOptions {
+            symbolic: engine,
+            format,
+            ..LuOptions::default()
+        };
+        let single = LuFactorization::compute(&gpu_for(&a), &a, &opts).expect("single");
+        let fleet = fleet_for(&a, devices);
+        let sharded = LuFactorization::compute_fleet(&fleet, &a, &opts).expect("fleet");
+        assert_bit_identical(
+            &single,
+            &sharded,
+            &format!("{engine:?}/{format:?} x {devices} devices"),
+        );
+        let fr = sharded.report.fleet.as_ref().expect("fleet report");
+        prop_assert_eq!(fr.devices, devices);
+        prop_assert!(fr.dead.is_empty());
+        // A real fleet must price the level-barrier exchange; one device
+        // must not.
+        prop_assert_eq!(fr.exchanges > 0, devices > 1);
+    }
+}
+
+#[test]
+fn fleet_solves_the_system_it_factorized() {
+    let a = circuit(&CircuitParams {
+        n: 400,
+        nnz_per_row: 6.0,
+        seed: 9,
+        ..Default::default()
+    });
+    let fleet = fleet_for(&a, 4);
+    let f = LuFactorization::compute_fleet(&fleet, &a, &LuOptions::default()).expect("fleet");
+    let x_true = vec![1.0; a.n_rows()];
+    let b = a.spmv(&x_true);
+    let x = f.solve(&b).expect("solve");
+    let err = x
+        .iter()
+        .zip(&x_true)
+        .map(|(p, q)| (p - q).abs())
+        .fold(0.0f64, f64::max);
+    assert!(err < 1e-8, "solve error {err}");
+}
+
+#[test]
+fn dead_device_reshards_onto_survivors_bit_identically() {
+    // Wide levels so device 1's shard is never empty when the fault fires.
+    let a = block_banded(64, 12, 4, 77);
+    let opts = LuOptions::default();
+    let single = LuFactorization::compute(&gpu_for(&a), &a, &opts).expect("single");
+
+    let plans = FaultPlan::parse_fleet("dev=1:oom:alloc=1:persistent", 4).expect("plans");
+    let cfg = GpuConfig::v100_symbolic_profile(a.n_rows(), a.nnz());
+    let fleet = DeviceFleet::with_fault_plans(4, cfg, CostModel::default(), &plans);
+    let f = LuFactorization::compute_fleet(&fleet, &a, &opts).expect("fleet survives the death");
+
+    assert_bit_identical(&single, &f, "post-death reshard");
+    let fr = f.report.fleet.as_ref().expect("fleet report");
+    assert_eq!(fr.dead, vec![1], "exactly the targeted device dies");
+    assert!(
+        fr.resharded_rows + fr.resharded_cols > 0,
+        "the dead device's shard must be re-run on survivors"
+    );
+    let lost: Vec<_> = f
+        .report
+        .recovery
+        .events()
+        .iter()
+        .filter_map(|e| match e.action {
+            RecoveryAction::DeviceLost { device, resharded } => Some((device, resharded)),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        lost.iter()
+            .any(|&(device, resharded)| device == 1 && resharded > 0),
+        "recovery log must carry the DeviceLost entry, got {lost:?}"
+    );
+}
+
+#[test]
+fn whole_fleet_fault_plans_broadcast_without_device_prefix() {
+    // An unprefixed spec reaches every device, so it kills the whole
+    // fleet — there is no survivor to reshard onto and the run is
+    // terminal. (If the spec had only reached one device, the reshard
+    // path above would have absorbed it.)
+    let a = block_banded(32, 12, 4, 78);
+    let plans = FaultPlan::parse_fleet("oom:alloc=2", 2).expect("plans");
+    assert_eq!(plans.len(), 2);
+    let cfg = GpuConfig::v100_symbolic_profile(a.n_rows(), a.nnz());
+    let fleet = DeviceFleet::with_fault_plans(2, cfg, CostModel::default(), &plans);
+    let err = LuFactorization::compute_fleet(&fleet, &a, &LuOptions::default())
+        .expect_err("whole-fleet death is terminal");
+    assert!(
+        matches!(
+            err,
+            GpluError::DeviceOom { .. } | GpluError::RecoveryExhausted { .. }
+        ),
+        "unexpected error: {err:?}"
+    );
+}
+
+/// Deterministic value drift on a fixed pattern.
+fn drift(base: &Csr, version: u64) -> Csr {
+    let mut m = base.clone();
+    for (k, v) in m.vals.iter_mut().enumerate() {
+        let wob = ((k as u64)
+            .wrapping_mul(0x9e37_79b9)
+            .wrapping_add(version.wrapping_mul(7919))
+            % 97) as f64;
+        *v *= 1.0 + wob / 1000.0;
+    }
+    m
+}
+
+#[test]
+fn service_routes_hot_patterns_to_the_device_holding_their_plan() {
+    let base = circuit(&CircuitParams {
+        n: 250,
+        nnz_per_row: 6.0,
+        seed: 61,
+        ..Default::default()
+    });
+    let svc = SolverService::start(ServiceConfig {
+        workers: 1,
+        devices: 4,
+        ..Default::default()
+    });
+
+    // Cold job homes the pattern on some device (not hot-flagged, so it
+    // doesn't count against the hot hit rate it is about to enable).
+    let r = svc
+        .submit(JobSpec::new(drift(&base, 0), JobKind::Factorize))
+        .expect("submit")
+        .wait()
+        .expect("cold job");
+    assert_eq!(r.tier, ExecTier::Cold);
+    let home = r.device;
+
+    // Every later refactorization of the pattern lands on the same device
+    // and hits its plan.
+    for version in 1..=3u64 {
+        let r = svc
+            .submit(JobSpec::new(drift(&base, version), JobKind::Factorize).hot())
+            .expect("submit")
+            .wait()
+            .expect("hot job");
+        assert_ne!(r.tier, ExecTier::Cold, "v{version} must hit the plan");
+        assert_eq!(r.device, home, "v{version} must follow the plan's home");
+    }
+
+    let stats = svc.stats();
+    let d = &stats.devices[home];
+    assert_eq!(d.jobs, 4, "all four jobs landed on the home device");
+    assert!(
+        (d.hot_hit_rate() - 1.0).abs() < f64::EPSILON,
+        "home device served every hot job from its plan"
+    );
+    assert!(d.plan_bytes > 0, "the cold build charged the home arena");
+    for (k, other) in stats.devices.iter().enumerate() {
+        if k != home {
+            assert_eq!(other.jobs, 0, "device {k} must stay idle");
+        }
+    }
+    svc.shutdown();
+}
